@@ -1,0 +1,116 @@
+/// LongRun ablation: energy-to-solution across the Crusoe's DVFS ladder —
+/// the paper project's follow-on research direction ("Supercomputing in
+/// Small Spaces" grew into power-aware HPC and the Green500), made
+/// executable. Also previews the §5 roadmap: TM5600 -> TM5800 -> (projected)
+/// TM6000 energy per treecode force evaluation.
+
+#include "arch/registry.hpp"
+#include "bench/bench_util.hpp"
+#include "power/longrun.hpp"
+#include "treecode/ic.hpp"
+#include "treecode/perf.hpp"
+#include "treecode/traverse.hpp"
+
+int main() {
+  using namespace bladed;
+  bench::print_header("Ablation", "LongRun: frequency/voltage vs energy");
+
+  // The workload: one treecode force evaluation over a 20k Plummer sphere.
+  treecode::ParticleSet p = treecode::plummer_sphere(20000, 42);
+  treecode::Octree tree = treecode::Octree::build(p);
+  p.zero_accelerations();
+  const treecode::TraversalStats st =
+      treecode::compute_forces(p, tree, treecode::GravityParams{});
+  const arch::KernelProfile profile = treecode::force_profile(st.ops);
+
+  {
+    const power::LongRunLadder ladder = power::tm5600_ladder();
+    TablePrinter t({"State (MHz @ V)", "Watts", "Time (s)", "Joules",
+                    "J vs top"});
+    const double top_j =
+        power::energy_to_solution(arch::tm5600_633(), ladder, profile,
+                                  ladder.top())
+            .joules;
+    for (const power::PerfState& s : ladder.states) {
+      const power::EnergyReport r = power::energy_to_solution(
+          arch::tm5600_633(), ladder, profile, s);
+      t.add_row({TablePrinter::num(s.frequency.value(), 0) + " @ " +
+                     TablePrinter::num(s.volts, 2),
+                 TablePrinter::num(r.watts.value(), 2),
+                 TablePrinter::num(r.seconds, 2),
+                 TablePrinter::num(r.joules, 2),
+                 TablePrinter::num(r.joules / top_j, 2)});
+    }
+    std::printf("(a) TM5600 ladder, one 20k-particle force evaluation\n");
+    bench::print_table(t);
+  }
+
+  {
+    // Energy over a fixed period (work + idle): where the optimum sits
+    // depends on the slack — the governor's decision surface.
+    const power::LongRunLadder ladder = power::tm5600_ladder();
+    const auto& cpu = arch::tm5600_633();
+    const double top_time =
+        power::energy_to_solution(cpu, ladder, profile, ladder.top()).seconds;
+    TablePrinter t({"Slack (period / top-state time)", "Governor pick (MHz)",
+                    "Energy (J)", "vs race-to-idle"});
+    for (double slack : {1.05, 1.5, 2.0, 2.5, 4.0}) {
+      const double period = slack * top_time;
+      const power::PerfState s = power::pick_state(cpu, ladder, profile,
+                                                   period);
+      const double e = power::energy_over_period(cpu, ladder, profile, s,
+                                                 period);
+      const double race = power::energy_over_period(cpu, ladder, profile,
+                                                    ladder.top(), period);
+      t.add_row({TablePrinter::num(slack, 2),
+                 TablePrinter::num(s.frequency.value(), 0),
+                 TablePrinter::num(e, 2), TablePrinter::num(e / race, 2)});
+    }
+    std::printf("(b) deadline governor: slow-and-steady vs race-to-idle\n");
+    bench::print_table(t);
+  }
+
+  {
+    // §5's roadmap quantified: same work, successive Crusoe generations.
+    TablePrinter t({"Processor", "Top state", "Time (s)", "Joules",
+                    "Mflops/W"});
+    struct Gen {
+      const char* name;
+      const arch::ProcessorModel* cpu;
+      power::LongRunLadder ladder;
+    };
+    power::LongRunLadder tm6000_ladder = power::tm5800_800_ladder();
+    tm6000_ladder.states.back().frequency = Megahertz(1000.0);
+    tm6000_ladder.top_watts = Watts(1.75);
+    tm6000_ladder.static_watts = Watts(0.3);
+    const Gen gens[] = {
+        {"TM5600 (this paper)", &arch::tm5600_633(), power::tm5600_ladder()},
+        {"TM5800 (MetaBlade2)", &arch::tm5800_800(),
+         power::tm5800_800_ladder()},
+        {"TM6000 (projected, section 5)", &arch::tm6000_projected(),
+         tm6000_ladder},
+    };
+    for (const Gen& g : gens) {
+      const power::EnergyReport r = power::energy_to_solution(
+          *g.cpu, g.ladder, profile, g.ladder.top());
+      const double mflops =
+          static_cast<double>(profile.ops.flops()) / r.seconds / 1e6;
+      t.add_row({g.name,
+                 TablePrinter::num(g.ladder.top().frequency.value(), 0) +
+                     " MHz",
+                 TablePrinter::num(r.seconds, 2),
+                 TablePrinter::num(r.joules, 2),
+                 TablePrinter::num(mflops / r.watts.value(), 1)});
+    }
+    std::printf("(c) Crusoe generations: energy per force evaluation\n");
+    bench::print_table(t);
+  }
+
+  bench::print_note(
+      "dynamic power ~ V^2 f: halving frequency with the matching voltage "
+      "drop cuts energy-to-solution even though the run takes twice as "
+      "long; the idle floor then decides whether to race or to crawl — the "
+      "tradeoff the LongRun governor (and all of power-aware HPC after this "
+      "paper) navigates.");
+  return 0;
+}

@@ -1,0 +1,175 @@
+/// Treecode ablations: the design choices DESIGN.md calls out.
+///  (a) opening angle theta — force accuracy vs interaction count;
+///  (b) leaf capacity — tree size vs traversal work;
+///  (c) Karp vs libm reciprocal square root in the gravity kernel, priced
+///      on the TM5600 model (the §3.2 motivation, in its application
+///      context);
+///  (d) network sensitivity of the 24-node run (Fast Ethernet vs gigabit).
+
+#include "arch/registry.hpp"
+#include "bench/bench_util.hpp"
+#include "treecode/direct.hpp"
+#include "treecode/ic.hpp"
+#include "treecode/parallel.hpp"
+#include "treecode/perf.hpp"
+
+int main() {
+  using namespace bladed;
+  using namespace bladed::treecode;
+  bench::print_header("Ablation", "Treecode design choices");
+
+  {  // (a) theta sweep
+    ParticleSet base = plummer_sphere(8000, 99);
+    Octree tree = Octree::build(base);
+    ParticleSet exact = base;
+    exact.zero_accelerations();
+    compute_forces_direct(exact, GravityParams{});
+    TablePrinter t({"theta", "RMS force error", "Interactions/particle",
+                    "Modelled TM5600 s/step"});
+    for (double theta : {0.3, 0.5, 0.7, 0.9, 1.2}) {
+      GravityParams g;
+      g.theta = theta;
+      ParticleSet p = base;
+      p.zero_accelerations();
+      const TraversalStats st = compute_forces(p, tree, g);
+      const double secs = arch::estimate_seconds(
+          arch::tm5600_633(), force_profile(st.ops));
+      t.add_row({TablePrinter::num(theta, 1),
+                 TablePrinter::num(rms_force_error(p, exact), 6),
+                 TablePrinter::num(double(st.interactions()) / 8000.0, 0),
+                 TablePrinter::num(secs, 3)});
+    }
+    std::printf("(a) opening angle: accuracy vs work (N=8000 Plummer)\n");
+    bench::print_table(t);
+  }
+
+  {  // (a2) quadrupole moments: accuracy per unit work
+    ParticleSet base = plummer_sphere(8000, 99);
+    Octree tree = Octree::build(base);
+    ParticleSet exact = base;
+    exact.zero_accelerations();
+    compute_forces_direct(exact, GravityParams{});
+    TablePrinter t({"Expansion", "theta", "RMS force error",
+                    "Modelled TM5600 s/step"});
+    for (double theta : {0.5, 0.8}) {
+      for (bool quad : {false, true}) {
+        GravityParams g;
+        g.theta = theta;
+        g.quadrupole = quad;
+        ParticleSet p = base;
+        p.zero_accelerations();
+        const TraversalStats st = compute_forces(p, tree, g);
+        t.add_row({quad ? "monopole+quadrupole" : "monopole",
+                   TablePrinter::num(theta, 1),
+                   TablePrinter::num(rms_force_error(p, exact), 6),
+                   TablePrinter::num(
+                       arch::estimate_seconds(arch::tm5600_633(),
+                                              force_profile(st.ops)),
+                       3)});
+      }
+    }
+    std::printf("(a2) multipole order: the quadrupole buys accuracy faster "
+                "than shrinking theta\n");
+    bench::print_table(t);
+  }
+
+  {  // (b) leaf capacity
+    TablePrinter t({"Leaf capacity", "Nodes", "Interactions/particle",
+                    "MAC tests/particle"});
+    for (int cap : {1, 4, 16, 64, 256}) {
+      ParticleSet p = plummer_sphere(8000, 99);
+      TreeParams params;
+      params.leaf_capacity = cap;
+      Octree tree = Octree::build(p, params);
+      p.zero_accelerations();
+      const TraversalStats st = compute_forces(p, tree, GravityParams{});
+      t.add_row({std::to_string(cap), std::to_string(tree.nodes().size()),
+                 TablePrinter::num(double(st.interactions()) / 8000.0, 0),
+                 TablePrinter::num(double(st.mac_tests) / 8000.0, 0)});
+    }
+    std::printf("(b) leaf capacity: tree size vs traversal work\n");
+    bench::print_table(t);
+  }
+
+  {  // (b2) traversal strategy: per-particle vs per-group interaction lists
+    TablePrinter t({"Traversal", "Leaf cap", "MAC tests/particle",
+                    "Interactions/particle", "Modelled TM5600 s/step"});
+    for (int cap : {16, 64}) {
+      ParticleSet p = plummer_sphere(8000, 99);
+      TreeParams params;
+      params.leaf_capacity = cap;
+      Octree tree = Octree::build(p, params);
+      for (bool grouped : {false, true}) {
+        ParticleSet q = p;
+        q.zero_accelerations();
+        const TraversalStats st =
+            grouped ? compute_forces_grouped(q, tree, GravityParams{})
+                    : compute_forces(q, tree, GravityParams{});
+        t.add_row({grouped ? "per-group list" : "per-particle",
+                   std::to_string(cap),
+                   TablePrinter::num(double(st.mac_tests) / 8000.0, 0),
+                   TablePrinter::num(double(st.interactions()) / 8000.0, 0),
+                   TablePrinter::num(
+                       arch::estimate_seconds(arch::tm5600_633(),
+                                              force_profile(st.ops)),
+                       3)});
+      }
+    }
+    std::printf("(b2) interaction lists amortize the tree walk over a "
+                "group (Warren-Salmon production structure)\n");
+    bench::print_table(t);
+  }
+
+  {  // (c) rsqrt implementation on the TM5600 model
+    ParticleSet p = plummer_sphere(8000, 99);
+    Octree tree = Octree::build(p);
+    TablePrinter t({"Kernel", "Flops counted", "TM5600 modelled s",
+                    "Modelled Mflops"});
+    for (auto [name, impl] :
+         {std::pair{"libm sqrt + divide", RsqrtImpl::kLibm},
+          std::pair{"Karp rsqrt", RsqrtImpl::kKarp}}) {
+      GravityParams g;
+      g.rsqrt = impl;
+      ParticleSet q = p;
+      q.zero_accelerations();
+      const TraversalStats st = compute_forces(q, tree, g);
+      const auto c =
+          arch::estimate(arch::tm5600_633(), force_profile(st.ops));
+      t.add_row({name,
+                 TablePrinter::grouped(
+                     static_cast<long long>(st.ops.flops())),
+                 TablePrinter::num(c.seconds, 3),
+                 TablePrinter::num(c.mflops, 1)});
+    }
+    std::printf("(c) gravity kernel rsqrt implementation (TM5600 model)\n");
+    bench::print_table(t);
+  }
+
+  {  // (d) network sensitivity at 24 ranks
+    TablePrinter t({"Network", "Elapsed s", "Sustained Gflops",
+                    "Parallel efficiency"});
+    for (auto [name, net] :
+         {std::pair{"Fast Ethernet hub (budget)",
+                    simnet::NetworkModel::fast_ethernet_hub()},
+          std::pair{"Fast Ethernet switch (paper)",
+                    simnet::NetworkModel::fast_ethernet()},
+          std::pair{"3x bonded NICs (the blades' option)",
+                    simnet::NetworkModel::fast_ethernet_bonded(3)},
+          std::pair{"Gigabit-class", simnet::NetworkModel::gigabit()}}) {
+      ParallelConfig cfg;
+      cfg.ranks = 24;
+      cfg.particles = 120000;
+      cfg.steps = 1;
+      cfg.cpu = &arch::tm5600_633();
+      cfg.network = net;
+      const ParallelResult r = run_parallel_nbody(cfg);
+      t.add_row({name, TablePrinter::num(r.elapsed_seconds, 2),
+                 TablePrinter::num(r.sustained_gflops, 2),
+                 TablePrinter::num(r.compute_seconds / r.elapsed_seconds,
+                                   2)});
+    }
+    std::printf("(d) interconnect sensitivity, 24 TM5600 blades\n");
+    bench::print_table(t);
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+#pragma once
+
+/// Shared helpers for the reproduction benches: uniform headers and the
+/// paper-vs-model table layout. Every bench prints (a) what the paper
+/// reports (verbatim where the ICPP text preserves it, reconstructed-from-
+/// prose otherwise — see EXPERIMENTS.md), and (b) what this repository's
+/// models/simulators produce, so the shape comparison is visible at a
+/// glance.
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace bladed::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& what) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("(Honey, I Shrunk the Beowulf!, ICPP 2002 — reproduction)\n");
+  std::printf("==================================================================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+inline void print_table(const TablePrinter& t) {
+  std::printf("%s\n", t.str().c_str());
+}
+
+}  // namespace bladed::bench

@@ -1,0 +1,70 @@
+/// "Making a case for a Green500 list": the paper's §4 metrics ranked over
+/// every machine in the repository's database — the list Feng's group
+/// published for real in 2007, previewed with 2002 data. Ranks by
+/// performance/power (the eventual Green500 metric) and contrasts with the
+/// Top500-style performance-only ordering.
+
+#include <algorithm>
+
+#include "bench/bench_util.hpp"
+#include "core/metrics.hpp"
+#include "core/presets.hpp"
+
+int main() {
+  using namespace bladed;
+  bench::print_header("Legacy", "A Green500 preview from 2002 data");
+
+  std::vector<core::ClusterSpec> machines = {
+      core::avalon(),      core::metablade(),  core::metablade2(),
+      core::green_destiny(), core::loki(),     core::alpha_24(),
+      core::pentium3_24(), core::pentium4_24(),
+  };
+
+  // Top500-style: raw sustained performance.
+  std::sort(machines.begin(), machines.end(),
+            [](const core::ClusterSpec& a, const core::ClusterSpec& b) {
+              return a.sustained_gflops > b.sustained_gflops;
+            });
+  {
+    TablePrinter t({"#", "Machine (by Gflops)", "Gflops"});
+    int rank = 1;
+    for (const auto& m : machines) {
+      t.add_row({std::to_string(rank++), m.name,
+                 TablePrinter::num(m.sustained_gflops, 1)});
+    }
+    std::printf("(a) the Top500 view: performance only\n");
+    bench::print_table(t);
+  }
+
+  // Green500-style: Gflops per kW, total power including cooling.
+  std::sort(machines.begin(), machines.end(),
+            [](const core::ClusterSpec& a, const core::ClusterSpec& b) {
+              return core::performance_per_power(a.sustained_gflops,
+                                                 a.total_power()) >
+                     core::performance_per_power(b.sustained_gflops,
+                                                 b.total_power());
+            });
+  {
+    TablePrinter t({"#", "Machine (by Gflops/kW)", "Gflops/kW", "kW",
+                    "Mflops/ft^2"});
+    int rank = 1;
+    for (const auto& m : machines) {
+      t.add_row({std::to_string(rank++), m.name,
+                 TablePrinter::num(core::performance_per_power(
+                                       m.sustained_gflops, m.total_power()),
+                                   2),
+                 TablePrinter::num(kilowatts(m.total_power()), 2),
+                 TablePrinter::num(core::performance_per_space(
+                                       m.sustained_gflops, m.area),
+                                   0)});
+    }
+    std::printf("(b) the Green500 view: performance per watt\n");
+    bench::print_table(t);
+  }
+
+  bench::print_note(
+      "every Transmeta blade system tops the efficiency ordering while "
+      "sitting mid-pack on raw performance — the inversion this paper's "
+      "metrics section was written to expose.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// Host-level microbenchmarks (google-benchmark): Karp's reciprocal square
+/// root vs the host libm on *this* machine — the §3.2 algorithmic claim is
+/// hardware-independent (replace an unpipelined sqrt+divide by multiplies)
+/// even though the absolute 2001 numbers come from the model. Also times
+/// the treecode building blocks so regressions in the real kernels are
+/// visible.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "microkernel/karp.hpp"
+#include "microkernel/microkernel.hpp"
+#include "treecode/ic.hpp"
+#include "treecode/traverse.hpp"
+
+namespace {
+
+using namespace bladed;
+
+void BM_LibmRsqrt(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> xs(4096);
+  for (double& x : xs) x = rng.uniform(0.01, 100.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const double x = xs[i++ & 4095];
+    benchmark::DoNotOptimize(1.0 / std::sqrt(x));
+  }
+}
+BENCHMARK(BM_LibmRsqrt);
+
+void BM_KarpRsqrt(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> xs(4096);
+  for (double& x : xs) x = rng.uniform(0.01, 100.0);
+  std::size_t i = 0;
+  const int iters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const double x = xs[i++ & 4095];
+    benchmark::DoNotOptimize(micro::karp_rsqrt(x, iters));
+  }
+}
+BENCHMARK(BM_KarpRsqrt)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Microkernel(benchmark::State& state) {
+  const auto impl = state.range(0) == 0 ? micro::SqrtImpl::kLibm
+                                        : micro::SqrtImpl::kKarp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(micro::run_microkernel(impl, 500).checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_Microkernel)->Arg(0)->Arg(1);
+
+void BM_TreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  treecode::ParticleSet base = treecode::plummer_sphere(n, 7);
+  for (auto _ : state) {
+    treecode::ParticleSet p = base;
+    benchmark::DoNotOptimize(treecode::Octree::build(p).nodes().size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_TreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_TreeForces(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  treecode::ParticleSet p = treecode::plummer_sphere(n, 7);
+  const treecode::Octree tree = treecode::Octree::build(p);
+  treecode::GravityParams g;
+  for (auto _ : state) {
+    p.zero_accelerations();
+    benchmark::DoNotOptimize(
+        treecode::compute_forces(p, tree, g).interactions());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_TreeForces)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

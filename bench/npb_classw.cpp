@@ -1,0 +1,123 @@
+/// Class-W-scale integration run of the full NPB suite (all eight codes,
+/// including the CG and FT extensions): real problem sizes at or near the
+/// NPB 2.3 class-W definitions, executed and verified on the host, with the
+/// modelled 2001-era runtimes for the four Table 3 processors printed
+/// alongside. This is the heavyweight companion to bench/table3_npb (which
+/// uses reduced calibration sizes — the rates are intensive, so the two
+/// agree; this bench demonstrates it at scale).
+
+#include <chrono>
+
+#include "arch/cost_model.hpp"
+#include "arch/registry.hpp"
+#include "bench/bench_util.hpp"
+#include "npb/bt.hpp"
+#include "npb/cg.hpp"
+#include "npb/ep.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/lu.hpp"
+#include "npb/mg.hpp"
+#include "npb/sp.hpp"
+
+namespace {
+
+using namespace bladed;
+
+struct Row {
+  std::string name, size;
+  bool verified;
+  OpCounter ops;
+  double host_seconds;
+  double dependency, miss;
+};
+
+template <class F>
+Row timed(const char* name, const char* size, double dependency, double miss,
+          F&& run) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto [verified, ops] = run();
+  const auto t1 = std::chrono::steady_clock::now();
+  Row r;
+  r.name = name;
+  r.size = size;
+  r.verified = verified;
+  r.ops = ops;
+  r.host_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.dependency = dependency;
+  r.miss = miss;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Integration", "NPB at class-W scale, verified");
+
+  std::vector<Row> rows;
+  rows.push_back(timed("BT", "24^3 x 3 sweeps", 0.30, 0.35, [] {
+    const npb::BtResult r = npb::run_bt(24, 3);
+    return std::pair(r.verified, r.ops);
+  }));
+  rows.push_back(timed("SP", "36^3 x 2 sweeps", 0.55, 0.40, [] {
+    const npb::SpResult r = npb::run_sp(36, 2);
+    return std::pair(r.verified, r.ops);
+  }));
+  rows.push_back(timed("LU", "32^3 x 8 SSOR sweeps", 0.50, 0.45, [] {
+    const npb::LuResult r = npb::run_lu(32, 8);
+    return std::pair(r.verified, r.ops);
+  }));
+  rows.push_back(timed("MG", "64^3 x 4 V-cycles", 0.15, 0.70, [] {
+    const npb::MgResult r = npb::run_mg(64, 4);
+    return std::pair(r.final_residual < 0.2 * r.initial_residual, r.ops);
+  }));
+  rows.push_back(timed("CG", "n=7000, nonzer=8, shift=12", 0.30, 0.85, [] {
+    const npb::CgResult r = npb::run_cg(7000, 8, 4, 12.0);
+    return std::pair(
+        r.residual_history.back() < r.residual_history.front(), r.ops);
+  }));
+  rows.push_back(timed("FT", "128x128x32 x 3 steps", 0.25, 0.75, [] {
+    const npb::FtResult r = npb::run_ft(128, 128, 32, 3);
+    return std::pair(r.verified, r.ops);
+  }));
+  rows.push_back(timed("EP", "2^25 pairs (class W)", 0.30, 0.02, [] {
+    const npb::EpResult r = npb::run_ep(npb::kEpClassW);
+    const double rate = double(r.accepted) / double(r.pairs);
+    return std::pair(r.count_sum() == r.accepted && rate > 0.78 &&
+                         rate < 0.79,
+                     r.ops);
+  }));
+  rows.push_back(timed("IS", "2^20 keys, 2^16 buckets (class W)", 0.25, 0.80,
+                       [] {
+                         const npb::IsResult r = npb::run_is(20, 16, 10);
+                         return std::pair(r.ranks_sort_keys &&
+                                              r.ranks_are_permutation,
+                                          r.ops);
+                       }));
+
+  TablePrinter t({"Code", "Problem", "Verified", "Gop counted",
+                  "Host s", "TM5600 s", "PIII s", "Power3 s", "Athlon s"});
+  for (const Row& r : rows) {
+    arch::KernelProfile p;
+    p.name = r.name;
+    p.ops = r.ops;
+    p.dependency = r.dependency;
+    p.miss_intensity = r.miss;
+    std::vector<std::string> cells{
+        r.name, r.size, r.verified ? "yes" : "NO",
+        TablePrinter::num(double(r.ops.flops() + r.ops.iop) / 1e9, 2),
+        TablePrinter::num(r.host_seconds, 2)};
+    for (const char* cpu : {"TM5600", "PIII", "Power3", "AthlonMP"}) {
+      cells.push_back(TablePrinter::num(
+          arch::estimate_seconds(arch::by_short_name(cpu), p), 1));
+    }
+    t.add_row(cells);
+  }
+  bench::print_table(t);
+
+  bench::print_note(
+      "modelled 2001 runtimes are per full problem; Mop/s rates match "
+      "bench/table3_npb because the rates are size-intensive. Every code "
+      "verified on this host before being priced.");
+  return 0;
+}

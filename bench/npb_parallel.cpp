@@ -1,0 +1,89 @@
+/// Parallel NPB on the simulated MetaBlade: EP (class W, 2^25 pairs) and IS
+/// (class W, 2^20 keys) scaled across the 24 blades — the experiment that
+/// naturally follows the paper's single-processor Table 3. EP scales almost
+/// perfectly (its communication is a few allreduces); IS is throttled by
+/// the bucket-histogram exchange on Fast Ethernet — together they bracket
+/// how NPB-class workloads behave on the Bladed Beowulf.
+
+#include "arch/registry.hpp"
+#include "bench/bench_util.hpp"
+#include "npb/parallel.hpp"
+
+int main() {
+  using namespace bladed;
+  bench::print_header("Parallel NPB", "EP and IS on the 24-blade MetaBlade");
+
+  npb::ParallelNpbConfig cfg;
+  cfg.cpu = &arch::tm5600_633();
+  cfg.network = simnet::NetworkModel::fast_ethernet();
+
+  {
+    TablePrinter t({"Blades", "Time (s)", "Speedup", "Efficiency",
+                    "Mpairs/s"});
+    double t1 = 0.0;
+    for (int ranks : {1, 2, 4, 8, 16, 24}) {
+      cfg.ranks = ranks;
+      const npb::ParallelEpResult r =
+          run_parallel_ep(cfg, npb::kEpClassW);
+      if (ranks == 1) t1 = r.elapsed_seconds;
+      t.add_row({std::to_string(ranks),
+                 TablePrinter::num(r.elapsed_seconds, 2),
+                 TablePrinter::num(t1 / r.elapsed_seconds, 2),
+                 TablePrinter::num(t1 / r.elapsed_seconds / ranks, 2),
+                 TablePrinter::num(static_cast<double>(r.global.pairs) /
+                                       r.elapsed_seconds / 1e6,
+                                   1)});
+    }
+    std::printf("EP class W (2^25 Gaussian pairs)\n");
+    bench::print_table(t);
+  }
+
+  {
+    TablePrinter t({"Blades", "Time (s)", "Speedup", "Efficiency",
+                    "Comm (MB)", "Verified"});
+    double t1 = 0.0;
+    for (int ranks : {1, 2, 4, 8, 16, 24}) {
+      cfg.ranks = ranks;
+      const npb::ParallelIsResult r = run_parallel_is(cfg, 20, 16, 10);
+      if (ranks == 1) t1 = r.elapsed_seconds;
+      t.add_row({std::to_string(ranks),
+                 TablePrinter::num(r.elapsed_seconds, 2),
+                 TablePrinter::num(t1 / r.elapsed_seconds, 2),
+                 TablePrinter::num(t1 / r.elapsed_seconds / ranks, 2),
+                 TablePrinter::num(static_cast<double>(r.bytes) / 1e6, 1),
+                 r.globally_sorted ? "yes" : "NO"});
+    }
+    std::printf("IS class W (2^20 keys, 2^16 buckets, 10 rankings)\n");
+    bench::print_table(t);
+  }
+
+  {
+    TablePrinter t({"Blades", "Time (s)", "Speedup", "Efficiency",
+                    "Comm (MB)", "Residual drop"});
+    double t1 = 0.0;
+    for (int ranks : {1, 2, 4, 8, 16, 24}) {
+      cfg.ranks = ranks;
+      const npb::ParallelStencilResult r =
+          run_parallel_stencil(cfg, 64, 20);
+      if (ranks == 1) t1 = r.elapsed_seconds;
+      t.add_row({std::to_string(ranks),
+                 TablePrinter::num(r.elapsed_seconds, 2),
+                 TablePrinter::num(t1 / r.elapsed_seconds, 2),
+                 TablePrinter::num(t1 / r.elapsed_seconds / ranks, 2),
+                 TablePrinter::num(static_cast<double>(r.bytes) / 1e6, 1),
+                 TablePrinter::num(r.final_residual / r.initial_residual,
+                                   3)});
+    }
+    std::printf("Stencil relaxation, 64^3 grid, 20 sweeps (MG's halo "
+                "pattern; results bitwise-identical at every rank count)\n");
+    bench::print_table(t);
+  }
+
+  bench::print_note(
+      "the three canonical regimes on one Fast Ethernet star: EP "
+      "(allreduce-only) scales near-perfectly, the halo-exchange stencil "
+      "scales to the point where two ghost planes rival a slab's compute, "
+      "and dense-histogram IS anti-scales — the communication spectrum the "
+      "paper's star-topology cluster serves.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// Roofline report: every instrumented kernel in this repository placed on
+/// each measured CPU's roofline — the one-page explanation of the
+/// performance tables. Kernels left of the ridge are memory-ceilinged (the
+/// treecode, IS, MG); kernels right of it are compute-ceilinged (EP, the
+/// microkernel).
+
+#include "arch/registry.hpp"
+#include "arch/roofline.hpp"
+#include "bench/bench_util.hpp"
+#include "microkernel/microkernel.hpp"
+#include "npb/suite.hpp"
+#include "treecode/ic.hpp"
+#include "treecode/perf.hpp"
+#include "treecode/traverse.hpp"
+
+int main() {
+  using namespace bladed;
+  bench::print_header("Roofline", "Kernels on the 2001 CPU models");
+
+  // Assemble the kernel set: microkernel variants, treecode, the NPB suite.
+  std::vector<arch::KernelProfile> kernels;
+  kernels.push_back(
+      micro::microkernel_profile(micro::SqrtImpl::kLibm, true));
+  kernels.push_back(
+      micro::microkernel_profile(micro::SqrtImpl::kKarp, true));
+  {
+    treecode::ParticleSet p = treecode::plummer_sphere(10000, 42);
+    treecode::Octree tree = treecode::Octree::build(p);
+    p.zero_accelerations();
+    const treecode::TraversalStats st =
+        treecode::compute_forces(p, tree, treecode::GravityParams{});
+    kernels.push_back(treecode::force_profile(st.ops));
+  }
+  for (const npb::KernelRun& k : npb::run_suite()) {
+    kernels.push_back(k.profile);
+  }
+
+  for (const char* cpu_name : {"TM5600", "PIII", "Power3"}) {
+    const arch::ProcessorModel& cpu = arch::by_short_name(cpu_name);
+    TablePrinter t({"Kernel", "Flops/mem-op", "Achieved Mflops",
+                    "Mem ceiling", "Peak", "Bound", "% of roof"});
+    for (const arch::RooflinePoint& pt : arch::roofline(cpu, kernels)) {
+      t.add_row({pt.kernel, TablePrinter::num(pt.intensity, 2),
+                 TablePrinter::num(pt.achieved_mflops, 1),
+                 TablePrinter::num(pt.memory_ceiling_mflops, 0),
+                 TablePrinter::num(pt.peak_mflops, 0),
+                 pt.compute_bound() ? "compute" : "memory",
+                 TablePrinter::num(pt.percent_of_roof(), 0)});
+    }
+    std::printf("%s (%s, %.0f MHz)\n", cpu.short_name.c_str(),
+                cpu.name.c_str(), cpu.clock.value());
+    bench::print_table(t);
+  }
+
+  bench::print_note(
+      "reading: the treecode and IS sit under the memory ceiling on every "
+      "2001 machine — why the TM5600's modest memory system still sustains "
+      "a competitive fraction of its (low) peak, which is the paper's "
+      "whole per-processor story.");
+  return 0;
+}

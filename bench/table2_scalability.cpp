@@ -1,0 +1,50 @@
+/// Table 2: scalability of the N-body simulation on the MetaBlade Bladed
+/// Beowulf (1 -> 24 CPUs). The parallel treecode really runs (Morton
+/// decomposition + locally-essential-tree exchange with real payloads) on
+/// the simnet virtual cluster: 633-MHz TM5600 nodes on a 100 Mb/s Fast
+/// Ethernet star, compute time priced by the calibrated CPU model. The
+/// problem is a scaled stand-in (the paper integrated 9.75M particles; we
+/// use a size whose compute:communication ratio lands in the same
+/// efficiency regime on 24 nodes).
+
+#include "arch/registry.hpp"
+#include "bench/bench_util.hpp"
+#include "treecode/parallel.hpp"
+
+int main() {
+  using namespace bladed;
+  bench::print_header("Table 2",
+                      "Scalability of an N-body simulation on MetaBlade");
+
+  constexpr std::size_t kParticles = 48000;
+  std::printf("workload: Plummer sphere, N = %zu, theta = 0.7, 1 step\n\n",
+              kParticles);
+
+  TablePrinter t({"# CPUs", "Time (sec)", "Speed-Up", "Efficiency",
+                  "Comm (MB)"});
+  double t1 = 0.0;
+  for (int ranks : {1, 2, 4, 8, 16, 24}) {
+    treecode::ParallelConfig cfg;
+    cfg.ranks = ranks;
+    cfg.particles = kParticles;
+    cfg.steps = 1;
+    cfg.cpu = &arch::tm5600_633();
+    cfg.network = simnet::NetworkModel::fast_ethernet();
+    const treecode::ParallelResult r = treecode::run_parallel_nbody(cfg);
+    if (ranks == 1) t1 = r.elapsed_seconds;
+    const double speedup = t1 / r.elapsed_seconds;
+    t.add_row({std::to_string(ranks),
+               TablePrinter::num(r.elapsed_seconds, 2),
+               TablePrinter::num(speedup, 2),
+               TablePrinter::num(speedup / ranks, 2),
+               TablePrinter::num(static_cast<double>(r.bytes) / 1e6, 1)});
+  }
+  bench::print_table(t);
+
+  bench::print_note(
+      "paper shape (digits lost in the scan): near-linear speedup at small "
+      "CPU counts with efficiency dropping from communication overhead at "
+      "24 — \"in line with those for traditional clusters\"; the highly "
+      "parallel code still loses ground to Fast Ethernet latency/bandwidth.");
+  return 0;
+}

@@ -1,0 +1,42 @@
+/// Table 6: performance/space ratio — the traditional 140-node Avalon
+/// Beowulf vs the 24-blade MetaBlade vs the 240-blade Green Destiny rack
+/// (same six-square-foot footprint as MetaBlade).
+
+#include "bench/bench_util.hpp"
+#include "core/metrics.hpp"
+#include "core/presets.hpp"
+
+int main() {
+  using namespace bladed;
+  bench::print_header("Table 6", "Performance/space ratio");
+
+  TablePrinter t({"Machine", "Perf (Gflops)", "Area (ft^2)",
+                  "Perf/Space (Mflops/ft^2)"});
+  const core::ClusterSpec machines[] = {core::avalon(), core::metablade(),
+                                        core::green_destiny()};
+  double avalon_ratio = 0.0;
+  for (const core::ClusterSpec& m : machines) {
+    const double ratio =
+        core::performance_per_space(m.sustained_gflops, m.area);
+    if (m.name == "Avalon") avalon_ratio = ratio;
+    t.add_row({m.name, TablePrinter::num(m.sustained_gflops, 1),
+               TablePrinter::num(m.area.value(), 0),
+               TablePrinter::num(ratio, 0)});
+  }
+  bench::print_table(t);
+
+  const double mb = core::performance_per_space(
+      core::metablade().sustained_gflops, core::metablade().area);
+  const double gd = core::performance_per_space(
+      core::green_destiny().sustained_gflops, core::green_destiny().area);
+  std::printf("MetaBlade / Avalon:     %.1fx  (paper: \"a factor of two\")\n",
+              mb / avalon_ratio);
+  std::printf("GreenDestiny / Avalon: %.1fx  (paper: \"over twenty-fold\")\n\n",
+              gd / avalon_ratio);
+
+  bench::print_note(
+      "Avalon figures are the authors' published sustained numbers; the "
+      "Bladed Beowulf rows use the paper's measured (MetaBlade) and "
+      "predicted (Green Destiny = 10 chassis of 800-MHz blades) rates.");
+  return 0;
+}

@@ -1,0 +1,40 @@
+/// Table 7: performance/power ratio (Gflops per kilowatt) for Avalon,
+/// MetaBlade and Green Destiny. Power totals include the cooling burden:
+/// +0.5 W per dissipated W for conventionally cooled machines, nothing for
+/// the convection-cooled blades (§2.1/§4.1).
+
+#include "bench/bench_util.hpp"
+#include "core/metrics.hpp"
+#include "core/presets.hpp"
+
+int main() {
+  using namespace bladed;
+  bench::print_header("Table 7", "Performance/power ratio");
+
+  TablePrinter t({"Machine", "Perf (Gflops)", "Power (kW)",
+                  "Perf/Power (Gflops/kW)"});
+  const core::ClusterSpec machines[] = {core::avalon(), core::metablade(),
+                                        core::green_destiny()};
+  double avalon_ratio = 0.0, mb_ratio = 0.0, gd_ratio = 0.0;
+  for (const core::ClusterSpec& m : machines) {
+    const double ratio =
+        core::performance_per_power(m.sustained_gflops, m.total_power());
+    if (m.name == "Avalon") avalon_ratio = ratio;
+    if (m.name.starts_with("MetaBlade")) mb_ratio = ratio;
+    if (m.name.starts_with("Green")) gd_ratio = ratio;
+    t.add_row({m.name, TablePrinter::num(m.sustained_gflops, 1),
+               TablePrinter::num(kilowatts(m.total_power()), 2),
+               TablePrinter::num(ratio, 2)});
+  }
+  bench::print_table(t);
+
+  std::printf("MetaBlade / Avalon:     %.1fx  (paper: \"a factor of four\")\n",
+              mb_ratio / avalon_ratio);
+  std::printf("GreenDestiny / Avalon:  %.1fx  (TM5800 blades are better still)\n\n",
+              gd_ratio / avalon_ratio);
+
+  bench::print_note(
+      "node power: 85 W Alpha nodes x 140 (+50% machine-room cooling) vs "
+      "25 W TM5600 blades x 24 and 20 W TM5800 blades x 240, no cooling.");
+  return 0;
+}

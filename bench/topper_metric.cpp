@@ -1,0 +1,50 @@
+/// §4.1 headline numbers: ToPPeR (Total Price-Performance Ratio, price =
+/// TCO) vs the traditional acquisition-only price/performance ratio, for
+/// the Bladed Beowulf against a comparable traditional cluster — plus the
+/// 240-node space-cost scale-up footnote (33x).
+
+#include "bench/bench_util.hpp"
+#include "core/metrics.hpp"
+#include "core/presets.hpp"
+
+int main() {
+  using namespace bladed;
+  bench::print_header("§4.1", "ToPPeR: Total Price-Performance Ratio");
+
+  const core::CostContext ctx;
+  TablePrinter t({"Cluster", "Sustained Gflops", "Acq $/Mflops",
+                  "ToPPeR $/Mflops", "TCO $K"});
+  for (const core::ClusterSpec& c :
+       {core::pentium3_24(), core::alpha_24(), core::pentium4_24(),
+        core::metablade()}) {
+    const core::MetricReport r = core::evaluate(c, ctx);
+    t.add_row({c.name, TablePrinter::num(c.sustained_gflops, 2),
+               TablePrinter::num(r.price_perf, 2),
+               TablePrinter::num(r.topper, 2),
+               TablePrinter::num(r.tco.total().value() / 1000.0, 0)});
+  }
+  bench::print_table(t);
+
+  const core::MetricReport blade = core::evaluate(core::metablade(), ctx);
+  const core::MetricReport trad = core::evaluate(core::pentium3_24(), ctx);
+  std::printf("acquisition price/perf, blade vs traditional: %.2fx worse "
+              "(paper: ~2x more expensive, \"no reason ... other than "
+              "novelty\")\n",
+              blade.price_perf / trad.price_perf);
+  std::printf("ToPPeR, blade vs traditional: %.2fx (paper: \"less than "
+              "half\", i.e. over twice as good)\n\n",
+              blade.topper / trad.topper);
+
+  // The §4.1 footnote: scale both designs to 240 nodes and compare space
+  // cost over four years.
+  const double blade240 =
+      core::green_destiny().area.value() * ctx.space_rate_per_sqft_year *
+      ctx.years;
+  const double trad240 = 10.0 * core::alpha_24().area.value() *
+                         ctx.space_rate_per_sqft_year * ctx.years;
+  std::printf("240-node space cost over 4 years: blades $%.0f vs "
+              "traditional $%.0f -> %.0fx (paper: \"33 times more "
+              "expensive\")\n",
+              blade240, trad240, trad240 / blade240);
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// CMS demo: watch the Code Morphing Software work (§2.2). Runs the
+/// Newton-Raphson reciprocal-square-root loop through the morphing engine
+/// and narrates what happened: which regions were interpreted, when the
+/// translator fired, how the translation cache amortized the cost, and what
+/// the VLIW molecules look like.
+
+#include <cstdio>
+
+#include "cms/engine.hpp"
+#include "cms/programs.hpp"
+
+int main() {
+  using namespace bladed::cms;
+
+  const std::int64_t kIters = 5000;
+  const Program prog = nr_rsqrt_program(kIters);
+  std::printf("program: %zu instructions; NR rsqrt loop, %lld iterations\n",
+              prog.size(), static_cast<long long>(kIters));
+  std::printf("input: x = 2.0 (expect 1/sqrt(2) = 0.70710678)\n\n");
+
+  MorphingEngine engine;
+  MachineState st(64);
+  st.mem[0] = 2.0;
+  const MorphingStats s = engine.run(prog, st);
+
+  std::printf("result: mem[1] = %.8f\n\n", st.mem[1]);
+  std::printf("how CMS executed it:\n");
+  std::printf("  interpreted instructions : %llu (cold code + warmup)\n",
+              static_cast<unsigned long long>(s.interpreted_instructions));
+  std::printf("  translations             : %llu region(s)\n",
+              static_cast<unsigned long long>(s.translations));
+  std::printf("  native block executions  : %llu (out of the cache)\n",
+              static_cast<unsigned long long>(s.native_block_executions));
+  std::printf("  cycles: interpret %llu + translate %llu + native %llu "
+              "= %llu total\n",
+              static_cast<unsigned long long>(s.interpret_cycles),
+              static_cast<unsigned long long>(s.translate_cycles),
+              static_cast<unsigned long long>(s.native_cycles),
+              static_cast<unsigned long long>(s.total_cycles));
+
+  MachineState st2(64);
+  st2.mem[0] = 2.0;
+  const std::uint64_t interp = engine.interpret_only_cycles(prog, st2);
+  std::printf("  pure interpretation would cost %llu cycles -> CMS speedup "
+              "%.1fx\n\n",
+              static_cast<unsigned long long>(interp),
+              static_cast<double>(interp) /
+                  static_cast<double>(s.total_cycles));
+
+  // Show the molecules of the hot loop body.
+  Translator tr;
+  const Translation t = tr.translate(prog, 6);
+  std::printf("the hot loop body as VLIW molecules (%.2f atoms/molecule, "
+              "%llu cycles/execution):\n",
+              t.density(),
+              static_cast<unsigned long long>(t.native_cycles()));
+  for (std::size_t m = 0; m < t.molecules.size(); ++m) {
+    const Molecule& mol = t.molecules[m];
+    std::printf("  molecule %2zu:", m);
+    for (int a = 0; a < mol.atoms; ++a) {
+      const Instr& in = prog[mol.atom_pc[static_cast<std::size_t>(a)]];
+      std::printf(" [%s]", to_string(in.op).c_str());
+    }
+    if (mol.atoms == 0) std::printf(" (latency bubble)");
+    if (mol.stall > 0) std::printf(" +%d stall", mol.stall);
+    std::printf("\n");
+  }
+  std::printf("\nthe serial NR dependence chain limits packing here — "
+              "exactly why the paper's §3.2 microkernel 'suffers a bit' "
+              "untuned on the Transmeta.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// Galaxy collision: two Plummer spheres on a collision course, integrated
+/// with the treecode; writes CSV snapshots you can plot (gnuplot/python)
+/// to see the merger — the same class of simulation as the paper's
+/// Figure 3 run, at desktop scale.
+///
+/// Usage: galaxy [n_particles] [steps] [output_prefix]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "treecode/ic.hpp"
+#include "treecode/io.hpp"
+#include "treecode/integrator.hpp"
+
+namespace {
+
+void write_snapshot(const bladed::treecode::ParticleSet& p,
+                    const std::string& path) {
+  bladed::treecode::write_csv(p, path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bladed::treecode;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8000;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 60;
+  const std::string prefix = argc > 3 ? argv[3] : "galaxy";
+
+  std::printf("two %zu/2-particle Plummer spheres, separation 6, closing "
+              "speed 0.45\n",
+              n);
+  ParticleSet p = colliding_pair(n, /*seed=*/7, /*separation=*/6.0,
+                                 /*closing_speed=*/0.45);
+
+  GravityParams gravity;
+  gravity.theta = 0.8;
+  gravity.softening = 0.02;
+  LeapfrogIntegrator integrator(gravity, TreeParams{}, /*dt=*/0.05);
+
+  write_snapshot(p, prefix + "_000.csv");
+  double e0 = 0.0;
+  for (int s = 1; s <= steps; ++s) {
+    const StepStats st = integrator.step(p);
+    if (s == 1) e0 = st.total_energy();
+    if (s % 10 == 0 || s == steps) {
+      char name[256];
+      std::snprintf(name, sizeof name, "%s_%03d.csv", prefix.c_str(), s);
+      write_snapshot(p, name);
+      const auto com = p.center_of_mass();
+      std::printf("step %3d: E=%.4f (drift %.1e), %llu interactions, "
+                  "com=(%.3f,%.3f)\n",
+                  s, st.total_energy(),
+                  std::abs(st.total_energy() - e0) / std::abs(e0),
+                  static_cast<unsigned long long>(
+                      st.traversal.interactions()),
+                  com.x, com.y);
+    }
+  }
+  std::printf("snapshots written as %s_NNN.csv — plot x,y to watch the "
+              "merger\n",
+              prefix.c_str());
+  return 0;
+}

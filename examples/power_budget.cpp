@@ -1,0 +1,85 @@
+/// Power-budget explorer: size a Bladed Beowulf for a power envelope. Given
+/// a wall-socket budget (kW) and a nightly deadline for a treecode
+/// workload, find how many blades fit, whether the deadline is met, and
+/// what LongRun does to the energy bill — the operational question the
+/// paper's §4.3 metric exists to answer.
+///
+/// Usage: power_budget [kW_budget] [particles] [deadline_hours]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/registry.hpp"
+#include "common/table.hpp"
+#include "power/electricity.hpp"
+#include "power/longrun.hpp"
+#include "treecode/ic.hpp"
+#include "treecode/parallel.hpp"
+#include "treecode/perf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bladed;
+  const double kw_budget = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const std::size_t particles =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 48000;
+  const double deadline_h = argc > 3 ? std::atof(argv[3]) : 8.0;
+
+  constexpr double kBladeWatts = 25.0;  // TM5600 blade incl. chassis share
+  const int blades = std::max(
+      1, static_cast<int>(kw_budget * 1000.0 / kBladeWatts));
+  std::printf("budget %.2f kW -> %d convection-cooled TM5600 blades "
+              "(a traditional 85 W/node cluster fits only %d nodes "
+              "+ cooling)\n\n",
+              kw_budget, blades, static_cast<int>(kw_budget * 1000.0 /
+                                                  (85.0 * 1.5)));
+
+  // Simulate the nightly job on the blade count the budget allows.
+  treecode::ParallelConfig cfg;
+  cfg.ranks = std::min(blades, 24);  // one chassis per 24; cap for the demo
+  cfg.particles = particles;
+  cfg.steps = 2;
+  cfg.cpu = &arch::tm5600_633();
+  const treecode::ParallelResult run = treecode::run_parallel_nbody(cfg);
+  const double steps_per_night =
+      deadline_h * 3600.0 / (run.elapsed_seconds / cfg.steps);
+  std::printf("simulated %d-blade run: %.2f s/step, %.2f Gflops sustained "
+              "-> %.0f steps fit in the %.1f h window\n\n",
+              cfg.ranks, run.elapsed_seconds / cfg.steps,
+              run.sustained_gflops, steps_per_night, deadline_h);
+
+  // LongRun: if the night allows slack, clock the blades down.
+  const power::LongRunLadder ladder = power::tm5600_ladder();
+  treecode::ParticleSet p = treecode::plummer_sphere(20000, 1);
+  treecode::Octree tree = treecode::Octree::build(p);
+  p.zero_accelerations();
+  const treecode::TraversalStats st =
+      treecode::compute_forces(p, tree, treecode::GravityParams{});
+  const arch::KernelProfile profile = treecode::force_profile(st.ops);
+
+  TablePrinter t({"Strategy", "State (MHz)", "CPU energy/unit (J)",
+                  "4-yr electricity, cluster"});
+  for (const auto& [name, state] :
+       {std::pair{"race-to-idle", ladder.top()},
+        std::pair{"LongRun optimum",
+                  power::pick_state(cfg.cpu[0], ladder, profile,
+                                    3.0 * power::energy_to_solution(
+                                              *cfg.cpu, ladder, profile,
+                                              ladder.top())
+                                              .seconds)}}) {
+    const power::EnergyReport r =
+        power::energy_to_solution(*cfg.cpu, ladder, profile, state);
+    const Watts cluster_watts =
+        Watts(r.watts.value() + 19.0) * static_cast<double>(cfg.ranks);
+    const Dollars bill =
+        power::electricity_cost(cluster_watts, 4.0, power::UtilityRate{});
+    t.add_row({name, TablePrinter::num(state.frequency.value(), 0),
+               TablePrinter::num(r.joules, 1),
+               "$" + TablePrinter::num(bill.value(), 0)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("the blades' story in one line: a fixed power socket buys "
+              "%.1fx more TM5600 nodes than conventionally cooled "
+              "traditional nodes.\n",
+              (1000.0 / kBladeWatts) / (1000.0 / (85.0 * 1.5)));
+  return 0;
+}

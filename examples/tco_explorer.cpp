@@ -1,0 +1,64 @@
+/// TCO explorer: build your own cluster description on the command line and
+/// compare its total cost of ownership and ToPPeR against the paper's
+/// presets — the tool a procurement discussion in 2002 would have wanted.
+///
+/// Usage: tco_explorer [nodes] [node_watts] [area_ft2] [acq_$K] [gflops]
+///                     [years]
+/// Defaults model a mid-size rack of 1U servers.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "core/metrics.hpp"
+#include "core/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bladed;
+
+  core::ClusterSpec mine;
+  mine.name = "your cluster";
+  mine.nodes = argc > 1 ? std::atoi(argv[1]) : 32;
+  mine.node_watts = Watts(argc > 2 ? std::atof(argv[2]) : 70.0);
+  mine.area = SquareFeet(argc > 3 ? std::atof(argv[3]) : 24.0);
+  mine.hardware_cost = Dollars((argc > 4 ? std::atof(argv[4]) : 40.0) * 1000);
+  mine.sustained_gflops = argc > 5 ? std::atof(argv[5]) : 3.5;
+  core::CostContext ctx;
+  ctx.years = argc > 6 ? std::atof(argv[6]) : 4.0;
+
+  // Traditional assumptions for the operating-cost side; edit to taste.
+  mine.cooling = power::Cooling::kActive;
+  mine.sysadmin.annual_labor = Dollars(15000.0);
+  mine.downtime.cluster_failures_per_year = 6.0;
+  mine.downtime.repair_time = Hours(4.0);
+  mine.downtime.whole_cluster_outage = true;
+  core::validate(mine);
+
+  std::printf("comparing over a %.0f-year operating life "
+              "($%.2f/kWh, $%.0f/ft^2/yr, $%.0f/CPU-hour)\n\n",
+              ctx.years, ctx.utility.dollars_per_kwh,
+              ctx.space_rate_per_sqft_year, ctx.dollars_per_cpu_hour);
+
+  TablePrinter t({"Cluster", "Nodes", "kW", "TCO $K", "AC share %",
+                  "ToPPeR $/Mflops", "Gflops/kW", "Mflops/ft^2"});
+  for (const core::ClusterSpec& c :
+       {mine, core::metablade(), core::metablade2(), core::pentium4_24(),
+        core::avalon(), core::green_destiny()}) {
+    const core::MetricReport r = core::evaluate(c, ctx);
+    t.add_row({c.name, std::to_string(c.nodes),
+               TablePrinter::num(kilowatts(c.total_power()), 2),
+               TablePrinter::num(r.tco.total().value() / 1000.0, 1),
+               TablePrinter::num(
+                   100.0 * (r.tco.acquisition() / r.tco.total()), 0),
+               TablePrinter::num(r.topper, 2),
+               TablePrinter::num(r.perf_power, 2),
+               TablePrinter::num(r.perf_space, 0)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("the paper's point, visible above: acquisition is a minority "
+              "of what a traditional cluster costs — administration, power, "
+              "space and downtime dominate, and the blades shrink all "
+              "four.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "arch/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bladed::arch {
+
+CostBreakdown estimate(const ProcessorModel& cpu, const KernelProfile& p) {
+  BLADED_REQUIRE(cpu.clock.value() > 0.0);
+  BLADED_REQUIRE(p.scale > 0.0);
+  const OpCounter& o = p.ops;
+
+  CostBreakdown r;
+  // Adds and muls overlap up to the per-pipe and combined issue limits;
+  // divides and square roots are unpipelined on every modelled CPU and
+  // serialize behind the pipelined work.
+  const double fadd = static_cast<double>(o.fadd);
+  const double fmul = static_cast<double>(o.fmul);
+  const double fp_pipe =
+      std::max({fadd / cpu.fp_add_per_cycle, fmul / cpu.fp_mul_per_cycle,
+                (fadd + fmul) / cpu.fp_issue_per_cycle});
+  r.fp_cycles = fp_pipe + static_cast<double>(o.fdiv) * cpu.fdiv_cycles +
+                static_cast<double>(o.fsqrt) * cpu.fsqrt_cycles;
+  r.int_cycles = static_cast<double>(o.iop) / cpu.int_per_cycle;
+  r.mem_cycles =
+      static_cast<double>(o.mem_ops()) / cpu.mem_per_cycle +
+      static_cast<double>(o.mem_ops()) * p.miss_intensity * cpu.mem_penalty_cycles;
+  r.branch_cycles = static_cast<double>(o.branch) * cpu.branch_cycles;
+
+  const double serial =
+      r.fp_cycles + r.int_cycles + r.mem_cycles + r.branch_cycles;
+  const double overlapped = std::max(
+      {r.fp_cycles, r.int_cycles, r.mem_cycles, r.branch_cycles});
+
+  // Serial dependency chains defeat overlap regardless of issue hardware:
+  // scale the achievable ILP fraction down by the kernel's dependence.
+  const double ilp_eff = cpu.ilp * (1.0 - p.dependency);
+  double cycles = ilp_eff * overlapped + (1.0 - ilp_eff) * serial;
+  cycles *= cpu.morph_overhead;
+  cycles /= cpu.tuning;
+  cycles *= p.scale;
+
+  r.total_cycles = cycles;
+  r.seconds = cycles / cpu.clock_hz();
+  if (r.seconds > 0.0) {
+    const double flops =
+        static_cast<double>(o.flops()) * p.scale;
+    const double allops =
+        (static_cast<double>(o.flops()) + static_cast<double>(o.iop)) * p.scale;
+    r.mflops = flops / r.seconds / 1e6;
+    r.mops = allops / r.seconds / 1e6;
+    r.percent_of_peak = 100.0 * r.mflops / cpu.peak_mflops();
+  }
+  return r;
+}
+
+double estimate_mflops(const ProcessorModel& cpu, const KernelProfile& p) {
+  return estimate(cpu, p).mflops;
+}
+
+double estimate_seconds(const ProcessorModel& cpu, const KernelProfile& p) {
+  return estimate(cpu, p).seconds;
+}
+
+}  // namespace bladed::arch

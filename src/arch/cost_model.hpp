@@ -1,0 +1,37 @@
+#pragma once
+
+/// The analytic cost model that stands in for running on the real 2001-era
+/// hardware: operation counts + processor description -> cycles, seconds,
+/// Mflop/s. See DESIGN.md §1 for why this substitution preserves the paper's
+/// observable behaviour.
+
+#include "arch/kernel_profile.hpp"
+#include "arch/processor.hpp"
+
+namespace bladed::arch {
+
+struct CostBreakdown {
+  double fp_cycles = 0.0;
+  double int_cycles = 0.0;
+  double mem_cycles = 0.0;
+  double branch_cycles = 0.0;
+  double total_cycles = 0.0;  ///< after ILP overlap, morphing tax and tuning
+  double seconds = 0.0;
+  double mflops = 0.0;        ///< useful flops / time
+  double mops = 0.0;          ///< all counted ops / time (NPB "Mop/s" sense)
+  double percent_of_peak = 0.0;
+};
+
+/// Estimate the cost of one run of `profile` on `cpu`.
+[[nodiscard]] CostBreakdown estimate(const ProcessorModel& cpu,
+                                     const KernelProfile& profile);
+
+/// Convenience: sustained Mflop/s of `profile` on `cpu`.
+[[nodiscard]] double estimate_mflops(const ProcessorModel& cpu,
+                                     const KernelProfile& profile);
+
+/// Convenience: wall-clock seconds of one run of `profile` on `cpu`.
+[[nodiscard]] double estimate_seconds(const ProcessorModel& cpu,
+                                      const KernelProfile& profile);
+
+}  // namespace bladed::arch

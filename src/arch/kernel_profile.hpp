@@ -1,0 +1,33 @@
+#pragma once
+
+/// A kernel's dynamic behaviour, as fed to the architecture cost model.
+/// Profiles are produced by *running* the instrumented kernels in this
+/// repository (microkernel, treecode, NPB) — the operation counts are
+/// measured, not guessed; only the two locality/dependence knobs are
+/// per-kernel characterizations.
+
+#include <string>
+
+#include "common/opcount.hpp"
+
+namespace bladed::arch {
+
+struct KernelProfile {
+  std::string name;
+  OpCounter ops;  ///< measured dynamic operation counts for one kernel run
+
+  /// Fraction of the floating-point work on a serial dependency chain
+  /// (0 = fully independent streams, 1 = one long recurrence). Reduces the
+  /// amount of functional-unit overlap any core can extract.
+  double dependency = 0.3;
+
+  /// How badly the kernel's access pattern misses cache, 0..1. Scales the
+  /// processor's mem_penalty_cycles.
+  double miss_intensity = 0.1;
+
+  /// When a kernel was run at a reduced size, the analytic factor to scale
+  /// the measured counts to the reported problem size (1 = as measured).
+  double scale = 1.0;
+};
+
+}  // namespace bladed::arch

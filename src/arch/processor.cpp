@@ -1,0 +1,32 @@
+#include "arch/processor.hpp"
+
+#include "arch/validate.hpp"
+#include "common/error.hpp"
+
+namespace bladed::arch {
+
+void validate(const ProcessorModel& m) {
+  BLADED_REQUIRE_MSG(!m.name.empty() && !m.short_name.empty(),
+                     "processor must be named");
+  BLADED_REQUIRE(m.clock.value() > 0.0);
+  BLADED_REQUIRE(m.fp_add_per_cycle > 0.0);
+  BLADED_REQUIRE(m.fp_mul_per_cycle > 0.0);
+  BLADED_REQUIRE(m.fp_issue_per_cycle > 0.0);
+  BLADED_REQUIRE(m.fdiv_cycles >= 1.0);
+  BLADED_REQUIRE(m.fsqrt_cycles >= 1.0);
+  BLADED_REQUIRE(m.int_per_cycle > 0.0);
+  BLADED_REQUIRE(m.mem_per_cycle > 0.0);
+  BLADED_REQUIRE(m.branch_cycles >= 0.0);
+  BLADED_REQUIRE(m.mem_penalty_cycles >= 0.0);
+  BLADED_REQUIRE(m.ilp >= 0.0 && m.ilp <= 1.0);
+  BLADED_REQUIRE(m.morph_overhead >= 1.0);
+  BLADED_REQUIRE(m.tuning > 0.0);
+  BLADED_REQUIRE(m.peak_flops_per_cycle >= 1.0);
+  // The combined issue limit cannot exceed what the pipes can accept, nor can
+  // a single pipe outrun the combined limit.
+  BLADED_REQUIRE(m.fp_issue_per_cycle <=
+                 m.fp_add_per_cycle + m.fp_mul_per_cycle);
+  BLADED_REQUIRE(m.watts_at_load.value() > 0.0);
+}
+
+}  // namespace bladed::arch

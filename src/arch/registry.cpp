@@ -1,0 +1,230 @@
+#include "arch/registry.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace bladed::arch {
+
+namespace {
+
+ProcessorModel make_tm5600() {
+  ProcessorModel m;
+  m.name = "Transmeta Crusoe TM5600";
+  m.short_name = "TM5600";
+  m.clock = Megahertz(633.0);
+  // One FPU shared by adds and muls; two integer units; one load/store unit;
+  // one branch unit (§2.1: "two integer units, a floating-point unit, a
+  // memory unit, and a branch unit"). Peak is therefore 1 flop/cycle,
+  // matching the paper's 15.2 Gflops peak for 24 CPUs.
+  m.fp_add_per_cycle = 1.0;
+  m.fp_mul_per_cycle = 1.0;
+  m.fp_issue_per_cycle = 1.0;
+  m.fdiv_cycles = 28.0;   // CMS maps x87 divide onto the FPU's iterative unit
+  m.fsqrt_cycles = 36.0;  // CMS-synthesized square-root sequence
+  m.int_per_cycle = 2.0;
+  m.mem_per_cycle = 1.0;
+  m.branch_cycles = 1.2;  // in-order VLIW, cheap static branches
+  m.mem_penalty_cycles = 14.0;  // in-order single LSU exposes miss latency
+  m.ilp = 0.55;           // CMS list-schedules molecules well on straight code
+  m.morph_overhead = 1.10;  // CMS 4.2.x dynamic translation tax at steady state
+  m.tuning = 1.10;  // calibration residual (DESIGN.md §4)
+  m.peak_flops_per_cycle = 1.0;
+  m.watts_at_load = Watts(6.0);  // §2.1: "approximately 6 watts" at load
+  return m;
+}
+
+ProcessorModel make_tm5800() {
+  ProcessorModel m = make_tm5600();
+  m.name = "Transmeta Crusoe TM5800";
+  m.short_name = "TM5800";
+  m.clock = Megahertz(800.0);
+  // CMS 4.3.x: the paper measures ~50% higher application performance from
+  // the 26% clock bump plus the newer translator -> ~24% per-clock gain,
+  // split between a lower residual translation tax and better molecule
+  // packing (the tuning factor).
+  m.morph_overhead = 1.02;
+  m.tuning = 1.23;  // 1.10 x 1.12: keeps the per-clock CMS-4.3.x gain
+  m.watts_at_load = Watts(3.5);  // §5: "only 3.5 watts per CPU"
+  return m;
+}
+
+ProcessorModel make_pentium3() {
+  ProcessorModel m;
+  m.name = "Intel Pentium III";
+  m.short_name = "PIII";
+  m.clock = Megahertz(500.0);
+  // x87: separate add and mul pipes but a single fp issue port -> 1
+  // flop/cycle peak.
+  m.fp_add_per_cycle = 1.0;
+  m.fp_mul_per_cycle = 0.5;  // FMUL accepted every other cycle on P6 x87
+  m.fp_issue_per_cycle = 1.0;
+  m.fdiv_cycles = 32.0;
+  m.fsqrt_cycles = 56.0;  // x87 FSQRT (double)
+  m.int_per_cycle = 2.0;
+  m.mem_per_cycle = 1.5;  // separate load and store ports
+  m.branch_cycles = 1.8;
+  m.mem_penalty_cycles = 12.0;
+  m.ilp = 0.55;  // out-of-order P6 core
+  m.tuning = 1.0;
+  m.peak_flops_per_cycle = 1.0;
+  m.watts_at_load = Watts(20.0);
+  return m;
+}
+
+ProcessorModel make_alpha_ev56() {
+  ProcessorModel m;
+  m.name = "Compaq Alpha 21164A (EV56)";
+  m.short_name = "EV56";
+  m.clock = Megahertz(533.0);
+  // Separate fp add and fp mul pipes that issue simultaneously: 2
+  // flops/cycle peak.
+  m.fp_add_per_cycle = 1.0;
+  m.fp_mul_per_cycle = 1.0;
+  m.fp_issue_per_cycle = 2.0;
+  m.fdiv_cycles = 31.0;   // unpipelined DIVT
+  m.fsqrt_cycles = 70.0;  // EV56 has no fsqrt instruction: software/PALcode
+  m.int_per_cycle = 2.0;
+  m.mem_per_cycle = 1.0;
+  m.branch_cycles = 1.6;
+  m.mem_penalty_cycles = 12.0;  // small 8KB L1D, but the 96KB on-chip L2 helps
+  m.ilp = 0.45;                 // in-order quad-issue; compiler-scheduled
+  m.tuning = 1.0;
+  m.peak_flops_per_cycle = 2.0;
+  m.watts_at_load = Watts(48.0);
+  return m;
+}
+
+ProcessorModel make_power3() {
+  ProcessorModel m;
+  m.name = "IBM Power3";
+  m.short_name = "Power3";
+  m.clock = Megahertz(375.0);
+  // Two FMA units: up to 4 flops/cycle; adds and muls each sustain 2/cycle.
+  m.fp_add_per_cycle = 2.0;
+  m.fp_mul_per_cycle = 2.0;
+  m.fp_issue_per_cycle = 4.0;
+  m.fdiv_cycles = 18.0;
+  m.fsqrt_cycles = 22.0;  // hardware fsqrt
+  m.int_per_cycle = 4.0;
+  m.mem_per_cycle = 2.0;  // two load/store units
+  m.branch_cycles = 1.2;
+  m.mem_penalty_cycles = 3.5;  // 64KB dual-ported L1D, hardware prefetch
+  m.ilp = 0.82;                // 8-wide out-of-order core
+  m.tuning = 1.0;
+  m.peak_flops_per_cycle = 4.0;
+  m.watts_at_load = Watts(32.0);
+  return m;
+}
+
+ProcessorModel make_athlon_mp() {
+  ProcessorModel m;
+  m.name = "AMD Athlon MP";
+  m.short_name = "AthlonMP";
+  m.clock = Megahertz(1200.0);
+  // Fully-pipelined FADD and FMUL pipes issuing simultaneously.
+  m.fp_add_per_cycle = 1.0;
+  m.fp_mul_per_cycle = 1.0;
+  m.fp_issue_per_cycle = 2.0;
+  m.fdiv_cycles = 24.0;
+  m.fsqrt_cycles = 35.0;
+  m.int_per_cycle = 3.0;
+  m.mem_per_cycle = 1.5;
+  m.branch_cycles = 1.6;
+  m.mem_penalty_cycles = 11.0;
+  m.ilp = 0.62;
+  m.tuning = 1.0;
+  m.peak_flops_per_cycle = 2.0;
+  m.watts_at_load = Watts(60.0);
+  return m;
+}
+
+ProcessorModel make_pentium_pro() {
+  ProcessorModel m;
+  m.name = "Intel Pentium Pro";
+  m.short_name = "PPro";
+  m.clock = Megahertz(200.0);
+  m.fp_add_per_cycle = 1.0;
+  m.fp_mul_per_cycle = 0.5;
+  m.fp_issue_per_cycle = 1.0;
+  m.fdiv_cycles = 38.0;
+  m.fsqrt_cycles = 69.0;
+  m.int_per_cycle = 2.0;
+  m.mem_per_cycle = 1.0;
+  m.branch_cycles = 2.0;
+  m.mem_penalty_cycles = 9.0;
+  m.ilp = 0.55;  // the P6 out-of-order core hides traversal latency well
+  m.tuning = 1.0;
+  m.peak_flops_per_cycle = 1.0;
+  m.watts_at_load = Watts(35.0);
+  return m;
+}
+
+ProcessorModel make_pentium4() {
+  ProcessorModel m;
+  m.name = "Intel Pentium 4";
+  m.short_name = "P4";
+  m.clock = Megahertz(1300.0);
+  m.fp_add_per_cycle = 1.0;
+  m.fp_mul_per_cycle = 0.5;
+  m.fp_issue_per_cycle = 1.0;
+  m.fdiv_cycles = 43.0;
+  m.fsqrt_cycles = 58.0;
+  m.int_per_cycle = 3.0;
+  m.mem_per_cycle = 1.0;
+  m.branch_cycles = 3.0;  // 20-stage pipeline mispredict cost
+  m.mem_penalty_cycles = 14.0;
+  m.ilp = 0.55;
+  m.tuning = 1.0;
+  m.peak_flops_per_cycle = 1.0;
+  m.watts_at_load = Watts(75.0);  // §2.1: "approximately ... 75 watts"
+  return m;
+}
+
+ProcessorModel make_tm6000() {
+  ProcessorModel m = make_tm5800();
+  m.name = "Transmeta Crusoe TM6000 (projected)";
+  m.short_name = "TM6000p";
+  // §5: "1-GHz x86 System on a Chip" (Ditzel, Microprocessor Forum 2001)
+  // with a second FPU pipe for the 2-3x flop improvement over the TM5800.
+  m.clock = Megahertz(1000.0);
+  m.fp_add_per_cycle = 1.0;
+  m.fp_mul_per_cycle = 1.0;
+  m.fp_issue_per_cycle = 2.0;
+  m.peak_flops_per_cycle = 2.0;
+  m.watts_at_load = Watts(1.75);  // "reducing power requirements in half"
+  return m;
+}
+
+const std::array<ProcessorModel, 9>& registry() {
+  static const std::array<ProcessorModel, 9> models = {
+      make_tm5600(),  make_tm5800(),      make_pentium3(), make_alpha_ev56(),
+      make_power3(),  make_athlon_mp(),   make_pentium_pro(), make_pentium4(),
+      make_tm6000()};
+  return models;
+}
+
+}  // namespace
+
+const ProcessorModel& tm5600_633() { return registry()[0]; }
+const ProcessorModel& tm5800_800() { return registry()[1]; }
+const ProcessorModel& pentium3_500() { return registry()[2]; }
+const ProcessorModel& alpha_ev56_533() { return registry()[3]; }
+const ProcessorModel& power3_375() { return registry()[4]; }
+const ProcessorModel& athlon_mp_1200() { return registry()[5]; }
+const ProcessorModel& pentium_pro_200() { return registry()[6]; }
+const ProcessorModel& pentium4_1300() { return registry()[7]; }
+
+const ProcessorModel& tm6000_projected() { return registry()[8]; }
+
+std::span<const ProcessorModel> all_processors() { return registry(); }
+
+const ProcessorModel& by_short_name(std::string_view short_name) {
+  for (const ProcessorModel& m : registry()) {
+    if (m.short_name == short_name) return m;
+  }
+  throw PreconditionError("unknown processor short name: " +
+                          std::string(short_name));
+}
+
+}  // namespace bladed::arch

@@ -1,0 +1,44 @@
+#pragma once
+
+/// The registry of every processor the paper measures or references, with
+/// microarchitectural parameters taken from the 2001-era literature (issue
+/// widths, pipe counts, unpipelined op latencies, power at load from §2.1)
+/// and fixed calibration constants. See DESIGN.md §4.
+
+#include <span>
+#include <string_view>
+
+#include "arch/processor.hpp"
+
+namespace bladed::arch {
+
+/// 633-MHz Transmeta Crusoe TM5600 (MetaBlade node; CMS 4.2.x).
+[[nodiscard]] const ProcessorModel& tm5600_633();
+/// 800-MHz Transmeta Crusoe TM5800 (MetaBlade2 node; CMS 4.3.x).
+[[nodiscard]] const ProcessorModel& tm5800_800();
+/// 500-MHz Intel Pentium III.
+[[nodiscard]] const ProcessorModel& pentium3_500();
+/// 533-MHz Compaq/DEC Alpha 21164A (EV56) — the Avalon node CPU.
+[[nodiscard]] const ProcessorModel& alpha_ev56_533();
+/// 375-MHz IBM Power3.
+[[nodiscard]] const ProcessorModel& power3_375();
+/// 1200-MHz AMD Athlon MP.
+[[nodiscard]] const ProcessorModel& athlon_mp_1200();
+/// 200-MHz Intel Pentium Pro — the Loki/Hyglac node CPU.
+[[nodiscard]] const ProcessorModel& pentium_pro_200();
+/// 1300-MHz Intel Pentium 4 (TCO comparison only).
+[[nodiscard]] const ProcessorModel& pentium4_1300();
+/// PROJECTED 1-GHz Transmeta TM6000 per the paper's §5 roadmap ("improve
+/// flop performance over the TM5800 by another factor of two to three
+/// while reducing power requirements in half again") — not a measured
+/// part; used only by the roadmap benches.
+[[nodiscard]] const ProcessorModel& tm6000_projected();
+
+/// All registered models (stable order: the order above).
+[[nodiscard]] std::span<const ProcessorModel> all_processors();
+
+/// Lookup by short name ("TM5600", "PIII", ...); throws PreconditionError if
+/// unknown.
+[[nodiscard]] const ProcessorModel& by_short_name(std::string_view short_name);
+
+}  // namespace bladed::arch

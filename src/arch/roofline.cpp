@@ -1,0 +1,49 @@
+#include "arch/roofline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace bladed::arch {
+
+double memory_mops_ceiling(const ProcessorModel& cpu, double miss_intensity) {
+  BLADED_REQUIRE(miss_intensity >= 0.0 && miss_intensity <= 1.0);
+  // Cycles per memory op under the cost model's memory term, including the
+  // model's calibration factors (tuning speeds the whole pipeline up,
+  // morphing taxes it) so the ceiling bounds what estimate() can produce.
+  const double cycles_per_op =
+      (1.0 / cpu.mem_per_cycle + miss_intensity * cpu.mem_penalty_cycles) *
+      cpu.morph_overhead / cpu.tuning;
+  return cpu.clock.value() / cycles_per_op;  // MHz / (cycles/op) = Mop/s
+}
+
+RooflinePoint roofline_point(const ProcessorModel& cpu,
+                             const KernelProfile& profile) {
+  RooflinePoint pt;
+  pt.kernel = profile.name;
+  const auto flops = static_cast<double>(profile.ops.flops());
+  const auto mem = static_cast<double>(profile.ops.mem_ops());
+  pt.intensity = mem > 0.0 ? flops / mem
+                           : std::numeric_limits<double>::infinity();
+  // Model-effective compute ceiling (physical peak adjusted by the same
+  // calibration factors the cost model applies).
+  pt.peak_mflops = cpu.peak_mflops() * cpu.tuning / cpu.morph_overhead;
+  const double mem_mops = memory_mops_ceiling(cpu, profile.miss_intensity);
+  pt.memory_ceiling_mflops =
+      mem > 0.0 ? mem_mops * pt.intensity : pt.peak_mflops;
+  pt.achieved_mflops = estimate_mflops(cpu, profile);
+  return pt;
+}
+
+std::vector<RooflinePoint> roofline(const ProcessorModel& cpu,
+                                    const std::vector<KernelProfile>& kernels) {
+  std::vector<RooflinePoint> out;
+  out.reserve(kernels.size());
+  for (const KernelProfile& k : kernels) {
+    out.push_back(roofline_point(cpu, k));
+  }
+  return out;
+}
+
+}  // namespace bladed::arch

@@ -1,0 +1,48 @@
+#pragma once
+
+/// Roofline-style characterization of the processor models: each CPU's
+/// compute ceiling (peak Mflops) and effective memory ceiling (mem ops per
+/// second through the cost model), plus where a kernel's operational
+/// intensity puts it — a compact way to see *why* a kernel lands where
+/// Table 1/3 put it.
+
+#include <string>
+#include <vector>
+
+#include "arch/cost_model.hpp"
+#include "arch/kernel_profile.hpp"
+#include "arch/processor.hpp"
+
+namespace bladed::arch {
+
+struct RooflinePoint {
+  std::string kernel;
+  /// Flops per memory operation (the model's unit of traffic).
+  double intensity = 0.0;
+  double achieved_mflops = 0.0;
+  double peak_mflops = 0.0;
+  /// Mflops ceiling implied by the memory system at this intensity.
+  double memory_ceiling_mflops = 0.0;
+  [[nodiscard]] bool compute_bound() const {
+    return memory_ceiling_mflops >= peak_mflops;
+  }
+  [[nodiscard]] double percent_of_roof() const {
+    const double roof = std::min(peak_mflops, memory_ceiling_mflops);
+    return roof > 0.0 ? 100.0 * achieved_mflops / roof : 0.0;
+  }
+};
+
+/// Effective memory-op throughput (Mops of loads+stores per second) of
+/// `cpu` for a kernel with the given miss intensity.
+[[nodiscard]] double memory_mops_ceiling(const ProcessorModel& cpu,
+                                         double miss_intensity);
+
+/// Place `profile` on `cpu`'s roofline.
+[[nodiscard]] RooflinePoint roofline_point(const ProcessorModel& cpu,
+                                           const KernelProfile& profile);
+
+/// Points for a set of kernels on one CPU.
+[[nodiscard]] std::vector<RooflinePoint> roofline(
+    const ProcessorModel& cpu, const std::vector<KernelProfile>& kernels);
+
+}  // namespace bladed::arch

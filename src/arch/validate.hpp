@@ -1,0 +1,12 @@
+#pragma once
+
+/// Consistency checks for processor models; throws PreconditionError on a
+/// malformed model. Run by tests over the whole registry.
+
+#include "arch/processor.hpp"
+
+namespace bladed::arch {
+
+void validate(const ProcessorModel& m);
+
+}  // namespace bladed::arch

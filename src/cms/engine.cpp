@@ -1,0 +1,118 @@
+#include "cms/engine.hpp"
+
+namespace bladed::cms {
+
+MorphingConfig cms_42x() {
+  MorphingConfig c;
+  c.translator.cycles_per_instruction = 900;
+  c.hot_threshold = 8;
+  c.cache_molecules = 1 << 16;
+  return c;
+}
+
+MorphingConfig cms_43x() {
+  MorphingConfig c;
+  c.translator.cycles_per_instruction = 600;
+  c.hot_threshold = 4;
+  c.cache_molecules = 1 << 17;
+  return c;
+}
+
+MorphingEngine::MorphingEngine(MorphingConfig cfg)
+    : cfg_(cfg),
+      interpreter_(cfg.interpreter),
+      translator_(cfg.molecule, cfg.translator),
+      cache_(cfg.cache_molecules) {}
+
+void MorphingEngine::reset() {
+  cache_.clear();
+  exec_counts_.clear();
+  ever_translated_.clear();
+  interpreter_.reset_counts();
+}
+
+namespace {
+/// Execute the block at `pc` architecturally (shared semantics); returns the
+/// next pc, sets `halted` when a halt retires.
+std::size_t exec_block(const Program& prog, MachineState& st, std::size_t pc,
+                       bool& halted, std::uint64_t& instructions) {
+  const std::size_t end = block_end(prog, pc);
+  while (pc < end) {
+    const Instr& in = prog[pc];
+    if (in.op == Op::kHalt) {
+      halted = true;
+      ++instructions;
+      return pc;
+    }
+    const std::size_t next = exec_instr(in, pc, st);
+    ++instructions;
+    if (is_branch(in.op)) return next;
+    pc = next;
+  }
+  return pc;
+}
+}  // namespace
+
+MorphingStats MorphingEngine::run(const Program& prog, MachineState& st,
+                                  std::uint64_t max_block_executions) {
+  validate(prog, st.mem.size());
+  MorphingStats s;
+  const std::uint64_t hits0 = cache_.hits();
+  const std::uint64_t misses0 = cache_.misses();
+  const std::uint64_t evict0 = cache_.evictions();
+
+  std::size_t pc = 0;
+  bool halted = false;
+  std::uint64_t blocks = 0;
+  while (!halted && pc < prog.size() && blocks < max_block_executions) {
+    ++blocks;
+    if (const Translation* t = cache_.lookup(pc)) {
+      // Native execution out of the translation cache.
+      std::uint64_t dummy = 0;
+      pc = exec_block(prog, st, pc, halted, dummy);
+      ++s.native_block_executions;
+      s.native_cycles += t->native_cycles();
+      continue;
+    }
+    std::uint64_t& count = exec_counts_[pc];
+    ++count;
+    if (count >= cfg_.hot_threshold) {
+      // Hot: invoke the translator, cache the result, run native.
+      Translation t = translator_.translate(prog, pc);
+      s.translate_cycles += translator_.translation_cost(t.instr_count);
+      ++s.translations;
+      if (ever_translated_[pc]) ++s.retranslations;
+      ever_translated_[pc] = true;
+      const std::uint64_t native = t.native_cycles();
+      if (cache_.insert(std::move(t))) {
+        // inserted; next lookups hit.
+      }
+      std::uint64_t dummy = 0;
+      pc = exec_block(prog, st, pc, halted, dummy);
+      ++s.native_block_executions;
+      s.native_cycles += native;
+      continue;
+    }
+    // Cold: interpret, collecting statistics.
+    InterpretResult r;
+    pc = interpreter_.run_block(prog, st, pc, r);
+    halted = r.halted;
+    s.interpreted_instructions += r.instructions;
+    s.interpret_cycles += r.cycles;
+  }
+
+  s.cache_hits = cache_.hits() - hits0;
+  s.cache_misses = cache_.misses() - misses0;
+  s.cache_evictions = cache_.evictions() - evict0;
+  s.total_cycles = s.interpret_cycles + s.translate_cycles + s.native_cycles;
+  return s;
+}
+
+std::uint64_t MorphingEngine::interpret_only_cycles(const Program& prog,
+                                                    MachineState& st) {
+  Interpreter pure(cfg_.interpreter);
+  const InterpretResult r = pure.run(prog, st);
+  return r.cycles;
+}
+
+}  // namespace bladed::cms

@@ -1,0 +1,78 @@
+#pragma once
+
+/// The Code Morphing engine: the interpreter and translator "working in
+/// tandem" (§2.2). Cold basic blocks are interpreted while execution counts
+/// accumulate; when a block crosses the hotspot threshold it is translated
+/// into molecules and cached; subsequent executions run native out of the
+/// translation cache. Program results are identical in every mode (the
+/// engine executes the same architectural semantics), and the cycle
+/// accounting exposes the amortization the paper describes.
+
+#include "cms/interpreter.hpp"
+#include "cms/tcache.hpp"
+#include "cms/translator.hpp"
+
+namespace bladed::cms {
+
+struct MorphingConfig {
+  InterpreterCosts interpreter;
+  MoleculeLimits molecule;
+  TranslatorCosts translator;
+  std::size_t cache_molecules = 1 << 16;
+  /// Executions of a block before the translator is invoked.
+  std::uint64_t hot_threshold = 8;
+};
+
+struct MorphingStats {
+  std::uint64_t total_cycles = 0;
+  std::uint64_t interpreted_instructions = 0;
+  std::uint64_t interpret_cycles = 0;
+  std::uint64_t native_block_executions = 0;
+  std::uint64_t native_cycles = 0;
+  std::uint64_t translations = 0;
+  std::uint64_t translate_cycles = 0;
+  std::uint64_t retranslations = 0;  ///< translations of a previously
+                                     ///< translated (evicted) block
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
+/// Configuration presets for the CMS versions the paper measured. §2.1:
+/// "because CMS typically resides in standard flash ROMs ... improved
+/// versions can be downloaded into already-deployed CPUs" — the MetaBlade
+/// (CMS 4.2.x) vs MetaBlade2 (CMS 4.3.x) gap is partly this software.
+[[nodiscard]] MorphingConfig cms_42x();  ///< as shipped on MetaBlade
+/// 4.3.x: a faster translator (lower per-instruction cost), earlier
+/// hotspot detection and a larger translation cache.
+[[nodiscard]] MorphingConfig cms_43x();
+
+class MorphingEngine {
+ public:
+  explicit MorphingEngine(MorphingConfig cfg = {});
+
+  /// Run `prog` on `st` until halt (or the instruction budget). Returns the
+  /// cycle accounting. Repeated calls keep the translation cache warm, like
+  /// repeated invocations of the same code on real hardware.
+  MorphingStats run(const Program& prog, MachineState& st,
+                    std::uint64_t max_block_executions = 200'000'000);
+
+  /// Cycles a pure interpreter (translation disabled) would need — baseline
+  /// for the amortization metric.
+  std::uint64_t interpret_only_cycles(const Program& prog,
+                                      MachineState& st);
+
+  [[nodiscard]] const TranslationCache& cache() const { return cache_; }
+  [[nodiscard]] const MorphingConfig& config() const { return cfg_; }
+  void reset();
+
+ private:
+  MorphingConfig cfg_;
+  Interpreter interpreter_;
+  Translator translator_;
+  TranslationCache cache_;
+  std::unordered_map<std::size_t, std::uint64_t> exec_counts_;
+  std::unordered_map<std::size_t, bool> ever_translated_;
+};
+
+}  // namespace bladed::cms

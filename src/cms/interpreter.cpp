@@ -1,0 +1,51 @@
+#include "cms/interpreter.hpp"
+
+namespace bladed::cms {
+
+std::size_t block_end(const Program& prog, std::size_t pc) {
+  std::size_t i = pc;
+  while (i < prog.size()) {
+    if (is_branch(prog[i].op) || prog[i].op == Op::kHalt) return i + 1;
+    ++i;
+  }
+  return prog.size();
+}
+
+std::size_t Interpreter::run_block(const Program& prog, MachineState& st,
+                                   std::size_t pc, InterpretResult& result) {
+  ++block_counts_[pc];
+  const std::size_t end = block_end(prog, pc);
+  while (pc < end) {
+    const Instr& in = prog[pc];
+    if (in.op == Op::kHalt) {
+      result.halted = true;
+      ++result.instructions;
+      result.cycles += costs_.dispatch_cycles;
+      return pc;
+    }
+    const std::size_t next = exec_instr(in, pc, st);
+    ++result.instructions;
+    result.cycles +=
+        static_cast<std::uint64_t>(costs_.dispatch_cycles + latency_of(in.op));
+    if (is_branch(in.op)) {
+      ++result.branches;
+      return next;
+    }
+    pc = next;
+  }
+  return pc;
+}
+
+InterpretResult Interpreter::run(const Program& prog, MachineState& st,
+                                 std::size_t pc,
+                                 std::uint64_t max_instructions) {
+  validate(prog, st.mem.size());
+  InterpretResult result;
+  while (!result.halted && result.instructions < max_instructions &&
+         pc < prog.size()) {
+    pc = run_block(prog, st, pc, result);
+  }
+  return result;
+}
+
+}  // namespace bladed::cms

@@ -1,0 +1,60 @@
+#pragma once
+
+/// The CMS interpreter module (§2.2): executes x86-like instructions one at
+/// a time, collects run-time execution counts per basic block (the
+/// statistics the translator's hotspot detection uses), and charges the
+/// per-instruction interpretation cost that makes translation worthwhile.
+
+#include <unordered_map>
+
+#include "cms/isa.hpp"
+
+namespace bladed::cms {
+
+struct InterpreterCosts {
+  /// Decode/dispatch overhead per interpreted instruction, in native VLIW
+  /// cycles (the price of the software x86 illusion).
+  int dispatch_cycles = 12;
+};
+
+struct InterpretResult {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t branches = 0;
+  bool halted = false;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(InterpreterCosts costs = {}) : costs_(costs) {}
+
+  /// Interpret from `pc` until a halt or until `max_instructions`; updates
+  /// state in place. Records basic-block execution counts keyed by leader pc.
+  InterpretResult run(const Program& prog, MachineState& st,
+                      std::size_t pc = 0,
+                      std::uint64_t max_instructions = 100'000'000);
+
+  /// Interpret exactly one basic block starting at `pc` (up to and including
+  /// its terminating branch, or up to a halt). Returns the next pc and adds
+  /// cost to `result`.
+  std::size_t run_block(const Program& prog, MachineState& st, std::size_t pc,
+                        InterpretResult& result);
+
+  [[nodiscard]] const std::unordered_map<std::size_t, std::uint64_t>&
+  block_counts() const {
+    return block_counts_;
+  }
+  void reset_counts() { block_counts_.clear(); }
+
+  [[nodiscard]] const InterpreterCosts& costs() const { return costs_; }
+
+ private:
+  InterpreterCosts costs_;
+  std::unordered_map<std::size_t, std::uint64_t> block_counts_;
+};
+
+/// End of the basic block starting at `pc`: one past its terminator (the
+/// index after the first branch/halt at or after pc).
+[[nodiscard]] std::size_t block_end(const Program& prog, std::size_t pc);
+
+}  // namespace bladed::cms

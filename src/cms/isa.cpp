@@ -1,0 +1,191 @@
+#include "cms/isa.hpp"
+
+#include <cmath>
+
+namespace bladed::cms {
+
+UnitClass unit_of(Op op) {
+  switch (op) {
+    case Op::kAddi:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMuli:
+    case Op::kMovi:
+      return UnitClass::kAlu;
+    case Op::kFadd:
+    case Op::kFsub:
+    case Op::kFmul:
+    case Op::kFdiv:
+    case Op::kFsqrt:
+    case Op::kFmovi:
+      return UnitClass::kFpu;
+    case Op::kFload:
+    case Op::kFstore:
+      return UnitClass::kLsu;
+    case Op::kBlt:
+    case Op::kBne:
+    case Op::kJmp:
+      return UnitClass::kBranch;
+    case Op::kHalt:
+      return UnitClass::kNone;
+  }
+  return UnitClass::kNone;
+}
+
+int latency_of(Op op) {
+  switch (op) {
+    case Op::kFadd:
+    case Op::kFsub:
+    case Op::kFmul:
+      return 3;  // 10-stage fp pipeline, forwarded
+    case Op::kFdiv:
+      return 28;
+    case Op::kFsqrt:
+      return 36;
+    case Op::kFload:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+bool is_branch(Op op) {
+  return op == Op::kBlt || op == Op::kBne || op == Op::kJmp;
+}
+
+bool writes_int_reg(Op op) {
+  switch (op) {
+    case Op::kAddi:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMuli:
+    case Op::kMovi:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool writes_fp_reg(Op op) {
+  switch (op) {
+    case Op::kFadd:
+    case Op::kFsub:
+    case Op::kFmul:
+    case Op::kFdiv:
+    case Op::kFsqrt:
+    case Op::kFmovi:
+    case Op::kFload:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t exec_instr(const Instr& in, std::size_t pc, MachineState& st) {
+  auto addr = [&](std::int64_t base, std::int64_t off) -> std::size_t {
+    const std::int64_t a = base + off;
+    BLADED_REQUIRE_MSG(a >= 0 && a < static_cast<std::int64_t>(st.mem.size()),
+                       "memory access out of bounds");
+    return static_cast<std::size_t>(a);
+  };
+  switch (in.op) {
+    case Op::kAddi:
+      st.r[in.a] = st.r[in.b] + in.imm_i;
+      break;
+    case Op::kAdd:
+      st.r[in.a] = st.r[in.b] + st.r[in.c];
+      break;
+    case Op::kSub:
+      st.r[in.a] = st.r[in.b] - st.r[in.c];
+      break;
+    case Op::kMuli:
+      st.r[in.a] = st.r[in.b] * in.imm_i;
+      break;
+    case Op::kMovi:
+      st.r[in.a] = in.imm_i;
+      break;
+    case Op::kFadd:
+      st.f[in.a] = st.f[in.b] + st.f[in.c];
+      break;
+    case Op::kFsub:
+      st.f[in.a] = st.f[in.b] - st.f[in.c];
+      break;
+    case Op::kFmul:
+      st.f[in.a] = st.f[in.b] * st.f[in.c];
+      break;
+    case Op::kFdiv:
+      st.f[in.a] = st.f[in.b] / st.f[in.c];
+      break;
+    case Op::kFsqrt:
+      st.f[in.a] = std::sqrt(st.f[in.b]);
+      break;
+    case Op::kFmovi:
+      st.f[in.a] = in.imm_f;
+      break;
+    case Op::kFload:
+      st.f[in.a] = st.mem[addr(st.r[in.b], in.imm_i)];
+      break;
+    case Op::kFstore:
+      st.mem[addr(st.r[in.b], in.imm_i)] = st.f[in.a];
+      break;
+    case Op::kBlt:
+      return st.r[in.a] < st.r[in.b] ? static_cast<std::size_t>(in.imm_i)
+                                     : pc + 1;
+    case Op::kBne:
+      return st.r[in.a] != st.r[in.b] ? static_cast<std::size_t>(in.imm_i)
+                                      : pc + 1;
+    case Op::kJmp:
+      return static_cast<std::size_t>(in.imm_i);
+    case Op::kHalt:
+      return pc;  // callers treat pc-not-advancing on halt specially
+  }
+  return pc + 1;
+}
+
+void validate(const Program& prog, std::size_t mem_doubles) {
+  BLADED_REQUIRE_MSG(!prog.empty(), "empty program");
+  (void)mem_doubles;
+  for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+    const Instr& in = prog[pc];
+    BLADED_REQUIRE(in.a >= 0 && in.b >= 0 && in.c >= 0);
+    if (writes_int_reg(in.op) || in.op == Op::kBlt || in.op == Op::kBne) {
+      BLADED_REQUIRE(in.a < 16 && in.b < 16 && in.c < 16);
+    }
+    if (writes_fp_reg(in.op) || in.op == Op::kFstore) {
+      BLADED_REQUIRE(in.a < 8);
+    }
+    if (is_branch(in.op)) {
+      BLADED_REQUIRE_MSG(in.imm_i >= 0 &&
+                             in.imm_i < static_cast<std::int64_t>(prog.size()),
+                         "branch target out of range");
+    }
+  }
+  BLADED_REQUIRE_MSG(prog.back().op == Op::kHalt ||
+                         is_branch(prog.back().op),
+                     "program must end in halt or an unconditional branch");
+}
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::kAddi: return "addi";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMuli: return "muli";
+    case Op::kMovi: return "movi";
+    case Op::kFadd: return "fadd";
+    case Op::kFsub: return "fsub";
+    case Op::kFmul: return "fmul";
+    case Op::kFdiv: return "fdiv";
+    case Op::kFsqrt: return "fsqrt";
+    case Op::kFmovi: return "fmovi";
+    case Op::kFload: return "fload";
+    case Op::kFstore: return "fstore";
+    case Op::kBlt: return "blt";
+    case Op::kBne: return "bne";
+    case Op::kJmp: return "jmp";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+}  // namespace bladed::cms

@@ -1,0 +1,88 @@
+#pragma once
+
+/// A small x86-like source ISA for the Code Morphing Software simulator
+/// (§2.2 of the paper). Programs in this ISA are what CMS sees: the
+/// interpreter executes them one instruction at a time, the profiler finds
+/// the hot basic blocks, and the translator re-compiles them into VLIW
+/// molecules. The ISA is deliberately CISC-flavoured (reg+offset memory
+/// operands, condition-code-free compare-and-branch) but small enough to be
+/// fully simulated.
+///
+/// Machine model: 16 integer registers r0..r15, 8 fp registers f0..f7, a
+/// flat memory of doubles addressed by integer registers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bladed::cms {
+
+enum class Op : std::uint8_t {
+  // Integer ALU.
+  kAddi,  ///< r[a] = r[b] + imm_i
+  kAdd,   ///< r[a] = r[b] + r[c]
+  kSub,   ///< r[a] = r[b] - r[c]
+  kMuli,  ///< r[a] = r[b] * imm_i
+  kMovi,  ///< r[a] = imm_i
+  // Floating point.
+  kFadd,   ///< f[a] = f[b] + f[c]
+  kFsub,   ///< f[a] = f[b] - f[c]
+  kFmul,   ///< f[a] = f[b] * f[c]
+  kFdiv,   ///< f[a] = f[b] / f[c]
+  kFsqrt,  ///< f[a] = sqrt(f[b])
+  kFmovi,  ///< f[a] = imm_f
+  // Memory (doubles).
+  kFload,   ///< f[a] = mem[r[b] + imm_i]
+  kFstore,  ///< mem[r[b] + imm_i] = f[a]
+  // Control flow (absolute instruction-index targets).
+  kBlt,  ///< if (r[a] < r[b]) goto imm_i
+  kBne,  ///< if (r[a] != r[b]) goto imm_i
+  kJmp,  ///< goto imm_i
+  kHalt,
+};
+
+struct Instr {
+  Op op = Op::kHalt;
+  int a = 0;        ///< destination register (or branch lhs)
+  int b = 0;        ///< source register
+  int c = 0;        ///< second source register
+  std::int64_t imm_i = 0;
+  double imm_f = 0.0;
+};
+
+using Program = std::vector<Instr>;
+
+struct MachineState {
+  std::int64_t r[16] = {};
+  double f[8] = {};
+  std::vector<double> mem;
+
+  explicit MachineState(std::size_t mem_doubles = 4096) : mem(mem_doubles) {}
+};
+
+/// Functional-unit class an op executes on (used by both the interpreter's
+/// cost table and the translator's slot assignment).
+enum class UnitClass : std::uint8_t { kAlu, kFpu, kLsu, kBranch, kNone };
+
+[[nodiscard]] UnitClass unit_of(Op op);
+
+/// Result latency in native VLIW cycles (dependence distance to consumers).
+[[nodiscard]] int latency_of(Op op);
+
+[[nodiscard]] bool is_branch(Op op);
+[[nodiscard]] bool writes_int_reg(Op op);
+[[nodiscard]] bool writes_fp_reg(Op op);
+
+/// Execute one instruction; returns the next pc. Shared by the interpreter
+/// and the native-execution path so semantics are identical by construction.
+[[nodiscard]] std::size_t exec_instr(const Instr& in, std::size_t pc,
+                                     MachineState& st);
+
+/// Validate static well-formedness (register indices, branch targets).
+void validate(const Program& prog, std::size_t mem_doubles = 4096);
+
+[[nodiscard]] std::string to_string(Op op);
+
+}  // namespace bladed::cms

@@ -1,0 +1,134 @@
+#include "cms/programs.hpp"
+
+namespace bladed::cms {
+
+namespace {
+Instr ii(Op op, int a, int b, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+Instr fi(Op op, int a, double imm) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.imm_f = imm;
+  return in;
+}
+}  // namespace
+
+Program daxpy_program(std::int64_t n) {
+  BLADED_REQUIRE(n >= 1);
+  Program p;
+  p.push_back(ii(Op::kMovi, 1, 0, 0, 0));        // 0: i = 0
+  p.push_back(ii(Op::kMovi, 2, 0, 0, n));        // 1: limit
+  p.push_back(fi(Op::kFmovi, 1, 2.5));           // 2: a
+  const std::int64_t loop = 3;
+  p.push_back(ii(Op::kFload, 2, 1, 0, 0));       // 3: f2 = x[i]
+  p.push_back(ii(Op::kFload, 3, 1, 0, n));       // 4: f3 = y[i]
+  p.push_back(ii(Op::kFmul, 4, 1, 2));           // 5: f4 = a * x[i]
+  p.push_back(ii(Op::kFadd, 3, 3, 4));           // 6: f3 += f4
+  p.push_back(ii(Op::kFstore, 3, 1, 0, n));      // 7: y[i] = f3
+  p.push_back(ii(Op::kAddi, 1, 1, 0, 1));        // 8: ++i
+  p.push_back(ii(Op::kBlt, 1, 2, 0, loop));      // 9: loop
+  p.push_back(ii(Op::kHalt, 0, 0));              // 10
+  return p;
+}
+
+Program unrolled_daxpy_program(std::int64_t n, int unroll) {
+  BLADED_REQUIRE(n >= unroll && unroll >= 1 && unroll <= 3);
+  BLADED_REQUIRE(n % unroll == 0);
+  Program p;
+  p.push_back(ii(Op::kMovi, 1, 0, 0, 0));   // 0: i = 0
+  p.push_back(ii(Op::kMovi, 2, 0, 0, n));   // 1: limit
+  p.push_back(fi(Op::kFmovi, 1, 2.5));      // 2: a
+  const std::int64_t loop = 3;
+  // Lane u uses fp registers f{2u+2}, f{2u+3}: all lanes independent.
+  for (int u = 0; u < unroll; ++u) {
+    p.push_back(ii(Op::kFload, 2 + 2 * u, 1, 0, u));       // x[i+u]
+  }
+  for (int u = 0; u < unroll; ++u) {
+    p.push_back(ii(Op::kFmul, 2 + 2 * u, 1, 2 + 2 * u));   // a*x
+  }
+  for (int u = 0; u < unroll; ++u) {
+    p.push_back(ii(Op::kFstore, 2 + 2 * u, 1, 0, n + u));  // y[i+u] = a*x
+  }
+  p.push_back(ii(Op::kAddi, 1, 1, 0, unroll));
+  p.push_back(ii(Op::kBlt, 1, 2, 0, loop));
+  p.push_back(ii(Op::kHalt, 0, 0));
+  return p;
+}
+
+Program nr_rsqrt_program(std::int64_t iters) {
+  BLADED_REQUIRE(iters >= 1);
+  Program p;
+  p.push_back(ii(Op::kMovi, 1, 0, 0, 0));     // 0: k = 0
+  p.push_back(ii(Op::kMovi, 2, 0, 0, iters)); // 1
+  p.push_back(ii(Op::kFload, 1, 0, 0, 0));    // 2: f1 = x (r0 == 0)
+  p.push_back(fi(Op::kFmovi, 2, 0.5));        // 3: y0
+  p.push_back(fi(Op::kFmovi, 3, 1.5));        // 4
+  p.push_back(fi(Op::kFmovi, 4, 0.5));        // 5
+  const std::int64_t loop = 6;
+  p.push_back(ii(Op::kFmul, 5, 2, 2));        // 6: y*y
+  p.push_back(ii(Op::kFmul, 5, 5, 1));        // 7: x*y*y
+  p.push_back(ii(Op::kFmul, 5, 5, 4));        // 8: 0.5*x*y*y
+  p.push_back(ii(Op::kFsub, 5, 3, 5));        // 9: 1.5 - ...
+  p.push_back(ii(Op::kFmul, 2, 2, 5));        // 10: y *= ...
+  p.push_back(ii(Op::kAddi, 1, 1, 0, 1));     // 11
+  p.push_back(ii(Op::kBlt, 1, 2, 0, loop));   // 12
+  p.push_back(ii(Op::kFstore, 2, 0, 0, 1));   // 13: result -> mem[1]
+  p.push_back(ii(Op::kHalt, 0, 0));           // 14
+  return p;
+}
+
+Program branchy_program(std::int64_t n) {
+  BLADED_REQUIRE(n >= 1);
+  Program p;
+  p.push_back(ii(Op::kMovi, 1, 0, 0, 0));    // 0: i
+  p.push_back(ii(Op::kMovi, 2, 0, 0, n));    // 1: n
+  p.push_back(ii(Op::kMovi, 3, 0, 0, 0));    // 2: parity
+  p.push_back(ii(Op::kMovi, 4, 0, 0, 1));    // 3: one
+  p.push_back(fi(Op::kFmovi, 1, 1.0));       // 4
+  p.push_back(ii(Op::kBne, 3, 4, 0, 10));    // 5: even -> 10
+  p.push_back(ii(Op::kFload, 2, 0, 0, 0));   // 6
+  p.push_back(ii(Op::kFadd, 2, 2, 1));       // 7
+  p.push_back(ii(Op::kFstore, 2, 0, 0, 0));  // 8
+  p.push_back(ii(Op::kJmp, 0, 0, 0, 13));    // 9
+  p.push_back(ii(Op::kFload, 3, 0, 0, 1));   // 10
+  p.push_back(ii(Op::kFadd, 3, 3, 1));       // 11
+  p.push_back(ii(Op::kFstore, 3, 0, 0, 1));  // 12
+  p.push_back(ii(Op::kSub, 3, 4, 3));        // 13: parity = 1 - parity
+  p.push_back(ii(Op::kAddi, 1, 1, 0, 1));    // 14
+  p.push_back(ii(Op::kBlt, 1, 2, 0, 5));     // 15
+  p.push_back(ii(Op::kHalt, 0, 0));          // 16
+  return p;
+}
+
+Program many_blocks_program(int blocks, std::int64_t rounds) {
+  BLADED_REQUIRE(blocks >= 1 && rounds >= 1);
+  Program p;
+  p.push_back(ii(Op::kMovi, 1, 0, 0, 0));       // 0
+  p.push_back(ii(Op::kMovi, 2, 0, 0, rounds));  // 1
+  p.push_back(fi(Op::kFmovi, 1, 1.0));          // 2
+  p.push_back(ii(Op::kJmp, 0, 0, 0, 4));        // 3: enter first block
+  // Block b occupies [4 + 4b, 4 + 4b + 3].
+  for (int b = 0; b < blocks; ++b) {
+    const std::int64_t next = 4 + 4LL * (b + 1);
+    p.push_back(ii(Op::kFload, 2, 0, 0, b));
+    p.push_back(ii(Op::kFadd, 2, 2, 1));
+    p.push_back(ii(Op::kFstore, 2, 0, 0, b));
+    p.push_back(ii(Op::kJmp, 0, 0, 0, next));
+  }
+  const std::int64_t tail = 4 + 4LL * blocks;
+  p.push_back(ii(Op::kAddi, 1, 1, 0, 1));       // tail
+  p.push_back(ii(Op::kBlt, 1, 2, 0, 4));        // tail+1: loop to block 0
+  p.push_back(ii(Op::kHalt, 0, 0));             // tail+2
+  BLADED_REQUIRE(static_cast<std::int64_t>(p.size()) == tail + 3);
+  return p;
+}
+
+}  // namespace bladed::cms

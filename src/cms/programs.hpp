@@ -1,0 +1,34 @@
+#pragma once
+
+/// Sample programs for the CMS simulator: the workloads used by tests, the
+/// cms_demo example and the CMS ablation bench. Each returns a validated
+/// Program plus a closed-form expectation of its result for verification.
+
+#include "cms/isa.hpp"
+
+namespace bladed::cms {
+
+/// y[i] += a * x[i] for i in [0, n): the classic streaming loop. x starts
+/// at mem[0], y at mem[n]. Returns the program; callers pre-fill memory.
+[[nodiscard]] Program daxpy_program(std::int64_t n);
+
+/// The §3.2 microkernel shape: Newton–Raphson reciprocal square root
+/// iterated `iters` times over mem[0], result in mem[1].
+[[nodiscard]] Program nr_rsqrt_program(std::int64_t iters);
+
+/// daxpy with the loop body unrolled `unroll` times over disjoint fp
+/// registers — exposes instruction-level parallelism for the translator's
+/// molecule packing (the workload class where 128-bit molecules beat
+/// 64-bit ones).
+[[nodiscard]] Program unrolled_daxpy_program(std::int64_t n, int unroll);
+
+/// A branchy workload: `n` iterations alternating between two paths on the
+/// parity of the loop counter; sums into mem[0] and mem[1].
+[[nodiscard]] Program branchy_program(std::int64_t n);
+
+/// `blocks` distinct straight-line blocks executed round-robin `rounds`
+/// times — stresses translation-cache capacity. Writes block id sums into
+/// mem[block].
+[[nodiscard]] Program many_blocks_program(int blocks, std::int64_t rounds);
+
+}  // namespace bladed::cms

@@ -1,0 +1,55 @@
+#include "cms/tcache.hpp"
+
+#include "common/error.hpp"
+
+namespace bladed::cms {
+
+TranslationCache::TranslationCache(std::size_t capacity_molecules)
+    : capacity_(capacity_molecules) {
+  BLADED_REQUIRE(capacity_molecules > 0);
+}
+
+const Translation* TranslationCache::lookup(std::size_t pc) {
+  const auto it = map_.find(pc);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(pc);
+  it->second.lru_it = lru_.begin();
+  return &it->second.translation;
+}
+
+bool TranslationCache::insert(Translation t) {
+  const std::size_t need = t.molecules.size();
+  if (need > capacity_) return false;
+  // Replace any stale entry for the same pc first.
+  if (const auto it = map_.find(t.entry_pc); it != map_.end()) {
+    used_ -= it->second.translation.molecules.size();
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+  }
+  while (used_ + need > capacity_) {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    const auto it = map_.find(victim);
+    used_ -= it->second.translation.molecules.size();
+    map_.erase(it);
+    ++evictions_;
+  }
+  lru_.push_front(t.entry_pc);
+  const std::size_t pc = t.entry_pc;
+  map_.emplace(pc, Entry{std::move(t), lru_.begin()});
+  used_ += need;
+  return true;
+}
+
+void TranslationCache::clear() {
+  map_.clear();
+  lru_.clear();
+  used_ = 0;
+}
+
+}  // namespace bladed::cms

@@ -1,0 +1,53 @@
+#pragma once
+
+/// The translation cache (§2.2): caches native translations keyed by entry
+/// pc so re-executions skip the translator entirely. Capacity is bounded in
+/// molecules (it lives in a reserved region of memory on real Crusoe parts);
+/// least-recently-used translations are evicted when a new one does not fit.
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "cms/translator.hpp"
+
+namespace bladed::cms {
+
+class TranslationCache {
+ public:
+  explicit TranslationCache(std::size_t capacity_molecules = 1 << 16);
+
+  /// Look up the translation entered at `pc`; refreshes LRU order. Returns
+  /// nullptr on miss. Counts hits/misses.
+  const Translation* lookup(std::size_t pc);
+
+  /// Insert (evicting LRU entries until it fits). A translation larger than
+  /// the whole cache is rejected (returns false) — it will be re-translated
+  /// on every encounter, as on real hardware with an oversized region.
+  bool insert(Translation t);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size_molecules() const { return used_; }
+  [[nodiscard]] std::size_t capacity_molecules() const { return capacity_; }
+  [[nodiscard]] std::size_t entries() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    Translation translation;
+    std::list<std::size_t>::iterator lru_it;
+  };
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::unordered_map<std::size_t, Entry> map_;
+  std::list<std::size_t> lru_;  ///< front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace bladed::cms

@@ -1,0 +1,191 @@
+#include "cms/translator.hpp"
+
+#include <algorithm>
+
+#include "cms/interpreter.hpp"
+
+namespace bladed::cms {
+
+std::uint64_t Translation::native_cycles() const {
+  std::uint64_t c = 0;
+  for (const Molecule& m : molecules) {
+    c += 1 + static_cast<std::uint64_t>(m.stall);
+  }
+  return c;
+}
+
+double Translation::density() const {
+  if (molecules.empty()) return 0.0;
+  std::size_t atoms = 0;
+  for (const Molecule& m : molecules) atoms += static_cast<std::size_t>(m.atoms);
+  return static_cast<double>(atoms) / static_cast<double>(molecules.size());
+}
+
+namespace {
+
+/// Extra FPU-busy cycles for unpipelined operations.
+int unpipelined_stall(Op op) {
+  switch (op) {
+    case Op::kFdiv:
+      return latency_of(Op::kFdiv) - 1;
+    case Op::kFsqrt:
+      return latency_of(Op::kFsqrt) - 1;
+    default:
+      return 0;
+  }
+}
+
+struct Dep {
+  std::vector<int> preds;  ///< indices (block-relative) this instr waits on
+};
+
+bool reads_int(const Instr& in, int reg) {
+  switch (in.op) {
+    case Op::kAddi:
+    case Op::kMuli:
+      return in.b == reg;
+    case Op::kAdd:
+    case Op::kSub:
+      return in.b == reg || in.c == reg;
+    case Op::kFload:
+    case Op::kFstore:
+      return in.b == reg;
+    case Op::kBlt:
+    case Op::kBne:
+      return in.a == reg || in.b == reg;
+    default:
+      return false;
+  }
+}
+
+bool reads_fp(const Instr& in, int reg) {
+  switch (in.op) {
+    case Op::kFadd:
+    case Op::kFsub:
+    case Op::kFmul:
+    case Op::kFdiv:
+      return in.b == reg || in.c == reg;
+    case Op::kFsqrt:
+      return in.b == reg;
+    case Op::kFstore:
+      return in.a == reg;
+    default:
+      return false;
+  }
+}
+
+bool is_mem(const Instr& in) {
+  return in.op == Op::kFload || in.op == Op::kFstore;
+}
+
+}  // namespace
+
+Translation Translator::translate(const Program& prog, std::size_t pc) const {
+  const std::size_t end = block_end(prog, pc);
+  BLADED_REQUIRE_MSG(pc < end, "empty translation region");
+  const int n = static_cast<int>(end - pc);
+
+  // Dependence edges (RAW, WAW, WAR, memory order, terminator-last).
+  std::vector<Dep> deps(n);
+  for (int i = 0; i < n; ++i) {
+    const Instr& a = prog[pc + i];
+    for (int j = i + 1; j < n; ++j) {
+      const Instr& b = prog[pc + j];
+      bool edge = false;
+      // RAW / WAW / WAR through integer registers.
+      if (writes_int_reg(a.op) &&
+          (reads_int(b, a.a) || (writes_int_reg(b.op) && b.a == a.a))) {
+        edge = true;
+      }
+      if (writes_int_reg(b.op) && reads_int(a, b.a)) edge = true;  // WAR
+      // Through fp registers.
+      if (writes_fp_reg(a.op) &&
+          (reads_fp(b, a.a) || (writes_fp_reg(b.op) && b.a == a.a))) {
+        edge = true;
+      }
+      if (writes_fp_reg(b.op) && reads_fp(a, b.a)) edge = true;  // WAR
+      // Conservative memory ordering: stores order against all memory ops.
+      if (is_mem(a) && is_mem(b) &&
+          (a.op == Op::kFstore || b.op == Op::kFstore)) {
+        edge = true;
+      }
+      // Block terminator is scheduled last.
+      if (is_branch(b.op) || b.op == Op::kHalt) edge = true;
+      if (edge) deps[j].preds.push_back(i);
+    }
+  }
+
+  // Cycle each instruction's operands are ready (filled as preds schedule).
+  std::vector<int> ready(n, 0);
+  std::vector<bool> scheduled(n, false);
+  std::vector<int> finish(n, 0);
+
+  Translation t;
+  t.entry_pc = pc;
+  t.instr_count = static_cast<std::size_t>(n);
+
+  int remaining = n;
+  int cycle = 0;
+  while (remaining > 0) {
+    Molecule mol{};
+    int alu = 0, fpu = 0, lsu = 0, br = 0;
+    for (int i = 0; i < n && mol.atoms < limits_.max_atoms; ++i) {
+      if (scheduled[i]) continue;
+      const Instr& in = prog[pc + i];
+      // All predecessors done and results available?
+      bool ok = ready[i] <= cycle;
+      for (int p : deps[i].preds) {
+        if (!scheduled[p] || finish[p] > cycle) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      switch (unit_of(in.op)) {
+        case UnitClass::kAlu:
+          if (alu >= limits_.alu) continue;
+          ++alu;
+          break;
+        case UnitClass::kFpu:
+          if (fpu >= limits_.fpu) continue;
+          ++fpu;
+          break;
+        case UnitClass::kLsu:
+          if (lsu >= limits_.lsu) continue;
+          ++lsu;
+          break;
+        case UnitClass::kBranch:
+        case UnitClass::kNone:
+          if (br >= limits_.branch) continue;
+          ++br;
+          break;
+      }
+      scheduled[i] = true;
+      finish[i] = cycle + latency_of(in.op);
+      mol.atom_pc[static_cast<std::size_t>(mol.atoms)] =
+          static_cast<std::uint32_t>(pc + static_cast<std::size_t>(i));
+      ++mol.atoms;
+      mol.stall = std::max(mol.stall, unpipelined_stall(in.op));
+      --remaining;
+    }
+    if (mol.atoms > 0) {
+      t.molecules.push_back(mol);
+      cycle += 1 + mol.stall;
+    } else {
+      ++cycle;  // waiting on latency; in hardware this is an issue bubble
+      // Account the bubble as an empty-slot molecule? The Crusoe would issue
+      // a nop molecule; charge it by extending the previous molecule's
+      // stall so native_cycles stays exact.
+      if (!t.molecules.empty()) {
+        ++t.molecules.back().stall;
+      } else {
+        Molecule nop{};
+        nop.stall = 0;
+        t.molecules.push_back(nop);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace bladed::cms

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bladed {
+
+/// Error thrown when a bladed API precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Error thrown when a simulation reaches an invalid state (e.g. a
+/// communication deadlock in the cluster simulator).
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement failed: " + expr +
+                          (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace bladed
+
+/// Precondition check that survives in release builds: public-API argument
+/// validation throws instead of invoking UB.
+#define BLADED_REQUIRE(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::bladed::detail::fail_precondition(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define BLADED_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::bladed::detail::fail_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

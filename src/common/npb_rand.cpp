@@ -1,0 +1,17 @@
+#include "common/npb_rand.hpp"
+
+namespace bladed {
+
+std::uint64_t NpbRandom::skip(std::uint64_t seed, std::uint64_t n) {
+  // State after n steps is a^n * seed (mod 2^46); square-and-multiply.
+  std::uint64_t an = 1;  // a^n mod 2^46 accumulated here
+  std::uint64_t base = kA;
+  while (n != 0) {
+    if (n & 1) an = mul46(an, base);
+    base = mul46(base, base);
+    n >>= 1;
+  }
+  return mul46(an, seed & kMask);
+}
+
+}  // namespace bladed

@@ -1,0 +1,55 @@
+#pragma once
+
+/// The NAS Parallel Benchmarks pseudorandom number generator: the linear
+/// congruential generator x_{k+1} = a * x_k (mod 2^46) with a = 5^13,
+/// returning uniform deviates in (0,1) as x_k * 2^-46. This is the generator
+/// NPB 2.3 specifies for EP, IS and CG; implementing it exactly keeps our
+/// kernels' random streams identical to the reference definition.
+
+#include <cstdint>
+#include <vector>
+
+namespace bladed {
+
+class NpbRandom {
+ public:
+  /// 5^13 — the NPB multiplier.
+  static constexpr std::uint64_t kA = 1220703125ULL;
+  /// Default seed used by EP and CG in NPB 2.3.
+  static constexpr std::uint64_t kDefaultSeed = 314159265ULL;
+
+  explicit NpbRandom(std::uint64_t seed = kDefaultSeed) : x_(seed & kMask) {}
+
+  /// Next uniform deviate in (0,1); advances the state once.
+  double next() {
+    x_ = mul46(kA, x_);
+    return static_cast<double>(x_) * kR46;
+  }
+
+  /// Fill `out` with deviates (NPB's vranlc).
+  void fill(std::vector<double>& out) {
+    for (double& v : out) v = next();
+  }
+
+  [[nodiscard]] std::uint64_t state() const { return x_; }
+  void set_state(std::uint64_t x) { x_ = x & kMask; }
+
+  /// Jump the seed forward: returns a * seed^... — precisely, the state after
+  /// `n` calls to next() starting from `seed`, computed in O(log n). This is
+  /// NPB's ipow46/randlc seed-jumping used to give each process an
+  /// independent, reproducible block of the global stream.
+  static std::uint64_t skip(std::uint64_t seed, std::uint64_t n);
+
+ private:
+  static constexpr std::uint64_t kMask = (1ULL << 46) - 1;
+  static constexpr double kR46 = 1.0 / static_cast<double>(1ULL << 46);
+
+  /// (a*b) mod 2^46 without overflow.
+  static std::uint64_t mul46(std::uint64_t a, std::uint64_t b) {
+    return (a * b) & kMask;  // 2^64 wraps are harmless: result mod 2^46.
+  }
+
+  std::uint64_t x_;
+};
+
+}  // namespace bladed

@@ -1,0 +1,79 @@
+#pragma once
+
+/// Operation accounting shared by every instrumented kernel (microkernel,
+/// treecode, NPB). Kernels accumulate counts of the dynamic operations they
+/// perform; the architecture cost model (arch/cost_model.hpp) converts a
+/// count vector plus a processor description into cycles and Mflop/s.
+
+#include <cstdint>
+
+namespace bladed {
+
+struct OpCounter {
+  // Floating point.
+  std::uint64_t fadd = 0;   ///< fp add/sub
+  std::uint64_t fmul = 0;   ///< fp multiply
+  std::uint64_t fdiv = 0;   ///< fp divide (unpipelined on all modelled CPUs)
+  std::uint64_t fsqrt = 0;  ///< fp square root (library or hardware)
+  // Integer / control.
+  std::uint64_t iop = 0;     ///< integer ALU ops (address arithmetic excluded)
+  std::uint64_t branch = 0;  ///< taken+untaken conditional branches
+  // Memory.
+  std::uint64_t load = 0;
+  std::uint64_t store = 0;
+  // Communication (parallel codes only).
+  std::uint64_t msg_bytes = 0;
+  std::uint64_t msg_count = 0;
+
+  /// Useful floating-point work in the paper's sense: adds, multiplies,
+  /// divides and square roots each count as one flop (the convention the NAS
+  /// benchmarks and the LANL treecode flop ratings use).
+  [[nodiscard]] constexpr std::uint64_t flops() const {
+    return fadd + fmul + fdiv + fsqrt;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t mem_ops() const { return load + store; }
+
+  constexpr OpCounter& operator+=(const OpCounter& o) {
+    fadd += o.fadd;
+    fmul += o.fmul;
+    fdiv += o.fdiv;
+    fsqrt += o.fsqrt;
+    iop += o.iop;
+    branch += o.branch;
+    load += o.load;
+    store += o.store;
+    msg_bytes += o.msg_bytes;
+    msg_count += o.msg_count;
+    return *this;
+  }
+
+  friend constexpr OpCounter operator+(OpCounter a, const OpCounter& b) {
+    a += b;
+    return a;
+  }
+
+  /// Scale every count by an integer factor (e.g. analytic extrapolation of a
+  /// measured inner iteration to the full problem size).
+  constexpr OpCounter& operator*=(std::uint64_t k) {
+    fadd *= k;
+    fmul *= k;
+    fdiv *= k;
+    fsqrt *= k;
+    iop *= k;
+    branch *= k;
+    load *= k;
+    store *= k;
+    msg_bytes *= k;
+    msg_count *= k;
+    return *this;
+  }
+  friend constexpr OpCounter operator*(OpCounter a, std::uint64_t k) {
+    a *= k;
+    return a;
+  }
+
+  friend constexpr bool operator==(const OpCounter&, const OpCounter&) = default;
+};
+
+}  // namespace bladed

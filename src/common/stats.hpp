@@ -1,0 +1,32 @@
+#pragma once
+
+/// Small statistics helpers used by tests (distribution checks on RNG output,
+/// energy-conservation drift fits) and by the benchmark harnesses.
+
+#include <cstddef>
+#include <span>
+
+namespace bladed {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Least-squares fit y = a + b*x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+[[nodiscard]] LinearFit fit_line(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Relative difference |a-b| / max(|a|,|b|,eps).
+[[nodiscard]] double rel_diff(double a, double b);
+
+}  // namespace bladed

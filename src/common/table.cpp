@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bladed {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  BLADED_REQUIRE(!header_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  BLADED_REQUIRE_MSG(row.size() == header_.size(),
+                     "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::grouped(long long v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+bool parses_as_number(const std::string& s) {
+  if (s.empty()) return false;
+  std::istringstream iss(s);
+  double d;
+  iss >> d;
+  return iss && iss.eof();
+}
+}  // namespace
+
+std::string TablePrinter::str() const {
+  const std::size_t ncol = header_.size();
+  std::vector<std::size_t> width(ncol);
+  std::vector<bool> numeric(ncol, true);
+  for (std::size_t c = 0; c < ncol; ++c) {
+    width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!parses_as_number(row[c])) numeric[c] = false;
+    }
+  }
+
+  auto emit_cell = [&](std::ostringstream& os, const std::string& cell,
+                       std::size_t c, bool right) {
+    const std::string pad(width[c] - cell.size(), ' ');
+    os << (right ? pad + cell : cell + pad);
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < ncol; ++c) {
+    if (c) os << "  ";
+    emit_cell(os, header_[c], c, /*right=*/c > 0 && numeric[c]);
+  }
+  os << '\n';
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < ncol; ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      if (c) os << "  ";
+      emit_cell(os, row[c], c, /*right=*/c > 0 && numeric[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bladed

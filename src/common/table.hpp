@@ -1,0 +1,32 @@
+#pragma once
+
+/// ASCII table formatter used by the benchmark harnesses to print the paper's
+/// tables in a uniform layout, including side-by-side paper-vs-model columns.
+
+#include <string>
+#include <vector>
+
+namespace bladed {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+  /// Formats a value as an integer with thousands grouping ("9,753,824").
+  static std::string grouped(long long v);
+
+  /// Render the table with a rule under the header and right-aligned numeric
+  /// columns (a column is numeric if every data cell in it parses as one).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bladed

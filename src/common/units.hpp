@@ -1,0 +1,82 @@
+#pragma once
+
+/// Lightweight strongly-typed units used throughout the cost, power and
+/// performance models. Each unit is a distinct type wrapping a double so that
+/// watts cannot silently be added to dollars; arithmetic that is meaningful
+/// (same-unit add/sub, scalar scale, same-unit ratio) is provided.
+
+#include <compare>
+
+namespace bladed {
+
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.value_ / s);
+  }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+struct WattsTag {};
+struct DollarsTag {};
+struct SquareFeetTag {};
+struct HoursTag {};
+struct MegahertzTag {};
+struct CelsiusTag {};
+
+using Watts = Quantity<WattsTag>;
+using Dollars = Quantity<DollarsTag>;
+using SquareFeet = Quantity<SquareFeetTag>;
+using Hours = Quantity<HoursTag>;
+using Megahertz = Quantity<MegahertzTag>;
+using Celsius = Quantity<CelsiusTag>;
+
+[[nodiscard]] constexpr double kilowatts(Watts w) { return w.value() / 1000.0; }
+
+/// Energy cost: power drawn continuously for a duration at a $/kWh rate.
+[[nodiscard]] constexpr Dollars energy_cost(Watts power, Hours duration,
+                                            double dollars_per_kwh) {
+  return Dollars(kilowatts(power) * duration.value() * dollars_per_kwh);
+}
+
+inline constexpr Hours kHoursPerYear{8760.0};
+
+}  // namespace bladed

@@ -1,0 +1,20 @@
+#include "core/cluster_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace bladed::core {
+
+void validate(const ClusterSpec& c) {
+  BLADED_REQUIRE_MSG(!c.name.empty(), "cluster must be named");
+  BLADED_REQUIRE(c.nodes > 0);
+  BLADED_REQUIRE(c.node_watts.value() > 0.0);
+  BLADED_REQUIRE(c.network_gear.value() >= 0.0);
+  BLADED_REQUIRE(c.area.value() > 0.0);
+  BLADED_REQUIRE(c.hardware_cost.value() >= 0.0);
+  BLADED_REQUIRE(c.software_cost.value() >= 0.0);
+  BLADED_REQUIRE(c.downtime.cluster_failures_per_year >= 0.0);
+  BLADED_REQUIRE(c.downtime.repair_time.value() >= 0.0);
+  BLADED_REQUIRE(c.sustained_gflops > 0.0);
+}
+
+}  // namespace bladed::core

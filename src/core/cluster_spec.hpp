@@ -1,0 +1,88 @@
+#pragma once
+
+/// Description of a cluster for the cost/metric models: node count and
+/// per-node hardware, power draw, floor space, acquisition cost, the
+/// system-administration burden, and the failure/outage behaviour. The
+/// presets in core/presets.hpp describe every machine in the paper's §4
+/// tables.
+
+#include <optional>
+#include <string>
+
+#include "arch/processor.hpp"
+#include "common/units.hpp"
+#include "power/node_power.hpp"
+#include "power/reliability.hpp"
+
+namespace bladed::core {
+
+/// System administration cost model (§4.1 SAC): recurring labor and
+/// materials plus one-time setup.
+struct SysAdminModel {
+  Dollars setup{0.0};             ///< one-time assembly/install/config labor
+  Dollars annual_labor{0.0};      ///< recurring admin labor
+  Dollars annual_materials{0.0};  ///< recurring replacement HW + install labor
+
+  [[nodiscard]] Dollars cost(double years) const {
+    return setup + (annual_labor + annual_materials) * years;
+  }
+};
+
+/// Observed (or assumed) failure/outage behaviour used for the downtime cost.
+/// The paper uses observed rates ("a four-hour outage every two months" for
+/// traditional Beowulfs; one one-hour single-node outage per year for the
+/// blades); the predictive temperature-based model lives in power/reliability
+/// and is cross-checked against these numbers in tests.
+struct DowntimeSpec {
+  double cluster_failures_per_year = 0.0;
+  Hours repair_time{4.0};
+  bool whole_cluster_outage = true;
+};
+
+struct ClusterSpec {
+  std::string name;
+  int nodes = 0;
+  /// CPU model when one is registered (null for historical machines that are
+  /// only characterized by their measured application rates).
+  const arch::ProcessorModel* cpu = nullptr;
+
+  Watts node_watts{0.0};    ///< complete node under load (CPU+mem+disk+NIC)
+  Watts network_gear{0.0};  ///< switches, hubs
+  power::Cooling cooling = power::Cooling::kActive;
+  Celsius ambient{23.9};    ///< 75 °F machine-room default
+
+  SquareFeet area{0.0};
+  Dollars hardware_cost{0.0};
+  Dollars software_cost{0.0};
+  SysAdminModel sysadmin;
+  DowntimeSpec downtime;
+
+  /// Sustained application performance in Gflop/s (the paper's N-body /
+  /// treecode rating). For the MetaBlade machines the bench harnesses also
+  /// recompute this from the instrumented treecode + CPU model.
+  double sustained_gflops = 0.0;
+
+  /// Total dissipated power (compute + network) before cooling.
+  [[nodiscard]] Watts dissipated() const {
+    return node_watts * static_cast<double>(nodes) + network_gear;
+  }
+
+  /// Total power including the cooling burden implied by the policy.
+  [[nodiscard]] Watts total_power() const {
+    const Watts d = dissipated();
+    return cooling == power::Cooling::kActive
+               ? d * (1.0 + power::kCoolingWattsPerWatt)
+               : d;
+  }
+
+  [[nodiscard]] double peak_gflops() const {
+    return cpu != nullptr
+               ? cpu->peak_mflops() * static_cast<double>(nodes) / 1000.0
+               : 0.0;
+  }
+};
+
+/// Consistency checks; throws PreconditionError on a malformed spec.
+void validate(const ClusterSpec& c);
+
+}  // namespace bladed::core

@@ -1,0 +1,38 @@
+#include "core/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace bladed::core {
+
+double price_performance(Dollars acquisition, double sustained_gflops) {
+  BLADED_REQUIRE(sustained_gflops > 0.0);
+  return acquisition.value() / (sustained_gflops * 1000.0);
+}
+
+double topper(const Tco& tco, double sustained_gflops) {
+  BLADED_REQUIRE(sustained_gflops > 0.0);
+  return tco.total().value() / (sustained_gflops * 1000.0);
+}
+
+double performance_per_space(double sustained_gflops, SquareFeet area) {
+  BLADED_REQUIRE(area.value() > 0.0);
+  return sustained_gflops * 1000.0 / area.value();
+}
+
+double performance_per_power(double sustained_gflops, Watts total_power) {
+  BLADED_REQUIRE(total_power.value() > 0.0);
+  return sustained_gflops / kilowatts(total_power);
+}
+
+MetricReport evaluate(const ClusterSpec& spec, const CostContext& ctx) {
+  MetricReport r;
+  r.tco = compute_tco(spec, ctx);
+  r.price_perf = price_performance(r.tco.acquisition(), spec.sustained_gflops);
+  r.topper = topper(r.tco, spec.sustained_gflops);
+  r.perf_space = performance_per_space(spec.sustained_gflops, spec.area);
+  r.perf_power = performance_per_power(spec.sustained_gflops,
+                                       spec.total_power());
+  return r;
+}
+
+}  // namespace bladed::core

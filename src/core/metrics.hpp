@@ -1,0 +1,42 @@
+#pragma once
+
+/// The paper's proposed metrics (§4):
+///  - ToPPeR: Total Price-Performance Ratio — TCO dollars per sustained
+///    Mflop/s (lower is better). The traditional Gordon-Bell
+///    price/performance ratio uses acquisition cost only.
+///  - performance/space: sustained Mflop/s per square foot (higher better).
+///  - performance/power: sustained Gflop/s per kilowatt (higher better).
+
+#include "core/cluster_spec.hpp"
+#include "core/tco.hpp"
+
+namespace bladed::core {
+
+/// Traditional price-performance: acquisition dollars per sustained Mflop/s.
+[[nodiscard]] double price_performance(Dollars acquisition,
+                                       double sustained_gflops);
+
+/// ToPPeR: TCO dollars per sustained Mflop/s.
+[[nodiscard]] double topper(const Tco& tco, double sustained_gflops);
+
+/// Sustained Mflop/s per square foot.
+[[nodiscard]] double performance_per_space(double sustained_gflops,
+                                           SquareFeet area);
+
+/// Sustained Gflop/s per kilowatt of total (dissipated + cooling) power.
+[[nodiscard]] double performance_per_power(double sustained_gflops,
+                                           Watts total_power);
+
+/// All four metrics evaluated for a spec under a cost context.
+struct MetricReport {
+  Tco tco;
+  double price_perf = 0.0;      ///< $/Mflops (acquisition)
+  double topper = 0.0;          ///< $/Mflops (TCO)
+  double perf_space = 0.0;      ///< Mflops/ft^2
+  double perf_power = 0.0;      ///< Gflops/kW
+};
+
+[[nodiscard]] MetricReport evaluate(const ClusterSpec& spec,
+                                    const CostContext& ctx);
+
+}  // namespace bladed::core

@@ -1,0 +1,50 @@
+#pragma once
+
+/// Preset cluster descriptions for every machine in the paper's evaluation:
+/// the five comparably-equipped 24-node clusters of Table 5, the
+/// Avalon/MetaBlade/Green-Destiny trio of Tables 6-7, and the historical
+/// treecode machines of Table 4.
+///
+/// Sources for the constants: the paper's §4.1 prose (node wattage, $0.10/kWh,
+/// $100/ft^2/yr, $5/CPU-hour, $15K/yr traditional sysadmin, $250 blade
+/// assembly, one $1200 failure/year, outage cadences, 20 vs 6 ft^2) and, for
+/// machines the paper only cites, the figures published in the authors'
+/// companion papers/talks. EXPERIMENTS.md flags every number the ICPP text
+/// itself lost in transcription as "reconstructed".
+
+#include <span>
+#include <string>
+
+#include "core/cluster_spec.hpp"
+
+namespace bladed::core {
+
+// --- Table 5: comparably-equipped 24-node clusters (4-year TCO) ---------
+[[nodiscard]] ClusterSpec alpha_24();     ///< 24x Compaq/DEC Alpha nodes
+[[nodiscard]] ClusterSpec athlon_24();    ///< 24x AMD Athlon (600-class) nodes
+[[nodiscard]] ClusterSpec pentium3_24();  ///< 24x Intel Pentium III nodes
+[[nodiscard]] ClusterSpec pentium4_24();  ///< 24x Intel Pentium 4 (1.3 GHz)
+[[nodiscard]] ClusterSpec metablade();    ///< the Bladed Beowulf (TM5600)
+[[nodiscard]] std::span<const ClusterSpec> table5_clusters();
+
+// --- Tables 6-7: Avalon vs Bladed Beowulfs --------------------------------
+[[nodiscard]] ClusterSpec avalon();         ///< 140-node Alpha Beowulf (1998)
+[[nodiscard]] ClusterSpec metablade2();     ///< 24x 800-MHz TM5800, CMS 4.3.x
+[[nodiscard]] ClusterSpec green_destiny();  ///< 240 blades in one rack
+[[nodiscard]] ClusterSpec loki();           ///< 16x Pentium Pro 200 (1996-97)
+
+// --- Table 4: historical treecode performance -----------------------------
+struct HistoricalMachine {
+  std::string site;     ///< "LANL", "Sandia", ...
+  std::string machine;  ///< "SGI Origin 2000", ...
+  int procs = 0;
+  double gflops = 0.0;  ///< measured treecode rate, whole machine
+  [[nodiscard]] double mflops_per_proc() const {
+    return gflops * 1000.0 / procs;
+  }
+  /// True for the rows our treecode+CPU model recomputes from scratch.
+  bool modelled_here = false;
+};
+[[nodiscard]] std::span<const HistoricalMachine> treecode_history();
+
+}  // namespace bladed::core

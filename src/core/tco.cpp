@@ -1,0 +1,33 @@
+#include "core/tco.hpp"
+
+#include "common/error.hpp"
+
+namespace bladed::core {
+
+Hours lost_cpu_hours(const DowntimeSpec& dt, int nodes, double years) {
+  BLADED_REQUIRE(nodes > 0);
+  BLADED_REQUIRE(years >= 0.0);
+  const double outages = dt.cluster_failures_per_year * years;
+  const double affected = dt.whole_cluster_outage ? nodes : 1;
+  return Hours(outages * dt.repair_time.value() * affected);
+}
+
+Tco compute_tco(const ClusterSpec& spec, const CostContext& ctx) {
+  BLADED_REQUIRE_MSG(spec.nodes > 0, "cluster must have nodes");
+  BLADED_REQUIRE(ctx.years >= 0.0);
+
+  Tco t;
+  t.hardware = spec.hardware_cost;
+  t.software = spec.software_cost;
+  t.sysadmin = spec.sysadmin.cost(ctx.years);
+  t.power_cooling =
+      power::electricity_cost(spec.total_power(), ctx.years, ctx.utility);
+  t.space = Dollars(spec.area.value() * ctx.space_rate_per_sqft_year *
+                    ctx.years);
+  t.downtime = Dollars(lost_cpu_hours(spec.downtime, spec.nodes, ctx.years)
+                           .value() *
+                       ctx.dollars_per_cpu_hour);
+  return t;
+}
+
+}  // namespace bladed::core

@@ -1,0 +1,43 @@
+#pragma once
+
+/// Total cost of ownership (§4.1):
+///   TCO = AC + OC,  AC = HWC + SWC,  OC = SAC + PCC + SCC + DTC
+/// where SAC is system administration, PCC power-and-cooling, SCC space, and
+/// DTC downtime (lost CPU-hour revenue).
+
+#include "core/cluster_spec.hpp"
+#include "power/electricity.hpp"
+
+namespace bladed::core {
+
+/// Unit prices and the operating period shared by a TCO comparison.
+struct CostContext {
+  double years = 4.0;                      ///< operational lifetime
+  power::UtilityRate utility;              ///< $/kWh
+  double space_rate_per_sqft_year = 100.0; ///< $/ft^2/yr lease (§4.1)
+  double dollars_per_cpu_hour = 5.0;       ///< downtime revenue rate (§4.1)
+};
+
+struct Tco {
+  Dollars hardware{0.0};
+  Dollars software{0.0};
+  Dollars sysadmin{0.0};
+  Dollars power_cooling{0.0};
+  Dollars space{0.0};
+  Dollars downtime{0.0};
+
+  [[nodiscard]] Dollars acquisition() const { return hardware + software; }
+  [[nodiscard]] Dollars operating() const {
+    return sysadmin + power_cooling + space + downtime;
+  }
+  [[nodiscard]] Dollars total() const { return acquisition() + operating(); }
+};
+
+/// Lost CPU-hours over the period implied by a DowntimeSpec.
+[[nodiscard]] Hours lost_cpu_hours(const DowntimeSpec& dt, int nodes,
+                                   double years);
+
+/// Evaluate the full TCO of `spec` under `ctx`.
+[[nodiscard]] Tco compute_tco(const ClusterSpec& spec, const CostContext& ctx);
+
+}  // namespace bladed::core

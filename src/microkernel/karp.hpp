@@ -1,0 +1,30 @@
+#pragma once
+
+/// Karp's reciprocal square root (A. Karp, "Speeding Up N-body Calculations
+/// on Machines Lacking a Hardware Square Root", Scientific Programming 1(2)):
+/// range-reduce the argument to [1,4), look up a per-segment Chebyshev-node
+/// quadratic fit of 1/sqrt(m), then sharpen with Newton–Raphson iterations —
+/// all adds and multiplies, no divide and no square root instruction. This is
+/// the second implementation benchmarked in the paper's §3.2.
+
+#include <cstdint>
+
+namespace bladed::micro {
+
+/// Number of table segments over the reduced range [1,4).
+inline constexpr int kKarpTableSegments = 128;
+
+/// 1/sqrt(x) for finite x > 0 (normal range), with `nr_iterations`
+/// Newton–Raphson refinements after the table+polynomial estimate.
+/// 0 iterations: ~1e-6 relative error; 1: ~1e-12; 2: ~1e-16 (full double).
+[[nodiscard]] double karp_rsqrt(double x, int nr_iterations = 2);
+
+/// The raw table+polynomial estimate on the reduced range, exposed for
+/// accuracy tests and the ablation bench.
+[[nodiscard]] double karp_rsqrt_estimate(double x);
+
+/// Reciprocal cube sqrt, 1/r^3 from r^2: karp_rsqrt(r2) cubed. This is the
+/// quantity the gravity kernel actually needs (paper Eq. 1: Gm (xj-xk)/r^3).
+[[nodiscard]] double karp_rcbrt3(double r2, int nr_iterations = 2);
+
+}  // namespace bladed::micro

@@ -1,0 +1,121 @@
+#include "microkernel/microkernel.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "microkernel/karp.hpp"
+
+namespace bladed::micro {
+
+namespace {
+
+struct Pair {
+  double xj, yj, zj;  // particle j position
+  double xk, yk, zk;  // particle k position
+  double gm;          // G * m_k
+};
+
+std::vector<Pair> make_pairs(int n) {
+  std::vector<Pair> pairs(n);
+  Rng rng(0x5eed5eedULL);
+  for (Pair& p : pairs) {
+    p.xj = rng.uniform(-1.0, 1.0);
+    p.yj = rng.uniform(-1.0, 1.0);
+    p.zj = rng.uniform(-1.0, 1.0);
+    p.xk = rng.uniform(-1.0, 1.0);
+    p.yk = rng.uniform(-1.0, 1.0);
+    p.zk = rng.uniform(-1.0, 1.0);
+    p.gm = rng.uniform(0.5, 1.5);
+  }
+  return pairs;
+}
+
+constexpr double kSoftening2 = 1e-6;
+
+}  // namespace
+
+MicroResult run_microkernel(SqrtImpl impl, int iterations) {
+  BLADED_REQUIRE(iterations > 0);
+  const std::vector<Pair> pairs = make_pairs(iterations);
+
+  MicroResult result;
+  result.iterations = iterations;
+  double sum = 0.0;
+  if (impl == SqrtImpl::kLibm) {
+    for (const Pair& p : pairs) {
+      const double dx = p.xj - p.xk;            // 3 fadd (dx, dy, dz)
+      const double dy = p.yj - p.yk;
+      const double dz = p.zj - p.zk;
+      const double r2 =
+          dx * dx + dy * dy + dz * dz + kSoftening2;  // 3 fmul, 3 fadd
+      const double r = std::sqrt(r2);           // 1 fsqrt
+      const double r3 = r2 * r;                 // 1 fmul
+      const double a = p.gm * dx / r3;          // 1 fmul, 1 fdiv
+      sum += a;                                 // 1 fadd
+    }
+  } else {
+    for (const Pair& p : pairs) {
+      const double dx = p.xj - p.xk;            // 3 fadd
+      const double dy = p.yj - p.yk;
+      const double dz = p.zj - p.zk;
+      const double r2 =
+          dx * dx + dy * dy + dz * dz + kSoftening2;  // 3 fmul, 3 fadd
+      // karp_rsqrt: ~6-8 iops of range reduction, 1 table load (3 doubles),
+      // 2 fmul + 3 fadd polynomial, two NR steps of 4 fmul + 1 fadd each,
+      // 1 fmul rescale.
+      const double y = karp_rsqrt(r2, 2);
+      const double y3 = y * y * y;              // 2 fmul
+      const double a = p.gm * dx * y3;          // 2 fmul
+      sum += a;                                 // 1 fadd
+    }
+  }
+  result.checksum = sum;
+  result.ops = per_iteration_ops(impl) * static_cast<std::uint64_t>(iterations);
+  return result;
+}
+
+OpCounter per_iteration_ops(SqrtImpl impl) {
+  OpCounter o;
+  if (impl == SqrtImpl::kLibm) {
+    o.fadd = 7;   // 3 deltas + 3 r2 accumulation (incl. softening) + 1 sum
+    o.fmul = 5;   // 3 squares + r2*r + gm*dx
+    o.fdiv = 1;
+    o.fsqrt = 1;
+    o.load = 7;   // the Pair fields
+    o.iop = 2;    // loop index + bound check address math
+    o.branch = 1;
+  } else {
+    o.fadd = 12;  // 6 as above + 3 polynomial + 2 NR + softening folded above
+    o.fmul = 18;  // 3 squares + 2 poly + 8 NR + 1 rescale + 2 cube + 2 accel
+    o.load = 10;  // Pair fields + the 3-coefficient table segment
+    o.iop = 10;   // loop bookkeeping + exponent/mantissa bit manipulation
+    o.branch = 1;
+  }
+  return o;
+}
+
+arch::KernelProfile microkernel_profile(SqrtImpl impl, bool arch_tuned,
+                                        int iterations) {
+  BLADED_REQUIRE(iterations > 0);
+  arch::KernelProfile p;
+  p.name = impl == SqrtImpl::kLibm ? "gravity-microkernel/math-sqrt"
+                                   : "gravity-microkernel/karp-sqrt";
+  p.ops = per_iteration_ops(impl) * static_cast<std::uint64_t>(iterations);
+  // 500 pairs fit comfortably in L1 on every modelled CPU.
+  p.miss_intensity = 0.02;
+  if (impl == SqrtImpl::kLibm) {
+    // The chain runs through the unpipelined sqrt and divide regardless of
+    // scheduling, so tuning does not change the characterization.
+    p.dependency = 0.35;
+  } else {
+    // §3.2: the Karp code was hand-scheduled for every architecture except
+    // the Transmeta; the untuned build leaves the NR recurrence's serial
+    // chain more exposed.
+    p.dependency = arch_tuned ? 0.35 : 0.55;
+  }
+  return p;
+}
+
+}  // namespace bladed::micro

@@ -1,0 +1,55 @@
+#pragma once
+
+/// The gravitational microkernel of §3.2: the acceleration-component
+/// evaluation Gm_k (x_j - x_k)/r^3 looped 500 times over the reciprocal
+/// square-root calculation, in two variants — library sqrt (plus a divide)
+/// and Karp's all-multiply reciprocal square root. The kernel really
+/// computes (its checksum is verified against direct evaluation in tests),
+/// and it carries hand-audited per-iteration operation counts that feed the
+/// architecture cost model for Table 1.
+
+#include "arch/kernel_profile.hpp"
+#include "common/opcount.hpp"
+
+namespace bladed::micro {
+
+enum class SqrtImpl {
+  kLibm,  ///< r = sqrt(r2); a = Gm*dx / (r2*r)
+  kKarp,  ///< y = karp_rsqrt(r2); a = Gm*dx * y^3
+};
+
+/// The paper's loop length.
+inline constexpr int kPaperIterations = 500;
+
+struct MicroResult {
+  double checksum = 0.0;   ///< sum of computed acceleration components
+  OpCounter ops;           ///< dynamic operation counts for the whole run
+  int iterations = 0;
+};
+
+/// Execute the microkernel on the host. `iterations` pair-evaluations; the
+/// pair data is deterministic (seeded internally).
+[[nodiscard]] MicroResult run_microkernel(SqrtImpl impl,
+                                          int iterations = kPaperIterations);
+
+/// Per-iteration operation counts (hand-audited against the source of
+/// run_microkernel; a test asserts they match the measured totals).
+[[nodiscard]] OpCounter per_iteration_ops(SqrtImpl impl);
+
+/// Nominal flops of one pair interaction under the N-body community's
+/// counting convention (sqrt and divide count as one flop each); Mflop
+/// ratings for both variants are computed against this same count so they
+/// are comparable, as in the paper's Table 1.
+inline constexpr double kNominalFlopsPerIteration = 14.0;
+
+/// The kernel profile (ops + locality/dependence characterization) used by
+/// the Table 1 bench to estimate Mflops on each modelled CPU. `arch_tuned`
+/// reflects §3.2: the Karp implementation was optimized for every
+/// architecture except the Transmeta; pass false for the untuned build
+/// (slightly longer dependence chains). It has no effect on the libm
+/// variant.
+[[nodiscard]] arch::KernelProfile microkernel_profile(
+    SqrtImpl impl, bool arch_tuned = true,
+    int iterations = kPaperIterations);
+
+}  // namespace bladed::micro

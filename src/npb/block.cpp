@@ -1,0 +1,134 @@
+#include "npb/block.hpp"
+
+namespace bladed::npb {
+
+Mat5 mat5_zero() {
+  Mat5 m;
+  for (auto& row : m) row.fill(0.0);
+  return m;
+}
+
+Mat5 mat5_identity() {
+  Mat5 m = mat5_zero();
+  for (int i = 0; i < kB; ++i) m[i][i] = 1.0;
+  return m;
+}
+
+void matvec_acc(const Mat5& a, const Vec5& x, Vec5& y) {
+  for (int i = 0; i < kB; ++i) {
+    double s = y[i];
+    for (int j = 0; j < kB; ++j) s += a[i][j] * x[j];
+    y[i] = s;
+  }
+}
+
+void matvec_sub(const Mat5& a, const Vec5& x, Vec5& y) {
+  for (int i = 0; i < kB; ++i) {
+    double s = y[i];
+    for (int j = 0; j < kB; ++j) s -= a[i][j] * x[j];
+    y[i] = s;
+  }
+}
+
+void matmul_sub(const Mat5& a, const Mat5& b, Mat5& c) {
+  for (int i = 0; i < kB; ++i) {
+    for (int j = 0; j < kB; ++j) {
+      double s = c[i][j];
+      for (int k = 0; k < kB; ++k) s -= a[i][k] * b[k][j];
+      c[i][j] = s;
+    }
+  }
+}
+
+void lu_factor(Mat5& a) {
+  for (int k = 0; k < kB; ++k) {
+    const double pivot = 1.0 / a[k][k];
+    for (int i = k + 1; i < kB; ++i) {
+      a[i][k] *= pivot;
+      for (int j = k + 1; j < kB; ++j) a[i][j] -= a[i][k] * a[k][j];
+    }
+    a[k][k] = pivot;  // store the reciprocal for the solves
+  }
+}
+
+void lu_solve(const Mat5& lu, Vec5& b) {
+  // Forward: L has unit diagonal.
+  for (int i = 1; i < kB; ++i) {
+    for (int j = 0; j < i; ++j) b[i] -= lu[i][j] * b[j];
+  }
+  // Backward with stored reciprocal diagonals.
+  for (int i = kB - 1; i >= 0; --i) {
+    for (int j = i + 1; j < kB; ++j) b[i] -= lu[i][j] * b[j];
+    b[i] *= lu[i][i];
+  }
+}
+
+void lu_solve_mat(const Mat5& lu, Mat5& x) {
+  for (int col = 0; col < kB; ++col) {
+    Vec5 v;
+    for (int i = 0; i < kB; ++i) v[i] = x[i][col];
+    lu_solve(lu, v);
+    for (int i = 0; i < kB; ++i) x[i][col] = v[i];
+  }
+}
+
+double dot(const Vec5& a, const Vec5& b) {
+  double s = 0.0;
+  for (int i = 0; i < kB; ++i) s += a[i] * b[i];
+  return s;
+}
+
+OpCounter matvec_ops() {
+  OpCounter o;
+  o.fmul = 25;
+  o.fadd = 25;
+  o.load = 30;
+  o.store = 5;
+  o.iop = 10;
+  o.branch = 6;
+  return o;
+}
+
+OpCounter matmul_ops() {
+  OpCounter o;
+  o.fmul = 125;
+  o.fadd = 125;
+  o.load = 75;
+  o.store = 25;
+  o.iop = 40;
+  o.branch = 31;
+  return o;
+}
+
+OpCounter lu_factor_ops() {
+  OpCounter o;
+  // k-loop: sum over k of (n-k-1) reciprocal-scaled rows.
+  o.fdiv = 5;    // one reciprocal per pivot
+  o.fmul = 10 + 30;  // scale column + update products
+  o.fadd = 30;
+  o.load = 50;
+  o.store = 30;
+  o.iop = 30;
+  o.branch = 20;
+  return o;
+}
+
+OpCounter lu_solve_ops() {
+  OpCounter o;
+  o.fmul = 10 + 10 + 5;  // forward + backward + diagonal scaling
+  o.fadd = 20;
+  o.load = 30;
+  o.store = 10;
+  o.iop = 20;
+  o.branch = 12;
+  return o;
+}
+
+OpCounter lu_solve_mat_ops() {
+  OpCounter o = lu_solve_ops() * 5;
+  o.load += 25;
+  o.store += 25;
+  return o;
+}
+
+}  // namespace bladed::npb

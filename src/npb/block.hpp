@@ -1,0 +1,48 @@
+#pragma once
+
+/// Fixed-size 5x5 block algebra for the CFD pseudo-applications: the NAS
+/// BT/LU benchmarks operate on 5 coupled variables per grid cell, so their
+/// inner kernels are 5x5 block multiplies and block LU solves. Operation
+/// counts for each primitive are exported as constants and verified in
+/// tests against hand counts.
+
+#include <array>
+#include <cstdint>
+
+#include "common/opcount.hpp"
+
+namespace bladed::npb {
+
+inline constexpr int kB = 5;  ///< block dimension (5 CFD variables)
+
+using Vec5 = std::array<double, kB>;
+using Mat5 = std::array<std::array<double, kB>, kB>;
+
+[[nodiscard]] Mat5 mat5_zero();
+[[nodiscard]] Mat5 mat5_identity();
+
+/// y += A * x   (25 mul, 25 add)
+void matvec_acc(const Mat5& a, const Vec5& x, Vec5& y);
+/// y -= A * x   (25 mul, 25 add)
+void matvec_sub(const Mat5& a, const Vec5& x, Vec5& y);
+/// C -= A * B   (125 mul, 125 add)
+void matmul_sub(const Mat5& a, const Mat5& b, Mat5& c);
+
+/// In-place LU factorization without pivoting (valid for the diagonally
+/// dominant blocks these solvers generate). ~40 mul/div + 30 add.
+void lu_factor(Mat5& a);
+/// Solve L U x = b using a factored block; x overwrites b. ~50 ops.
+void lu_solve(const Mat5& lu, Vec5& b);
+/// X := A^{-1} * X for factored A, column by column (5 solves).
+void lu_solve_mat(const Mat5& lu, Mat5& x);
+
+[[nodiscard]] double dot(const Vec5& a, const Vec5& b);
+
+// Operation-count constants for the primitives (per call).
+[[nodiscard]] OpCounter matvec_ops();
+[[nodiscard]] OpCounter matmul_ops();
+[[nodiscard]] OpCounter lu_factor_ops();
+[[nodiscard]] OpCounter lu_solve_ops();
+[[nodiscard]] OpCounter lu_solve_mat_ops();
+
+}  // namespace bladed::npb

@@ -1,0 +1,40 @@
+#pragma once
+
+/// NPB BT: ADI-style alternating-direction sweeps, each solving block-
+/// tridiagonal systems of 5x5 blocks along every grid line — the defining
+/// kernel of the BT pseudo-application. Systems are synthetic (deterministic
+/// block-diagonally-dominant blocks per line) and every solve is verified by
+/// substituting the solution back into its line system.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/kernel_profile.hpp"
+#include "npb/block.hpp"
+
+namespace bladed::npb {
+
+/// Solve the block-tridiagonal system a[i] x[i-1] + b[i] x[i] + c[i] x[i+1]
+/// = f[i] in place by block Thomas elimination (a,b,c,f are destroyed; the
+/// solution replaces f). Requires block diagonal dominance.
+void solve_block_tridiag(std::vector<Mat5>& a, std::vector<Mat5>& b,
+                         std::vector<Mat5>& c, std::vector<Vec5>& f,
+                         OpCounter& ops);
+
+struct BtResult {
+  int n = 0;
+  int iterations = 0;
+  std::uint64_t lines_solved = 0;
+  double max_line_residual = 0.0;  ///< worst ||Ax - f||_inf over all lines
+  bool verified = false;
+  OpCounter ops;
+};
+
+/// Run `iterations` ADI time-step sweeps on an n^3 grid (x, y and z block-
+/// tridiagonal phases per sweep). Class W uses n = 24.
+[[nodiscard]] BtResult run_bt(int n, int iterations,
+                              std::uint64_t seed = 314159265ULL);
+
+[[nodiscard]] arch::KernelProfile bt_profile(int n = 12);
+
+}  // namespace bladed::npb

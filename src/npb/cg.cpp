@@ -1,0 +1,173 @@
+#include "npb/cg.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bladed::npb {
+
+void SparseMatrix::multiply(const std::vector<double>& x,
+                            std::vector<double>& y) const {
+  BLADED_REQUIRE(static_cast<int>(x.size()) == n);
+  y.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (int p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      s += val[static_cast<std::size_t>(p)] *
+           x[static_cast<std::size_t>(col[static_cast<std::size_t>(p)])];
+    }
+    y[static_cast<std::size_t>(i)] = s;
+  }
+}
+
+bool SparseMatrix::is_symmetric(double tol) const {
+  std::map<std::pair<int, int>, double> entries;
+  for (int i = 0; i < n; ++i) {
+    for (int p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      entries[{i, col[static_cast<std::size_t>(p)]}] =
+          val[static_cast<std::size_t>(p)];
+    }
+  }
+  for (const auto& [ij, v] : entries) {
+    const auto it = entries.find({ij.second, ij.first});
+    if (it == entries.end() || std::fabs(it->second - v) > tol) return false;
+  }
+  return true;
+}
+
+SparseMatrix make_spd_matrix(int n, int nonzer, double shift,
+                             std::uint64_t seed) {
+  BLADED_REQUIRE(n >= 2 && nonzer >= 1);
+  BLADED_REQUIRE(shift > 0.0);
+  Rng rng(seed);
+  // Collect symmetric off-diagonal entries.
+  std::map<std::pair<int, int>, double> entries;
+  for (int i = 0; i < n; ++i) {
+    for (int t = 0; t < nonzer; ++t) {
+      const int j = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      if (j == i) continue;
+      const double v = rng.uniform(-0.5, 0.5);
+      entries[{i, j}] = v;
+      entries[{j, i}] = v;
+    }
+  }
+  // Row sums of |off-diagonal| for the dominant diagonal.
+  std::vector<double> rowsum(static_cast<std::size_t>(n), 0.0);
+  for (const auto& [ij, v] : entries) {
+    rowsum[static_cast<std::size_t>(ij.first)] += std::fabs(v);
+  }
+  for (int i = 0; i < n; ++i) {
+    entries[{i, i}] = shift + rowsum[static_cast<std::size_t>(i)];
+  }
+
+  SparseMatrix a;
+  a.n = n;
+  a.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [ij, v] : entries) {
+    (void)v;
+    ++a.row_ptr[static_cast<std::size_t>(ij.first) + 1];
+  }
+  for (int i = 0; i < n; ++i) a.row_ptr[i + 1] += a.row_ptr[i];
+  a.col.resize(entries.size());
+  a.val.resize(entries.size());
+  std::vector<int> cursor(a.row_ptr.begin(), a.row_ptr.end() - 1);
+  for (const auto& [ij, v] : entries) {
+    const int p = cursor[static_cast<std::size_t>(ij.first)]++;
+    a.col[static_cast<std::size_t>(p)] = ij.second;
+    a.val[static_cast<std::size_t>(p)] = v;
+  }
+  return a;
+}
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// 25 iterations of CG on A z = x (NPB's cgitmax). Returns ||r||.
+double cg_solve(const SparseMatrix& a, const std::vector<double>& x,
+                std::vector<double>& z, std::vector<double>& history,
+                OpCounter& ops) {
+  const std::size_t n = x.size();
+  z.assign(n, 0.0);
+  std::vector<double> r = x;
+  std::vector<double> p = r;
+  std::vector<double> q(n);
+  double rho = dot(r, r);
+  history.clear();
+  constexpr int kCgIters = 25;
+  for (int it = 0; it < kCgIters; ++it) {
+    a.multiply(p, q);
+    const double alpha = rho / dot(p, q);
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+    }
+    const double rho_new = dot(r, r);
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    history.push_back(std::sqrt(rho));
+  }
+  // Op accounting: per iteration, one SpMV + 2 dots + 3 axpy-class updates.
+  OpCounter per_iter;
+  const auto nnz = static_cast<std::uint64_t>(a.nnz());
+  per_iter.fmul = nnz + 5 * n + 2;
+  per_iter.fadd = nnz + 5 * n;
+  per_iter.fdiv = 2;
+  per_iter.fsqrt = 1;
+  per_iter.load = 3 * nnz + 10 * n;  // val+col+x gather, vectors
+  per_iter.store = 3 * n;
+  per_iter.iop = 2 * nnz + 4 * n;
+  per_iter.branch = nnz / 8 + n;
+  ops += per_iter * kCgIters;
+  return std::sqrt(rho);
+}
+
+}  // namespace
+
+CgResult run_cg(int n, int nonzer, int outer, double shift,
+                std::uint64_t seed) {
+  BLADED_REQUIRE(outer >= 1);
+  const SparseMatrix a = make_spd_matrix(n, nonzer, shift, seed);
+
+  CgResult res;
+  res.n = n;
+  res.outer_iterations = outer;
+
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> z;
+  for (int it = 0; it < outer; ++it) {
+    res.final_cg_residual =
+        cg_solve(a, x, z, res.residual_history, res.ops);
+    res.zeta = shift + 1.0 / dot(x, z);
+    const double norm = std::sqrt(dot(z, z));
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = z[i] / norm;
+    OpCounter upd;
+    upd.fmul = 2ULL * x.size();
+    upd.fadd = 2ULL * x.size();
+    upd.fdiv = static_cast<std::uint64_t>(n) + 1;
+    upd.fsqrt = 1;
+    upd.load = 2ULL * x.size();
+    upd.store = x.size();
+    res.ops += upd;
+  }
+  return res;
+}
+
+arch::KernelProfile cg_profile(int n) {
+  const CgResult r = run_cg(n, 7, 2, 10.0);
+  arch::KernelProfile p;
+  p.name = "npb/cg";
+  p.ops = r.ops;
+  p.miss_intensity = 0.85;  // irregular gather x[col[p]]
+  p.dependency = 0.30;
+  return p;
+}
+
+}  // namespace bladed::npb

@@ -1,0 +1,52 @@
+#pragma once
+
+/// NPB CG: estimate the largest eigenvalue of a sparse symmetric positive
+/// definite matrix by inverse power iteration, solving each linear system
+/// with (unpreconditioned) conjugate gradient — the NPB 2.3 structure with
+/// the same random-pattern sparse matrix idea (nonzer entries per row,
+/// symmetrized, diagonally shifted).
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/kernel_profile.hpp"
+#include "common/opcount.hpp"
+
+namespace bladed::npb {
+
+/// Compressed sparse row, symmetric by construction.
+struct SparseMatrix {
+  int n = 0;
+  std::vector<int> row_ptr;
+  std::vector<int> col;
+  std::vector<double> val;
+
+  [[nodiscard]] std::size_t nnz() const { return val.size(); }
+  /// y = A x
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+  [[nodiscard]] bool is_symmetric(double tol = 1e-12) const;
+};
+
+/// Random sparse SPD matrix: ~nonzer off-diagonal entries per row, values in
+/// (0,1), symmetrized, diagonal = shift + (row sum of |off-diagonals|) so the
+/// matrix is strictly diagonally dominant (hence SPD).
+[[nodiscard]] SparseMatrix make_spd_matrix(int n, int nonzer, double shift,
+                                           std::uint64_t seed);
+
+struct CgResult {
+  int n = 0;
+  int outer_iterations = 0;
+  double zeta = 0.0;             ///< NPB's reported eigenvalue estimate
+  double final_cg_residual = 0.0;
+  std::vector<double> residual_history;  ///< inner CG residuals, last solve
+  OpCounter ops;
+};
+
+/// NPB CG benchmark: `outer` power iterations, 25 CG iterations each.
+/// Class S: n=1400, nonzer=7, shift=10; W: n=7000, nonzer=8, shift=12.
+[[nodiscard]] CgResult run_cg(int n, int nonzer, int outer, double shift,
+                              std::uint64_t seed = 314159265ULL);
+
+[[nodiscard]] arch::KernelProfile cg_profile(int n = 1400);
+
+}  // namespace bladed::npb

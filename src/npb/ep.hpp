@@ -1,0 +1,53 @@
+#pragma once
+
+/// NPB EP (Embarrassingly Parallel): generate 2^m pairs of uniform deviates
+/// with the NPB linear congruential generator, transform the accepted pairs
+/// to Gaussian deviates by the Marsaglia polar method, and tabulate them in
+/// square annuli. Implements the NPB 2.3 algorithm faithfully (same
+/// generator, seed and acceptance rule), sized by the `m` parameter
+/// (class S = 24, W = 25, A = 28).
+
+#include <array>
+#include <cstdint>
+
+#include "arch/kernel_profile.hpp"
+#include "common/opcount.hpp"
+
+namespace bladed::npb {
+
+struct EpResult {
+  double sx = 0.0;  ///< sum of accepted X deviates
+  double sy = 0.0;  ///< sum of accepted Y deviates
+  std::array<std::uint64_t, 10> q{};  ///< annulus counts
+  std::uint64_t pairs = 0;
+  std::uint64_t accepted = 0;
+  OpCounter ops;
+  [[nodiscard]] std::uint64_t count_sum() const {
+    std::uint64_t s = 0;
+    for (auto v : q) s += v;
+    return s;
+  }
+};
+
+inline constexpr std::uint64_t kEpSeed = 271828183ULL;  // NPB 2.3 seed
+inline constexpr int kEpClassS = 24;
+inline constexpr int kEpClassW = 25;
+inline constexpr int kEpClassA = 28;
+
+/// Run EP with 2^m pairs.
+[[nodiscard]] EpResult run_ep(int m, std::uint64_t seed = kEpSeed);
+
+/// Run an arbitrary block [first_pair, first_pair + pairs) of the global
+/// pair stream — the unit of work a parallel rank owns. Uses the
+/// generator's O(log n) skip-ahead, so run_ep(m) equals the concatenation
+/// of any partition of its blocks (exactly, for the counts; up to summation
+/// order for the sums).
+[[nodiscard]] EpResult run_ep_block(std::uint64_t first_pair,
+                                    std::uint64_t pairs,
+                                    std::uint64_t seed = kEpSeed);
+
+/// Cost-model characterization of the EP operation mix (compute-bound,
+/// table-free): the ops of a small run, scalable to any class.
+[[nodiscard]] arch::KernelProfile ep_profile(int m = 18);
+
+}  // namespace bladed::npb

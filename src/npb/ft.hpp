@@ -1,0 +1,46 @@
+#pragma once
+
+/// NPB FT: the 3-D fast Fourier transform PDE benchmark. Solves the heat
+/// equation du/dt = alpha lap(u) spectrally: FFT the initial state once,
+/// evolve by multiplying with exp(-4 alpha pi^2 |k|^2 t) each time step,
+/// inverse-FFT, and emit a checksum — the NPB 2.3 structure. Includes the
+/// radix-2 complex FFT substrate it is built on.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "arch/kernel_profile.hpp"
+#include "common/opcount.hpp"
+
+namespace bladed::npb {
+
+using Complex = std::complex<double>;
+
+/// In-place radix-2 decimation-in-time FFT of a power-of-two-length signal.
+/// `inverse` applies the conjugate transform *without* the 1/N scaling
+/// (callers scale once, as NPB does). Adds the operation count to `ops`.
+void fft1d(std::vector<Complex>& a, bool inverse, OpCounter& ops);
+
+/// 3-D FFT over an (nx, ny, nz) row-major grid (each dim a power of two).
+void fft3d(std::vector<Complex>& grid, int nx, int ny, int nz, bool inverse,
+           OpCounter& ops);
+
+struct FtResult {
+  int nx = 0, ny = 0, nz = 0;
+  int iterations = 0;
+  std::vector<Complex> checksums;  ///< one per time step (NPB-style digest)
+  std::vector<double> energies;    ///< physical-space L2 energy per step
+  double roundtrip_error = 0.0;    ///< max |ifft(fft(u)) - u| self-check
+  bool verified = false;
+  OpCounter ops;
+};
+
+/// Run the FT pseudo-application. Class S is 64^3 x 6 iterations; class W
+/// is 128x128x32 x 6.
+[[nodiscard]] FtResult run_ft(int nx, int ny, int nz, int iterations,
+                              std::uint64_t seed = 314159265ULL);
+
+[[nodiscard]] arch::KernelProfile ft_profile(int n = 32);
+
+}  // namespace bladed::npb

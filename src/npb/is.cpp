@@ -1,0 +1,102 @@
+#include "npb/is.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/npb_rand.hpp"
+
+namespace bladed::npb {
+
+IsResult run_is(int n_log2, int bmax_log2, int iterations,
+                std::uint64_t seed) {
+  BLADED_REQUIRE(n_log2 >= 4 && n_log2 <= 26);
+  BLADED_REQUIRE(bmax_log2 >= 3 && bmax_log2 <= 24);
+  BLADED_REQUIRE(iterations >= 1);
+
+  const std::size_t n = std::size_t{1} << n_log2;
+  const std::uint64_t bmax = std::uint64_t{1} << bmax_log2;
+
+  // NPB key generation: average of four deviates -> quasi-normal around
+  // bmax/2 (the distribution the counting sort is specified against).
+  std::vector<std::uint32_t> keys(n);
+  NpbRandom rng(seed);
+  for (auto& k : keys) {
+    const double a = rng.next() + rng.next() + rng.next() + rng.next();
+    k = static_cast<std::uint32_t>(a * 0.25 * static_cast<double>(bmax));
+    if (k >= bmax) k = static_cast<std::uint32_t>(bmax - 1);
+  }
+
+  IsResult res;
+  res.keys = n;
+  res.iterations = iterations;
+
+  std::vector<std::uint32_t> count(bmax);
+  std::vector<std::uint32_t> rank(n);
+  for (int iter = 1; iter <= iterations; ++iter) {
+    // NPB's per-iteration perturbation.
+    keys[static_cast<std::size_t>(iter)] =
+        static_cast<std::uint32_t>(iter);
+    keys[static_cast<std::size_t>(iter) + n / 2] =
+        static_cast<std::uint32_t>(bmax - static_cast<std::uint64_t>(iter));
+
+    // Counting sort ranking.
+    std::fill(count.begin(), count.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) ++count[keys[i]];
+    std::uint32_t running = 0;
+    for (std::uint64_t b = 0; b < bmax; ++b) {
+      const std::uint32_t c = count[b];
+      count[b] = running;
+      running += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) rank[i] = count[keys[i]]++;
+  }
+
+  // Full verification: scatter by rank and check sortedness + permutation.
+  std::vector<std::uint32_t> sorted(n);
+  std::vector<std::uint8_t> hit(n, 0);
+  bool perm = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rank[i] >= n || hit[rank[i]]) {
+      perm = false;
+      break;
+    }
+    hit[rank[i]] = 1;
+    sorted[rank[i]] = keys[i];
+  }
+  res.ranks_are_permutation = perm;
+  res.ranks_sort_keys =
+      perm && std::is_sorted(sorted.begin(), sorted.end());
+  std::uint64_t digest = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 64)) {
+    digest = (digest ^ rank[i]) * 1099511628211ULL;
+  }
+  res.checksum = digest;
+
+  // Dynamic op counts per ranking iteration (pure integer/memory work).
+  OpCounter per_iter;
+  per_iter.iop = 3 * n + 2 * bmax;       // index arithmetic + prefix sums
+  per_iter.load = 2 * n + bmax;          // keys + counts
+  per_iter.store = n + bmax + n;         // count updates + ranks
+  per_iter.branch = n / 8 + bmax / 8;    // loop control (unrolled-ish)
+  res.ops = per_iter * static_cast<std::uint64_t>(iterations);
+  // Key generation (once).
+  OpCounter gen;
+  gen.fadd = 4 * n;
+  gen.fmul = 6 * n;  // 4 generator scales + averaging
+  gen.iop = 12 * n;
+  gen.store = n;
+  res.ops += gen;
+  return res;
+}
+
+arch::KernelProfile is_profile(int n_log2, int bmax_log2) {
+  const IsResult r = run_is(n_log2, bmax_log2, 3);
+  arch::KernelProfile p;
+  p.name = "npb/is";
+  p.ops = r.ops;
+  p.miss_intensity = 0.8;  // random scatter across a bucket array
+  p.dependency = 0.25;
+  return p;
+}
+
+}  // namespace bladed::npb

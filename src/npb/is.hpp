@@ -1,0 +1,34 @@
+#pragma once
+
+/// NPB IS (Integer Sort): rank N integer keys drawn from the NPB generator's
+/// quasi-triangular distribution (average of four deviates), via counting
+/// sort, over several iterations with per-iteration key perturbation — the
+/// NPB 2.3 structure. Entirely integer/memory work: the benchmark that
+/// stresses the memory system rather than the FPU.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/kernel_profile.hpp"
+#include "common/opcount.hpp"
+
+namespace bladed::npb {
+
+struct IsResult {
+  std::uint64_t keys = 0;
+  int iterations = 0;
+  bool ranks_sort_keys = false;   ///< applying ranks yields a sorted array
+  bool ranks_are_permutation = false;
+  std::uint64_t checksum = 0;     ///< order-sensitive digest of final ranks
+  OpCounter ops;
+};
+
+/// n = 2^n_log2 keys in [0, 2^bmax_log2). Class S: (16,11); W: (20,16);
+/// A: (23,19).
+[[nodiscard]] IsResult run_is(int n_log2, int bmax_log2, int iterations = 10,
+                              std::uint64_t seed = 314159265ULL);
+
+[[nodiscard]] arch::KernelProfile is_profile(int n_log2 = 16,
+                                             int bmax_log2 = 11);
+
+}  // namespace bladed::npb

@@ -1,0 +1,36 @@
+#pragma once
+
+/// NPB LU: symmetric successive over-relaxation (SSOR) on a block 7-point
+/// system — a lower-triangular then upper-triangular sweep of 5x5 block
+/// solves over the grid, LU's defining kernel. The system is synthetic
+/// (constant-coefficient, block-diagonally-dominant; the NPB matrices are
+/// position-dependent but have the same stencil structure and op mix) and
+/// convergence of the true residual is the verification.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/kernel_profile.hpp"
+#include "npb/block.hpp"
+
+namespace bladed::npb {
+
+struct LuResult {
+  int n = 0;
+  int sweeps = 0;
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  std::vector<double> residual_history;  ///< after each SSOR sweep
+  bool verified = false;  ///< residual decreased monotonically & strongly
+  OpCounter ops;
+};
+
+/// Run `sweeps` SSOR iterations (each a forward + backward Gauss-Seidel
+/// pass with relaxation `omega`) on an n^3 grid of 5-vectors. Class W uses
+/// n = 33.
+[[nodiscard]] LuResult run_lu(int n, int sweeps, double omega = 1.2,
+                              std::uint64_t seed = 314159265ULL);
+
+[[nodiscard]] arch::KernelProfile lu_profile(int n = 12);
+
+}  // namespace bladed::npb

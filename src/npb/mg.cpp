@@ -1,0 +1,259 @@
+#include "npb/mg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bladed::npb {
+
+Grid3::Grid3(int n) : n_(n) {
+  BLADED_REQUIRE_MSG(n >= 2 && (n & (n - 1)) == 0,
+                     "grid size must be a power of two");
+  v_.assign(static_cast<std::size_t>(n) * n * n, 0.0);
+}
+
+void Grid3::fill(double value) {
+  std::fill(v_.begin(), v_.end(), value);
+}
+
+double Grid3::l2_norm() const {
+  double s = 0.0;
+  for (double x : v_) s += x * x;
+  return std::sqrt(s / static_cast<double>(v_.size()));
+}
+
+namespace {
+
+/// NPB operator coefficients by neighbor class (center, face, edge, corner).
+struct Coeffs {
+  double c0, c1, c2, c3;
+};
+constexpr Coeffs kA{-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0};   // residual op
+constexpr Coeffs kS{-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0};  // smoother
+
+/// Sums of the 6 face, 12 edge and 8 corner neighbors of (i,j,k).
+void neighbor_sums(const Grid3& g, int i, int j, int k, double& s1,
+                   double& s2, double& s3) {
+  s1 = g.at(i - 1, j, k) + g.at(i + 1, j, k) + g.at(i, j - 1, k) +
+       g.at(i, j + 1, k) + g.at(i, j, k - 1) + g.at(i, j, k + 1);
+  s2 = 0.0;
+  for (int d = -1; d <= 1; d += 2) {
+    s2 += g.at(i + d, j - 1, k) + g.at(i + d, j + 1, k) +
+          g.at(i + d, j, k - 1) + g.at(i + d, j, k + 1) +
+          g.at(i, j + d, k - 1) + g.at(i, j + d, k + 1);
+  }
+  s3 = 0.0;
+  for (int dk = -1; dk <= 1; dk += 2) {
+    for (int dj = -1; dj <= 1; dj += 2) {
+      s3 += g.at(i - 1, j + dj, k + dk) + g.at(i + 1, j + dj, k + dk);
+    }
+  }
+}
+
+/// Per-point op cost of one 27-point class-sum stencil application.
+OpCounter stencil_point_ops() {
+  OpCounter o;
+  o.fadd = 25 + 3;  // neighbor sums + combination
+  o.fmul = 3;       // three nonzero class coefficients
+  o.load = 27;
+  o.store = 1;
+  o.iop = 12;  // wrapped index arithmetic
+  o.branch = 2;
+  return o;
+}
+
+/// out = rhs - A(u)
+void resid(const Grid3& u, const Grid3& rhs, Grid3& out, OpCounter& ops) {
+  const int n = u.n();
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        double s1, s2, s3;
+        neighbor_sums(u, i, j, k, s1, s2, s3);
+        out.at(i, j, k) = rhs.at(i, j, k) -
+                          (kA.c0 * u.at(i, j, k) + kA.c2 * s2 + kA.c3 * s3);
+      }
+    }
+  }
+  ops += stencil_point_ops() * static_cast<std::uint64_t>(n) * n * n;
+}
+
+/// u += S(r)
+void psinv(const Grid3& r, Grid3& u, OpCounter& ops) {
+  const int n = r.n();
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        double s1, s2, s3;
+        neighbor_sums(r, i, j, k, s1, s2, s3);
+        u.at(i, j, k) += kS.c0 * r.at(i, j, k) + kS.c1 * s1 + kS.c2 * s2;
+      }
+    }
+  }
+  ops += stencil_point_ops() * static_cast<std::uint64_t>(n) * n * n;
+}
+
+/// Full-weighting restriction: coarse <- fine (n -> n/2).
+void rprj3(const Grid3& fine, Grid3& coarse, OpCounter& ops) {
+  const int nc = coarse.n();
+  for (int k = 0; k < nc; ++k) {
+    for (int j = 0; j < nc; ++j) {
+      for (int i = 0; i < nc; ++i) {
+        const int fi = 2 * i, fj = 2 * j, fk = 2 * k;
+        double s = 0.0;
+        for (int dk = -1; dk <= 1; ++dk) {
+          for (int dj = -1; dj <= 1; ++dj) {
+            for (int di = -1; di <= 1; ++di) {
+              const double w =
+                  (8 >> (std::abs(di) + std::abs(dj) + std::abs(dk)));
+              s += w * fine.at(fi + di, fj + dj, fk + dk);
+            }
+          }
+        }
+        coarse.at(i, j, k) = s / 64.0;
+      }
+    }
+  }
+  OpCounter per;
+  per.fadd = 27;
+  per.fmul = 28;
+  per.load = 27;
+  per.store = 1;
+  per.iop = 30;
+  per.branch = 8;
+  ops += per * static_cast<std::uint64_t>(nc) * nc * nc;
+}
+
+/// Trilinear prolongation: fine += P(coarse)  (n/2 -> n).
+void interp(const Grid3& coarse, Grid3& fine, OpCounter& ops) {
+  const int nf = fine.n();
+  for (int k = 0; k < nf; ++k) {
+    for (int j = 0; j < nf; ++j) {
+      for (int i = 0; i < nf; ++i) {
+        // Each fine point averages its 1/2/4/8 covering coarse points.
+        const int ci = i >> 1, cj = j >> 1, ck = k >> 1;
+        const int oi = i & 1, oj = j & 1, ok = k & 1;
+        double s = 0.0;
+        for (int dk = 0; dk <= ok; ++dk) {
+          for (int dj = 0; dj <= oj; ++dj) {
+            for (int di = 0; di <= oi; ++di) {
+              s += coarse.at(ci + di, cj + dj, ck + dk);
+            }
+          }
+        }
+        fine.at(i, j, k) += s / static_cast<double>((1 + oi) * (1 + oj) *
+                                                    (1 + ok));
+      }
+    }
+  }
+  OpCounter per;
+  per.fadd = 4;
+  per.fdiv = 1;
+  per.load = 4;
+  per.store = 1;
+  per.iop = 14;
+  per.branch = 4;
+  ops += per * static_cast<std::uint64_t>(nf) * nf * nf;
+}
+
+struct Hierarchy {
+  std::vector<Grid3> u;  ///< corrections per level (0 = coarsest)
+  std::vector<Grid3> r;  ///< residuals per level
+  OpCounter ops;
+
+  explicit Hierarchy(int n_top) {
+    std::vector<int> sizes;
+    for (int n = n_top; n >= 4; n /= 2) sizes.push_back(n);
+    for (auto it = sizes.rbegin(); it != sizes.rend(); ++it) {
+      u.emplace_back(*it);
+      r.emplace_back(*it);
+    }
+  }
+
+  /// Solve A e = r[level] approximately into u[level].
+  void vcycle(std::size_t level) {
+    if (level == 0) {
+      u[0].fill(0.0);
+      psinv(r[0], u[0], ops);
+      return;
+    }
+    rprj3(r[level], r[level - 1], ops);
+    vcycle(level - 1);
+    u[level].fill(0.0);
+    interp(u[level - 1], u[level], ops);
+    Grid3 r2(r[level].n());
+    resid(u[level], r[level], r2, ops);
+    psinv(r2, u[level], ops);
+  }
+};
+
+}  // namespace
+
+double MgResult::convergence_factor() const {
+  if (residual_history.size() < 2 || initial_residual == 0.0) return 0.0;
+  // Geometric mean of per-cycle reduction.
+  const double total = residual_history.back() / initial_residual;
+  return std::pow(total,
+                  1.0 / static_cast<double>(residual_history.size()));
+}
+
+MgResult run_mg(int n, int cycles, std::uint64_t seed) {
+  BLADED_REQUIRE(cycles >= 1);
+  MgResult res;
+  res.n = n;
+  res.cycles = cycles;
+
+  Hierarchy h(n);
+  const std::size_t top = h.u.size() - 1;
+
+  // NPB charge distribution: +1 at ten random points, -1 at ten others.
+  Grid3 v(n);
+  Rng rng(seed);
+  for (int s = 0; s < 10; ++s) {
+    v.at(static_cast<int>(rng.below(static_cast<std::uint64_t>(n))),
+         static_cast<int>(rng.below(static_cast<std::uint64_t>(n))),
+         static_cast<int>(rng.below(static_cast<std::uint64_t>(n)))) = 1.0;
+    v.at(static_cast<int>(rng.below(static_cast<std::uint64_t>(n))),
+         static_cast<int>(rng.below(static_cast<std::uint64_t>(n))),
+         static_cast<int>(rng.below(static_cast<std::uint64_t>(n)))) = -1.0;
+  }
+
+  Grid3 solution(n);
+  resid(solution, v, h.r[top], h.ops);  // r = v - A*0 = v
+  res.initial_residual = h.r[top].l2_norm();
+
+  for (int c = 0; c < cycles; ++c) {
+    h.vcycle(top);
+    // solution += correction; recompute the true residual.
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          solution.at(i, j, k) += h.u[top].at(i, j, k);
+        }
+      }
+    }
+    OpCounter upd;
+    upd.fadd = static_cast<std::uint64_t>(n) * n * n;
+    upd.load = 2 * upd.fadd;
+    upd.store = upd.fadd;
+    h.ops += upd;
+    resid(solution, v, h.r[top], h.ops);
+    res.residual_history.push_back(h.r[top].l2_norm());
+  }
+  res.final_residual = res.residual_history.back();
+  res.ops = h.ops;
+  return res;
+}
+
+arch::KernelProfile mg_profile(int n) {
+  const MgResult r = run_mg(n, 2);
+  arch::KernelProfile p;
+  p.name = "npb/mg";
+  p.ops = r.ops;
+  p.miss_intensity = 0.7;  // 27-point stencil sweeps over out-of-cache grids
+  p.dependency = 0.15;     // points independent within a sweep
+  return p;
+}
+
+}  // namespace bladed::npb

@@ -1,0 +1,60 @@
+#pragma once
+
+/// NPB MG: V-cycle multigrid for the 3-D scalar Poisson equation on a
+/// periodic n^3 grid (n a power of two), with the NPB operator set — the
+/// 4-coefficient 27-point residual operator A, the 4-coefficient smoother S
+/// (psinv), full-weighting restriction (rprj3) and trilinear interpolation.
+/// The right-hand side is the NPB charge distribution: +1/-1 at a handful
+/// of random grid points.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/kernel_profile.hpp"
+#include "common/opcount.hpp"
+
+namespace bladed::npb {
+
+/// A periodic n^3 grid of doubles (n a power of two).
+class Grid3 {
+ public:
+  explicit Grid3(int n);
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] double& at(int i, int j, int k) {
+    return v_[idx(i, j, k)];
+  }
+  [[nodiscard]] double at(int i, int j, int k) const {
+    return v_[idx(i, j, k)];
+  }
+  void fill(double value);
+  [[nodiscard]] double l2_norm() const;
+
+ private:
+  [[nodiscard]] std::size_t idx(int i, int j, int k) const {
+    const int m = n_ - 1;  // power-of-two wrap
+    return (static_cast<std::size_t>(k & m) * n_ +
+            static_cast<std::size_t>(j & m)) *
+               n_ +
+           static_cast<std::size_t>(i & m);
+  }
+  int n_;
+  std::vector<double> v_;
+};
+
+struct MgResult {
+  int n = 0;
+  int cycles = 0;
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  std::vector<double> residual_history;  ///< after each V-cycle
+  OpCounter ops;
+  [[nodiscard]] double convergence_factor() const;
+};
+
+/// Run `cycles` V-cycles on an n^3 problem (class S ~ 32, W ~ 64/128).
+[[nodiscard]] MgResult run_mg(int n, int cycles,
+                              std::uint64_t seed = 314159265ULL);
+
+[[nodiscard]] arch::KernelProfile mg_profile(int n = 32);
+
+}  // namespace bladed::npb

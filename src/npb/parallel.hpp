@@ -1,0 +1,78 @@
+#pragma once
+
+/// Parallel NPB kernels over the simnet virtual cluster: the MPI versions
+/// of EP (block decomposition with generator skip-ahead, allreduce of sums
+/// and annulus counts) and IS (distributed counting sort: local counts,
+/// bucket-count allgather, globally consistent ranks). EP is the
+/// embarrassingly parallel end of the spectrum; IS is the
+/// communication-heavy end — together they bracket how the simulated
+/// MetaBlade behaves on NPB-class workloads (the paper measured the suite
+/// single-processor; this is the natural next experiment).
+
+#include "arch/processor.hpp"
+#include "npb/ep.hpp"
+#include "npb/is.hpp"
+#include "simnet/network.hpp"
+
+namespace bladed::npb {
+
+struct ParallelNpbConfig {
+  int ranks = 24;
+  const arch::ProcessorModel* cpu = nullptr;  ///< required
+  simnet::NetworkModel network = simnet::NetworkModel::fast_ethernet();
+};
+
+struct ParallelEpResult {
+  EpResult global;          ///< combined result (counts exactly serial's)
+  double elapsed_seconds = 0.0;
+  double compute_seconds = 0.0;  ///< max per-rank modelled compute
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+/// EP with 2^m pairs split into `ranks` contiguous blocks of the global
+/// generator stream.
+[[nodiscard]] ParallelEpResult run_parallel_ep(const ParallelNpbConfig& cfg,
+                                               int m,
+                                               std::uint64_t seed = kEpSeed);
+
+struct ParallelIsResult {
+  std::uint64_t keys = 0;
+  bool globally_sorted = false;
+  bool ranks_are_permutation = false;
+  double elapsed_seconds = 0.0;
+  double compute_seconds = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+/// IS with 2^n_log2 keys in [0, 2^bmax_log2), block-decomposed; ranking via
+/// per-rank bucket counts exchanged with an allgather.
+[[nodiscard]] ParallelIsResult run_parallel_is(
+    const ParallelNpbConfig& cfg, int n_log2, int bmax_log2,
+    int iterations = 10, std::uint64_t seed = 314159265ULL);
+
+struct ParallelStencilResult {
+  int n = 0;
+  int iterations = 0;
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  /// Serial-reference digest: the distributed run must match the serial
+  /// relaxation bit-for-bit (same arithmetic order within each plane).
+  double solution_checksum = 0.0;
+  double elapsed_seconds = 0.0;
+  double compute_seconds = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+/// MG's communication skeleton: weighted-Jacobi relaxation of the 7-point
+/// Poisson stencil on a periodic n^3 grid, slab-decomposed along z with
+/// ghost-plane halo exchange each sweep and an allreduce for the residual —
+/// the nearest-neighbor pattern that completes the EP (allreduce-only) /
+/// IS (allgather-heavy) communication spectrum.
+[[nodiscard]] ParallelStencilResult run_parallel_stencil(
+    const ParallelNpbConfig& cfg, int n, int iterations,
+    std::uint64_t seed = 314159265ULL);
+
+}  // namespace bladed::npb

@@ -1,0 +1,51 @@
+#pragma once
+
+/// NPB SP: alternating-direction sweeps solving *scalar pentadiagonal*
+/// systems along every grid line — SP's defining kernel (the 5x5 block
+/// systems diagonalize into five independent scalar pentadiagonal solves per
+/// line). Systems are synthetic diagonally dominant; every solve is verified
+/// by residual substitution.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/kernel_profile.hpp"
+#include "common/opcount.hpp"
+
+namespace bladed::npb {
+
+/// A scalar pentadiagonal system: rows i have bands
+/// (a2[i], a1[i], d[i], c1[i], c2[i]) at offsets -2..+2.
+struct PentaSystem {
+  std::vector<double> a2, a1, d, c1, c2, f;
+  [[nodiscard]] std::size_t size() const { return d.size(); }
+};
+
+/// Solve in place by banded Gaussian elimination without pivoting (valid
+/// for diagonally dominant systems); the solution replaces f.
+void solve_penta(PentaSystem& s, OpCounter& ops);
+
+/// Infinity-norm residual of `orig` at solution x.
+[[nodiscard]] double penta_residual(const PentaSystem& orig,
+                                    const std::vector<double>& x);
+
+/// The five decoupled scalar systems per line (one per CFD variable).
+inline constexpr int kPentaVarsPerLine = 5;
+
+struct SpResult {
+  int n = 0;
+  int iterations = 0;
+  std::uint64_t systems_solved = 0;
+  double max_residual = 0.0;
+  bool verified = false;
+  OpCounter ops;
+};
+
+/// `iterations` ADI sweeps over an n^3 grid; per sweep, 3 directions x n^2
+/// lines x 5 decoupled scalar pentadiagonal systems. Class W uses n = 36.
+[[nodiscard]] SpResult run_sp(int n, int iterations,
+                              std::uint64_t seed = 314159265ULL);
+
+[[nodiscard]] arch::KernelProfile sp_profile(int n = 12);
+
+}  // namespace bladed::npb

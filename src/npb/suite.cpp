@@ -1,0 +1,106 @@
+#include "npb/suite.hpp"
+
+#include "npb/bt.hpp"
+#include "npb/cg.hpp"
+#include "npb/ep.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/lu.hpp"
+#include "npb/mg.hpp"
+#include "npb/sp.hpp"
+
+namespace bladed::npb {
+
+std::vector<KernelRun> run_suite() {
+  std::vector<KernelRun> runs;
+
+  {
+    const BtResult r = run_bt(12, 1);
+    KernelRun k;
+    k.name = "BT";
+    k.description = "block-tridiagonal ADI, 12^3 grid, residual-verified";
+    k.verified = r.verified;
+    k.profile = bt_profile(12);
+    runs.push_back(std::move(k));
+  }
+  {
+    const SpResult r = run_sp(12, 1);
+    KernelRun k;
+    k.name = "SP";
+    k.description = "scalar-pentadiagonal ADI, 12^3 grid, residual-verified";
+    k.verified = r.verified;
+    k.profile = sp_profile(12);
+    runs.push_back(std::move(k));
+  }
+  {
+    const LuResult r = run_lu(12, 3);
+    KernelRun k;
+    k.name = "LU";
+    k.description = "SSOR block solver, 12^3 grid, convergence-verified";
+    k.verified = r.verified;
+    k.profile = lu_profile(12);
+    runs.push_back(std::move(k));
+  }
+  {
+    const MgResult r = run_mg(32, 4);
+    KernelRun k;
+    k.name = "MG";
+    k.description = "V-cycle multigrid Poisson, 32^3, convergence-verified";
+    k.verified = r.final_residual < 0.2 * r.initial_residual;
+    k.profile = mg_profile(32);
+    runs.push_back(std::move(k));
+  }
+  {
+    const CgResult r = run_cg(1400, 7, 2, 10.0);
+    KernelRun k;
+    k.name = "CG";
+    k.description = "conjugate gradient eigenvalue estimate, n=1400";
+    k.verified = r.residual_history.back() < r.residual_history.front();
+    k.profile = cg_profile(1400);
+    runs.push_back(std::move(k));
+  }
+  {
+    const EpResult r = run_ep(18);
+    KernelRun k;
+    k.name = "EP";
+    k.description = "Gaussian-pair tabulation, 2^18 pairs";
+    // Acceptance rate must be pi/4 and every accepted pair tabulated.
+    const double rate =
+        static_cast<double>(r.accepted) / static_cast<double>(r.pairs);
+    k.verified = r.count_sum() == r.accepted && rate > 0.78 && rate < 0.79;
+    k.profile = ep_profile(18);
+    runs.push_back(std::move(k));
+  }
+  {
+    const FtResult r = run_ft(32, 32, 32, 3);
+    KernelRun k;
+    k.name = "FT";
+    k.description = "3-D spectral heat equation, 32^3, roundtrip-verified";
+    k.verified = r.verified;
+    k.profile = ft_profile(32);
+    runs.push_back(std::move(k));
+  }
+  {
+    const IsResult r = run_is(16, 11, 10);
+    KernelRun k;
+    k.name = "IS";
+    k.description = "integer counting-sort ranking, 2^16 keys, 10 reps";
+    k.verified = r.ranks_sort_keys && r.ranks_are_permutation;
+    k.profile = is_profile(16, 11);
+    runs.push_back(std::move(k));
+  }
+  return runs;
+}
+
+std::vector<KernelRun> table3_kernels() {
+  std::vector<KernelRun> all = run_suite();
+  std::vector<KernelRun> out;
+  for (const char* name : {"BT", "SP", "LU", "MG", "EP", "IS"}) {
+    for (KernelRun& k : all) {
+      if (k.name == name) out.push_back(std::move(k));
+    }
+  }
+  return out;
+}
+
+}  // namespace bladed::npb

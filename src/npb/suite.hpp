@@ -1,0 +1,30 @@
+#pragma once
+
+/// The NPB suite harness: runs every kernel at a calibration size, verifies
+/// it, and exposes the measured operation mixes as cost-model profiles —
+/// the inputs to the paper's Table 3 (single-processor Mop/s for Class W).
+/// Rates are intensive (independent of problem size for these kernels), so
+/// the calibration runs are sized to finish in seconds while the profiles
+/// speak for the Class W mixes.
+
+#include <string>
+#include <vector>
+
+#include "arch/kernel_profile.hpp"
+
+namespace bladed::npb {
+
+struct KernelRun {
+  std::string name;          ///< "BT", "SP", "LU", "MG", "CG", "EP", "IS"
+  std::string description;   ///< what was run / verified
+  bool verified = false;
+  arch::KernelProfile profile;
+};
+
+/// Run and verify the whole suite (order: BT SP LU MG CG EP IS).
+[[nodiscard]] std::vector<KernelRun> run_suite();
+
+/// The Table 3 subset, in the paper's row order: BT SP LU MG EP IS.
+[[nodiscard]] std::vector<KernelRun> table3_kernels();
+
+}  // namespace bladed::npb

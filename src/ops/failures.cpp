@@ -1,0 +1,89 @@
+#include "ops/failures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bladed::ops {
+
+Outcome simulate_once(const OperationsConfig& cfg, Rng& rng) {
+  BLADED_REQUIRE(cfg.nodes > 0);
+  BLADED_REQUIRE(cfg.years >= 0.0);
+  BLADED_REQUIRE(cfg.failures_per_node_year >= 0.0);
+
+  const double horizon_h = cfg.years * kHoursPerYear.value();
+  const double rate_per_hour =
+      cfg.failures_per_node_year * cfg.nodes / kHoursPerYear.value();
+
+  Outcome out;
+  if (rate_per_hour > 0.0) {
+    // Poisson arrivals: exponential inter-arrival times.
+    double t = 0.0;
+    for (;;) {
+      const double u = rng.uniform(1e-300, 1.0);
+      t += -std::log(u) / rate_per_hour;
+      if (t >= horizon_h) break;
+      ++out.failures;
+      const double outage = cfg.repair.outage().value();
+      out.wall_clock_outage += Hours(outage);
+      const double affected =
+          cfg.repair.hot_pluggable ? 1.0 : static_cast<double>(cfg.nodes);
+      out.cpu_hours_lost += Hours(outage * affected);
+    }
+  }
+  out.downtime_cost =
+      Dollars(out.cpu_hours_lost.value() * cfg.dollars_per_cpu_hour);
+  out.availability =
+      horizon_h > 0.0
+          ? 1.0 - (cfg.repair.hot_pluggable
+                       ? 0.0
+                       : out.wall_clock_outage.value() / horizon_h)
+          : 1.0;
+  return out;
+}
+
+MonteCarloResult simulate(const OperationsConfig& cfg, int trials,
+                          std::uint64_t seed) {
+  BLADED_REQUIRE(trials >= 1);
+  MonteCarloResult mc;
+  mc.trials.reserve(static_cast<std::size_t>(trials));
+  Rng rng(seed);
+  std::vector<double> failures, costs, avail;
+  for (int t = 0; t < trials; ++t) {
+    const Outcome o = simulate_once(cfg, rng);
+    failures.push_back(static_cast<double>(o.failures));
+    costs.push_back(o.downtime_cost.value());
+    avail.push_back(o.availability);
+    mc.trials.push_back(o);
+  }
+  mc.failures = summarize(failures);
+  mc.downtime_cost = summarize(costs);
+  mc.availability = summarize(avail);
+  std::sort(costs.begin(), costs.end());
+  mc.p95_cost = costs[static_cast<std::size_t>(
+      0.95 * static_cast<double>(costs.size() - 1))];
+  return mc;
+}
+
+OperationsConfig traditional_ops() {
+  OperationsConfig c;
+  c.nodes = 24;
+  c.failures_per_node_year = 0.25;  // 6 cluster failures/yr (§4.1)
+  c.repair.diagnosis = Hours(3.0);  // hands-on triage
+  c.repair.replacement = Hours(1.0);
+  c.repair.hot_pluggable = false;   // the whole cluster goes down
+  return c;
+}
+
+OperationsConfig bladed_ops() {
+  OperationsConfig c;
+  c.nodes = 24;
+  c.failures_per_node_year = 1.0 / 24.0;  // one blade per year
+  c.repair.diagnosis = Hours(0.5);  // management-card remote diagnostics
+  c.repair.replacement = Hours(0.5);
+  c.repair.hot_pluggable = true;
+  return c;
+}
+
+}  // namespace bladed::ops

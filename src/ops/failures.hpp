@@ -1,0 +1,69 @@
+#pragma once
+
+/// Operations simulator: the stochastic version of the paper's downtime
+/// arithmetic. Failures arrive as a Poisson process at the cluster's
+/// predicted rate; each failure costs a diagnosis phase (where the RLX
+/// management card's remote diagnostics shine — §4.1 credits it for the
+/// one-hour blade repair) plus a replacement phase, and takes down either
+/// the whole cluster (traditional) or one node (hot-pluggable blades).
+/// Monte Carlo over the operating period yields the *distribution* of lost
+/// CPU-hours and dollars behind Table 5's point estimates.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace bladed::ops {
+
+struct RepairPolicy {
+  /// Time to identify the failed component. The paper: hours of hands-on
+  /// triage for a traditional node vs "diagnosed in an hour using the
+  /// bundled management software".
+  Hours diagnosis{3.0};
+  Hours replacement{1.0};
+  /// Hot-pluggable blades keep the rest of the cluster serving.
+  bool hot_pluggable = false;
+
+  [[nodiscard]] Hours outage() const { return diagnosis + replacement; }
+};
+
+struct OperationsConfig {
+  int nodes = 24;
+  double years = 4.0;
+  /// Expected failures per node-year (from power::ReliabilityModel or
+  /// observation).
+  double failures_per_node_year = 0.25;
+  RepairPolicy repair;
+  double dollars_per_cpu_hour = 5.0;
+};
+
+struct Outcome {
+  int failures = 0;
+  Hours wall_clock_outage{0.0};  ///< cluster-unavailable time
+  Hours cpu_hours_lost{0.0};
+  Dollars downtime_cost{0.0};
+  double availability = 1.0;
+};
+
+/// One sampled operating period.
+[[nodiscard]] Outcome simulate_once(const OperationsConfig& cfg, Rng& rng);
+
+struct MonteCarloResult {
+  Summary failures;        ///< distribution over trials
+  Summary downtime_cost;   ///< dollars
+  Summary availability;
+  double p95_cost = 0.0;   ///< 95th-percentile downtime dollars
+  std::vector<Outcome> trials;
+};
+
+/// `trials` independent periods with a deterministic seed.
+[[nodiscard]] MonteCarloResult simulate(const OperationsConfig& cfg,
+                                        int trials, std::uint64_t seed);
+
+/// The paper's two operating regimes, ready to compare.
+[[nodiscard]] OperationsConfig traditional_ops();  ///< 24 nodes, 6 fails/yr
+[[nodiscard]] OperationsConfig bladed_ops();       ///< 24 blades, 1 fail/yr
+
+}  // namespace bladed::ops

@@ -1,0 +1,14 @@
+#include "power/electricity.hpp"
+
+#include "common/error.hpp"
+
+namespace bladed::power {
+
+Dollars electricity_cost(Watts power, double years, UtilityRate rate) {
+  BLADED_REQUIRE(years >= 0.0);
+  BLADED_REQUIRE(rate.dollars_per_kwh >= 0.0);
+  return energy_cost(power, Hours(years * kHoursPerYear.value()),
+                     rate.dollars_per_kwh);
+}
+
+}  // namespace bladed::power

@@ -1,0 +1,18 @@
+#pragma once
+
+/// Electricity pricing: turns a continuous power draw into dollars over an
+/// operating period (the paper assumes $0.10/kWh, 8760 h/yr).
+
+#include "common/units.hpp"
+
+namespace bladed::power {
+
+struct UtilityRate {
+  double dollars_per_kwh = 0.10;  ///< paper §4.1 "typical utility rate"
+};
+
+/// Cost of drawing `power` continuously for `years` at `rate`.
+[[nodiscard]] Dollars electricity_cost(Watts power, double years,
+                                       UtilityRate rate);
+
+}  // namespace bladed::power

@@ -1,0 +1,94 @@
+#include "power/longrun.hpp"
+
+#include "common/error.hpp"
+
+namespace bladed::power {
+
+Watts LongRunLadder::active_watts(const PerfState& s) const {
+  BLADED_REQUIRE(!states.empty());
+  const PerfState& t = top();
+  const double f_ratio = s.frequency.value() / t.frequency.value();
+  const double v_ratio = s.volts / t.volts;
+  const Watts dynamic = top_watts - static_watts;
+  return static_watts + dynamic * (f_ratio * v_ratio * v_ratio);
+}
+
+Watts LongRunLadder::idle_watts() const {
+  // Clock-gated at the bottom state: static power plus a sliver of dynamic.
+  return static_watts + (active_watts(bottom()) - static_watts) * 0.1;
+}
+
+LongRunLadder tm5600_ladder() {
+  LongRunLadder l;
+  l.states = {
+      {Megahertz(300.0), 1.20}, {Megahertz(400.0), 1.23},
+      {Megahertz(500.0), 1.35}, {Megahertz(600.0), 1.50},
+      {Megahertz(633.0), 1.60},
+  };
+  l.top_watts = Watts(6.0);     // §2.1: ~6 W at load
+  l.static_watts = Watts(0.8);  // leakage + I/O floor
+  return l;
+}
+
+LongRunLadder tm5800_800_ladder() {
+  LongRunLadder l;
+  l.states = {
+      {Megahertz(367.0), 0.90}, {Megahertz(500.0), 1.00},
+      {Megahertz(600.0), 1.10}, {Megahertz(700.0), 1.20},
+      {Megahertz(800.0), 1.30},
+  };
+  l.top_watts = Watts(3.5);  // §5: 3.5 W per CPU at load
+  l.static_watts = Watts(0.5);
+  return l;
+}
+
+EnergyReport energy_to_solution(const arch::ProcessorModel& cpu,
+                                const LongRunLadder& ladder,
+                                const arch::KernelProfile& p,
+                                const PerfState& s) {
+  BLADED_REQUIRE(s.frequency.value() > 0.0);
+  arch::ProcessorModel scaled = cpu;
+  scaled.clock = s.frequency;
+  EnergyReport r;
+  r.seconds = arch::estimate_seconds(scaled, p);
+  r.watts = ladder.active_watts(s);
+  r.joules = r.watts.value() * r.seconds;
+  return r;
+}
+
+double energy_over_period(const arch::ProcessorModel& cpu,
+                          const LongRunLadder& ladder,
+                          const arch::KernelProfile& p, const PerfState& s,
+                          double period_s) {
+  const EnergyReport active = energy_to_solution(cpu, ladder, p, s);
+  BLADED_REQUIRE_MSG(active.seconds <= period_s,
+                     "work does not fit in the period at this state");
+  const double idle_s = period_s - active.seconds;
+  return active.joules + ladder.idle_watts().value() * idle_s;
+}
+
+PerfState pick_state(const arch::ProcessorModel& cpu,
+                     const LongRunLadder& ladder,
+                     const arch::KernelProfile& p, double period_s) {
+  BLADED_REQUIRE(!ladder.states.empty());
+  bool found = false;
+  PerfState best{};
+  double best_energy = 0.0;
+  for (const PerfState& s : ladder.states) {
+    const EnergyReport r = energy_to_solution(cpu, ladder, p, s);
+    if (r.seconds > period_s) continue;  // misses the deadline
+    const double e = energy_over_period(cpu, ladder, p, s, period_s);
+    if (!found || e < best_energy) {
+      found = true;
+      best = s;
+      best_energy = e;
+    }
+  }
+  if (!found) {
+    throw SimulationError(
+        "LongRun governor: deadline unreachable even at the top state");
+  }
+  return best;
+}
+
+}  // namespace bladed::power

@@ -1,0 +1,75 @@
+#pragma once
+
+/// LongRun: the Crusoe's dynamic frequency/voltage scaling, the mechanism
+/// behind the TM5600's power story and the paper project's follow-on work
+/// on power-aware supercomputing ("Supercomputing in Small Spaces"). A
+/// processor exposes a ladder of (frequency, voltage) states; dynamic power
+/// scales as C V^2 f, so running slower-and-lower can cost less *energy*
+/// per unit of work than racing to idle — or more, once static/idle power
+/// is counted. This module models the ladder, energy-to-solution, and a
+/// deadline-driven governor.
+
+#include <vector>
+
+#include "arch/cost_model.hpp"
+#include "arch/processor.hpp"
+#include "common/units.hpp"
+
+namespace bladed::power {
+
+struct PerfState {
+  Megahertz frequency{0.0};
+  double volts = 0.0;
+};
+
+/// A processor's DVFS ladder, fastest state last.
+struct LongRunLadder {
+  std::vector<PerfState> states;
+  /// Power of the *top* state under load (ties the ladder to the CPU model).
+  Watts top_watts{0.0};
+  /// Non-scaling floor: leakage, I/O ring, memory interface.
+  Watts static_watts{0.0};
+
+  /// Active power in a state: static + dynamic scaled by (f/f_top)(V/V_top)^2.
+  [[nodiscard]] Watts active_watts(const PerfState& s) const;
+  /// Power when idle at the lowest state (clock-gated core).
+  [[nodiscard]] Watts idle_watts() const;
+
+  [[nodiscard]] const PerfState& top() const { return states.back(); }
+  [[nodiscard]] const PerfState& bottom() const { return states.front(); }
+};
+
+/// The TM5600's published LongRun ladder (300-633 MHz, 1.2-1.6 V).
+[[nodiscard]] LongRunLadder tm5600_ladder();
+/// The TM5800's ladder (367-800 MHz at lower voltages).
+[[nodiscard]] LongRunLadder tm5800_800_ladder();
+
+/// Time and energy to execute `profile` on `cpu` clocked down to state `s`
+/// (the microarchitecture is unchanged; only the clock and voltage move).
+struct EnergyReport {
+  double seconds = 0.0;
+  Watts watts{0.0};
+  double joules = 0.0;
+};
+[[nodiscard]] EnergyReport energy_to_solution(const arch::ProcessorModel& cpu,
+                                              const LongRunLadder& ladder,
+                                              const arch::KernelProfile& p,
+                                              const PerfState& s);
+
+/// Total energy over a fixed period `period_s` in which the work must
+/// complete: run at `s` for the work's duration, then idle at the ladder
+/// bottom for the remainder ("race-to-idle" when s is the top state).
+[[nodiscard]] double energy_over_period(const arch::ProcessorModel& cpu,
+                                        const LongRunLadder& ladder,
+                                        const arch::KernelProfile& p,
+                                        const PerfState& s, double period_s);
+
+/// Deadline governor: the lowest-energy state (over the period) that still
+/// finishes the work within `period_s`. Throws SimulationError if even the
+/// top state misses the deadline.
+[[nodiscard]] PerfState pick_state(const arch::ProcessorModel& cpu,
+                                   const LongRunLadder& ladder,
+                                   const arch::KernelProfile& p,
+                                   double period_s);
+
+}  // namespace bladed::power

@@ -1,0 +1,26 @@
+#include "power/node_power.hpp"
+
+#include "common/error.hpp"
+
+namespace bladed::power {
+
+NodeComponents standard_node(const arch::ProcessorModel& cpu) {
+  NodeComponents n;
+  n.cpu = cpu.watts_at_load;
+  return n;
+}
+
+ClusterPower cluster_power(const NodeComponents& node, int nodes,
+                           Watts network_gear, Cooling cooling) {
+  BLADED_REQUIRE(nodes > 0);
+  ClusterPower p;
+  p.compute = node.total() * static_cast<double>(nodes);
+  p.network = network_gear;
+  const Watts dissipated = p.compute + p.network;
+  p.cooling = cooling == Cooling::kActive
+                  ? dissipated * kCoolingWattsPerWatt
+                  : Watts(0.0);
+  return p;
+}
+
+}  // namespace bladed::power

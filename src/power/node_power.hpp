@@ -1,0 +1,48 @@
+#pragma once
+
+/// Node- and cluster-level power models (§4.1 of the paper): a compute node
+/// dissipates its CPU's load power plus memory/disk/NIC/board overhead, and a
+/// conventionally-cooled machine room spends an additional half watt of
+/// cooling per watt dissipated. Convection-cooled blades (the Bladed Beowulf)
+/// spend nothing on cooling.
+
+#include "arch/processor.hpp"
+#include "common/units.hpp"
+
+namespace bladed::power {
+
+struct NodeComponents {
+  Watts cpu{0.0};
+  Watts memory{3.0};  ///< 256-MB SDRAM
+  Watts disk{8.0};    ///< 10-GB 2.5"/3.5" disk under activity
+  Watts nic{2.0};     ///< Fast Ethernet interfaces
+  Watts board{4.0};   ///< voltage regulation, glue logic
+
+  [[nodiscard]] Watts total() const {
+    return cpu + memory + disk + nic + board;
+  }
+};
+
+/// A standard node built around `cpu` with the default peripheral budget.
+[[nodiscard]] NodeComponents standard_node(const arch::ProcessorModel& cpu);
+
+enum class Cooling {
+  kNone,    ///< passive/convection (RLX blades): no cooling power
+  kActive,  ///< machine-room HVAC: +0.5 W per W dissipated (paper §4.1)
+};
+
+struct ClusterPower {
+  Watts compute{0.0};  ///< sum of node dissipation
+  Watts network{0.0};  ///< switches etc.
+  Watts cooling{0.0};
+  [[nodiscard]] Watts total() const { return compute + network + cooling; }
+};
+
+/// Power of `nodes` identical nodes plus network gear under a cooling policy.
+[[nodiscard]] ClusterPower cluster_power(const NodeComponents& node, int nodes,
+                                         Watts network_gear, Cooling cooling);
+
+/// The paper's cooling rule: half a watt per watt dissipated.
+inline constexpr double kCoolingWattsPerWatt = 0.5;
+
+}  // namespace bladed::power

@@ -1,0 +1,41 @@
+#include "power/reliability.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bladed::power {
+
+double ReliabilityModel::failure_rate(Celsius t) const {
+  BLADED_REQUIRE(doubling_interval.value() > 0.0);
+  const double steps =
+      (t - reference_temp).value() / doubling_interval.value();
+  return failures_per_node_year_ref * std::exp2(steps);
+}
+
+double ReliabilityModel::expected_failures(int nodes, double years,
+                                           Celsius t) const {
+  BLADED_REQUIRE(nodes > 0);
+  BLADED_REQUIRE(years >= 0.0);
+  return failure_rate(t) * static_cast<double>(nodes) * years;
+}
+
+DowntimeEstimate estimate_downtime(const ReliabilityModel& rel,
+                                   const OutageModel& outage, int nodes,
+                                   double years, Celsius ambient) {
+  DowntimeEstimate d;
+  d.failures = rel.expected_failures(nodes, years, ambient);
+  d.outage = Hours(d.failures * outage.repair_time.value());
+  const double affected_nodes =
+      outage.whole_cluster_outage ? static_cast<double>(nodes) : 1.0;
+  d.cpu_hours_lost = Hours(d.outage.value() * affected_nodes);
+  const double wall_hours = years * kHoursPerYear.value();
+  d.availability =
+      wall_hours > 0.0
+          ? 1.0 - (outage.whole_cluster_outage ? d.outage.value() : 0.0) /
+                      wall_hours
+          : 1.0;
+  return d;
+}
+
+}  // namespace bladed::power

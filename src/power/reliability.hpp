@@ -1,0 +1,49 @@
+#pragma once
+
+/// Temperature-driven reliability model. The paper cites vendor data that a
+/// component's failure rate doubles for every 10 °C increase in temperature;
+/// this module turns that rule plus an outage-duration model into expected
+/// failures, downtime hours and availability, which feed the downtime-cost
+/// component of TCO.
+
+#include "common/units.hpp"
+
+namespace bladed::power {
+
+struct ReliabilityModel {
+  /// Failures per node-year at the reference temperature.
+  double failures_per_node_year_ref = 0.75;
+  Celsius reference_temp{25.0};
+  /// Doubling interval of the failure rate ("doubles every 10 °C").
+  Celsius doubling_interval{10.0};
+
+  /// Failure rate (failures per node-year) at ambient temperature `t`.
+  [[nodiscard]] double failure_rate(Celsius t) const;
+
+  /// Expected failures over `years` for a cluster of `nodes` nodes at `t`.
+  [[nodiscard]] double expected_failures(int nodes, double years,
+                                         Celsius t) const;
+};
+
+struct OutageModel {
+  Hours repair_time{4.0};  ///< wall-clock outage per failure
+  /// Whether one node failure takes the whole cluster down (traditional
+  /// Beowulf behaviour in the paper) or only the failed node (hot-pluggable
+  /// blades).
+  bool whole_cluster_outage = true;
+};
+
+struct DowntimeEstimate {
+  double failures = 0.0;
+  Hours outage{0.0};        ///< wall-clock unavailable time
+  Hours cpu_hours_lost{0.0};  ///< node-hours of lost compute
+  double availability = 1.0;  ///< fraction of wall-clock time up
+};
+
+/// Combine failure and outage models over an operating period.
+[[nodiscard]] DowntimeEstimate estimate_downtime(const ReliabilityModel& rel,
+                                                 const OutageModel& outage,
+                                                 int nodes, double years,
+                                                 Celsius ambient);
+
+}  // namespace bladed::power

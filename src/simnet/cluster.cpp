@@ -1,0 +1,297 @@
+#include "simnet/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "simnet/comm.hpp"
+
+namespace bladed::simnet {
+
+namespace {
+/// Thrown into a rank thread to unwind it when the simulation aborts.
+struct AbortSim {};
+}  // namespace
+
+struct Cluster::Rank {
+  std::thread thread;
+  std::condition_variable cv;
+  State state = State::kIdle;
+  double clock = 0.0;
+  // Pending recv match criteria while kBlockedRecv.
+  int want_src = kAnySource;
+  int want_tag = 0;
+  std::list<Message> mailbox;
+  RankStats stats;
+};
+
+struct ClusterImpl {
+  std::mutex mu;
+  std::condition_variable sched_cv;
+  int running = -1;     ///< rank currently executing, -1 = scheduler's turn
+  bool abort = false;
+  std::exception_ptr error;
+  int barrier_waiting = 0;
+  std::uint64_t barrier_epoch = 0;
+};
+
+Cluster::Cluster(Config cfg)
+    : impl_(std::make_unique<ClusterImpl>()),
+      links_(cfg.ranks, cfg.network),
+      record_trace_(cfg.record_trace) {
+  BLADED_REQUIRE_MSG(cfg.ranks > 0, "cluster needs at least one rank");
+  ranks_.reserve(cfg.ranks);
+  for (int i = 0; i < cfg.ranks; ++i) ranks_.push_back(std::make_unique<Rank>());
+}
+
+Cluster::~Cluster() = default;
+
+double Cluster::elapsed_seconds() const {
+  double t = 0.0;
+  for (const auto& r : ranks_) t = std::max(t, r->stats.finish_time);
+  return t;
+}
+
+const RankStats& Cluster::stats(int rank) const {
+  BLADED_REQUIRE(rank >= 0 && rank < ranks());
+  return ranks_[rank]->stats;
+}
+
+namespace {
+/// Called with the engine lock held, on the rank's own thread: hand control
+/// back to the scheduler and sleep until rescheduled.
+void block_here(std::unique_lock<std::mutex>& lk, ClusterImpl& eng,
+                std::condition_variable& my_cv, auto is_running) {
+  eng.running = -1;
+  eng.sched_cv.notify_one();
+  my_cv.wait(lk, [&] { return is_running() || eng.abort; });
+  if (eng.abort) throw AbortSim{};
+}
+}  // namespace
+
+void Cluster::run(const std::function<void(Comm&)>& program) {
+  ClusterImpl& eng = *impl_;
+  // Reset per-run state so a Cluster can be reused.
+  {
+    std::lock_guard<std::mutex> lk(eng.mu);
+    eng.running = -1;
+    eng.abort = false;
+    eng.error = nullptr;
+    eng.barrier_waiting = 0;
+    links_.reset();
+    trace_.clear();
+    for (auto& r : ranks_) {
+      r->state = State::kRunnable;
+      r->clock = 0.0;
+      r->mailbox.clear();
+      r->stats = RankStats{};
+    }
+  }
+
+  const int n = ranks();
+  for (int i = 0; i < n; ++i) {
+    ranks_[i]->thread = std::thread([this, &eng, &program, i] {
+      Rank& me = *ranks_[i];
+      std::unique_lock<std::mutex> lk(eng.mu);
+      me.cv.wait(lk, [&] { return me.state == State::kRunning || eng.abort; });
+      if (!eng.abort) {
+        lk.unlock();
+        try {
+          Comm comm(*this, i);
+          program(comm);
+          lk.lock();
+        } catch (const AbortSim&) {
+          lk.lock();
+        } catch (...) {
+          lk.lock();
+          if (!eng.error) eng.error = std::current_exception();
+          eng.abort = true;
+          for (auto& r : ranks_) r->cv.notify_all();
+        }
+      }
+      Rank& self = *ranks_[i];
+      self.state = State::kDone;
+      self.stats.finish_time = self.clock;
+      eng.running = -1;
+      eng.sched_cv.notify_one();
+    });
+  }
+
+  // Scheduler: always resume the runnable rank with the smallest clock.
+  bool deadlock = false;
+  {
+    std::unique_lock<std::mutex> lk(eng.mu);
+    for (;;) {
+      int next = -1;
+      bool all_done = true;
+      for (int i = 0; i < n; ++i) {
+        const State s = ranks_[i]->state;
+        if (s != State::kDone) all_done = false;
+        if (s == State::kRunnable &&
+            (next == -1 || ranks_[i]->clock < ranks_[next]->clock)) {
+          next = i;
+        }
+      }
+      if (eng.abort || all_done) break;
+      if (next == -1) {  // everyone blocked: communication deadlock
+        deadlock = true;
+        eng.abort = true;
+        for (auto& r : ranks_) r->cv.notify_all();
+        break;
+      }
+      ranks_[next]->state = State::kRunning;
+      eng.running = next;
+      ranks_[next]->cv.notify_all();
+      eng.sched_cv.wait(lk, [&] { return eng.running == -1; });
+    }
+  }
+
+  for (auto& r : ranks_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
+  if (impl_->error) std::rethrow_exception(impl_->error);
+  if (deadlock) {
+    throw SimulationError(
+        "simnet: communication deadlock — every rank is blocked and no "
+        "message is in flight");
+  }
+}
+
+double Cluster::op_now(int r) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return ranks_[r]->clock;
+}
+
+void Cluster::op_compute(int r, double seconds) {
+  BLADED_REQUIRE(seconds >= 0.0);
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  Rank& me = *ranks_[r];
+  me.clock += seconds;
+  me.stats.compute_seconds += seconds;
+}
+
+void Cluster::op_send(int r, int dst, int tag,
+                      std::vector<std::byte> payload) {
+  BLADED_REQUIRE(dst >= 0 && dst < ranks());
+  ClusterImpl& eng = *impl_;
+  std::unique_lock<std::mutex> lk(eng.mu);
+  Rank& me = *ranks_[r];
+
+  // Yield first so that any runnable rank with a smaller clock performs its
+  // network actions before we commit link occupancy — keeps the shared
+  // LinkTimeline updated in (approximately) nondecreasing time order.
+  me.state = State::kRunnable;
+  block_here(lk, eng, me.cv, [&] { return me.state == State::kRunning; });
+
+  const NetworkModel& net = links_.model();
+  me.stats.bytes_sent += payload.size();
+  ++me.stats.messages_sent;
+
+  Message msg;
+  msg.src = r;
+  msg.tag = tag;
+
+  if (dst == r) {
+    // Loopback: no network involved; available immediately.
+    msg.available_at = me.clock;
+    msg.payload = std::move(payload);
+    me.mailbox.push_back(std::move(msg));
+    return;
+  }
+
+  const double depart = me.clock + net.send_overhead;
+  me.clock = depart;
+  me.stats.comm_seconds += net.send_overhead;
+  msg.available_at = links_.schedule(r, dst, payload.size(), depart);
+  if (record_trace_) {
+    trace_.push_back(
+        {depart, msg.available_at, r, dst, tag, payload.size()});
+  }
+  msg.payload = std::move(payload);
+
+  Rank& peer = *ranks_[dst];
+  const bool matches =
+      peer.state == State::kBlockedRecv &&
+      (peer.want_src == kAnySource || peer.want_src == r) &&
+      peer.want_tag == tag;
+  peer.mailbox.push_back(std::move(msg));
+  if (matches) peer.state = State::kRunnable;
+}
+
+std::vector<std::byte> Cluster::op_recv(int r, int src, int tag) {
+  BLADED_REQUIRE(src == kAnySource || (src >= 0 && src < ranks()));
+  ClusterImpl& eng = *impl_;
+  std::unique_lock<std::mutex> lk(eng.mu);
+  Rank& me = *ranks_[r];
+
+  for (;;) {
+    auto it = std::find_if(me.mailbox.begin(), me.mailbox.end(),
+                           [&](const Message& m) {
+                             return (src == kAnySource || m.src == src) &&
+                                    m.tag == tag;
+                           });
+    if (it != me.mailbox.end()) {
+      if (it->available_at > me.clock) {
+        me.stats.comm_seconds += it->available_at - me.clock;
+        me.clock = it->available_at;
+      }
+      const double o = links_.model().recv_overhead;
+      me.clock += o;
+      me.stats.comm_seconds += o;
+      std::vector<std::byte> payload = std::move(it->payload);
+      me.mailbox.erase(it);
+      return payload;
+    }
+    me.want_src = src;
+    me.want_tag = tag;
+    me.state = State::kBlockedRecv;
+    block_here(lk, eng, me.cv, [&] { return me.state == State::kRunning; });
+  }
+}
+
+void Cluster::op_barrier(int r) {
+  ClusterImpl& eng = *impl_;
+  std::unique_lock<std::mutex> lk(eng.mu);
+  Rank& me = *ranks_[r];
+  const int n = ranks();
+
+  ++eng.barrier_waiting;
+  if (eng.barrier_waiting < n) {
+    const std::uint64_t epoch = eng.barrier_epoch;
+    me.state = State::kBlockedBarrier;
+    block_here(lk, eng, me.cv, [&] {
+      return eng.barrier_epoch != epoch && me.state == State::kRunning;
+    });
+    return;
+  }
+
+  // Last arriver completes the barrier: dissemination-barrier cost model,
+  // ceil(log2 n) rounds of short messages.
+  const NetworkModel& net = links_.model();
+  const double rounds = n > 1 ? std::ceil(std::log2(static_cast<double>(n))) : 0.0;
+  const double cost =
+      rounds * (net.latency + net.send_overhead + net.recv_overhead +
+                2.0 * net.wire_time(8));
+  double t = 0.0;
+  for (const auto& rank : ranks_) t = std::max(t, rank->clock);
+  t += cost;
+  for (const auto& rank : ranks_) {
+    if (t > rank->clock) {
+      rank->stats.comm_seconds += t - rank->clock;
+      rank->clock = t;
+    }
+  }
+  eng.barrier_waiting = 0;
+  ++eng.barrier_epoch;
+  for (const auto& rank : ranks_) {
+    if (rank->state == State::kBlockedBarrier) {
+      rank->state = State::kRunnable;
+      rank->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace bladed::simnet

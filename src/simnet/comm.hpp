@@ -1,0 +1,233 @@
+#pragma once
+
+/// Rank-side message-passing API, deliberately shaped like the small MPI
+/// subset most programs use (LLNL tutorial: "most MPI programs can be written
+/// using a dozen or less routines"): send/recv, barrier, broadcast, reduce,
+/// allreduce, allgather, gather and alltoall. Payloads are real data; the
+/// collectives are built from point-to-point messages (binomial trees, rings,
+/// pairwise exchange) so their cost emerges from the network model rather
+/// than being asserted.
+
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "simnet/cluster.hpp"
+
+namespace bladed::simnet {
+
+class Comm {
+ public:
+  Comm(Cluster& cluster, int rank) : cluster_(cluster), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return cluster_.ranks(); }
+  /// This rank's virtual clock, seconds.
+  [[nodiscard]] double now() const { return cluster_.op_now(rank_); }
+
+  /// Advance this rank's clock by `seconds` of computation.
+  void compute(double seconds) { cluster_.op_compute(rank_, seconds); }
+
+  // --- point-to-point -----------------------------------------------------
+
+  void send_bytes(int dst, int tag, std::vector<std::byte> payload) {
+    cluster_.op_send(rank_, dst, tag, std::move(payload));
+  }
+  /// Blocking receive; src may be kAnySource.
+  std::vector<std::byte> recv_bytes(int src, int tag) {
+    return cluster_.op_recv(rank_, src, tag);
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void send(int dst, int tag, const std::vector<T>& v) {
+    std::vector<std::byte> bytes(v.size() * sizeof(T));
+    std::memcpy(bytes.data(), v.data(), bytes.size());
+    send_bytes(dst, tag, std::move(bytes));
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> recv(int src, int tag) {
+    std::vector<std::byte> bytes = recv_bytes(src, tag);
+    BLADED_REQUIRE_MSG(bytes.size() % sizeof(T) == 0,
+                       "payload size not a multiple of element size");
+    std::vector<T> v(bytes.size() / sizeof(T));
+    std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void send_value(int dst, int tag, const T& value) {
+    std::vector<std::byte> bytes(sizeof(T));
+    std::memcpy(bytes.data(), &value, sizeof(T));
+    send_bytes(dst, tag, std::move(bytes));
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  T recv_value(int src, int tag) {
+    std::vector<std::byte> bytes = recv_bytes(src, tag);
+    BLADED_REQUIRE(bytes.size() == sizeof(T));
+    T value;
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+
+  // --- collectives ----------------------------------------------------------
+  // Every rank must call each collective in the same order; an internal
+  // per-rank sequence number keeps concurrent collectives' messages apart.
+
+  void barrier() { cluster_.op_barrier(rank_); }
+
+  /// Binomial-tree broadcast of a vector from `root`.
+  template <class T>
+  std::vector<T> bcast(std::vector<T> v, int root) {
+    const int tag = next_tag();
+    const int n = size();
+    if (n == 1) return v;
+    // Work in root-relative rank space so any root uses the rank-0 tree.
+    const int rel = (rank() - root + n) % n;
+    int rounds = 0;
+    while ((1 << rounds) < n) ++rounds;
+    if (rel != 0) {
+      int hb = 0;
+      while ((1 << (hb + 1)) <= rel) ++hb;
+      const int parent = (rel - (1 << hb) + root) % n;
+      v = recv<T>(parent, tag);
+      for (int k = hb + 1; k < rounds; ++k) {
+        const int child = rel + (1 << k);
+        if (child < n) send((child + root) % n, tag, v);
+      }
+    } else {
+      for (int k = 0; k < rounds; ++k) {
+        const int child = 1 << k;
+        if (child < n) send((child + root) % n, tag, v);
+      }
+    }
+    return v;
+  }
+
+  /// Binomial-tree reduction of a scalar to `root`; every rank must pass the
+  /// same op. Returns the reduced value on root, the partial elsewhere.
+  template <class T, class Op>
+    requires std::is_trivially_copyable_v<T>
+  T reduce(T value, Op op, int root) {
+    const int tag = next_tag();
+    const int n = size();
+    const int rel = (rank() - root + n) % n;
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (rel & mask) {
+        send_value((rel - mask + root) % n, tag, value);
+        break;
+      }
+      if (rel + mask < n) {
+        value = op(value, recv_value<T>((rel + mask + root) % n, tag));
+      }
+    }
+    return value;
+  }
+
+  /// Reduce-to-0 followed by broadcast; every rank gets the total.
+  template <class T, class Op>
+  T allreduce(T value, Op op) {
+    value = reduce(value, op, 0);
+    std::vector<T> v = bcast(rank() == 0 ? std::vector<T>{value}
+                                         : std::vector<T>{},
+                             0);
+    return v.at(0);
+  }
+
+  /// Elementwise allreduce over equally-sized vectors (binomial reduce to 0,
+  /// then broadcast).
+  template <class T, class Op>
+  std::vector<T> allreduce_vec(std::vector<T> v, Op op) {
+    const int tag = next_tag();
+    const int n = size();
+    const int r = rank();
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (r & mask) {
+        send(r - mask, tag, v);
+        break;
+      }
+      if (r + mask < n) {
+        const std::vector<T> other = recv<T>(r + mask, tag);
+        BLADED_REQUIRE(other.size() == v.size());
+        for (std::size_t i = 0; i < v.size(); ++i) v[i] = op(v[i], other[i]);
+      }
+    }
+    return bcast(std::move(v), 0);
+  }
+
+  /// Ring allgather: returns the concatenation of every rank's vector in
+  /// rank order (ranks may contribute different lengths).
+  template <class T>
+  std::vector<std::vector<T>> allgather(const std::vector<T>& mine) {
+    const int tag = next_tag();
+    const int n = size();
+    std::vector<std::vector<T>> all(n);
+    all[rank()] = mine;
+    const int right = (rank() + 1) % n;
+    const int left = (rank() - 1 + n) % n;
+    int have = rank();  // the block we forward this step
+    for (int step = 0; step < n - 1; ++step) {
+      send(right, tag, all[have]);
+      const int incoming = (have - 1 + n) % n;
+      all[incoming] = recv<T>(left, tag);
+      have = incoming;
+    }
+    return all;
+  }
+
+  /// Gather every rank's vector at `root` (empty results elsewhere).
+  template <class T>
+  std::vector<std::vector<T>> gather(const std::vector<T>& mine, int root) {
+    const int tag = next_tag();
+    const int n = size();
+    std::vector<std::vector<T>> all;
+    if (rank() == root) {
+      all.resize(n);
+      all[root] = mine;
+      for (int i = 0; i < n; ++i) {
+        if (i != root) all[i] = recv<T>(i, tag);
+      }
+    } else {
+      send(root, tag, mine);
+    }
+    return all;
+  }
+
+  /// Pairwise-exchange alltoall: blocks[i] goes to rank i; returns the
+  /// blocks received (blocks[rank()] is kept as-is).
+  template <class T>
+  std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& blocks) {
+    const int n = size();
+    BLADED_REQUIRE(static_cast<int>(blocks.size()) == n);
+    const int tag = next_tag();
+    std::vector<std::vector<T>> out(n);
+    out[rank()] = blocks[rank()];
+    for (int step = 1; step < n; ++step) {
+      const int dst = (rank() + step) % n;
+      const int src = (rank() - step + n) % n;
+      send(dst, tag, blocks[dst]);
+      out[src] = recv<T>(src, tag);
+    }
+    return out;
+  }
+
+ private:
+  /// Tags >= kCollectiveBase are reserved for collectives.
+  static constexpr int kCollectiveBase = 1 << 20;
+
+  int next_tag() {
+    return kCollectiveBase + (collective_seq_++ % kCollectiveBase);
+  }
+
+  Cluster& cluster_;
+  int rank_;
+  int collective_seq_ = 0;
+};
+
+}  // namespace bladed::simnet

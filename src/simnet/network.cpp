@@ -1,0 +1,58 @@
+#include "simnet/network.hpp"
+
+#include <algorithm>
+
+namespace bladed::simnet {
+
+LinkTimeline::LinkTimeline(int nodes, NetworkModel model)
+    : model_(model), out_busy_(nodes, 0.0), in_busy_(nodes, 0.0) {
+  BLADED_REQUIRE(nodes > 0);
+  BLADED_REQUIRE(model_.bandwidth > 0.0);
+  BLADED_REQUIRE(model_.latency >= 0.0);
+}
+
+void LinkTimeline::reset() {
+  std::fill(out_busy_.begin(), out_busy_.end(), 0.0);
+  std::fill(in_busy_.begin(), in_busy_.end(), 0.0);
+  medium_busy_ = 0.0;
+  bytes_carried_ = 0;
+  messages_ = 0;
+}
+
+double LinkTimeline::schedule(int src, int dst, std::size_t bytes,
+                              double depart_time) {
+  BLADED_REQUIRE(src >= 0 && src < nodes());
+  BLADED_REQUIRE(dst >= 0 && dst < nodes());
+  BLADED_REQUIRE_MSG(src != dst, "loopback messages bypass the network");
+
+  const double ser = model_.wire_time(bytes);
+
+  if (model_.topology == Topology::kSharedHub) {
+    // One half-duplex collision domain: every transmission in the cluster
+    // serializes on the single shared medium.
+    const double start = std::max(depart_time, medium_busy_);
+    const double end = start + ser;
+    medium_busy_ = end;
+    bytes_carried_ += bytes + model_.header_bytes;
+    ++messages_;
+    return end + model_.latency;
+  }
+
+  // Serialize on the sender's egress link.
+  const double out_start = std::max(depart_time, out_busy_[src]);
+  const double out_end = out_start + ser;
+  out_busy_[src] = out_end;
+
+  // Store-and-forward switch: forwarding begins after full reception, plus
+  // the fixed latency; then serialize on the receiver's ingress link, which
+  // is where concurrent senders to one destination queue.
+  const double in_start = std::max(out_end + model_.latency, in_busy_[dst]);
+  const double in_end = in_start + ser;
+  in_busy_[dst] = in_end;
+
+  bytes_carried_ += bytes + model_.header_bytes;
+  ++messages_;
+  return in_end;
+}
+
+}  // namespace bladed::simnet

@@ -1,0 +1,69 @@
+#include "treecode/direct.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bladed::treecode {
+
+OpCounter compute_forces_direct(ParticleSet& p, const GravityParams& params) {
+  const std::size_t n = p.size();
+  const double eps2 = params.softening * params.softening;
+  for (std::size_t i = 0; i < n; ++i) {
+    double ax = 0.0, ay = 0.0, az = 0.0, pot = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double dx = p.x[j] - p.x[i];
+      const double dy = p.y[j] - p.y[i];
+      const double dz = p.z[j] - p.z[i];
+      const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+      const double r = std::sqrt(r2);
+      const double s = params.G * p.m[j] / (r2 * r);
+      ax += s * dx;
+      ay += s * dy;
+      az += s * dz;
+      pot -= s * r2;  // G m / r
+    }
+    p.ax[i] += ax;
+    p.ay[i] += ay;
+    p.az[i] += az;
+    p.pot[i] += pot;
+  }
+  const std::uint64_t pairs = static_cast<std::uint64_t>(n) * (n - 1);
+  return interaction_ops(RsqrtImpl::kLibm) * pairs;
+}
+
+double max_rel_force_error(const ParticleSet& approx,
+                           const ParticleSet& exact) {
+  BLADED_REQUIRE(approx.size() == exact.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    const double dax = approx.ax[i] - exact.ax[i];
+    const double day = approx.ay[i] - exact.ay[i];
+    const double daz = approx.az[i] - exact.az[i];
+    const double num =
+        std::sqrt(dax * dax + day * day + daz * daz);
+    const double den = std::sqrt(exact.ax[i] * exact.ax[i] +
+                                 exact.ay[i] * exact.ay[i] +
+                                 exact.az[i] * exact.az[i]);
+    worst = std::max(worst, num / std::max(den, 1e-12));
+  }
+  return worst;
+}
+
+double rms_force_error(const ParticleSet& approx, const ParticleSet& exact) {
+  BLADED_REQUIRE(approx.size() == exact.size());
+  BLADED_REQUIRE(approx.size() > 0);
+  double err2 = 0.0, ref2 = 0.0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    const double dax = approx.ax[i] - exact.ax[i];
+    const double day = approx.ay[i] - exact.ay[i];
+    const double daz = approx.az[i] - exact.az[i];
+    err2 += dax * dax + day * day + daz * daz;
+    ref2 += exact.ax[i] * exact.ax[i] + exact.ay[i] * exact.ay[i] +
+            exact.az[i] * exact.az[i];
+  }
+  return std::sqrt(err2 / std::max(ref2, 1e-300));
+}
+
+}  // namespace bladed::treecode

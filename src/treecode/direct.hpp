@@ -1,0 +1,29 @@
+#pragma once
+
+/// Direct O(N^2) summation — the brute-force reference the treecode is
+/// validated against, and the baseline for the accuracy/θ ablation bench.
+
+#include "common/opcount.hpp"
+#include "treecode/particle.hpp"
+#include "treecode/traverse.hpp"
+
+namespace bladed::treecode {
+
+/// Softened all-pairs forces and potentials (accumulated; zero first).
+/// Returns the operation counts under the same conventions as the treecode.
+OpCounter compute_forces_direct(ParticleSet& p, const GravityParams& params);
+
+/// Max relative acceleration error of `approx` vs `exact` over all particles
+/// (|Δa| / |a_exact|, guarding tiny denominators). Note this is dominated by
+/// particles whose net force nearly cancels (cluster centers); prefer
+/// rms_force_error for accuracy assertions.
+[[nodiscard]] double max_rel_force_error(const ParticleSet& approx,
+                                         const ParticleSet& exact);
+
+/// RMS acceleration error normalized by the RMS acceleration magnitude —
+/// the standard treecode accuracy figure (O(theta^2 .. theta^3) for
+/// monopole Barnes–Hut).
+[[nodiscard]] double rms_force_error(const ParticleSet& approx,
+                                     const ParticleSet& exact);
+
+}  // namespace bladed::treecode

@@ -1,0 +1,89 @@
+#include "treecode/ic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bladed::treecode {
+
+ParticleSet plummer_sphere(std::size_t n, std::uint64_t seed, double mass,
+                           double a) {
+  BLADED_REQUIRE(n > 0);
+  BLADED_REQUIRE(mass > 0.0 && a > 0.0);
+  ParticleSet p;
+  Rng rng(seed);
+  const double mi = mass / static_cast<double>(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Radius from the cumulative mass profile M(r)/M = r^3/(r^2+a^2)^{3/2}.
+    const double u = rng.uniform(1e-10, 0.999);  // avoid the tail blow-up
+    const double r = a / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    // Isotropic direction.
+    const double ct = rng.uniform(-1.0, 1.0);
+    const double st = std::sqrt(1.0 - ct * ct);
+    const double phi = rng.uniform(0.0, 2.0 * M_PI);
+    p.add(r * st * std::cos(phi), r * st * std::sin(phi), r * ct, mi);
+
+    // Velocity via the Aarseth/Henon/Wielen rejection scheme: f(q) ~
+    // q^2 (1-q^2)^{7/2}, v = q * v_escape(r).
+    double q, g;
+    do {
+      q = rng.uniform(0.0, 1.0);
+      g = rng.uniform(0.0, 0.1);
+    } while (g > q * q * std::pow(1.0 - q * q, 3.5));
+    const double vesc =
+        std::sqrt(2.0 * mass) * std::pow(r * r + a * a, -0.25);
+    const double v = q * vesc;
+    const double cvt = rng.uniform(-1.0, 1.0);
+    const double svt = std::sqrt(1.0 - cvt * cvt);
+    const double vphi = rng.uniform(0.0, 2.0 * M_PI);
+    p.vx.back() = v * svt * std::cos(vphi);
+    p.vy.back() = v * svt * std::sin(vphi);
+    p.vz.back() = v * cvt;
+  }
+
+  // Shift to the center-of-mass frame so the cluster stays put.
+  const ParticleSet::Com com = p.center_of_mass();
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x[i] -= com.x;
+    p.y[i] -= com.y;
+    p.z[i] -= com.z;
+    p.vx[i] -= com.vx;
+    p.vy[i] -= com.vy;
+    p.vz[i] -= com.vz;
+  }
+  return p;
+}
+
+ParticleSet uniform_cube(std::size_t n, std::uint64_t seed, double mass,
+                         double half) {
+  BLADED_REQUIRE(n > 0);
+  ParticleSet p;
+  Rng rng(seed);
+  const double mi = mass / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.add(rng.uniform(-half, half), rng.uniform(-half, half),
+          rng.uniform(-half, half), mi);
+  }
+  return p;
+}
+
+ParticleSet colliding_pair(std::size_t n, std::uint64_t seed,
+                           double separation, double closing_speed) {
+  BLADED_REQUIRE(n >= 2);
+  ParticleSet a = plummer_sphere(n / 2, seed, 0.5, 1.0);
+  ParticleSet b = plummer_sphere(n - n / 2, seed ^ 0xabcdef, 0.5, 1.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.x[i] -= 0.5 * separation;
+    a.vx[i] += 0.5 * closing_speed;
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.x[i] += 0.5 * separation;
+    b.vx[i] -= 0.5 * closing_speed;
+  }
+  a.append(b);
+  return a;
+}
+
+}  // namespace bladed::treecode

@@ -1,0 +1,29 @@
+#pragma once
+
+/// Initial-condition generators: the Plummer sphere (the standard
+/// gravitational N-body test model and the shape of the paper's Figure 3
+/// simulation at intermediate stages), a uniform cube, and a two-cluster
+/// collision setup for the galaxy example.
+
+#include <cstdint>
+
+#include "treecode/particle.hpp"
+
+namespace bladed::treecode {
+
+/// Plummer model with total mass `mass` and scale radius `a`, velocities
+/// from the isotropic distribution function, center-of-mass frame.
+[[nodiscard]] ParticleSet plummer_sphere(std::size_t n, std::uint64_t seed,
+                                         double mass = 1.0, double a = 1.0);
+
+/// Uniformly random positions in [-half, half]^3, equal masses, at rest.
+[[nodiscard]] ParticleSet uniform_cube(std::size_t n, std::uint64_t seed,
+                                       double mass = 1.0, double half = 1.0);
+
+/// Two Plummer spheres of n/2 particles each, separated by `separation`
+/// along x and approaching with relative speed `closing_speed`.
+[[nodiscard]] ParticleSet colliding_pair(std::size_t n, std::uint64_t seed,
+                                         double separation = 6.0,
+                                         double closing_speed = 0.3);
+
+}  // namespace bladed::treecode

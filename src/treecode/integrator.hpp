@@ -1,0 +1,43 @@
+#pragma once
+
+/// Leapfrog (kick-drift-kick) time integration with a tree rebuild and force
+/// evaluation per step — the loop structure of the paper's production N-body
+/// runs. Tracks per-step interaction statistics and energies.
+
+#include "treecode/traverse.hpp"
+
+namespace bladed::treecode {
+
+struct StepStats {
+  TraversalStats traversal;
+  OpCounter build_ops;
+  double kinetic = 0.0;
+  double potential = 0.0;
+  [[nodiscard]] double total_energy() const { return kinetic + potential; }
+};
+
+class LeapfrogIntegrator {
+ public:
+  LeapfrogIntegrator(GravityParams gravity, Octree::Params tree, double dt);
+
+  /// Advance `p` by one step; the first call performs the initial force
+  /// evaluation. Returns the step's statistics (energies computed from the
+  /// tree-approximated potential).
+  StepStats step(ParticleSet& p);
+
+  /// Run `steps` steps, returning the accumulated statistics.
+  StepStats run(ParticleSet& p, int steps);
+
+  [[nodiscard]] double dt() const { return dt_; }
+  [[nodiscard]] const GravityParams& gravity() const { return gravity_; }
+
+ private:
+  void evaluate(ParticleSet& p, StepStats& s);
+
+  GravityParams gravity_;
+  Octree::Params tree_params_;
+  double dt_;
+  bool primed_ = false;
+};
+
+}  // namespace bladed::treecode

@@ -1,0 +1,121 @@
+#include "treecode/io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace bladed::treecode {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_or_throw(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  if (!f) {
+    throw SimulationError("cannot open '" + path + "' with mode " + mode);
+  }
+  return f;
+}
+
+constexpr char kMagic[8] = {'B', 'L', 'A', 'D', 'E', 'D', 'P', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a(const double* data, std::size_t count,
+                    std::uint64_t h = 1469598103934665603ULL) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < count * sizeof(double); ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ULL;
+  }
+  return h;
+}
+
+void write_exact(std::FILE* f, const void* data, std::size_t bytes,
+                 const std::string& path) {
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    throw SimulationError("short write to '" + path + "'");
+  }
+}
+
+void read_exact(std::FILE* f, void* data, std::size_t bytes,
+                const std::string& path) {
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    throw SimulationError("short read from '" + path + "'");
+  }
+}
+
+}  // namespace
+
+void write_csv(const ParticleSet& p, const std::string& path,
+               std::size_t max_rows) {
+  File f = open_or_throw(path, "w");
+  std::fprintf(f.get(), "x,y,z,m\n");
+  const std::size_t stride =
+      max_rows == 0 ? 1 : std::max<std::size_t>(1, p.size() / max_rows);
+  for (std::size_t i = 0; i < p.size(); i += stride) {
+    std::fprintf(f.get(), "%.9g,%.9g,%.9g,%.9g\n", p.x[i], p.y[i], p.z[i],
+                 p.m[i]);
+  }
+}
+
+void save_snapshot(const ParticleSet& p, const std::string& path) {
+  File f = open_or_throw(path, "wb");
+  write_exact(f.get(), kMagic, sizeof kMagic, path);
+  write_exact(f.get(), &kVersion, sizeof kVersion, path);
+  const std::uint64_t n = p.size();
+  write_exact(f.get(), &n, sizeof n, path);
+
+  std::uint64_t checksum = 1469598103934665603ULL;
+  for (const std::vector<double>* arr :
+       {&p.x, &p.y, &p.z, &p.vx, &p.vy, &p.vz, &p.m}) {
+    checksum = fnv1a(arr->data(), arr->size(), checksum);
+  }
+  write_exact(f.get(), &checksum, sizeof checksum, path);
+  for (const std::vector<double>* arr :
+       {&p.x, &p.y, &p.z, &p.vx, &p.vy, &p.vz, &p.m}) {
+    write_exact(f.get(), arr->data(), arr->size() * sizeof(double), path);
+  }
+}
+
+ParticleSet load_snapshot(const std::string& path) {
+  File f = open_or_throw(path, "rb");
+  char magic[8];
+  read_exact(f.get(), magic, sizeof magic, path);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw SimulationError("'" + path + "' is not a bladed snapshot");
+  }
+  std::uint32_t version = 0;
+  read_exact(f.get(), &version, sizeof version, path);
+  if (version != kVersion) {
+    throw SimulationError("unsupported snapshot version in '" + path + "'");
+  }
+  std::uint64_t n = 0;
+  read_exact(f.get(), &n, sizeof n, path);
+  std::uint64_t stored_checksum = 0;
+  read_exact(f.get(), &stored_checksum, sizeof stored_checksum, path);
+
+  ParticleSet p;
+  p.resize(n);
+  for (std::vector<double>* arr :
+       {&p.x, &p.y, &p.z, &p.vx, &p.vy, &p.vz, &p.m}) {
+    read_exact(f.get(), arr->data(), arr->size() * sizeof(double), path);
+  }
+  std::uint64_t checksum = 1469598103934665603ULL;
+  for (const std::vector<double>* arr :
+       {&p.x, &p.y, &p.z, &p.vx, &p.vy, &p.vz, &p.m}) {
+    checksum = fnv1a(arr->data(), arr->size(), checksum);
+  }
+  if (checksum != stored_checksum) {
+    throw SimulationError("snapshot checksum mismatch in '" + path + "'");
+  }
+  return p;
+}
+
+}  // namespace bladed::treecode

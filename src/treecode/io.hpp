@@ -1,0 +1,28 @@
+#pragma once
+
+/// Snapshot I/O for particle sets: a CSV form for plotting (the Figure 3
+/// and galaxy-example artifacts) and a compact binary form with a header
+/// and checksum for exact save/restore of simulation state.
+
+#include <string>
+
+#include "treecode/particle.hpp"
+
+namespace bladed::treecode {
+
+/// Write positions and masses as "x,y,z,m" CSV (optionally thinned to at
+/// most `max_rows` evenly strided rows; 0 = all). Throws SimulationError on
+/// I/O failure.
+void write_csv(const ParticleSet& p, const std::string& path,
+               std::size_t max_rows = 0);
+
+/// Full state (positions, velocities, masses) in a binary container with
+/// magic, version, count and an FNV-1a payload checksum.
+void save_snapshot(const ParticleSet& p, const std::string& path);
+
+/// Load a snapshot written by save_snapshot; verifies magic, version and
+/// checksum (throws SimulationError on mismatch or short file).
+/// Accelerations and potentials are zeroed (they are derived state).
+[[nodiscard]] ParticleSet load_snapshot(const std::string& path);
+
+}  // namespace bladed::treecode

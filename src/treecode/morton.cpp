@@ -1,0 +1,112 @@
+#include "treecode/morton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace bladed::treecode {
+
+BoundingBox BoundingBox::containing(const ParticleSet& p, double pad) {
+  BLADED_REQUIRE_MSG(p.size() > 0, "bounding box of an empty set");
+  double lo[3] = {p.x[0], p.y[0], p.z[0]};
+  double hi[3] = {p.x[0], p.y[0], p.z[0]};
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    lo[0] = std::min(lo[0], p.x[i]);
+    lo[1] = std::min(lo[1], p.y[i]);
+    lo[2] = std::min(lo[2], p.z[i]);
+    hi[0] = std::max(hi[0], p.x[i]);
+    hi[1] = std::max(hi[1], p.y[i]);
+    hi[2] = std::max(hi[2], p.z[i]);
+  }
+  BoundingBox box;
+  double extent = 0.0;
+  for (int d = 0; d < 3; ++d) extent = std::max(extent, hi[d] - lo[d]);
+  if (extent == 0.0) extent = 1.0;  // all particles coincide
+  extent *= 1.0 + pad;
+  for (int d = 0; d < 3; ++d) {
+    const double mid = 0.5 * (lo[d] + hi[d]);
+    box.lo[d] = mid - 0.5 * extent;
+  }
+  box.extent = extent;
+  return box;
+}
+
+bool BoundingBox::contains(double x, double y, double z) const {
+  return x >= lo[0] && x <= lo[0] + extent && y >= lo[1] &&
+         y <= lo[1] + extent && z >= lo[2] && z <= lo[2] + extent;
+}
+
+double BoundingBox::dist2_to_cell(double x, double y, double z,
+                                  const double c[3], double h) {
+  double d2 = 0.0;
+  const double q[3] = {x, y, z};
+  for (int d = 0; d < 3; ++d) {
+    const double lo = c[d] - h, hi = c[d] + h;
+    if (q[d] < lo) {
+      d2 += (lo - q[d]) * (lo - q[d]);
+    } else if (q[d] > hi) {
+      d2 += (q[d] - hi) * (q[d] - hi);
+    }
+  }
+  return d2;
+}
+
+namespace {
+/// Spread the low 21 bits of v so consecutive bits land 3 apart.
+std::uint64_t spread3(std::uint64_t v) {
+  v &= (1ULL << 21) - 1;
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+}  // namespace
+
+std::uint64_t morton_interleave(std::uint32_t ix, std::uint32_t iy,
+                                std::uint32_t iz) {
+  return spread3(ix) | (spread3(iy) << 1) | (spread3(iz) << 2);
+}
+
+std::uint64_t morton_key(double x, double y, double z,
+                         const BoundingBox& box) {
+  BLADED_REQUIRE(box.extent > 0.0);
+  constexpr double kScale = static_cast<double>(1 << kMortonBitsPerDim);
+  auto quantize = [&](double v, int d) -> std::uint32_t {
+    double t = (v - box.lo[d]) / box.extent;
+    t = std::clamp(t, 0.0, std::nextafter(1.0, 0.0));
+    return static_cast<std::uint32_t>(t * kScale);
+  };
+  return morton_interleave(quantize(x, 0), quantize(y, 1), quantize(z, 2));
+}
+
+std::vector<std::uint64_t> morton_keys(const ParticleSet& p,
+                                       const BoundingBox& box) {
+  std::vector<std::uint64_t> keys(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    keys[i] = morton_key(p.x[i], p.y[i], p.z[i], box);
+  }
+  return keys;
+}
+
+std::vector<std::size_t> sort_permutation(
+    const std::vector<std::uint64_t>& keys) {
+  std::vector<std::size_t> perm(keys.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return keys[a] < keys[b];
+                   });
+  return perm;
+}
+
+int morton_octant(std::uint64_t key, int level) {
+  BLADED_REQUIRE(level >= 0 && level < kMortonBitsPerDim);
+  const int shift = 3 * (kMortonBitsPerDim - 1 - level);
+  return static_cast<int>((key >> shift) & 7ULL);
+}
+
+}  // namespace bladed::treecode

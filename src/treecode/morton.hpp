@@ -1,0 +1,55 @@
+#pragma once
+
+/// Morton (Z-order) keys: the space-filling curve underlying the hashed
+/// oct-tree (Warren & Salmon, "A Parallel Hashed Oct-Tree N-Body Algorithm",
+/// SC'93). Positions are quantized to 21 bits per dimension inside a cubic
+/// bounding box and the bits interleaved into a 63-bit key; sorting particles
+/// by key linearizes the octree and makes domain decomposition a matter of
+/// splitting a sorted array.
+
+#include <cstdint>
+#include <vector>
+
+#include "treecode/particle.hpp"
+
+namespace bladed::treecode {
+
+inline constexpr int kMortonBitsPerDim = 21;
+
+/// Cubic axis-aligned bounding box.
+struct BoundingBox {
+  double lo[3] = {0.0, 0.0, 0.0};
+  double extent = 1.0;  ///< side length of the cube
+
+  /// Smallest cube (plus `pad` relative padding) containing every particle.
+  static BoundingBox containing(const ParticleSet& p, double pad = 1e-9);
+
+  [[nodiscard]] bool contains(double x, double y, double z) const;
+
+  /// Squared distance from point (x,y,z) to the closest point of the
+  /// sub-cube with center c and half-width h (0 if inside).
+  static double dist2_to_cell(double x, double y, double z, const double c[3],
+                              double h);
+};
+
+/// Interleave the low 21 bits of each coordinate index (x lowest).
+[[nodiscard]] std::uint64_t morton_interleave(std::uint32_t ix,
+                                              std::uint32_t iy,
+                                              std::uint32_t iz);
+
+/// Key of a position within a box.
+[[nodiscard]] std::uint64_t morton_key(double x, double y, double z,
+                                       const BoundingBox& box);
+
+/// Keys for a whole particle set.
+[[nodiscard]] std::vector<std::uint64_t> morton_keys(const ParticleSet& p,
+                                                     const BoundingBox& box);
+
+/// Permutation that sorts `keys` ascending (stable).
+[[nodiscard]] std::vector<std::size_t> sort_permutation(
+    const std::vector<std::uint64_t>& keys);
+
+/// Octant (0..7) of a key at `level` (level 0 = the root split).
+[[nodiscard]] int morton_octant(std::uint64_t key, int level);
+
+}  // namespace bladed::treecode

@@ -1,0 +1,136 @@
+#include "treecode/particle.hpp"
+
+#include "common/error.hpp"
+
+namespace bladed::treecode {
+
+void ParticleSet::resize(std::size_t n) {
+  x.resize(n);
+  y.resize(n);
+  z.resize(n);
+  vx.resize(n);
+  vy.resize(n);
+  vz.resize(n);
+  ax.resize(n);
+  ay.resize(n);
+  az.resize(n);
+  m.resize(n);
+  pot.resize(n);
+}
+
+void ParticleSet::add(double px, double py, double pz, double mass) {
+  x.push_back(px);
+  y.push_back(py);
+  z.push_back(pz);
+  vx.push_back(0.0);
+  vy.push_back(0.0);
+  vz.push_back(0.0);
+  ax.push_back(0.0);
+  ay.push_back(0.0);
+  az.push_back(0.0);
+  m.push_back(mass);
+  pot.push_back(0.0);
+}
+
+namespace {
+void permute(std::vector<double>& v, const std::vector<std::size_t>& perm) {
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) out[i] = v[perm[i]];
+  v = std::move(out);
+}
+}  // namespace
+
+void ParticleSet::apply_permutation(const std::vector<std::size_t>& perm) {
+  BLADED_REQUIRE_MSG(perm.size() == size(), "permutation size mismatch");
+  for (auto* v : {&x, &y, &z, &vx, &vy, &vz, &ax, &ay, &az, &m, &pot}) {
+    permute(*v, perm);
+  }
+}
+
+void ParticleSet::append(const ParticleSet& other) {
+  auto cat = [](std::vector<double>& dst, const std::vector<double>& src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+  };
+  cat(x, other.x);
+  cat(y, other.y);
+  cat(z, other.z);
+  cat(vx, other.vx);
+  cat(vy, other.vy);
+  cat(vz, other.vz);
+  cat(ax, other.ax);
+  cat(ay, other.ay);
+  cat(az, other.az);
+  cat(m, other.m);
+  cat(pot, other.pot);
+}
+
+ParticleSet ParticleSet::slice(std::size_t begin, std::size_t end) const {
+  BLADED_REQUIRE(begin <= end && end <= size());
+  ParticleSet out;
+  auto cut = [&](std::vector<double>& dst, const std::vector<double>& src) {
+    dst.assign(src.begin() + static_cast<std::ptrdiff_t>(begin),
+               src.begin() + static_cast<std::ptrdiff_t>(end));
+  };
+  cut(out.x, x);
+  cut(out.y, y);
+  cut(out.z, z);
+  cut(out.vx, vx);
+  cut(out.vy, vy);
+  cut(out.vz, vz);
+  cut(out.ax, ax);
+  cut(out.ay, ay);
+  cut(out.az, az);
+  cut(out.m, m);
+  cut(out.pot, pot);
+  return out;
+}
+
+double ParticleSet::total_mass() const {
+  double t = 0.0;
+  for (double mi : m) t += mi;
+  return t;
+}
+
+double ParticleSet::kinetic_energy() const {
+  double ke = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    ke += 0.5 * m[i] * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+  }
+  return ke;
+}
+
+double ParticleSet::potential_energy() const {
+  double pe = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) pe += 0.5 * m[i] * pot[i];
+  return pe;
+}
+
+ParticleSet::Com ParticleSet::center_of_mass() const {
+  Com c;
+  const double total = total_mass();
+  if (total == 0.0) return c;
+  for (std::size_t i = 0; i < size(); ++i) {
+    c.x += m[i] * x[i];
+    c.y += m[i] * y[i];
+    c.z += m[i] * z[i];
+    c.vx += m[i] * vx[i];
+    c.vy += m[i] * vy[i];
+    c.vz += m[i] * vz[i];
+  }
+  c.x /= total;
+  c.y /= total;
+  c.z /= total;
+  c.vx /= total;
+  c.vy /= total;
+  c.vz /= total;
+  return c;
+}
+
+void ParticleSet::zero_accelerations() {
+  std::fill(ax.begin(), ax.end(), 0.0);
+  std::fill(ay.begin(), ay.end(), 0.0);
+  std::fill(az.begin(), az.end(), 0.0);
+  std::fill(pot.begin(), pot.end(), 0.0);
+}
+
+}  // namespace bladed::treecode

@@ -1,0 +1,51 @@
+#pragma once
+
+/// Structure-of-arrays particle store for the N-body library. SoA keeps the
+/// inner force loops streaming through contiguous coordinate arrays — the
+/// layout every production treecode (including the paper's ~20 kLoC LANL
+/// library) uses.
+
+#include <cstddef>
+#include <vector>
+
+namespace bladed::treecode {
+
+struct ParticleSet {
+  std::vector<double> x, y, z;     ///< positions
+  std::vector<double> vx, vy, vz;  ///< velocities
+  std::vector<double> ax, ay, az;  ///< accelerations (outputs of a force pass)
+  std::vector<double> m;           ///< masses
+  std::vector<double> pot;         ///< per-particle potential (outputs)
+
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+  void resize(std::size_t n);
+
+  /// Append one particle with zero velocity/acceleration.
+  void add(double px, double py, double pz, double mass);
+
+  /// Reorder every array by `perm` (perm[i] = index of the particle that
+  /// moves to slot i). Used to sort into space-filling-curve order.
+  void apply_permutation(const std::vector<std::size_t>& perm);
+
+  /// Append all of `other`'s particles.
+  void append(const ParticleSet& other);
+
+  /// Extract the half-open index range [begin,end) into a new set.
+  [[nodiscard]] ParticleSet slice(std::size_t begin, std::size_t end) const;
+
+  [[nodiscard]] double total_mass() const;
+  [[nodiscard]] double kinetic_energy() const;
+  /// 0.5 * sum m_i pot_i — valid after a force pass that filled `pot`.
+  [[nodiscard]] double potential_energy() const;
+
+  /// Center-of-mass position and velocity.
+  struct Com {
+    double x = 0, y = 0, z = 0;
+    double vx = 0, vy = 0, vz = 0;
+  };
+  [[nodiscard]] Com center_of_mass() const;
+
+  void zero_accelerations();
+};
+
+}  // namespace bladed::treecode

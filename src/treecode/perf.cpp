@@ -1,0 +1,64 @@
+#include "treecode/perf.hpp"
+
+#include <mutex>
+
+#include "treecode/ic.hpp"
+#include "treecode/traverse.hpp"
+
+namespace bladed::treecode {
+
+arch::KernelProfile force_profile(const OpCounter& ops) {
+  arch::KernelProfile p;
+  p.name = "treecode/force";
+  p.ops = ops;
+  // Tree traversal chases node pointers across a working set far beyond L1
+  // on every modelled machine, and the Karp recurrence plus the
+  // accumulate-into-three-components chain is moderately serial.
+  p.miss_intensity = 1.0;
+  p.dependency = 0.45;
+  return p;
+}
+
+arch::KernelProfile build_profile(const OpCounter& ops) {
+  arch::KernelProfile p;
+  p.name = "treecode/build";
+  p.ops = ops;
+  p.miss_intensity = 0.6;  // sort + scatter permutation
+  p.dependency = 0.35;
+  return p;
+}
+
+arch::KernelProfile update_profile(const OpCounter& ops) {
+  arch::KernelProfile p;
+  p.name = "treecode/update";
+  p.ops = ops;
+  p.miss_intensity = 0.2;  // pure streaming over the SoA arrays
+  p.dependency = 0.1;
+  return p;
+}
+
+namespace {
+
+/// Reference single-processor workload: a real force evaluation over a
+/// 20k-particle Plummer sphere at the production opening angle.
+const OpCounter& reference_force_ops() {
+  static OpCounter ops = [] {
+    ParticleSet p = plummer_sphere(20000, /*seed=*/42);
+    Octree tree = Octree::build(p);
+    GravityParams g;
+    g.theta = 0.7;
+    const TraversalStats st = compute_forces(p, tree, g);
+    return st.ops;
+  }();
+  return ops;
+}
+
+}  // namespace
+
+double single_proc_treecode_mflops(const arch::ProcessorModel& cpu) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lk(mu);  // reference run is lazily initialized
+  return arch::estimate_mflops(cpu, force_profile(reference_force_ops()));
+}
+
+}  // namespace bladed::treecode

@@ -1,0 +1,29 @@
+#pragma once
+
+/// Bridge from counted treecode operations to modelled time on a 2001-era
+/// CPU: the kernel characterization (tree traversal is cache-hostile and
+/// moderately chained) plus convenience ratings used by the Table 2/4 and
+/// Figure 3 benches.
+
+#include "arch/cost_model.hpp"
+#include "common/opcount.hpp"
+
+namespace bladed::treecode {
+
+/// Characterize a force-evaluation operation mix for the cost model.
+[[nodiscard]] arch::KernelProfile force_profile(const OpCounter& ops);
+
+/// Characterize a tree-build operation mix (sort + moments; streaming-ish).
+[[nodiscard]] arch::KernelProfile build_profile(const OpCounter& ops);
+
+/// Characterize integrator bookkeeping (kick/drift; pure streaming).
+[[nodiscard]] arch::KernelProfile update_profile(const OpCounter& ops);
+
+/// Single-processor sustained treecode rate of `cpu`, measured by running a
+/// real reference problem (Plummer sphere, one force evaluation) through the
+/// counting traversal and pricing it with the cost model. Deterministic;
+/// the reference run is cached across calls.
+[[nodiscard]] double single_proc_treecode_mflops(
+    const arch::ProcessorModel& cpu);
+
+}  // namespace bladed::treecode

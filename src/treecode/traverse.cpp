@@ -1,0 +1,345 @@
+#include "treecode/traverse.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "microkernel/karp.hpp"
+
+namespace bladed::treecode {
+
+TraversalStats& TraversalStats::operator+=(const TraversalStats& o) {
+  pp += o.pp;
+  pn += o.pn;
+  pn_quad += o.pn_quad;
+  mac_tests += o.mac_tests;
+  visited += o.visited;
+  ops += o.ops;
+  return *this;
+}
+
+OpCounter interaction_ops(RsqrtImpl impl) {
+  OpCounter o;
+  if (impl == RsqrtImpl::kLibm) {
+    // deltas 3, r2 2+1(softening), acc accumulate 3, pot accumulate 1
+    o.fadd = 10;
+    // squares 3, r2*r 1, Gm 1, s*d 3, pot=s*r2 1
+    o.fmul = 9;
+    o.fdiv = 1;   // s = Gm / (r2*r)
+    o.fsqrt = 1;  // r = sqrt(r2)
+    o.load = 5;   // source x,y,z,m + node/leaf bookkeeping
+    o.iop = 4;
+    o.branch = 1;
+  } else {
+    // deltas 3, r2 2+1, Karp poly 3 + NR 2, acc 3, pot 1
+    o.fadd = 15;
+    // squares 3, poly 2, NR 8, rescale 1, cube 2, Gm 1, s=Gm*y3 1, s*d 3,
+    // pot=Gm*y 1
+    o.fmul = 22;
+    o.load = 8;  // + the 3-coefficient Karp table segment
+    o.iop = 10;  // + exponent/mantissa manipulation
+    o.branch = 1;
+  }
+  return o;
+}
+
+OpCounter quadrupole_ops() {
+  OpCounter o;
+  o.fmul = 22;  // Q*d (9), d.Qd (3), y^5/y^7 (2), term scaling (8)
+  o.fadd = 12;  // Q*d (6), d.Qd (2), accumulate (4)
+  o.load = 6;   // the packed tensor
+  return o;
+}
+
+OpCounter mac_test_ops() {
+  OpCounter o;
+  o.fadd = 5;  // deltas to the node COM + d2 accumulation
+  o.fmul = 4;  // squares + theta^2 * d2
+  o.load = 5;  // com, half, node header
+  o.iop = 2;   // compare + stack bookkeeping
+  o.branch = 1;
+  return o;
+}
+
+namespace {
+
+OpCounter visit_ops() {
+  OpCounter o;
+  o.iop = 4;
+  o.load = 2;
+  o.branch = 1;
+  return o;
+}
+
+/// The inner kernel: accumulate the (softened) pull of a point mass gm at
+/// (sx,sy,sz) on the target at (px,py,pz). Returns false for the
+/// self-interaction (exact position coincidence).
+template <RsqrtImpl Impl>
+inline bool point_interaction(double px, double py, double pz, double sx,
+                              double sy, double sz, double gm, double eps2,
+                              double& ax, double& ay, double& az,
+                              double& pot) {
+  const double dx = sx - px;
+  const double dy = sy - py;
+  const double dz = sz - pz;
+  const double r2raw = dx * dx + dy * dy + dz * dz;
+  if (r2raw == 0.0) return false;
+  const double r2 = r2raw + eps2;
+  double s, phi;
+  if constexpr (Impl == RsqrtImpl::kLibm) {
+    const double r = std::sqrt(r2);
+    s = gm / (r2 * r);
+    phi = s * r2;  // gm / r
+  } else {
+    const double y = micro::karp_rsqrt(r2, 2);
+    const double y3 = y * y * y;
+    s = gm * y3;
+    phi = gm * y;
+  }
+  ax += s * dx;
+  ay += s * dy;
+  az += s * dz;
+  pot -= phi;
+  return true;
+}
+
+template <RsqrtImpl Impl>
+TraversalStats traverse(ParticleSet& targets, const ParticleSet& src,
+                        const Octree& tree, const GravityParams& params,
+                        std::size_t first, std::size_t last) {
+  TraversalStats stats;
+  const double eps2 = params.softening * params.softening;
+  const double theta2 = params.theta * params.theta;
+  const auto& nodes = tree.nodes();
+  std::vector<std::uint32_t> stack;
+  stack.reserve(128);
+
+  for (std::size_t i = first; i < last; ++i) {
+    const double px = targets.x[i], py = targets.y[i], pz = targets.z[i];
+    double ax = 0.0, ay = 0.0, az = 0.0, pot = 0.0;
+    stack.push_back(0);
+    while (!stack.empty()) {
+      const Node& n = nodes[stack.back()];
+      stack.pop_back();
+      ++stats.visited;
+      if (n.mass == 0.0 || n.count == 0) continue;
+
+      const double dx = n.com[0] - px;
+      const double dy = n.com[1] - py;
+      const double dz = n.com[2] - pz;
+      const double d2 = dx * dx + dy * dy + dz * dz;
+      const double size = 2.0 * n.half;
+      ++stats.mac_tests;
+      if (size * size < theta2 * d2) {
+        // Accept: monopole (plus optional quadrupole) with the cell.
+        point_interaction<Impl>(px, py, pz, n.com[0], n.com[1], n.com[2],
+                                params.G * n.mass, eps2, ax, ay, az, pot);
+        if (params.quadrupole) {
+          // a_quad = G[-(Q d)/r^5 + 2.5 (d.Qd) d / r^7], d = com - p;
+          // phi_quad = -G (d.Qd) / (2 r^5).
+          const double r2 = d2 + eps2;
+          double y;
+          if constexpr (Impl == RsqrtImpl::kLibm) {
+            y = 1.0 / std::sqrt(r2);
+          } else {
+            y = micro::karp_rsqrt(r2, 2);
+          }
+          const double u2 = y * y;
+          const double y5 = u2 * u2 * y;
+          const double y7 = y5 * u2;
+          const double qdx =
+              n.quad[0] * dx + n.quad[1] * dy + n.quad[2] * dz;
+          const double qdy =
+              n.quad[1] * dx + n.quad[3] * dy + n.quad[4] * dz;
+          const double qdz =
+              n.quad[2] * dx + n.quad[4] * dy + n.quad[5] * dz;
+          const double dqd = dx * qdx + dy * qdy + dz * qdz;
+          const double radial = 2.5 * params.G * dqd * y7;
+          ax += params.G * -qdx * y5 + radial * dx;
+          ay += params.G * -qdy * y5 + radial * dy;
+          az += params.G * -qdz * y5 + radial * dz;
+          pot -= 0.5 * params.G * dqd * y5;
+          ++stats.pn_quad;
+        }
+        ++stats.pn;
+      } else if (n.leaf) {
+        for (std::uint32_t j = n.first; j < n.first + n.count; ++j) {
+          if (point_interaction<Impl>(px, py, pz, src.x[j], src.y[j],
+                                      src.z[j], params.G * src.m[j], eps2, ax,
+                                      ay, az, pot)) {
+            ++stats.pp;
+          }
+        }
+      } else {
+        for (std::uint8_t c = 0; c < n.child_count; ++c)
+          stack.push_back(n.child[c]);
+      }
+    }
+    targets.ax[i] += ax;
+    targets.ay[i] += ay;
+    targets.az[i] += az;
+    targets.pot[i] += pot;
+  }
+
+  const RsqrtImpl impl = params.rsqrt;
+  stats.ops = interaction_ops(impl) * (stats.pp + stats.pn) +
+              quadrupole_ops() * stats.pn_quad +
+              mac_test_ops() * stats.mac_tests + visit_ops() * stats.visited;
+  // The quadrupole path recomputes the reciprocal sqrt once more per cell.
+  if (params.quadrupole) {
+    OpCounter rsqrt_extra;
+    if (impl == RsqrtImpl::kLibm) {
+      rsqrt_extra.fsqrt = 1;
+      rsqrt_extra.fdiv = 1;
+    } else {
+      rsqrt_extra.fmul = 11;
+      rsqrt_extra.fadd = 5;
+      rsqrt_extra.load = 3;
+      rsqrt_extra.iop = 8;
+    }
+    stats.ops += rsqrt_extra * stats.pn_quad;
+  }
+  return stats;
+}
+
+}  // namespace
+
+TraversalStats compute_forces(ParticleSet& p, const Octree& tree,
+                              const GravityParams& params, std::size_t first,
+                              std::size_t last) {
+  BLADED_REQUIRE(first <= last && last <= p.size());
+  BLADED_REQUIRE(tree.particle_count() == p.size());
+  BLADED_REQUIRE(params.theta > 0.0);
+  return params.rsqrt == RsqrtImpl::kLibm
+             ? traverse<RsqrtImpl::kLibm>(p, p, tree, params, first, last)
+             : traverse<RsqrtImpl::kKarp>(p, p, tree, params, first, last);
+}
+
+TraversalStats compute_forces(ParticleSet& p, const Octree& tree,
+                              const GravityParams& params) {
+  return compute_forces(p, tree, params, 0, p.size());
+}
+
+namespace {
+
+/// Entry of a group interaction list: a point mass, optionally with the
+/// quadrupole of the originating cell.
+struct ListEntry {
+  double x, y, z, gm;
+  const double* quad = nullptr;  ///< borrowed from the node, or null
+};
+
+template <RsqrtImpl Impl>
+TraversalStats traverse_grouped(ParticleSet& p, const Octree& tree,
+                                const GravityParams& params) {
+  TraversalStats stats;
+  const double eps2 = params.softening * params.softening;
+  const double theta2 = params.theta * params.theta;
+  const auto& nodes = tree.nodes();
+
+  std::vector<std::uint32_t> stack;
+  std::vector<ListEntry> list;
+  stack.reserve(128);
+  list.reserve(4096);
+
+  for (const Node& group : nodes) {
+    if (!group.leaf || group.count == 0) continue;
+
+    // One walk for the whole group: accept against the group's cell.
+    list.clear();
+    stack.push_back(0);
+    while (!stack.empty()) {
+      const Node& n = nodes[stack.back()];
+      stack.pop_back();
+      ++stats.visited;
+      if (n.mass == 0.0 || n.count == 0) continue;
+      const double dmin2 = BoundingBox::dist2_to_cell(
+          n.com[0], n.com[1], n.com[2], group.center, group.half);
+      const double size = 2.0 * n.half;
+      ++stats.mac_tests;
+      if (size * size < theta2 * dmin2) {
+        list.push_back({n.com[0], n.com[1], n.com[2], params.G * n.mass,
+                        params.quadrupole ? n.quad : nullptr});
+      } else if (n.leaf) {
+        for (std::uint32_t j = n.first; j < n.first + n.count; ++j) {
+          list.push_back({p.x[j], p.y[j], p.z[j], params.G * p.m[j],
+                          nullptr});
+        }
+      } else {
+        for (std::uint8_t c = 0; c < n.child_count; ++c)
+          stack.push_back(n.child[c]);
+      }
+    }
+
+    // Stream the list over the group's particles.
+    for (std::uint32_t i = group.first; i < group.first + group.count; ++i) {
+      const double px = p.x[i], py = p.y[i], pz = p.z[i];
+      double ax = 0.0, ay = 0.0, az = 0.0, pot = 0.0;
+      for (const ListEntry& e : list) {
+        if (point_interaction<Impl>(px, py, pz, e.x, e.y, e.z, e.gm, eps2,
+                                    ax, ay, az, pot)) {
+          e.quad == nullptr ? ++stats.pp : ++stats.pn;
+        }
+        if (e.quad != nullptr) {
+          const double dx = e.x - px, dy = e.y - py, dz = e.z - pz;
+          const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+          double y;
+          if constexpr (Impl == RsqrtImpl::kLibm) {
+            y = 1.0 / std::sqrt(r2);
+          } else {
+            y = micro::karp_rsqrt(r2, 2);
+          }
+          const double u2 = y * y;
+          const double y5 = u2 * u2 * y;
+          const double y7 = y5 * u2;
+          const double qdx = e.quad[0] * dx + e.quad[1] * dy + e.quad[2] * dz;
+          const double qdy = e.quad[1] * dx + e.quad[3] * dy + e.quad[4] * dz;
+          const double qdz = e.quad[2] * dx + e.quad[4] * dy + e.quad[5] * dz;
+          const double dqd = dx * qdx + dy * qdy + dz * qdz;
+          // The quadrupole tensor is unscaled (G is folded into e.gm only
+          // for the monopole), so apply G here.
+          const double radial = 2.5 * params.G * dqd * y7;
+          ax += params.G * -qdx * y5 + radial * dx;
+          ay += params.G * -qdy * y5 + radial * dy;
+          az += params.G * -qdz * y5 + radial * dz;
+          pot -= 0.5 * params.G * dqd * y5;
+          ++stats.pn_quad;
+        }
+      }
+      p.ax[i] += ax;
+      p.ay[i] += ay;
+      p.az[i] += az;
+      p.pot[i] += pot;
+    }
+  }
+
+  stats.ops = interaction_ops(params.rsqrt) * (stats.pp + stats.pn) +
+              quadrupole_ops() * stats.pn_quad +
+              mac_test_ops() * stats.mac_tests + visit_ops() * stats.visited;
+  return stats;
+}
+
+}  // namespace
+
+TraversalStats compute_forces_grouped(ParticleSet& p, const Octree& tree,
+                                      const GravityParams& params) {
+  BLADED_REQUIRE(tree.particle_count() == p.size());
+  BLADED_REQUIRE(params.theta > 0.0);
+  return params.rsqrt == RsqrtImpl::kLibm
+             ? traverse_grouped<RsqrtImpl::kLibm>(p, tree, params)
+             : traverse_grouped<RsqrtImpl::kKarp>(p, tree, params);
+}
+
+TraversalStats compute_forces_on(ParticleSet& targets, const ParticleSet& src,
+                                 const Octree& tree,
+                                 const GravityParams& params) {
+  BLADED_REQUIRE(tree.particle_count() == src.size());
+  BLADED_REQUIRE(params.theta > 0.0);
+  return params.rsqrt == RsqrtImpl::kLibm
+             ? traverse<RsqrtImpl::kLibm>(targets, src, tree, params, 0,
+                                          targets.size())
+             : traverse<RsqrtImpl::kKarp>(targets, src, tree, params, 0,
+                                          targets.size());
+}
+
+}  // namespace bladed::treecode

@@ -1,0 +1,128 @@
+/// Randomized property sweeps over the cost model: for arbitrary (seeded)
+/// op mixes and any registered CPU, the model must be deterministic,
+/// monotone in every workload knob, and scale correctly with clock.
+
+#include <gtest/gtest.h>
+
+#include "arch/cost_model.hpp"
+#include "arch/registry.hpp"
+#include "common/rng.hpp"
+
+namespace bladed::arch {
+namespace {
+
+KernelProfile random_profile(Rng& rng) {
+  KernelProfile p;
+  p.name = "random";
+  p.ops.fadd = rng.below(1'000'000);
+  p.ops.fmul = rng.below(1'000'000);
+  p.ops.fdiv = rng.below(10'000);
+  p.ops.fsqrt = rng.below(10'000);
+  p.ops.iop = rng.below(2'000'000);
+  p.ops.load = 1 + rng.below(1'000'000);
+  p.ops.store = rng.below(500'000);
+  p.ops.branch = rng.below(200'000);
+  p.dependency = rng.uniform(0.0, 0.95);
+  p.miss_intensity = rng.uniform(0.0, 1.0);
+  return p;
+}
+
+class CostModelFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostModelFuzz, DeterministicAndPositive) {
+  Rng rng(900 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 10; ++trial) {
+    const KernelProfile p = random_profile(rng);
+    for (const ProcessorModel& cpu : all_processors()) {
+      const CostBreakdown a = estimate(cpu, p);
+      const CostBreakdown b = estimate(cpu, p);
+      ASSERT_DOUBLE_EQ(a.seconds, b.seconds) << cpu.name;
+      ASSERT_GT(a.seconds, 0.0) << cpu.name;
+      ASSERT_GE(a.mops, a.mflops) << cpu.name;
+    }
+  }
+}
+
+TEST_P(CostModelFuzz, MonotoneInEveryOpClass) {
+  Rng rng(1900 + static_cast<std::uint64_t>(GetParam()));
+  const KernelProfile base = random_profile(rng);
+  const ProcessorModel& cpu =
+      all_processors()[GetParam() % all_processors().size()];
+  const double t0 = estimate_seconds(cpu, base);
+
+  auto bump = [&](auto mutate) {
+    KernelProfile p = base;
+    mutate(p.ops);
+    EXPECT_GE(estimate_seconds(cpu, p), t0 * (1.0 - 1e-12)) << cpu.name;
+  };
+  bump([](OpCounter& o) { o.fadd += 100'000; });
+  bump([](OpCounter& o) { o.fmul += 100'000; });
+  bump([](OpCounter& o) { o.fdiv += 10'000; });
+  bump([](OpCounter& o) { o.fsqrt += 10'000; });
+  bump([](OpCounter& o) { o.iop += 500'000; });
+  bump([](OpCounter& o) { o.load += 300'000; });
+  bump([](OpCounter& o) { o.store += 300'000; });
+  bump([](OpCounter& o) { o.branch += 100'000; });
+}
+
+TEST_P(CostModelFuzz, MonotoneInLocalityAndDependence) {
+  Rng rng(2900 + static_cast<std::uint64_t>(GetParam()));
+  const KernelProfile base = random_profile(rng);
+  const ProcessorModel& cpu =
+      all_processors()[GetParam() % all_processors().size()];
+  KernelProfile worse_miss = base;
+  worse_miss.miss_intensity = std::min(1.0, base.miss_intensity + 0.3);
+  EXPECT_GE(estimate_seconds(cpu, worse_miss),
+            estimate_seconds(cpu, base) * (1.0 - 1e-12));
+  KernelProfile worse_dep = base;
+  worse_dep.dependency = std::min(1.0, base.dependency + 0.3);
+  EXPECT_GE(estimate_seconds(cpu, worse_dep),
+            estimate_seconds(cpu, base) * (1.0 - 1e-12));
+}
+
+TEST_P(CostModelFuzz, ExactClockScaling) {
+  Rng rng(3900 + static_cast<std::uint64_t>(GetParam()));
+  const KernelProfile p = random_profile(rng);
+  ProcessorModel cpu = all_processors()[GetParam() %
+                                        all_processors().size()];
+  const double t1 = estimate_seconds(cpu, p);
+  cpu.clock = Megahertz(cpu.clock.value() * 3.0);
+  EXPECT_NEAR(estimate_seconds(cpu, p) * 3.0, t1, 1e-12 * t1);
+}
+
+TEST_P(CostModelFuzz, SubadditivityOfWorkloads) {
+  // Concatenating two workloads can only help (or not hurt): the merged op
+  // mix exposes at least as much functional-unit overlap as running the
+  // parts back-to-back, so cost(A+B) <= cost(A) + cost(B). The gap is
+  // bounded by the overlap blend, so the sum is within 2x.
+  Rng rng(4900 + static_cast<std::uint64_t>(GetParam()));
+  KernelProfile a = random_profile(rng);
+  KernelProfile b = random_profile(rng);
+  b.dependency = a.dependency;  // same characterization
+  b.miss_intensity = a.miss_intensity;
+  KernelProfile both = a;
+  both.ops += b.ops;
+  const ProcessorModel& cpu = pentium3_500();
+  const double merged = estimate_seconds(cpu, both);
+  const double split = estimate_seconds(cpu, a) + estimate_seconds(cpu, b);
+  EXPECT_LE(merged, split * (1.0 + 1e-12));
+  EXPECT_GE(merged, 0.5 * split);
+}
+
+TEST_P(CostModelFuzz, ExactAdditivityWhenScaled) {
+  // Scaling one mix IS linear: k copies of the same kernel cost exactly k
+  // times one copy.
+  Rng rng(5900 + static_cast<std::uint64_t>(GetParam()));
+  const KernelProfile a = random_profile(rng);
+  KernelProfile three = a;
+  three.ops *= 3;
+  const ProcessorModel& cpu = pentium3_500();
+  EXPECT_NEAR(estimate_seconds(cpu, three),
+              3.0 * estimate_seconds(cpu, a),
+              1e-9 * estimate_seconds(cpu, three));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelFuzz, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace bladed::arch

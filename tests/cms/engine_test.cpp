@@ -1,0 +1,273 @@
+#include "cms/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cms/programs.hpp"
+
+namespace bladed::cms {
+namespace {
+
+MachineState daxpy_state(std::int64_t n) {
+  MachineState st(static_cast<std::size_t>(2 * n + 8));
+  for (std::int64_t i = 0; i < n; ++i) {
+    st.mem[static_cast<std::size_t>(i)] = static_cast<double>(i);
+    st.mem[static_cast<std::size_t>(n + i)] = 1.0;
+  }
+  return st;
+}
+
+TEST(Interpreter, DaxpyComputesCorrectResult) {
+  const std::int64_t n = 100;
+  MachineState st = daxpy_state(n);
+  Interpreter interp;
+  const InterpretResult r = interp.run(daxpy_program(n), st);
+  EXPECT_TRUE(r.halted);
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(st.mem[static_cast<std::size_t>(n + i)],
+                     1.0 + 2.5 * static_cast<double>(i));
+  }
+  // 3 setup + 7 per iteration + halt.
+  EXPECT_EQ(r.instructions, 3u + 7u * 100u + 1u);
+}
+
+TEST(Interpreter, CollectsBlockCounts) {
+  const std::int64_t n = 50;
+  MachineState st = daxpy_state(n);
+  Interpreter interp;
+  interp.run(daxpy_program(n), st);
+  const auto& counts = interp.block_counts();
+  // The entry region (which falls through into the loop body and executes
+  // it once) runs once; the loop-head region at pc 3 runs the remaining
+  // n-1 iterations.
+  EXPECT_EQ(counts.at(0), 1u);
+  EXPECT_EQ(counts.at(3), 49u);
+}
+
+TEST(MorphingEngine, ResultsIdenticalToInterpreter) {
+  for (auto make : {+[] { return daxpy_program(64); },
+                    +[] { return nr_rsqrt_program(30); },
+                    +[] { return branchy_program(41); },
+                    +[] { return many_blocks_program(5, 20); }}) {
+    const Program prog = make();
+    MachineState a(512), b(512);
+    a.mem[0] = 4.0;
+    b.mem[0] = 4.0;
+    Interpreter pure;
+    pure.run(prog, a);
+    MorphingEngine engine;
+    engine.run(prog, b);
+    for (std::size_t i = 0; i < a.mem.size(); ++i) {
+      ASSERT_DOUBLE_EQ(a.mem[i], b.mem[i]) << "mem[" << i << "]";
+    }
+  }
+}
+
+TEST(MorphingEngine, UnrolledDaxpyMatchesRolledResults) {
+  const std::int64_t n = 66;
+  MachineState rolled(256), unrolled(256);
+  for (std::int64_t i = 0; i < n; ++i) {
+    rolled.mem[static_cast<std::size_t>(i)] = 0.5 * static_cast<double>(i);
+    unrolled.mem[static_cast<std::size_t>(i)] = 0.5 * static_cast<double>(i);
+  }
+  MorphingEngine engine;
+  engine.run(unrolled_daxpy_program(n, 3), unrolled);
+  // The unrolled program computes y[i] = a*x[i]; evaluate directly.
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(unrolled.mem[static_cast<std::size_t>(n + i)],
+                     2.5 * 0.5 * static_cast<double>(i));
+  }
+}
+
+TEST(MorphingEngine, WiderMoleculesPackComputeBoundCodeDenser) {
+  // A compute-bound block with independent ALU/FPU/LSU work: the 128-bit
+  // molecule (2 ALU + FPU + LSU per cycle) beats the 64-bit one. For
+  // memory-bound loops the single LSU binds both widths equally — which is
+  // why the ablation bench shows near-identical numbers for plain daxpy.
+  Program prog;
+  for (int u = 0; u < 6; ++u) {
+    Instr in;
+    in.op = Op::kAddi;
+    in.a = 1 + u;
+    in.b = 0;
+    in.imm_i = u;
+    prog.push_back(in);
+  }
+  for (int u = 0; u < 3; ++u) {
+    Instr in;
+    in.op = Op::kFmovi;
+    in.a = u;
+    in.imm_f = 1.5 * u;
+    prog.push_back(in);
+  }
+  for (int u = 0; u < 2; ++u) {
+    Instr in;
+    in.op = Op::kFload;
+    in.a = 4 + u;
+    in.b = 0;
+    in.imm_i = u;
+    prog.push_back(in);
+  }
+  Instr halt;
+  halt.op = Op::kHalt;
+  prog.push_back(halt);
+
+  Translator narrow(MoleculeLimits{2, 1, 1, 1, 1}, TranslatorCosts{});
+  Translator wide;  // 4 atoms, 2 ALU
+  const Translation tn = narrow.translate(prog, 0);
+  const Translation tw = wide.translate(prog, 0);
+  EXPECT_LT(tw.native_cycles(), tn.native_cycles());
+  EXPECT_GT(tw.density(), tn.density());
+}
+
+TEST(MorphingEngine, NrRsqrtConverges) {
+  const Program prog = nr_rsqrt_program(20);
+  MachineState st(64);
+  st.mem[0] = 2.0;  // rsqrt(2) = 0.7071...
+  MorphingEngine engine;
+  engine.run(prog, st);
+  EXPECT_NEAR(st.mem[1], 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(MorphingEngine, HotLoopGetsTranslated) {
+  const Program prog = daxpy_program(1000);
+  MachineState st = daxpy_state(1000);
+  MorphingEngine engine;
+  const MorphingStats s = engine.run(prog, st);
+  EXPECT_GE(s.translations, 1u);
+  EXPECT_GT(s.native_block_executions, 900u);  // most iterations run native
+  EXPECT_GT(s.cache_hits, 900u);
+}
+
+TEST(MorphingEngine, ColdCodeStaysInterpreted) {
+  // Threshold 8: a loop of 4 iterations never gets hot.
+  const Program prog = daxpy_program(4);
+  MachineState st = daxpy_state(4);
+  MorphingEngine engine;
+  const MorphingStats s = engine.run(prog, st);
+  EXPECT_EQ(s.translations, 0u);
+  EXPECT_EQ(s.native_block_executions, 0u);
+  EXPECT_GT(s.interpreted_instructions, 0u);
+}
+
+TEST(MorphingEngine, TranslationAmortizesOverIterations) {
+  // §2.2: "the initial cost of the translation is amortized over repeated
+  // executions" — cycles per iteration fall as the trip count grows.
+  auto cycles_per_iter = [](std::int64_t n) {
+    const Program prog = daxpy_program(n);
+    MachineState st = daxpy_state(n);
+    MorphingEngine engine;
+    const MorphingStats s = engine.run(prog, st);
+    return static_cast<double>(s.total_cycles) / static_cast<double>(n);
+  };
+  const double c100 = cycles_per_iter(100);
+  const double c10k = cycles_per_iter(10000);
+  EXPECT_LT(c10k, 0.5 * c100);
+  // And at large trip counts CMS beats pure interpretation by a lot.
+  const Program prog = daxpy_program(20000);
+  MachineState st1 = daxpy_state(20000);
+  MachineState st2 = daxpy_state(20000);
+  MorphingEngine engine;
+  const MorphingStats s = engine.run(prog, st1);
+  const std::uint64_t interp = engine.interpret_only_cycles(prog, st2);
+  EXPECT_GT(static_cast<double>(interp) / static_cast<double>(s.total_cycles),
+            3.0);
+}
+
+TEST(MorphingEngine, WarmCacheAcrossRuns) {
+  const Program prog = daxpy_program(500);
+  MorphingEngine engine;
+  MachineState st1 = daxpy_state(500);
+  const MorphingStats cold = engine.run(prog, st1);
+  MachineState st2 = daxpy_state(500);
+  const MorphingStats warm = engine.run(prog, st2);
+  EXPECT_EQ(warm.translations, 0u);  // still cached
+  EXPECT_LT(warm.total_cycles, cold.total_cycles);
+}
+
+TEST(MorphingEngine, TinyCacheCausesRetranslation) {
+  // Many hot blocks, cache big enough for only a few: evictions force
+  // re-translation (the paper's motivation for a large translation cache).
+  MorphingConfig small;
+  small.cache_molecules = 8;
+  small.hot_threshold = 2;
+  MorphingEngine engine(small);
+  const Program prog = many_blocks_program(12, 500);
+  MachineState st(256);
+  const MorphingStats s = engine.run(prog, st);
+  EXPECT_GT(s.cache_evictions, 0u);
+  EXPECT_GT(s.retranslations, 0u);
+
+  // A generous cache eliminates the re-translations.
+  MorphingConfig big;
+  big.hot_threshold = 2;
+  MorphingEngine engine2(big);
+  MachineState st2(256);
+  const MorphingStats s2 = engine2.run(prog, st2);
+  EXPECT_EQ(s2.retranslations, 0u);
+  EXPECT_LT(s2.total_cycles, s.total_cycles);
+}
+
+TEST(MorphingEngine, BranchyCodeTranslatesMoreRegionsButStillWins) {
+  // The branchy loop splits into several short hot regions (loop head, the
+  // two paths, the rejoin), each translated separately, while daxpy has one
+  // hot loop body; both still beat interpretation clearly once hot.
+  auto run = [](const Program& prog, std::size_t mem) {
+    MachineState a(mem), b(mem);
+    MorphingEngine engine;
+    const MorphingStats s = engine.run(prog, a);
+    const std::uint64_t interp = engine.interpret_only_cycles(prog, b);
+    return std::pair<MorphingStats, double>(
+        s, static_cast<double>(interp) / static_cast<double>(s.total_cycles));
+  };
+  const auto [daxpy_stats, daxpy_speedup] = run(daxpy_program(5000), 20000);
+  const auto [branchy_stats, branchy_speedup] =
+      run(branchy_program(5000), 64);
+  EXPECT_GT(branchy_stats.translations, daxpy_stats.translations);
+  EXPECT_GT(daxpy_speedup, 2.0);
+  EXPECT_GT(branchy_speedup, 2.0);
+}
+
+TEST(MorphingEngine, Cms43BeatsCms42OnTheSameProgram) {
+  // The flash-upgradeable CMS story (§2.1): the newer translator reaches
+  // native execution sooner and pays less per translation.
+  const Program prog = daxpy_program(2000);
+  MachineState a = daxpy_state(2000), b = daxpy_state(2000);
+  MorphingEngine old_cms(cms_42x());
+  MorphingEngine new_cms(cms_43x());
+  const MorphingStats s42 = old_cms.run(prog, a);
+  const MorphingStats s43 = new_cms.run(prog, b);
+  EXPECT_LT(s43.total_cycles, s42.total_cycles);
+  EXPECT_LE(s43.interpreted_instructions, s42.interpreted_instructions);
+  // Results identical, of course.
+  for (std::size_t i = 0; i < a.mem.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.mem[i], b.mem[i]);
+  }
+}
+
+TEST(MorphingEngine, StatsAreInternallyConsistent) {
+  const Program prog = daxpy_program(2000);
+  MachineState st = daxpy_state(2000);
+  MorphingEngine engine;
+  const MorphingStats s = engine.run(prog, st);
+  EXPECT_EQ(s.total_cycles,
+            s.interpret_cycles + s.translate_cycles + s.native_cycles);
+  EXPECT_EQ(s.cache_hits + s.cache_misses,
+            engine.cache().hits() + engine.cache().misses());
+}
+
+TEST(MorphingEngine, ResetClearsCache) {
+  const Program prog = daxpy_program(500);
+  MorphingEngine engine;
+  MachineState st = daxpy_state(500);
+  engine.run(prog, st);
+  engine.reset();
+  EXPECT_EQ(engine.cache().entries(), 0u);
+  MachineState st2 = daxpy_state(500);
+  const MorphingStats again = engine.run(prog, st2);
+  EXPECT_GE(again.translations, 1u);  // must re-translate after reset
+}
+
+}  // namespace
+}  // namespace bladed::cms

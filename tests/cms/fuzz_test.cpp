@@ -1,0 +1,174 @@
+/// Property tests: on *randomly generated* programs, the morphing engine
+/// must produce exactly the interpreter's architectural results (memory and
+/// halting behaviour), for any cache size and hotspot threshold, and every
+/// translation must cover its region's instructions exactly once under the
+/// molecule resource limits.
+
+#include <gtest/gtest.h>
+
+#include "cms/engine.hpp"
+#include "common/rng.hpp"
+
+namespace bladed::cms {
+namespace {
+
+/// A random straight-line-with-back-edge program: `blocks` chunks of random
+/// arithmetic/memory ops, a counted loop over the whole thing, and a halt.
+/// All memory addressing is through r0 (kept 0) with bounded offsets, so
+/// every program is in-bounds by construction.
+Program random_program(Rng& rng, int chunks, std::int64_t loop_count,
+                       std::size_t mem_size) {
+  Program p;
+  Instr in;
+  in.op = Op::kMovi;
+  in.a = 1;
+  in.imm_i = 0;
+  p.push_back(in);  // r1 = loop counter
+  in.a = 2;
+  in.imm_i = loop_count;
+  p.push_back(in);  // r2 = limit
+  const std::int64_t body = static_cast<std::int64_t>(p.size());
+
+  const auto max_off = static_cast<std::int64_t>(mem_size - 1);
+  for (int c = 0; c < chunks; ++c) {
+    const int len = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < len; ++i) {
+      Instr x;
+      switch (rng.below(8)) {
+        case 0:
+          x.op = Op::kFload;
+          x.a = static_cast<int>(rng.below(8));
+          x.b = 0;
+          x.imm_i = static_cast<std::int64_t>(rng.below(max_off));
+          break;
+        case 1:
+          x.op = Op::kFstore;
+          x.a = static_cast<int>(rng.below(8));
+          x.b = 0;
+          x.imm_i = static_cast<std::int64_t>(rng.below(max_off));
+          break;
+        case 2:
+          x.op = Op::kFadd;
+          x.a = static_cast<int>(rng.below(8));
+          x.b = static_cast<int>(rng.below(8));
+          x.c = static_cast<int>(rng.below(8));
+          break;
+        case 3:
+          x.op = Op::kFmul;
+          x.a = static_cast<int>(rng.below(8));
+          x.b = static_cast<int>(rng.below(8));
+          x.c = static_cast<int>(rng.below(8));
+          break;
+        case 4:
+          x.op = Op::kFsub;
+          x.a = static_cast<int>(rng.below(8));
+          x.b = static_cast<int>(rng.below(8));
+          x.c = static_cast<int>(rng.below(8));
+          break;
+        case 5:
+          x.op = Op::kFmovi;
+          x.a = static_cast<int>(rng.below(8));
+          x.imm_f = rng.uniform(-2.0, 2.0);
+          break;
+        case 6:
+          x.op = Op::kAddi;
+          x.a = 3 + static_cast<int>(rng.below(13));
+          x.b = 3 + static_cast<int>(rng.below(13));
+          x.imm_i = static_cast<std::int64_t>(rng.below(100));
+          break;
+        default:
+          x.op = Op::kAdd;
+          x.a = 3 + static_cast<int>(rng.below(13));
+          x.b = 3 + static_cast<int>(rng.below(13));
+          x.c = 3 + static_cast<int>(rng.below(13));
+          break;
+      }
+      p.push_back(x);
+    }
+    // A jump to the next chunk creates a region boundary sometimes.
+    if (rng.below(2) == 0 && c + 1 < chunks) {
+      Instr j;
+      j.op = Op::kJmp;
+      j.imm_i = static_cast<std::int64_t>(p.size()) + 1;
+      p.push_back(j);
+    }
+  }
+  Instr inc;
+  inc.op = Op::kAddi;
+  inc.a = 1;
+  inc.b = 1;
+  inc.imm_i = 1;
+  p.push_back(inc);
+  Instr blt;
+  blt.op = Op::kBlt;
+  blt.a = 1;
+  blt.b = 2;
+  blt.imm_i = body;
+  p.push_back(blt);
+  Instr halt;
+  halt.op = Op::kHalt;
+  p.push_back(halt);
+  return p;
+}
+
+class CmsFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CmsFuzz, EngineMatchesInterpreterExactly) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 8; ++trial) {
+    const Program prog =
+        random_program(rng, 2 + static_cast<int>(rng.below(5)),
+                       5 + static_cast<std::int64_t>(rng.below(40)), 64);
+    ASSERT_NO_THROW(validate(prog, 64));
+
+    MachineState a(64), b(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+      a.mem[i] = 0.25 * static_cast<double>(i);
+      b.mem[i] = 0.25 * static_cast<double>(i);
+    }
+    Interpreter pure;
+    const InterpretResult ri = pure.run(prog, a);
+    MorphingConfig cfg;
+    cfg.hot_threshold = 1 + rng.below(6);
+    cfg.cache_molecules = 4 + rng.below(64);
+    MorphingEngine engine(cfg);
+    engine.run(prog, b);
+    ASSERT_TRUE(ri.halted);
+    for (std::size_t i = 0; i < 64; ++i) {
+      ASSERT_DOUBLE_EQ(a.mem[i], b.mem[i])
+          << "seed " << GetParam() << " trial " << trial << " mem[" << i
+          << "]";
+    }
+    for (int r = 0; r < 16; ++r) ASSERT_EQ(a.r[r], b.r[r]);
+    for (int f = 0; f < 8; ++f) {
+      ASSERT_DOUBLE_EQ(a.f[f], b.f[f]);
+    }
+  }
+}
+
+TEST_P(CmsFuzz, TranslationsCoverRegionsExactlyOnce) {
+  Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+  const Program prog = random_program(rng, 4, 10, 64);
+  Translator tr;
+  for (std::size_t pc = 0; pc < prog.size(); pc = block_end(prog, pc)) {
+    const Translation t = tr.translate(prog, pc);
+    std::vector<int> seen(prog.size(), 0);
+    std::size_t atoms = 0;
+    for (const Molecule& m : t.molecules) {
+      for (int a = 0; a < m.atoms; ++a) {
+        ++seen[m.atom_pc[static_cast<std::size_t>(a)]];
+        ++atoms;
+      }
+      ASSERT_LE(m.atoms, 4);
+    }
+    ASSERT_EQ(atoms, t.instr_count);
+    for (std::size_t i = pc; i < block_end(prog, pc); ++i) {
+      ASSERT_EQ(seen[i], 1) << "instr " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CmsFuzz, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace bladed::cms

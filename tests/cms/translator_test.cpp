@@ -1,0 +1,225 @@
+#include "cms/translator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cms/interpreter.hpp"
+#include "cms/programs.hpp"
+#include "cms/tcache.hpp"
+
+namespace bladed::cms {
+namespace {
+
+TEST(Translator, CoversEveryInstructionExactlyOnce) {
+  const Program prog = daxpy_program(8);
+  Translator tr;
+  const Translation t = tr.translate(prog, 3);  // the loop body block
+  EXPECT_EQ(t.instr_count, 7u);                 // 7 instructions incl. branch
+  std::map<std::uint32_t, int> seen;
+  int atoms = 0;
+  for (const Molecule& m : t.molecules) {
+    for (int a = 0; a < m.atoms; ++a) {
+      ++seen[m.atom_pc[static_cast<std::size_t>(a)]];
+      ++atoms;
+    }
+  }
+  EXPECT_EQ(atoms, 7);
+  for (std::uint32_t pc = 3; pc < 10; ++pc) EXPECT_EQ(seen[pc], 1) << pc;
+}
+
+TEST(Translator, RespectsMoleculeResourceLimits) {
+  const MoleculeLimits lim;  // 4 atoms, 2 ALU, 1 FPU, 1 LSU, 1 BR
+  Translator tr(lim);
+  for (const Program& prog :
+       {daxpy_program(4), nr_rsqrt_program(4), branchy_program(4)}) {
+    for (std::size_t pc = 0; pc < prog.size(); pc = block_end(prog, pc)) {
+      const Translation t = tr.translate(prog, pc);
+      for (const Molecule& m : t.molecules) {
+        EXPECT_LE(m.atoms, lim.max_atoms);
+        int alu = 0, fpu = 0, lsu = 0, br = 0;
+        for (int a = 0; a < m.atoms; ++a) {
+          switch (unit_of(prog[m.atom_pc[static_cast<std::size_t>(a)]].op)) {
+            case UnitClass::kAlu: ++alu; break;
+            case UnitClass::kFpu: ++fpu; break;
+            case UnitClass::kLsu: ++lsu; break;
+            default: ++br; break;
+          }
+        }
+        EXPECT_LE(alu, lim.alu);
+        EXPECT_LE(fpu, lim.fpu);
+        EXPECT_LE(lsu, lim.lsu);
+        EXPECT_LE(br, lim.branch);
+      }
+    }
+  }
+}
+
+TEST(Translator, RespectsDataDependencies) {
+  // In every molecule schedule, a consumer must appear in a strictly later
+  // molecule than its producer (latency >= 1).
+  const Program prog = nr_rsqrt_program(4);
+  Translator tr;
+  const Translation t = tr.translate(prog, 6);  // NR loop body
+  std::map<std::uint32_t, std::size_t> molecule_of;
+  for (std::size_t mi = 0; mi < t.molecules.size(); ++mi) {
+    const Molecule& m = t.molecules[mi];
+    for (int a = 0; a < m.atoms; ++a) {
+      molecule_of[m.atom_pc[static_cast<std::size_t>(a)]] = mi;
+    }
+  }
+  // 7 (x*y*y) consumes 6 (y*y); 9 consumes 8; 10 consumes 9.
+  EXPECT_LT(molecule_of.at(6), molecule_of.at(7));
+  EXPECT_LT(molecule_of.at(7), molecule_of.at(8));
+  EXPECT_LT(molecule_of.at(8), molecule_of.at(9));
+  EXPECT_LT(molecule_of.at(9), molecule_of.at(10));
+}
+
+TEST(Translator, BranchScheduledLast) {
+  const Program prog = daxpy_program(8);
+  Translator tr;
+  const Translation t = tr.translate(prog, 3);
+  const Molecule& last = t.molecules.back();
+  bool branch_in_last = false;
+  for (int a = 0; a < last.atoms; ++a) {
+    if (is_branch(prog[last.atom_pc[static_cast<std::size_t>(a)]].op)) {
+      branch_in_last = true;
+    }
+  }
+  EXPECT_TRUE(branch_in_last);
+}
+
+TEST(Translator, NativeBeatsInterpretationPerExecution) {
+  const Program prog = daxpy_program(8);
+  Translator tr;
+  Interpreter interp;
+  const Translation t = tr.translate(prog, 3);
+  // One interpreted execution of the block: 7 instrs x (12 + latency).
+  MachineState st(64);
+  st.r[1] = 0;
+  st.r[2] = 8;
+  InterpretResult r;
+  interp.run_block(prog, st, 3, r);
+  EXPECT_LT(t.native_cycles(), r.cycles / 4);
+}
+
+TEST(Translator, IndependentOpsPackIntoWideMolecules) {
+  // A block of 4 independent fp loads + 2 independent int ops packs much
+  // denser than a serial dependency chain.
+  Program parallel_block;
+  for (int i = 0; i < 4; ++i) {
+    Instr in;
+    in.op = Op::kFload;
+    in.a = i;
+    in.b = 0;
+    in.imm_i = i;
+    parallel_block.push_back(in);
+  }
+  for (int i = 0; i < 4; ++i) {
+    Instr in;
+    in.op = Op::kAddi;
+    in.a = 1 + i;
+    in.b = 0;
+    in.imm_i = i;
+    parallel_block.push_back(in);
+  }
+  Instr halt;
+  halt.op = Op::kHalt;
+  parallel_block.push_back(halt);
+
+  Program chain;
+  for (int i = 0; i < 8; ++i) {
+    Instr in;
+    in.op = Op::kFmul;
+    in.a = 1;
+    in.b = 1;
+    in.c = 1;
+    chain.push_back(in);
+  }
+  chain.push_back(halt);
+
+  Translator tr;
+  const Translation tp = tr.translate(parallel_block, 0);
+  const Translation tc = tr.translate(chain, 0);
+  EXPECT_GT(tp.density(), 1.5);
+  EXPECT_LT(tc.density(), 1.2);         // one fmul per molecule, plus waits
+  EXPECT_LT(tp.native_cycles(), tc.native_cycles());
+}
+
+TEST(Translator, UnpipelinedOpsStallTheMolecule) {
+  Program with_div;
+  Instr div;
+  div.op = Op::kFdiv;
+  div.a = 1;
+  div.b = 2;
+  div.c = 3;
+  with_div.push_back(div);
+  Instr halt;
+  halt.op = Op::kHalt;
+  with_div.push_back(halt);
+  Translator tr;
+  const Translation t = tr.translate(with_div, 0);
+  EXPECT_GE(t.native_cycles(),
+            static_cast<std::uint64_t>(latency_of(Op::kFdiv)));
+}
+
+TEST(Translator, TranslationCostScalesWithBlockSize) {
+  Translator tr;
+  EXPECT_EQ(tr.translation_cost(10), 10u * 900u);
+  EXPECT_EQ(tr.translation_cost(0), 0u);
+}
+
+TEST(Translator, DensityNeverExceedsMaxAtoms) {
+  Translator tr;
+  for (const Program& prog : {daxpy_program(4), many_blocks_program(3, 2)}) {
+    for (std::size_t pc = 0; pc < prog.size(); pc = block_end(prog, pc)) {
+      const Translation t = tr.translate(prog, pc);
+      EXPECT_LE(t.density(), 4.0);
+      EXPECT_GT(t.density(), 0.0);
+    }
+  }
+}
+
+TEST(Tcache, LruEvictionOrder) {
+  TranslationCache cache(10);
+  auto mk = [](std::size_t pc, std::size_t molecules) {
+    Translation t;
+    t.entry_pc = pc;
+    t.molecules.resize(molecules);
+    return t;
+  };
+  EXPECT_TRUE(cache.insert(mk(1, 4)));
+  EXPECT_TRUE(cache.insert(mk(2, 4)));
+  EXPECT_NE(cache.lookup(1), nullptr);     // 1 is now most recent
+  EXPECT_TRUE(cache.insert(mk(3, 4)));     // evicts 2 (LRU)
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(Tcache, RejectsOversizedTranslation) {
+  TranslationCache cache(4);
+  Translation t;
+  t.entry_pc = 9;
+  t.molecules.resize(5);
+  EXPECT_FALSE(cache.insert(std::move(t)));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(Tcache, ReinsertSamePcReplaces) {
+  TranslationCache cache(10);
+  Translation a;
+  a.entry_pc = 7;
+  a.molecules.resize(3);
+  Translation b;
+  b.entry_pc = 7;
+  b.molecules.resize(5);
+  EXPECT_TRUE(cache.insert(std::move(a)));
+  EXPECT_TRUE(cache.insert(std::move(b)));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.size_molecules(), 5u);
+}
+
+}  // namespace
+}  // namespace bladed::cms

@@ -1,0 +1,76 @@
+#include "common/npb_rand.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bladed {
+namespace {
+
+TEST(NpbRandom, FirstDeviatesMatchDirectEvaluation) {
+  // x1 = 5^13 * seed mod 2^46 computed by hand with __int128.
+  const std::uint64_t seed = NpbRandom::kDefaultSeed;
+  const unsigned __int128 a = NpbRandom::kA;
+  const std::uint64_t mask = (1ULL << 46) - 1;
+  std::uint64_t expect = seed;
+  NpbRandom rng(seed);
+  for (int i = 0; i < 100; ++i) {
+    expect = static_cast<std::uint64_t>((a * expect) & mask);
+    const double v = rng.next();
+    EXPECT_DOUBLE_EQ(v, static_cast<double>(expect) /
+                            static_cast<double>(1ULL << 46));
+  }
+}
+
+TEST(NpbRandom, DeviatesAreInOpenUnitInterval) {
+  NpbRandom rng;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.next();
+    ASSERT_GT(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(NpbRandom, MeanIsOneHalf) {
+  NpbRandom rng;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next();
+  EXPECT_NEAR(sum / n, 0.5, 2e-3);
+}
+
+TEST(NpbRandom, SkipMatchesSequentialAdvance) {
+  NpbRandom seq(NpbRandom::kDefaultSeed);
+  for (int i = 0; i < 12345; ++i) seq.next();
+  EXPECT_EQ(NpbRandom::skip(NpbRandom::kDefaultSeed, 12345), seq.state());
+}
+
+TEST(NpbRandom, SkipZeroIsIdentity) {
+  EXPECT_EQ(NpbRandom::skip(987654321ULL, 0), 987654321ULL);
+}
+
+TEST(NpbRandom, SkipComposes) {
+  const std::uint64_t s1 = NpbRandom::skip(NpbRandom::kDefaultSeed, 1000);
+  const std::uint64_t s2 = NpbRandom::skip(s1, 2000);
+  EXPECT_EQ(s2, NpbRandom::skip(NpbRandom::kDefaultSeed, 3000));
+}
+
+TEST(NpbRandom, DisjointBlocksForParallelRanks) {
+  // Two ranks starting from skip(seed, k*blocksize) generate exactly the
+  // slices of the global stream — the NPB parallelization contract.
+  const std::uint64_t block = 5000;
+  NpbRandom global(NpbRandom::kDefaultSeed);
+  std::vector<double> all;
+  for (std::uint64_t i = 0; i < 2 * block; ++i) all.push_back(global.next());
+
+  NpbRandom r0(NpbRandom::kDefaultSeed);
+  NpbRandom r1;
+  r1.set_state(NpbRandom::skip(NpbRandom::kDefaultSeed, block));
+  for (std::uint64_t i = 0; i < block; ++i) {
+    ASSERT_DOUBLE_EQ(r0.next(), all[i]);
+    ASSERT_DOUBLE_EQ(r1.next(), all[block + i]);
+  }
+}
+
+}  // namespace
+}  // namespace bladed

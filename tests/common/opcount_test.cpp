@@ -1,0 +1,56 @@
+#include "common/opcount.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bladed {
+namespace {
+
+TEST(OpCounter, FlopsSumsFourClasses) {
+  OpCounter c;
+  c.fadd = 1;
+  c.fmul = 2;
+  c.fdiv = 3;
+  c.fsqrt = 4;
+  c.iop = 100;  // not a flop
+  EXPECT_EQ(c.flops(), 10u);
+}
+
+TEST(OpCounter, MemOps) {
+  OpCounter c;
+  c.load = 7;
+  c.store = 5;
+  EXPECT_EQ(c.mem_ops(), 12u);
+}
+
+TEST(OpCounter, AdditionIsFieldwise) {
+  OpCounter a, b;
+  a.fadd = 1;
+  a.msg_bytes = 10;
+  b.fadd = 2;
+  b.branch = 3;
+  const OpCounter c = a + b;
+  EXPECT_EQ(c.fadd, 3u);
+  EXPECT_EQ(c.branch, 3u);
+  EXPECT_EQ(c.msg_bytes, 10u);
+}
+
+TEST(OpCounter, ScalingMultipliesEveryField) {
+  OpCounter a;
+  a.fadd = 2;
+  a.load = 5;
+  a.msg_count = 1;
+  const OpCounter b = a * 10;
+  EXPECT_EQ(b.fadd, 20u);
+  EXPECT_EQ(b.load, 50u);
+  EXPECT_EQ(b.msg_count, 10u);
+}
+
+TEST(OpCounter, DefaultIsAllZero) {
+  const OpCounter c;
+  EXPECT_EQ(c.flops(), 0u);
+  EXPECT_EQ(c.mem_ops(), 0u);
+  EXPECT_EQ(c, OpCounter{});
+}
+
+}  // namespace
+}  // namespace bladed

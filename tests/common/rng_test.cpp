@@ -1,0 +1,87 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace bladed {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInHalfOpenInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.5, 2.25);
+    ASSERT_GE(v, -3.5);
+    ASSERT_LT(v, 2.25);
+  }
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng rng(123);
+  std::vector<double> xs(200000);
+  for (double& x : xs) x = rng.normal();
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 0.0, 0.01);
+  EXPECT_NEAR(s.stddev, 1.0, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[rng.below(8)];
+  for (int count : seen) EXPECT_GT(count, 800);
+}
+
+TEST(Rng, JumpProducesDecorrelatedStream) {
+  Rng a(99);
+  Rng b(99);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ChiSquareUniformityOn64Bins) {
+  Rng rng(2024);
+  constexpr int kBins = 64, kDraws = 64 * 2000;
+  std::vector<int> hist(kBins, 0);
+  for (int i = 0; i < kDraws; ++i)
+    ++hist[static_cast<int>(rng.uniform() * kBins)];
+  double chi2 = 0.0;
+  const double expect = static_cast<double>(kDraws) / kBins;
+  for (int h : hist) chi2 += (h - expect) * (h - expect) / expect;
+  // 63 dof: mean 63, stddev ~11.2; 5-sigma bound.
+  EXPECT_LT(chi2, 63 + 5 * 11.2);
+}
+
+}  // namespace
+}  // namespace bladed

@@ -1,0 +1,54 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace bladed {
+namespace {
+
+TEST(TablePrinter, RendersHeaderRuleAndRows) {
+  TablePrinter t({"Machine", "Gflop"});
+  t.add_row({"MetaBlade", "2.1"});
+  t.add_row({"MetaBlade2", "3.3"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("Machine"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("MetaBlade2"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, NumericColumnsRightAligned) {
+  TablePrinter t({"Name", "Value"});
+  t.add_row({"a", "1.0"});
+  t.add_row({"b", "10000.0"});
+  const std::string out = t.str();
+  // The short number must be padded on the left to the column width.
+  EXPECT_NE(out.find("    1.0"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsWrongArity) {
+  TablePrinter t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), PreconditionError);
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::num(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinter, GroupedInsertsThousandsSeparators) {
+  EXPECT_EQ(TablePrinter::grouped(9753824), "9,753,824");
+  EXPECT_EQ(TablePrinter::grouped(999), "999");
+  EXPECT_EQ(TablePrinter::grouped(1000), "1,000");
+  EXPECT_EQ(TablePrinter::grouped(0), "0");
+  EXPECT_EQ(TablePrinter::grouped(-12345), "-12,345");
+}
+
+}  // namespace
+}  // namespace bladed

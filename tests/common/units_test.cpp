@@ -1,0 +1,51 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bladed {
+namespace {
+
+TEST(Units, ArithmeticWithinAUnit) {
+  const Watts a(10.0), b(2.5);
+  EXPECT_DOUBLE_EQ((a + b).value(), 12.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 7.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).value(), 30.0);
+  EXPECT_DOUBLE_EQ((3.0 * a).value(), 30.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 2.5);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  const Dollars num(35000.0), den(108000.0);
+  const double ratio = num / den;
+  EXPECT_NEAR(ratio, 0.324, 1e-3);
+}
+
+TEST(Units, ComparisonOperators) {
+  EXPECT_LT(Watts(1.0), Watts(2.0));
+  EXPECT_GE(Dollars(5.0), Dollars(5.0));
+}
+
+TEST(Units, CompoundAssignment) {
+  Dollars d(100.0);
+  d += Dollars(50.0);
+  d -= Dollars(25.0);
+  d *= 2.0;
+  EXPECT_DOUBLE_EQ(d.value(), 250.0);
+}
+
+TEST(Units, KilowattsConversion) {
+  EXPECT_DOUBLE_EQ(kilowatts(Watts(2040.0)), 2.04);
+}
+
+TEST(Units, EnergyCostMatchesPaperArithmetic) {
+  // §4.1: 2.04 kW for 35,040 hours at $0.10/kWh = $7,148.
+  const Dollars c = energy_cost(Watts(2040.0), Hours(35040.0), 0.10);
+  EXPECT_NEAR(c.value(), 7148.0, 1.0);
+}
+
+TEST(Units, HoursPerYearConstant) {
+  EXPECT_DOUBLE_EQ(kHoursPerYear.value(), 8760.0);
+}
+
+}  // namespace
+}  // namespace bladed

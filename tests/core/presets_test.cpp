@@ -1,0 +1,135 @@
+#include "core/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/reliability.hpp"
+
+namespace bladed::core {
+namespace {
+
+TEST(Presets, AllClustersValidate) {
+  for (const ClusterSpec& c :
+       {alpha_24(), athlon_24(), pentium3_24(), pentium4_24(), metablade(),
+        avalon(), metablade2(), green_destiny(), loki()}) {
+    EXPECT_NO_THROW(validate(c)) << c.name;
+  }
+}
+
+TEST(Presets, Table5ClustersAreAll24Nodes) {
+  for (const ClusterSpec& c : table5_clusters()) {
+    EXPECT_EQ(c.nodes, 24) << c.name;
+    EXPECT_GT(c.sustained_gflops, 0.0) << c.name;
+  }
+}
+
+TEST(Presets, BladePerformanceIs75PercentOfTraditional) {
+  // §4.1: "its performance being 75% of a comparably-clocked traditional
+  // Beowulf cluster".
+  EXPECT_NEAR(metablade().sustained_gflops / pentium3_24().sustained_gflops,
+              0.75, 0.01);
+}
+
+TEST(Presets, OnlyBladesUseConvectionCooling) {
+  EXPECT_EQ(metablade().cooling, power::Cooling::kNone);
+  EXPECT_EQ(metablade2().cooling, power::Cooling::kNone);
+  EXPECT_EQ(green_destiny().cooling, power::Cooling::kNone);
+  EXPECT_EQ(alpha_24().cooling, power::Cooling::kActive);
+  EXPECT_EQ(avalon().cooling, power::Cooling::kActive);
+}
+
+TEST(Presets, MetaBladePowerMatchesPaper) {
+  // §4.1: "our 24-node MetaBlade ... dissipates [0.6] kW at load and
+  // requires no fans" — total power cost $2,102/4yr at $0.10/kWh.
+  EXPECT_NEAR(kilowatts(metablade().total_power()), 0.6, 0.01);
+}
+
+TEST(Presets, P4ClusterDissipates2_04kW) {
+  EXPECT_NEAR(kilowatts(pentium4_24().dissipated()), 2.04, 0.001);
+}
+
+TEST(Presets, AvalonTotalsMatchPublishedFigures) {
+  const ClusterSpec a = avalon();
+  EXPECT_EQ(a.nodes, 140);
+  EXPECT_NEAR(kilowatts(a.total_power()), 18.0, 1.0);
+  EXPECT_NEAR(a.area.value(), 120.0, 1.0);
+  EXPECT_NEAR(a.sustained_gflops, 18.0, 0.1);
+}
+
+TEST(Presets, GreenDestinySameFootprintAsMetaBlade) {
+  // §4.2: Green Destiny "would fit in the same footprint as MetaBlade,
+  // i.e., six square feet".
+  EXPECT_DOUBLE_EQ(green_destiny().area.value(), metablade().area.value());
+  EXPECT_EQ(green_destiny().nodes, 240);
+}
+
+TEST(Presets, SpaceScaleUpFactor33) {
+  // §4.1 footnote: at 240 nodes the traditional space cost grows ten-fold
+  // ($80K) while the blades stay at $2,400 — 33x more expensive.
+  const double blade_cost_4yr = green_destiny().area.value() * 100.0 * 4.0;
+  const double trad_cost_4yr = 10.0 * alpha_24().area.value() * 100.0 * 4.0;
+  EXPECT_NEAR(trad_cost_4yr / blade_cost_4yr, 33.0, 1.0);
+}
+
+TEST(Presets, TreecodeHistoryMatchesProseConstraints) {
+  const auto rows = treecode_history();
+  ASSERT_EQ(rows.size(), 12u);
+
+  auto find = [&](std::string_view name) -> const HistoricalMachine& {
+    for (const auto& r : rows)
+      if (r.machine == name) return r;
+    throw std::runtime_error("row not found");
+  };
+
+  // §3.3: MetaBlade sustained 2.1 Gflops on 24 CPUs; MetaBlade2 3.3.
+  EXPECT_NEAR(find("MetaBlade").gflops, 2.1, 0.01);
+  EXPECT_NEAR(find("MetaBlade2").gflops, 3.3, 0.01);
+
+  // §3.5: MetaBlade2 "only places behind the SGI Origin 2000".
+  const double mb2 = find("MetaBlade2").mflops_per_proc();
+  for (const auto& r : rows) {
+    if (r.machine == "MetaBlade2" || r.machine == "SGI Origin 2000") continue;
+    EXPECT_LT(r.mflops_per_proc(), mb2) << r.machine;
+  }
+  EXPECT_GT(find("SGI Origin 2000").mflops_per_proc(), mb2);
+
+  // §3.5: TM5600 is about twice a Pentium Pro 200 (Loki) per processor...
+  const double tm = find("MetaBlade").mflops_per_proc();
+  EXPECT_NEAR(tm / find("Loki").mflops_per_proc(), 2.0, 0.25);
+  // ...and about the same as Avalon's 533-MHz Alphas.
+  EXPECT_NEAR(tm / find("Avalon").mflops_per_proc(), 1.0, 0.15);
+}
+
+TEST(Presets, TreecodeHistoryRowsAreSortedByPerProcRate) {
+  const auto rows = treecode_history();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].mflops_per_proc(), rows[i].mflops_per_proc())
+        << rows[i].machine;
+  }
+}
+
+TEST(Presets, PredictiveReliabilityModelApproximatesObservedRates) {
+  // Cross-check: the temperature-based failure model (rate doubling per
+  // 10 C, component temperature ~ ambient + k * node watts) lands near the
+  // failure cadences the paper observed: ~6/yr for a 24-node traditional
+  // cluster, ~1/yr for the blades.
+  power::ReliabilityModel rel;
+  rel.failures_per_node_year_ref = 0.016;  // per node-year at 25 C component
+  constexpr double kDegPerWatt = 0.48;     // self-heating of a packed node
+
+  const ClusterSpec trad = pentium4_24();
+  const double trad_temp =
+      trad.ambient.value() + kDegPerWatt * trad.node_watts.value();
+  const double trad_rate =
+      rel.failure_rate(Celsius(trad_temp)) * trad.nodes;
+  EXPECT_NEAR(trad_rate, 6.0, 2.0);
+
+  const ClusterSpec blade = metablade();
+  const double blade_temp =
+      blade.ambient.value() + kDegPerWatt * blade.node_watts.value();
+  const double blade_rate =
+      rel.failure_rate(Celsius(blade_temp)) * blade.nodes;
+  EXPECT_NEAR(blade_rate, 1.0, 0.8);
+}
+
+}  // namespace
+}  // namespace bladed::core

@@ -1,0 +1,121 @@
+#include "npb/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace bladed::npb {
+namespace {
+
+Mat5 random_dominant(Rng& rng) {
+  Mat5 m = mat5_zero();
+  for (int i = 0; i < kB; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < kB; ++j) {
+      if (j != i) {
+        m[i][j] = rng.uniform(-1.0, 1.0);
+        sum += std::fabs(m[i][j]);
+      }
+    }
+    m[i][i] = sum + rng.uniform(1.0, 2.0);
+  }
+  return m;
+}
+
+Vec5 random_vec(Rng& rng) {
+  Vec5 v;
+  for (double& x : v) x = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+TEST(Block, IdentityActsAsNeutral) {
+  Rng rng(1);
+  const Mat5 id = mat5_identity();
+  const Vec5 x = random_vec(rng);
+  Vec5 y{};
+  matvec_acc(id, x, y);
+  for (int i = 0; i < kB; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Block, MatvecAccAndSubAreInverse) {
+  Rng rng(2);
+  const Mat5 a = random_dominant(rng);
+  const Vec5 x = random_vec(rng);
+  Vec5 y = random_vec(rng);
+  const Vec5 orig = y;
+  matvec_acc(a, x, y);
+  matvec_sub(a, x, y);
+  for (int i = 0; i < kB; ++i) EXPECT_NEAR(y[i], orig[i], 1e-12);
+}
+
+TEST(Block, MatmulSubAgainstDirectComputation) {
+  Rng rng(3);
+  const Mat5 a = random_dominant(rng);
+  const Mat5 b = random_dominant(rng);
+  Mat5 c = mat5_zero();
+  matmul_sub(a, b, c);  // c = -a*b
+  for (int i = 0; i < kB; ++i) {
+    for (int j = 0; j < kB; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < kB; ++k) s += a[i][k] * b[k][j];
+      EXPECT_NEAR(c[i][j], -s, 1e-12);
+    }
+  }
+}
+
+TEST(Block, LuSolveRecoversKnownSolution) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Mat5 a = random_dominant(rng);
+    const Vec5 x = random_vec(rng);
+    // b = A x
+    Vec5 b{};
+    matvec_acc(a, x, b);
+    Mat5 lu = a;
+    lu_factor(lu);
+    lu_solve(lu, b);
+    for (int i = 0; i < kB; ++i) EXPECT_NEAR(b[i], x[i], 1e-10);
+  }
+}
+
+TEST(Block, LuSolveMatComputesInverseTimesMatrix) {
+  Rng rng(5);
+  const Mat5 a = random_dominant(rng);
+  Mat5 lu = a;
+  lu_factor(lu);
+  Mat5 inv = mat5_identity();
+  lu_solve_mat(lu, inv);  // inv = A^{-1}
+  // A * inv == I
+  Mat5 check = mat5_identity();
+  matmul_sub(a, inv, check);  // I - A*A^{-1} == 0
+  for (int i = 0; i < kB; ++i) {
+    for (int j = 0; j < kB; ++j) EXPECT_NEAR(check[i][j], 0.0, 1e-10);
+  }
+}
+
+TEST(Block, DotProduct) {
+  Vec5 a{1, 2, 3, 4, 5};
+  Vec5 b{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(dot(a, b), 5 + 8 + 9 + 8 + 5);
+}
+
+TEST(Block, OpCountConstantsMatchAlgorithm) {
+  // matvec: kB*kB multiply-adds.
+  EXPECT_EQ(matvec_ops().fmul, 25u);
+  EXPECT_EQ(matvec_ops().fadd, 25u);
+  // matmul: kB^3.
+  EXPECT_EQ(matmul_ops().fmul, 125u);
+  // LU factorization: sum_k (n-k-1)(1 + (n-k-1)) products, 5 reciprocals.
+  EXPECT_EQ(lu_factor_ops().fdiv, 5u);
+  EXPECT_EQ(lu_factor_ops().fmul, 40u);  // 10 scales + 30 updates
+  EXPECT_EQ(lu_factor_ops().fadd, 30u);
+  // Triangular solves: 10 + 10 products + 5 diagonal scalings.
+  EXPECT_EQ(lu_solve_ops().fmul, 25u);
+  EXPECT_EQ(lu_solve_ops().fadd, 20u);
+  EXPECT_EQ(lu_solve_mat_ops().fmul, 125u);
+}
+
+}  // namespace
+}  // namespace bladed::npb

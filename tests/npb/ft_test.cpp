@@ -1,0 +1,142 @@
+#include "npb/ft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bladed::npb {
+namespace {
+
+TEST(Fft1d, DeltaTransformsToConstant) {
+  std::vector<Complex> a(8, Complex(0.0, 0.0));
+  a[0] = Complex(1.0, 0.0);
+  OpCounter ops;
+  fft1d(a, false, ops);
+  for (const Complex& c : a) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1d, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<Complex> a(n);
+  const int tone = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = 2.0 * M_PI * tone * static_cast<double>(i) / n;
+    a[i] = Complex(std::cos(ang), std::sin(ang));
+  }
+  OpCounter ops;
+  fft1d(a, false, ops);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == tone) {
+      EXPECT_NEAR(std::abs(a[k]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(a[k]), 0.0, 1e-9) << k;
+    }
+  }
+}
+
+TEST(Fft1d, RoundTripIsIdentity) {
+  Rng rng(71);
+  std::vector<Complex> a(128);
+  for (Complex& c : a) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const std::vector<Complex> orig = a;
+  OpCounter ops;
+  fft1d(a, false, ops);
+  fft1d(a, true, ops);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] / 128.0 - orig[i]), 0.0, 1e-12) << i;
+  }
+}
+
+TEST(Fft1d, ParsevalHolds) {
+  Rng rng(73);
+  std::vector<Complex> a(256);
+  double time_energy = 0.0;
+  for (Complex& c : a) {
+    c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    time_energy += std::norm(c);
+  }
+  OpCounter ops;
+  fft1d(a, false, ops);
+  double freq_energy = 0.0;
+  for (const Complex& c : a) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / 256.0, time_energy, 1e-9 * time_energy);
+}
+
+TEST(Fft1d, OpCountIsNLogNScale) {
+  std::vector<Complex> a(1024), b(2048);
+  OpCounter oa, ob;
+  fft1d(a, false, oa);
+  fft1d(b, false, ob);
+  // (2n log 2n) / (n log n) = 2 * 11/10 = 2.2.
+  EXPECT_NEAR(static_cast<double>(ob.flops()) / oa.flops(), 2.2, 0.01);
+}
+
+TEST(Fft1d, RejectsNonPowerOfTwo) {
+  std::vector<Complex> a(12);
+  OpCounter ops;
+  EXPECT_THROW(fft1d(a, false, ops), PreconditionError);
+}
+
+TEST(Fft3d, RoundTripOnAnisotropicGrid) {
+  const int nx = 16, ny = 8, nz = 4;
+  Rng rng(79);
+  std::vector<Complex> g(static_cast<std::size_t>(nx) * ny * nz);
+  for (Complex& c : g) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const std::vector<Complex> orig = g;
+  OpCounter ops;
+  fft3d(g, nx, ny, nz, false, ops);
+  fft3d(g, nx, ny, nz, true, ops);
+  const double inv = 1.0 / static_cast<double>(nx * ny * nz);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_NEAR(std::abs(g[i] * inv - orig[i]), 0.0, 1e-12) << i;
+  }
+}
+
+TEST(Fft3d, SizeMismatchRejected) {
+  std::vector<Complex> g(100);
+  OpCounter ops;
+  EXPECT_THROW(fft3d(g, 8, 8, 8, false, ops), PreconditionError);
+}
+
+TEST(Ft, RunVerifies) {
+  const FtResult r = run_ft(16, 16, 16, 4);
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(r.roundtrip_error, 1e-10);
+  EXPECT_EQ(r.checksums.size(), 4u);
+}
+
+TEST(Ft, HeatKernelDampsEnergyMonotonically) {
+  const FtResult r = run_ft(16, 16, 16, 6);
+  ASSERT_EQ(r.energies.size(), 6u);
+  for (std::size_t s = 1; s < r.energies.size(); ++s) {
+    EXPECT_LE(r.energies[s], r.energies[s - 1] * (1.0 + 1e-12)) << s;
+    EXPECT_LT(r.energies[s], r.energies[s - 1]) << s;  // strictly, here
+  }
+}
+
+TEST(Ft, DeterministicChecksums) {
+  const FtResult a = run_ft(8, 8, 8, 3);
+  const FtResult b = run_ft(8, 8, 8, 3);
+  for (std::size_t s = 0; s < a.checksums.size(); ++s) {
+    EXPECT_EQ(a.checksums[s], b.checksums[s]);
+  }
+}
+
+TEST(Ft, AnisotropicClassWShape) {
+  // Class W is 128x128x32; run the 4x-reduced shape to keep the test fast.
+  const FtResult r = run_ft(32, 32, 8, 2);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(Ft, RejectsBadIterationCount) {
+  EXPECT_THROW(run_ft(8, 8, 8, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bladed::npb

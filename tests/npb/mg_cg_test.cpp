@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "npb/cg.hpp"
+#include "npb/mg.hpp"
+
+namespace bladed::npb {
+namespace {
+
+TEST(Grid3Test, PeriodicWrapping) {
+  Grid3 g(8);
+  g.at(0, 0, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(g.at(8, 0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g.at(-8, 8, -16), 5.0);
+  g.at(7, 3, 2) = 2.0;
+  EXPECT_DOUBLE_EQ(g.at(-1, 3, 2), 2.0);
+}
+
+TEST(Grid3Test, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(Grid3(12), PreconditionError);
+  EXPECT_THROW(Grid3(1), PreconditionError);
+}
+
+TEST(Grid3Test, L2Norm) {
+  Grid3 g(4);
+  g.fill(2.0);
+  EXPECT_NEAR(g.l2_norm(), 2.0, 1e-12);
+}
+
+TEST(Mg, VcyclesReduceResidual) {
+  const MgResult r = run_mg(32, 5);
+  EXPECT_GT(r.initial_residual, 0.0);
+  EXPECT_LT(r.final_residual, 0.05 * r.initial_residual);
+  // Monotone decrease cycle over cycle.
+  double prev = r.initial_residual;
+  for (double res : r.residual_history) {
+    EXPECT_LT(res, prev);
+    prev = res;
+  }
+}
+
+TEST(Mg, ConvergenceFactorIsMultigridLike) {
+  // Textbook V-cycle factors for Poisson are << 1 per cycle; even a modest
+  // implementation should beat 0.6.
+  const MgResult r = run_mg(32, 5);
+  EXPECT_LT(r.convergence_factor(), 0.6);
+  EXPECT_GT(r.convergence_factor(), 0.0);
+}
+
+TEST(Mg, WorksAcrossGridSizes) {
+  for (int n : {8, 16, 64}) {
+    const MgResult r = run_mg(n, 3);
+    EXPECT_LT(r.final_residual, r.initial_residual) << n;
+  }
+}
+
+TEST(Mg, OpsScaleRoughlyLinearlyInPoints) {
+  const MgResult a = run_mg(16, 2);
+  const MgResult b = run_mg(32, 2);
+  const double ratio = static_cast<double>(b.ops.flops()) /
+                       static_cast<double>(a.ops.flops());
+  EXPECT_NEAR(ratio, 8.0, 1.5);  // 8x the points, same cycles
+}
+
+TEST(Mg, DeterministicForFixedSeed) {
+  const MgResult a = run_mg(16, 3);
+  const MgResult b = run_mg(16, 3);
+  EXPECT_DOUBLE_EQ(a.final_residual, b.final_residual);
+}
+
+TEST(Mg, RejectsBadArguments) {
+  EXPECT_THROW(run_mg(12, 1), PreconditionError);  // not a power of two
+  EXPECT_THROW(run_mg(16, 0), PreconditionError);
+}
+
+TEST(Cg, MatrixIsSymmetricAndDiagonallyDominant) {
+  const SparseMatrix a = make_spd_matrix(500, 7, 10.0, 42);
+  EXPECT_TRUE(a.is_symmetric());
+  for (int i = 0; i < a.n; ++i) {
+    double diag = 0.0, off = 0.0;
+    for (int p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+      if (a.col[static_cast<std::size_t>(p)] == i) {
+        diag = a.val[static_cast<std::size_t>(p)];
+      } else {
+        off += std::fabs(a.val[static_cast<std::size_t>(p)]);
+      }
+    }
+    EXPECT_GT(diag, off) << "row " << i;
+  }
+}
+
+TEST(Cg, MultiplyMatchesDenseReference) {
+  const SparseMatrix a = make_spd_matrix(40, 4, 5.0, 7);
+  std::vector<double> x(40);
+  for (int i = 0; i < 40; ++i) x[static_cast<std::size_t>(i)] = 0.1 * i - 2.0;
+  std::vector<double> y;
+  a.multiply(x, y);
+  // Dense recompute.
+  for (int i = 0; i < 40; ++i) {
+    double s = 0.0;
+    for (int p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+      s += a.val[static_cast<std::size_t>(p)] *
+           x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(p)])];
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], s, 1e-14);
+  }
+}
+
+TEST(Cg, InnerResidualDecreasesMonotonically) {
+  const CgResult r = run_cg(1000, 7, 1, 10.0);
+  for (std::size_t i = 1; i < r.residual_history.size(); ++i) {
+    EXPECT_LT(r.residual_history[i], r.residual_history[i - 1]) << i;
+  }
+  EXPECT_LT(r.final_cg_residual, 1e-8 * r.residual_history.front());
+}
+
+TEST(Cg, ZetaApproachesSmallestEigenvalueScale) {
+  // zeta = shift + 1/(x.z) converges to shift + lambda_min. Our matrix has
+  // diagonal shift + rowsum and off-diagonal row sums equal to rowsum, so
+  // Gershgorin puts lambda_min in [shift, shift + 2*max_rowsum]: zeta lies
+  // in [2*shift, 2*shift + 2*max_rowsum].
+  const CgResult r = run_cg(1000, 7, 4, 10.0);
+  EXPECT_GT(r.zeta, 20.0);
+  EXPECT_LT(r.zeta, 20.0 + 16.0);
+}
+
+TEST(Cg, DeterministicAndSeedSensitive) {
+  const CgResult a = run_cg(300, 5, 2, 8.0, 1);
+  const CgResult b = run_cg(300, 5, 2, 8.0, 1);
+  const CgResult c = run_cg(300, 5, 2, 8.0, 2);
+  EXPECT_DOUBLE_EQ(a.zeta, b.zeta);
+  EXPECT_NE(a.zeta, c.zeta);
+}
+
+TEST(Cg, RejectsBadArguments) {
+  EXPECT_THROW(make_spd_matrix(1, 1, 1.0, 0), PreconditionError);
+  EXPECT_THROW(make_spd_matrix(10, 0, 1.0, 0), PreconditionError);
+  EXPECT_THROW(run_cg(100, 5, 0, 10.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bladed::npb

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/cost_model.hpp"
+#include "arch/registry.hpp"
+#include "npb/suite.hpp"
+
+namespace bladed::npb {
+namespace {
+
+/// Shared fixture so the suite is run once for all Table 3 shape checks.
+class Table3Shape : public ::testing::Test {
+ protected:
+  static const std::vector<KernelRun>& kernels() {
+    static const std::vector<KernelRun> k = table3_kernels();
+    return k;
+  }
+  static double mops(const KernelRun& k, const char* cpu) {
+    return arch::estimate(arch::by_short_name(cpu), k.profile).mops;
+  }
+  static double geomean_ratio(const char* num, const char* den) {
+    double acc = 1.0;
+    for (const KernelRun& k : kernels()) acc *= mops(k, num) / mops(k, den);
+    return std::pow(acc, 1.0 / static_cast<double>(kernels().size()));
+  }
+};
+
+TEST_F(Table3Shape, TransmetaPerformsAsWellAsPentiumIII) {
+  // §3.4: "the 633-MHz Transmeta Crusoe TM5600 performs as well as the
+  // 500-MHz Intel Pentium III".
+  const double ratio = geomean_ratio("TM5600", "PIII");
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.45);
+}
+
+TEST_F(Table3Shape, TransmetaAboutOneThirdOfAthlon) {
+  // §3.4: "... and about one-third as well as the Athlon ...".
+  const double ratio = geomean_ratio("AthlonMP", "TM5600");
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST_F(Table3Shape, TransmetaAboutOneThirdOfPower3) {
+  // §3.4: "... and Power3 processors."
+  const double ratio = geomean_ratio("Power3", "TM5600");
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST_F(Table3Shape, EveryRatePositiveAndBelowPhysicalLimits) {
+  for (const KernelRun& k : kernels()) {
+    for (const char* cpu : {"AthlonMP", "PIII", "TM5600", "Power3"}) {
+      const auto& m = arch::by_short_name(cpu);
+      const double r = mops(k, cpu);
+      EXPECT_GT(r, 1.0) << k.name << " on " << cpu;
+      // Mop/s counts integer ops too, so the bound is issue width x clock.
+      EXPECT_LT(r, 6.0 * m.clock.value()) << k.name << " on " << cpu;
+    }
+  }
+}
+
+TEST_F(Table3Shape, SpIsTheSlowestCfdCodePerProcessor) {
+  // Scalar pentadiagonal recurrences extract the least ILP — SP trails BT
+  // and LU on every machine (true in the published NPB tables as well).
+  for (const char* cpu : {"AthlonMP", "PIII", "TM5600", "Power3"}) {
+    const double sp = mops(kernels()[1], cpu);
+    EXPECT_LT(sp, mops(kernels()[0], cpu)) << cpu;  // < BT
+    EXPECT_LT(sp, mops(kernels()[2], cpu)) << cpu;  // < LU
+  }
+}
+
+TEST_F(Table3Shape, MemoryBoundCodesPunishSlowMemorySystems) {
+  // IS (random scatter) gains more from Power3's memory system than EP
+  // (register-resident) does.
+  const double is_gain = mops(kernels()[5], "Power3") /
+                         mops(kernels()[5], "TM5600");
+  const double ep_gain = mops(kernels()[4], "Power3") /
+                         mops(kernels()[4], "TM5600");
+  EXPECT_GT(is_gain, ep_gain);
+}
+
+}  // namespace
+}  // namespace bladed::npb

@@ -1,0 +1,77 @@
+#include "ops/failures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace bladed::ops {
+namespace {
+
+TEST(OpsMonteCarlo, MeanFailuresMatchesPoissonRate) {
+  // Traditional: 0.25/node-yr x 24 nodes x 4 yr = 24 expected failures.
+  const MonteCarloResult mc = simulate(traditional_ops(), 4000, 11);
+  EXPECT_NEAR(mc.failures.mean, 24.0, 0.5);
+  // Poisson: variance == mean.
+  EXPECT_NEAR(mc.failures.stddev * mc.failures.stddev, 24.0, 2.5);
+}
+
+TEST(OpsMonteCarlo, MeanCostNearTable5Figures) {
+  // Traditional: 24 failures x 4 h x 24 CPUs x $5 = $11,520 expected.
+  const MonteCarloResult trad = simulate(traditional_ops(), 4000, 13);
+  EXPECT_NEAR(trad.downtime_cost.mean, 11520.0, 600.0);
+  // Bladed: 4 failures x 1 h x 1 CPU x $5 = $20 expected.
+  const MonteCarloResult blade = simulate(bladed_ops(), 4000, 13);
+  EXPECT_NEAR(blade.downtime_cost.mean, 20.0, 3.0);
+}
+
+TEST(OpsMonteCarlo, TailRiskIsAlsoOrdersOfMagnitudeApart) {
+  const MonteCarloResult trad = simulate(traditional_ops(), 2000, 17);
+  const MonteCarloResult blade = simulate(bladed_ops(), 2000, 17);
+  EXPECT_GT(trad.p95_cost, 100.0 * blade.p95_cost);
+  EXPECT_GE(trad.p95_cost, trad.downtime_cost.mean);
+}
+
+TEST(OpsMonteCarlo, HotPluggableKeepsAvailabilityAtOne) {
+  const MonteCarloResult blade = simulate(bladed_ops(), 500, 19);
+  EXPECT_DOUBLE_EQ(blade.availability.min, 1.0);
+  const MonteCarloResult trad = simulate(traditional_ops(), 500, 19);
+  EXPECT_LT(trad.availability.mean, 1.0);
+  EXPECT_GT(trad.availability.mean, 0.99);  // still "three nines"-ish
+}
+
+TEST(OpsMonteCarlo, ZeroFailureRateCostsNothing) {
+  OperationsConfig cfg = traditional_ops();
+  cfg.failures_per_node_year = 0.0;
+  Rng rng(1);
+  const Outcome o = simulate_once(cfg, rng);
+  EXPECT_EQ(o.failures, 0);
+  EXPECT_DOUBLE_EQ(o.downtime_cost.value(), 0.0);
+  EXPECT_DOUBLE_EQ(o.availability, 1.0);
+}
+
+TEST(OpsMonteCarlo, DeterministicForFixedSeed) {
+  const MonteCarloResult a = simulate(traditional_ops(), 100, 42);
+  const MonteCarloResult b = simulate(traditional_ops(), 100, 42);
+  EXPECT_DOUBLE_EQ(a.downtime_cost.mean, b.downtime_cost.mean);
+  EXPECT_EQ(a.trials.size(), b.trials.size());
+}
+
+TEST(OpsMonteCarlo, FasterDiagnosisCutsCostProportionally) {
+  OperationsConfig slow = traditional_ops();
+  OperationsConfig fast = traditional_ops();
+  fast.repair.diagnosis = Hours(1.0);  // 4h outage -> 2h outage
+  const MonteCarloResult s = simulate(slow, 2000, 23);
+  const MonteCarloResult f = simulate(fast, 2000, 23);
+  EXPECT_NEAR(f.downtime_cost.mean / s.downtime_cost.mean, 0.5, 0.05);
+}
+
+TEST(OpsMonteCarlo, RejectsBadArguments) {
+  OperationsConfig cfg = traditional_ops();
+  cfg.nodes = 0;
+  Rng rng(1);
+  EXPECT_THROW(simulate_once(cfg, rng), PreconditionError);
+  EXPECT_THROW(simulate(traditional_ops(), 0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bladed::ops

@@ -1,0 +1,101 @@
+#include "simnet/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace bladed::simnet {
+namespace {
+
+TEST(NetworkModel, WireTimeIncludesHeaders) {
+  NetworkModel n;
+  n.bandwidth = 1e6;
+  n.header_bytes = 100;
+  EXPECT_DOUBLE_EQ(n.wire_time(900), 1e-3);
+}
+
+TEST(NetworkModel, UncontendedLatencyDominatesSmallMessages) {
+  const NetworkModel n = NetworkModel::fast_ethernet();
+  const double t8 = n.uncontended(8);
+  EXPECT_GT(t8, n.latency);
+  EXPECT_LT(t8, 3.0 * (n.latency + n.send_overhead) + 1e-3);
+}
+
+TEST(NetworkModel, BandwidthDominatesLargeMessages) {
+  const NetworkModel n = NetworkModel::fast_ethernet();
+  const double mb = 1 << 20;
+  // A 1-MB transfer at ~11 MB/s takes ~0.1 s per link crossing.
+  EXPECT_NEAR(n.uncontended(1 << 20), 2.0 * mb / n.bandwidth, 0.02);
+}
+
+TEST(NetworkModel, GigabitFasterThanFastEthernet) {
+  const NetworkModel fe = NetworkModel::fast_ethernet();
+  const NetworkModel ge = NetworkModel::gigabit();
+  EXPECT_LT(ge.uncontended(1 << 16), fe.uncontended(1 << 16));
+}
+
+TEST(LinkTimeline, UncontendedDelivery) {
+  NetworkModel n;
+  n.latency = 1e-4;
+  n.bandwidth = 1e7;
+  n.header_bytes = 0;
+  LinkTimeline links(4, n);
+  // depart at t=0; 10000 bytes -> 1 ms per link crossing, 0.1 ms latency.
+  const double at = links.schedule(0, 1, 10000, 0.0);
+  EXPECT_NEAR(at, 1e-3 + 1e-4 + 1e-3, 1e-12);
+}
+
+TEST(LinkTimeline, SenderLinkSerializesBackToBackSends) {
+  NetworkModel n;
+  n.latency = 0.0;
+  n.bandwidth = 1e6;
+  n.header_bytes = 0;
+  LinkTimeline links(4, n);
+  const double a1 = links.schedule(0, 1, 1000, 0.0);  // 1 ms out + 1 ms in
+  const double a2 = links.schedule(0, 2, 1000, 0.0);  // queues on 0's egress
+  EXPECT_NEAR(a1, 2e-3, 1e-12);
+  EXPECT_NEAR(a2, 3e-3, 1e-12);  // out 1..2 ms, in 2..3 ms
+}
+
+TEST(LinkTimeline, ReceiverLinkIsTheIncastBottleneck) {
+  NetworkModel n;
+  n.latency = 0.0;
+  n.bandwidth = 1e6;
+  n.header_bytes = 0;
+  LinkTimeline links(4, n);
+  // Three senders to node 3 at t=0: ingress serializes them.
+  const double a = links.schedule(0, 3, 1000, 0.0);
+  const double b = links.schedule(1, 3, 1000, 0.0);
+  const double c = links.schedule(2, 3, 1000, 0.0);
+  EXPECT_NEAR(a, 2e-3, 1e-12);
+  EXPECT_NEAR(b, 3e-3, 1e-12);
+  EXPECT_NEAR(c, 4e-3, 1e-12);
+}
+
+TEST(LinkTimeline, CountsTraffic) {
+  NetworkModel n;
+  n.header_bytes = 58;
+  LinkTimeline links(2, n);
+  links.schedule(0, 1, 1000, 0.0);
+  links.schedule(1, 0, 500, 0.0);
+  EXPECT_EQ(links.messages_carried(), 2u);
+  EXPECT_EQ(links.bytes_carried(), 1000u + 500u + 2u * 58u);
+}
+
+TEST(LinkTimeline, ResetClearsState) {
+  LinkTimeline links(2, NetworkModel::fast_ethernet());
+  links.schedule(0, 1, 1 << 20, 0.0);
+  links.reset();
+  EXPECT_EQ(links.messages_carried(), 0u);
+  const double at = links.schedule(0, 1, 0, 0.0);
+  EXPECT_LT(at, 1e-3);  // no residual occupancy
+}
+
+TEST(LinkTimeline, RejectsLoopbackAndBadNodes) {
+  LinkTimeline links(2, NetworkModel::fast_ethernet());
+  EXPECT_THROW(links.schedule(0, 0, 1, 0.0), PreconditionError);
+  EXPECT_THROW(links.schedule(0, 5, 1, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bladed::simnet

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "treecode/direct.hpp"
+#include "treecode/ic.hpp"
+#include "treecode/traverse.hpp"
+
+namespace bladed::treecode {
+namespace {
+
+TEST(DirectForces, TwoBodyAnalytic) {
+  // Two unit masses 2 apart, negligible softening: |a| = Gm/r^2 = 1/4.
+  ParticleSet p;
+  p.add(-1.0, 0.0, 0.0, 1.0);
+  p.add(1.0, 0.0, 0.0, 1.0);
+  GravityParams g;
+  g.softening = 1e-9;
+  compute_forces_direct(p, g);
+  EXPECT_NEAR(p.ax[0], 0.25, 1e-9);
+  EXPECT_NEAR(p.ax[1], -0.25, 1e-9);
+  EXPECT_NEAR(p.ay[0], 0.0, 1e-12);
+  // Potential of each: -Gm/r = -0.5.
+  EXPECT_NEAR(p.pot[0], -0.5, 1e-9);
+  // Total potential energy: 0.5 * sum m phi = -0.5.
+  EXPECT_NEAR(p.potential_energy(), -0.5, 1e-9);
+}
+
+TEST(DirectForces, NewtonsThirdLawMomentumConservation) {
+  ParticleSet p = plummer_sphere(300, 61);
+  GravityParams g;
+  compute_forces_direct(p, g);
+  double fx = 0, fy = 0, fz = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    fx += p.m[i] * p.ax[i];
+    fy += p.m[i] * p.ay[i];
+    fz += p.m[i] * p.az[i];
+  }
+  EXPECT_NEAR(fx, 0.0, 1e-10);
+  EXPECT_NEAR(fy, 0.0, 1e-10);
+  EXPECT_NEAR(fz, 0.0, 1e-10);
+}
+
+TEST(TreeForces, MatchDirectWithinThetaBound) {
+  ParticleSet p = plummer_sphere(3000, 67);
+  Octree tree = Octree::build(p);
+  GravityParams g;
+  g.theta = 0.7;
+  p.zero_accelerations();
+  compute_forces(p, tree, g);
+  ParticleSet ref = p;
+  ref.zero_accelerations();
+  compute_forces_direct(ref, g);
+  EXPECT_LT(rms_force_error(p, ref), 0.01);  // ~1% at theta=0.7, monopole
+}
+
+TEST(TreeForces, ThetaZeroPointOneIsNearlyExact) {
+  ParticleSet p = plummer_sphere(800, 71);
+  Octree tree = Octree::build(p);
+  GravityParams g;
+  g.theta = 0.1;
+  p.zero_accelerations();
+  compute_forces(p, tree, g);
+  ParticleSet ref = p;
+  ref.zero_accelerations();
+  compute_forces_direct(ref, g);
+  EXPECT_LT(rms_force_error(p, ref), 2e-4);
+}
+
+class ThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThetaSweep, ErrorGrowsMonotonicallyWithThetaButStaysBounded) {
+  const double theta = GetParam();
+  ParticleSet p = plummer_sphere(1500, 73);
+  Octree tree = Octree::build(p);
+  GravityParams g;
+  g.theta = theta;
+  p.zero_accelerations();
+  const TraversalStats st = compute_forces(p, tree, g);
+  ParticleSet ref = p;
+  ref.zero_accelerations();
+  compute_forces_direct(ref, g);
+  const double err = rms_force_error(p, ref);
+  // Generous O(theta^2..3) envelope for monopole BH.
+  EXPECT_LT(err, 0.04 * theta * theta + 1e-4) << theta;
+  EXPECT_GT(st.interactions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ThetaSweep,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 1.0));
+
+TEST(TreeForces, LargerThetaMeansFewerInteractions) {
+  ParticleSet p = plummer_sphere(4000, 79);
+  Octree tree = Octree::build(p);
+  GravityParams tight;
+  tight.theta = 0.3;
+  GravityParams loose;
+  loose.theta = 1.0;
+  ParticleSet a = p, b = p;
+  a.zero_accelerations();
+  b.zero_accelerations();
+  const auto st_tight = compute_forces(a, tree, tight);
+  const auto st_loose = compute_forces(b, tree, loose);
+  EXPECT_GT(st_tight.interactions(), 2 * st_loose.interactions());
+}
+
+TEST(TreeForces, KarpAndLibmKernelsAgree) {
+  ParticleSet p = plummer_sphere(1000, 83);
+  Octree tree = Octree::build(p);
+  GravityParams karp;
+  karp.rsqrt = RsqrtImpl::kKarp;
+  GravityParams libm;
+  libm.rsqrt = RsqrtImpl::kLibm;
+  ParticleSet a = p, b = p;
+  a.zero_accelerations();
+  b.zero_accelerations();
+  compute_forces(a, tree, karp);
+  compute_forces(b, tree, libm);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(a.ax[i], b.ax[i],
+                1e-12 * std::max(1.0, std::fabs(b.ax[i])))
+        << i;
+  }
+  EXPECT_LT(rms_force_error(a, b), 1e-13);
+}
+
+TEST(TreeForces, OpCountsMatchEventCounts) {
+  ParticleSet p = plummer_sphere(2000, 89);
+  Octree tree = Octree::build(p);
+  GravityParams g;
+  p.zero_accelerations();
+  const TraversalStats st = compute_forces(p, tree, g);
+  const OpCounter expected =
+      interaction_ops(g.rsqrt) * st.interactions() +
+      mac_test_ops() * st.mac_tests;
+  // Traversal adds per-visit bookkeeping on top of the kernel ops.
+  EXPECT_GE(st.ops.iop, expected.iop);
+  EXPECT_EQ(st.ops.fsqrt, expected.fsqrt);
+  EXPECT_EQ(st.ops.fdiv, expected.fdiv);
+  EXPECT_EQ(st.ops.fmul, expected.fmul);
+  EXPECT_EQ(st.ops.fadd, expected.fadd);
+}
+
+TEST(TreeForces, PartialRangeMatchesFullEvaluation) {
+  ParticleSet p = plummer_sphere(600, 97);
+  Octree tree = Octree::build(p);
+  GravityParams g;
+  ParticleSet full = p;
+  full.zero_accelerations();
+  compute_forces(full, tree, g);
+  ParticleSet halves = p;
+  halves.zero_accelerations();
+  compute_forces(halves, tree, g, 0, 300);
+  compute_forces(halves, tree, g, 300, 600);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    ASSERT_DOUBLE_EQ(halves.ax[i], full.ax[i]);
+    ASSERT_DOUBLE_EQ(halves.pot[i], full.pot[i]);
+  }
+}
+
+TEST(TreeForces, SofteningBoundsCloseEncounters) {
+  ParticleSet p;
+  p.add(0.0, 0.0, 0.0, 1.0);
+  p.add(1e-9, 0.0, 0.0, 1.0);  // nearly coincident
+  GravityParams g;
+  g.softening = 0.01;
+  Octree tree = Octree::build(p);
+  p.zero_accelerations();
+  compute_forces(p, tree, g);
+  // Softened force stays finite: |a| <= Gm * r / eps^3.
+  EXPECT_LT(std::fabs(p.ax[0]), 1e-9 / std::pow(0.01, 3) + 1.0);
+  EXPECT_TRUE(std::isfinite(p.pot[0]));
+}
+
+TEST(TreeForces, RejectsBadArguments) {
+  ParticleSet p = uniform_cube(50, 1);
+  Octree tree = Octree::build(p);
+  GravityParams g;
+  EXPECT_THROW(compute_forces(p, tree, g, 10, 5), PreconditionError);
+  g.theta = 0.0;
+  EXPECT_THROW(compute_forces(p, tree, g), PreconditionError);
+  ParticleSet other = uniform_cube(20, 2);
+  GravityParams ok;
+  EXPECT_THROW(compute_forces(other, tree, ok), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bladed::treecode

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "treecode/direct.hpp"
+#include "treecode/ic.hpp"
+#include "treecode/traverse.hpp"
+
+namespace bladed::treecode {
+namespace {
+
+TEST(GroupedTraversal, AtLeastAsAccurateAsPerParticle) {
+  // The group MAC is evaluated at the cell's closest approach, so it is
+  // strictly more conservative: the grouped error can only match or beat
+  // the per-particle error at equal theta.
+  ParticleSet base = plummer_sphere(4000, 301);
+  Octree tree = Octree::build(base);
+  GravityParams g;
+  g.theta = 0.8;
+  ParticleSet per = base, grp = base, exact = base;
+  for (ParticleSet* s : {&per, &grp, &exact}) s->zero_accelerations();
+  compute_forces(per, tree, g);
+  compute_forces_grouped(grp, tree, g);
+  compute_forces_direct(exact, g);
+  EXPECT_LE(rms_force_error(grp, exact),
+            rms_force_error(per, exact) * 1.05);
+  EXPECT_LT(rms_force_error(grp, exact), 0.01);
+}
+
+TEST(GroupedTraversal, AmortizesMacTestsAcrossTheGroup) {
+  ParticleSet base = plummer_sphere(8000, 307);
+  TreeParams params;
+  params.leaf_capacity = 32;
+  Octree tree = Octree::build(base, params);
+  GravityParams g;
+  ParticleSet per = base, grp = base;
+  per.zero_accelerations();
+  grp.zero_accelerations();
+  const TraversalStats sp = compute_forces(per, tree, g);
+  const TraversalStats sg = compute_forces_grouped(grp, tree, g);
+  // Far fewer MAC tests / node visits...
+  EXPECT_LT(sg.mac_tests * 4, sp.mac_tests);
+  EXPECT_LT(sg.visited * 4, sp.visited);
+  // ...at the cost of a somewhat longer interaction list.
+  EXPECT_GE(sg.interactions(), sp.interactions());
+  EXPECT_LT(sg.interactions(), 3 * sp.interactions());
+}
+
+TEST(GroupedTraversal, TinyThetaDegeneratesToDirectSummation) {
+  ParticleSet base = uniform_cube(300, 311);
+  Octree tree = Octree::build(base);
+  GravityParams g;
+  g.theta = 1e-3;
+  ParticleSet grp = base, exact = base;
+  grp.zero_accelerations();
+  exact.zero_accelerations();
+  compute_forces_grouped(grp, tree, g);
+  compute_forces_direct(exact, g);
+  EXPECT_LT(rms_force_error(grp, exact), 1e-12);
+}
+
+TEST(GroupedTraversal, QuadrupoleSupported) {
+  ParticleSet base = plummer_sphere(3000, 313);
+  Octree tree = Octree::build(base);
+  GravityParams mono;
+  mono.theta = 0.9;
+  GravityParams quad = mono;
+  quad.quadrupole = true;
+  ParticleSet a = base, b = base, exact = base;
+  for (ParticleSet* s : {&a, &b, &exact}) s->zero_accelerations();
+  compute_forces_grouped(a, tree, mono);
+  const TraversalStats sq = compute_forces_grouped(b, tree, quad);
+  compute_forces_direct(exact, mono);
+  EXPECT_GT(sq.pn_quad, 0u);
+  EXPECT_LT(rms_force_error(b, exact), rms_force_error(a, exact));
+}
+
+TEST(GroupedTraversal, LargerGroupsFewerWalks) {
+  ParticleSet base = plummer_sphere(6000, 317);
+  GravityParams g;
+  std::uint64_t prev_macs = ~0ULL;
+  for (int cap : {8, 32, 128}) {
+    ParticleSet p = base;
+    TreeParams params;
+    params.leaf_capacity = cap;
+    Octree tree = Octree::build(p, params);
+    p.zero_accelerations();
+    const TraversalStats st = compute_forces_grouped(p, tree, g);
+    EXPECT_LT(st.mac_tests, prev_macs) << cap;
+    prev_macs = st.mac_tests;
+  }
+}
+
+TEST(GroupedTraversal, KarpAndLibmAgree) {
+  ParticleSet base = plummer_sphere(1000, 331);
+  Octree tree = Octree::build(base);
+  GravityParams karp;
+  GravityParams libm;
+  libm.rsqrt = RsqrtImpl::kLibm;
+  ParticleSet a = base, b = base;
+  a.zero_accelerations();
+  b.zero_accelerations();
+  compute_forces_grouped(a, tree, karp);
+  compute_forces_grouped(b, tree, libm);
+  EXPECT_LT(rms_force_error(a, b), 1e-13);
+}
+
+TEST(GroupedTraversal, OpsAccounted) {
+  ParticleSet base = plummer_sphere(2000, 337);
+  Octree tree = Octree::build(base);
+  base.zero_accelerations();
+  const TraversalStats st =
+      compute_forces_grouped(base, tree, GravityParams{});
+  EXPECT_EQ(st.ops.fmul,
+            (interaction_ops(RsqrtImpl::kKarp) * st.interactions() +
+             mac_test_ops() * st.mac_tests)
+                .fmul);
+}
+
+TEST(GroupedTraversal, RejectsMismatchedTree) {
+  ParticleSet p = uniform_cube(100, 1);
+  Octree tree = Octree::build(p);
+  ParticleSet other = uniform_cube(50, 2);
+  EXPECT_THROW(compute_forces_grouped(other, tree, GravityParams{}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace bladed::treecode

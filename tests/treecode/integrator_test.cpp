@@ -1,0 +1,146 @@
+#include "treecode/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "treecode/direct.hpp"
+#include "treecode/ic.hpp"
+
+namespace bladed::treecode {
+namespace {
+
+TEST(Plummer, VirialEquilibriumApproximately) {
+  // A relaxed Plummer model satisfies 2K + W ~ 0.
+  ParticleSet p = plummer_sphere(8000, 101);
+  GravityParams g;
+  g.softening = 1e-3;
+  compute_forces_direct(p, g);
+  const double K = p.kinetic_energy();
+  const double W = p.potential_energy();
+  EXPECT_NEAR(2.0 * K / std::fabs(W), 1.0, 0.12);
+}
+
+TEST(Plummer, CenteredAndAtRest) {
+  const ParticleSet p = plummer_sphere(5000, 103);
+  const auto com = p.center_of_mass();
+  EXPECT_NEAR(com.x, 0.0, 1e-12);
+  EXPECT_NEAR(com.vx, 0.0, 1e-12);
+  EXPECT_NEAR(p.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Leapfrog, TwoBodyCircularOrbitClosesOnItself) {
+  // Equal masses m=0.5 on a circular orbit of radius 1 about the origin:
+  // v^2 = G m_other / (2 r) with separation 2r -> a = G*0.5/4 = v^2/r.
+  ParticleSet p;
+  p.add(-1.0, 0.0, 0.0, 0.5);
+  p.add(1.0, 0.0, 0.0, 0.5);
+  const double v = std::sqrt(0.5 / 4.0);  // 0.3536
+  p.vy[0] = -v;
+  p.vy[1] = v;
+  GravityParams g;
+  g.softening = 1e-9;
+  g.theta = 0.1;
+  const double r = 1.0;
+  const double period = 2.0 * M_PI * r / v;
+  const int steps = 2000;
+  LeapfrogIntegrator integ(g, TreeParams{}, period / steps);
+  for (int i = 0; i < steps; ++i) integ.step(p);
+  // After one period the bodies return to their initial positions (the
+  // Morton sort may have swapped their indices; compare as a set).
+  EXPECT_NEAR(std::min(p.x[0], p.x[1]), -1.0, 0.01);
+  EXPECT_NEAR(std::max(p.x[0], p.x[1]), 1.0, 0.01);
+  EXPECT_NEAR(p.y[0], 0.0, 0.01);
+  EXPECT_NEAR(p.y[1], 0.0, 0.01);
+}
+
+TEST(Leapfrog, EnergyConservedOverManySteps) {
+  ParticleSet p = plummer_sphere(1500, 107);
+  GravityParams g;
+  g.softening = 5e-3;
+  g.theta = 0.5;
+  LeapfrogIntegrator integ(g, TreeParams{}, 1e-3);
+  const StepStats first = integ.step(p);
+  const double e0 = first.total_energy();
+  StepStats last = first;
+  for (int i = 0; i < 40; ++i) last = integ.step(p);
+  EXPECT_LT(std::fabs(last.total_energy() - e0) / std::fabs(e0), 5e-3);
+}
+
+TEST(Leapfrog, MomentumConservedByTimeIntegration) {
+  ParticleSet p = plummer_sphere(800, 109);
+  GravityParams g;
+  LeapfrogIntegrator integ(g, TreeParams{}, 1e-3);
+  for (int i = 0; i < 10; ++i) integ.step(p);
+  const auto com = p.center_of_mass();
+  // Tree-approximate forces do not exactly cancel, but drift stays tiny.
+  EXPECT_NEAR(com.vx, 0.0, 1e-4);
+  EXPECT_NEAR(com.vy, 0.0, 1e-4);
+  EXPECT_NEAR(com.vz, 0.0, 1e-4);
+}
+
+TEST(Leapfrog, TimeReversalRecoversInitialState) {
+  // Integrate forward 20 steps, negate velocities, integrate 20 more:
+  // leapfrog is time-reversible up to floating-point noise.
+  ParticleSet p = plummer_sphere(300, 113);
+  const ParticleSet initial = p;
+  GravityParams g;
+  g.theta = 0.4;
+  LeapfrogIntegrator fwd(g, TreeParams{}, 5e-4);
+  for (int i = 0; i < 20; ++i) fwd.step(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.vx[i] = -p.vx[i];
+    p.vy[i] = -p.vy[i];
+    p.vz[i] = -p.vz[i];
+  }
+  LeapfrogIntegrator bwd(g, TreeParams{}, 5e-4);
+  for (int i = 0; i < 20; ++i) bwd.step(p);
+  // Compare positions to the start (order changed by Morton sorting, so
+  // compare sorted coordinate multisets).
+  auto sorted = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  const auto xs = sorted(p.x);
+  const auto xs0 = sorted(initial.x);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(xs[i], xs0[i], 1e-6);
+  }
+}
+
+TEST(Leapfrog, RunAccumulatesStats) {
+  ParticleSet p = plummer_sphere(500, 127);
+  GravityParams g;
+  LeapfrogIntegrator integ(g, TreeParams{}, 1e-3);
+  const StepStats s = integ.run(p, 3);
+  EXPECT_GT(s.traversal.interactions(), 0u);
+  EXPECT_GT(s.build_ops.flops(), 0u);
+  EXPECT_LT(s.potential, 0.0);
+  EXPECT_GT(s.kinetic, 0.0);
+}
+
+TEST(Leapfrog, RejectsBadConfiguration) {
+  GravityParams g;
+  EXPECT_THROW(LeapfrogIntegrator(g, TreeParams{}, 0.0), PreconditionError);
+  LeapfrogIntegrator integ(g, TreeParams{}, 1e-3);
+  ParticleSet p = uniform_cube(10, 1);
+  EXPECT_THROW(integ.run(p, 0), PreconditionError);
+}
+
+TEST(CollidingPair, StartsSeparatedAndApproaching) {
+  const ParticleSet p = colliding_pair(2000, 131, 6.0, 0.3);
+  // Mean x of the left half is negative, right half positive.
+  double left = 0, right = 0;
+  for (std::size_t i = 0; i < 1000; ++i) left += p.x[i];
+  for (std::size_t i = 1000; i < 2000; ++i) right += p.x[i];
+  EXPECT_LT(left / 1000, -2.0);
+  EXPECT_GT(right / 1000, 2.0);
+  // Closing velocity.
+  double vleft = 0;
+  for (std::size_t i = 0; i < 1000; ++i) vleft += p.vx[i];
+  EXPECT_GT(vleft / 1000, 0.1);
+}
+
+}  // namespace
+}  // namespace bladed::treecode

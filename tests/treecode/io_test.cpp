@@ -1,0 +1,97 @@
+#include "treecode/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "treecode/ic.hpp"
+
+namespace bladed::treecode {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SnapshotIo, BinaryRoundTripIsExact) {
+  ParticleSet p = plummer_sphere(1234, 31);
+  const std::string path = temp_path("roundtrip.bin");
+  save_snapshot(p, path);
+  const ParticleSet q = load_snapshot(path);
+  ASSERT_EQ(q.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    ASSERT_EQ(q.x[i], p.x[i]);
+    ASSERT_EQ(q.vy[i], p.vy[i]);
+    ASSERT_EQ(q.m[i], p.m[i]);
+  }
+  // Derived state is reset.
+  for (double a : q.ax) ASSERT_EQ(a, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, DetectsCorruption) {
+  ParticleSet p = uniform_cube(100, 37);
+  const std::string path = temp_path("corrupt.bin");
+  save_snapshot(p, path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64);
+    const char junk = 'X';
+    f.write(&junk, 1);
+  }
+  EXPECT_THROW((void)load_snapshot(path), SimulationError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, RejectsForeignFiles) {
+  const std::string path = temp_path("notasnapshot.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a snapshot at all, not even close";
+  }
+  EXPECT_THROW((void)load_snapshot(path), SimulationError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_snapshot(temp_path("does_not_exist.bin")),
+               SimulationError);
+}
+
+TEST(CsvIo, WritesHeaderAndAllRows) {
+  ParticleSet p = uniform_cube(50, 41);
+  const std::string path = temp_path("all.csv");
+  write_csv(p, path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,y,z,m");
+  int rows = 0;
+  while (std::getline(f, line)) ++rows;
+  EXPECT_EQ(rows, 50);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, ThinningBoundsRowCount) {
+  ParticleSet p = uniform_cube(1000, 43);
+  const std::string path = temp_path("thin.csv");
+  write_csv(p, path, 100);
+  std::ifstream f(path);
+  std::string line;
+  int rows = -1;  // minus the header
+  while (std::getline(f, line)) ++rows;
+  EXPECT_GE(rows, 100);
+  EXPECT_LE(rows, 200);  // stride rounding
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, UnwritablePathThrows) {
+  const ParticleSet p = uniform_cube(5, 47);
+  EXPECT_THROW(write_csv(p, "/nonexistent_dir_xyz/out.csv"),
+               SimulationError);
+}
+
+}  // namespace
+}  // namespace bladed::treecode

@@ -1,0 +1,210 @@
+#include "treecode/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/registry.hpp"
+#include "common/error.hpp"
+#include "treecode/direct.hpp"
+#include "treecode/ic.hpp"
+#include "treecode/perf.hpp"
+
+namespace bladed::treecode {
+namespace {
+
+ParallelConfig base_config(int ranks, std::size_t n) {
+  ParallelConfig cfg;
+  cfg.ranks = ranks;
+  cfg.particles = n;
+  cfg.steps = 1;
+  cfg.cpu = &arch::tm5600_633();
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(CollectLet, DistantBoxGetsFewElements) {
+  ParticleSet p = plummer_sphere(4000, 137);
+  const Octree tree = Octree::build(p);
+  BoundingBox far;
+  far.lo[0] = 100.0;
+  far.lo[1] = 100.0;
+  far.lo[2] = 100.0;
+  far.extent = 1.0;
+  const auto let = collect_let(tree, p, far, 0.7);
+  // From far away the whole cluster collapses to a handful of cells.
+  EXPECT_LT(let.size(), 64u);
+  EXPECT_GE(let.size(), 1u);
+  // Mass is conserved by the export.
+  double mass = 0.0;
+  for (const auto& e : let) mass += e.m;
+  EXPECT_NEAR(mass, p.total_mass(), 1e-9);
+}
+
+TEST(CollectLet, OverlappingBoxGetsEverythingAsParticles) {
+  ParticleSet p = uniform_cube(500, 139);
+  const Octree tree = Octree::build(p);
+  const BoundingBox self_box = tree.box();
+  const auto let = collect_let(tree, p, self_box, 0.7);
+  // An observer box covering the source must receive (at least) every
+  // particle individually — no cell can satisfy the MAC at distance 0.
+  EXPECT_EQ(let.size(), p.size());
+}
+
+TEST(CollectLet, CloserBoxesNeedMoreDetail) {
+  ParticleSet p = plummer_sphere(4000, 149);
+  const Octree tree = Octree::build(p);
+  auto count_at = [&](double d) {
+    BoundingBox b;
+    b.lo[0] = d;
+    b.lo[1] = 0.0;
+    b.lo[2] = 0.0;
+    b.extent = 1.0;
+    return collect_let(tree, p, b, 0.7).size();
+  };
+  EXPECT_GT(count_at(3.0), count_at(10.0));
+  EXPECT_GT(count_at(10.0), count_at(100.0));
+}
+
+TEST(CollectLet, MassConservedAtAnyDistance) {
+  ParticleSet p = plummer_sphere(2000, 151);
+  const Octree tree = Octree::build(p);
+  for (double d : {2.0, 5.0, 20.0, 200.0}) {
+    BoundingBox b;
+    b.lo[0] = d;
+    b.lo[1] = -0.5;
+    b.lo[2] = -0.5;
+    b.extent = 1.0;
+    const auto let = collect_let(tree, p, b, 0.7);
+    double mass = 0.0;
+    for (const auto& e : let) mass += e.m;
+    EXPECT_NEAR(mass, p.total_mass(), 1e-9) << d;
+  }
+}
+
+TEST(ParallelNbody, SingleRankMatchesSerialPhysics) {
+  ParallelConfig cfg = base_config(1, 2000);
+  const ParallelResult res = run_parallel_nbody(cfg);
+  EXPECT_EQ(res.particles_out.size(), 2000u);
+  EXPECT_GT(res.kinetic, 0.0);
+  EXPECT_LT(res.potential, 0.0);
+  EXPECT_EQ(res.messages, 0u);  // no network traffic on one rank
+  EXPECT_GT(res.sustained_gflops, 0.0);
+}
+
+TEST(ParallelNbody, ForcesAgreeWithDirectSummation) {
+  // Run 4 ranks for one tiny step, then compare the final accelerations
+  // against direct summation on the same positions.
+  ParallelConfig cfg = base_config(4, 3000);
+  cfg.dt = 1e-9;  // effectively freeze positions
+  const ParallelResult res = run_parallel_nbody(cfg);
+  ParticleSet tree_result = res.particles_out;
+  ParticleSet ref = tree_result;
+  ref.zero_accelerations();
+  compute_forces_direct(ref, cfg.gravity);
+  EXPECT_LT(rms_force_error(tree_result, ref), 0.02);
+}
+
+TEST(ParallelNbody, EnergyAgreesAcrossRankCounts) {
+  // The physics must not depend on the decomposition: total energies for
+  // 1, 2 and 6 ranks agree to the tree-approximation level.
+  double e1 = 0.0;
+  for (int ranks : {1, 2, 6}) {
+    ParallelConfig cfg = base_config(ranks, 1800);
+    cfg.dt = 1e-4;
+    const ParallelResult res = run_parallel_nbody(cfg);
+    const double e = res.kinetic + res.potential;
+    if (ranks == 1) {
+      e1 = e;
+    } else {
+      EXPECT_NEAR(e, e1, 0.02 * std::fabs(e1)) << ranks;
+    }
+  }
+}
+
+TEST(ParallelNbody, MassConserved) {
+  ParallelConfig cfg = base_config(5, 2500);
+  const ParallelResult res = run_parallel_nbody(cfg);
+  EXPECT_NEAR(res.particles_out.total_mass(), 1.0, 1e-9);
+}
+
+TEST(ParallelNbody, DeterministicAcrossRuns) {
+  ParallelConfig cfg = base_config(3, 1200);
+  const ParallelResult a = run_parallel_nbody(cfg);
+  const ParallelResult b = run_parallel_nbody(cfg);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, b.elapsed_seconds);
+  EXPECT_EQ(a.total_flops, b.total_flops);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_DOUBLE_EQ(a.kinetic, b.kinetic);
+}
+
+TEST(ParallelNbody, MoreRanksShorterSimulatedTime) {
+  const std::size_t n = 12000;
+  ParallelConfig c1 = base_config(1, n);
+  ParallelConfig c8 = base_config(8, n);
+  const double t1 = run_parallel_nbody(c1).elapsed_seconds;
+  const double t8 = run_parallel_nbody(c8).elapsed_seconds;
+  EXPECT_LT(t8, t1);
+  const double speedup = t1 / t8;
+  EXPECT_GT(speedup, 3.0);   // real speedup...
+  EXPECT_LT(speedup, 8.01);  // ...but not superlinear
+}
+
+TEST(ParallelNbody, CommunicationGrowsWithRanks) {
+  const std::size_t n = 6000;
+  ParallelConfig c2 = base_config(2, n);
+  ParallelConfig c8 = base_config(8, n);
+  const auto r2 = run_parallel_nbody(c2);
+  const auto r8 = run_parallel_nbody(c8);
+  EXPECT_GT(r8.messages, r2.messages);
+  EXPECT_GT(r8.bytes, r2.bytes);
+}
+
+TEST(ParallelNbody, FasterNetworkImprovesElapsedTime) {
+  ParallelConfig slow = base_config(8, 6000);
+  ParallelConfig fast = slow;
+  fast.network = simnet::NetworkModel::gigabit();
+  EXPECT_LT(run_parallel_nbody(fast).elapsed_seconds,
+            run_parallel_nbody(slow).elapsed_seconds);
+}
+
+TEST(ParallelNbody, FasterCpuShiftsBottleneckToNetwork) {
+  ParallelConfig tm = base_config(8, 4000);
+  ParallelConfig athlon = tm;
+  athlon.cpu = &arch::athlon_mp_1200();
+  const auto rtm = run_parallel_nbody(tm);
+  const auto rath = run_parallel_nbody(athlon);
+  EXPECT_LT(rath.elapsed_seconds, rtm.elapsed_seconds);
+  // Same communication either way.
+  EXPECT_EQ(rath.bytes, rtm.bytes);
+}
+
+TEST(ParallelNbody, RejectsBadConfig) {
+  ParallelConfig cfg = base_config(4, 2);  // fewer particles than ranks
+  EXPECT_THROW(run_parallel_nbody(cfg), PreconditionError);
+  cfg = base_config(4, 100);
+  cfg.cpu = nullptr;
+  EXPECT_THROW(run_parallel_nbody(cfg), PreconditionError);
+  cfg = base_config(4, 100);
+  cfg.ic_kind = 99;
+  EXPECT_THROW(run_parallel_nbody(cfg), PreconditionError);
+}
+
+TEST(Perf, SingleProcRatesMatchPaperStory) {
+  // Treecode single-processor rates: the TM5600 runs the treecode at ~20%
+  // of its 633-Mflops peak, about 1.3x a Pentium III and ~3x a Pentium Pro
+  // 200, consistent with Table 4's per-processor column once parallel
+  // efficiency is applied.
+  const double tm = single_proc_treecode_mflops(arch::tm5600_633());
+  EXPECT_GT(tm, 100.0);
+  EXPECT_LT(tm, 160.0);
+  const double tm2 = single_proc_treecode_mflops(arch::tm5800_800());
+  EXPECT_NEAR(tm2 / tm, 3.3 / 2.1, 0.12);  // MetaBlade2 / MetaBlade ratio
+  const double ppro = single_proc_treecode_mflops(arch::pentium_pro_200());
+  EXPECT_GT(tm / ppro, 2.0);
+  const double ev = single_proc_treecode_mflops(arch::alpha_ev56_533());
+  EXPECT_NEAR(tm / ev, 1.15, 0.35);  // "about the same as" the 533 Alpha
+}
+
+}  // namespace
+}  // namespace bladed::treecode

@@ -1,0 +1,202 @@
+#include "treecode/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "treecode/ic.hpp"
+
+namespace bladed::treecode {
+namespace {
+
+TEST(Octree, RootCoversAllParticlesWithTotalMass) {
+  ParticleSet p = plummer_sphere(2000, 11);
+  const double mass = p.total_mass();
+  const Octree t = Octree::build(p);
+  EXPECT_EQ(t.root().count, 2000u);
+  EXPECT_NEAR(t.root().mass, mass, 1e-12 * mass);
+  EXPECT_EQ(t.particle_count(), 2000u);
+}
+
+TEST(Octree, LeafCapacityIsRespected) {
+  ParticleSet p = uniform_cube(5000, 13);
+  TreeParams params;
+  params.leaf_capacity = 8;
+  const Octree t = Octree::build(p, params);
+  for (const Node& n : t.nodes()) {
+    if (n.leaf) {
+      EXPECT_TRUE(n.count <= 8 ||
+                  n.level == static_cast<std::uint8_t>(params.max_depth))
+          << "leaf with " << n.count;
+    }
+  }
+}
+
+TEST(Octree, ChildrenPartitionParents) {
+  ParticleSet p = plummer_sphere(3000, 17);
+  const Octree t = Octree::build(p);
+  for (const Node& n : t.nodes()) {
+    if (n.leaf) continue;
+    std::uint32_t total = 0;
+    double mass = 0.0;
+    for (std::uint8_t c = 0; c < n.child_count; ++c) {
+      const Node& ch = t.nodes()[n.child[c]];
+      total += ch.count;
+      mass += ch.mass;
+      EXPECT_EQ(ch.level, n.level + 1);
+      EXPECT_NEAR(ch.half, 0.5 * n.half, 1e-12);
+    }
+    EXPECT_EQ(total, n.count);
+    EXPECT_NEAR(mass, n.mass, 1e-9 * std::max(1.0, n.mass));
+  }
+}
+
+TEST(Octree, ChildRangesAreContiguousAndOrdered) {
+  ParticleSet p = uniform_cube(2000, 19);
+  const Octree t = Octree::build(p);
+  for (const Node& n : t.nodes()) {
+    if (n.leaf) continue;
+    std::uint32_t cursor = n.first;
+    for (std::uint8_t c = 0; c < n.child_count; ++c) {
+      const Node& ch = t.nodes()[n.child[c]];
+      EXPECT_EQ(ch.first, cursor);
+      cursor += ch.count;
+    }
+    EXPECT_EQ(cursor, n.first + n.count);
+  }
+}
+
+TEST(Octree, ParticlesLieInsideTheirLeafCells) {
+  ParticleSet p = plummer_sphere(1500, 23);
+  const Octree t = Octree::build(p);
+  const double slack = 1e-9;
+  for (const Node& n : t.nodes()) {
+    if (!n.leaf) continue;
+    for (std::uint32_t i = n.first; i < n.first + n.count; ++i) {
+      EXPECT_LE(std::fabs(p.x[i] - n.center[0]), n.half * (1 + slack) + slack);
+      EXPECT_LE(std::fabs(p.y[i] - n.center[1]), n.half * (1 + slack) + slack);
+      EXPECT_LE(std::fabs(p.z[i] - n.center[2]), n.half * (1 + slack) + slack);
+    }
+  }
+}
+
+TEST(Octree, ComIsInsideCellAndMassWeighted) {
+  ParticleSet p = uniform_cube(4000, 29);
+  const Octree t = Octree::build(p);
+  for (const Node& n : t.nodes()) {
+    if (n.mass == 0.0) continue;
+    // COM of the range computed independently.
+    double m = 0, cx = 0, cy = 0, cz = 0;
+    for (std::uint32_t i = n.first; i < n.first + n.count; ++i) {
+      m += p.m[i];
+      cx += p.m[i] * p.x[i];
+      cy += p.m[i] * p.y[i];
+      cz += p.m[i] * p.z[i];
+    }
+    EXPECT_NEAR(n.com[0], cx / m, 1e-9);
+    EXPECT_NEAR(n.com[1], cy / m, 1e-9);
+    EXPECT_NEAR(n.com[2], cz / m, 1e-9);
+  }
+}
+
+TEST(Octree, HashedLookupFindsEveryNode) {
+  // The Warren-Salmon property: every cell is reachable by path key in O(1).
+  ParticleSet p = plummer_sphere(2500, 31);
+  const Octree t = Octree::build(p);
+  for (const Node& n : t.nodes()) {
+    const Node* found = t.find(n.path_key);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->first, n.first);
+    EXPECT_EQ(found->count, n.count);
+  }
+  EXPECT_EQ(t.find(0xdeadbeefULL << 30), nullptr);
+}
+
+TEST(Octree, PathKeysEncodeParentChildRelation) {
+  ParticleSet p = uniform_cube(1000, 37);
+  const Octree t = Octree::build(p);
+  for (const Node& n : t.nodes()) {
+    for (std::uint8_t c = 0; c < n.child_count; ++c) {
+      const Node& ch = t.nodes()[n.child[c]];
+      EXPECT_EQ(ch.path_key >> 3, n.path_key);
+    }
+  }
+  EXPECT_EQ(t.root().path_key, 1u);
+}
+
+TEST(Octree, SingleParticleTree) {
+  ParticleSet p;
+  p.add(0.5, -0.25, 0.125, 2.0);
+  const Octree t = Octree::build(p);
+  EXPECT_EQ(t.nodes().size(), 1u);
+  EXPECT_TRUE(t.root().leaf);
+  EXPECT_DOUBLE_EQ(t.root().mass, 2.0);
+  EXPECT_EQ(t.leaf_count(), 1u);
+}
+
+TEST(Octree, CoincidentParticlesStopAtMaxDepth) {
+  ParticleSet p;
+  for (int i = 0; i < 40; ++i) p.add(0.1, 0.2, 0.3, 1.0);
+  TreeParams params;
+  params.leaf_capacity = 4;
+  params.max_depth = 6;
+  const Octree t = Octree::build(p, params);
+  EXPECT_LE(t.depth(), 6);
+  EXPECT_DOUBLE_EQ(t.root().mass, 40.0);
+}
+
+TEST(Octree, DepthGrowsLogarithmically) {
+  ParticleSet small = uniform_cube(100, 41);
+  ParticleSet large = uniform_cube(20000, 41);
+  const int d_small = Octree::build(small).depth();
+  const int d_large = Octree::build(large).depth();
+  EXPECT_GT(d_large, d_small);
+  EXPECT_LE(d_large, d_small + 6);  // 200x more particles ~ log8(200) ~ 2.6
+}
+
+TEST(Octree, BuildOpsAreCounted) {
+  ParticleSet p = uniform_cube(1000, 43);
+  const Octree t = Octree::build(p);
+  EXPECT_GT(t.build_ops().flops(), 0u);
+  EXPECT_GT(t.build_ops().iop, 0u);
+}
+
+TEST(Octree, BuildSortedRejectsUnsortedInput) {
+  ParticleSet p = uniform_cube(100, 47);  // not Morton sorted
+  const BoundingBox box = BoundingBox::containing(p);
+  EXPECT_THROW(Octree::build_sorted(p, box), PreconditionError);
+}
+
+TEST(Octree, RejectsEmptyAndBadParams) {
+  ParticleSet empty;
+  EXPECT_THROW(Octree::build(empty), PreconditionError);
+  ParticleSet p = uniform_cube(10, 1);
+  TreeParams bad;
+  bad.leaf_capacity = 0;
+  EXPECT_THROW(Octree::build(p, bad), PreconditionError);
+  bad = TreeParams{};
+  bad.max_depth = 99;
+  EXPECT_THROW(Octree::build(p, bad), PreconditionError);
+}
+
+class LeafCapacitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeafCapacitySweep, InvariantsHoldAcrossCapacities) {
+  ParticleSet p = plummer_sphere(3000, 53);
+  TreeParams params;
+  params.leaf_capacity = GetParam();
+  const Octree t = Octree::build(p, params);
+  EXPECT_EQ(t.root().count, 3000u);
+  std::uint64_t leaf_particles = 0;
+  for (const Node& n : t.nodes()) {
+    if (n.leaf) leaf_particles += n.count;
+  }
+  EXPECT_EQ(leaf_particles, 3000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LeafCapacitySweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256));
+
+}  // namespace
+}  // namespace bladed::treecode
