@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cms.dir/bench/ablation_cms.cpp.o"
+  "CMakeFiles/ablation_cms.dir/bench/ablation_cms.cpp.o.d"
+  "bench/ablation_cms"
+  "bench/ablation_cms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

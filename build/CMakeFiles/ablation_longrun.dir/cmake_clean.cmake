@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_longrun.dir/bench/ablation_longrun.cpp.o"
+  "CMakeFiles/ablation_longrun.dir/bench/ablation_longrun.cpp.o.d"
+  "bench/ablation_longrun"
+  "bench/ablation_longrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_longrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

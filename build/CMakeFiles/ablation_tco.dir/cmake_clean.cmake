@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tco.dir/bench/ablation_tco.cpp.o"
+  "CMakeFiles/ablation_tco.dir/bench/ablation_tco.cpp.o.d"
+  "bench/ablation_tco"
+  "bench/ablation_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

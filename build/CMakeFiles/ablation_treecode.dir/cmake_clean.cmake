@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_treecode.dir/bench/ablation_treecode.cpp.o"
+  "CMakeFiles/ablation_treecode.dir/bench/ablation_treecode.cpp.o.d"
+  "bench/ablation_treecode"
+  "bench/ablation_treecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_treecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_nbody.dir/bench/fig3_nbody.cpp.o"
+  "CMakeFiles/fig3_nbody.dir/bench/fig3_nbody.cpp.o.d"
+  "bench/fig3_nbody"
+  "bench/fig3_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green500_preview.dir/bench/green500_preview.cpp.o"
+  "CMakeFiles/green500_preview.dir/bench/green500_preview.cpp.o.d"
+  "bench/green500_preview"
+  "bench/green500_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green500_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

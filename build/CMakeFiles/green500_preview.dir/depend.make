@@ -1,0 +1,2 @@
+# Empty dependencies file for green500_preview.
+# This may be replaced when dependencies are built.

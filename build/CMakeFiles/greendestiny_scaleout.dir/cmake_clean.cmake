@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greendestiny_scaleout.dir/bench/greendestiny_scaleout.cpp.o"
+  "CMakeFiles/greendestiny_scaleout.dir/bench/greendestiny_scaleout.cpp.o.d"
+  "bench/greendestiny_scaleout"
+  "bench/greendestiny_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greendestiny_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

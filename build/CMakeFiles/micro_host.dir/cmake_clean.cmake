@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_host.dir/bench/micro_host.cpp.o"
+  "CMakeFiles/micro_host.dir/bench/micro_host.cpp.o.d"
+  "bench/micro_host"
+  "bench/micro_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_classw.dir/bench/npb_classw.cpp.o"
+  "CMakeFiles/npb_classw.dir/bench/npb_classw.cpp.o.d"
+  "bench/npb_classw"
+  "bench/npb_classw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_classw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

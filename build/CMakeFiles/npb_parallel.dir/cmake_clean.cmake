@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_parallel.dir/bench/npb_parallel.cpp.o"
+  "CMakeFiles/npb_parallel.dir/bench/npb_parallel.cpp.o.d"
+  "bench/npb_parallel"
+  "bench/npb_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

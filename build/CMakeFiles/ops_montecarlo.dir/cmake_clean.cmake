@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_montecarlo.dir/bench/ops_montecarlo.cpp.o"
+  "CMakeFiles/ops_montecarlo.dir/bench/ops_montecarlo.cpp.o.d"
+  "bench/ops_montecarlo"
+  "bench/ops_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roofline_report.dir/bench/roofline_report.cpp.o"
+  "CMakeFiles/roofline_report.dir/bench/roofline_report.cpp.o.d"
+  "bench/roofline_report"
+  "bench/roofline_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roofline_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

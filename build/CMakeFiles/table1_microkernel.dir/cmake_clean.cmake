@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_microkernel.dir/bench/table1_microkernel.cpp.o"
+  "CMakeFiles/table1_microkernel.dir/bench/table1_microkernel.cpp.o.d"
+  "bench/table1_microkernel"
+  "bench/table1_microkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_microkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_npb.dir/bench/table3_npb.cpp.o"
+  "CMakeFiles/table3_npb.dir/bench/table3_npb.cpp.o.d"
+  "bench/table3_npb"
+  "bench/table3_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_treecode.dir/bench/table4_treecode.cpp.o"
+  "CMakeFiles/table4_treecode.dir/bench/table4_treecode.cpp.o.d"
+  "bench/table4_treecode"
+  "bench/table4_treecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_treecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_tco.dir/bench/table5_tco.cpp.o"
+  "CMakeFiles/table5_tco.dir/bench/table5_tco.cpp.o.d"
+  "bench/table5_tco"
+  "bench/table5_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_perf_space.dir/bench/table6_perf_space.cpp.o"
+  "CMakeFiles/table6_perf_space.dir/bench/table6_perf_space.cpp.o.d"
+  "bench/table6_perf_space"
+  "bench/table6_perf_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_perf_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

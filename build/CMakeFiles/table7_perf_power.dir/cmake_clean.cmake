@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_perf_power.dir/bench/table7_perf_power.cpp.o"
+  "CMakeFiles/table7_perf_power.dir/bench/table7_perf_power.cpp.o.d"
+  "bench/table7_perf_power"
+  "bench/table7_perf_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_perf_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topper_metric.dir/bench/topper_metric.cpp.o"
+  "CMakeFiles/topper_metric.dir/bench/topper_metric.cpp.o.d"
+  "bench/topper_metric"
+  "bench/topper_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topper_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

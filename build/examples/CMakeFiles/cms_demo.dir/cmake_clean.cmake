@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cms_demo.dir/cms_demo.cpp.o"
+  "CMakeFiles/cms_demo.dir/cms_demo.cpp.o.d"
+  "cms_demo"
+  "cms_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cms_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy.dir/galaxy.cpp.o"
+  "CMakeFiles/galaxy.dir/galaxy.cpp.o.d"
+  "galaxy"
+  "galaxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cost_model.cpp" "src/CMakeFiles/bladed.dir/arch/cost_model.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/arch/cost_model.cpp.o.d"
+  "/root/repo/src/arch/processor.cpp" "src/CMakeFiles/bladed.dir/arch/processor.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/arch/processor.cpp.o.d"
+  "/root/repo/src/arch/registry.cpp" "src/CMakeFiles/bladed.dir/arch/registry.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/arch/registry.cpp.o.d"
+  "/root/repo/src/arch/roofline.cpp" "src/CMakeFiles/bladed.dir/arch/roofline.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/arch/roofline.cpp.o.d"
+  "/root/repo/src/cms/engine.cpp" "src/CMakeFiles/bladed.dir/cms/engine.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/cms/engine.cpp.o.d"
+  "/root/repo/src/cms/interpreter.cpp" "src/CMakeFiles/bladed.dir/cms/interpreter.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/cms/interpreter.cpp.o.d"
+  "/root/repo/src/cms/isa.cpp" "src/CMakeFiles/bladed.dir/cms/isa.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/cms/isa.cpp.o.d"
+  "/root/repo/src/cms/programs.cpp" "src/CMakeFiles/bladed.dir/cms/programs.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/cms/programs.cpp.o.d"
+  "/root/repo/src/cms/tcache.cpp" "src/CMakeFiles/bladed.dir/cms/tcache.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/cms/tcache.cpp.o.d"
+  "/root/repo/src/cms/translator.cpp" "src/CMakeFiles/bladed.dir/cms/translator.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/cms/translator.cpp.o.d"
+  "/root/repo/src/common/npb_rand.cpp" "src/CMakeFiles/bladed.dir/common/npb_rand.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/common/npb_rand.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/bladed.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/bladed.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/bladed.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/cluster_spec.cpp" "src/CMakeFiles/bladed.dir/core/cluster_spec.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/core/cluster_spec.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/bladed.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/presets.cpp" "src/CMakeFiles/bladed.dir/core/presets.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/core/presets.cpp.o.d"
+  "/root/repo/src/core/tco.cpp" "src/CMakeFiles/bladed.dir/core/tco.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/core/tco.cpp.o.d"
+  "/root/repo/src/microkernel/karp.cpp" "src/CMakeFiles/bladed.dir/microkernel/karp.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/microkernel/karp.cpp.o.d"
+  "/root/repo/src/microkernel/microkernel.cpp" "src/CMakeFiles/bladed.dir/microkernel/microkernel.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/microkernel/microkernel.cpp.o.d"
+  "/root/repo/src/npb/block.cpp" "src/CMakeFiles/bladed.dir/npb/block.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/npb/block.cpp.o.d"
+  "/root/repo/src/npb/bt.cpp" "src/CMakeFiles/bladed.dir/npb/bt.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/npb/bt.cpp.o.d"
+  "/root/repo/src/npb/cg.cpp" "src/CMakeFiles/bladed.dir/npb/cg.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/npb/cg.cpp.o.d"
+  "/root/repo/src/npb/ep.cpp" "src/CMakeFiles/bladed.dir/npb/ep.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/npb/ep.cpp.o.d"
+  "/root/repo/src/npb/ft.cpp" "src/CMakeFiles/bladed.dir/npb/ft.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/npb/ft.cpp.o.d"
+  "/root/repo/src/npb/is.cpp" "src/CMakeFiles/bladed.dir/npb/is.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/npb/is.cpp.o.d"
+  "/root/repo/src/npb/lu.cpp" "src/CMakeFiles/bladed.dir/npb/lu.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/npb/lu.cpp.o.d"
+  "/root/repo/src/npb/mg.cpp" "src/CMakeFiles/bladed.dir/npb/mg.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/npb/mg.cpp.o.d"
+  "/root/repo/src/npb/parallel.cpp" "src/CMakeFiles/bladed.dir/npb/parallel.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/npb/parallel.cpp.o.d"
+  "/root/repo/src/npb/sp.cpp" "src/CMakeFiles/bladed.dir/npb/sp.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/npb/sp.cpp.o.d"
+  "/root/repo/src/npb/suite.cpp" "src/CMakeFiles/bladed.dir/npb/suite.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/npb/suite.cpp.o.d"
+  "/root/repo/src/ops/failures.cpp" "src/CMakeFiles/bladed.dir/ops/failures.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/ops/failures.cpp.o.d"
+  "/root/repo/src/power/electricity.cpp" "src/CMakeFiles/bladed.dir/power/electricity.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/power/electricity.cpp.o.d"
+  "/root/repo/src/power/longrun.cpp" "src/CMakeFiles/bladed.dir/power/longrun.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/power/longrun.cpp.o.d"
+  "/root/repo/src/power/node_power.cpp" "src/CMakeFiles/bladed.dir/power/node_power.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/power/node_power.cpp.o.d"
+  "/root/repo/src/power/reliability.cpp" "src/CMakeFiles/bladed.dir/power/reliability.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/power/reliability.cpp.o.d"
+  "/root/repo/src/simnet/cluster.cpp" "src/CMakeFiles/bladed.dir/simnet/cluster.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/simnet/cluster.cpp.o.d"
+  "/root/repo/src/simnet/network.cpp" "src/CMakeFiles/bladed.dir/simnet/network.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/simnet/network.cpp.o.d"
+  "/root/repo/src/treecode/direct.cpp" "src/CMakeFiles/bladed.dir/treecode/direct.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/treecode/direct.cpp.o.d"
+  "/root/repo/src/treecode/ic.cpp" "src/CMakeFiles/bladed.dir/treecode/ic.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/treecode/ic.cpp.o.d"
+  "/root/repo/src/treecode/integrator.cpp" "src/CMakeFiles/bladed.dir/treecode/integrator.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/treecode/integrator.cpp.o.d"
+  "/root/repo/src/treecode/io.cpp" "src/CMakeFiles/bladed.dir/treecode/io.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/treecode/io.cpp.o.d"
+  "/root/repo/src/treecode/morton.cpp" "src/CMakeFiles/bladed.dir/treecode/morton.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/treecode/morton.cpp.o.d"
+  "/root/repo/src/treecode/parallel.cpp" "src/CMakeFiles/bladed.dir/treecode/parallel.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/treecode/parallel.cpp.o.d"
+  "/root/repo/src/treecode/particle.cpp" "src/CMakeFiles/bladed.dir/treecode/particle.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/treecode/particle.cpp.o.d"
+  "/root/repo/src/treecode/perf.cpp" "src/CMakeFiles/bladed.dir/treecode/perf.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/treecode/perf.cpp.o.d"
+  "/root/repo/src/treecode/traverse.cpp" "src/CMakeFiles/bladed.dir/treecode/traverse.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/treecode/traverse.cpp.o.d"
+  "/root/repo/src/treecode/tree.cpp" "src/CMakeFiles/bladed.dir/treecode/tree.cpp.o" "gcc" "src/CMakeFiles/bladed.dir/treecode/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for bladed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cms.dir/cms/engine_test.cpp.o"
+  "CMakeFiles/test_cms.dir/cms/engine_test.cpp.o.d"
+  "CMakeFiles/test_cms.dir/cms/fuzz_test.cpp.o"
+  "CMakeFiles/test_cms.dir/cms/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_cms.dir/cms/isa_test.cpp.o"
+  "CMakeFiles/test_cms.dir/cms/isa_test.cpp.o.d"
+  "CMakeFiles/test_cms.dir/cms/translator_test.cpp.o"
+  "CMakeFiles/test_cms.dir/cms/translator_test.cpp.o.d"
+  "test_cms"
+  "test_cms.pdb"
+  "test_cms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

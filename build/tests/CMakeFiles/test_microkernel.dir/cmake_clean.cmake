@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microkernel.dir/microkernel/karp_test.cpp.o"
+  "CMakeFiles/test_microkernel.dir/microkernel/karp_test.cpp.o.d"
+  "CMakeFiles/test_microkernel.dir/microkernel/microkernel_test.cpp.o"
+  "CMakeFiles/test_microkernel.dir/microkernel/microkernel_test.cpp.o.d"
+  "test_microkernel"
+  "test_microkernel.pdb"
+  "test_microkernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/npb/block_test.cpp" "tests/CMakeFiles/test_npb.dir/npb/block_test.cpp.o" "gcc" "tests/CMakeFiles/test_npb.dir/npb/block_test.cpp.o.d"
+  "/root/repo/tests/npb/cfd_test.cpp" "tests/CMakeFiles/test_npb.dir/npb/cfd_test.cpp.o" "gcc" "tests/CMakeFiles/test_npb.dir/npb/cfd_test.cpp.o.d"
+  "/root/repo/tests/npb/ep_is_test.cpp" "tests/CMakeFiles/test_npb.dir/npb/ep_is_test.cpp.o" "gcc" "tests/CMakeFiles/test_npb.dir/npb/ep_is_test.cpp.o.d"
+  "/root/repo/tests/npb/ft_test.cpp" "tests/CMakeFiles/test_npb.dir/npb/ft_test.cpp.o" "gcc" "tests/CMakeFiles/test_npb.dir/npb/ft_test.cpp.o.d"
+  "/root/repo/tests/npb/mg_cg_test.cpp" "tests/CMakeFiles/test_npb.dir/npb/mg_cg_test.cpp.o" "gcc" "tests/CMakeFiles/test_npb.dir/npb/mg_cg_test.cpp.o.d"
+  "/root/repo/tests/npb/parallel_npb_test.cpp" "tests/CMakeFiles/test_npb.dir/npb/parallel_npb_test.cpp.o" "gcc" "tests/CMakeFiles/test_npb.dir/npb/parallel_npb_test.cpp.o.d"
+  "/root/repo/tests/npb/table3_test.cpp" "tests/CMakeFiles/test_npb.dir/npb/table3_test.cpp.o" "gcc" "tests/CMakeFiles/test_npb.dir/npb/table3_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bladed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

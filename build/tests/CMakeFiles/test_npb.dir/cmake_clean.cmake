@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npb.dir/npb/block_test.cpp.o"
+  "CMakeFiles/test_npb.dir/npb/block_test.cpp.o.d"
+  "CMakeFiles/test_npb.dir/npb/cfd_test.cpp.o"
+  "CMakeFiles/test_npb.dir/npb/cfd_test.cpp.o.d"
+  "CMakeFiles/test_npb.dir/npb/ep_is_test.cpp.o"
+  "CMakeFiles/test_npb.dir/npb/ep_is_test.cpp.o.d"
+  "CMakeFiles/test_npb.dir/npb/ft_test.cpp.o"
+  "CMakeFiles/test_npb.dir/npb/ft_test.cpp.o.d"
+  "CMakeFiles/test_npb.dir/npb/mg_cg_test.cpp.o"
+  "CMakeFiles/test_npb.dir/npb/mg_cg_test.cpp.o.d"
+  "CMakeFiles/test_npb.dir/npb/parallel_npb_test.cpp.o"
+  "CMakeFiles/test_npb.dir/npb/parallel_npb_test.cpp.o.d"
+  "CMakeFiles/test_npb.dir/npb/table3_test.cpp.o"
+  "CMakeFiles/test_npb.dir/npb/table3_test.cpp.o.d"
+  "test_npb"
+  "test_npb.pdb"
+  "test_npb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

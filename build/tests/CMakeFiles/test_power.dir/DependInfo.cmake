@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/power/electricity_test.cpp" "tests/CMakeFiles/test_power.dir/power/electricity_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/electricity_test.cpp.o.d"
+  "/root/repo/tests/power/longrun_test.cpp" "tests/CMakeFiles/test_power.dir/power/longrun_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/longrun_test.cpp.o.d"
+  "/root/repo/tests/power/node_power_test.cpp" "tests/CMakeFiles/test_power.dir/power/node_power_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/node_power_test.cpp.o.d"
+  "/root/repo/tests/power/reliability_test.cpp" "tests/CMakeFiles/test_power.dir/power/reliability_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/reliability_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bladed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simnet/cluster_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/cluster_test.cpp.o.d"
+  "/root/repo/tests/simnet/collectives_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/collectives_test.cpp.o.d"
+  "/root/repo/tests/simnet/network_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/network_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/network_test.cpp.o.d"
+  "/root/repo/tests/simnet/property_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bladed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet.dir/simnet/cluster_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/cluster_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/collectives_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/collectives_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/network_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/network_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/property_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/property_test.cpp.o.d"
+  "test_simnet"
+  "test_simnet.pdb"
+  "test_simnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

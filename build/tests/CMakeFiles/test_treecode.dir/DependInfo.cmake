@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/treecode/forces_test.cpp" "tests/CMakeFiles/test_treecode.dir/treecode/forces_test.cpp.o" "gcc" "tests/CMakeFiles/test_treecode.dir/treecode/forces_test.cpp.o.d"
+  "/root/repo/tests/treecode/grouped_test.cpp" "tests/CMakeFiles/test_treecode.dir/treecode/grouped_test.cpp.o" "gcc" "tests/CMakeFiles/test_treecode.dir/treecode/grouped_test.cpp.o.d"
+  "/root/repo/tests/treecode/integrator_test.cpp" "tests/CMakeFiles/test_treecode.dir/treecode/integrator_test.cpp.o" "gcc" "tests/CMakeFiles/test_treecode.dir/treecode/integrator_test.cpp.o.d"
+  "/root/repo/tests/treecode/io_test.cpp" "tests/CMakeFiles/test_treecode.dir/treecode/io_test.cpp.o" "gcc" "tests/CMakeFiles/test_treecode.dir/treecode/io_test.cpp.o.d"
+  "/root/repo/tests/treecode/morton_test.cpp" "tests/CMakeFiles/test_treecode.dir/treecode/morton_test.cpp.o" "gcc" "tests/CMakeFiles/test_treecode.dir/treecode/morton_test.cpp.o.d"
+  "/root/repo/tests/treecode/parallel_test.cpp" "tests/CMakeFiles/test_treecode.dir/treecode/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/test_treecode.dir/treecode/parallel_test.cpp.o.d"
+  "/root/repo/tests/treecode/quadrupole_test.cpp" "tests/CMakeFiles/test_treecode.dir/treecode/quadrupole_test.cpp.o" "gcc" "tests/CMakeFiles/test_treecode.dir/treecode/quadrupole_test.cpp.o.d"
+  "/root/repo/tests/treecode/tree_test.cpp" "tests/CMakeFiles/test_treecode.dir/treecode/tree_test.cpp.o" "gcc" "tests/CMakeFiles/test_treecode.dir/treecode/tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bladed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

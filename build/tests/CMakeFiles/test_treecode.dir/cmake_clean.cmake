@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_treecode.dir/treecode/forces_test.cpp.o"
+  "CMakeFiles/test_treecode.dir/treecode/forces_test.cpp.o.d"
+  "CMakeFiles/test_treecode.dir/treecode/grouped_test.cpp.o"
+  "CMakeFiles/test_treecode.dir/treecode/grouped_test.cpp.o.d"
+  "CMakeFiles/test_treecode.dir/treecode/integrator_test.cpp.o"
+  "CMakeFiles/test_treecode.dir/treecode/integrator_test.cpp.o.d"
+  "CMakeFiles/test_treecode.dir/treecode/io_test.cpp.o"
+  "CMakeFiles/test_treecode.dir/treecode/io_test.cpp.o.d"
+  "CMakeFiles/test_treecode.dir/treecode/morton_test.cpp.o"
+  "CMakeFiles/test_treecode.dir/treecode/morton_test.cpp.o.d"
+  "CMakeFiles/test_treecode.dir/treecode/parallel_test.cpp.o"
+  "CMakeFiles/test_treecode.dir/treecode/parallel_test.cpp.o.d"
+  "CMakeFiles/test_treecode.dir/treecode/quadrupole_test.cpp.o"
+  "CMakeFiles/test_treecode.dir/treecode/quadrupole_test.cpp.o.d"
+  "CMakeFiles/test_treecode.dir/treecode/tree_test.cpp.o"
+  "CMakeFiles/test_treecode.dir/treecode/tree_test.cpp.o.d"
+  "test_treecode"
+  "test_treecode.pdb"
+  "test_treecode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_treecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

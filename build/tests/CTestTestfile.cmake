@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build/tests/test_microkernel[1]_include.cmake")
+include("/root/repo/build/tests/test_treecode[1]_include.cmake")
+include("/root/repo/build/tests/test_cms[1]_include.cmake")
+include("/root/repo/build/tests/test_npb[1]_include.cmake")
+include("/root/repo/build/tests/test_ops[1]_include.cmake")
