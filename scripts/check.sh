@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build the whole tree with ASan + UBSan and run the tier-1
+# test suite (plus the bladed-lint ctest entries) under both. CI entry point;
+# also runnable locally. A separate build dir keeps the sanitized objects
+# from polluting the normal build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-sanitize}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBLADED_ASAN=ON \
+  -DBLADED_UBSAN=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+echo "check.sh: tier-1 tests clean under ASan+UBSan"

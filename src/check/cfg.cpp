@@ -1,0 +1,114 @@
+#include "check/cfg.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bladed::check {
+
+using cms::Instr;
+using cms::Op;
+
+Cfg Cfg::build(const cms::Program& prog) {
+  BLADED_REQUIRE_MSG(!prog.empty(), "cannot build a CFG for an empty program");
+  const std::size_t n = prog.size();
+
+  // Leaders: instruction 0, every branch target, and every instruction
+  // following a branch or halt.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    const Instr& in = prog[pc];
+    if (cms::is_branch(in.op)) {
+      const auto target = static_cast<std::size_t>(in.imm_i);
+      BLADED_REQUIRE_MSG(in.imm_i >= 0 && target <= n,
+                         "branch target outside [0, size]");
+      if (target < n) leader[target] = true;
+    }
+    if ((cms::is_branch(in.op) || in.op == Op::kHalt) && pc + 1 < n) {
+      leader[pc + 1] = true;
+    }
+  }
+
+  Cfg cfg;
+  cfg.exit_pc_ = n;
+  cfg.block_of_.assign(n, 0);
+
+  // Carve blocks: a block runs from its leader to the next leader or to
+  // just past its terminator, whichever comes first.
+  for (std::size_t pc = 0; pc < n;) {
+    BasicBlock bb;
+    bb.begin = pc;
+    std::size_t i = pc;
+    while (i < n) {
+      const bool terminates =
+          cms::is_branch(prog[i].op) || prog[i].op == Op::kHalt;
+      ++i;
+      if (terminates || (i < n && leader[i])) break;
+    }
+    bb.end = i;
+
+    const Instr& last = prog[bb.end - 1];
+    if (last.op == Op::kJmp) {
+      bb.succs.push_back(static_cast<std::size_t>(last.imm_i));
+    } else if (last.op == Op::kBlt || last.op == Op::kBne) {
+      bb.succs.push_back(static_cast<std::size_t>(last.imm_i));
+      // Fall-through; bb.end == n means running off the program end.
+      if (std::find(bb.succs.begin(), bb.succs.end(), bb.end) ==
+          bb.succs.end()) {
+        bb.succs.push_back(bb.end);
+      }
+    } else if (last.op == Op::kHalt) {
+      bb.succs.push_back(n);  // exit
+    } else {
+      bb.succs.push_back(bb.end);  // plain fall-through into the next leader
+    }
+
+    const std::size_t index = cfg.blocks_.size();
+    for (std::size_t j = bb.begin; j < bb.end; ++j) cfg.block_of_[j] = index;
+    cfg.blocks_.push_back(std::move(bb));
+    pc = i;
+  }
+  return cfg;
+}
+
+std::vector<bool> Cfg::reachable() const {
+  std::vector<bool> seen(blocks_.size(), false);
+  std::vector<std::size_t> stack = {0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const std::size_t b = stack.back();
+    stack.pop_back();
+    for (const std::size_t succ : blocks_[b].succs) {
+      if (succ >= exit_pc_) continue;  // program exit
+      const std::size_t s = block_of_[succ];
+      if (!seen[s]) {
+        seen[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<std::size_t> Cfg::unreachable_blocks() const {
+  const std::vector<bool> seen = reachable();
+  std::vector<std::size_t> out;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    if (!seen[b]) out.push_back(blocks_[b].begin);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> Cfg::predecessors() const {
+  std::vector<std::vector<std::size_t>> preds(blocks_.size());
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    for (const std::size_t succ : blocks_[b].succs) {
+      if (succ >= exit_pc_) continue;
+      preds[block_of_[succ]].push_back(b);
+    }
+  }
+  return preds;
+}
+
+}  // namespace bladed::check

@@ -1,0 +1,62 @@
+#pragma once
+
+/// Control-flow graph over a `cms::Program` (§2.2): basic-block discovery
+/// by leader analysis, successor edges, and reachability. This is the
+/// substrate the dataflow analyses (dataflow.hpp) and the program checker
+/// (check.hpp) run on.
+///
+/// Blocks here are *maximal* basic blocks (a branch target mid-straight-line
+/// starts a new block), which is finer-grained than the translator's
+/// `block_end` regions: a translation region may span several CFG blocks
+/// when a branch jumps into its middle, and the checker analyzes the finer
+/// structure.
+
+#include <cstddef>
+#include <vector>
+
+#include "cms/isa.hpp"
+
+namespace bladed::check {
+
+/// Half-open instruction range [begin, end) plus successor block leaders.
+/// A successor equal to `Cfg::exit_pc()` (== program size) denotes leaving
+/// the program: either retiring a halt or falling off the end.
+struct BasicBlock {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::vector<std::size_t> succs;  ///< leader pcs of successor blocks
+};
+
+class Cfg {
+ public:
+  /// Build the CFG for `prog`. Requires a structurally valid program
+  /// (branch targets in [0, size]); run structural checks first.
+  [[nodiscard]] static Cfg build(const cms::Program& prog);
+
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const {
+    return blocks_;
+  }
+  /// Index into blocks() of the block containing instruction `pc`.
+  [[nodiscard]] std::size_t block_of(std::size_t pc) const {
+    return block_of_[pc];
+  }
+  /// The pseudo-pc representing program exit (== program size).
+  [[nodiscard]] std::size_t exit_pc() const { return exit_pc_; }
+
+  /// Blocks reachable from the entry block (instruction 0), as a bitmap
+  /// indexed like blocks().
+  [[nodiscard]] std::vector<bool> reachable() const;
+
+  /// Leaders of blocks not reachable from entry, in program order.
+  [[nodiscard]] std::vector<std::size_t> unreachable_blocks() const;
+
+  /// Predecessor block indices for each block (derived from succs).
+  [[nodiscard]] std::vector<std::vector<std::size_t>> predecessors() const;
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::size_t> block_of_;  ///< instruction pc -> block index
+  std::size_t exit_pc_ = 0;
+};
+
+}  // namespace bladed::check

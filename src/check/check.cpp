@@ -1,0 +1,96 @@
+#include "check/check.hpp"
+
+#include "cms/interpreter.hpp"
+
+namespace bladed::check {
+
+using cms::Instr;
+using cms::Op;
+
+namespace {
+
+/// Structural pass mirroring cms::validate diagnostically; must stay in
+/// lockstep with it so both layers accept exactly the same programs (the
+/// fuzz suite asserts this).
+Report structural_check(const cms::Program& prog) {
+  Report report;
+  if (prog.empty()) {
+    report.add_error("empty-program", 0, "program has no instructions");
+    return report;
+  }
+  const auto size = static_cast<std::int64_t>(prog.size());
+  for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+    const Instr& in = prog[pc];
+    const std::string range_error = cms::operand_range_error(in);
+    if (!range_error.empty()) {
+      report.add_error("bad-register", pc,
+                       "`" + cms::to_string(in.op) + "`: " + range_error);
+    }
+    if (cms::is_branch(in.op)) {
+      if (in.imm_i < 0 || in.imm_i > size) {
+        report.add_error("branch-target", pc,
+                         "`" + cms::to_string(in) + "` targets " +
+                             std::to_string(in.imm_i) +
+                             ", outside [0, " + std::to_string(size) + "]");
+      } else if (in.imm_i == size) {
+        report.add_warning("branch-exit", pc,
+                           "`" + cms::to_string(in) +
+                               "` branches one past the end: the program "
+                               "exits without retiring a halt");
+      }
+    }
+  }
+  const Op last = prog.back().op;
+  if (last != Op::kHalt && !cms::is_branch(last)) {
+    report.add_error("no-terminator", prog.size() - 1,
+                     "`" + cms::to_string(prog.back()) +
+                         "` ends the program; the last instruction must be "
+                         "a halt or a branch");
+  }
+  return report;
+}
+
+}  // namespace
+
+Report check_program(const cms::Program& prog, std::size_t mem_doubles) {
+  Report report = structural_check(prog);
+  if (!report.ok()) return report;
+
+  const Cfg cfg = Cfg::build(prog);
+  for (const std::size_t leader : cfg.unreachable_blocks()) {
+    const BasicBlock& bb = cfg.blocks()[cfg.block_of(leader)];
+    report.add_warning("unreachable", leader,
+                       "block [" + std::to_string(bb.begin) + ", " +
+                           std::to_string(bb.end) +
+                           ") is unreachable from entry");
+  }
+  for (const BasicBlock& bb : cfg.blocks()) {
+    // A conditional branch as the final instruction falls through past the
+    // program end — a silent exit without a halt.
+    const Instr& term = prog[bb.end - 1];
+    if (bb.end == cfg.exit_pc() &&
+        (term.op == Op::kBlt || term.op == Op::kBne)) {
+      report.add_warning("fallthrough-exit", bb.end - 1,
+                         "`" + cms::to_string(term) +
+                             "` can fall through past the program end "
+                             "without retiring a halt");
+    }
+  }
+
+  report.merge(find_uninit_reads(prog, cfg));
+  report.merge(find_dead_stores(prog, cfg));
+  report.merge(find_oob_accesses(prog, cfg, mem_doubles));
+  return report;
+}
+
+Report check_translations(const cms::Program& prog,
+                          const cms::Translator& translator) {
+  Report report;
+  for (std::size_t pc = 0; pc < prog.size(); pc = cms::block_end(prog, pc)) {
+    const cms::Translation t = translator.translate(prog, pc);
+    report.merge(verify_translation(prog, t, translator.limits()));
+  }
+  return report;
+}
+
+}  // namespace bladed::check

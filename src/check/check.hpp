@@ -1,0 +1,41 @@
+#pragma once
+
+/// `bladed::check` — the static verification layer for CMS programs and
+/// translations (the correctness backbone under the morphing engine; see
+/// DESIGN.md "Static verification"). Entry points:
+///
+///   - check_program: structural well-formedness (register ranges, branch
+///     targets, terminator), CFG construction with unreachable-code
+///     detection, definite-assignment / liveness / interval dataflow.
+///     Accepts exactly the programs cms::validate accepts — never throws on
+///     a bad program, it reports.
+///   - check_translations: translate every region of a program and run the
+///     translation verifier (verify_translation.hpp) on each result.
+///   - differential_check (differential.hpp): interpreter vs engine on
+///     generated inputs.
+///
+/// The `bladed-lint` tool (tools/bladed_lint.cpp) runs all three over the
+/// built-in program corpus; the engine runs verify_translation on every
+/// fresh translation when MorphingConfig::verify_translations is set
+/// (default in debug builds).
+
+#include "check/cfg.hpp"
+#include "check/dataflow.hpp"
+#include "check/diagnostics.hpp"
+#include "check/verify_translation.hpp"
+
+namespace bladed::check {
+
+/// All program-level diagnostics for `prog` against a machine with
+/// `mem_doubles` memory cells. Structural errors short-circuit the deeper
+/// analyses (a CFG over out-of-range targets is meaningless).
+[[nodiscard]] Report check_program(const cms::Program& prog,
+                                   std::size_t mem_doubles = 4096);
+
+/// Translate every region of `prog` with `translator` and verify each
+/// translation. `prog` must pass check_program without errors first.
+[[nodiscard]] Report check_translations(
+    const cms::Program& prog,
+    const cms::Translator& translator = cms::Translator());
+
+}  // namespace bladed::check

@@ -1,0 +1,57 @@
+#pragma once
+
+/// Classic dataflow analyses over the CMS CFG: definite assignment (forward,
+/// must) for uninitialized-read detection, liveness (backward, may) for
+/// dead-store detection, and a simple interval abstract interpretation of
+/// the integer register file that proves `kFload`/`kFstore` addresses
+/// (`r[b] + imm_i`) out of bounds where it can.
+///
+/// Severity policy: the machine zero-initializes every register, so an
+/// uninitialized read and a dead store are *defined* but suspicious —
+/// warnings. A statically-provable out-of-bounds access always throws at
+/// run time — error.
+
+#include <cstdint>
+#include <string>
+
+#include "check/cfg.hpp"
+#include "check/diagnostics.hpp"
+#include "cms/isa.hpp"
+
+namespace bladed::check {
+
+inline constexpr int kNumIntRegs = 16;
+inline constexpr int kNumFpRegs = 8;
+inline constexpr int kNumRegs = kNumIntRegs + kNumFpRegs;
+
+/// Bit set over the combined register file: bit r is integer register r,
+/// bit 16+f is fp register f.
+using RegSet = std::uint32_t;
+
+[[nodiscard]] RegSet uses_of(const cms::Instr& in);
+[[nodiscard]] RegSet defs_of(const cms::Instr& in);
+/// "r3" or "f2" for a combined-index register.
+[[nodiscard]] std::string reg_name(int index);
+
+/// Warnings ("uninit-read") for reads of registers that are not definitely
+/// written on every path from entry. r0 is modeled as initialized: it is
+/// the conventional zero base register (see isa.hpp).
+[[nodiscard]] Report find_uninit_reads(const cms::Program& prog,
+                                       const Cfg& cfg);
+
+/// Warnings ("dead-store") for register writes whose value is overwritten
+/// on every path before any read. Registers are treated as live at program
+/// exit (final state is observable), so only genuine overwrites fire.
+[[nodiscard]] Report find_dead_stores(const cms::Program& prog,
+                                      const Cfg& cfg);
+
+/// Errors ("oob-load"/"oob-store") for memory accesses whose address
+/// interval lies entirely outside [0, mem_doubles). Partial overlaps are
+/// not reported: with widening, a counted loop's induction variable has an
+/// unbounded interval and flagging "possible" overruns would drown real
+/// findings.
+[[nodiscard]] Report find_oob_accesses(const cms::Program& prog,
+                                       const Cfg& cfg,
+                                       std::size_t mem_doubles);
+
+}  // namespace bladed::check

@@ -1,0 +1,41 @@
+#include "check/diagnostics.hpp"
+
+namespace bladed::check {
+
+void Report::add(Severity severity, std::string code, std::size_t instr,
+                 std::string message) {
+  if (severity == Severity::kError) ++errors_;
+  diagnostics_.push_back(
+      Diagnostic{severity, std::move(code), instr, std::move(message)});
+}
+
+void Report::merge(const Report& other) {
+  diagnostics_.reserve(diagnostics_.size() + other.diagnostics_.size());
+  for (const Diagnostic& d : other.diagnostics_) {
+    if (d.severity == Severity::kError) ++errors_;
+    diagnostics_.push_back(d);
+  }
+}
+
+bool Report::has(const std::string& code) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string Report::to_string() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.severity == Severity::kError ? "error[" : "warning[";
+    out += d.code;
+    out += "] @";
+    out += std::to_string(d.instr);
+    out += ": ";
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bladed::check

@@ -1,0 +1,68 @@
+#pragma once
+
+/// Diagnostic machinery for `bladed::check`, the static verification layer
+/// over CMS programs and translations. Checkers never throw on a bad input
+/// program — they accumulate diagnostics into a Report so a single pass can
+/// surface every finding at once (the model is a compiler front end, not a
+/// precondition check). Each diagnostic names the source instruction index
+/// it anchors to, so findings map straight back to the program listing.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bladed::check {
+
+enum class Severity : std::uint8_t {
+  kWarning,  ///< suspicious but semantically defined (registers zero-init)
+  kError,    ///< breaks program semantics or a translation invariant
+};
+
+/// One finding. `code` is a stable kebab-case identifier (e.g. "uninit-read",
+/// "oob-store", "resource-limit") that tests and tools match on; `instr` is
+/// the source instruction index the finding anchors to.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;
+  std::size_t instr = 0;
+  std::string message;
+};
+
+class Report {
+ public:
+  void add(Severity severity, std::string code, std::size_t instr,
+           std::string message);
+  void add_error(std::string code, std::size_t instr, std::string message) {
+    add(Severity::kError, std::move(code), instr, std::move(message));
+  }
+  void add_warning(std::string code, std::size_t instr, std::string message) {
+    add(Severity::kWarning, std::move(code), instr, std::move(message));
+  }
+
+  /// Append every diagnostic of `other` to this report.
+  void merge(const Report& other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] std::size_t error_count() const { return errors_; }
+  [[nodiscard]] std::size_t warning_count() const {
+    return diagnostics_.size() - errors_;
+  }
+  /// No errors (warnings allowed): the program/translation is accepted.
+  [[nodiscard]] bool ok() const { return errors_ == 0; }
+  /// No diagnostics at all.
+  [[nodiscard]] bool clean() const { return diagnostics_.empty(); }
+
+  /// True if any diagnostic carries `code`.
+  [[nodiscard]] bool has(const std::string& code) const;
+
+  /// Multi-line human-readable rendering ("error[oob-store] @3: ...").
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace bladed::check

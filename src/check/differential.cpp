@@ -1,0 +1,98 @@
+#include "check/differential.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace bladed::check {
+
+using cms::MachineState;
+
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+Report differential_check(const cms::Program& prog,
+                          const DifferentialOptions& opt) {
+  Report report;
+  for (int run = 0; run < opt.runs; ++run) {
+    Rng rng(opt.seed + static_cast<std::uint64_t>(run));
+    MachineState reference(opt.mem_doubles);
+    for (double& cell : reference.mem) cell = rng.uniform(-2.0, 2.0);
+    MachineState subject = reference;
+
+    cms::Interpreter interpreter;
+    cms::InterpretResult ri;
+    try {
+      ri = interpreter.run(prog, reference, 0, opt.max_instructions);
+    } catch (const std::exception& e) {
+      // Data-dependent runtime trap (e.g. an address the interval analysis
+      // could not prove out of bounds): not a translation bug.
+      report.add_warning("runtime-trap", 0,
+                         std::string("interpreter trapped on run ") +
+                             std::to_string(run) + ": " + e.what());
+      continue;
+    }
+    // A program may also terminate by branching to prog.size()
+    // (fallthrough-halt); only a genuinely exhausted budget skips the run.
+    if (!ri.halted && ri.instructions >= opt.max_instructions) {
+      report.add_warning("diff-timeout", 0,
+                         "interpreter hit the instruction budget; run " +
+                             std::to_string(run) + " not compared");
+      continue;
+    }
+
+    cms::MorphingConfig cfg;
+    // Vary the path mix: run 0 translates everything immediately, run 1
+    // warms up first, run 2 adds cache pressure (evict + retranslate).
+    cfg.hot_threshold = run == 0 ? 1 : 1ULL << (2 * run);
+    cfg.cache_molecules = run == 2 ? 8 : std::size_t{1} << 16;
+    cms::MorphingEngine engine(cfg);
+    try {
+      engine.run(prog, subject);
+    } catch (const std::exception& e) {
+      report.add_error("diff-halt", 0,
+                       std::string("engine trapped where the interpreter "
+                                   "halted cleanly (run ") +
+                           std::to_string(run) + "): " + e.what());
+      continue;
+    }
+
+    const std::string where = " (run " + std::to_string(run) +
+                              ", hot_threshold " +
+                              std::to_string(cfg.hot_threshold) + ")";
+    for (int r = 0; r < 16; ++r) {
+      if (reference.r[r] != subject.r[r]) {
+        report.add_error("diff-reg", 0,
+                         "r" + std::to_string(r) + " diverges: interpreter " +
+                             std::to_string(reference.r[r]) + ", engine " +
+                             std::to_string(subject.r[r]) + where);
+      }
+    }
+    for (int f = 0; f < 8; ++f) {
+      if (!same_bits(reference.f[f], subject.f[f])) {
+        report.add_error("diff-reg", 0,
+                         "f" + std::to_string(f) + " diverges: interpreter " +
+                             std::to_string(reference.f[f]) + ", engine " +
+                             std::to_string(subject.f[f]) + where);
+      }
+    }
+    for (std::size_t i = 0; i < reference.mem.size(); ++i) {
+      if (!same_bits(reference.mem[i], subject.mem[i])) {
+        report.add_error("diff-mem", 0,
+                         "mem[" + std::to_string(i) +
+                             "] diverges: interpreter " +
+                             std::to_string(reference.mem[i]) + ", engine " +
+                             std::to_string(subject.mem[i]) + where);
+        break;  // one cell is enough evidence per run
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace bladed::check

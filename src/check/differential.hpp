@@ -1,0 +1,30 @@
+#pragma once
+
+/// Differential-semantics check: the paper's correctness claim (§2.2) is
+/// that translated execution is indistinguishable from interpretation. This
+/// module tests exactly that — run the pure interpreter and the morphing
+/// engine on identical generated inputs and require bit-identical final
+/// machine state (registers, memory, halt behaviour). Engine configurations
+/// are varied across runs (hotspot threshold, cache size) so interpret-only,
+/// translate-early and evict-and-retranslate paths are all exercised.
+
+#include "check/diagnostics.hpp"
+#include "cms/engine.hpp"
+
+namespace bladed::check {
+
+struct DifferentialOptions {
+  int runs = 3;                   ///< distinct engine configs + inputs tried
+  std::size_t mem_doubles = 4096; ///< machine memory for each run
+  std::uint64_t seed = 0x5eed;    ///< base seed for generated memory images
+  std::uint64_t max_instructions = 4'000'000;  ///< interpreter budget per run
+};
+
+/// Errors ("diff-reg", "diff-mem", "diff-halt") when any engine run
+/// diverges from the interpreter; warning "diff-timeout" when the program
+/// exhausts the instruction budget (nothing to compare). `prog` must be
+/// valid (run check_program first).
+[[nodiscard]] Report differential_check(const cms::Program& prog,
+                                        const DifferentialOptions& opt = {});
+
+}  // namespace bladed::check

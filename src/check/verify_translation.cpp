@@ -1,0 +1,213 @@
+#include "check/verify_translation.hpp"
+
+#include <vector>
+
+#include "check/dataflow.hpp"
+#include "cms/interpreter.hpp"
+
+namespace bladed::check {
+
+using cms::Instr;
+using cms::Molecule;
+using cms::Op;
+using cms::Translation;
+
+namespace {
+
+int unpipelined_stall(Op op) {
+  if (op == Op::kFdiv || op == Op::kFsqrt) return cms::latency_of(op) - 1;
+  return 0;
+}
+
+bool is_terminator(Op op) { return cms::is_branch(op) || op == Op::kHalt; }
+
+/// Dependence kinds between two source instructions i < j.
+struct DepKind {
+  bool raw = false;
+  bool waw = false;
+  bool war = false;
+  bool mem = false;
+  [[nodiscard]] bool any() const { return raw || waw || war || mem; }
+};
+
+DepKind classify(const Instr& a, const Instr& b) {
+  DepKind k;
+  const RegSet da = defs_of(a), db = defs_of(b);
+  const RegSet ua = uses_of(a), ub = uses_of(b);
+  k.raw = (da & ub) != 0;
+  k.waw = (da & db) != 0;
+  k.war = (ua & db) != 0;
+  k.mem = cms::is_mem_op(a.op) && cms::is_mem_op(b.op) &&
+          (a.op == Op::kFstore || b.op == Op::kFstore);
+  return k;
+}
+
+}  // namespace
+
+Report verify_translation(const cms::Program& prog, const Translation& t,
+                          const cms::MoleculeLimits& limits) {
+  Report report;
+  if (t.entry_pc >= prog.size()) {
+    report.add_error("coverage", t.entry_pc,
+                     "translation entry pc outside the program");
+    return report;
+  }
+  const std::size_t begin = t.entry_pc;
+  const std::size_t end = cms::block_end(prog, begin);
+  if (t.instr_count != end - begin) {
+    report.add_error("coverage", begin,
+                     "translation claims " + std::to_string(t.instr_count) +
+                         " instructions but the region at " +
+                         std::to_string(begin) + " holds " +
+                         std::to_string(end - begin));
+    return report;
+  }
+
+  // Coverage + molecule placement of every source instruction.
+  std::vector<int> count(end - begin, 0);
+  std::vector<std::size_t> molecule_of(end - begin, 0);
+  bool coverage_broken = false;
+  for (std::size_t mi = 0; mi < t.molecules.size(); ++mi) {
+    const Molecule& m = t.molecules[mi];
+    if (m.atoms < 0 || m.atoms > limits.max_atoms) {
+      report.add_error("resource-limit", begin,
+                       "molecule " + std::to_string(mi) + " carries " +
+                           std::to_string(m.atoms) + " atoms (limit " +
+                           std::to_string(limits.max_atoms) + ")");
+      coverage_broken = true;
+      continue;
+    }
+    int alu = 0, fpu = 0, lsu = 0, br = 0;
+    for (int a = 0; a < m.atoms; ++a) {
+      const std::size_t pc = m.atom_pc[static_cast<std::size_t>(a)];
+      if (pc < begin || pc >= end) {
+        report.add_error("coverage", pc,
+                         "atom points outside the translated region [" +
+                             std::to_string(begin) + ", " +
+                             std::to_string(end) + ")");
+        coverage_broken = true;
+        continue;
+      }
+      ++count[pc - begin];
+      molecule_of[pc - begin] = mi;
+      switch (cms::unit_of(prog[pc].op)) {
+        case cms::UnitClass::kAlu: ++alu; break;
+        case cms::UnitClass::kFpu: ++fpu; break;
+        case cms::UnitClass::kLsu: ++lsu; break;
+        case cms::UnitClass::kBranch:
+        case cms::UnitClass::kNone: ++br; break;
+      }
+      if (is_terminator(prog[pc].op) && mi + 1 != t.molecules.size()) {
+        report.add_error("branch-placement", pc,
+                         "`" + cms::to_string(prog[pc]) +
+                             "` scheduled in molecule " + std::to_string(mi) +
+                             " of " + std::to_string(t.molecules.size()) +
+                             "; branch/halt atoms belong in the last "
+                             "molecule only");
+      }
+    }
+    const auto flag_unit = [&](int used, int limit, const char* unit) {
+      if (used > limit) {
+        report.add_error("resource-limit", begin,
+                         "molecule " + std::to_string(mi) + " issues " +
+                             std::to_string(used) + " " + unit +
+                             " atoms (limit " + std::to_string(limit) + ")");
+      }
+    };
+    flag_unit(alu, limits.alu, "ALU");
+    flag_unit(fpu, limits.fpu, "FPU");
+    flag_unit(lsu, limits.lsu, "LSU");
+    flag_unit(br, limits.branch, "branch");
+  }
+  for (std::size_t i = 0; i < count.size(); ++i) {
+    if (count[i] != 1) {
+      report.add_error("coverage", begin + i,
+                       "`" + cms::to_string(prog[begin + i]) + "` covered " +
+                           std::to_string(count[i]) +
+                           " times (every source instruction must appear "
+                           "exactly once)");
+      coverage_broken = true;
+    }
+  }
+  if (coverage_broken) return report;  // molecule_of is not trustworthy
+
+  // Start cycle of each molecule under the translation's stall accounting:
+  // this is the schedule native_cycles() charges for.
+  std::vector<std::uint64_t> start(t.molecules.size() + 1, 0);
+  for (std::size_t mi = 0; mi < t.molecules.size(); ++mi) {
+    start[mi + 1] =
+        start[mi] + 1 + static_cast<std::uint64_t>(t.molecules[mi].stall);
+  }
+
+  // Unpipelined fdiv/fsqrt must be charged to their molecule's stall even
+  // without an in-region consumer.
+  for (std::size_t mi = 0; mi < t.molecules.size(); ++mi) {
+    const Molecule& m = t.molecules[mi];
+    for (int a = 0; a < m.atoms; ++a) {
+      const std::size_t pc = m.atom_pc[static_cast<std::size_t>(a)];
+      const int need = unpipelined_stall(prog[pc].op);
+      if (m.stall < need) {
+        report.add_error("cycle-count", pc,
+                         "`" + cms::to_string(prog[pc]) +
+                             "` needs " + std::to_string(need) +
+                             " stall cycles but molecule " +
+                             std::to_string(mi) + " charges " +
+                             std::to_string(m.stall) +
+                             "; native_cycles() undercounts");
+      }
+    }
+  }
+
+  // Pairwise dependence checks: order across molecules, hazards within one.
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t j = i + 1; j < end; ++j) {
+      const DepKind k = classify(prog[i], prog[j]);
+      if (!k.any() && !is_terminator(prog[j].op)) continue;
+      const std::size_t mi = molecule_of[i - begin];
+      const std::size_t mj = molecule_of[j - begin];
+      if (mj < mi) {
+        report.add_error("dep-order", j,
+                         "`" + cms::to_string(prog[j]) + "` depends on `" +
+                             cms::to_string(prog[i]) + "` (instr " +
+                             std::to_string(i) +
+                             ") but is scheduled earlier (molecule " +
+                             std::to_string(mj) + " before " +
+                             std::to_string(mi) + ")");
+        continue;
+      }
+      if (mi == mj) {
+        // Same cycle: RAW and WAW are hazards; WAR is legal in a VLIW
+        // (reads precede writes within a molecule).
+        if (k.raw || k.waw || k.mem) {
+          report.add_error("intra-molecule-hazard", j,
+                           "`" + cms::to_string(prog[j]) + "` and `" +
+                               cms::to_string(prog[i]) + "` (instr " +
+                               std::to_string(i) + ") share molecule " +
+                               std::to_string(mi) + " with a " +
+                               (k.raw ? "RAW" : k.waw ? "WAW" : "memory") +
+                               " dependence");
+        }
+        continue;
+      }
+      // Strictly later molecule: a RAW consumer must start after the
+      // producer's latency has elapsed under the stall accounting.
+      if (k.raw) {
+        const auto lat =
+            static_cast<std::uint64_t>(cms::latency_of(prog[i].op));
+        if (start[mj] < start[mi] + lat) {
+          report.add_error(
+              "cycle-count", j,
+              "`" + cms::to_string(prog[j]) + "` starts at cycle " +
+                  std::to_string(start[mj]) + " but its operand from `" +
+                  cms::to_string(prog[i]) + "` (instr " + std::to_string(i) +
+                  ", cycle " + std::to_string(start[mi]) +
+                  ") needs latency " + std::to_string(lat) +
+                  "; stalls undercount");
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace bladed::check

@@ -1,0 +1,36 @@
+#pragma once
+
+/// Static verifier for translator output (§2.1-2.2): checks every invariant
+/// the list scheduler must preserve when it re-compiles a source region into
+/// VLIW molecules. Independent of the scheduler's own bookkeeping — it
+/// recomputes dependences from the source program, so a scheduling bug
+/// cannot hide behind the data structure that caused it.
+///
+/// Invariants checked (diagnostic codes in parentheses):
+///   - every source instruction of the region appears exactly once, and no
+///     atom points outside the region ("coverage")
+///   - per-molecule resource limits: atom count and per-unit-class counts
+///     within the MoleculeLimits ("resource-limit")
+///   - no intra-molecule RAW or WAW hazard: atoms in one molecule issue in
+///     the same cycle, so one may not consume or re-write a register another
+///     writes (WAR in one molecule is fine — VLIW reads happen first)
+///     ("intra-molecule-hazard")
+///   - source dependence order is respected across molecules
+///     ("dep-order")
+///   - producer→consumer latency is covered by molecule count and stall
+///     cycles, and unpipelined fdiv/fsqrt stalls are accounted, so
+///     native_cycles() is consistent with the dependence structure
+///     ("cycle-count")
+///   - branch and halt atoms appear only in the final molecule
+///     ("branch-placement")
+
+#include "check/diagnostics.hpp"
+#include "cms/translator.hpp"
+
+namespace bladed::check {
+
+[[nodiscard]] Report verify_translation(const cms::Program& prog,
+                                        const cms::Translation& t,
+                                        const cms::MoleculeLimits& limits = {});
+
+}  // namespace bladed::check

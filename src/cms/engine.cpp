@@ -1,5 +1,7 @@
 #include "cms/engine.hpp"
 
+#include "check/verify_translation.hpp"
+
 namespace bladed::cms {
 
 MorphingConfig cms_42x() {
@@ -79,6 +81,15 @@ MorphingStats MorphingEngine::run(const Program& prog, MachineState& st,
     if (count >= cfg_.hot_threshold) {
       // Hot: invoke the translator, cache the result, run native.
       Translation t = translator_.translate(prog, pc);
+      if (cfg_.verify_translations) {
+        const check::Report report =
+            check::verify_translation(prog, t, translator_.limits());
+        if (!report.ok()) {
+          throw SimulationError(
+              "CMS translation of block at pc " + std::to_string(pc) +
+              " failed static verification:\n" + report.to_string());
+        }
+      }
       s.translate_cycles += translator_.translation_cost(t.instr_count);
       ++s.translations;
       if (ever_translated_[pc]) ++s.retranslations;

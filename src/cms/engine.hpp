@@ -14,6 +14,14 @@
 
 namespace bladed::cms {
 
+/// Default for MorphingConfig::verify_translations: on in debug builds,
+/// off when NDEBUG is defined (release).
+#ifdef NDEBUG
+inline constexpr bool kVerifyTranslationsDefault = false;
+#else
+inline constexpr bool kVerifyTranslationsDefault = true;
+#endif
+
 struct MorphingConfig {
   InterpreterCosts interpreter;
   MoleculeLimits molecule;
@@ -21,6 +29,10 @@ struct MorphingConfig {
   std::size_t cache_molecules = 1 << 16;
   /// Executions of a block before the translator is invoked.
   std::uint64_t hot_threshold = 8;
+  /// Run bladed::check::verify_translation on every fresh translation
+  /// before it is cached; a finding raises SimulationError. Defaults on in
+  /// debug builds (the gate costs one pairwise pass per translated block).
+  bool verify_translations = kVerifyTranslationsDefault;
 };
 
 struct MorphingStats {

@@ -53,6 +53,97 @@ bool is_branch(Op op) {
   return op == Op::kBlt || op == Op::kBne || op == Op::kJmp;
 }
 
+bool is_mem_op(Op op) { return op == Op::kFload || op == Op::kFstore; }
+
+bool reads_int_reg(const Instr& in, int reg) {
+  switch (in.op) {
+    case Op::kAddi:
+    case Op::kMuli:
+      return in.b == reg;
+    case Op::kAdd:
+    case Op::kSub:
+      return in.b == reg || in.c == reg;
+    case Op::kFload:
+    case Op::kFstore:
+      return in.b == reg;
+    case Op::kBlt:
+    case Op::kBne:
+      return in.a == reg || in.b == reg;
+    default:
+      return false;
+  }
+}
+
+bool reads_fp_reg(const Instr& in, int reg) {
+  switch (in.op) {
+    case Op::kFadd:
+    case Op::kFsub:
+    case Op::kFmul:
+    case Op::kFdiv:
+      return in.b == reg || in.c == reg;
+    case Op::kFsqrt:
+      return in.b == reg;
+    case Op::kFstore:
+      return in.a == reg;
+    default:
+      return false;
+  }
+}
+
+std::string operand_range_error(const Instr& in) {
+  const auto int_reg = [](int r) { return r >= 0 && r < 16; };
+  const auto fp_reg = [](int r) { return r >= 0 && r < 8; };
+  const auto bad = [&](const char* field) {
+    return std::string(field) + " register of " + to_string(in.op) +
+           " out of range";
+  };
+  switch (in.op) {
+    case Op::kAddi:
+    case Op::kMuli:
+      if (!int_reg(in.a)) return bad("destination");
+      if (!int_reg(in.b)) return bad("source");
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+      if (!int_reg(in.a)) return bad("destination");
+      if (!int_reg(in.b) || !int_reg(in.c)) return bad("source");
+      break;
+    case Op::kMovi:
+      if (!int_reg(in.a)) return bad("destination");
+      break;
+    case Op::kFadd:
+    case Op::kFsub:
+    case Op::kFmul:
+    case Op::kFdiv:
+      if (!fp_reg(in.a)) return bad("destination");
+      if (!fp_reg(in.b) || !fp_reg(in.c)) return bad("source");
+      break;
+    case Op::kFsqrt:
+      if (!fp_reg(in.a)) return bad("destination");
+      if (!fp_reg(in.b)) return bad("source");
+      break;
+    case Op::kFmovi:
+      if (!fp_reg(in.a)) return bad("destination");
+      break;
+    case Op::kFload:
+      if (!fp_reg(in.a)) return bad("destination");
+      if (!int_reg(in.b)) return bad("base");
+      break;
+    case Op::kFstore:
+      if (!fp_reg(in.a)) return bad("source");
+      if (!int_reg(in.b)) return bad("base");
+      break;
+    case Op::kBlt:
+    case Op::kBne:
+      if (!int_reg(in.a) || !int_reg(in.b)) return bad("comparison");
+      break;
+    case Op::kJmp:
+    case Op::kHalt:
+      break;
+  }
+  return {};
+}
+
 bool writes_int_reg(Op op) {
   switch (op) {
     case Op::kAddi:
@@ -147,22 +238,18 @@ void validate(const Program& prog, std::size_t mem_doubles) {
   (void)mem_doubles;
   for (std::size_t pc = 0; pc < prog.size(); ++pc) {
     const Instr& in = prog[pc];
-    BLADED_REQUIRE(in.a >= 0 && in.b >= 0 && in.c >= 0);
-    if (writes_int_reg(in.op) || in.op == Op::kBlt || in.op == Op::kBne) {
-      BLADED_REQUIRE(in.a < 16 && in.b < 16 && in.c < 16);
-    }
-    if (writes_fp_reg(in.op) || in.op == Op::kFstore) {
-      BLADED_REQUIRE(in.a < 8);
-    }
+    const std::string range_error = operand_range_error(in);
+    BLADED_REQUIRE_MSG(range_error.empty(),
+                       "instr " + std::to_string(pc) + ": " + range_error);
     if (is_branch(in.op)) {
+      // Target == size() is allowed: it exits the program (fallthrough-halt).
       BLADED_REQUIRE_MSG(in.imm_i >= 0 &&
-                             in.imm_i < static_cast<std::int64_t>(prog.size()),
+                             in.imm_i <= static_cast<std::int64_t>(prog.size()),
                          "branch target out of range");
     }
   }
-  BLADED_REQUIRE_MSG(prog.back().op == Op::kHalt ||
-                         is_branch(prog.back().op),
-                     "program must end in halt or an unconditional branch");
+  BLADED_REQUIRE_MSG(prog.back().op == Op::kHalt || is_branch(prog.back().op),
+                     "program must end in a halt or a branch");
 }
 
 std::string to_string(Op op) {
@@ -186,6 +273,49 @@ std::string to_string(Op op) {
     case Op::kHalt: return "halt";
   }
   return "?";
+}
+
+std::string to_string(const Instr& in) {
+  const auto r = [](int i) { return "r" + std::to_string(i); };
+  const auto f = [](int i) { return "f" + std::to_string(i); };
+  const auto mem = [&](const Instr& m) {
+    return "[" + r(m.b) + (m.imm_i < 0 ? "" : "+") + std::to_string(m.imm_i) +
+           "]";
+  };
+  const std::string op = to_string(in.op);
+  switch (in.op) {
+    case Op::kAddi:
+    case Op::kMuli:
+      return op + " " + r(in.a) + ", " + r(in.b) + ", " +
+             std::to_string(in.imm_i);
+    case Op::kAdd:
+    case Op::kSub:
+      return op + " " + r(in.a) + ", " + r(in.b) + ", " + r(in.c);
+    case Op::kMovi:
+      return op + " " + r(in.a) + ", " + std::to_string(in.imm_i);
+    case Op::kFadd:
+    case Op::kFsub:
+    case Op::kFmul:
+    case Op::kFdiv:
+      return op + " " + f(in.a) + ", " + f(in.b) + ", " + f(in.c);
+    case Op::kFsqrt:
+      return op + " " + f(in.a) + ", " + f(in.b);
+    case Op::kFmovi:
+      return op + " " + f(in.a) + ", " + std::to_string(in.imm_f);
+    case Op::kFload:
+      return op + " " + f(in.a) + ", " + mem(in);
+    case Op::kFstore:
+      return op + " " + mem(in) + ", " + f(in.a);
+    case Op::kBlt:
+    case Op::kBne:
+      return op + " " + r(in.a) + ", " + r(in.b) + " -> " +
+             std::to_string(in.imm_i);
+    case Op::kJmp:
+      return op + " -> " + std::to_string(in.imm_i);
+    case Op::kHalt:
+      return op;
+  }
+  return op;
 }
 
 }  // namespace bladed::cms

@@ -9,7 +9,10 @@
 /// fully simulated.
 ///
 /// Machine model: 16 integer registers r0..r15, 8 fp registers f0..f7, a
-/// flat memory of doubles addressed by integer registers.
+/// flat memory of doubles addressed by integer registers. All registers are
+/// zero-initialized; by convention the sample programs keep r0 at zero and
+/// use it as the memory base register (the static checker models r0 as
+/// always-initialized for this reason).
 
 #include <cstdint>
 #include <string>
@@ -72,8 +75,22 @@ enum class UnitClass : std::uint8_t { kAlu, kFpu, kLsu, kBranch, kNone };
 [[nodiscard]] int latency_of(Op op);
 
 [[nodiscard]] bool is_branch(Op op);
+[[nodiscard]] bool is_mem_op(Op op);
 [[nodiscard]] bool writes_int_reg(Op op);
 [[nodiscard]] bool writes_fp_reg(Op op);
+
+/// Operand-level facts shared by the translator's dependence analysis and
+/// the `bladed::check` dataflow passes: does `in` read integer register
+/// `reg` / fp register `reg`?
+[[nodiscard]] bool reads_int_reg(const Instr& in, int reg);
+[[nodiscard]] bool reads_fp_reg(const Instr& in, int reg);
+
+/// Non-empty explanation when an operand register index of `in` is outside
+/// its register file; empty string when all operands are in range. Shared
+/// by validate() (which throws on it) and check::check_program (which turns
+/// it into a diagnostic), so the two layers accept exactly the same
+/// programs.
+[[nodiscard]] std::string operand_range_error(const Instr& in);
 
 /// Execute one instruction; returns the next pc. Shared by the interpreter
 /// and the native-execution path so semantics are identical by construction.
@@ -81,8 +98,12 @@ enum class UnitClass : std::uint8_t { kAlu, kFpu, kLsu, kBranch, kNone };
                                      MachineState& st);
 
 /// Validate static well-formedness (register indices, branch targets).
+/// Branch targets may equal `prog.size()`: branching one past the end exits
+/// the program like a halt (fallthrough-halt).
 void validate(const Program& prog, std::size_t mem_doubles = 4096);
 
 [[nodiscard]] std::string to_string(Op op);
+/// Full rendering with operands, e.g. "fload f2, [r1+0]" or "blt r1, r2 -> 3".
+[[nodiscard]] std::string to_string(const Instr& in);
 
 }  // namespace bladed::cms

@@ -131,4 +131,17 @@ Program many_blocks_program(int blocks, std::int64_t rounds) {
   return p;
 }
 
+std::vector<NamedProgram> lint_corpus() {
+  std::vector<NamedProgram> corpus;
+  corpus.push_back({"daxpy_n32", daxpy_program(32), 4096});
+  corpus.push_back({"unrolled_daxpy_n30_u2", unrolled_daxpy_program(30, 2),
+                    4096});
+  corpus.push_back({"unrolled_daxpy_n30_u3", unrolled_daxpy_program(30, 3),
+                    4096});
+  corpus.push_back({"nr_rsqrt_i8", nr_rsqrt_program(8), 4096});
+  corpus.push_back({"branchy_n16", branchy_program(16), 4096});
+  corpus.push_back({"many_blocks_b8_r5", many_blocks_program(8, 5), 4096});
+  return corpus;
+}
+
 }  // namespace bladed::cms

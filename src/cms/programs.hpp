@@ -4,6 +4,9 @@
 /// cms_demo example and the CMS ablation bench. Each returns a validated
 /// Program plus a closed-form expectation of its result for verification.
 
+#include <string>
+#include <vector>
+
 #include "cms/isa.hpp"
 
 namespace bladed::cms {
@@ -30,5 +33,17 @@ namespace bladed::cms {
 /// times — stresses translation-cache capacity. Writes block id sums into
 /// mem[block].
 [[nodiscard]] Program many_blocks_program(int blocks, std::int64_t rounds);
+
+/// One entry of the built-in verification corpus: a named program and the
+/// machine memory size it assumes.
+struct NamedProgram {
+  std::string name;
+  Program program;
+  std::size_t mem_doubles = 4096;
+};
+
+/// Every built-in program at representative sizes — the corpus `bladed-lint`
+/// and the check-layer tests run all diagnostics over.
+[[nodiscard]] std::vector<NamedProgram> lint_corpus();
 
 }  // namespace bladed::cms

@@ -39,45 +39,6 @@ struct Dep {
   std::vector<int> preds;  ///< indices (block-relative) this instr waits on
 };
 
-bool reads_int(const Instr& in, int reg) {
-  switch (in.op) {
-    case Op::kAddi:
-    case Op::kMuli:
-      return in.b == reg;
-    case Op::kAdd:
-    case Op::kSub:
-      return in.b == reg || in.c == reg;
-    case Op::kFload:
-    case Op::kFstore:
-      return in.b == reg;
-    case Op::kBlt:
-    case Op::kBne:
-      return in.a == reg || in.b == reg;
-    default:
-      return false;
-  }
-}
-
-bool reads_fp(const Instr& in, int reg) {
-  switch (in.op) {
-    case Op::kFadd:
-    case Op::kFsub:
-    case Op::kFmul:
-    case Op::kFdiv:
-      return in.b == reg || in.c == reg;
-    case Op::kFsqrt:
-      return in.b == reg;
-    case Op::kFstore:
-      return in.a == reg;
-    default:
-      return false;
-  }
-}
-
-bool is_mem(const Instr& in) {
-  return in.op == Op::kFload || in.op == Op::kFstore;
-}
-
 }  // namespace
 
 Translation Translator::translate(const Program& prog, std::size_t pc) const {
@@ -94,18 +55,18 @@ Translation Translator::translate(const Program& prog, std::size_t pc) const {
       bool edge = false;
       // RAW / WAW / WAR through integer registers.
       if (writes_int_reg(a.op) &&
-          (reads_int(b, a.a) || (writes_int_reg(b.op) && b.a == a.a))) {
+          (reads_int_reg(b, a.a) || (writes_int_reg(b.op) && b.a == a.a))) {
         edge = true;
       }
-      if (writes_int_reg(b.op) && reads_int(a, b.a)) edge = true;  // WAR
+      if (writes_int_reg(b.op) && reads_int_reg(a, b.a)) edge = true;  // WAR
       // Through fp registers.
       if (writes_fp_reg(a.op) &&
-          (reads_fp(b, a.a) || (writes_fp_reg(b.op) && b.a == a.a))) {
+          (reads_fp_reg(b, a.a) || (writes_fp_reg(b.op) && b.a == a.a))) {
         edge = true;
       }
-      if (writes_fp_reg(b.op) && reads_fp(a, b.a)) edge = true;  // WAR
+      if (writes_fp_reg(b.op) && reads_fp_reg(a, b.a)) edge = true;  // WAR
       // Conservative memory ordering: stores order against all memory ops.
-      if (is_mem(a) && is_mem(b) &&
+      if (is_mem_op(a.op) && is_mem_op(b.op) &&
           (a.op == Op::kFstore || b.op == Op::kFstore)) {
         edge = true;
       }

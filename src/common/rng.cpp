@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
+
 namespace bladed {
 
 namespace {
@@ -59,6 +61,7 @@ double Rng::normal() {
 }
 
 std::uint64_t Rng::below(std::uint64_t n) {
+  BLADED_REQUIRE_MSG(n > 0, "empty range");
   // Lemire-style rejection-free bounded draw is overkill here; modulo bias is
   // negligible for the n << 2^64 uses in this library, but reject anyway to
   // keep property tests exact.

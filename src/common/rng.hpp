@@ -25,7 +25,7 @@ class Rng {
   /// Standard normal deviate (Marsaglia polar method).
   double normal();
 
-  /// Uniform integer in [0, n).
+  /// Uniform integer in [0, n). Requires n > 0.
   std::uint64_t below(std::uint64_t n);
 
   /// Advance this stream by 2^128 steps, giving a statistically independent

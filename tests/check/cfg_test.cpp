@@ -1,0 +1,121 @@
+#include "check/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cms/programs.hpp"
+
+namespace bladed::check {
+namespace {
+
+using cms::Instr;
+using cms::Op;
+
+Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  cms::Program p = {make(Op::kMovi, 1, 0, 0, 1), make(Op::kAddi, 2, 1, 0, 2),
+                    make(Op::kHalt)};
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  EXPECT_EQ(cfg.blocks()[0].begin, 0u);
+  EXPECT_EQ(cfg.blocks()[0].end, 3u);
+  ASSERT_EQ(cfg.blocks()[0].succs.size(), 1u);
+  EXPECT_EQ(cfg.blocks()[0].succs[0], cfg.exit_pc());
+}
+
+TEST(Cfg, BranchTargetSplitsBlocks) {
+  // A backward branch into the middle of straight-line code forces a block
+  // boundary at the target even though no branch ends there.
+  cms::Program p = {make(Op::kMovi, 1, 0, 0, 0),   // 0
+                    make(Op::kAddi, 1, 1, 0, 1),   // 1  <- branch target
+                    make(Op::kMovi, 2, 0, 0, 10),  // 2
+                    make(Op::kBlt, 1, 2, 0, 1),    // 3
+                    make(Op::kHalt)};              // 4
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  EXPECT_EQ(cfg.blocks()[0].end, 1u);
+  EXPECT_EQ(cfg.blocks()[1].begin, 1u);
+  EXPECT_EQ(cfg.blocks()[1].end, 4u);
+  EXPECT_EQ(cfg.block_of(2), 1u);
+  // The conditional block has both the target and the fall-through.
+  const auto& succs = cfg.blocks()[1].succs;
+  ASSERT_EQ(succs.size(), 2u);
+  EXPECT_EQ(succs[0], 1u);
+  EXPECT_EQ(succs[1], 4u);
+}
+
+TEST(Cfg, DaxpyLoopShape) {
+  const cms::Program p = cms::daxpy_program(8);
+  const Cfg cfg = Cfg::build(p);
+  // Preamble [0,3), loop body [3,10), halt [10,11).
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  EXPECT_EQ(cfg.blocks()[1].begin, 3u);
+  EXPECT_EQ(cfg.blocks()[1].end, 10u);
+  // The loop block is its own successor (back edge) plus fall-through.
+  const auto& succs = cfg.blocks()[1].succs;
+  EXPECT_NE(std::find(succs.begin(), succs.end(), 3u), succs.end());
+  EXPECT_NE(std::find(succs.begin(), succs.end(), 10u), succs.end());
+  EXPECT_TRUE(cfg.unreachable_blocks().empty());
+}
+
+TEST(Cfg, SelfLoopBlock) {
+  // Block [1,3) branches to its own leader: the CFG must record the
+  // self-edge and still see every block as reachable.
+  cms::Program p = {make(Op::kMovi, 1, 0, 0, 0),  // 0
+                    make(Op::kAddi, 1, 1, 0, 1),  // 1 <- self-loop leader
+                    make(Op::kBlt, 1, 2, 0, 1),   // 2
+                    make(Op::kHalt)};             // 3
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  const std::size_t self = cfg.block_of(1);
+  const auto& succs = cfg.blocks()[self].succs;
+  EXPECT_NE(std::find(succs.begin(), succs.end(), 1u), succs.end());
+  EXPECT_TRUE(cfg.unreachable_blocks().empty());
+  const auto preds = cfg.predecessors();
+  EXPECT_NE(std::find(preds[self].begin(), preds[self].end(), self),
+            preds[self].end());
+}
+
+TEST(Cfg, UnreachableBlockDetected) {
+  cms::Program p = {make(Op::kJmp, 0, 0, 0, 3),    // 0
+                    make(Op::kMovi, 1, 0, 0, 1),   // 1 unreachable
+                    make(Op::kJmp, 0, 0, 0, 3),    // 2 unreachable
+                    make(Op::kHalt)};              // 3
+  const Cfg cfg = Cfg::build(p);
+  const auto unreachable = cfg.unreachable_blocks();
+  ASSERT_EQ(unreachable.size(), 1u);
+  EXPECT_EQ(unreachable[0], 1u);
+}
+
+TEST(Cfg, BranchToProgramSizeIsExitEdge) {
+  cms::Program p = {make(Op::kMovi, 1, 0, 0, 1),
+                    make(Op::kJmp, 0, 0, 0, 2)};
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  ASSERT_EQ(cfg.blocks()[0].succs.size(), 1u);
+  EXPECT_EQ(cfg.blocks()[0].succs[0], cfg.exit_pc());
+}
+
+TEST(Cfg, BranchyProgramAllBlocksReachable) {
+  const cms::Program p = cms::branchy_program(4);
+  const Cfg cfg = Cfg::build(p);
+  EXPECT_TRUE(cfg.unreachable_blocks().empty());
+  // Every instruction belongs to exactly one block and blocks tile the
+  // program.
+  std::size_t covered = 0;
+  for (const BasicBlock& bb : cfg.blocks()) covered += bb.end - bb.begin;
+  EXPECT_EQ(covered, p.size());
+}
+
+}  // namespace
+}  // namespace bladed::check

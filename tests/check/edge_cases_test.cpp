@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "check/differential.hpp"
+#include "cms/engine.hpp"
+#include "cms/interpreter.hpp"
+#include "cms/programs.hpp"
+#include "common/error.hpp"
+
+namespace bladed::check {
+namespace {
+
+using cms::Instr;
+using cms::MachineState;
+using cms::Op;
+
+Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+
+// --- Branch to prog.size(): terminates like a halt (fallthrough-halt). ---
+
+TEST(EdgeCases, BranchToProgramSizeIsAcceptedWithWarning) {
+  const cms::Program p = {make(Op::kMovi, 1, 0, 0, 7),
+                          make(Op::kJmp, 0, 0, 0, 2)};
+  EXPECT_NO_THROW(cms::validate(p));
+  const Report r = check_program(p);
+  EXPECT_TRUE(r.ok());      // warning, not error
+  EXPECT_FALSE(r.clean());
+  ASSERT_TRUE(r.has("branch-exit"));
+  EXPECT_EQ(r.diagnostics()[0].instr, 1u);
+}
+
+TEST(EdgeCases, BranchToProgramSizeBeyondIsStillRejected) {
+  const cms::Program p = {make(Op::kMovi, 1, 0, 0, 7),
+                          make(Op::kJmp, 0, 0, 0, 3)};
+  EXPECT_THROW(cms::validate(p), PreconditionError);
+  const Report r = check_program(p);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has("branch-target"));
+}
+
+TEST(EdgeCases, FallthroughHaltExecutesIdenticallyEverywhere) {
+  // A conditional branch whose taken edge is pc == prog.size(): both the
+  // interpreter and the morphing engine must stop there with the same state.
+  const cms::Program p = {make(Op::kMovi, 2, 0, 0, 5),   // 0
+                          make(Op::kAddi, 1, 1, 0, 1),   // 1: loop body
+                          make(Op::kBlt, 1, 2, 0, 1),    // 2: loop while r1<r2
+                          make(Op::kJmp, 0, 0, 0, 4)};   // 3: exit == size
+  MachineState mi;
+  cms::Interpreter interp;
+  const cms::InterpretResult ri = interp.run(p, mi);
+  EXPECT_FALSE(ri.halted);  // no halt retired, yet execution finished
+  EXPECT_EQ(mi.r[1], 5);
+
+  cms::MorphingConfig cfg;
+  cfg.hot_threshold = 1;  // translate every block immediately
+  cfg.verify_translations = true;
+  MachineState me;
+  cms::MorphingEngine engine(cfg);
+  EXPECT_NO_THROW(engine.run(p, me));
+  EXPECT_EQ(me.r[1], 5);
+  EXPECT_EQ(me.r[2], 5);
+
+  EXPECT_TRUE(differential_check(p).clean());
+}
+
+// --- Negative imm_i memory offsets. ---
+
+TEST(EdgeCases, NegativeOffsetInRangeIsCleanAndRuns) {
+  const cms::Program p = {make(Op::kMovi, 1, 0, 0, 10),
+                          make(Op::kFmovi, 0),
+                          make(Op::kFstore, 0, 1, 0, -3),  // mem[10-3]
+                          make(Op::kHalt)};
+  EXPECT_TRUE(check_program(p).clean());
+  MachineState st;
+  st.f[0] = 0.0;  // fmovi writes imm_f (0.0); store should land at mem[7]
+  st.mem.assign(st.mem.size(), 1.0);
+  cms::Interpreter interp;
+  interp.run(p, st);
+  EXPECT_EQ(st.mem[7], 0.0);
+  EXPECT_EQ(st.mem[6], 1.0);
+}
+
+TEST(EdgeCases, NegativeOffsetUnderflowIsStaticErrorAndRuntimeTrap) {
+  const cms::Program p = {make(Op::kFload, 0, 0, 0, -3), make(Op::kHalt)};
+  EXPECT_NO_THROW(cms::validate(p));  // validate is operand-level only
+  const Report r = check_program(p);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has("oob-load"));
+  // The same access traps at runtime — the static error is a true positive.
+  MachineState st;
+  cms::Interpreter interp;
+  EXPECT_THROW(interp.run(p, st), PreconditionError);
+}
+
+TEST(EdgeCases, NegativeOffsetReachableThroughArithmeticIsCaught) {
+  // The base register is provably 2, so imm_i = -5 always underflows.
+  const cms::Program p = {make(Op::kMovi, 1, 0, 0, 7),
+                          make(Op::kAddi, 1, 1, 0, -5),   // r1 = 2
+                          make(Op::kFload, 3, 1, 0, -5),  // mem[-3]
+                          make(Op::kHalt)};
+  const Report r = check_program(p);
+  ASSERT_TRUE(r.has("oob-load"));
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.code == "oob-load") {
+      EXPECT_EQ(d.instr, 2u);
+    }
+  }
+}
+
+// --- Self-loop blocks. ---
+
+TEST(EdgeCases, SelfLoopBlockChecksCleanAndMatchesInterpreter) {
+  const cms::Program p = {make(Op::kMovi, 1, 0, 0, 0),    // 0
+                          make(Op::kMovi, 2, 0, 0, 100),  // 1
+                          make(Op::kAddi, 1, 1, 0, 1),    // 2: self-loop head
+                          make(Op::kBlt, 1, 2, 0, 2),     // 3: -> own leader
+                          make(Op::kHalt)};               // 4
+  EXPECT_TRUE(check_program(p).clean());
+  EXPECT_TRUE(check_translations(p).clean());
+
+  MachineState mi;
+  cms::Interpreter interp;
+  const cms::InterpretResult ri = interp.run(p, mi);
+  EXPECT_TRUE(ri.halted);
+  EXPECT_EQ(mi.r[1], 100);
+
+  cms::MorphingConfig cfg;
+  cfg.hot_threshold = 4;  // the self-loop block gets hot mid-run
+  cfg.verify_translations = true;
+  MachineState me;
+  cms::MorphingEngine engine(cfg);
+  const cms::MorphingStats s = engine.run(p, me);
+  EXPECT_EQ(me.r[1], 100);
+  EXPECT_GE(s.translations, 1u);
+  EXPECT_GE(s.native_block_executions, 1u);
+}
+
+// --- The engine's debug-mode verification gate. ---
+
+TEST(EdgeCases, EngineVerificationGateAcceptsCorpus) {
+  for (const auto& entry : cms::lint_corpus()) {
+    cms::MorphingConfig cfg;
+    cfg.hot_threshold = 1;  // verify every block's translation
+    cfg.verify_translations = true;
+    cms::MorphingEngine engine(cfg);
+    MachineState st(entry.mem_doubles);
+    EXPECT_NO_THROW(engine.run(entry.program, st)) << entry.name;
+  }
+}
+
+TEST(EdgeCases, DifferentialCheckAcceptsCorpus) {
+  for (const auto& entry : cms::lint_corpus()) {
+    DifferentialOptions opt;
+    opt.mem_doubles = entry.mem_doubles;
+    const Report r = differential_check(entry.program, opt);
+    EXPECT_TRUE(r.clean()) << entry.name << ":\n" << r.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace bladed::check

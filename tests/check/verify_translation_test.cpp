@@ -1,0 +1,181 @@
+#include "check/verify_translation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "cms/interpreter.hpp"
+#include "cms/programs.hpp"
+
+namespace bladed::check {
+namespace {
+
+using cms::Instr;
+using cms::Molecule;
+using cms::Op;
+using cms::Translation;
+using cms::Translator;
+
+Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+
+Molecule molecule(std::initializer_list<std::uint32_t> pcs, int stall = 0) {
+  Molecule m{};
+  int i = 0;
+  for (const std::uint32_t pc : pcs) {
+    m.atom_pc[static_cast<std::size_t>(i++)] = pc;
+  }
+  m.atoms = i;
+  m.stall = stall;
+  return m;
+}
+
+TEST(VerifyTranslation, AcceptsEveryCorpusTranslation) {
+  Translator tr;
+  for (const auto& entry : cms::lint_corpus()) {
+    for (std::size_t pc = 0; pc < entry.program.size();
+         pc = cms::block_end(entry.program, pc)) {
+      const Translation t = tr.translate(entry.program, pc);
+      const Report r = verify_translation(entry.program, t, tr.limits());
+      EXPECT_TRUE(r.clean())
+          << entry.name << " block @" << pc << ":\n" << r.to_string();
+    }
+  }
+}
+
+TEST(VerifyTranslation, CheckTranslationsDriverAcceptsCorpus) {
+  for (const auto& entry : cms::lint_corpus()) {
+    EXPECT_TRUE(check_translations(entry.program).clean()) << entry.name;
+  }
+}
+
+TEST(VerifyTranslation, RejectsResourceOversubscription) {
+  const cms::Program p = {make(Op::kAddi, 1, 0, 0, 1),
+                          make(Op::kAddi, 2, 0, 0, 2),
+                          make(Op::kAddi, 3, 0, 0, 3), make(Op::kHalt)};
+  Translation t;
+  t.entry_pc = 0;
+  t.instr_count = 4;
+  t.molecules = {molecule({0, 1, 2}), molecule({3})};  // 3 ALU atoms, max 2
+  const Report r = verify_translation(p, t);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has("resource-limit")) << r.to_string();
+}
+
+TEST(VerifyTranslation, RejectsIntraMoleculeRawHazard) {
+  const cms::Program p = {make(Op::kAddi, 1, 0, 0, 1),
+                          make(Op::kAdd, 2, 1, 1), make(Op::kHalt)};
+  Translation t;
+  t.entry_pc = 0;
+  t.instr_count = 3;
+  t.molecules = {molecule({0, 1}), molecule({2})};
+  const Report r = verify_translation(p, t);
+  ASSERT_TRUE(r.has("intra-molecule-hazard")) << r.to_string();
+  // The diagnostic anchors at the consumer instruction.
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.code == "intra-molecule-hazard") {
+      EXPECT_EQ(d.instr, 1u);
+    }
+  }
+}
+
+TEST(VerifyTranslation, RejectsIntraMoleculeWawHazard) {
+  const cms::Program p = {make(Op::kMovi, 1, 0, 0, 1),
+                          make(Op::kMovi, 1, 0, 0, 2),
+                          make(Op::kAddi, 2, 1, 0, 0), make(Op::kHalt)};
+  Translation t;
+  t.entry_pc = 0;
+  t.instr_count = 4;
+  t.molecules = {molecule({0, 1}), molecule({2}), molecule({3})};
+  EXPECT_TRUE(verify_translation(p, t).has("intra-molecule-hazard"));
+}
+
+TEST(VerifyTranslation, RejectsReversedDependenceOrder) {
+  const cms::Program p = {make(Op::kFmul, 1, 2, 3),
+                          make(Op::kFadd, 4, 1, 1), make(Op::kHalt)};
+  Translation t;
+  t.entry_pc = 0;
+  t.instr_count = 3;
+  t.molecules = {molecule({1}), molecule({0}), molecule({2})};
+  const Report r = verify_translation(p, t);
+  EXPECT_TRUE(r.has("dep-order")) << r.to_string();
+}
+
+TEST(VerifyTranslation, RejectsStrippedStalls) {
+  // A legal schedule whose stall cycles are zeroed out claims fewer native
+  // cycles than the dependence latencies require.
+  const cms::Program p = {make(Op::kFmul, 1, 2, 3),
+                          make(Op::kFadd, 4, 1, 1), make(Op::kHalt)};
+  Translator tr;
+  Translation t = tr.translate(p, 0);
+  ASSERT_TRUE(verify_translation(p, t).clean());
+  for (Molecule& m : t.molecules) m.stall = 0;
+  const Report r = verify_translation(p, t);
+  EXPECT_TRUE(r.has("cycle-count")) << r.to_string();
+}
+
+TEST(VerifyTranslation, RejectsUnderchargedUnpipelinedOp) {
+  // fdiv occupies the FPU for latency-1 extra cycles; its molecule must
+  // charge them even when nothing in the region consumes the result.
+  const cms::Program p = {make(Op::kFdiv, 1, 2, 3), make(Op::kHalt)};
+  Translator tr;
+  Translation t = tr.translate(p, 0);
+  ASSERT_TRUE(verify_translation(p, t).clean());
+  t.molecules[0].stall = 0;
+  EXPECT_TRUE(verify_translation(p, t).has("cycle-count"));
+}
+
+TEST(VerifyTranslation, RejectsBranchOutsideLastMolecule) {
+  const cms::Program p = {make(Op::kMovi, 1, 0, 0, 1),
+                          make(Op::kBlt, 2, 3, 0, 0), make(Op::kHalt)};
+  Translation t;
+  t.entry_pc = 0;
+  t.instr_count = 2;
+  t.molecules = {molecule({1}), molecule({0})};
+  EXPECT_TRUE(verify_translation(p, t).has("branch-placement"));
+}
+
+TEST(VerifyTranslation, RejectsDuplicateAndMissingCoverage) {
+  const cms::Program p = {make(Op::kMovi, 1, 0, 0, 1),
+                          make(Op::kMovi, 2, 0, 0, 2), make(Op::kHalt)};
+  Translation t;
+  t.entry_pc = 0;
+  t.instr_count = 3;
+  Molecule m = molecule({0, 0});  // instr 0 twice, instr 1 never
+  t.molecules = {m, molecule({2})};
+  const Report r = verify_translation(p, t);
+  EXPECT_TRUE(r.has("coverage"));
+  EXPECT_GE(r.error_count(), 2u);
+}
+
+TEST(VerifyTranslation, RejectsWrongInstrCount) {
+  const cms::Program p = {make(Op::kMovi, 1, 0, 0, 1), make(Op::kHalt)};
+  Translation t;
+  t.entry_pc = 0;
+  t.instr_count = 5;
+  t.molecules = {molecule({0}), molecule({1})};
+  EXPECT_TRUE(verify_translation(p, t).has("coverage"));
+}
+
+TEST(VerifyTranslation, WarInSameMoleculeIsLegal) {
+  // VLIW semantics: reads happen before writes within a molecule, so an
+  // anti-dependence packed into one molecule is not a hazard.
+  const cms::Program p = {make(Op::kAddi, 1, 2, 0, 1),   // reads r2
+                          make(Op::kMovi, 2, 0, 0, 9),   // writes r2
+                          make(Op::kHalt)};
+  Translation t;
+  t.entry_pc = 0;
+  t.instr_count = 3;
+  t.molecules = {molecule({0, 1}), molecule({2})};
+  const Report r = verify_translation(p, t);
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+}  // namespace
+}  // namespace bladed::check

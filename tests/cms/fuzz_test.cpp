@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "check/check.hpp"
+#include "check/verify_translation.hpp"
 #include "cms/engine.hpp"
 #include "common/rng.hpp"
 
@@ -164,6 +166,55 @@ TEST_P(CmsFuzz, TranslationsCoverRegionsExactlyOnce) {
     ASSERT_EQ(atoms, t.instr_count);
     for (std::size_t i = pc; i < block_end(prog, pc); ++i) {
       ASSERT_EQ(seen[i], 1) << "instr " << i;
+    }
+  }
+}
+
+TEST_P(CmsFuzz, CheckerAcceptsExactlyWhatValidateAccepts) {
+  // The static checker's *error* set must agree with validate(): every
+  // generated program passes both, and structural corruptions fail both.
+  // (check may still emit warnings — uninit fp reads are common in random
+  // programs — which validate by design does not model.)
+  Rng rng(9000 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 8; ++trial) {
+    const Program prog =
+        random_program(rng, 2 + static_cast<int>(rng.below(5)),
+                       5 + static_cast<std::int64_t>(rng.below(40)), 64);
+    ASSERT_NO_THROW(validate(prog, 64));
+    const check::Report ok = check::check_program(prog, 64);
+    ASSERT_TRUE(ok.ok()) << ok.to_string();
+
+    // Corruption 1: a branch target far past the end.
+    Program bad_target = prog;
+    bad_target[bad_target.size() - 2].imm_i = 1000;  // the loop blt
+    ASSERT_THROW(validate(bad_target, 64), PreconditionError);
+    ASSERT_TRUE(check::check_program(bad_target, 64).has("branch-target"));
+
+    // Corruption 2: a register index outside its file (instr 0 is always
+    // the movi that zeroes the loop counter, so `a` is a checked operand).
+    Program bad_reg = prog;
+    bad_reg[0].a = 99;
+    ASSERT_THROW(validate(bad_reg, 64), PreconditionError);
+    ASSERT_TRUE(check::check_program(bad_reg, 64).has("bad-register"));
+  }
+}
+
+TEST_P(CmsFuzz, VerifierAcceptsTranslatorOutput) {
+  // Every translation the scheduler emits for a random program must satisfy
+  // the full invariant suite — resource limits, hazard freedom, dependence
+  // order, cycle accounting.
+  Rng rng(13000 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 4; ++trial) {
+    const Program prog =
+        random_program(rng, 2 + static_cast<int>(rng.below(5)),
+                       5 + static_cast<std::int64_t>(rng.below(40)), 64);
+    Translator tr;
+    for (std::size_t pc = 0; pc < prog.size(); pc = block_end(prog, pc)) {
+      const Translation t = tr.translate(prog, pc);
+      const check::Report r = check::verify_translation(prog, t, tr.limits());
+      ASSERT_TRUE(r.clean())
+          << "seed " << GetParam() << " trial " << trial << " block @" << pc
+          << ":\n" << r.to_string();
     }
   }
 }
