@@ -38,3 +38,4 @@ bladed_add_bench(green500_preview)
 bladed_add_bench(npb_parallel)
 bladed_add_bench(roofline_report)
 bladed_add_bench(ops_montecarlo)
+bladed_add_bench(ablation_faultrun)

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace bladed {
 
@@ -16,6 +17,49 @@ class PreconditionError : public std::logic_error {
 class SimulationError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Base of the typed fault-layer errors, so callers can distinguish an
+/// injected/executed failure (recoverable by checkpoint/restart) from a
+/// programming error in the simulated application.
+class FaultError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+/// A blocking receive exceeded its configured timeout.
+class RecvTimeoutError : public FaultError {
+ public:
+  RecvTimeoutError(const std::string& msg, int rank, int src, int tag,
+                   double waited_seconds)
+      : FaultError(msg), rank(rank), src(src), tag(tag),
+        waited_seconds(waited_seconds) {}
+  int rank;
+  int src;
+  int tag;
+  double waited_seconds;
+};
+
+/// The heartbeat failure detector declared a peer dead while this rank was
+/// waiting on it (the typed alternative to hanging forever).
+class PeerFailureError : public FaultError {
+ public:
+  PeerFailureError(const std::string& msg, int rank, int peer,
+                   double peer_failed_at)
+      : FaultError(msg), rank(rank), peer(peer),
+        peer_failed_at(peer_failed_at) {}
+  int rank;
+  int peer;
+  double peer_failed_at;
+};
+
+/// The run cannot make progress because one or more nodes failed (e.g. a
+/// barrier can never complete after a crash). Lists the dead nodes.
+class NodeFailureError : public FaultError {
+ public:
+  NodeFailureError(const std::string& msg, std::vector<int> nodes)
+      : FaultError(msg), nodes(std::move(nodes)) {}
+  std::vector<int> nodes;
 };
 
 namespace detail {

@@ -1,0 +1,62 @@
+#include "fault/checkpoint.hpp"
+
+namespace bladed::fault {
+
+void CheckpointStore::save(int rank, int version,
+                           std::vector<std::byte> blob) {
+  Entry e;
+  e.crc = crc32_of(blob);
+  e.blob = std::move(blob);
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_[{rank, version}] = std::move(e);
+}
+
+std::optional<std::vector<std::byte>> CheckpointStore::load(
+    int rank, int version) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find({rank, version});
+  if (it == entries_.end()) return std::nullopt;
+  if (crc32_of(it->second.blob) != it->second.crc) return std::nullopt;
+  return it->second.blob;
+}
+
+int CheckpointStore::last_complete_version(int ranks) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  int best = -1;
+  // Versions present for rank 0 are the candidates.
+  for (const auto& [key, entry] : entries_) {
+    const auto& [rank, version] = key;
+    if (rank != 0 || version <= best) continue;
+    bool complete = true;
+    for (int r = 1; r < ranks; ++r) {
+      if (entries_.find({r, version}) == entries_.end()) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) best = version;
+  }
+  return best;
+}
+
+void CheckpointStore::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+}
+
+std::size_t CheckpointStore::bytes_stored() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, entry] : entries_) n += entry.blob.size();
+  return n;
+}
+
+void CheckpointStore::damage(int rank, int version) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find({rank, version});
+  if (it != entries_.end() && !it->second.blob.empty()) {
+    it->second.blob[it->second.blob.size() / 2] ^= std::byte{0x40};
+  }
+}
+
+}  // namespace bladed::fault

@@ -1,0 +1,104 @@
+#pragma once
+
+/// In-memory coordinated-checkpoint store for the fault-tolerant parallel
+/// drivers. Each rank commits a CRC32-protected blob per checkpoint version;
+/// a version is restartable only when *every* rank committed it (coordinated
+/// checkpointing — the drivers bracket the save with barriers so the blobs
+/// are causally consistent). Loads verify the checksum and refuse damaged
+/// blobs, mirroring the on-disk snapshot format of treecode/io.
+
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/crc32.hpp"
+
+namespace bladed::fault {
+
+class CheckpointStore {
+ public:
+  /// Commit `blob` as rank `rank`'s state at checkpoint `version`
+  /// (overwrites any previous commit of the same coordinates).
+  void save(int rank, int version, std::vector<std::byte> blob);
+
+  /// CRC-verified load; nullopt if absent or damaged.
+  [[nodiscard]] std::optional<std::vector<std::byte>> load(int rank,
+                                                           int version) const;
+
+  /// Largest version committed by all of ranks 0..ranks-1, or -1.
+  [[nodiscard]] int last_complete_version(int ranks) const;
+
+  void clear();
+  [[nodiscard]] std::size_t bytes_stored() const;
+
+  /// Test hook: flip one byte of a stored blob so load() must reject it.
+  void damage(int rank, int version);
+
+ private:
+  struct Entry {
+    std::vector<std::byte> blob;
+    std::uint32_t crc = 0;
+  };
+  mutable std::mutex mu_;
+  std::map<std::pair<int, int>, Entry> entries_;
+};
+
+/// Minimal byte-packing helpers for checkpoint blobs of trivially copyable
+/// scalars and vectors.
+class BlobWriter {
+ public:
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vec(const std::vector<T>& v) {
+    put(static_cast<std::uint64_t>(v.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(v.data());
+    bytes_.insert(bytes_.end(), p, p + v.size() * sizeof(T));
+  }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+class BlobReader {
+ public:
+  explicit BlobReader(const std::vector<std::byte>& bytes) : bytes_(bytes) {}
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    BLADED_REQUIRE_MSG(pos_ + sizeof(T) <= bytes_.size(),
+                       "checkpoint blob truncated");
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vec() {
+    const auto n = static_cast<std::size_t>(get<std::uint64_t>());
+    BLADED_REQUIRE_MSG(pos_ + n * sizeof(T) <= bytes_.size(),
+                       "checkpoint blob truncated");
+    std::vector<T> v(n);
+    std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+ private:
+  const std::vector<std::byte>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bladed::fault

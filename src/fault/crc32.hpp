@@ -1,0 +1,24 @@
+#pragma once
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+/// Used by the fault-tolerant transport for per-payload integrity framing —
+/// corruption faults are *executed* (bytes really flip) and this checksum is
+/// what detects them — and by CheckpointStore to reject damaged checkpoints.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bladed::fault {
+
+/// CRC of `n` bytes starting at `data`; `seed` allows incremental use
+/// (pass a previous result to continue a running checksum).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n,
+                                  std::uint32_t seed = 0);
+
+template <class Container>
+[[nodiscard]] std::uint32_t crc32_of(const Container& c) {
+  return c.empty() ? crc32(nullptr, 0)
+                   : crc32(c.data(), c.size() * sizeof(*c.data()));
+}
+
+}  // namespace bladed::fault

@@ -1,0 +1,160 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bladed::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+    case FaultKind::kNodeHang:
+      return "node-hang";
+    case FaultKind::kLinkDrop:
+      return "link-drop";
+    case FaultKind::kPayloadCorrupt:
+      return "payload-corrupt";
+    case FaultKind::kTransientDelay:
+      return "transient-delay";
+  }
+  return "unknown";
+}
+
+FaultSchedule& FaultSchedule::add(FaultEvent e) {
+  BLADED_REQUIRE(e.time >= 0.0);
+  BLADED_REQUIRE(e.duration >= 0.0);
+  BLADED_REQUIRE(e.probability >= 0.0 && e.probability <= 1.0);
+  events_.push_back(e);
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.node != b.node) return a.node < b.node;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::crash(int node, double t) {
+  FaultEvent e;
+  e.kind = FaultKind::kNodeCrash;
+  e.node = node;
+  e.time = t;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::hang(int node, double t, double duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kNodeHang;
+  e.node = node;
+  e.time = t;
+  e.duration = duration;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::link_drop(int node, int peer, double t,
+                                        double duration, double probability) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkDrop;
+  e.node = node;
+  e.peer = peer;
+  e.time = t;
+  e.duration = duration;
+  e.probability = probability;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::corrupt(int node, int peer, double t,
+                                      double duration, double probability) {
+  FaultEvent e;
+  e.kind = FaultKind::kPayloadCorrupt;
+  e.node = node;
+  e.peer = peer;
+  e.time = t;
+  e.duration = duration;
+  e.probability = probability;
+  return add(e);
+}
+
+FaultSchedule& FaultSchedule::delay(int node, int peer, double t,
+                                    double duration, double extra_seconds,
+                                    double probability) {
+  FaultEvent e;
+  e.kind = FaultKind::kTransientDelay;
+  e.node = node;
+  e.peer = peer;
+  e.time = t;
+  e.duration = duration;
+  e.extra_delay = extra_seconds;
+  e.probability = probability;
+  return add(e);
+}
+
+FaultSchedule FaultSchedule::generate(const ScheduleConfig& cfg) {
+  BLADED_REQUIRE(cfg.nodes > 0);
+  BLADED_REQUIRE(cfg.horizon_seconds >= 0.0);
+  BLADED_REQUIRE(cfg.acceleration >= 0.0);
+
+  // Per-node event rate in events per virtual second.
+  const double per_year =
+      cfg.reliability.failure_rate(cfg.ambient) * cfg.acceleration;
+  const double per_second =
+      per_year / (kHoursPerYear.value() * 3600.0);
+
+  const double wsum = cfg.mix.crash + cfg.mix.hang + cfg.mix.drop +
+                      cfg.mix.corrupt + cfg.mix.delay;
+  BLADED_REQUIRE_MSG(wsum > 0.0, "FaultMix weights must not all be zero");
+
+  FaultSchedule s;
+  if (per_second <= 0.0) return s;
+
+  Rng rng(cfg.seed);
+  for (int node = 0; node < cfg.nodes; ++node) {
+    // Independent per-node streams from one seed.
+    Rng node_rng = rng;
+    for (int j = 0; j < node; ++j) node_rng.jump();
+    double t = 0.0;
+    for (;;) {
+      const double u = node_rng.uniform(1e-300, 1.0);
+      t += -std::log(u) / per_second;
+      if (t >= cfg.horizon_seconds) break;
+
+      double pick = node_rng.uniform() * wsum;
+      FaultEvent e;
+      e.node = node;
+      e.time = t;
+      if ((pick -= cfg.mix.crash) < 0.0) {
+        e.kind = FaultKind::kNodeCrash;
+      } else if ((pick -= cfg.mix.hang) < 0.0) {
+        e.kind = FaultKind::kNodeHang;
+        e.duration = cfg.mean_hang_seconds *
+                     -std::log(node_rng.uniform(1e-300, 1.0));
+      } else {
+        e.duration = cfg.mean_window_seconds *
+                     -std::log(node_rng.uniform(1e-300, 1.0));
+        e.probability = cfg.link_fault_probability;
+        if ((pick -= cfg.mix.drop) < 0.0) {
+          e.kind = FaultKind::kLinkDrop;
+        } else if ((pick -= cfg.mix.corrupt) < 0.0) {
+          e.kind = FaultKind::kPayloadCorrupt;
+        } else {
+          e.kind = FaultKind::kTransientDelay;
+          e.extra_delay = cfg.mean_extra_delay_seconds;
+        }
+      }
+      s.add(e);
+      if (e.kind == FaultKind::kNodeCrash) break;  // node is gone
+    }
+  }
+  return s;
+}
+
+double TransportPolicy::retry_delay(int attempt) const {
+  double d = rto * std::pow(backoff, attempt);
+  return std::min(d, max_retry_delay);
+}
+
+}  // namespace bladed::fault

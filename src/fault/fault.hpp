@@ -1,0 +1,157 @@
+#pragma once
+
+/// Deterministic fault injection for the simnet virtual cluster. A
+/// FaultSchedule is a time-sorted list of fault events — node crashes, node
+/// hangs, link-drop / payload-corruption / transient-delay windows — either
+/// crafted by hand (tests) or drawn from the paper's Arrhenius reliability
+/// model ("failure rate doubles per 10 °C", §2.1) under an accelerated-life
+/// factor, so that failure processes that take months of wall clock can be
+/// executed inside a seconds-long virtual run. Everything is derived from a
+/// seed: the same seed yields a bit-identical schedule and, applied through
+/// FaultInjector inside the Cluster engine, a bit-identical recovery trace.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "power/reliability.hpp"
+
+namespace bladed::fault {
+
+enum class FaultKind {
+  kNodeCrash,       ///< node dies permanently at `time`
+  kNodeHang,        ///< node unresponsive during [time, time+duration)
+  kLinkDrop,        ///< transmissions on the link are dropped in the window
+  kPayloadCorrupt,  ///< payload bytes flip in flight during the window
+  kTransientDelay,  ///< extra delivery delay during the window
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// One scheduled fault. Times are absolute virtual seconds on the *run*
+/// timeline (a restarted attempt sees the schedule shifted by the virtual
+/// time already consumed, so a crash that has been repaired does not
+/// re-fire).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDrop;
+  double time = 0.0;      ///< start (crash: the instant of death)
+  double duration = 0.0;  ///< window length; 0 for crashes
+  int node = -1;          ///< affected node, or link endpoint a (-1 = any)
+  int peer = -1;          ///< link endpoint b (-1 = any peer of `node`)
+  double probability = 1.0;  ///< per-transmission-attempt probability
+  double extra_delay = 0.0;  ///< seconds added per message (kTransientDelay)
+
+  [[nodiscard]] double end() const { return time + duration; }
+  [[nodiscard]] bool active_at(double t) const {
+    return t >= time && t < end();
+  }
+  /// Does this (link-kind) event apply to a src->dst transmission?
+  [[nodiscard]] bool applies_to_link(int src, int dst) const {
+    const bool fwd = (node == -1 || node == src) && (peer == -1 || peer == dst);
+    const bool rev = (node == -1 || node == dst) && (peer == -1 || peer == src);
+    return fwd || rev;
+  }
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Relative arrival weights of the fault taxonomy when generating a schedule
+/// from the reliability model. Defaults skew toward the transient end, the
+/// empirically dominant failure class on commodity Ethernet clusters.
+struct FaultMix {
+  double crash = 0.1;
+  double hang = 0.1;
+  double drop = 0.35;
+  double corrupt = 0.15;
+  double delay = 0.3;
+};
+
+struct ScheduleConfig {
+  int nodes = 24;
+  double horizon_seconds = 60.0;  ///< virtual-time span to populate
+  Celsius ambient{25.0};
+  power::ReliabilityModel reliability;  ///< Arrhenius base rate
+  /// Accelerated-life factor: multiplies the per-node failure rate so that
+  /// a per-year process produces events inside a seconds-long run.
+  double acceleration = 1.0;
+  FaultMix mix;
+  double mean_hang_seconds = 5e-3;
+  double mean_window_seconds = 10e-3;  ///< drop/corrupt/delay window length
+  double mean_extra_delay_seconds = 2e-3;
+  double link_fault_probability = 1.0;  ///< per-attempt prob inside a window
+  std::uint64_t seed = 1;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  // Builder API (tests, crafted scenarios). All return *this for chaining.
+  FaultSchedule& crash(int node, double t);
+  FaultSchedule& hang(int node, double t, double duration);
+  FaultSchedule& link_drop(int node, int peer, double t, double duration,
+                           double probability = 1.0);
+  FaultSchedule& corrupt(int node, int peer, double t, double duration,
+                         double probability = 1.0);
+  FaultSchedule& delay(int node, int peer, double t, double duration,
+                       double extra_seconds, double probability = 1.0);
+  FaultSchedule& add(FaultEvent e);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Seeded Poisson draw from the Arrhenius failure-rate model: per-node
+  /// exponential inter-arrival times at rate
+  ///   reliability.failure_rate(ambient) * acceleration  [per node-year],
+  /// each arrival assigned a kind by FaultMix weights. Deterministic:
+  /// identical config (including seed) => identical schedule.
+  [[nodiscard]] static FaultSchedule generate(const ScheduleConfig& cfg);
+
+  bool operator==(const FaultSchedule&) const = default;
+
+ private:
+  std::vector<FaultEvent> events_;  ///< kept sorted by (time, node, kind)
+};
+
+/// Knobs of the fault-tolerant transport the Cluster engine layers under
+/// Comm when fault tolerance is enabled. Models the NIC/kernel reliability
+/// protocol: CRC framing, ack/nack, retransmission with exponential backoff,
+/// and the heartbeat failure detector.
+struct TransportPolicy {
+  /// Extra on-the-wire bytes per message: sequence number + CRC32 + kind.
+  std::size_t frame_bytes = 12;
+  /// Initial retransmission timeout (virtual seconds) and backoff factor.
+  double rto = 2e-3;
+  double backoff = 2.0;
+  double max_retry_delay = 1.0;
+  int max_attempts = 8;
+  /// Default timeout applied to every blocking receive; 0 = wait forever
+  /// (the pre-fault-layer behaviour).
+  double recv_timeout = 0.0;
+  /// Heartbeat failure detector: a peer is declared dead after
+  /// `heartbeat_misses` missed beats.
+  double heartbeat_interval = 5e-3;
+  int heartbeat_misses = 3;
+
+  [[nodiscard]] double detect_latency() const {
+    return heartbeat_interval * heartbeat_misses;
+  }
+  /// Backoff delay before retry attempt `attempt` (0-based retry index).
+  [[nodiscard]] double retry_delay(int attempt) const;
+};
+
+/// The full fault configuration a Cluster accepts.
+struct FaultPlan {
+  /// Enables the FT transport + detectors even with an empty schedule.
+  bool enabled = false;
+  FaultSchedule schedule;
+  TransportPolicy transport;
+  std::uint64_t seed = 1;  ///< stream for per-attempt probabilistic faults
+  /// Virtual time already consumed by earlier attempts of this run; event
+  /// times are absolute, engine times are attempt-local.
+  double time_offset = 0.0;
+};
+
+}  // namespace bladed::fault

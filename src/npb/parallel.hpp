@@ -10,6 +10,8 @@
 /// single-processor; this is the natural next experiment).
 
 #include "arch/processor.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "npb/ep.hpp"
 #include "npb/is.hpp"
 #include "simnet/network.hpp"
@@ -73,6 +75,58 @@ struct ParallelStencilResult {
 /// IS (allgather-heavy) communication spectrum.
 [[nodiscard]] ParallelStencilResult run_parallel_stencil(
     const ParallelNpbConfig& cfg, int n, int iterations,
+    std::uint64_t seed = 314159265ULL);
+
+// --- fault-tolerant variants (checkpoint/restart over bladed::fault) -------
+
+/// Fault plan for the FT kernels. Restarts always reuse the full rank count
+/// (crashed nodes are replaced): EP/IS partial state is tied to the global
+/// block decomposition, so degrading to fewer ranks would invalidate it.
+struct NpbFaultConfig {
+  ParallelNpbConfig base;
+  fault::FaultSchedule schedule;  ///< absolute run-timeline fault events
+  fault::TransportPolicy transport;
+  std::uint64_t fault_seed = 1;
+  double restart_penalty_seconds = 0.5;  ///< charged per restart
+  int max_restarts = 8;  ///< exceeded => the last FaultError is rethrown
+};
+
+/// Recovery bookkeeping shared by the FT kernels.
+struct NpbFtReport {
+  int attempts = 1;  ///< 1 = no restart needed
+  int restarts = 0;
+  int checkpoints = 0;         ///< committed coordinated checkpoints
+  int resumed_from = -1;       ///< batch/iteration of the last resume
+  double total_virtual_seconds = 0.0;  ///< all attempts + penalties
+  double lost_virtual_seconds = 0.0;   ///< discarded work + penalties
+  fault::FaultStats fault_stats;       ///< accumulated across attempts
+};
+
+struct ParallelEpFtResult {
+  ParallelEpResult ep;
+  NpbFtReport ft;
+};
+
+struct ParallelIsFtResult {
+  ParallelIsResult is;
+  NpbFtReport ft;
+};
+
+/// EP under the fault plan: each rank's pair block is processed in
+/// `batches` chunks with a coordinated checkpoint of the partial sums after
+/// each, so a failure re-executes at most one chunk per rank. Counts (q,
+/// pairs, accepted) match run_parallel_ep exactly; the Gaussian sums agree
+/// to FP reassociation (per-batch partials regroup the additions), and a
+/// recovered run is bit-identical to the unfaulted FT run.
+[[nodiscard]] ParallelEpFtResult run_parallel_ep_ft(const NpbFaultConfig& cfg,
+                                                    int m, int batches = 8,
+                                                    std::uint64_t seed = kEpSeed);
+
+/// IS under the fault plan: the (perturbed) key array is checkpointed after
+/// every ranking iteration; a failure replays at most one iteration. The
+/// final ranking must still verify exactly as the fault-free kernel's.
+[[nodiscard]] ParallelIsFtResult run_parallel_is_ft(
+    const NpbFaultConfig& cfg, int n_log2, int bmax_log2, int iterations = 10,
     std::uint64_t seed = 314159265ULL);
 
 }  // namespace bladed::npb

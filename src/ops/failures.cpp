@@ -18,14 +18,20 @@ Outcome simulate_once(const OperationsConfig& cfg, Rng& rng) {
 
   Outcome out;
   if (rate_per_hour > 0.0) {
-    // Poisson arrivals: exponential inter-arrival times.
+    // Poisson arrivals: exponential inter-arrival times. The arrival stream
+    // is a function of (rng, rate) only — never of the repair policy — so
+    // hot-pluggable and whole-cluster configs sampled from the same seed see
+    // the same failures and differ only in what each one costs.
     double t = 0.0;
     for (;;) {
       const double u = rng.uniform(1e-300, 1.0);
       t += -std::log(u) / rate_per_hour;
       if (t >= horizon_h) break;
       ++out.failures;
-      const double outage = cfg.repair.outage().value();
+      // A repair still in progress when the mission ends stops costing at
+      // the horizon (an outage cannot exceed the remaining mission time).
+      const double outage =
+          std::min(cfg.repair.outage().value(), horizon_h - t);
       out.wall_clock_outage += Hours(outage);
       const double affected =
           cfg.repair.hot_pluggable ? 1.0 : static_cast<double>(cfg.nodes);
@@ -36,9 +42,10 @@ Outcome simulate_once(const OperationsConfig& cfg, Rng& rng) {
       Dollars(out.cpu_hours_lost.value() * cfg.dollars_per_cpu_hour);
   out.availability =
       horizon_h > 0.0
-          ? 1.0 - (cfg.repair.hot_pluggable
-                       ? 0.0
-                       : out.wall_clock_outage.value() / horizon_h)
+          ? std::max(0.0, 1.0 - (cfg.repair.hot_pluggable
+                                     ? 0.0
+                                     : out.wall_clock_outage.value() /
+                                           horizon_h))
           : 1.0;
   return out;
 }

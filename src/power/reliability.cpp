@@ -1,5 +1,6 @@
 #include "power/reliability.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -30,10 +31,14 @@ DowntimeEstimate estimate_downtime(const ReliabilityModel& rel,
       outage.whole_cluster_outage ? static_cast<double>(nodes) : 1.0;
   d.cpu_hours_lost = Hours(d.outage.value() * affected_nodes);
   const double wall_hours = years * kHoursPerYear.value();
+  // Clamp: at extreme failure rates the expected outage exceeds the mission
+  // time and the closed-form expression would go negative.
   d.availability =
       wall_hours > 0.0
-          ? 1.0 - (outage.whole_cluster_outage ? d.outage.value() : 0.0) /
-                      wall_hours
+          ? std::max(0.0, 1.0 - (outage.whole_cluster_outage
+                                     ? d.outage.value()
+                                     : 0.0) /
+                                    wall_hours)
           : 1.0;
   return d;
 }

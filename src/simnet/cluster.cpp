@@ -3,17 +3,25 @@
 #include <algorithm>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
+#include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "common/error.hpp"
+#include "fault/crc32.hpp"
 #include "simnet/comm.hpp"
 
 namespace bladed::simnet {
 
 namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 /// Thrown into a rank thread to unwind it when the simulation aborts.
 struct AbortSim {};
+/// Thrown into a rank thread when its node's scheduled crash fires.
+struct NodeCrash {};
 }  // namespace
 
 struct Cluster::Rank {
@@ -24,6 +32,13 @@ struct Cluster::Rank {
   // Pending recv match criteria while kBlockedRecv.
   int want_src = kAnySource;
   int want_tag = 0;
+  double recv_deadline = kInf;  ///< timeout wake time while kBlockedRecv
+  double block_start = 0.0;     ///< clock when the rank blocked (stall report)
+  WakeReason wake_reason = WakeReason::kMessage;
+  // Fault state.
+  bool dead = false;
+  double dead_at = kInf;
+  double crash_at = kInf;  ///< attempt-local scheduled crash time
   std::list<Message> mailbox;
   RankStats stats;
 };
@@ -36,12 +51,14 @@ struct ClusterImpl {
   std::exception_ptr error;
   int barrier_waiting = 0;
   std::uint64_t barrier_epoch = 0;
+  std::uint64_t next_msg_id = 0;  ///< FT transport sequence numbers
 };
 
 Cluster::Cluster(Config cfg)
     : impl_(std::make_unique<ClusterImpl>()),
       links_(cfg.ranks, cfg.network),
-      record_trace_(cfg.record_trace) {
+      record_trace_(cfg.record_trace),
+      injector_(cfg.fault) {
   BLADED_REQUIRE_MSG(cfg.ranks > 0, "cluster needs at least one rank");
   ranks_.reserve(cfg.ranks);
   for (int i = 0; i < cfg.ranks; ++i) ranks_.push_back(std::make_unique<Rank>());
@@ -60,6 +77,21 @@ const RankStats& Cluster::stats(int rank) const {
   return ranks_[rank]->stats;
 }
 
+std::vector<int> Cluster::failed_nodes() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<int> out;
+  for (int i = 0; i < ranks(); ++i) {
+    if (ranks_[i]->dead) out.push_back(i);
+  }
+  return out;
+}
+
+bool Cluster::node_failed(int rank) const {
+  BLADED_REQUIRE(rank >= 0 && rank < ranks());
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return ranks_[rank]->dead;
+}
+
 namespace {
 /// Called with the engine lock held, on the rank's own thread: hand control
 /// back to the scheduler and sleep until rescheduled.
@@ -72,6 +104,81 @@ void block_here(std::unique_lock<std::mutex>& lk, ClusterImpl& eng,
 }
 }  // namespace
 
+void Cluster::die(int r, double at) {
+  Rank& me = *ranks_[r];
+  me.dead = true;
+  me.dead_at = at;
+  me.clock = std::max(me.clock, at);
+  ++fault_stats_.crashes;
+  fault_trace_.push_back(
+      {at, fault::ExecutedFault::Action::kCrash, r, -1, 0});
+  throw NodeCrash{};
+}
+
+void Cluster::apply_hang_and_crash(int r) {
+  if (!injector_.enabled()) return;
+  Rank& me = *ranks_[r];
+  if (me.dead) throw NodeCrash{};
+  const double resume = injector_.hang_end(r, me.clock);
+  if (resume > me.clock) {
+    ++fault_stats_.hangs;
+    fault_stats_.hang_seconds += resume - me.clock;
+    fault_trace_.push_back(
+        {me.clock, fault::ExecutedFault::Action::kHang, r, -1, 0});
+    me.stats.comm_seconds += resume - me.clock;
+    me.clock = resume;
+  }
+  if (me.crash_at <= me.clock) die(r, me.crash_at);
+}
+
+Cluster::Wake Cluster::next_wake(int i) const {
+  const Rank& me = *ranks_[i];
+  Wake w{kInf, WakeReason::kTimeout};
+  const auto has_match = [&] {
+    return std::any_of(me.mailbox.begin(), me.mailbox.end(),
+                       [&](const Message& m) {
+                         return (me.want_src == kAnySource ||
+                                 m.src == me.want_src) &&
+                                m.tag == me.want_tag;
+                       });
+  };
+  if (me.state == State::kBlockedRecv) {
+    if (me.recv_deadline < w.t) w = {me.recv_deadline, WakeReason::kTimeout};
+    if (injector_.enabled()) {
+      // Heartbeat failure detector: a recv that can only be satisfied by
+      // dead peers fails `detect_latency` after the (latest) death.
+      const double lat = injector_.policy().detect_latency();
+      double failed_at = -1.0;
+      if (me.want_src >= 0) {
+        const Rank& p = *ranks_[me.want_src];
+        if (p.dead) failed_at = p.dead_at;
+      } else if (ranks_.size() > 1) {
+        bool all_dead = true;
+        for (std::size_t j = 0; j < ranks_.size(); ++j) {
+          if (static_cast<int>(j) == i) continue;
+          if (!ranks_[j]->dead) {
+            all_dead = false;
+            break;
+          }
+          failed_at = std::max(failed_at, ranks_[j]->dead_at);
+        }
+        if (!all_dead) failed_at = -1.0;
+      }
+      if (failed_at >= 0.0 && !has_match()) {
+        const double t = std::max(me.clock, failed_at + lat);
+        if (t < w.t) w = {t, WakeReason::kPeerFailure};
+      }
+    }
+  }
+  if ((me.state == State::kBlockedRecv ||
+       me.state == State::kBlockedBarrier) &&
+      me.crash_at < kInf && !me.dead) {
+    const double t = std::max(me.clock, me.crash_at);
+    if (t <= w.t) w = {t, WakeReason::kSelfCrash};
+  }
+  return w;
+}
+
 void Cluster::run(const std::function<void(Comm&)>& program) {
   ClusterImpl& eng = *impl_;
   // Reset per-run state so a Cluster can be reused.
@@ -81,13 +188,23 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
     eng.abort = false;
     eng.error = nullptr;
     eng.barrier_waiting = 0;
+    eng.next_msg_id = 0;
     links_.reset();
     trace_.clear();
-    for (auto& r : ranks_) {
-      r->state = State::kRunnable;
-      r->clock = 0.0;
-      r->mailbox.clear();
-      r->stats = RankStats{};
+    fault_stats_ = fault::FaultStats{};
+    fault_trace_.clear();
+    for (int i = 0; i < ranks(); ++i) {
+      Rank& r = *ranks_[i];
+      r.state = State::kRunnable;
+      r.clock = 0.0;
+      r.mailbox.clear();
+      r.stats = RankStats{};
+      r.recv_deadline = kInf;
+      r.block_start = 0.0;
+      r.wake_reason = WakeReason::kMessage;
+      r.dead = false;
+      r.dead_at = kInf;
+      r.crash_at = injector_.crash_time(i);
     }
   }
 
@@ -105,6 +222,8 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
           lk.lock();
         } catch (const AbortSim&) {
           lk.lock();
+        } catch (const NodeCrash&) {
+          lk.lock();
         } catch (...) {
           lk.lock();
           if (!eng.error) eng.error = std::current_exception();
@@ -120,8 +239,9 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
     });
   }
 
-  // Scheduler: always resume the runnable rank with the smallest clock.
-  bool deadlock = false;
+  // Scheduler: always resume the runnable rank (or fire the pending wake
+  // deadline — recv timeout, failure detection, scheduled crash) with the
+  // smallest virtual time.
   {
     std::unique_lock<std::mutex> lk(eng.mu);
     for (;;) {
@@ -136,16 +256,84 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
         }
       }
       if (eng.abort || all_done) break;
-      if (next == -1) {  // everyone blocked: communication deadlock
-        deadlock = true;
-        eng.abort = true;
-        for (auto& r : ranks_) r->cv.notify_all();
-        break;
+
+      int who = -1;
+      Wake wake{kInf, WakeReason::kTimeout};
+      for (int i = 0; i < n; ++i) {
+        const State s = ranks_[i]->state;
+        if (s != State::kBlockedRecv && s != State::kBlockedBarrier) continue;
+        const Wake w = next_wake(i);
+        if (w.t < wake.t) {
+          wake = w;
+          who = i;
+        }
       }
-      ranks_[next]->state = State::kRunning;
-      eng.running = next;
-      ranks_[next]->cv.notify_all();
-      eng.sched_cv.wait(lk, [&] { return eng.running == -1; });
+
+      if (next != -1 && (who == -1 || ranks_[next]->clock <= wake.t)) {
+        ranks_[next]->state = State::kRunning;
+        eng.running = next;
+        ranks_[next]->cv.notify_all();
+        eng.sched_cv.wait(lk, [&] { return eng.running == -1; });
+        continue;
+      }
+      if (who != -1) {
+        Rank& w = *ranks_[who];
+        w.clock = std::max(w.clock, wake.t);
+        w.wake_reason = wake.reason;
+        w.state = State::kRunnable;
+        continue;
+      }
+
+      // Stall: nobody can run and no deadline is pending. Report which
+      // ranks are blocked on what instead of wedging the process.
+      std::string msg = "simnet: no rank can make progress";
+      std::vector<int> dead;
+      char buf[160];
+      for (int i = 0; i < n; ++i) {
+        const Rank& rk = *ranks_[i];
+        switch (rk.state) {
+          case State::kBlockedRecv:
+            if (rk.want_src == kAnySource) {
+              std::snprintf(buf, sizeof buf,
+                            "; rank %d blocked in recv(src=any, tag=%d) "
+                            "since t=%.6g",
+                            i, rk.want_tag, rk.block_start);
+            } else {
+              std::snprintf(buf, sizeof buf,
+                            "; rank %d blocked in recv(src=%d, tag=%d) "
+                            "since t=%.6g",
+                            i, rk.want_src, rk.want_tag, rk.block_start);
+            }
+            msg += buf;
+            break;
+          case State::kBlockedBarrier:
+            std::snprintf(buf, sizeof buf,
+                          "; rank %d blocked in barrier since t=%.6g", i,
+                          rk.block_start);
+            msg += buf;
+            break;
+          case State::kDone:
+            if (rk.dead) {
+              dead.push_back(i);
+              std::snprintf(buf, sizeof buf, "; rank %d crashed at t=%.6g",
+                            i, rk.dead_at);
+              msg += buf;
+            }
+            break;
+          default:
+            break;
+        }
+      }
+      if (!eng.error) {
+        if (!dead.empty()) {
+          eng.error = std::make_exception_ptr(NodeFailureError(msg, dead));
+        } else {
+          eng.error = std::make_exception_ptr(SimulationError(msg));
+        }
+      }
+      eng.abort = true;
+      for (auto& r : ranks_) r->cv.notify_all();
+      break;
     }
   }
 
@@ -153,11 +341,6 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
     if (r->thread.joinable()) r->thread.join();
   }
   if (impl_->error) std::rethrow_exception(impl_->error);
-  if (deadlock) {
-    throw SimulationError(
-        "simnet: communication deadlock — every rank is blocked and no "
-        "message is in flight");
-  }
 }
 
 double Cluster::op_now(int r) {
@@ -169,16 +352,106 @@ void Cluster::op_compute(int r, double seconds) {
   BLADED_REQUIRE(seconds >= 0.0);
   std::lock_guard<std::mutex> lk(impl_->mu);
   Rank& me = *ranks_[r];
+  apply_hang_and_crash(r);
+  if (injector_.enabled() && me.crash_at < me.clock + seconds) {
+    // Dies mid-computation, at virtual-time precision.
+    me.stats.compute_seconds += std::max(0.0, me.crash_at - me.clock);
+    die(r, me.crash_at);
+  }
   me.clock += seconds;
   me.stats.compute_seconds += seconds;
 }
 
+void Cluster::deliver(int src, int dst, int tag,
+                      std::vector<std::byte> payload, double send_time,
+                      double available_at) {
+  if (record_trace_) {
+    trace_.push_back(
+        {send_time, available_at, src, dst, tag, payload.size()});
+  }
+  Message msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.available_at = available_at;
+  msg.payload = std::move(payload);
+
+  Rank& peer = *ranks_[dst];
+  const bool matches =
+      peer.state == State::kBlockedRecv &&
+      (peer.want_src == kAnySource || peer.want_src == src) &&
+      peer.want_tag == tag && available_at <= peer.recv_deadline;
+  peer.mailbox.push_back(std::move(msg));
+  if (matches) {
+    peer.wake_reason = WakeReason::kMessage;
+    peer.state = State::kRunnable;
+  }
+}
+
+void Cluster::ft_send(int r, int dst, int tag, std::vector<std::byte> payload,
+                      double depart) {
+  using Action = fault::ExecutedFault::Action;
+  const fault::TransportPolicy& pol = injector_.policy();
+  const std::uint64_t id = impl_->next_msg_id++;
+  const std::uint32_t crc = fault::crc32_of(payload);
+  const double dst_crash = injector_.crash_time(dst);
+  const std::size_t wire_bytes = payload.size() + pol.frame_bytes;
+
+  double t = depart;
+  for (int attempt = 0; attempt < pol.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++fault_stats_.retransmits;
+      fault_trace_.push_back({t, Action::kRetransmit, r, dst, attempt});
+    }
+    const fault::FaultInjector::XmitFate fate =
+        injector_.xmit(r, dst, t, id, attempt);
+    double available = links_.schedule(r, dst, wire_bytes, t);
+    if (fate.extra_delay > 0.0) {
+      ++fault_stats_.delays;
+      fault_stats_.delay_seconds += fate.extra_delay;
+      fault_trace_.push_back({t, Action::kDelay, r, dst, attempt});
+      available += fate.extra_delay;
+    }
+    if (fate.dropped || available >= dst_crash) {
+      // Lost on the link (or swallowed by a dead NIC): the retransmission
+      // timer fires rto * backoff^attempt after this departure.
+      ++fault_stats_.drops;
+      fault_trace_.push_back({t, Action::kDrop, r, dst, attempt});
+      t += pol.retry_delay(attempt);
+      continue;
+    }
+    if (fate.corrupted) {
+      std::vector<std::byte> damaged = payload;
+      injector_.corrupt_payload(damaged, id, attempt);
+      ++fault_stats_.corruptions;
+      if (fault::crc32_of(damaged) != crc) {
+        // Receiver transport catches the flip via the CRC32 frame, nacks;
+        // sender retransmits after the control frame's round trip.
+        ++fault_stats_.crc_rejects;
+        fault_trace_.push_back({available, Action::kCorrupt, r, dst, attempt});
+        t = available + links_.model().latency +
+            links_.model().wire_time(pol.frame_bytes);
+        continue;
+      }
+      // CRC collision (astronomically unlikely): delivered damaged.
+      deliver(r, dst, tag, std::move(damaged), depart, available);
+      return;
+    }
+    deliver(r, dst, tag, std::move(payload), depart, available);
+    return;
+  }
+  ++fault_stats_.messages_lost;
+  fault_trace_.push_back({t, Action::kLost, r, dst, pol.max_attempts});
+}
+
 void Cluster::op_send(int r, int dst, int tag,
                       std::vector<std::byte> payload) {
-  BLADED_REQUIRE(dst >= 0 && dst < ranks());
+  BLADED_REQUIRE_MSG(dst >= 0 && dst < ranks(),
+                     "Comm::send destination rank " + std::to_string(dst) +
+                         " out of range [0," + std::to_string(ranks()) + ")");
   ClusterImpl& eng = *impl_;
   std::unique_lock<std::mutex> lk(eng.mu);
   Rank& me = *ranks_[r];
+  apply_hang_and_crash(r);
 
   // Yield first so that any runnable rank with a smaller clock performs its
   // network actions before we commit link occupancy — keeps the shared
@@ -190,12 +463,11 @@ void Cluster::op_send(int r, int dst, int tag,
   me.stats.bytes_sent += payload.size();
   ++me.stats.messages_sent;
 
-  Message msg;
-  msg.src = r;
-  msg.tag = tag;
-
   if (dst == r) {
     // Loopback: no network involved; available immediately.
+    Message msg;
+    msg.src = r;
+    msg.tag = tag;
     msg.available_at = me.clock;
     msg.payload = std::move(payload);
     me.mailbox.push_back(std::move(msg));
@@ -205,33 +477,40 @@ void Cluster::op_send(int r, int dst, int tag,
   const double depart = me.clock + net.send_overhead;
   me.clock = depart;
   me.stats.comm_seconds += net.send_overhead;
-  msg.available_at = links_.schedule(r, dst, payload.size(), depart);
-  if (record_trace_) {
-    trace_.push_back(
-        {depart, msg.available_at, r, dst, tag, payload.size()});
-  }
-  msg.payload = std::move(payload);
 
-  Rank& peer = *ranks_[dst];
-  const bool matches =
-      peer.state == State::kBlockedRecv &&
-      (peer.want_src == kAnySource || peer.want_src == r) &&
-      peer.want_tag == tag;
-  peer.mailbox.push_back(std::move(msg));
-  if (matches) peer.state = State::kRunnable;
+  if (injector_.enabled()) {
+    ft_send(r, dst, tag, std::move(payload), depart);
+    return;
+  }
+  const double available = links_.schedule(r, dst, payload.size(), depart);
+  deliver(r, dst, tag, std::move(payload), depart, available);
 }
 
-std::vector<std::byte> Cluster::op_recv(int r, int src, int tag) {
-  BLADED_REQUIRE(src == kAnySource || (src >= 0 && src < ranks()));
+std::optional<std::vector<std::byte>> Cluster::op_recv(int r, int src,
+                                                       int tag,
+                                                       double timeout,
+                                                       bool timeout_throws) {
+  BLADED_REQUIRE_MSG(
+      src == kAnySource || (src >= 0 && src < ranks()),
+      "Comm::recv source rank " + std::to_string(src) + " out of range");
   ClusterImpl& eng = *impl_;
   std::unique_lock<std::mutex> lk(eng.mu);
   Rank& me = *ranks_[r];
+  apply_hang_and_crash(r);
+
+  double effective = timeout;
+  if (effective < 0.0) {
+    effective = injector_.enabled() ? injector_.policy().recv_timeout : 0.0;
+  }
+  const double deadline = effective > 0.0 ? me.clock + effective : kInf;
+  const double block_start = me.clock;
 
   for (;;) {
     auto it = std::find_if(me.mailbox.begin(), me.mailbox.end(),
                            [&](const Message& m) {
                              return (src == kAnySource || m.src == src) &&
-                                    m.tag == tag;
+                                    m.tag == tag &&
+                                    m.available_at <= deadline;
                            });
     if (it != me.mailbox.end()) {
       if (it->available_at > me.clock) {
@@ -239,6 +518,9 @@ std::vector<std::byte> Cluster::op_recv(int r, int src, int tag) {
         me.clock = it->available_at;
       }
       const double o = links_.model().recv_overhead;
+      if (injector_.enabled() && me.crash_at <= me.clock + o) {
+        die(r, me.crash_at);
+      }
       me.clock += o;
       me.stats.comm_seconds += o;
       std::vector<std::byte> payload = std::move(it->payload);
@@ -247,8 +529,43 @@ std::vector<std::byte> Cluster::op_recv(int r, int src, int tag) {
     }
     me.want_src = src;
     me.want_tag = tag;
+    me.recv_deadline = deadline;
+    me.block_start = me.clock;
     me.state = State::kBlockedRecv;
     block_here(lk, eng, me.cv, [&] { return me.state == State::kRunning; });
+    me.recv_deadline = kInf;
+    switch (me.wake_reason) {
+      case WakeReason::kMessage:
+        break;  // rescan the mailbox
+      case WakeReason::kTimeout: {
+        me.stats.comm_seconds += me.clock - block_start;
+        if (!timeout_throws) return std::nullopt;
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "Comm::recv timeout: rank %d waited %.6gs for src=%s "
+                      "tag=%d",
+                      r, me.clock - block_start,
+                      src == kAnySource ? "any" : std::to_string(src).c_str(),
+                      tag);
+        throw RecvTimeoutError(buf, r, src, tag, me.clock - block_start);
+      }
+      case WakeReason::kPeerFailure: {
+        me.stats.comm_seconds += me.clock - block_start;
+        double failed_at = 0.0;
+        for (const auto& p : ranks_) {
+          if (p->dead) failed_at = std::max(failed_at, p->dead_at);
+        }
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "Comm::recv peer failure: rank %d waiting on src=%s "
+                      "tag=%d, peer declared dead (failed at t=%.6g)",
+                      r, src == kAnySource ? "any" : std::to_string(src).c_str(),
+                      tag, failed_at);
+        throw PeerFailureError(buf, r, src, failed_at);
+      }
+      case WakeReason::kSelfCrash:
+        die(r, me.crash_at);
+    }
   }
 }
 
@@ -256,15 +573,23 @@ void Cluster::op_barrier(int r) {
   ClusterImpl& eng = *impl_;
   std::unique_lock<std::mutex> lk(eng.mu);
   Rank& me = *ranks_[r];
+  apply_hang_and_crash(r);
   const int n = ranks();
 
   ++eng.barrier_waiting;
   if (eng.barrier_waiting < n) {
     const std::uint64_t epoch = eng.barrier_epoch;
+    me.block_start = me.clock;
     me.state = State::kBlockedBarrier;
     block_here(lk, eng, me.cv, [&] {
-      return eng.barrier_epoch != epoch && me.state == State::kRunning;
+      return me.state == State::kRunning &&
+             (eng.barrier_epoch != epoch ||
+              me.wake_reason == WakeReason::kSelfCrash);
     });
+    if (me.wake_reason == WakeReason::kSelfCrash) {
+      --eng.barrier_waiting;
+      die(r, me.crash_at);
+    }
     return;
   }
 
@@ -288,6 +613,7 @@ void Cluster::op_barrier(int r) {
   ++eng.barrier_epoch;
   for (const auto& rank : ranks_) {
     if (rank->state == State::kBlockedBarrier) {
+      rank->wake_reason = WakeReason::kMessage;
       rank->state = State::kRunnable;
       rank->cv.notify_all();
     }

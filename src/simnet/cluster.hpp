@@ -12,13 +12,24 @@
 /// cluster: the communication pattern, payload bytes and overlap structure
 /// are those of the real parallel program, and only the per-byte/per-message
 /// costs come from the model.
+///
+/// Fault tolerance (Config::fault.enabled): a seeded FaultSchedule is
+/// executed against the run at virtual-time precision — node crashes/hangs,
+/// link-drop / corruption / transient-delay windows — and the engine layers a
+/// reliable transport under Comm (CRC32 framing, retransmission with
+/// exponential backoff, bounded attempts) plus a heartbeat failure detector,
+/// so every blocking operation either completes, times out with a typed
+/// error, or is reported by the stall detector instead of hanging.
 
 #include <cstddef>
 #include <functional>
 #include <list>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "simnet/network.hpp"
 
 namespace bladed::simnet {
@@ -55,6 +66,9 @@ class Cluster {
     /// Record every network message into trace() — for tests, debugging
     /// and communication-timeline analysis. Off by default (costs memory).
     bool record_trace = false;
+    /// Fault injection + fault-tolerant transport (off by default: the
+    /// engine behaves exactly as the original failure-free simulator).
+    fault::FaultPlan fault{};
   };
 
   explicit Cluster(Config cfg);
@@ -63,8 +77,11 @@ class Cluster {
   Cluster& operator=(const Cluster&) = delete;
 
   /// Execute `program` SPMD on every rank to completion. Throws
-  /// SimulationError on communication deadlock; exceptions thrown by the
-  /// program on any rank are rethrown here.
+  /// SimulationError (with a per-rank stall report) on communication
+  /// deadlock, NodeFailureError when progress is impossible because nodes
+  /// died; exceptions thrown by the program on any rank — including the
+  /// typed PeerFailureError / RecvTimeoutError raised inside Comm calls —
+  /// are rethrown here.
   void run(const std::function<void(Comm&)>& program);
 
   [[nodiscard]] int ranks() const { return static_cast<int>(ranks_.size()); }
@@ -83,6 +100,21 @@ class Cluster {
   [[nodiscard]] const std::vector<TraceRecord>& trace() const {
     return trace_;
   }
+
+  // --- fault observability (valid during/after run()) ---------------------
+
+  /// Counters of executed fault actions and recoveries.
+  [[nodiscard]] const fault::FaultStats& fault_stats() const {
+    return fault_stats_;
+  }
+  /// Every executed fault action in engine order — the recovery trace; two
+  /// runs from one seed produce identical traces.
+  [[nodiscard]] const std::vector<fault::ExecutedFault>& fault_trace() const {
+    return fault_trace_;
+  }
+  /// Nodes that crashed during the last run, ascending.
+  [[nodiscard]] std::vector<int> failed_nodes() const;
+  [[nodiscard]] bool node_failed(int rank) const;
 
  private:
   friend class Comm;
@@ -103,21 +135,47 @@ class Cluster {
     kDone,
   };
 
+  /// Why a blocked rank was resumed.
+  enum class WakeReason { kMessage, kTimeout, kPeerFailure, kSelfCrash };
+
   struct Rank;  // defined in cluster.cpp (holds thread + cv)
 
   // Operations invoked by Comm on the owning rank's thread; all take the
   // engine lock internally.
   void op_compute(int r, double seconds);
   void op_send(int r, int dst, int tag, std::vector<std::byte> payload);
-  std::vector<std::byte> op_recv(int r, int src, int tag);
+  /// Blocking receive. `timeout` < 0 uses the transport policy's default;
+  /// 0 waits forever. On expiry: throws RecvTimeoutError when
+  /// `timeout_throws`, else returns nullopt.
+  std::optional<std::vector<std::byte>> op_recv(int r, int src, int tag,
+                                                double timeout = -1.0,
+                                                bool timeout_throws = true);
   void op_barrier(int r);
   [[nodiscard]] double op_now(int r);
+
+  /// Pending deadline for a blocked rank (scheduler's wake plan).
+  struct Wake {
+    double t;  ///< infinity = nothing pending
+    WakeReason reason;
+  };
+  [[nodiscard]] Wake next_wake(int r) const;
+
+  // Fault machinery (engine lock held).
+  void apply_hang_and_crash(int r);
+  [[noreturn]] void die(int r, double at);
+  void ft_send(int r, int dst, int tag, std::vector<std::byte> payload,
+               double depart);
+  void deliver(int r, int dst, int tag, std::vector<std::byte> payload,
+               double send_time, double available_at);
 
   std::unique_ptr<ClusterImpl> impl_;
   LinkTimeline links_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   bool record_trace_ = false;
   std::vector<TraceRecord> trace_;
+  fault::FaultInjector injector_;
+  fault::FaultStats fault_stats_;
+  std::vector<fault::ExecutedFault> fault_trace_;
 };
 
 }  // namespace bladed::simnet

@@ -9,6 +9,8 @@
 /// than being asserted.
 
 #include <cstring>
+#include <optional>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -34,9 +36,19 @@ class Comm {
   void send_bytes(int dst, int tag, std::vector<std::byte> payload) {
     cluster_.op_send(rank_, dst, tag, std::move(payload));
   }
-  /// Blocking receive; src may be kAnySource.
+  /// Blocking receive; src may be kAnySource. With fault injection enabled
+  /// this can throw RecvTimeoutError (transport-policy receive timeout) or
+  /// PeerFailureError (the failure detector declared the peer dead).
   std::vector<std::byte> recv_bytes(int src, int tag) {
-    return cluster_.op_recv(rank_, src, tag);
+    return std::move(*cluster_.op_recv(rank_, src, tag));
+  }
+
+  /// Receive with an explicit timeout (virtual seconds); returns nullopt on
+  /// expiry instead of throwing. `timeout` <= 0 waits forever.
+  std::optional<std::vector<std::byte>> recv_bytes_for(int src, int tag,
+                                                       double timeout) {
+    return cluster_.op_recv(rank_, src, tag, timeout > 0.0 ? timeout : 0.0,
+                            /*timeout_throws=*/false);
   }
 
   template <class T>
@@ -51,10 +63,34 @@ class Comm {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> recv(int src, int tag) {
     std::vector<std::byte> bytes = recv_bytes(src, tag);
-    BLADED_REQUIRE_MSG(bytes.size() % sizeof(T) == 0,
-                       "payload size not a multiple of element size");
+    BLADED_REQUIRE_MSG(
+        bytes.size() % sizeof(T) == 0,
+        "Comm::recv payload size mismatch: src=" + src_name(src) +
+            " dst=" + std::to_string(rank_) + " tag=" + std::to_string(tag) +
+            ": " + std::to_string(bytes.size()) +
+            " bytes is not a multiple of element size " +
+            std::to_string(sizeof(T)));
     std::vector<T> v(bytes.size() / sizeof(T));
     std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+  }
+
+  /// Timed typed receive; nullopt on expiry. `timeout` <= 0 waits forever.
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  std::optional<std::vector<T>> recv_for(int src, int tag, double timeout) {
+    std::optional<std::vector<std::byte>> bytes =
+        recv_bytes_for(src, tag, timeout);
+    if (!bytes) return std::nullopt;
+    BLADED_REQUIRE_MSG(
+        bytes->size() % sizeof(T) == 0,
+        "Comm::recv_for payload size mismatch: src=" + src_name(src) +
+            " dst=" + std::to_string(rank_) + " tag=" + std::to_string(tag) +
+            ": " + std::to_string(bytes->size()) +
+            " bytes is not a multiple of element size " +
+            std::to_string(sizeof(T)));
+    std::vector<T> v(bytes->size() / sizeof(T));
+    std::memcpy(v.data(), bytes->data(), bytes->size());
     return v;
   }
 
@@ -70,7 +106,12 @@ class Comm {
     requires std::is_trivially_copyable_v<T>
   T recv_value(int src, int tag) {
     std::vector<std::byte> bytes = recv_bytes(src, tag);
-    BLADED_REQUIRE(bytes.size() == sizeof(T));
+    BLADED_REQUIRE_MSG(
+        bytes.size() == sizeof(T),
+        "Comm::recv_value payload size mismatch: src=" + src_name(src) +
+            " dst=" + std::to_string(rank_) + " tag=" + std::to_string(tag) +
+            ": got " + std::to_string(bytes.size()) + " bytes, expected " +
+            std::to_string(sizeof(T)));
     T value;
     std::memcpy(&value, bytes.data(), sizeof(T));
     return value;
@@ -154,7 +195,12 @@ class Comm {
       }
       if (r + mask < n) {
         const std::vector<T> other = recv<T>(r + mask, tag);
-        BLADED_REQUIRE(other.size() == v.size());
+        BLADED_REQUIRE_MSG(
+            other.size() == v.size(),
+            "Comm::allreduce_vec length mismatch: rank " + std::to_string(r) +
+                " holds " + std::to_string(v.size()) + " elements but rank " +
+                std::to_string(r + mask) + " sent " +
+                std::to_string(other.size()));
         for (std::size_t i = 0; i < v.size(); ++i) v[i] = op(v[i], other[i]);
       }
     }
@@ -204,7 +250,10 @@ class Comm {
   template <class T>
   std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& blocks) {
     const int n = size();
-    BLADED_REQUIRE(static_cast<int>(blocks.size()) == n);
+    BLADED_REQUIRE_MSG(static_cast<int>(blocks.size()) == n,
+                       "Comm::alltoall on rank " + std::to_string(rank_) +
+                           ": got " + std::to_string(blocks.size()) +
+                           " blocks for " + std::to_string(n) + " ranks");
     const int tag = next_tag();
     std::vector<std::vector<T>> out(n);
     out[rank()] = blocks[rank()];
@@ -218,6 +267,10 @@ class Comm {
   }
 
  private:
+  static std::string src_name(int src) {
+    return src == kAnySource ? std::string("any") : std::to_string(src);
+  }
+
   /// Tags >= kCollectiveBase are reserved for collectives.
   static constexpr int kCollectiveBase = 1 << 20;
 

@@ -1,0 +1,266 @@
+#include "treecode/checkpoint.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "fault/checkpoint.hpp"
+#include "simnet/cluster.hpp"
+#include "simnet/comm.hpp"
+#include "treecode/io.hpp"
+#include "treecode/morton.hpp"
+#include "treecode/parallel_internal.hpp"
+#include "treecode/perf.hpp"
+
+namespace bladed::treecode {
+
+namespace {
+
+std::vector<std::size_t> split_bounds(std::size_t n, int ranks) {
+  std::vector<std::size_t> b(static_cast<std::size_t>(ranks) + 1);
+  for (int r = 0; r <= ranks; ++r) {
+    b[static_cast<std::size_t>(r)] = n * static_cast<std::size_t>(r) /
+                                     static_cast<std::size_t>(ranks);
+  }
+  return b;
+}
+
+std::string snapshot_path(const std::string& dir, int version, int rank) {
+  return dir + "/ck_v" + std::to_string(version) + "_r" +
+         std::to_string(rank) + ".bin";
+}
+
+std::vector<std::byte> pack_state(const ParticleSet& p) {
+  fault::BlobWriter w;
+  w.put_vec(p.x);
+  w.put_vec(p.y);
+  w.put_vec(p.z);
+  w.put_vec(p.vx);
+  w.put_vec(p.vy);
+  w.put_vec(p.vz);
+  w.put_vec(p.m);
+  return w.take();
+}
+
+ParticleSet unpack_state(const std::vector<std::byte>& blob) {
+  fault::BlobReader r(blob);
+  ParticleSet p;
+  p.x = r.get_vec<double>();
+  p.y = r.get_vec<double>();
+  p.z = r.get_vec<double>();
+  p.vx = r.get_vec<double>();
+  p.vy = r.get_vec<double>();
+  p.vz = r.get_vec<double>();
+  p.m = r.get_vec<double>();
+  const std::size_t n = p.x.size();
+  BLADED_REQUIRE_MSG(p.y.size() == n && p.z.size() == n &&
+                         p.vx.size() == n && p.vy.size() == n &&
+                         p.vz.size() == n && p.m.size() == n,
+                     "checkpoint blob has inconsistent array lengths");
+  p.ax.assign(n, 0.0);
+  p.ay.assign(n, 0.0);
+  p.az.assign(n, 0.0);
+  p.pot.assign(n, 0.0);
+  return p;
+}
+
+}  // namespace
+
+FtResult run_parallel_nbody_ft(const FtConfig& cfg) {
+  const ParallelConfig& base = cfg.base;
+  BLADED_REQUIRE_MSG(base.cpu != nullptr, "ParallelConfig.cpu is required");
+  BLADED_REQUIRE(base.ranks >= 1);
+  BLADED_REQUIRE(base.steps >= 1);
+  BLADED_REQUIRE(base.particles >= static_cast<std::size_t>(base.ranks));
+  BLADED_REQUIRE(cfg.checkpoint_every >= 0);
+  BLADED_REQUIRE(cfg.max_restarts >= 0);
+  BLADED_REQUIRE(cfg.restart_penalty_seconds >= 0.0);
+  BLADED_REQUIRE(cfg.checkpoint_write_bw > 0.0);
+
+  // Global IC in Morton order, exactly as the fault-free driver builds it.
+  ParticleSet global = detail::make_ic(base);
+  {
+    const BoundingBox box = BoundingBox::containing(global);
+    const std::vector<std::uint64_t> keys = morton_keys(global, box);
+    global.apply_permutation(sort_permutation(keys));
+  }
+
+  FtResult out;
+  fault::CheckpointStore store;
+  std::atomic<int> committed{-1};      ///< last complete checkpoint version
+  std::atomic<int> committed_ranks{0}; ///< rank count that wrote it
+  std::atomic<int> ckpt_count{0};
+  std::atomic<double> last_commit_time{0.0};  ///< within the current attempt
+
+  double consumed = 0.0;  ///< virtual seconds across attempts + penalties
+  int ranks_now = base.ranks;
+
+  for (;;) {
+    // Starting state for this attempt: checkpoint slices if a complete
+    // version exists (concatenated in rank order — contiguous in global
+    // Morton order — then re-split over the current rank count), else IC.
+    int start_step = 0;
+    std::vector<ParticleSet> start(static_cast<std::size_t>(ranks_now));
+    bool from_checkpoint = false;
+    if (committed.load() >= 0) {
+      const int version = committed.load();
+      const int writers = committed_ranks.load();
+      ParticleSet whole;
+      bool intact = true;
+      for (int r = 0; r < writers && intact; ++r) {
+        if (!cfg.snapshot_dir.empty()) {
+          try {
+            whole.append(load_snapshot(
+                snapshot_path(cfg.snapshot_dir, version, r)));
+          } catch (const SimulationError&) {
+            intact = false;  // missing or checksum-rejected snapshot file
+          }
+        } else {
+          const auto blob = store.load(r, version);
+          if (!blob) {
+            intact = false;  // absent or CRC-rejected blob
+          } else {
+            whole.append(unpack_state(*blob));
+          }
+        }
+      }
+      if (intact) {
+        const auto b = split_bounds(whole.size(), ranks_now);
+        for (int r = 0; r < ranks_now; ++r) {
+          start[static_cast<std::size_t>(r)] =
+              whole.slice(b[static_cast<std::size_t>(r)],
+                          b[static_cast<std::size_t>(r) + 1]);
+        }
+        start_step = version;
+        from_checkpoint = true;
+      }
+    }
+    if (!from_checkpoint) {
+      // No (usable) checkpoint: restart the physics from the beginning.
+      const auto b = split_bounds(global.size(), ranks_now);
+      for (int r = 0; r < ranks_now; ++r) {
+        start[static_cast<std::size_t>(r)] =
+            global.slice(b[static_cast<std::size_t>(r)],
+                         b[static_cast<std::size_t>(r) + 1]);
+      }
+      start_step = 0;
+    }
+    if (out.restarts > 0) out.resumed_from_step = start_step;
+
+    fault::FaultPlan plan;
+    plan.enabled = true;
+    plan.schedule = cfg.schedule;
+    plan.transport = cfg.transport;
+    plan.seed = cfg.fault_seed;
+    plan.time_offset = consumed;
+
+    simnet::Cluster cluster(
+        {.ranks = ranks_now, .network = base.network, .fault = plan});
+    std::vector<detail::RankWork> work(static_cast<std::size_t>(ranks_now));
+    last_commit_time.store(0.0);
+
+    try {
+      cluster.run([&](simnet::Comm& comm) {
+        const int r = comm.rank();
+        detail::RankWork& w = work[static_cast<std::size_t>(r)];
+        w.mine = std::move(start[static_cast<std::size_t>(r)]);
+
+        detail::evaluate_forces(comm, base, w);  // prime accelerations
+        const double h = 0.5 * base.dt;
+        for (int s = start_step; s < base.steps; ++s) {
+          detail::kick(w, h);
+          detail::drift(w, base.dt);
+          detail::evaluate_forces(comm, base, w);
+          detail::kick(w, h);
+          comm.compute(arch::estimate_seconds(*base.cpu,
+                                              update_profile(w.update_ops)));
+          w.update_ops = OpCounter{};
+
+          const int done = s + 1;
+          if (cfg.checkpoint_every > 0 &&
+              done % cfg.checkpoint_every == 0 && done < base.steps) {
+            comm.barrier();  // quiesce: no checkpoint spans in-flight sends
+            std::size_t blob_bytes = 0;
+            if (!cfg.snapshot_dir.empty()) {
+              save_snapshot(w.mine,
+                            snapshot_path(cfg.snapshot_dir, done, r));
+              blob_bytes = w.mine.size() * 7 * sizeof(double);
+            } else {
+              std::vector<std::byte> blob = pack_state(w.mine);
+              blob_bytes = blob.size();
+              store.save(r, done, std::move(blob));
+            }
+            comm.compute(static_cast<double>(blob_bytes) /
+                         cfg.checkpoint_write_bw);
+            comm.barrier();  // every rank committed => version is complete
+            if (r == 0) {
+              committed.store(done);
+              committed_ranks.store(comm.size());
+              ckpt_count.fetch_add(1);
+              last_commit_time.store(comm.now());
+            }
+          }
+        }
+        w.kinetic =
+            comm.allreduce(w.mine.kinetic_energy(), std::plus<double>{});
+        w.potential =
+            comm.allreduce(w.mine.potential_energy(), std::plus<double>{});
+      });
+    } catch (const FaultError&) {
+      const double attempt_elapsed = cluster.elapsed_seconds();
+      consumed += attempt_elapsed + cfg.restart_penalty_seconds;
+      out.lost_virtual_seconds += (attempt_elapsed - last_commit_time.load()) +
+                                  cfg.restart_penalty_seconds;
+      out.fault_stats += cluster.fault_stats();
+      out.fault_trace.insert(out.fault_trace.end(),
+                             cluster.fault_trace().begin(),
+                             cluster.fault_trace().end());
+      const std::vector<int> newly_dead = cluster.failed_nodes();
+      out.failed_nodes.insert(out.failed_nodes.end(), newly_dead.begin(),
+                              newly_dead.end());
+      if (out.restarts >= cfg.max_restarts) throw;
+      ++out.restarts;
+      ++out.attempts;
+      if (cfg.on_node_loss == NodeLossPolicy::kDegrade) {
+        ranks_now -= static_cast<int>(newly_dead.size());
+        BLADED_REQUIRE_MSG(ranks_now >= 1, "no ranks survived the failures");
+      }
+      continue;
+    }
+
+    // Success: finalize metrics from this attempt, overhead from the whole.
+    consumed += cluster.elapsed_seconds();
+    out.fault_stats += cluster.fault_stats();
+    out.fault_trace.insert(out.fault_trace.end(),
+                           cluster.fault_trace().begin(),
+                           cluster.fault_trace().end());
+    ParallelResult& res = out.result;
+    res.elapsed_seconds = cluster.elapsed_seconds();
+    res.bytes = cluster.total_bytes();
+    res.messages = cluster.total_messages();
+    for (int r = 0; r < ranks_now; ++r) {
+      const detail::RankWork& w = work[static_cast<std::size_t>(r)];
+      const OpCounter all = w.force_ops + w.build_ops;
+      res.total_flops += all.flops();
+      res.interactions += w.traversal.interactions();
+      res.compute_seconds =
+          std::max(res.compute_seconds, cluster.stats(r).compute_seconds);
+      res.particles_out.append(w.mine);
+    }
+    res.kinetic = work[0].kinetic;
+    res.potential = work[0].potential;
+    if (res.elapsed_seconds > 0.0) {
+      res.sustained_gflops =
+          static_cast<double>(res.total_flops) / res.elapsed_seconds / 1e9;
+      res.mflops_per_proc = res.sustained_gflops * 1000.0 / ranks_now;
+    }
+    out.final_ranks = ranks_now;
+    out.checkpoints = ckpt_count.load();
+    out.total_virtual_seconds = consumed;
+    return out;
+  }
+}
+
+}  // namespace bladed::treecode

@@ -6,6 +6,7 @@
 #include "simnet/comm.hpp"
 #include "treecode/direct.hpp"
 #include "treecode/ic.hpp"
+#include "treecode/parallel_internal.hpp"
 #include "treecode/perf.hpp"
 
 namespace bladed::treecode {
@@ -46,7 +47,7 @@ std::vector<MassElement> collect_let(const Octree& tree,
   return out;
 }
 
-namespace {
+namespace detail {
 
 ParticleSet make_ic(const ParallelConfig& cfg) {
   switch (cfg.ic_kind) {
@@ -61,16 +62,6 @@ ParticleSet make_ic(const ParallelConfig& cfg) {
   }
 }
 
-/// Per-rank working state and accounting inside the simulated cluster.
-struct RankWork {
-  ParticleSet mine;
-  OpCounter force_ops, build_ops, update_ops;
-  TraversalStats traversal;
-  double kinetic = 0.0, potential = 0.0;
-};
-
-/// One force evaluation: box allgather, local tree, LET alltoall, combined
-/// tree, traversal. Charges modelled compute time to `comm` as it goes.
 void evaluate_forces(simnet::Comm& comm, const ParallelConfig& cfg,
                      RankWork& w) {
   const int nranks = comm.size();
@@ -159,16 +150,17 @@ void drift(RankWork& w, double dt) {
   w.update_ops += o;
 }
 
-}  // namespace
+}  // namespace detail
 
 ParallelResult run_parallel_nbody(const ParallelConfig& cfg) {
+  using detail::RankWork;
   BLADED_REQUIRE_MSG(cfg.cpu != nullptr, "ParallelConfig.cpu is required");
   BLADED_REQUIRE(cfg.ranks >= 1);
   BLADED_REQUIRE(cfg.steps >= 1);
   BLADED_REQUIRE(cfg.particles >= static_cast<std::size_t>(cfg.ranks));
 
   // Global IC in Morton order; contiguous equal-count chunks per rank.
-  ParticleSet global = make_ic(cfg);
+  ParticleSet global = detail::make_ic(cfg);
   {
     const BoundingBox box = BoundingBox::containing(global);
     const std::vector<std::uint64_t> keys = morton_keys(global, box);
@@ -180,7 +172,7 @@ ParallelResult run_parallel_nbody(const ParallelConfig& cfg) {
     bounds[r] = n * static_cast<std::size_t>(r) / cfg.ranks;
   }
 
-  simnet::Cluster cluster({cfg.ranks, cfg.network});
+  simnet::Cluster cluster({.ranks = cfg.ranks, .network = cfg.network});
   std::vector<RankWork> work(cfg.ranks);
 
   cluster.run([&](simnet::Comm& comm) {

@@ -1,0 +1,39 @@
+#pragma once
+
+/// Internal building blocks of the parallel N-body driver, shared between
+/// run_parallel_nbody (treecode/parallel.cpp) and the fault-tolerant
+/// checkpoint/restart driver (treecode/checkpoint.cpp). Not a public API:
+/// everything here may change without notice.
+
+#include "common/opcount.hpp"
+#include "treecode/parallel.hpp"
+#include "treecode/traverse.hpp"
+
+namespace bladed::simnet {
+class Comm;
+}
+
+namespace bladed::treecode::detail {
+
+/// Per-rank working state and accounting inside the simulated cluster.
+struct RankWork {
+  ParticleSet mine;
+  OpCounter force_ops, build_ops, update_ops;
+  TraversalStats traversal;
+  double kinetic = 0.0, potential = 0.0;
+};
+
+/// Build the configured initial condition (Plummer / cube / colliding pair).
+[[nodiscard]] ParticleSet make_ic(const ParallelConfig& cfg);
+
+/// One force evaluation: box allgather, local tree, LET alltoall, combined
+/// tree, traversal. Charges modelled compute time to `comm` as it goes.
+void evaluate_forces(simnet::Comm& comm, const ParallelConfig& cfg,
+                     RankWork& w);
+
+/// Leapfrog half-kick / drift over the owned particles (accumulates the
+/// update-op counts into `w.update_ops`).
+void kick(RankWork& w, double h);
+void drift(RankWork& w, double dt);
+
+}  // namespace bladed::treecode::detail

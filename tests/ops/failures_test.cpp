@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace bladed::ops {
@@ -63,6 +66,69 @@ TEST(OpsMonteCarlo, FasterDiagnosisCutsCostProportionally) {
   const MonteCarloResult s = simulate(slow, 2000, 23);
   const MonteCarloResult f = simulate(fast, 2000, 23);
   EXPECT_NEAR(f.downtime_cost.mean / s.downtime_cost.mean, 0.5, 0.05);
+}
+
+TEST(OpsMonteCarlo, NearZeroMtbfStaysClampedAndFinite) {
+  // Absurd failure rate (MTBF of minutes): the outage bookkeeping must stay
+  // within the mission horizon and availability must clamp at zero instead
+  // of going negative.
+  OperationsConfig cfg = traditional_ops();
+  cfg.failures_per_node_year = 5000.0;
+  cfg.years = 0.01;
+  Rng rng(3);
+  const Outcome o = simulate_once(cfg, rng);
+  const double horizon_h = cfg.years * kHoursPerYear.value();
+  EXPECT_GT(o.failures, 0);
+  EXPECT_LE(o.wall_clock_outage.value(), horizon_h * o.failures);
+  EXPECT_GE(o.availability, 0.0);
+  EXPECT_LE(o.availability, 1.0);
+  EXPECT_TRUE(std::isfinite(o.downtime_cost.value()));
+}
+
+TEST(OpsMonteCarlo, RepairLongerThanMissionIsTruncatedAtTheHorizon) {
+  OperationsConfig cfg = traditional_ops();
+  cfg.years = 0.001;  // ~8.8 h mission
+  cfg.repair.diagnosis = Hours(1000.0);
+  cfg.repair.replacement = Hours(0.0);
+  const double horizon_h = cfg.years * kHoursPerYear.value();
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Outcome o = simulate_once(cfg, rng);
+    // No single outage (and hence the sum of disjoint-start truncations)
+    // may bill time past the end of the mission.
+    EXPECT_LE(o.wall_clock_outage.value(),
+              horizon_h * std::max(o.failures, 1));
+    EXPECT_GE(o.availability, 0.0);
+  }
+}
+
+TEST(OpsMonteCarlo, HotAndNonHotShareTheSameArrivalStream) {
+  // The failure arrivals depend only on (seed, rate), never on the repair
+  // policy, so the two regimes must see identical failure counts per trial
+  // and differ only in what each failure costs.
+  OperationsConfig hot = traditional_ops();
+  hot.repair.hot_pluggable = true;
+  OperationsConfig cold = traditional_ops();
+  cold.repair.hot_pluggable = false;
+  const MonteCarloResult h = simulate(hot, 200, 77);
+  const MonteCarloResult c = simulate(cold, 200, 77);
+  ASSERT_EQ(h.trials.size(), c.trials.size());
+  for (std::size_t i = 0; i < h.trials.size(); ++i)
+    EXPECT_EQ(h.trials[i].failures, c.trials[i].failures);
+  // Whole-cluster outages cost `nodes` times the hot-pluggable ones.
+  EXPECT_NEAR(c.downtime_cost.mean / h.downtime_cost.mean,
+              static_cast<double>(cold.nodes), 1e-9);
+}
+
+TEST(OpsMonteCarlo, PoissonArrivalsAreDeterministicPerTrial) {
+  const MonteCarloResult a = simulate(traditional_ops(), 50, 2002);
+  const MonteCarloResult b = simulate(traditional_ops(), 50, 2002);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].failures, b.trials[i].failures);
+    EXPECT_DOUBLE_EQ(a.trials[i].wall_clock_outage.value(),
+                     b.trials[i].wall_clock_outage.value());
+  }
 }
 
 TEST(OpsMonteCarlo, RejectsBadArguments) {

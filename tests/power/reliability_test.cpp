@@ -77,6 +77,21 @@ TEST(Reliability, HotterRoomMeansMoreFailures) {
             m.expected_failures(24, 4.0, Celsius(20.0)));
 }
 
+TEST(Downtime, ExtremeFailureRateClampsAvailabilityAtZero) {
+  // A pathological rate (e.g. a schedule generator probing the model) makes
+  // expected outage exceed the mission; availability must clamp, not go
+  // negative.
+  ReliabilityModel rel;
+  rel.failures_per_node_year_ref = 1e6;
+  OutageModel out;
+  out.repair_time = Hours(4.0);
+  out.whole_cluster_outage = true;
+  const DowntimeEstimate d =
+      estimate_downtime(rel, out, 24, 4.0, rel.reference_temp);
+  EXPECT_DOUBLE_EQ(d.availability, 0.0);
+  EXPECT_TRUE(std::isfinite(d.cpu_hours_lost.value()));
+}
+
 TEST(Reliability, RejectsBadArguments) {
   ReliabilityModel m;
   EXPECT_THROW(m.expected_failures(0, 1.0, Celsius(25.0)), PreconditionError);

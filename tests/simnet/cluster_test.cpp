@@ -220,6 +220,58 @@ TEST(Cluster, IncastContentionSlowsDelivery) {
   EXPECT_GT(finish, 7.0 * net.wire_time(kBytes));
 }
 
+TEST(Cluster, RecvSizeMismatchErrorNamesEndpointsAndSizes) {
+  // The typed-receive validation must say which link and tag carried the
+  // bad payload and what the size mismatch was, not just that one happened.
+  Cluster cluster(cfg(2));
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_bytes(1, 3, std::vector<std::byte>(10));  // not 4-divisible
+    } else {
+      try {
+        (void)comm.recv<int>(0, 3);
+        FAIL() << "expected PreconditionError";
+      } catch (const PreconditionError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("src=0"), std::string::npos);
+        EXPECT_NE(msg.find("dst=1"), std::string::npos);
+        EXPECT_NE(msg.find("tag=3"), std::string::npos);
+        EXPECT_NE(msg.find("10 bytes"), std::string::npos);
+        EXPECT_NE(msg.find("element size 4"), std::string::npos);
+      }
+    }
+  });
+}
+
+TEST(Cluster, RecvValueSizeMismatchReportsBothSizes) {
+  Cluster cluster(cfg(2));
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 0, std::int16_t{5});
+    } else {
+      try {
+        (void)comm.recv_value<std::int64_t>(0, 0);
+        FAIL() << "expected PreconditionError";
+      } catch (const PreconditionError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("got 2 bytes, expected 8"), std::string::npos);
+        EXPECT_NE(msg.find("src=0"), std::string::npos);
+      }
+    }
+  });
+}
+
+TEST(Cluster, SendToOutOfRangeRankNamesTheBounds) {
+  Cluster cluster(cfg(2));
+  try {
+    cluster.run([](Comm& comm) { comm.send_value(5, 0, 1); });
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("destination rank 5 out of range"),
+              std::string::npos);
+  }
+}
+
 TEST(Cluster, RejectsZeroRanks) {
   EXPECT_THROW(Cluster(cfg(0)), PreconditionError);
 }

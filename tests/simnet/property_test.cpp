@@ -39,7 +39,7 @@ Plan random_plan(std::uint64_t seed, int ranks, int count) {
 /// then receives its incoming ones (in plan order). Returns elapsed time.
 double run_plan(const Plan& plan, int ranks, std::uint64_t* bytes_out,
                 std::uint64_t* msgs_out) {
-  Cluster cluster({ranks, NetworkModel::fast_ethernet()});
+  Cluster cluster({.ranks = ranks, .network = NetworkModel::fast_ethernet()});
   cluster.run([&](Comm& comm) {
     for (const auto& m : plan.msgs) {
       if (m.src == comm.rank()) {
@@ -91,7 +91,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TrafficFuzz, ::testing::Range(0, 8));
 
 TEST(Trace, RecordsEveryMessageWithCausalTimes) {
   const Plan plan = random_plan(77, 5, 40);
-  Cluster cluster({5, NetworkModel::fast_ethernet(), /*record_trace=*/true});
+  Cluster cluster({.ranks = 5, .network = NetworkModel::fast_ethernet(), .record_trace = true});
   cluster.run([&](Comm& comm) {
     for (const auto& m : plan.msgs) {
       if (m.src == comm.rank()) {
@@ -118,14 +118,14 @@ TEST(Trace, RecordsEveryMessageWithCausalTimes) {
 }
 
 TEST(Trace, EmptyWhenDisabledAndClearedBetweenRuns) {
-  Cluster off({2, NetworkModel::fast_ethernet()});
+  Cluster off({.ranks = 2, .network = NetworkModel::fast_ethernet()});
   off.run([](Comm& comm) {
     if (comm.rank() == 0) comm.send_value(1, 0, 1);
     else (void)comm.recv_value<int>(0, 0);
   });
   EXPECT_TRUE(off.trace().empty());
 
-  Cluster on({2, NetworkModel::fast_ethernet(), true});
+  Cluster on({.ranks = 2, .network = NetworkModel::fast_ethernet(), .record_trace = true});
   auto program = [](Comm& comm) {
     if (comm.rank() == 0) comm.send_value(1, 0, 1);
     else (void)comm.recv_value<int>(0, 0);
@@ -139,7 +139,7 @@ TEST(Trace, EmptyWhenDisabledAndClearedBetweenRuns) {
 TEST(Causality, DeliveryNeverPrecedesSend) {
   // Receivers' clocks after recv must be at least the sender's send time
   // plus the uncontended transfer time.
-  Cluster cluster({4, NetworkModel::fast_ethernet()});
+  Cluster cluster({.ranks = 4, .network = NetworkModel::fast_ethernet()});
   const NetworkModel& net = cluster.network();
   cluster.run([&](Comm& comm) {
     if (comm.rank() == 0) {
@@ -163,7 +163,7 @@ TEST(BondedNic, BandwidthScalesWithChannels) {
 
 TEST(BondedNic, LargeTransfersSpeedUpSmallOnesBarely) {
   auto transfer_time = [](const NetworkModel& net, std::size_t bytes) {
-    Cluster cluster({2, net});
+    Cluster cluster({.ranks = 2, .network = net});
     cluster.run([&](Comm& comm) {
       if (comm.rank() == 0) {
         comm.send_bytes(1, 0, std::vector<std::byte>(bytes));
@@ -186,7 +186,7 @@ TEST(SharedHub, ConcurrentPairsSerializeOnOneMedium) {
   // parallel (cost: one store-and-forward transfer); on a hub all four
   // transfers queue on the single collision domain.
   auto run_pairs = [](const NetworkModel& net) {
-    Cluster cluster({8, net});
+    Cluster cluster({.ranks = 8, .network = net});
     cluster.run([](Comm& comm) {
       constexpr std::size_t kBytes = 256 * 1024;
       const int r = comm.rank();
@@ -208,7 +208,7 @@ TEST(SharedHub, SingleTransferCostsTheSame) {
   // With no contention the hub and switch differ only by the second
   // store-and-forward serialization the switch adds.
   auto one = [](const NetworkModel& net) {
-    Cluster cluster({2, net});
+    Cluster cluster({.ranks = 2, .network = net});
     cluster.run([](Comm& comm) {
       if (comm.rank() == 0) {
         comm.send_bytes(1, 0, std::vector<std::byte>(100000));
@@ -237,7 +237,7 @@ TEST(Comm, MixedComputeCommunicationOrderIsStable) {
   // token: final time equals the sum of all compute plus transfer times,
   // independent of scheduling details.
   const int n = 6;
-  Cluster cluster({n, NetworkModel::fast_ethernet()});
+  Cluster cluster({.ranks = n, .network = NetworkModel::fast_ethernet()});
   cluster.run([n](Comm& comm) {
     const int r = comm.rank();
     if (r == 0) {
