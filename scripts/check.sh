@@ -1,18 +1,52 @@
 #!/usr/bin/env bash
-# Sanitizer gate: build the whole tree with ASan + UBSan and run the tier-1
-# test suite (plus the bladed-lint ctest entries) under both. CI entry point;
-# also runnable locally. A separate build dir keeps the sanitized objects
-# from polluting the normal build.
+# Sanitizer gates. CI entry point; also runnable locally.
+#
+#   check.sh [asan|tsan|all]   (default: asan)
+#
+# asan: build the whole tree with ASan + UBSan and run the full tier-1 test
+# suite (plus the bladed-lint / bladed-commcheck ctest entries) under both.
+#
+# tsan: build with ThreadSanitizer and run the *threaded* suites — the
+# simnet engine, the fault-injection layer and the commcheck recorder all
+# exercise real rank threads, so TSan is the gate that proves the engine
+# lock discipline (every op_* and recorder hook under ClusterImpl::mu).
+# Selected via the ctest labels bladed_add_test attaches per binary.
+#
+# Separate build dirs keep the sanitized objects from polluting the normal
+# build (and TSan's runtime cannot coexist with ASan's).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build-sanitize}
+STAGE=${1:-asan}
 JOBS=${JOBS:-$(nproc)}
 
-cmake -B "${BUILD_DIR}" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DBLADED_ASAN=ON \
-  -DBLADED_UBSAN=ON
-cmake --build "${BUILD_DIR}" -j "${JOBS}"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
-echo "check.sh: tier-1 tests clean under ASan+UBSan"
+run_asan() {
+  local dir=${BUILD_DIR:-build-sanitize}
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBLADED_ASAN=ON \
+    -DBLADED_UBSAN=ON
+  cmake --build "${dir}" -j "${JOBS}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  echo "check.sh: tier-1 tests clean under ASan+UBSan"
+}
+
+run_tsan() {
+  local dir=${TSAN_BUILD_DIR:-build-tsan}
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBLADED_TSAN=ON
+  cmake --build "${dir}" -j "${JOBS}" \
+    --target test_simnet test_fault test_commcheck test_treecode test_npb \
+    bladed-commcheck
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    -L 'test_simnet|test_fault|test_commcheck|test_treecode|test_npb|commcheck'
+  echo "check.sh: threaded suites clean under TSan"
+}
+
+case "${STAGE}" in
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all) run_asan; run_tsan ;;
+  *) echo "usage: check.sh [asan|tsan|all]" >&2; exit 2 ;;
+esac

@@ -1,0 +1,36 @@
+#pragma once
+
+/// Offline happens-before analysis over a recorded commcheck Trace — the
+/// MUST/ISP-shaped verification pass for the simnet Comm layer. Inputs are
+/// per-rank event streams with vector clocks (commcheck::Recorder); output
+/// is a Verdict of protocol findings:
+///
+///  * deadlock wait-for cycles among ranks blocked in recv/barrier, naming
+///    each rank, the operation it is stuck in, and its source/tag;
+///  * orphaned sends (never received) and orphaned receives (no possible
+///    sender), with tag near-miss and payload/element-size diagnostics;
+///  * wildcard (kAnySource) receives whose match is schedule-dependent:
+///    more than one candidate send is concurrent under happens-before;
+///  * collective-consistency violations: ranks entering different
+///    collectives at the same position, different roots, or incompatible
+///    element counts.
+///
+/// The analysis never throws on a bad trace — like bladed::check it
+/// accumulates findings so one pass surfaces everything at once.
+
+#include "commcheck/event.hpp"
+#include "commcheck/report.hpp"
+
+namespace bladed::commcheck {
+
+struct AnalyzeOptions {
+  /// Report orphaned sends. On by default; the fault-injection drivers turn
+  /// it off because dropped-after-max-attempts messages orphan their sends
+  /// by design.
+  bool orphan_sends = true;
+};
+
+[[nodiscard]] Verdict analyze(const Trace& trace,
+                              const AnalyzeOptions& opt = {});
+
+}  // namespace bladed::commcheck

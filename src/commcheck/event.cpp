@@ -1,0 +1,98 @@
+#include "commcheck/event.hpp"
+
+#include <cstdio>
+
+namespace bladed::commcheck {
+
+const char* to_string(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kBarrier: return "barrier";
+    case CollectiveKind::kBcast: return "bcast";
+    case CollectiveKind::kReduce: return "reduce";
+    case CollectiveKind::kAllreduce: return "allreduce";
+    case CollectiveKind::kAllreduceVec: return "allreduce_vec";
+    case CollectiveKind::kAllgather: return "allgather";
+    case CollectiveKind::kGather: return "gather";
+    case CollectiveKind::kAlltoall: return "alltoall";
+  }
+  return "?";
+}
+
+bool happens_before(const Clock& a, const Clock& b) {
+  if (a.size() != b.size()) return false;
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+bool concurrent(const Clock& a, const Clock& b) {
+  return !happens_before(a, b) && !happens_before(b, a) && a != b;
+}
+
+std::string to_string(const CommEvent& e) {
+  char buf[192];
+  switch (e.kind) {
+    case EventKind::kSend:
+      std::snprintf(buf, sizeof buf,
+                    "r%d send dst=%d tag=%d bytes=%llu t=%.9g%s", e.rank,
+                    e.peer, e.tag, static_cast<unsigned long long>(e.bytes),
+                    e.time, e.in_collective ? " coll" : "");
+      break;
+    case EventKind::kRecv: {
+      char src[16];
+      if (e.peer == kAnySrc) {
+        std::snprintf(src, sizeof src, "any");
+      } else {
+        std::snprintf(src, sizeof src, "%d", e.peer);
+      }
+      if (!e.completed) {
+        std::snprintf(buf, sizeof buf, "r%d recv src=%s tag=%d BLOCKED t=%.9g",
+                      e.rank, src, e.tag, e.time);
+      } else if (e.timed_out) {
+        std::snprintf(buf, sizeof buf, "r%d recv src=%s tag=%d TIMEOUT t=%.9g",
+                      e.rank, src, e.tag, e.time);
+      } else {
+        std::snprintf(buf, sizeof buf,
+                      "r%d recv src=%s tag=%d from=%d#%llu bytes=%llu "
+                      "t=%.9g%s",
+                      e.rank, src, e.tag, e.matched_src,
+                      static_cast<unsigned long long>(e.matched_event),
+                      static_cast<unsigned long long>(e.bytes), e.time,
+                      e.in_collective ? " coll" : "");
+      }
+      break;
+    }
+    case EventKind::kCollective:
+      std::snprintf(buf, sizeof buf, "r%d %s root=%d elems=%llu %s t=%.9g",
+                    e.rank, to_string(e.coll), e.root,
+                    static_cast<unsigned long long>(e.elems),
+                    e.completed ? "done" : "OPEN", e.time);
+      break;
+  }
+  std::string out(buf);
+  out += " vc=[";
+  for (std::size_t i = 0; i < e.clock.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(e.clock[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string Trace::canonical_bytes() const {
+  std::string out;
+  out += "commcheck-trace ranks=" + std::to_string(ranks) +
+         (aborted ? " aborted" : " clean") + "\n";
+  for (int r = 0; r < ranks; ++r) {
+    for (const CommEvent& e : events[static_cast<std::size_t>(r)]) {
+      out += to_string(e);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace bladed::commcheck

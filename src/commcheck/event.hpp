@@ -1,0 +1,105 @@
+#pragma once
+
+/// Event model for bladed::commcheck, the communication-protocol
+/// verification layer over the simnet Comm API. The engine records every
+/// Comm operation (send / recv / recv_for / barrier / each collective) as a
+/// per-rank event stream stamped with virtual time and a vector clock, so
+/// an offline analyzer can recover the happens-before partial order of the
+/// run without re-executing it. The types here deliberately depend on
+/// nothing in simnet: commcheck reads traces, simnet writes them.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bladed::commcheck {
+
+/// Mirrors simnet::kAnySource without pulling in the engine headers.
+inline constexpr int kAnySrc = -1;
+
+/// Sentinel for "no matched send event".
+inline constexpr std::size_t kNoEvent = static_cast<std::size_t>(-1);
+
+enum class EventKind : std::uint8_t {
+  kSend,        ///< point-to-point send (non-blocking in this engine)
+  kRecv,        ///< blocking receive (recv / recv_for / recv_value)
+  kCollective,  ///< entry marker for a Comm collective (incl. barrier)
+};
+
+enum class CollectiveKind : std::uint8_t {
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kAllreduceVec,
+  kAllgather,
+  kGather,
+  kAlltoall,
+};
+
+[[nodiscard]] const char* to_string(CollectiveKind kind);
+
+/// Fixed-width vector clock, one component per rank. Component r counts the
+/// events rank r has executed; an event's clock is taken *after* the event
+/// (join with the matched sender's clock first, for receives).
+using Clock = std::vector<std::uint32_t>;
+
+/// e1 happens-before e2 (strictly): e1.clock <= e2.clock componentwise and
+/// the clocks differ.
+[[nodiscard]] bool happens_before(const Clock& a, const Clock& b);
+/// Neither ordered: the two events can occur in either order under some
+/// legal schedule.
+[[nodiscard]] bool concurrent(const Clock& a, const Clock& b);
+
+struct CommEvent {
+  EventKind kind = EventKind::kSend;
+  /// False while an op is still blocked; stays false if the run ended (or
+  /// aborted) with the op pending — the raw material of deadlock analysis.
+  bool completed = false;
+  bool timed_out = false;      ///< recv_for expired (completed, no payload)
+  bool in_collective = false;  ///< p2p event issued inside a collective
+  int rank = 0;
+  /// Send: destination. Recv: the *posted* source (may be kAnySrc).
+  int peer = kAnySrc;
+  int matched_src = -1;  ///< recv: actual source once matched
+  int tag = 0;
+  std::uint64_t bytes = 0;  ///< payload bytes sent / received
+  /// Recv: index of the matching send event in events[matched_src].
+  std::size_t matched_event = kNoEvent;
+  /// Recv: expected element size in bytes (0 = untyped); elems == 1 means
+  /// the caller expects exactly one element (recv_value).
+  std::uint64_t elem_bytes = 0;
+  std::uint64_t elems = 0;
+  // Collective entry markers only:
+  CollectiveKind coll = CollectiveKind::kBarrier;
+  int root = -1;
+  double time = 0.0;  ///< virtual timestamp (issue, or completion once done)
+  Clock clock;        ///< vector clock after the event
+};
+
+/// One recorded run: per-rank event streams in program order.
+struct Trace {
+  int ranks = 0;
+  /// The run threw (deadlock, fault, program exception): incomplete events
+  /// are expected and feed the deadlock analysis.
+  bool aborted = false;
+  std::vector<std::vector<CommEvent>> events;
+
+  [[nodiscard]] std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const auto& per_rank : events) n += per_rank.size();
+    return n;
+  }
+
+  /// Canonical, deterministic, newline-separated rendering of every event —
+  /// two runs of a deterministic program must produce byte-identical
+  /// serializations (the golden-trace property ctest enforces).
+  [[nodiscard]] std::string canonical_bytes() const;
+};
+
+/// Renders one event as a single canonical line (used by canonical_bytes
+/// and by human-readable reports).
+[[nodiscard]] std::string to_string(const CommEvent& e);
+
+}  // namespace bladed::commcheck

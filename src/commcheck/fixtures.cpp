@@ -1,0 +1,109 @@
+#include "commcheck/fixtures.hpp"
+
+#include <exception>
+#include <functional>
+
+#include "commcheck/recorder.hpp"
+#include "simnet/comm.hpp"
+
+namespace bladed::commcheck {
+
+namespace {
+
+/// Run `program` on `ranks` simulated nodes with a recorder attached; an
+/// abort (stall detector, precondition failure) is part of the fixture's
+/// point, so exceptions are swallowed and show up as trace.aborted.
+Trace record(int ranks,
+             const std::function<void(simnet::Comm&)>& program) {
+  Recorder recorder(ranks);
+  simnet::Cluster::Config cfg;
+  cfg.ranks = ranks;
+  cfg.recorder = &recorder;
+  simnet::Cluster cluster(std::move(cfg));
+  try {
+    cluster.run(program);
+  } catch (const std::exception&) {
+    // trace.aborted is already set by the engine.
+  }
+  return recorder.trace();
+}
+
+}  // namespace
+
+Trace deadlock_trace() {
+  return record(2, [](simnet::Comm& comm) {
+    const int other = 1 - comm.rank();
+    const int my_tag = comm.rank() == 0 ? 7 : 9;
+    // Head-to-head: both ranks receive first, so neither ever sends.
+    (void)comm.recv_bytes(other, my_tag);
+    comm.send_value(other, other == 0 ? 7 : 9, comm.rank());
+  });
+}
+
+Trace orphan_send_trace() {
+  return record(2, [](simnet::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, /*tag=*/1, 42);
+      comm.send_value(1, /*tag=*/2, 43);  // nobody ever receives this
+    } else {
+      (void)comm.recv_value<int>(0, /*tag=*/1);
+    }
+  });
+}
+
+Trace wildcard_race_trace() {
+  return record(3, [](simnet::Comm& comm) {
+    constexpr int kTag = 5;
+    if (comm.rank() == 0) {
+      (void)comm.recv_value<int>(simnet::kAnySource, kTag);
+      (void)comm.recv_value<int>(simnet::kAnySource, kTag);
+    } else {
+      comm.send_value(0, kTag, comm.rank());
+    }
+  });
+}
+
+Trace bcast_root_mismatch_trace() {
+  return record(4, [](simnet::Comm& comm) {
+    // Rank 3 disagrees about who broadcasts: its tree sends where nobody
+    // listens and skips the receive its peers' tree expects. The run still
+    // terminates (sends are non-blocking) — the bug is silent without the
+    // protocol check.
+    const int root = comm.rank() == 3 ? 3 : 0;
+    (void)comm.bcast(std::vector<int>{comm.rank() == root ? 17 : 0}, root);
+  });
+}
+
+Trace size_mismatch_trace() {
+  return record(2, [](simnet::Comm& comm) {
+    constexpr int kTag = 4;
+    if (comm.rank() == 0) {
+      comm.send(1, kTag, std::vector<float>{1.0F, 2.0F, 3.0F});  // 12 bytes
+    } else {
+      (void)comm.recv_value<double>(0, kTag);  // expects exactly 8
+    }
+  });
+}
+
+Trace clean_trace() {
+  return record(4, [](simnet::Comm& comm) {
+    const int n = comm.size();
+    const int r = comm.rank();
+    // p2p ring, then one of everything.
+    comm.send_value((r + 1) % n, /*tag=*/3, r);
+    (void)comm.recv_value<int>((r - 1 + n) % n, /*tag=*/3);
+    comm.barrier();
+    (void)comm.bcast(std::vector<int>{r == 0 ? 11 : 0}, 0);
+    (void)comm.reduce(r, [](int a, int b) { return a + b; }, 0);
+    (void)comm.allreduce(r, [](int a, int b) { return a > b ? a : b; });
+    (void)comm.allreduce_vec(std::vector<double>{1.0, 2.0},
+                             [](double a, double b) { return a + b; });
+    (void)comm.allgather(std::vector<int>{r, r});
+    (void)comm.alltoall(std::vector<std::vector<int>>(
+        static_cast<std::size_t>(n), std::vector<int>{r}));
+    (void)comm.gather(std::vector<int>{r}, 1);
+    comm.barrier();
+  });
+}
+
+}  // namespace bladed::commcheck

@@ -1,0 +1,47 @@
+#pragma once
+
+/// Seeded protocol-bug fixtures for bladed-commcheck. Each fixture runs a
+/// tiny simnet cluster with a Recorder attached, exercises one canonical
+/// communication bug (or its absence, for the clean control) and returns the
+/// recorded trace; `analyze` must flag exactly the seeded defect. These are
+/// both the CLI's --selftest corpus and the regression tests' ground truth.
+///
+/// Note the engine's sends are non-blocking (yield-then-commit), so the
+/// classic send/send deadlock cannot wedge it; the head-to-head *receive*
+/// cycle below is the engine's form of that bug, and the stall detector
+/// aborts the run so the trace arrives with `aborted = true`.
+
+#include "commcheck/event.hpp"
+
+namespace bladed::commcheck {
+
+/// 2 ranks, each blocking in recv from the other before sending: a wait-for
+/// cycle the stall detector aborts. Expect: deadlock-cycle naming both
+/// ranks' recv(src, tag).
+[[nodiscard]] Trace deadlock_trace();
+
+/// 2 ranks; rank 0 sends two messages but rank 1 receives only one. The run
+/// completes cleanly — the leak is only visible to the analyzer. Expect:
+/// orphan-send.
+[[nodiscard]] Trace orphan_send_trace();
+
+/// 3 ranks; ranks 1 and 2 race their sends to rank 0's two wildcard
+/// receives (no ordering between the senders). Expect: wildcard-race.
+[[nodiscard]] Trace wildcard_race_trace();
+
+/// 4 ranks; rank 3 calls bcast with root=1 while everyone else uses root=0,
+/// so rank 3 waits on a message that never comes and the run aborts.
+/// Expect: collective-root (and the abort's deadlock/orphan fallout).
+[[nodiscard]] Trace bcast_root_mismatch_trace();
+
+/// 2 ranks; rank 0 sends 12 bytes, rank 1 receives them as a single double
+/// (recv_value<double> expects exactly 8). The engine throws on the payload
+/// check; the trace still shows the typed expectation. Expect:
+/// size-mismatch.
+[[nodiscard]] Trace size_mismatch_trace();
+
+/// 4 ranks doing a full healthy exchange (p2p ring, barrier, bcast, reduce,
+/// allreduce, allgather, alltoall, gather). Expect: clean verdict.
+[[nodiscard]] Trace clean_trace();
+
+}  // namespace bladed::commcheck

@@ -1,0 +1,147 @@
+#include "commcheck/recorder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bladed::commcheck {
+
+Recorder::Recorder(int ranks) {
+  BLADED_REQUIRE_MSG(ranks > 0, "commcheck::Recorder needs at least one rank");
+  trace_.ranks = ranks;
+  trace_.events.resize(static_cast<std::size_t>(ranks));
+  clock_.assign(static_cast<std::size_t>(ranks),
+                Clock(static_cast<std::size_t>(ranks), 0));
+  open_.resize(static_cast<std::size_t>(ranks));
+}
+
+void Recorder::reset() {
+  trace_.aborted = false;
+  for (auto& per_rank : trace_.events) per_rank.clear();
+  for (auto& c : clock_) std::fill(c.begin(), c.end(), 0u);
+  for (auto& s : open_) s.clear();
+}
+
+Clock& Recorder::tick(int rank) {
+  Clock& c = clock_[static_cast<std::size_t>(rank)];
+  ++c[static_cast<std::size_t>(rank)];
+  return c;
+}
+
+std::size_t Recorder::on_send(int rank, int dst, int tag, std::uint64_t bytes,
+                              double t) {
+  CommEvent e;
+  e.kind = EventKind::kSend;
+  e.completed = true;  // sends are non-blocking in this engine
+  e.in_collective = in_collective(rank);
+  e.rank = rank;
+  e.peer = dst;
+  e.tag = tag;
+  e.bytes = bytes;
+  e.time = t;
+  e.clock = tick(rank);
+  auto& per_rank = trace_.events[static_cast<std::size_t>(rank)];
+  per_rank.push_back(std::move(e));
+  return per_rank.size() - 1;
+}
+
+std::size_t Recorder::on_recv_post(int rank, int src, int tag,
+                                   std::uint64_t elem_bytes,
+                                   std::uint64_t elems, double t) {
+  CommEvent e;
+  e.kind = EventKind::kRecv;
+  e.completed = false;
+  e.in_collective = in_collective(rank);
+  e.rank = rank;
+  e.peer = src;
+  e.tag = tag;
+  e.elem_bytes = elem_bytes;
+  e.elems = elems;
+  e.time = t;
+  e.clock = clock_[static_cast<std::size_t>(rank)];  // pre-completion view
+  auto& per_rank = trace_.events[static_cast<std::size_t>(rank)];
+  per_rank.push_back(std::move(e));
+  return per_rank.size() - 1;
+}
+
+void Recorder::on_recv_match(int rank, std::size_t event, int matched_src,
+                             std::size_t send_event, std::uint64_t bytes,
+                             double t) {
+  CommEvent& e = trace_.events[static_cast<std::size_t>(rank)][event];
+  Clock& mine = clock_[static_cast<std::size_t>(rank)];
+  if (matched_src != rank && send_event != kNoEvent) {
+    const Clock& theirs =
+        trace_.events[static_cast<std::size_t>(matched_src)][send_event].clock;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = std::max(mine[i], theirs[i]);
+    }
+  }
+  e.completed = true;
+  e.matched_src = matched_src;
+  e.matched_event = send_event;
+  e.bytes = bytes;
+  e.time = t;
+  e.clock = tick(rank);
+}
+
+void Recorder::on_recv_timeout(int rank, std::size_t event, double t) {
+  CommEvent& e = trace_.events[static_cast<std::size_t>(rank)][event];
+  e.completed = true;
+  e.timed_out = true;
+  e.time = t;
+  e.clock = tick(rank);
+}
+
+std::size_t Recorder::on_collective_begin(int rank, CollectiveKind kind,
+                                          int root, std::uint64_t elems,
+                                          double t) {
+  CommEvent e;
+  e.kind = EventKind::kCollective;
+  e.completed = false;
+  e.in_collective = in_collective(rank);  // nested level marker
+  e.rank = rank;
+  e.coll = kind;
+  e.root = root;
+  e.elems = elems;
+  e.time = t;
+  e.clock = tick(rank);
+  auto& per_rank = trace_.events[static_cast<std::size_t>(rank)];
+  per_rank.push_back(std::move(e));
+  open_[static_cast<std::size_t>(rank)].push_back(per_rank.size() - 1);
+  return per_rank.size() - 1;
+}
+
+void Recorder::on_collective_end(int rank, double t) {
+  auto& stack = open_[static_cast<std::size_t>(rank)];
+  BLADED_REQUIRE_MSG(!stack.empty(),
+                     "commcheck: collective end with no open collective");
+  CommEvent& e = trace_.events[static_cast<std::size_t>(rank)][stack.back()];
+  stack.pop_back();
+  e.completed = true;
+  (void)t;  // entry time is the marker's timestamp; completion shows in the
+            // clocks of the inner events
+}
+
+void Recorder::on_barrier_complete(
+    const std::vector<std::pair<int, std::size_t>>& participants, double t) {
+  // Supremum of every participant's clock...
+  Clock sup(clock_[0].size(), 0);
+  for (const auto& [rank, event] : participants) {
+    const Clock& c = clock_[static_cast<std::size_t>(rank)];
+    for (std::size_t i = 0; i < sup.size(); ++i) {
+      sup[i] = std::max(sup[i], c[i]);
+    }
+  }
+  // ...becomes everyone's new clock (plus their own tick).
+  for (const auto& [rank, event] : participants) {
+    clock_[static_cast<std::size_t>(rank)] = sup;
+    auto& stack = open_[static_cast<std::size_t>(rank)];
+    if (!stack.empty() && stack.back() == event) stack.pop_back();
+    CommEvent& e = trace_.events[static_cast<std::size_t>(rank)][event];
+    e.completed = true;
+    e.time = t;
+    e.clock = tick(rank);
+  }
+}
+
+}  // namespace bladed::commcheck

@@ -1,0 +1,81 @@
+#pragma once
+
+/// Low-overhead event recorder the simnet engine writes into when a
+/// Cluster::Config carries a `commcheck::Recorder*`. Every hook is invoked
+/// with the engine lock held, on the thread of the rank performing the
+/// operation; the scheduler's min-clock policy makes the per-rank event
+/// streams (and their vector clocks) deterministic, so two runs of a
+/// deterministic program record byte-identical traces.
+///
+/// Vector-clock discipline: each rank r owns component r and ticks it once
+/// per event. A completed receive first joins the matched send event's
+/// clock; a completed barrier joins every participant's clock. The result:
+/// event a happens-before event b iff a.clock <= b.clock componentwise.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "commcheck/event.hpp"
+
+namespace bladed::commcheck {
+
+class Recorder {
+ public:
+  explicit Recorder(int ranks);
+
+  /// Drop all recorded events and rewind the clocks (the trace of multiple
+  /// Cluster::run() calls accumulates until reset — restart attempts form
+  /// one continuous trace).
+  void reset();
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] int ranks() const { return trace_.ranks; }
+
+  // --- engine hooks (engine lock held) -------------------------------------
+
+  /// Non-blocking send committed at virtual time `t`; returns the event
+  /// index deliveries carry so the matching receive can join clocks.
+  std::size_t on_send(int rank, int dst, int tag, std::uint64_t bytes,
+                      double t);
+
+  /// A receive was posted (it may match immediately or block). The returned
+  /// index is patched by exactly one of the completion hooks; if none runs,
+  /// the event stays `completed=false` — a blocked receive.
+  std::size_t on_recv_post(int rank, int src, int tag,
+                           std::uint64_t elem_bytes, std::uint64_t elems,
+                           double t);
+  void on_recv_match(int rank, std::size_t event, int matched_src,
+                     std::size_t send_event, std::uint64_t bytes, double t);
+  void on_recv_timeout(int rank, std::size_t event, double t);
+
+  /// Entry marker for a collective (including barrier). Nested collectives
+  /// (allreduce = reduce + bcast) record one marker per level on every
+  /// rank, so per-rank collective sequences stay comparable.
+  std::size_t on_collective_begin(int rank, CollectiveKind kind, int root,
+                                  std::uint64_t elems, double t);
+  /// Marks the most recent open collective marker of `rank` completed.
+  void on_collective_end(int rank, double t);
+
+  /// A barrier completed: join every participant's clock to the common
+  /// supremum, tick each, and patch their (rank, event) barrier markers.
+  void on_barrier_complete(
+      const std::vector<std::pair<int, std::size_t>>& participants, double t);
+
+  /// The run ended with an error (deadlock, fault, program exception):
+  /// incomplete events are meaningful, tell the analyzer so.
+  void mark_aborted() { trace_.aborted = true; }
+
+ private:
+  [[nodiscard]] bool in_collective(int rank) const {
+    return !open_[static_cast<std::size_t>(rank)].empty();
+  }
+  Clock& tick(int rank);
+
+  Trace trace_;
+  std::vector<Clock> clock_;  ///< current vector clock per rank
+  /// Stack of open collective event indices per rank (nesting depth).
+  std::vector<std::vector<std::size_t>> open_;
+};
+
+}  // namespace bladed::commcheck

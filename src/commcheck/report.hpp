@@ -1,0 +1,53 @@
+#pragma once
+
+/// Findings and verdicts for bladed::commcheck. Mirrors the shape of
+/// bladed::check::Report (stable kebab-case codes tests match on, a
+/// human-readable rendering) but anchors findings to ranks and events
+/// instead of instruction indices, and adds a machine-readable JSON
+/// rendering for the bladed-commcheck CLI.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bladed::commcheck {
+
+/// One protocol finding. `code` is a stable kebab-case identifier:
+///   deadlock-cycle     wait-for cycle among blocked ranks
+///   orphan-send        a send no receive ever consumed
+///   orphan-recv        a blocked receive no send can satisfy
+///   tag-mismatch       orphan send/recv pair differing only in tag
+///   size-mismatch      payload size incompatible with the typed receive
+///   wildcard-race      kAnySource receive with >1 concurrent candidate
+///   collective-mismatch ranks entered different collectives (or counts)
+///   collective-root    same collective, different roots
+///   collective-size    same collective, incompatible element counts
+struct Finding {
+  std::string code;
+  std::string message;
+  std::vector<int> ranks;  ///< ranks involved, ascending, deduplicated
+};
+
+class Verdict {
+ public:
+  void add(std::string code, std::string message, std::vector<int> ranks);
+
+  [[nodiscard]] const std::vector<Finding>& findings() const {
+    return findings_;
+  }
+  [[nodiscard]] bool clean() const { return findings_.empty(); }
+  /// True if any finding carries `code`.
+  [[nodiscard]] bool has(const std::string& code) const;
+  [[nodiscard]] std::size_t count(const std::string& code) const;
+
+  /// Multi-line human-readable rendering ("finding[deadlock-cycle]: ...").
+  [[nodiscard]] std::string to_string() const;
+  /// Machine-readable verdict:
+  /// {"clean":false,"findings":[{"code":...,"ranks":[...],"message":...}]}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+}  // namespace bladed::commcheck

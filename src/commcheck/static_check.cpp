@@ -1,0 +1,354 @@
+#include "commcheck/static_check.hpp"
+
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace bladed::commcheck {
+
+ExchangePlan& ExchangePlan::then(const ExchangePlan& other) {
+  BLADED_REQUIRE_MSG(ranks() == other.ranks(),
+                     "ExchangePlan::then: rank count mismatch (" + name +
+                         " has " + std::to_string(ranks()) + ", " +
+                         other.name + " has " +
+                         std::to_string(other.ranks()) + ")");
+  for (int r = 0; r < ranks(); ++r) {
+    auto& mine = ops[static_cast<std::size_t>(r)];
+    const auto& theirs = other.ops[static_cast<std::size_t>(r)];
+    mine.insert(mine.end(), theirs.begin(), theirs.end());
+  }
+  return *this;
+}
+
+ExchangePlan& ExchangePlan::then_barrier() {
+  for (auto& per_rank : ops) per_rank.push_back(PlanOp::barrier());
+  return *this;
+}
+
+namespace {
+
+/// Messages in flight per (src, dst, tag) channel. Only counts matter:
+/// payloads are opaque to match-completeness.
+using Channels = std::map<std::tuple<int, int, int>, int>;
+
+std::string op_name(const PlanOp& op) {
+  char buf[64];
+  switch (op.kind) {
+    case PlanOp::Kind::kSend:
+      std::snprintf(buf, sizeof buf, "send(dst=%d, tag=%d)", op.peer, op.tag);
+      break;
+    case PlanOp::Kind::kRecv:
+      std::snprintf(buf, sizeof buf, "recv(src=%d, tag=%d)", op.peer, op.tag);
+      break;
+    case PlanOp::Kind::kBarrier:
+      std::snprintf(buf, sizeof buf, "barrier");
+      break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+Verdict verify_plan(const ExchangePlan& plan) {
+  Verdict v;
+  const int n = plan.ranks();
+  if (n == 0) return v;
+  for (int r = 0; r < n; ++r) {
+    for (const PlanOp& op : plan.ops[static_cast<std::size_t>(r)]) {
+      if (op.kind == PlanOp::Kind::kBarrier) continue;
+      BLADED_REQUIRE_MSG(op.peer >= 0 && op.peer < n,
+                         "verify_plan(" + plan.name + "): rank " +
+                             std::to_string(r) + " op " + op_name(op) +
+                             " names a peer outside 0.." +
+                             std::to_string(n - 1));
+    }
+  }
+
+  std::vector<std::size_t> pc(static_cast<std::size_t>(n), 0);
+  Channels channels;
+  const auto at_end = [&](int r) {
+    return pc[static_cast<std::size_t>(r)] >=
+           plan.ops[static_cast<std::size_t>(r)].size();
+  };
+  const auto current = [&](int r) -> const PlanOp& {
+    return plan.ops[static_cast<std::size_t>(r)]
+                   [pc[static_cast<std::size_t>(r)]];
+  };
+
+  // Greedy abstract execution to the unique fixed point (see header for why
+  // greediness is sound here).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < n; ++r) {
+      while (!at_end(r)) {
+        const PlanOp& op = current(r);
+        if (op.kind == PlanOp::Kind::kSend) {
+          ++channels[{r, op.peer, op.tag}];
+        } else if (op.kind == PlanOp::Kind::kRecv) {
+          auto it = channels.find({op.peer, r, op.tag});
+          if (it == channels.end() || it->second == 0) break;
+          --it->second;
+        } else {  // barrier: advance only when every rank is at one
+          break;
+        }
+        ++pc[static_cast<std::size_t>(r)];
+        progress = true;
+      }
+    }
+    // Barrier release: all ranks stopped at a barrier op simultaneously.
+    bool all_at_barrier = true;
+    for (int r = 0; r < n; ++r) {
+      if (at_end(r) || current(r).kind != PlanOp::Kind::kBarrier) {
+        all_at_barrier = false;
+        break;
+      }
+    }
+    if (all_at_barrier) {
+      for (int r = 0; r < n; ++r) ++pc[static_cast<std::size_t>(r)];
+      progress = true;
+    }
+  }
+
+  // Fixed point reached. Anything not finished is a real finding.
+  std::vector<int> at_barrier, done;
+  for (int r = 0; r < n; ++r) {
+    if (at_end(r)) {
+      done.push_back(r);
+    } else if (current(r).kind == PlanOp::Kind::kBarrier) {
+      at_barrier.push_back(r);
+    }
+  }
+  if (!at_barrier.empty()) {
+    std::string msg = plan.name + ": rank";
+    msg += at_barrier.size() > 1 ? "s" : "";
+    for (std::size_t i = 0; i < at_barrier.size(); ++i) {
+      msg += (i ? "," : "") + std::string(" ") +
+             std::to_string(at_barrier[i]);
+    }
+    msg += " stuck in barrier that rank";
+    std::vector<int> absent = done;
+    for (int r = 0; r < n; ++r) {
+      if (!at_end(r) && current(r).kind != PlanOp::Kind::kBarrier) {
+        absent.push_back(r);
+      }
+    }
+    msg += absent.size() > 1 ? "s" : "";
+    for (std::size_t i = 0; i < absent.size(); ++i) {
+      msg += (i ? "," : "") + std::string(" ") + std::to_string(absent[i]);
+    }
+    msg += " never enter";
+    std::vector<int> involved = at_barrier;
+    involved.insert(involved.end(), absent.begin(), absent.end());
+    v.add("collective-mismatch", std::move(msg), std::move(involved));
+  }
+
+  // Blocked receives: wait-for cycle vs. orphan, plus tag near-misses.
+  std::vector<int> blocked_recv;
+  for (int r = 0; r < n; ++r) {
+    if (!at_end(r) && current(r).kind == PlanOp::Kind::kRecv) {
+      blocked_recv.push_back(r);
+    }
+  }
+  std::vector<bool> in_reported_cycle(static_cast<std::size_t>(n), false);
+  for (int r : blocked_recv) {
+    if (in_reported_cycle[static_cast<std::size_t>(r)]) continue;
+    const PlanOp& op = current(r);
+    // Tag near-miss: an undelivered message on the same (src, dst) channel.
+    for (const auto& [key, count] : channels) {
+      const auto& [src, dst, tag] = key;
+      if (count > 0 && src == op.peer && dst == r && tag != op.tag) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "%s: rank %d stuck in recv(src=%d, tag=%d) while rank "
+                      "%d's pending send to it carries tag %d",
+                      plan.name.c_str(), r, op.peer, op.tag, op.peer, tag);
+        v.add("tag-mismatch", buf, {r, op.peer});
+      }
+    }
+    // Walk the wait-for chain; recv peers are fixed so each blocked rank
+    // has exactly one outgoing edge and any cycle is a simple loop.
+    std::vector<int> chain{r};
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    seen[static_cast<std::size_t>(r)] = true;
+    int cur = r;
+    enum class Stop { kCycleHere, kCycleElsewhere, kPeerDone, kPeerBarrier };
+    Stop stop = Stop::kPeerBarrier;
+    while (true) {
+      const int next = current(cur).peer;
+      if (at_end(next)) {
+        stop = Stop::kPeerDone;
+        break;
+      }
+      if (current(next).kind != PlanOp::Kind::kRecv) {
+        stop = Stop::kPeerBarrier;  // barrier stalls reported above
+        break;
+      }
+      if (seen[static_cast<std::size_t>(next)]) {
+        // Report each cycle once, from its own head.
+        stop = next == r ? Stop::kCycleHere : Stop::kCycleElsewhere;
+        break;
+      }
+      seen[static_cast<std::size_t>(next)] = true;
+      chain.push_back(next);
+      cur = next;
+    }
+    if (stop == Stop::kCycleHere) {
+      std::string msg = plan.name + ": wait-for cycle:";
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        msg += (i ? " -> rank " : " rank ") + std::to_string(chain[i]) +
+               " stuck in " + op_name(current(chain[i]));
+        in_reported_cycle[static_cast<std::size_t>(chain[i])] = true;
+      }
+      msg += " -> back to rank " + std::to_string(r);
+      v.add("deadlock-cycle", std::move(msg), chain);
+    } else if (stop == Stop::kPeerDone && cur == r) {
+      // Each blocked rank reports only its *direct* dead wait; transitive
+      // blockage is implied by the chain of orphan-recv findings.
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "%s: rank %d stuck in %s but rank %d finishes without a "
+                    "matching send",
+                    plan.name.c_str(), r, op_name(op).c_str(), op.peer);
+      v.add("orphan-recv", buf, {r, op.peer});
+    }
+  }
+
+  // Leftover messages nobody will ever receive.
+  for (const auto& [key, count] : channels) {
+    if (count == 0) continue;
+    const auto& [src, dst, tag] = key;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s: %d message%s from rank %d to rank %d (tag %d) never "
+                  "received",
+                  plan.name.c_str(), count, count > 1 ? "s" : "", src, dst,
+                  tag);
+    v.add("orphan-send", buf, {src, dst});
+  }
+  return v;
+}
+
+// --- builders ---------------------------------------------------------------
+
+ExchangePlan ring_allgather_plan(int ranks, int tag) {
+  BLADED_REQUIRE(ranks >= 1);
+  ExchangePlan plan{"ring-allgather(" + std::to_string(ranks) + ")",
+                    std::vector<std::vector<PlanOp>>(
+                        static_cast<std::size_t>(ranks))};
+  for (int r = 0; r < ranks; ++r) {
+    const int right = (r + 1) % ranks;
+    const int left = (r - 1 + ranks) % ranks;
+    for (int step = 0; step < ranks - 1; ++step) {
+      plan.ops[static_cast<std::size_t>(r)].push_back(
+          PlanOp::send(right, tag));
+      plan.ops[static_cast<std::size_t>(r)].push_back(PlanOp::recv(left, tag));
+    }
+  }
+  return plan;
+}
+
+ExchangePlan pairwise_alltoall_plan(int ranks, int tag) {
+  BLADED_REQUIRE(ranks >= 1);
+  ExchangePlan plan{"pairwise-alltoall(" + std::to_string(ranks) + ")",
+                    std::vector<std::vector<PlanOp>>(
+                        static_cast<std::size_t>(ranks))};
+  for (int r = 0; r < ranks; ++r) {
+    for (int step = 1; step < ranks; ++step) {
+      const int dst = (r + step) % ranks;
+      const int src = (r - step + ranks) % ranks;
+      plan.ops[static_cast<std::size_t>(r)].push_back(PlanOp::send(dst, tag));
+      plan.ops[static_cast<std::size_t>(r)].push_back(PlanOp::recv(src, tag));
+    }
+  }
+  return plan;
+}
+
+ExchangePlan binomial_bcast_plan(int ranks, int root, int tag) {
+  BLADED_REQUIRE(ranks >= 1 && root >= 0 && root < ranks);
+  ExchangePlan plan{"binomial-bcast(" + std::to_string(ranks) + ", root=" +
+                        std::to_string(root) + ")",
+                    std::vector<std::vector<PlanOp>>(
+                        static_cast<std::size_t>(ranks))};
+  int rounds = 0;
+  while ((1 << rounds) < ranks) ++rounds;
+  for (int r = 0; r < ranks; ++r) {
+    const int rel = (r - root + ranks) % ranks;
+    auto& ops = plan.ops[static_cast<std::size_t>(r)];
+    if (rel != 0) {
+      int hb = 0;
+      while ((1 << (hb + 1)) <= rel) ++hb;
+      ops.push_back(PlanOp::recv((rel - (1 << hb) + root) % ranks, tag));
+      for (int k = hb + 1; k < rounds; ++k) {
+        const int child = rel + (1 << k);
+        if (child < ranks) ops.push_back(PlanOp::send((child + root) % ranks, tag));
+      }
+    } else {
+      for (int k = 0; k < rounds; ++k) {
+        const int child = 1 << k;
+        if (child < ranks) ops.push_back(PlanOp::send((child + root) % ranks, tag));
+      }
+    }
+  }
+  return plan;
+}
+
+ExchangePlan binomial_reduce_plan(int ranks, int root, int tag) {
+  BLADED_REQUIRE(ranks >= 1 && root >= 0 && root < ranks);
+  ExchangePlan plan{"binomial-reduce(" + std::to_string(ranks) + ", root=" +
+                        std::to_string(root) + ")",
+                    std::vector<std::vector<PlanOp>>(
+                        static_cast<std::size_t>(ranks))};
+  for (int r = 0; r < ranks; ++r) {
+    const int rel = (r - root + ranks) % ranks;
+    auto& ops = plan.ops[static_cast<std::size_t>(r)];
+    for (int mask = 1; mask < ranks; mask <<= 1) {
+      if (rel & mask) {
+        ops.push_back(PlanOp::send((rel - mask + root) % ranks, tag));
+        break;
+      }
+      if (rel + mask < ranks) {
+        ops.push_back(PlanOp::recv((rel + mask + root) % ranks, tag));
+      }
+    }
+  }
+  return plan;
+}
+
+ExchangePlan halo_exchange_plan(int ranks, int tag_up, int tag_down) {
+  BLADED_REQUIRE(ranks >= 1);
+  ExchangePlan plan{"halo-exchange(" + std::to_string(ranks) + ")",
+                    std::vector<std::vector<PlanOp>>(
+                        static_cast<std::size_t>(ranks))};
+  for (int r = 0; r < ranks; ++r) {
+    auto& ops = plan.ops[static_cast<std::size_t>(r)];
+    if (r + 1 < ranks) ops.push_back(PlanOp::send(r + 1, tag_up));
+    if (r > 0) ops.push_back(PlanOp::send(r - 1, tag_down));
+    if (r > 0) ops.push_back(PlanOp::recv(r - 1, tag_up));
+    if (r + 1 < ranks) ops.push_back(PlanOp::recv(r + 1, tag_down));
+  }
+  return plan;
+}
+
+ExchangePlan treecode_step_plan(int ranks) {
+  ExchangePlan plan = ring_allgather_plan(ranks);
+  ExchangePlan out{"treecode-step(" + std::to_string(ranks) + ")",
+                   std::vector<std::vector<PlanOp>>(
+                       static_cast<std::size_t>(ranks))};
+  out.then_barrier();
+  out.then(plan);
+  out.then_barrier();
+  return out;
+}
+
+ExchangePlan npb_step_plan(int ranks) {
+  ExchangePlan out = binomial_reduce_plan(ranks, 0, 0);
+  out.name = "npb-step(" + std::to_string(ranks) + ")";
+  out.then(binomial_bcast_plan(ranks, 0, 1));
+  out.then_barrier();
+  return out;
+}
+
+}  // namespace bladed::commcheck

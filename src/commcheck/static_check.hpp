@@ -1,0 +1,84 @@
+#pragma once
+
+/// Static (pre-run) verification of fixed-topology exchange plans. A plan is
+/// the communication skeleton of one phase of a parallel driver — per-rank
+/// sequences of send / recv / barrier with fixed peers and tags — and
+/// verify_plan proves match-completeness without executing any program code:
+/// abstract execution over message *counts* per (src, dst, tag) channel.
+/// Because sends are non-blocking in the simnet engine and every receive
+/// names a fixed source and tag, the abstract transition system is confluent
+/// (messages on one channel are interchangeable, and enabled ops stay enabled
+/// until taken), so a single greedy run reaches the unique final state: if it
+/// completes, every interleaving completes; if it sticks, the stuck ranks and
+/// leftover messages are real protocol errors.
+///
+/// Builders below mirror the exchange topologies the shipped drivers use:
+/// the treecode ring allgather and pairwise alltoall, and the NPB binomial
+/// broadcast/reduce trees — byte-for-byte the schedules Comm's collectives
+/// generate, so verifying the plan verifies the collective's wiring.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "commcheck/report.hpp"
+
+namespace bladed::commcheck {
+
+struct PlanOp {
+  enum class Kind : std::uint8_t { kSend, kRecv, kBarrier };
+  Kind kind = Kind::kBarrier;
+  int peer = -1;  ///< send: destination rank; recv: source (fixed, no wildcard)
+  int tag = 0;    ///< ignored for barriers
+
+  static PlanOp send(int dst, int tag) {
+    return {Kind::kSend, dst, tag};
+  }
+  static PlanOp recv(int src, int tag) {
+    return {Kind::kRecv, src, tag};
+  }
+  static PlanOp barrier() { return {Kind::kBarrier, -1, 0}; }
+};
+
+/// A named per-rank schedule of communication ops.
+struct ExchangePlan {
+  std::string name;
+  std::vector<std::vector<PlanOp>> ops;  ///< ops[r] = rank r's program order
+
+  [[nodiscard]] int ranks() const { return static_cast<int>(ops.size()); }
+  /// Append `other`'s ops rank-by-rank (plans must agree on rank count).
+  ExchangePlan& then(const ExchangePlan& other);
+  ExchangePlan& then_barrier();
+};
+
+/// Prove (or refute) that every send is consumed, every receive is
+/// satisfiable and every barrier is reachable by all ranks. Findings reuse
+/// the commcheck codes: deadlock-cycle, orphan-send, orphan-recv,
+/// tag-mismatch, collective-mismatch (a barrier some rank never enters).
+[[nodiscard]] Verdict verify_plan(const ExchangePlan& plan);
+
+// --- builders mirroring the shipped drivers' topologies ---------------------
+
+/// Treecode ring: n-1 steps of send-right / recv-left (Comm::allgather).
+[[nodiscard]] ExchangePlan ring_allgather_plan(int ranks, int tag = 0);
+/// Pairwise exchange: step s sends to (r+s)%n, receives from (r-s)%n
+/// (Comm::alltoall).
+[[nodiscard]] ExchangePlan pairwise_alltoall_plan(int ranks, int tag = 0);
+/// NPB binomial broadcast tree rooted at `root` (Comm::bcast's schedule).
+[[nodiscard]] ExchangePlan binomial_bcast_plan(int ranks, int root,
+                                               int tag = 0);
+/// NPB binomial reduction tree to `root` (Comm::reduce's schedule).
+[[nodiscard]] ExchangePlan binomial_reduce_plan(int ranks, int root,
+                                                int tag = 0);
+/// 1-D non-periodic halo exchange (the NPB stencil driver's neighbor swap):
+/// every interior boundary swaps one message in each direction.
+[[nodiscard]] ExchangePlan halo_exchange_plan(int ranks, int tag_up = 0,
+                                              int tag_down = 1);
+/// One treecode force step: barrier, ring allgather of local essential
+/// trees, barrier — the fixed-topology skeleton of treecode::run_parallel.
+[[nodiscard]] ExchangePlan treecode_step_plan(int ranks);
+/// One NPB EP/IS-shaped step: binomial reduce to 0 then binomial bcast
+/// from 0 (the allreduce skeleton), then a barrier.
+[[nodiscard]] ExchangePlan npb_step_plan(int ranks);
+
+}  // namespace bladed::commcheck

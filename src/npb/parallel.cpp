@@ -40,7 +40,8 @@ ParallelEpResult run_parallel_ep(const ParallelNpbConfig& cfg, int m,
   BLADED_REQUIRE(m >= 4 && m <= 32);
   const std::uint64_t total_pairs = std::uint64_t{1} << m;
 
-  simnet::Cluster cluster({.ranks = cfg.ranks, .network = cfg.network});
+  simnet::Cluster cluster(
+      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder});
   std::vector<EpResult> locals(cfg.ranks);
   ParallelEpResult res;
 
@@ -91,7 +92,8 @@ ParallelIsResult run_parallel_is(const ParallelNpbConfig& cfg, int n_log2,
   const std::uint64_t n = std::uint64_t{1} << n_log2;
   const std::uint64_t bmax = std::uint64_t{1} << bmax_log2;
 
-  simnet::Cluster cluster({.ranks = cfg.ranks, .network = cfg.network});
+  simnet::Cluster cluster(
+      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder});
   ParallelIsResult res;
   res.keys = n;
   std::vector<std::vector<std::uint32_t>> final_keys(cfg.ranks);
@@ -224,7 +226,8 @@ ParallelStencilResult run_parallel_stencil(const ParallelNpbConfig& cfg,
   }
   constexpr double kOmega = 0.8;
 
-  simnet::Cluster cluster({.ranks = cfg.ranks, .network = cfg.network});
+  simnet::Cluster cluster(
+      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder});
   ParallelStencilResult res;
   res.n = n;
   res.iterations = iterations;

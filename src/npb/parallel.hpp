@@ -16,12 +16,19 @@
 #include "npb/is.hpp"
 #include "simnet/network.hpp"
 
+namespace bladed::commcheck {
+class Recorder;
+}  // namespace bladed::commcheck
+
 namespace bladed::npb {
 
 struct ParallelNpbConfig {
   int ranks = 24;
   const arch::ProcessorModel* cpu = nullptr;  ///< required
   simnet::NetworkModel network = simnet::NetworkModel::fast_ethernet();
+  /// Optional commcheck event recorder (bladed-commcheck); must be sized to
+  /// `ranks` and outlive the run. Null = no recording.
+  commcheck::Recorder* recorder = nullptr;
 };
 
 struct ParallelEpResult {

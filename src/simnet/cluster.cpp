@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "commcheck/recorder.hpp"
 #include "common/error.hpp"
 #include "fault/crc32.hpp"
 #include "simnet/comm.hpp"
@@ -39,6 +40,8 @@ struct Cluster::Rank {
   bool dead = false;
   double dead_at = kInf;
   double crash_at = kInf;  ///< attempt-local scheduled crash time
+  /// Open commcheck barrier event awaiting on_barrier_complete.
+  std::size_t barrier_event = static_cast<std::size_t>(-1);
   std::list<Message> mailbox;
   RankStats stats;
 };
@@ -58,8 +61,14 @@ Cluster::Cluster(Config cfg)
     : impl_(std::make_unique<ClusterImpl>()),
       links_(cfg.ranks, cfg.network),
       record_trace_(cfg.record_trace),
-      injector_(cfg.fault) {
+      injector_(cfg.fault),
+      recorder_(cfg.recorder) {
   BLADED_REQUIRE_MSG(cfg.ranks > 0, "cluster needs at least one rank");
+  BLADED_REQUIRE_MSG(recorder_ == nullptr || recorder_->ranks() == cfg.ranks,
+                     "commcheck recorder sized for " +
+                         std::to_string(recorder_ ? recorder_->ranks() : 0) +
+                         " ranks attached to a " + std::to_string(cfg.ranks) +
+                         "-rank cluster");
   ranks_.reserve(cfg.ranks);
   for (int i = 0; i < cfg.ranks; ++i) ranks_.push_back(std::make_unique<Rank>());
 }
@@ -205,6 +214,7 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
       r.dead = false;
       r.dead_at = kInf;
       r.crash_at = injector_.crash_time(i);
+      r.barrier_event = static_cast<std::size_t>(-1);
     }
   }
 
@@ -340,7 +350,10 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
   for (auto& r : ranks_) {
     if (r->thread.joinable()) r->thread.join();
   }
-  if (impl_->error) std::rethrow_exception(impl_->error);
+  if (impl_->error) {
+    if (recorder_) recorder_->mark_aborted();
+    std::rethrow_exception(impl_->error);
+  }
 }
 
 double Cluster::op_now(int r) {
@@ -364,7 +377,7 @@ void Cluster::op_compute(int r, double seconds) {
 
 void Cluster::deliver(int src, int dst, int tag,
                       std::vector<std::byte> payload, double send_time,
-                      double available_at) {
+                      double available_at, std::size_t send_event) {
   if (record_trace_) {
     trace_.push_back(
         {send_time, available_at, src, dst, tag, payload.size()});
@@ -373,6 +386,7 @@ void Cluster::deliver(int src, int dst, int tag,
   msg.src = src;
   msg.tag = tag;
   msg.available_at = available_at;
+  msg.send_event = send_event;
   msg.payload = std::move(payload);
 
   Rank& peer = *ranks_[dst];
@@ -388,7 +402,7 @@ void Cluster::deliver(int src, int dst, int tag,
 }
 
 void Cluster::ft_send(int r, int dst, int tag, std::vector<std::byte> payload,
-                      double depart) {
+                      double depart, std::size_t send_event) {
   using Action = fault::ExecutedFault::Action;
   const fault::TransportPolicy& pol = injector_.policy();
   const std::uint64_t id = impl_->next_msg_id++;
@@ -433,10 +447,10 @@ void Cluster::ft_send(int r, int dst, int tag, std::vector<std::byte> payload,
         continue;
       }
       // CRC collision (astronomically unlikely): delivered damaged.
-      deliver(r, dst, tag, std::move(damaged), depart, available);
+      deliver(r, dst, tag, std::move(damaged), depart, available, send_event);
       return;
     }
-    deliver(r, dst, tag, std::move(payload), depart, available);
+    deliver(r, dst, tag, std::move(payload), depart, available, send_event);
     return;
   }
   ++fault_stats_.messages_lost;
@@ -462,6 +476,9 @@ void Cluster::op_send(int r, int dst, int tag,
   const NetworkModel& net = links_.model();
   me.stats.bytes_sent += payload.size();
   ++me.stats.messages_sent;
+  const std::size_t send_event =
+      recorder_ ? recorder_->on_send(r, dst, tag, payload.size(), me.clock)
+                : static_cast<std::size_t>(-1);
 
   if (dst == r) {
     // Loopback: no network involved; available immediately.
@@ -469,6 +486,7 @@ void Cluster::op_send(int r, int dst, int tag,
     msg.src = r;
     msg.tag = tag;
     msg.available_at = me.clock;
+    msg.send_event = send_event;
     msg.payload = std::move(payload);
     me.mailbox.push_back(std::move(msg));
     return;
@@ -479,17 +497,16 @@ void Cluster::op_send(int r, int dst, int tag,
   me.stats.comm_seconds += net.send_overhead;
 
   if (injector_.enabled()) {
-    ft_send(r, dst, tag, std::move(payload), depart);
+    ft_send(r, dst, tag, std::move(payload), depart, send_event);
     return;
   }
   const double available = links_.schedule(r, dst, payload.size(), depart);
-  deliver(r, dst, tag, std::move(payload), depart, available);
+  deliver(r, dst, tag, std::move(payload), depart, available, send_event);
 }
 
-std::optional<std::vector<std::byte>> Cluster::op_recv(int r, int src,
-                                                       int tag,
-                                                       double timeout,
-                                                       bool timeout_throws) {
+std::optional<std::vector<std::byte>> Cluster::op_recv(
+    int r, int src, int tag, double timeout, bool timeout_throws,
+    std::uint64_t elem_bytes, std::uint64_t elems) {
   BLADED_REQUIRE_MSG(
       src == kAnySource || (src >= 0 && src < ranks()),
       "Comm::recv source rank " + std::to_string(src) + " out of range");
@@ -504,6 +521,10 @@ std::optional<std::vector<std::byte>> Cluster::op_recv(int r, int src,
   }
   const double deadline = effective > 0.0 ? me.clock + effective : kInf;
   const double block_start = me.clock;
+  const std::size_t recv_event =
+      recorder_
+          ? recorder_->on_recv_post(r, src, tag, elem_bytes, elems, me.clock)
+          : static_cast<std::size_t>(-1);
 
   for (;;) {
     auto it = std::find_if(me.mailbox.begin(), me.mailbox.end(),
@@ -524,6 +545,10 @@ std::optional<std::vector<std::byte>> Cluster::op_recv(int r, int src,
       me.clock += o;
       me.stats.comm_seconds += o;
       std::vector<std::byte> payload = std::move(it->payload);
+      if (recorder_) {
+        recorder_->on_recv_match(r, recv_event, it->src, it->send_event,
+                                 payload.size(), me.clock);
+      }
       me.mailbox.erase(it);
       return payload;
     }
@@ -539,6 +564,7 @@ std::optional<std::vector<std::byte>> Cluster::op_recv(int r, int src,
         break;  // rescan the mailbox
       case WakeReason::kTimeout: {
         me.stats.comm_seconds += me.clock - block_start;
+        if (recorder_) recorder_->on_recv_timeout(r, recv_event, me.clock);
         if (!timeout_throws) return std::nullopt;
         char buf[160];
         std::snprintf(buf, sizeof buf,
@@ -575,6 +601,11 @@ void Cluster::op_barrier(int r) {
   Rank& me = *ranks_[r];
   apply_hang_and_crash(r);
   const int n = ranks();
+  if (recorder_) {
+    me.barrier_event = recorder_->on_collective_begin(
+        r, commcheck::CollectiveKind::kBarrier, /*root=*/-1, /*elems=*/0,
+        me.clock);
+  }
 
   ++eng.barrier_waiting;
   if (eng.barrier_waiting < n) {
@@ -611,6 +642,18 @@ void Cluster::op_barrier(int r) {
   }
   eng.barrier_waiting = 0;
   ++eng.barrier_epoch;
+  if (recorder_) {
+    // Everyone who entered this barrier epoch synchronizes: join clocks.
+    std::vector<std::pair<int, std::size_t>> participants;
+    participants.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      if (ranks_[i]->barrier_event != static_cast<std::size_t>(-1)) {
+        participants.emplace_back(i, ranks_[i]->barrier_event);
+        ranks_[i]->barrier_event = static_cast<std::size_t>(-1);
+      }
+    }
+    recorder_->on_barrier_complete(participants, t);
+  }
   for (const auto& rank : ranks_) {
     if (rank->state == State::kBlockedBarrier) {
       rank->wake_reason = WakeReason::kMessage;
@@ -618,6 +661,17 @@ void Cluster::op_barrier(int r) {
       rank->cv.notify_all();
     }
   }
+}
+
+void Cluster::op_collective_begin(int r, commcheck::CollectiveKind kind,
+                                  int root, std::uint64_t elems) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  recorder_->on_collective_begin(r, kind, root, elems, ranks_[r]->clock);
+}
+
+void Cluster::op_collective_end(int r) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  recorder_->on_collective_end(r, ranks_[r]->clock);
 }
 
 }  // namespace bladed::simnet

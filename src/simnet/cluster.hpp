@@ -32,6 +32,11 @@
 #include "fault/injector.hpp"
 #include "simnet/network.hpp"
 
+namespace bladed::commcheck {
+class Recorder;
+enum class CollectiveKind : std::uint8_t;
+}  // namespace bladed::commcheck
+
 namespace bladed::simnet {
 
 class Comm;
@@ -69,6 +74,11 @@ class Cluster {
     /// Fault injection + fault-tolerant transport (off by default: the
     /// engine behaves exactly as the original failure-free simulator).
     fault::FaultPlan fault{};
+    /// Non-owning commcheck event recorder; when set, every Comm operation
+    /// is recorded with vector clocks for offline protocol verification
+    /// (bladed-commcheck). Must outlive the Cluster and be sized to
+    /// `ranks`. Null = no recording, zero overhead.
+    commcheck::Recorder* recorder = nullptr;
   };
 
   explicit Cluster(Config cfg);
@@ -124,6 +134,8 @@ class Cluster {
     int tag = 0;
     std::vector<std::byte> payload;
     double available_at = 0.0;
+    /// Index of the sender's commcheck send event (clock join on match).
+    std::size_t send_event = static_cast<std::size_t>(-1);
   };
 
   enum class State {
@@ -146,12 +158,22 @@ class Cluster {
   void op_send(int r, int dst, int tag, std::vector<std::byte> payload);
   /// Blocking receive. `timeout` < 0 uses the transport policy's default;
   /// 0 waits forever. On expiry: throws RecvTimeoutError when
-  /// `timeout_throws`, else returns nullopt.
-  std::optional<std::vector<std::byte>> op_recv(int r, int src, int tag,
-                                                double timeout = -1.0,
-                                                bool timeout_throws = true);
+  /// `timeout_throws`, else returns nullopt. `elem_bytes`/`elems` describe
+  /// the caller's typed expectation for the commcheck recorder (0 = none).
+  std::optional<std::vector<std::byte>> op_recv(
+      int r, int src, int tag, double timeout = -1.0,
+      bool timeout_throws = true, std::uint64_t elem_bytes = 0,
+      std::uint64_t elems = 0);
   void op_barrier(int r);
   [[nodiscard]] double op_now(int r);
+  /// Cheap recording test for Comm (recorder_ is immutable after
+  /// construction, so no lock is needed).
+  [[nodiscard]] bool recording() const { return recorder_ != nullptr; }
+  // Collective entry/exit markers for the commcheck recorder; only called
+  // when recording() is true.
+  void op_collective_begin(int r, commcheck::CollectiveKind kind, int root,
+                           std::uint64_t elems);
+  void op_collective_end(int r);
 
   /// Pending deadline for a blocked rank (scheduler's wake plan).
   struct Wake {
@@ -164,9 +186,9 @@ class Cluster {
   void apply_hang_and_crash(int r);
   [[noreturn]] void die(int r, double at);
   void ft_send(int r, int dst, int tag, std::vector<std::byte> payload,
-               double depart);
+               double depart, std::size_t send_event);
   void deliver(int r, int dst, int tag, std::vector<std::byte> payload,
-               double send_time, double available_at);
+               double send_time, double available_at, std::size_t send_event);
 
   std::unique_ptr<ClusterImpl> impl_;
   LinkTimeline links_;
@@ -176,6 +198,7 @@ class Cluster {
   fault::FaultInjector injector_;
   fault::FaultStats fault_stats_;
   std::vector<fault::ExecutedFault> fault_trace_;
+  commcheck::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace bladed::simnet

@@ -9,11 +9,13 @@
 /// than being asserted.
 
 #include <cstring>
+#include <exception>
 #include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "commcheck/event.hpp"
 #include "common/error.hpp"
 #include "simnet/cluster.hpp"
 
@@ -40,7 +42,7 @@ class Comm {
   /// this can throw RecvTimeoutError (transport-policy receive timeout) or
   /// PeerFailureError (the failure detector declared the peer dead).
   std::vector<std::byte> recv_bytes(int src, int tag) {
-    return std::move(*cluster_.op_recv(rank_, src, tag));
+    return recv_bytes_typed(src, tag, 0, 0);
   }
 
   /// Receive with an explicit timeout (virtual seconds); returns nullopt on
@@ -62,7 +64,7 @@ class Comm {
   template <class T>
     requires std::is_trivially_copyable_v<T>
   std::vector<T> recv(int src, int tag) {
-    std::vector<std::byte> bytes = recv_bytes(src, tag);
+    std::vector<std::byte> bytes = recv_bytes_typed(src, tag, sizeof(T), 0);
     BLADED_REQUIRE_MSG(
         bytes.size() % sizeof(T) == 0,
         "Comm::recv payload size mismatch: src=" + src_name(src) +
@@ -80,7 +82,8 @@ class Comm {
     requires std::is_trivially_copyable_v<T>
   std::optional<std::vector<T>> recv_for(int src, int tag, double timeout) {
     std::optional<std::vector<std::byte>> bytes =
-        recv_bytes_for(src, tag, timeout);
+        cluster_.op_recv(rank_, src, tag, timeout > 0.0 ? timeout : 0.0,
+                         /*timeout_throws=*/false, sizeof(T), 0);
     if (!bytes) return std::nullopt;
     BLADED_REQUIRE_MSG(
         bytes->size() % sizeof(T) == 0,
@@ -105,7 +108,7 @@ class Comm {
   template <class T>
     requires std::is_trivially_copyable_v<T>
   T recv_value(int src, int tag) {
-    std::vector<std::byte> bytes = recv_bytes(src, tag);
+    std::vector<std::byte> bytes = recv_bytes_typed(src, tag, sizeof(T), 1);
     BLADED_REQUIRE_MSG(
         bytes.size() == sizeof(T),
         "Comm::recv_value payload size mismatch: src=" + src_name(src) +
@@ -120,12 +123,18 @@ class Comm {
   // --- collectives ----------------------------------------------------------
   // Every rank must call each collective in the same order; an internal
   // per-rank sequence number keeps concurrent collectives' messages apart.
+  // Each collective drops an entry marker into the commcheck recorder (when
+  // attached) so the offline analyzer can verify every rank entered the
+  // same collective with the same root; the barrier records engine-side,
+  // where its completion joins all participants' vector clocks.
 
   void barrier() { cluster_.op_barrier(rank_); }
 
   /// Binomial-tree broadcast of a vector from `root`.
   template <class T>
   std::vector<T> bcast(std::vector<T> v, int root) {
+    const CollectiveScope scope(*this, commcheck::CollectiveKind::kBcast,
+                                root, v.size());
     const int tag = next_tag();
     const int n = size();
     if (n == 1) return v;
@@ -156,6 +165,8 @@ class Comm {
   template <class T, class Op>
     requires std::is_trivially_copyable_v<T>
   T reduce(T value, Op op, int root) {
+    const CollectiveScope scope(*this, commcheck::CollectiveKind::kReduce,
+                                root, 1);
     const int tag = next_tag();
     const int n = size();
     const int rel = (rank() - root + n) % n;
@@ -174,6 +185,8 @@ class Comm {
   /// Reduce-to-0 followed by broadcast; every rank gets the total.
   template <class T, class Op>
   T allreduce(T value, Op op) {
+    const CollectiveScope scope(*this, commcheck::CollectiveKind::kAllreduce,
+                                0, 1);
     value = reduce(value, op, 0);
     std::vector<T> v = bcast(rank() == 0 ? std::vector<T>{value}
                                          : std::vector<T>{},
@@ -185,6 +198,9 @@ class Comm {
   /// then broadcast).
   template <class T, class Op>
   std::vector<T> allreduce_vec(std::vector<T> v, Op op) {
+    const CollectiveScope scope(*this,
+                                commcheck::CollectiveKind::kAllreduceVec, 0,
+                                v.size());
     const int tag = next_tag();
     const int n = size();
     const int r = rank();
@@ -211,6 +227,8 @@ class Comm {
   /// rank order (ranks may contribute different lengths).
   template <class T>
   std::vector<std::vector<T>> allgather(const std::vector<T>& mine) {
+    const CollectiveScope scope(*this, commcheck::CollectiveKind::kAllgather,
+                                -1, mine.size());
     const int tag = next_tag();
     const int n = size();
     std::vector<std::vector<T>> all(n);
@@ -230,6 +248,8 @@ class Comm {
   /// Gather every rank's vector at `root` (empty results elsewhere).
   template <class T>
   std::vector<std::vector<T>> gather(const std::vector<T>& mine, int root) {
+    const CollectiveScope scope(*this, commcheck::CollectiveKind::kGather,
+                                root, mine.size());
     const int tag = next_tag();
     const int n = size();
     std::vector<std::vector<T>> all;
@@ -254,6 +274,8 @@ class Comm {
                        "Comm::alltoall on rank " + std::to_string(rank_) +
                            ": got " + std::to_string(blocks.size()) +
                            " blocks for " + std::to_string(n) + " ranks");
+    const CollectiveScope scope(*this, commcheck::CollectiveKind::kAlltoall,
+                                -1, blocks.size());
     const int tag = next_tag();
     std::vector<std::vector<T>> out(n);
     out[rank()] = blocks[rank()];
@@ -267,6 +289,48 @@ class Comm {
   }
 
  private:
+  /// RAII collective entry/exit marker for the commcheck recorder. The exit
+  /// marker is skipped while unwinding an exception, so a collective a rank
+  /// never finished stays visibly open in the trace.
+  class CollectiveScope {
+   public:
+    CollectiveScope(Comm& comm, commcheck::CollectiveKind kind, int root,
+                    std::uint64_t elems)
+        : comm_(comm),
+          active_(comm.cluster_.recording()),
+          exceptions_(std::uncaught_exceptions()) {
+      if (active_) {
+        comm_.cluster_.op_collective_begin(comm_.rank_, kind, root, elems);
+      }
+    }
+    CollectiveScope(const CollectiveScope&) = delete;
+    CollectiveScope& operator=(const CollectiveScope&) = delete;
+    ~CollectiveScope() {
+      if (active_ && std::uncaught_exceptions() == exceptions_) {
+        comm_.cluster_.op_collective_end(comm_.rank_);
+      }
+    }
+
+   private:
+    Comm& comm_;
+    bool active_;
+    int exceptions_;
+  };
+
+  /// Shared blocking-receive core; `elem_bytes`/`elems` describe the typed
+  /// wrapper's expectation for the commcheck recorder.
+  std::vector<std::byte> recv_bytes_typed(int src, int tag,
+                                          std::uint64_t elem_bytes,
+                                          std::uint64_t elems) {
+    std::optional<std::vector<std::byte>> got =
+        cluster_.op_recv(rank_, src, tag, /*timeout=*/-1.0,
+                         /*timeout_throws=*/true, elem_bytes, elems);
+    BLADED_REQUIRE_MSG(got.has_value(),
+                       "Comm::recv on rank " + std::to_string(rank_) +
+                           ": engine returned no payload without throwing");
+    return std::move(*got);
+  }
+
   static std::string src_name(int src) {
     return src == kAnySource ? std::string("any") : std::to_string(src);
   }

@@ -172,7 +172,8 @@ ParallelResult run_parallel_nbody(const ParallelConfig& cfg) {
     bounds[r] = n * static_cast<std::size_t>(r) / cfg.ranks;
   }
 
-  simnet::Cluster cluster({.ranks = cfg.ranks, .network = cfg.network});
+  simnet::Cluster cluster(
+      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder});
   std::vector<RankWork> work(cfg.ranks);
 
   cluster.run([&](simnet::Comm& comm) {

@@ -12,6 +12,10 @@
 #include "simnet/network.hpp"
 #include "treecode/integrator.hpp"
 
+namespace bladed::commcheck {
+class Recorder;
+}  // namespace bladed::commcheck
+
 namespace bladed::treecode {
 
 struct ParallelConfig {
@@ -26,6 +30,9 @@ struct ParallelConfig {
   simnet::NetworkModel network = simnet::NetworkModel::fast_ethernet();
   /// IC selector: 0 = Plummer sphere, 1 = uniform cube, 2 = colliding pair.
   int ic_kind = 0;
+  /// Optional commcheck event recorder (bladed-commcheck); must be sized to
+  /// `ranks` and outlive the run. Null = no recording.
+  commcheck::Recorder* recorder = nullptr;
 };
 
 struct ParallelResult {

@@ -1,0 +1,188 @@
+/// The event recorder: vector-clock discipline, send/recv matching, barrier
+/// joins and the collective entry markers — the raw material every commcheck
+/// analysis consumes.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "commcheck/recorder.hpp"
+#include "simnet/comm.hpp"
+
+namespace {
+
+using namespace bladed;
+using commcheck::Clock;
+using commcheck::CommEvent;
+using commcheck::EventKind;
+
+commcheck::Trace record(int ranks,
+                        const std::function<void(simnet::Comm&)>& program) {
+  commcheck::Recorder recorder(ranks);
+  simnet::Cluster::Config cfg;
+  cfg.ranks = ranks;
+  cfg.recorder = &recorder;
+  simnet::Cluster cluster(std::move(cfg));
+  cluster.run(program);
+  return recorder.trace();
+}
+
+TEST(ClockTest, HappensBeforeIsStrictComponentwiseOrder) {
+  const Clock a{1, 0};
+  const Clock b{1, 2};
+  EXPECT_TRUE(commcheck::happens_before(a, b));
+  EXPECT_FALSE(commcheck::happens_before(b, a));
+  EXPECT_FALSE(commcheck::happens_before(a, a));  // strict: no reflexivity
+  EXPECT_FALSE(commcheck::concurrent(a, b));
+  const Clock c{0, 1};
+  EXPECT_TRUE(commcheck::concurrent(a, c));
+  EXPECT_TRUE(commcheck::concurrent(c, a));
+}
+
+TEST(RecorderTest, SendRecvPairIsMatchedAndOrdered) {
+  const commcheck::Trace trace = record(2, [](simnet::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, /*tag=*/7, 42);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, /*tag=*/7), 42);
+    }
+  });
+
+  ASSERT_EQ(trace.ranks, 2);
+  EXPECT_FALSE(trace.aborted);
+  ASSERT_EQ(trace.events[0].size(), 1U);
+  ASSERT_EQ(trace.events[1].size(), 1U);
+
+  const CommEvent& send = trace.events[0][0];
+  EXPECT_EQ(send.kind, EventKind::kSend);
+  EXPECT_TRUE(send.completed);  // sends never block in this engine
+  EXPECT_EQ(send.peer, 1);
+  EXPECT_EQ(send.tag, 7);
+  EXPECT_EQ(send.bytes, sizeof(int));
+  EXPECT_FALSE(send.in_collective);
+
+  const CommEvent& recv = trace.events[1][0];
+  EXPECT_EQ(recv.kind, EventKind::kRecv);
+  EXPECT_TRUE(recv.completed);
+  EXPECT_EQ(recv.matched_src, 0);
+  EXPECT_EQ(recv.matched_event, 0U);  // points straight at the send
+  EXPECT_EQ(recv.elem_bytes, sizeof(int));
+  EXPECT_EQ(recv.elems, 1U);  // recv_value expects exactly one element
+
+  // The join: the receive saw the send, so the send happens-before it.
+  EXPECT_TRUE(commcheck::happens_before(send.clock, recv.clock));
+}
+
+TEST(RecorderTest, BlockedReceiveStaysIncompleteOnAbort) {
+  commcheck::Recorder recorder(2);
+  simnet::Cluster::Config cfg;
+  cfg.ranks = 2;
+  cfg.recorder = &recorder;
+  simnet::Cluster cluster(std::move(cfg));
+  EXPECT_THROW(cluster.run([](simnet::Comm& comm) {
+                 if (comm.rank() == 0) (void)comm.recv_bytes(1, /*tag=*/3);
+               }),
+               SimulationError);
+
+  const commcheck::Trace& trace = recorder.trace();
+  EXPECT_TRUE(trace.aborted);
+  ASSERT_EQ(trace.events[0].size(), 1U);
+  const CommEvent& recv = trace.events[0][0];
+  EXPECT_FALSE(recv.completed);
+  EXPECT_EQ(recv.peer, 1);
+  EXPECT_EQ(recv.tag, 3);
+}
+
+TEST(RecorderTest, TimedOutReceiveIsCompletedAndFlagged) {
+  const commcheck::Trace trace = record(2, [](simnet::Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(
+          comm.recv_for<int>(1, /*tag=*/9, /*timeout=*/0.5).has_value());
+    }
+  });
+  ASSERT_EQ(trace.events[0].size(), 1U);
+  EXPECT_TRUE(trace.events[0][0].completed);
+  EXPECT_TRUE(trace.events[0][0].timed_out);
+  EXPECT_FALSE(trace.aborted);
+}
+
+TEST(RecorderTest, BarrierJoinsEveryParticipantsClock) {
+  const commcheck::Trace trace = record(3, [](simnet::Comm& comm) {
+    const int n = comm.size();
+    const int r = comm.rank();
+    comm.send_value((r + 1) % n, /*tag=*/r, r);
+    comm.barrier();
+    (void)comm.recv_value<int>((r - 1 + n) % n, /*tag=*/(r - 1 + n) % n);
+  });
+
+  EXPECT_FALSE(trace.aborted);
+  for (int a = 0; a < 3; ++a) {
+    const CommEvent& send = trace.events[static_cast<std::size_t>(a)][0];
+    ASSERT_EQ(send.kind, EventKind::kSend);
+    for (int b = 0; b < 3; ++b) {
+      const CommEvent& barrier =
+          trace.events[static_cast<std::size_t>(b)][1];
+      ASSERT_EQ(barrier.kind, EventKind::kCollective);
+      EXPECT_TRUE(barrier.completed);
+      // Everything before the barrier on any rank happens-before the
+      // barrier's completion on every rank: that is the join.
+      EXPECT_TRUE(commcheck::happens_before(send.clock, barrier.clock))
+          << "send on rank " << a << " vs barrier on rank " << b;
+    }
+  }
+}
+
+TEST(RecorderTest, CollectiveMarkersNestAndFlagInternalSends) {
+  const commcheck::Trace trace = record(2, [](simnet::Comm& comm) {
+    (void)comm.allreduce(comm.rank() + 1, [](int x, int y) { return x + y; });
+  });
+
+  EXPECT_FALSE(trace.aborted);
+  for (int r = 0; r < 2; ++r) {
+    const auto& events = trace.events[static_cast<std::size_t>(r)];
+    // allreduce = one outer marker + nested reduce and bcast markers, with
+    // the actual p2p traffic flagged as collective-internal.
+    std::size_t markers = 0;
+    for (const CommEvent& e : events) {
+      if (e.kind == EventKind::kCollective) {
+        EXPECT_TRUE(e.completed);
+        ++markers;
+      } else {
+        EXPECT_TRUE(e.in_collective);
+      }
+    }
+    EXPECT_EQ(markers, 3U) << "rank " << r;
+    EXPECT_EQ(events[0].coll, commcheck::CollectiveKind::kAllreduce);
+  }
+}
+
+TEST(RecorderTest, ResetDropsEventsAndRewindsClocks) {
+  commcheck::Recorder recorder(2);
+  simnet::Cluster::Config cfg;
+  cfg.ranks = 2;
+  cfg.recorder = &recorder;
+  {
+    simnet::Cluster cluster(cfg);
+    cluster.run([](simnet::Comm& comm) {
+      if (comm.rank() == 0) comm.send_value(1, 1, 5);
+      if (comm.rank() == 1) (void)comm.recv_value<int>(0, 1);
+    });
+  }
+  EXPECT_EQ(recorder.trace().total_events(), 2U);
+  const std::string first = recorder.trace().canonical_bytes();
+
+  recorder.reset();
+  EXPECT_EQ(recorder.trace().total_events(), 0U);
+  {
+    simnet::Cluster cluster(cfg);
+    cluster.run([](simnet::Comm& comm) {
+      if (comm.rank() == 0) comm.send_value(1, 1, 5);
+      if (comm.rank() == 1) (void)comm.recv_value<int>(0, 1);
+    });
+  }
+  // After a reset the same program records the same trace from scratch.
+  EXPECT_EQ(recorder.trace().canonical_bytes(), first);
+}
+
+}  // namespace

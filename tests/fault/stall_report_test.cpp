@@ -1,0 +1,64 @@
+/// The stall detector's report text is an interface: operators (and the
+/// commcheck tests) grep it for which rank is blocked in which operation.
+/// These tests pin that contract for the two canonical stall shapes — a
+/// point-to-point receive cycle and a barrier some rank never reaches.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "simnet/comm.hpp"
+
+namespace {
+
+using namespace bladed;
+
+std::string stall_message(int ranks,
+                          const std::function<void(simnet::Comm&)>& program) {
+  simnet::Cluster cluster({.ranks = ranks});
+  try {
+    cluster.run(program);
+  } catch (const SimulationError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected the stall detector to abort the run";
+  return {};
+}
+
+TEST(StallReportTest, RecvCycleNamesBothRanksAndTheirSourcesAndTags) {
+  const std::string msg = stall_message(2, [](simnet::Comm& comm) {
+    // Head-to-head: each rank insists on receiving before it would send.
+    const int other = 1 - comm.rank();
+    (void)comm.recv_bytes(other, /*tag=*/comm.rank() == 0 ? 7 : 9);
+    comm.send_value(other, comm.rank() == 0 ? 9 : 7, comm.rank());
+  });
+  EXPECT_NE(msg.find("no rank can make progress"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 0 blocked in recv(src=1, tag=7)"),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("rank 1 blocked in recv(src=0, tag=9)"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(StallReportTest, MissingBarrierNamesTheStuckRank) {
+  const std::string msg = stall_message(3, [](simnet::Comm& comm) {
+    // Rank 2 returns without entering the barrier the others wait in.
+    if (comm.rank() != 2) comm.barrier();
+  });
+  EXPECT_NE(msg.find("rank 0 blocked in barrier"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 1 blocked in barrier"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("rank 2 blocked"), std::string::npos) << msg;
+}
+
+TEST(StallReportTest, WildcardRecvIsReportedAsSrcAny) {
+  const std::string msg = stall_message(2, [](simnet::Comm& comm) {
+    if (comm.rank() == 0) (void)comm.recv_bytes(simnet::kAnySource, 4);
+  });
+  EXPECT_NE(msg.find("rank 0 blocked in recv(src=any, tag=4)"),
+            std::string::npos)
+      << msg;
+}
+
+}  // namespace

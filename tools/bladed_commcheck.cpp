@@ -1,0 +1,314 @@
+/// bladed-commcheck: communication-protocol verification driver for the
+/// simnet/Comm layer.
+///
+/// `--driver <name>` runs a shipped parallel driver (treecode, npb-ep,
+/// npb-is, npb-stencil) with the commcheck event recorder attached and
+/// analyzes the recorded trace for deadlock cycles, unmatched sends and
+/// receives, schedule-dependent wildcard matches and collective-consistency
+/// violations. A clean verdict exits 0; any finding prints the report and
+/// exits 1 — ctest runs every shipped driver through this gate.
+///
+/// `--selftest` replays the seeded protocol-bug fixtures (head-to-head recv
+/// deadlock, orphaned send, wildcard race, mismatched bcast root, typed size
+/// mismatch, clean control) and verifies the analyzer flags exactly the
+/// seeded defect — the checker checking itself.
+///
+/// `--static` proves match-completeness of the fixed-topology exchange plans
+/// the drivers are built from (treecode ring / pairwise exchange, NPB
+/// binomial trees) without executing them, and verifies the plan checker
+/// itself rejects seeded broken plans.
+///
+/// `--overhead` measures the recorder's wall-clock cost on a driver
+/// (recorded vs. unrecorded run) for the EXPERIMENTS.md budget (<= 5%).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "commcheck/analyze.hpp"
+#include "commcheck/fixtures.hpp"
+#include "commcheck/recorder.hpp"
+#include "commcheck/static_check.hpp"
+#include "npb/parallel.hpp"
+#include "treecode/parallel.hpp"
+
+namespace {
+
+using namespace bladed;
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Run one shipped driver, optionally recording. Sized so the whole gate
+/// stays cheap under ctest while still exercising every collective the
+/// driver uses.
+void run_driver(const std::string& name, int ranks,
+                commcheck::Recorder* recorder) {
+  if (name == "treecode") {
+    treecode::ParallelConfig cfg;
+    cfg.ranks = ranks;
+    cfg.particles = 2000;
+    cfg.steps = 2;
+    cfg.cpu = &arch::tm5600_633();
+    cfg.recorder = recorder;
+    (void)treecode::run_parallel_nbody(cfg);
+    return;
+  }
+  npb::ParallelNpbConfig cfg;
+  cfg.ranks = ranks;
+  cfg.cpu = &arch::tm5600_633();
+  cfg.recorder = recorder;
+  if (name == "npb-ep") {
+    (void)npb::run_parallel_ep(cfg, /*m=*/18);
+  } else if (name == "npb-is") {
+    (void)npb::run_parallel_is(cfg, /*n_log2=*/14, /*bmax_log2=*/10,
+                               /*iterations=*/3);
+  } else if (name == "npb-stencil") {
+    (void)npb::run_parallel_stencil(cfg, /*n=*/32, /*iterations=*/4);
+  } else {
+    throw std::runtime_error("unknown driver '" + name + "'");
+  }
+}
+
+int verify_driver(const std::string& name, int ranks, bool json) {
+  commcheck::Recorder recorder(ranks);
+  run_driver(name, ranks, &recorder);
+  const commcheck::Verdict verdict = analyze(recorder.trace());
+  if (json) {
+    std::cout << verdict.to_json() << "\n";
+  } else {
+    std::cout << "bladed-commcheck --driver " << name << " --ranks " << ranks
+              << ": " << recorder.trace().total_events() << " events\n"
+              << verdict.to_string();
+  }
+  return verdict.clean() ? 0 : 1;
+}
+
+/// The same drivers at the workload sizes bench/npb_parallel uses (EP class
+/// W, IS 2^20 keys, the 64^3 stencil) — overhead must be measured where the
+/// per-op compute is realistic, not on the quick ctest configs.
+void run_driver_bench_scale(const std::string& name, int ranks,
+                            commcheck::Recorder* recorder) {
+  if (name == "treecode") {
+    treecode::ParallelConfig cfg;
+    cfg.ranks = ranks;
+    cfg.particles = 10000;
+    cfg.steps = 2;
+    cfg.cpu = &arch::tm5600_633();
+    cfg.recorder = recorder;
+    (void)treecode::run_parallel_nbody(cfg);
+    return;
+  }
+  npb::ParallelNpbConfig cfg;
+  cfg.ranks = ranks;
+  cfg.cpu = &arch::tm5600_633();
+  cfg.recorder = recorder;
+  if (name == "npb-ep") {
+    (void)npb::run_parallel_ep(cfg, npb::kEpClassW);
+  } else if (name == "npb-is") {
+    (void)npb::run_parallel_is(cfg, /*n_log2=*/20, /*bmax_log2=*/16,
+                               /*iterations=*/10);
+  } else if (name == "npb-stencil") {
+    (void)npb::run_parallel_stencil(cfg, /*n=*/64, /*iterations=*/20);
+  } else {
+    throw std::runtime_error("unknown driver '" + name + "'");
+  }
+}
+
+int measure_overhead(const std::string& name, int ranks) {
+  // Warm up (page cache, lazy allocations), then interleave measurements.
+  run_driver_bench_scale(name, ranks, nullptr);
+  double off = 0.0;
+  double on = 0.0;
+  std::size_t events = 0;
+  constexpr int kReps = 3;
+  for (int i = 0; i < kReps; ++i) {
+    off += wall_seconds([&] { run_driver_bench_scale(name, ranks, nullptr); });
+    commcheck::Recorder recorder(ranks);
+    on += wall_seconds([&] { run_driver_bench_scale(name, ranks, &recorder); });
+    events = recorder.trace().total_events();
+  }
+  std::printf(
+      "bladed-commcheck overhead on %s (%d ranks, %d reps, %zu events/run, "
+      "bench/npb_parallel workload sizes):\n"
+      "  recorder off: %.3f s\n  recorder on:  %.3f s\n  overhead: %+.2f%%\n",
+      name.c_str(), ranks, kReps, events, off, on, (on / off - 1.0) * 100.0);
+  return 0;
+}
+
+/// One selftest case: `analyze` must (only) flag the seeded defect.
+struct TraceCase {
+  std::string name;
+  commcheck::Trace trace;
+  std::string code;  ///< expected finding code; empty = must be clean
+};
+
+int run_selftest(bool verbose) {
+  std::vector<TraceCase> cases;
+  cases.push_back({"recv-cycle-deadlock", commcheck::deadlock_trace(),
+                   "deadlock-cycle"});
+  cases.push_back({"orphaned-send", commcheck::orphan_send_trace(),
+                   "orphan-send"});
+  cases.push_back({"wildcard-race", commcheck::wildcard_race_trace(),
+                   "wildcard-race"});
+  cases.push_back({"bcast-root-mismatch",
+                   commcheck::bcast_root_mismatch_trace(),
+                   "collective-root"});
+  cases.push_back({"typed-size-mismatch", commcheck::size_mismatch_trace(),
+                   "size-mismatch"});
+  cases.push_back({"clean-control", commcheck::clean_trace(), ""});
+
+  int failures = 0;
+  for (const TraceCase& c : cases) {
+    const commcheck::Verdict v = analyze(c.trace);
+    const bool pass = c.code.empty() ? v.clean() : v.has(c.code);
+    if (pass) {
+      std::cout << "PASS " << c.name << " ("
+                << (c.code.empty() ? "clean" : c.code) << ")\n";
+      if (verbose && !v.clean()) std::cout << v.to_string();
+    } else {
+      ++failures;
+      std::cout << "FAIL " << c.name << ": expected "
+                << (c.code.empty() ? std::string("clean") : c.code)
+                << ", got:\n"
+                << v.to_string();
+    }
+  }
+  std::cout << "bladed-commcheck selftest: " << (cases.size() - failures)
+            << "/" << cases.size() << " fixtures behaved as expected\n";
+  return failures == 0 ? 0 : 1;
+}
+
+int run_static(bool verbose) {
+  int failures = 0;
+  const auto expect_clean = [&](const commcheck::ExchangePlan& plan) {
+    const commcheck::Verdict v = verify_plan(plan);
+    if (v.clean()) {
+      if (verbose) std::cout << "PASS " << plan.name << " (clean)\n";
+    } else {
+      ++failures;
+      std::cout << "FAIL " << plan.name << ":\n" << v.to_string();
+    }
+  };
+  const auto expect_code = [&](commcheck::ExchangePlan plan,
+                               const std::string& code) {
+    const commcheck::Verdict v = verify_plan(plan);
+    if (v.has(code)) {
+      std::cout << "PASS " << plan.name << " (" << code << ")\n";
+    } else {
+      ++failures;
+      std::cout << "FAIL " << plan.name << ": expected " << code
+                << ", got:\n"
+                << v.to_string();
+    }
+  };
+
+  // Every shipped topology must verify clean at the rank counts the paper's
+  // cluster and the tests use (including non-powers of two).
+  for (int n : {1, 2, 3, 4, 7, 8, 16, 24}) {
+    expect_clean(commcheck::ring_allgather_plan(n));
+    expect_clean(commcheck::pairwise_alltoall_plan(n));
+    for (int root : {0, n - 1}) {
+      expect_clean(commcheck::binomial_bcast_plan(n, root));
+      expect_clean(commcheck::binomial_reduce_plan(n, root));
+    }
+    expect_clean(commcheck::halo_exchange_plan(n));
+    expect_clean(commcheck::treecode_step_plan(n));
+    expect_clean(commcheck::npb_step_plan(n));
+  }
+  std::cout << "bladed-commcheck --static: shipped plans verified\n";
+
+  // Seeded broken plans: the checker must reject each one.
+  {
+    commcheck::ExchangePlan p{"seeded-recv-cycle", {{}, {}}};
+    p.ops[0] = {commcheck::PlanOp::recv(1, 7), commcheck::PlanOp::send(1, 9)};
+    p.ops[1] = {commcheck::PlanOp::recv(0, 9), commcheck::PlanOp::send(0, 7)};
+    expect_code(p, "deadlock-cycle");
+  }
+  {
+    commcheck::ExchangePlan p{"seeded-orphan-send", {{}, {}}};
+    p.ops[0] = {commcheck::PlanOp::send(1, 1), commcheck::PlanOp::send(1, 2)};
+    p.ops[1] = {commcheck::PlanOp::recv(0, 1)};
+    expect_code(p, "orphan-send");
+  }
+  {
+    commcheck::ExchangePlan p{"seeded-tag-mismatch", {{}, {}}};
+    p.ops[0] = {commcheck::PlanOp::send(1, 1)};
+    p.ops[1] = {commcheck::PlanOp::recv(0, 2)};
+    expect_code(p, "tag-mismatch");
+  }
+  {
+    commcheck::ExchangePlan p{"seeded-skipped-barrier", {{}, {}, {}}};
+    p.ops[0] = {commcheck::PlanOp::barrier()};
+    p.ops[1] = {commcheck::PlanOp::barrier()};
+    p.ops[2] = {};
+    expect_code(p, "collective-mismatch");
+  }
+  {
+    commcheck::ExchangePlan p{"seeded-orphan-recv", {{}, {}}};
+    p.ops[0] = {};
+    p.ops[1] = {commcheck::PlanOp::recv(0, 3)};
+    expect_code(p, "orphan-recv");
+  }
+  std::cout << "bladed-commcheck --static: " << (failures == 0 ? "ok" : "FAIL")
+            << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool selftest = false;
+  bool static_mode = false;
+  bool overhead = false;
+  bool json = false;
+  bool verbose = false;
+  std::string driver;
+  int ranks = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg == "--static") {
+      static_mode = true;
+    } else if (arg == "--overhead") {
+      overhead = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--driver" && i + 1 < argc) {
+      driver = argv[++i];
+    } else if (arg == "--ranks" && i + 1 < argc) {
+      ranks = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: bladed-commcheck [--selftest] [--static] "
+                   "[--driver treecode|npb-ep|npb-is|npb-stencil] "
+                   "[--ranks N] [--overhead] [--json] [--verbose]\n";
+      return 2;
+    }
+  }
+  try {
+    if (selftest) return run_selftest(verbose);
+    if (static_mode) return run_static(verbose);
+    if (!driver.empty()) {
+      return overhead ? measure_overhead(driver, ranks)
+                      : verify_driver(driver, ranks, json);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bladed-commcheck: " << e.what() << "\n";
+    return 2;
+  }
+  std::cerr << "bladed-commcheck: nothing to do (try --selftest)\n";
+  return 2;
+}
