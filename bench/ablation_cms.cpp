@@ -2,11 +2,16 @@
 ///  (a) translation amortization — cycles/iteration vs loop trip count;
 ///  (b) translation-cache capacity — evictions force re-translation;
 ///  (c) molecule width — 2-atom (64-bit) vs 4-atom (128-bit) molecules;
-///  (d) hotspot threshold sensitivity.
+///  (d) hotspot threshold sensitivity;
+///  (e) interpreter dispatch fast path — indexed block dispatch vs the
+///      historical per-dispatch block_end rescan + hash-map counting.
+
+#include <unordered_map>
 
 #include "bench/bench_util.hpp"
 #include "cms/engine.hpp"
 #include "cms/programs.hpp"
+#include "hostperf/benchjson.hpp"
 
 namespace {
 
@@ -19,6 +24,41 @@ MachineState daxpy_state(std::int64_t n) {
     st.mem[static_cast<std::size_t>(i)] = static_cast<double>(i);
   }
   return st;
+}
+
+/// The pre-fast-path interpreter loop, reproduced from public ISA pieces:
+/// every dispatch rescans for the block terminator via block_end and counts
+/// through an unordered_map. Baseline for ablation (e).
+InterpretResult legacy_interpret(const Program& prog, MachineState& st,
+                                 const InterpreterCosts& costs) {
+  std::unordered_map<std::size_t, std::uint64_t> counts;
+  InterpretResult result;
+  std::size_t pc = 0;
+  while (!result.halted && pc < prog.size()) {
+    ++counts[pc];
+    const std::size_t end = block_end(prog, pc);
+    while (pc < end) {
+      const Instr& in = prog[pc];
+      if (in.op == Op::kHalt) {
+        result.halted = true;
+        ++result.instructions;
+        result.cycles += costs.dispatch_cycles;
+        break;
+      }
+      const std::size_t next = exec_instr(in, pc, st);
+      ++result.instructions;
+      result.cycles +=
+          static_cast<std::uint64_t>(costs.dispatch_cycles + latency_of(in.op));
+      if (is_branch(in.op)) {
+        ++result.branches;
+        pc = next;
+        goto dispatched;
+      }
+      pc = next;
+    }
+  dispatched:;
+  }
+  return result;
 }
 
 }  // namespace
@@ -107,6 +147,51 @@ int main() {
                      static_cast<long long>(s.total_cycles))});
     }
     std::printf("(d) hotspot threshold (filter \"infrequently executed code\")\n");
+    bench::print_table(t);
+  }
+
+  {  // (e) interpreter dispatch fast path
+    hostperf::BenchReport report =
+        hostperf::BenchReport::from_env("ablation_cms", 1);
+    TablePrinter t({"Program", "Instrs", "Indexed s", "Rescan s", "Speedup"});
+    for (const auto& [name, prog] :
+         {std::pair{std::string("daxpy n=65536"), daxpy_program(65536)},
+          std::pair{std::string("unrolled daxpy x3"),
+                    unrolled_daxpy_program(65535, 3)},
+          std::pair{std::string("branchy n=200000"),
+                    branchy_program(200000)}}) {
+      MachineState a(static_cast<std::size_t>(2 * 65536 + 8));
+      MachineState b = a;
+      Interpreter interp;
+      {  // warm-up: fault in the index/count arrays and the program
+        MachineState w = a;
+        (void)interp.run(prog, w);
+        MachineState v = a;
+        (void)legacy_interpret(prog, v, interp.costs());
+      }
+      hostperf::WallTimer tf;
+      const InterpretResult fast = interp.run(prog, a);
+      const double fast_s = tf.seconds();
+      hostperf::WallTimer ts;
+      const InterpretResult slow = legacy_interpret(prog, b, interp.costs());
+      const double slow_s = ts.seconds();
+      if (fast.instructions != slow.instructions ||
+          fast.cycles != slow.cycles) {
+        std::printf("MISMATCH: indexed and rescan dispatch disagree on %s\n",
+                    name.c_str());
+        return 1;
+      }
+      t.add_row({name, TablePrinter::grouped(static_cast<long long>(
+                           fast.instructions)),
+                 TablePrinter::num(fast_s, 3), TablePrinter::num(slow_s, 3),
+                 TablePrinter::num(slow_s / fast_s, 2)});
+      report.add({"dispatch." + name, fast_s, 0.0,
+                  static_cast<double>(fast.instructions),
+                  static_cast<double>(fast.cycles)});
+    }
+    std::printf(
+        "(e) interpreter dispatch: precomputed block index + flat counters "
+        "vs per-dispatch rescan + hash map\n");
     bench::print_table(t);
   }
 

@@ -4,28 +4,61 @@
 /// perfectly (its communication is a few allreduces); IS is throttled by
 /// the bucket-histogram exchange on Fast Ethernet — together they bracket
 /// how NPB-class workloads behave on the Bladed Beowulf.
+///
+/// `--host-threads N` sets how many simulated ranks compute concurrently on
+/// the host (results are bit-identical; only host wall-clock changes); with
+/// BLADED_BENCH_JSON set, each configuration is also emitted as a
+/// bladed-bench-v1 record for scripts/bench.sh / the CI regression gate.
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "arch/registry.hpp"
 #include "bench/bench_util.hpp"
+#include "hostperf/benchjson.hpp"
 #include "npb/parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bladed;
+  int host_threads = 1;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host-threads") == 0 && i + 1 < argc) {
+      host_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: npb_parallel [--host-threads N] [--quick]\n");
+      return 2;
+    }
+  }
+
   bench::print_header("Parallel NPB", "EP and IS on the 24-blade MetaBlade");
 
   npb::ParallelNpbConfig cfg;
   cfg.cpu = &arch::tm5600_633();
   cfg.network = simnet::NetworkModel::fast_ethernet();
+  cfg.host_threads = host_threads;
+  hostperf::BenchReport report =
+      hostperf::BenchReport::from_env("npb_parallel", host_threads);
+
+  const std::vector<int> rank_counts =
+      quick ? std::vector<int>{1, 8} : std::vector<int>{1, 2, 4, 8, 16, 24};
+  const int ep_m = quick ? 20 : npb::kEpClassW;
+  const int is_log2 = quick ? 16 : 20;
+  const int stencil_n = quick ? 32 : 64;
 
   {
     TablePrinter t({"Blades", "Time (s)", "Speedup", "Efficiency",
                     "Mpairs/s"});
     double t1 = 0.0;
-    for (int ranks : {1, 2, 4, 8, 16, 24}) {
+    for (int ranks : rank_counts) {
       cfg.ranks = ranks;
-      const npb::ParallelEpResult r =
-          run_parallel_ep(cfg, npb::kEpClassW);
-      if (ranks == 1) t1 = r.elapsed_seconds;
+      hostperf::WallTimer timer;
+      const npb::ParallelEpResult r = run_parallel_ep(cfg, ep_m);
+      if (ranks == rank_counts.front()) t1 = r.elapsed_seconds;
       t.add_row({std::to_string(ranks),
                  TablePrinter::num(r.elapsed_seconds, 2),
                  TablePrinter::num(t1 / r.elapsed_seconds, 2),
@@ -33,6 +66,9 @@ int main() {
                  TablePrinter::num(static_cast<double>(r.global.pairs) /
                                        r.elapsed_seconds / 1e6,
                                    1)});
+      report.add({"ep.ranks" + std::to_string(ranks), timer.seconds(),
+                  r.elapsed_seconds, static_cast<double>(r.global.pairs),
+                  static_cast<double>(r.messages)});
     }
     std::printf("EP class W (2^25 Gaussian pairs)\n");
     bench::print_table(t);
@@ -42,16 +78,20 @@ int main() {
     TablePrinter t({"Blades", "Time (s)", "Speedup", "Efficiency",
                     "Comm (MB)", "Verified"});
     double t1 = 0.0;
-    for (int ranks : {1, 2, 4, 8, 16, 24}) {
+    for (int ranks : rank_counts) {
       cfg.ranks = ranks;
-      const npb::ParallelIsResult r = run_parallel_is(cfg, 20, 16, 10);
-      if (ranks == 1) t1 = r.elapsed_seconds;
+      hostperf::WallTimer timer;
+      const npb::ParallelIsResult r = run_parallel_is(cfg, is_log2, 16, 10);
+      if (ranks == rank_counts.front()) t1 = r.elapsed_seconds;
       t.add_row({std::to_string(ranks),
                  TablePrinter::num(r.elapsed_seconds, 2),
                  TablePrinter::num(t1 / r.elapsed_seconds, 2),
                  TablePrinter::num(t1 / r.elapsed_seconds / ranks, 2),
                  TablePrinter::num(static_cast<double>(r.bytes) / 1e6, 1),
                  r.globally_sorted ? "yes" : "NO"});
+      report.add({"is.ranks" + std::to_string(ranks), timer.seconds(),
+                  r.elapsed_seconds, static_cast<double>(r.keys),
+                  static_cast<double>(r.messages)});
     }
     std::printf("IS class W (2^20 keys, 2^16 buckets, 10 rankings)\n");
     bench::print_table(t);
@@ -61,11 +101,12 @@ int main() {
     TablePrinter t({"Blades", "Time (s)", "Speedup", "Efficiency",
                     "Comm (MB)", "Residual drop"});
     double t1 = 0.0;
-    for (int ranks : {1, 2, 4, 8, 16, 24}) {
+    for (int ranks : rank_counts) {
       cfg.ranks = ranks;
+      hostperf::WallTimer timer;
       const npb::ParallelStencilResult r =
-          run_parallel_stencil(cfg, 64, 20);
-      if (ranks == 1) t1 = r.elapsed_seconds;
+          run_parallel_stencil(cfg, stencil_n, 20);
+      if (ranks == rank_counts.front()) t1 = r.elapsed_seconds;
       t.add_row({std::to_string(ranks),
                  TablePrinter::num(r.elapsed_seconds, 2),
                  TablePrinter::num(t1 / r.elapsed_seconds, 2),
@@ -73,9 +114,13 @@ int main() {
                  TablePrinter::num(static_cast<double>(r.bytes) / 1e6, 1),
                  TablePrinter::num(r.final_residual / r.initial_residual,
                                    3)});
+      report.add({"stencil.ranks" + std::to_string(ranks), timer.seconds(),
+                  r.elapsed_seconds, static_cast<double>(r.bytes),
+                  static_cast<double>(r.messages)});
     }
-    std::printf("Stencil relaxation, 64^3 grid, 20 sweeps (MG's halo "
-                "pattern; results bitwise-identical at every rank count)\n");
+    std::printf("Stencil relaxation, %d^3 grid, 20 sweeps (MG's halo "
+                "pattern; results bitwise-identical at every rank count)\n",
+                stencil_n);
     bench::print_table(t);
   }
 

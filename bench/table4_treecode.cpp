@@ -4,10 +4,20 @@
 /// (scaled) parallel treecode run on the simulated 24-blade cluster. The
 /// historical rows come from the machine database reconstructed from the
 /// authors' treecode publication series (core/presets.cpp).
+///
+/// `--host-threads N` sets how many simulated ranks compute concurrently on
+/// the host (results are bit-identical; only host wall-clock changes);
+/// `--quick` shrinks the problem for the CI bench gate. With
+/// BLADED_BENCH_JSON set, each modelled run is emitted as a bladed-bench-v1
+/// record.
+
+#include <cstdlib>
+#include <cstring>
 
 #include "arch/registry.hpp"
 #include "bench/bench_util.hpp"
 #include "core/presets.hpp"
+#include "hostperf/benchjson.hpp"
 #include "treecode/parallel.hpp"
 #include "treecode/perf.hpp"
 
@@ -15,25 +25,51 @@ namespace {
 
 using namespace bladed;
 
+int g_host_threads = 1;
+std::size_t g_particles = 240000;
+
 /// Model a MetaBlade-class 24-blade run and return sustained Gflops.
-double modelled_gflops(const arch::ProcessorModel& cpu) {
+double modelled_gflops(const arch::ProcessorModel& cpu, const char* name,
+                       hostperf::BenchReport& report) {
   treecode::ParallelConfig cfg;
   cfg.ranks = 24;
-  cfg.particles = 240000;
+  cfg.particles = g_particles;
   cfg.steps = 1;
   cfg.cpu = &cpu;
   cfg.network = simnet::NetworkModel::fast_ethernet();
-  return treecode::run_parallel_nbody(cfg).sustained_gflops;
+  cfg.host_threads = g_host_threads;
+  hostperf::WallTimer timer;
+  const treecode::ParallelResult r = treecode::run_parallel_nbody(cfg);
+  report.add({name, timer.seconds(), r.elapsed_seconds,
+              static_cast<double>(r.interactions),
+              static_cast<double>(r.total_flops)});
+  return r.sustained_gflops;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host-threads") == 0 && i + 1 < argc) {
+      g_host_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      g_particles = 24000;
+    } else {
+      std::fprintf(stderr,
+                   "usage: table4_treecode [--host-threads N] [--quick]\n");
+      return 2;
+    }
+  }
+
   bench::print_header(
       "Table 4", "Historical treecode performance (Gflops, Mflops/proc)");
 
-  const double mb = modelled_gflops(arch::tm5600_633());
-  const double mb2 = modelled_gflops(arch::tm5800_800());
+  hostperf::BenchReport report =
+      hostperf::BenchReport::from_env("table4_treecode", g_host_threads);
+  const double mb =
+      modelled_gflops(arch::tm5600_633(), "metablade.ranks24", report);
+  const double mb2 =
+      modelled_gflops(arch::tm5800_800(), "metablade2.ranks24", report);
 
   TablePrinter t({"Machine", "CPUs", "Gflops", "Mflops/proc", "Source"});
   for (const core::HistoricalMachine& m : core::treecode_history()) {

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Perf-regression harness driver: run the instrumented benches with JSON
+# emission and collect one machine-readable BENCH_<stamp>.json (JSONL, one
+# bladed-bench-v1 document per bench binary — see src/hostperf/benchjson.hpp
+# for the schema).
+#
+#   bench.sh [--quick] [--host-threads N] [--build-dir DIR] [--out FILE]
+#
+# --quick shrinks the workloads for the CI gate (compare quick runs only
+# against quick baselines). Compare against a baseline with:
+#
+#   scripts/bench_gate.py --baseline bench/baseline.json --candidate BENCH_*.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+HOST_THREADS=1
+BUILD_DIR=build
+OUT=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK="--quick"; shift ;;
+    --host-threads) HOST_THREADS=$2; shift 2 ;;
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --out) OUT=$2; shift 2 ;;
+    *) echo "usage: bench.sh [--quick] [--host-threads N] [--build-dir DIR] [--out FILE]" >&2
+       exit 2 ;;
+  esac
+done
+
+if [[ -z "${OUT}" ]]; then
+  OUT="BENCH_$(date -u +%Y%m%dT%H%M%SZ).json"
+fi
+rm -f "${OUT}"
+
+for bench in npb_parallel table4_treecode ablation_cms; do
+  bin="${BUILD_DIR}/bench/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "bench.sh: ${bin} not built (cmake --build ${BUILD_DIR})" >&2
+    exit 1
+  fi
+  args=()
+  case "${bench}" in
+    npb_parallel|table4_treecode)
+      args+=(--host-threads "${HOST_THREADS}")
+      [[ -n "${QUICK}" ]] && args+=("${QUICK}")
+      ;;
+  esac
+  echo "bench.sh: ${bench} ${args[*]:-}"
+  BLADED_BENCH_JSON="${OUT}" "${bin}" ${args[@]+"${args[@]}"} > /dev/null
+done
+
+echo "bench.sh: wrote ${OUT}"
+python3 scripts/bench_gate.py --summarize "${OUT}"

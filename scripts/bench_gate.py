@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bladed-bench-v1 JSONL collections.
+
+A collection (from scripts/bench.sh) is a file of newline-delimited JSON
+documents, one per bench binary:
+
+    {"schema": "bladed-bench-v1", "bench": "npb_parallel", "host_threads": 1,
+     "results": [{"name": ..., "wall_seconds": ..., "virtual_seconds": ...,
+                  "ops": ..., "cycles": ...}, ...]}
+
+Modes:
+    bench_gate.py --summarize FILE
+        Print the collection as a table (sanity check; exit 0).
+    bench_gate.py --baseline BASE --candidate CAND [--tolerance 0.10]
+        Compare the candidate against the baseline. The deterministic
+        metrics (virtual_seconds, ops, cycles) must match the baseline
+        within the relative tolerance; wall_seconds is reported but never
+        gates (host noise). Exit 1 on any violation or on baseline keys
+        missing from the candidate.
+"""
+
+import argparse
+import json
+import sys
+
+DETERMINISTIC = ("virtual_seconds", "ops", "cycles")
+
+
+def load(path):
+    """Return {(bench, result_name): result_dict} from a JSONL collection."""
+    entries = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: not valid JSON: {e}")
+            if doc.get("schema") != "bladed-bench-v1":
+                sys.exit(f"{path}:{lineno}: unexpected schema "
+                         f"{doc.get('schema')!r}")
+            for r in doc.get("results", []):
+                entries[(doc["bench"], r["name"])] = r
+    if not entries:
+        sys.exit(f"{path}: no bladed-bench-v1 results found")
+    return entries
+
+
+def summarize(path):
+    entries = load(path)
+    width = max(len(f"{b}/{n}") for b, n in entries)
+    print(f"{'bench/result':<{width}}  {'wall_s':>9}  {'virtual_s':>11}  "
+          f"{'ops':>14}  {'cycles':>14}")
+    for (bench, name), r in sorted(entries.items()):
+        print(f"{bench + '/' + name:<{width}}  {r['wall_seconds']:>9.3f}  "
+              f"{r['virtual_seconds']:>11.5g}  {r['ops']:>14.8g}  "
+              f"{r['cycles']:>14.8g}")
+    return 0
+
+
+def rel_delta(base, cand):
+    if base == cand:
+        return 0.0
+    denom = max(abs(base), 1e-300)
+    return abs(cand - base) / denom
+
+
+def compare(baseline_path, candidate_path, tolerance):
+    base = load(baseline_path)
+    cand = load(candidate_path)
+    failures = []
+    for key, b in sorted(base.items()):
+        bench_name = f"{key[0]}/{key[1]}"
+        c = cand.get(key)
+        if c is None:
+            failures.append(f"{bench_name}: missing from candidate")
+            continue
+        for metric in DETERMINISTIC:
+            d = rel_delta(b[metric], c[metric])
+            if d > tolerance:
+                failures.append(
+                    f"{bench_name}: {metric} moved {d * 100:.2f}% "
+                    f"({b[metric]:.8g} -> {c[metric]:.8g}, "
+                    f"tolerance {tolerance * 100:.0f}%)")
+        wall_b, wall_c = b["wall_seconds"], c["wall_seconds"]
+        if wall_b > 0:
+            print(f"info: {bench_name}: wall {wall_b:.3f}s -> {wall_c:.3f}s "
+                  f"({(wall_c / wall_b - 1) * 100:+.1f}%)")
+    extra = sorted(set(cand) - set(base))
+    for key in extra:
+        print(f"info: {key[0]}/{key[1]}: new result (not in baseline)")
+    if failures:
+        print(f"bench_gate: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: {len(base)} baseline results within "
+          f"{tolerance * 100:.0f}% on {', '.join(DETERMINISTIC)}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--summarize", metavar="FILE")
+    ap.add_argument("--baseline", metavar="FILE")
+    ap.add_argument("--candidate", metavar="FILE")
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    args = ap.parse_args()
+    if args.summarize:
+        return summarize(args.summarize)
+    if args.baseline and args.candidate:
+        return compare(args.baseline, args.candidate, args.tolerance)
+    ap.error("need --summarize FILE, or --baseline and --candidate")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,9 +38,9 @@ run_tsan() {
     -DBLADED_TSAN=ON
   cmake --build "${dir}" -j "${JOBS}" \
     --target test_simnet test_fault test_commcheck test_treecode test_npb \
-    bladed-commcheck
+    test_hostperf bladed-commcheck
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
-    -L 'test_simnet|test_fault|test_commcheck|test_treecode|test_npb|commcheck'
+    -L 'test_simnet|test_fault|test_commcheck|test_treecode|test_npb|test_hostperf|commcheck'
   echo "check.sh: threaded suites clean under TSan"
 }
 

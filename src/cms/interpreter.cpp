@@ -11,10 +11,52 @@ std::size_t block_end(const Program& prog, std::size_t pc) {
   return prog.size();
 }
 
+void Interpreter::index_program(const Program& prog) {
+  // Fold the counts of the previously indexed program into the spill map so
+  // block_counts() keeps its sum-since-reset semantics across programs.
+  for (std::size_t pc = 0; pc < counts_.size(); ++pc) {
+    if (counts_[pc] != 0) prior_counts_[pc] += counts_[pc];
+  }
+  const std::size_t n = prog.size();
+  indexed_data_ = prog.data();
+  indexed_size_ = n;
+  // One backward pass: a terminator ends its own block, anything else ends
+  // where its successor's block ends. The extra slot at n keeps pc == size
+  // (an immediately-complete block) in bounds.
+  end_of_.assign(n + 1, n);
+  for (std::size_t i = n; i-- > 0;) {
+    end_of_[i] = (is_branch(prog[i].op) || prog[i].op == Op::kHalt)
+                     ? i + 1
+                     : end_of_[i + 1];
+  }
+  counts_.assign(n + 1, 0);
+}
+
+std::unordered_map<std::size_t, std::uint64_t> Interpreter::block_counts()
+    const {
+  std::unordered_map<std::size_t, std::uint64_t> out = prior_counts_;
+  for (std::size_t pc = 0; pc < counts_.size(); ++pc) {
+    if (counts_[pc] != 0) out[pc] += counts_[pc];
+  }
+  return out;
+}
+
+void Interpreter::reset_counts() {
+  prior_counts_.clear();
+  counts_.clear();
+  end_of_.clear();
+  indexed_data_ = nullptr;
+  indexed_size_ = 0;
+}
+
 std::size_t Interpreter::run_block(const Program& prog, MachineState& st,
                                    std::size_t pc, InterpretResult& result) {
-  ++block_counts_[pc];
-  const std::size_t end = block_end(prog, pc);
+  if (prog.data() != indexed_data_ || prog.size() != indexed_size_) {
+    index_program(prog);
+  }
+  if (pc > indexed_size_) return pc;  // off-program pc: nothing to run
+  ++counts_[pc];
+  const std::size_t end = end_of_[pc];
   while (pc < end) {
     const Instr& in = prog[pc];
     if (in.op == Op::kHalt) {

@@ -5,7 +5,9 @@
 /// statistics the translator's hotspot detection uses), and charges the
 /// per-instruction interpretation cost that makes translation worthwhile.
 
+#include <cstddef>
 #include <unordered_map>
+#include <vector>
 
 #include "cms/isa.hpp"
 
@@ -40,17 +42,31 @@ class Interpreter {
   std::size_t run_block(const Program& prog, MachineState& st, std::size_t pc,
                         InterpretResult& result);
 
-  [[nodiscard]] const std::unordered_map<std::size_t, std::uint64_t>&
-  block_counts() const {
-    return block_counts_;
-  }
-  void reset_counts() { block_counts_.clear(); }
+  /// Snapshot of the block execution counts keyed by leader pc, summed over
+  /// every program interpreted since the last reset_counts().
+  [[nodiscard]] std::unordered_map<std::size_t, std::uint64_t> block_counts()
+      const;
+  void reset_counts();
 
   [[nodiscard]] const InterpreterCosts& costs() const { return costs_; }
 
  private:
+  /// (Re)build the dispatch index for `prog`: end_of_[pc] is one past the
+  /// terminator of the block containing pc, so run_block avoids the
+  /// per-dispatch linear block_end scan; counts_ is the flat per-pc count
+  /// table replacing the hash map on the hot path. Keyed on the program's
+  /// (data pointer, size); counts for a previously indexed program are
+  /// folded into prior_counts_ first. A program must not be mutated in
+  /// place between runs without an intervening reset_counts() — the engine
+  /// resets at every run start.
+  void index_program(const Program& prog);
+
   InterpreterCosts costs_;
-  std::unordered_map<std::size_t, std::uint64_t> block_counts_;
+  const Instr* indexed_data_ = nullptr;
+  std::size_t indexed_size_ = 0;
+  std::vector<std::size_t> end_of_;
+  std::vector<std::uint64_t> counts_;
+  std::unordered_map<std::size_t, std::uint64_t> prior_counts_;
 };
 
 /// End of the basic block starting at `pc`: one past its terminator (the

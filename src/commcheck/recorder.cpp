@@ -1,6 +1,7 @@
 #include "commcheck/recorder.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/error.hpp"
 
@@ -13,9 +14,12 @@ Recorder::Recorder(int ranks) {
   clock_.assign(static_cast<std::size_t>(ranks),
                 Clock(static_cast<std::size_t>(ranks), 0));
   open_.resize(static_cast<std::size_t>(ranks));
+  mu_ = std::make_unique<std::mutex[]>(static_cast<std::size_t>(ranks));
 }
 
 void Recorder::reset() {
+  // Callers must be quiescent (no run in flight): resets happen between
+  // Cluster::run() calls.
   trace_.aborted = false;
   for (auto& per_rank : trace_.events) per_rank.clear();
   for (auto& c : clock_) std::fill(c.begin(), c.end(), 0u);
@@ -30,6 +34,7 @@ Clock& Recorder::tick(int rank) {
 
 std::size_t Recorder::on_send(int rank, int dst, int tag, std::uint64_t bytes,
                               double t) {
+  std::lock_guard<std::mutex> lk(mu(rank));
   CommEvent e;
   e.kind = EventKind::kSend;
   e.completed = true;  // sends are non-blocking in this engine
@@ -48,6 +53,7 @@ std::size_t Recorder::on_send(int rank, int dst, int tag, std::uint64_t bytes,
 std::size_t Recorder::on_recv_post(int rank, int src, int tag,
                                    std::uint64_t elem_bytes,
                                    std::uint64_t elems, double t) {
+  std::lock_guard<std::mutex> lk(mu(rank));
   CommEvent e;
   e.kind = EventKind::kRecv;
   e.completed = false;
@@ -67,11 +73,20 @@ std::size_t Recorder::on_recv_post(int rank, int src, int tag,
 void Recorder::on_recv_match(int rank, std::size_t event, int matched_src,
                              std::size_t send_event, std::uint64_t bytes,
                              double t) {
+  // Copy the matched send's clock under the *sender's* lock (its stream may
+  // be reallocating under a concurrent append), then update ourselves under
+  // our own — one lock at a time, so lock order cannot cycle. The send
+  // event itself is immutable once recorded.
+  Clock theirs;
+  if (matched_src != rank && send_event != kNoEvent) {
+    std::lock_guard<std::mutex> lk(mu(matched_src));
+    theirs =
+        trace_.events[static_cast<std::size_t>(matched_src)][send_event].clock;
+  }
+  std::lock_guard<std::mutex> lk(mu(rank));
   CommEvent& e = trace_.events[static_cast<std::size_t>(rank)][event];
   Clock& mine = clock_[static_cast<std::size_t>(rank)];
-  if (matched_src != rank && send_event != kNoEvent) {
-    const Clock& theirs =
-        trace_.events[static_cast<std::size_t>(matched_src)][send_event].clock;
+  if (!theirs.empty()) {
     for (std::size_t i = 0; i < mine.size(); ++i) {
       mine[i] = std::max(mine[i], theirs[i]);
     }
@@ -85,6 +100,7 @@ void Recorder::on_recv_match(int rank, std::size_t event, int matched_src,
 }
 
 void Recorder::on_recv_timeout(int rank, std::size_t event, double t) {
+  std::lock_guard<std::mutex> lk(mu(rank));
   CommEvent& e = trace_.events[static_cast<std::size_t>(rank)][event];
   e.completed = true;
   e.timed_out = true;
@@ -95,6 +111,7 @@ void Recorder::on_recv_timeout(int rank, std::size_t event, double t) {
 std::size_t Recorder::on_collective_begin(int rank, CollectiveKind kind,
                                           int root, std::uint64_t elems,
                                           double t) {
+  std::lock_guard<std::mutex> lk(mu(rank));
   CommEvent e;
   e.kind = EventKind::kCollective;
   e.completed = false;
@@ -112,6 +129,7 @@ std::size_t Recorder::on_collective_begin(int rank, CollectiveKind kind,
 }
 
 void Recorder::on_collective_end(int rank, double t) {
+  std::lock_guard<std::mutex> lk(mu(rank));
   auto& stack = open_[static_cast<std::size_t>(rank)];
   BLADED_REQUIRE_MSG(!stack.empty(),
                      "commcheck: collective end with no open collective");
@@ -124,9 +142,13 @@ void Recorder::on_collective_end(int rank, double t) {
 
 void Recorder::on_barrier_complete(
     const std::vector<std::pair<int, std::size_t>>& participants, double t) {
+  // Participants are parked in the barrier, but take each rank's lock
+  // anyway (one at a time) so the joins synchronize with that rank's next
+  // hook without leaning on the engine's locking discipline.
   // Supremum of every participant's clock...
   Clock sup(clock_[0].size(), 0);
   for (const auto& [rank, event] : participants) {
+    std::lock_guard<std::mutex> lk(mu(rank));
     const Clock& c = clock_[static_cast<std::size_t>(rank)];
     for (std::size_t i = 0; i < sup.size(); ++i) {
       sup[i] = std::max(sup[i], c[i]);
@@ -134,6 +156,7 @@ void Recorder::on_barrier_complete(
   }
   // ...becomes everyone's new clock (plus their own tick).
   for (const auto& [rank, event] : participants) {
+    std::lock_guard<std::mutex> lk(mu(rank));
     clock_[static_cast<std::size_t>(rank)] = sup;
     auto& stack = open_[static_cast<std::size_t>(rank)];
     if (!stack.empty() && stack.back() == event) stack.pop_back();

@@ -1,11 +1,16 @@
 #pragma once
 
 /// Low-overhead event recorder the simnet engine writes into when a
-/// Cluster::Config carries a `commcheck::Recorder*`. Every hook is invoked
-/// with the engine lock held, on the thread of the rank performing the
-/// operation; the scheduler's min-clock policy makes the per-rank event
-/// streams (and their vector clocks) deterministic, so two runs of a
-/// deterministic program record byte-identical traces.
+/// Cluster::Config carries a `commcheck::Recorder*`. Hooks run on the thread
+/// of the rank performing the operation. Under the parallel engine ranks
+/// execute concurrently, so every hook serializes on the touched rank's
+/// mutex: stream appends and clock ticks take the owner's lock, the
+/// recv-match join copies the matched send's (immutable once recorded)
+/// clock under the *sender's* lock before updating the receiver — one lock
+/// at a time, so no ordering cycles. The engine's (virtual time, rank id)
+/// grant order makes the per-rank event streams (and their vector clocks)
+/// deterministic, so runs at any --host-threads record byte-identical
+/// traces.
 ///
 /// Vector-clock discipline: each rank r owns component r and ticks it once
 /// per event. A completed receive first joins the matched send event's
@@ -14,6 +19,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "commcheck/event.hpp"
@@ -32,7 +39,7 @@ class Recorder {
   [[nodiscard]] const Trace& trace() const { return trace_; }
   [[nodiscard]] int ranks() const { return trace_.ranks; }
 
-  // --- engine hooks (engine lock held) -------------------------------------
+  // --- engine hooks (thread-safe; serialized per touched rank) -------------
 
   /// Non-blocking send committed at virtual time `t`; returns the event
   /// index deliveries carry so the matching receive can join clocks.
@@ -71,11 +78,18 @@ class Recorder {
     return !open_[static_cast<std::size_t>(rank)].empty();
   }
   Clock& tick(int rank);
+  [[nodiscard]] std::mutex& mu(int rank) {
+    return mu_[static_cast<std::size_t>(rank)];
+  }
 
   Trace trace_;
   std::vector<Clock> clock_;  ///< current vector clock per rank
   /// Stack of open collective event indices per rank (nesting depth).
   std::vector<std::vector<std::size_t>> open_;
+  /// One mutex per rank guarding that rank's stream, clock and open stack
+  /// (collective scope markers run outside the engine lock, concurrently
+  /// with other ranks' hooks).
+  std::unique_ptr<std::mutex[]> mu_;
 };
 
 }  // namespace bladed::commcheck

@@ -1,0 +1,95 @@
+#include "hostperf/benchjson.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace bladed::hostperf {
+
+namespace {
+/// Bench and result names are identifiers chosen in this repo, but escape
+/// the JSON-special characters anyway so the output is always well-formed.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+}  // namespace
+
+BenchReport BenchReport::from_env(std::string bench_name, int host_threads) {
+  const char* path = std::getenv("BLADED_BENCH_JSON");
+  return BenchReport(path != nullptr ? path : "", std::move(bench_name),
+                     host_threads);
+}
+
+BenchReport::BenchReport(std::string path, std::string bench_name,
+                         int host_threads)
+    : path_(std::move(path)),
+      bench_(std::move(bench_name)),
+      host_threads_(host_threads) {}
+
+BenchReport::~BenchReport() { write(); }
+
+void BenchReport::add(BenchResult r) {
+  if (!active()) return;
+  results_.push_back(std::move(r));
+}
+
+void BenchReport::write() {
+  if (!active() || written_ || results_.empty()) return;
+  std::string doc = "{\"schema\":\"bladed-bench-v1\",\"bench\":\"";
+  doc += json_escape(bench_);
+  doc += "\",\"host_threads\":";
+  doc += std::to_string(host_threads_);
+  doc += ",\"results\":[";
+  bool first = true;
+  for (const BenchResult& r : results_) {
+    if (!first) doc += ',';
+    first = false;
+    doc += "{\"name\":\"";
+    doc += json_escape(r.name);
+    doc += "\",\"wall_seconds\":";
+    append_number(doc, r.wall_seconds);
+    doc += ",\"virtual_seconds\":";
+    append_number(doc, r.virtual_seconds);
+    doc += ",\"ops\":";
+    append_number(doc, r.ops);
+    doc += ",\"cycles\":";
+    append_number(doc, r.cycles);
+    doc += '}';
+  }
+  doc += "]}\n";
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "benchjson: cannot open %s for append\n",
+                 path_.c_str());
+    return;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  written_ = true;
+}
+
+}  // namespace bladed::hostperf

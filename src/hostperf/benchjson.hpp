@@ -1,0 +1,86 @@
+#pragma once
+
+/// Machine-readable bench emission (the BENCH_*.json trajectory). Every
+/// bench/ target reports its human tables as before and, when the
+/// BLADED_BENCH_JSON environment variable names a file, additionally
+/// appends one JSON document describing each measured configuration:
+///
+///   {
+///     "schema": "bladed-bench-v1",
+///     "bench": "npb_parallel",
+///     "host_threads": 8,
+///     "results": [
+///       { "name": "ep.W.ranks8",
+///         "wall_seconds": 0.41,        // host wall-clock (noisy)
+///         "virtual_seconds": 12.3,     // simulated time (deterministic)
+///         "ops": 6.7e9,                // modelled operations (deterministic)
+///         "cycles": 0 },               // virtual cycles where applicable
+///       ...
+///     ]
+///   }
+///
+/// scripts/bench.sh collects the documents from every bench binary into one
+/// BENCH_<stamp>.json array; scripts/bench_gate.py compares the
+/// deterministic fields against a checked-in baseline with a tolerance gate
+/// and reports wall-clock movement informationally.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace bladed::hostperf {
+
+/// One measured bench configuration.
+struct BenchResult {
+  std::string name;             ///< stable key, e.g. "ep.W.ranks8"
+  double wall_seconds = 0.0;    ///< host wall-clock
+  double virtual_seconds = 0.0; ///< simulated cluster time (deterministic)
+  double ops = 0.0;             ///< modelled operation count (deterministic)
+  double cycles = 0.0;          ///< virtual cycles (0 when not applicable)
+};
+
+/// Collects BenchResults for one bench binary and writes them as a JSON
+/// document on write()/destruction. Inactive (all no-ops) unless
+/// constructed with a path or BLADED_BENCH_JSON is set.
+class BenchReport {
+ public:
+  /// Active iff BLADED_BENCH_JSON is set; appends to that file so several
+  /// bench binaries can share one collection run.
+  static BenchReport from_env(std::string bench_name, int host_threads);
+
+  BenchReport(std::string path, std::string bench_name, int host_threads);
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  BenchReport(BenchReport&&) = default;
+  ~BenchReport();
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+  void add(BenchResult r);
+  /// Append the document to path_ (one JSON object per line — JSONL — so
+  /// concurrent bench binaries compose). Idempotent; no-op when inactive
+  /// or empty.
+  void write();
+
+ private:
+  std::string path_;
+  std::string bench_;
+  int host_threads_ = 1;
+  std::vector<BenchResult> results_;
+  bool written_ = false;
+};
+
+/// Monotonic wall-clock stopwatch for bench loops.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bladed::hostperf

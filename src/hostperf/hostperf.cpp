@@ -1,0 +1,20 @@
+#include "hostperf/hostperf.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace bladed::hostperf {
+
+int resolve_host_threads(int requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("BLADED_HOST_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace bladed::hostperf

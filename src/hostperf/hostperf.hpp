@@ -1,0 +1,62 @@
+#pragma once
+
+/// bladed::hostperf — host-side execution performance primitives.
+///
+/// The simnet engine simulates a 24-blade chassis with one real thread per
+/// rank. Determinism comes from virtual-time event ordering, not from host
+/// scheduling, so between communication points rank threads are free to run
+/// *concurrently* on the host. ComputeSlots is the bounded worker pool that
+/// makes that safe to size: at most `count` ranks execute user code (compute
+/// regions) at once, so a 24-rank simulation on an 8-core host runs 8-wide
+/// instead of 24 oversubscribed threads — or 1-wide for bit-for-bit
+/// comparison runs.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace bladed::hostperf {
+
+/// Counting semaphore bounding how many rank threads run user code
+/// concurrently. Slots are released on entry to an engine operation (a
+/// communication point) and re-acquired before returning to user code, so a
+/// slot holder never waits on a scheduler grant while holding its slot —
+/// waiters always make progress.
+class ComputeSlots {
+ public:
+  explicit ComputeSlots(int count = 1) : free_(count) {}
+
+  /// Reset the pool to `count` free slots. Callers must be quiescent (no
+  /// concurrent acquire/release) — the engine resets between runs.
+  void reset(int count) {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_ = count;
+  }
+
+  void acquire() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return free_ > 0; });
+    --free_;
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++free_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int free_ = 1;
+};
+
+/// Resolve a requested host-thread count to an effective one:
+///   requested >= 1  -> used as-is;
+///   requested == 0  -> BLADED_HOST_THREADS env var if set and >= 1, else
+///                      std::thread::hardware_concurrency() (min 1).
+/// Negative requests are treated as 0 (auto).
+int resolve_host_threads(int requested);
+
+}  // namespace bladed::hostperf

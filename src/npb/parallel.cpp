@@ -41,7 +41,8 @@ ParallelEpResult run_parallel_ep(const ParallelNpbConfig& cfg, int m,
   const std::uint64_t total_pairs = std::uint64_t{1} << m;
 
   simnet::Cluster cluster(
-      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder});
+      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder,
+       .host_threads = cfg.host_threads});
   std::vector<EpResult> locals(cfg.ranks);
   ParallelEpResult res;
 
@@ -93,7 +94,8 @@ ParallelIsResult run_parallel_is(const ParallelNpbConfig& cfg, int n_log2,
   const std::uint64_t bmax = std::uint64_t{1} << bmax_log2;
 
   simnet::Cluster cluster(
-      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder});
+      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder,
+       .host_threads = cfg.host_threads});
   ParallelIsResult res;
   res.keys = n;
   std::vector<std::vector<std::uint32_t>> final_keys(cfg.ranks);
@@ -227,7 +229,8 @@ ParallelStencilResult run_parallel_stencil(const ParallelNpbConfig& cfg,
   constexpr double kOmega = 0.8;
 
   simnet::Cluster cluster(
-      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder});
+      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder,
+       .host_threads = cfg.host_threads});
   ParallelStencilResult res;
   res.n = n;
   res.iterations = iterations;

@@ -29,6 +29,10 @@ struct ParallelNpbConfig {
   /// Optional commcheck event recorder (bladed-commcheck); must be sized to
   /// `ranks` and outlive the run. Null = no recording.
   commcheck::Recorder* recorder = nullptr;
+  /// Host worker threads for the simulated ranks' compute regions
+  /// (simnet::Cluster::Config::host_threads): 1 serializes, 0 auto-resolves.
+  /// Results are bit-identical for every value.
+  int host_threads = 1;
 };
 
 struct ParallelEpResult {

@@ -64,7 +64,7 @@ simnet::Cluster::Config cluster_config(const NpbFaultConfig& cfg,
   plan.seed = cfg.fault_seed;
   plan.time_offset = consumed;
   return {.ranks = cfg.base.ranks, .network = cfg.base.network,
-          .fault = plan};
+          .fault = plan, .host_threads = cfg.base.host_threads};
 }
 
 }  // namespace

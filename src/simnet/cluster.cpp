@@ -1,6 +1,7 @@
 #include "simnet/cluster.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
@@ -12,7 +13,23 @@
 #include "commcheck/recorder.hpp"
 #include "common/error.hpp"
 #include "fault/crc32.hpp"
+#include "hostperf/hostperf.hpp"
 #include "simnet/comm.hpp"
+
+// Engine concurrency model (see also DESIGN.md §9). Every rank is a real
+// thread. Outside the engine (kComputing) ranks run concurrently, bounded by
+// the hostperf::ComputeSlots pool; a rank's atomic clock is then a monotonic
+// *lower bound* on the virtual time of its next engine transition (user code
+// only advances it, via Comm::compute). Every engine op is an arrive/grant
+// point: the rank frees its compute slot, parks as kReady and waits for the
+// scheduler, which admits parked ranks one at a time ordered by
+// (virtual time, rank id) — and only once no still-computing rank could
+// arrive at or before that time (its clock lower bound exceeds the grant
+// horizon). All shared mutations (link timeline, mailboxes, fault trace,
+// message ids) happen inside granted sections, so their order is a pure
+// function of virtual time: bit-identical at any host_threads, and identical
+// to the historical serial engine, whose scheduler picked the same
+// (time, id) order with the arriving rank winning ties against wakes.
 
 namespace bladed::simnet {
 
@@ -29,7 +46,12 @@ struct Cluster::Rank {
   std::thread thread;
   std::condition_variable cv;
   State state = State::kIdle;
-  double clock = 0.0;
+  /// Virtual clock. Owner-written; lock-free stores from the Comm::compute
+  /// fast path make it a live lower bound the scheduler may read while the
+  /// rank computes (seq_cst on that handshake, relaxed elsewhere).
+  std::atomic<double> clock{0.0};
+  /// Whether this thread holds a compute slot (owner thread only).
+  bool holds_slot = false;
   // Pending recv match criteria while kBlockedRecv.
   int want_src = kAnySource;
   int want_tag = 0;
@@ -44,22 +66,33 @@ struct Cluster::Rank {
   std::size_t barrier_event = static_cast<std::size_t>(-1);
   std::list<Message> mailbox;
   RankStats stats;
+
+  [[nodiscard]] double now() const {
+    return clock.load(std::memory_order_relaxed);
+  }
+  void set_now(double t) { clock.store(t, std::memory_order_relaxed); }
 };
 
 struct ClusterImpl {
   std::mutex mu;
   std::condition_variable sched_cv;
-  int running = -1;     ///< rank currently executing, -1 = scheduler's turn
   bool abort = false;
   std::exception_ptr error;
   int barrier_waiting = 0;
   std::uint64_t barrier_epoch = 0;
   std::uint64_t next_msg_id = 0;  ///< FT transport sequence numbers
+  /// Grant horizon the scheduler is currently blocked on: a computing rank
+  /// whose clock crosses it must wake the scheduler (Dekker handshake with
+  /// the lock-free Comm::compute path). kInf = scheduler not waiting on it.
+  std::atomic<double> sched_threshold{kInf};
+  /// Bounded pool of compute-region slots (sized min(host_threads, ranks)).
+  hostperf::ComputeSlots slots;
 };
 
 Cluster::Cluster(Config cfg)
     : impl_(std::make_unique<ClusterImpl>()),
       links_(cfg.ranks, cfg.network),
+      host_threads_(hostperf::resolve_host_threads(cfg.host_threads)),
       record_trace_(cfg.record_trace),
       injector_(cfg.fault),
       recorder_(cfg.recorder) {
@@ -101,23 +134,11 @@ bool Cluster::node_failed(int rank) const {
   return ranks_[rank]->dead;
 }
 
-namespace {
-/// Called with the engine lock held, on the rank's own thread: hand control
-/// back to the scheduler and sleep until rescheduled.
-void block_here(std::unique_lock<std::mutex>& lk, ClusterImpl& eng,
-                std::condition_variable& my_cv, auto is_running) {
-  eng.running = -1;
-  eng.sched_cv.notify_one();
-  my_cv.wait(lk, [&] { return is_running() || eng.abort; });
-  if (eng.abort) throw AbortSim{};
-}
-}  // namespace
-
 void Cluster::die(int r, double at) {
   Rank& me = *ranks_[r];
   me.dead = true;
   me.dead_at = at;
-  me.clock = std::max(me.clock, at);
+  me.set_now(std::max(me.now(), at));
   ++fault_stats_.crashes;
   fault_trace_.push_back(
       {at, fault::ExecutedFault::Action::kCrash, r, -1, 0});
@@ -128,16 +149,44 @@ void Cluster::apply_hang_and_crash(int r) {
   if (!injector_.enabled()) return;
   Rank& me = *ranks_[r];
   if (me.dead) throw NodeCrash{};
-  const double resume = injector_.hang_end(r, me.clock);
-  if (resume > me.clock) {
+  const double resume = injector_.hang_end(r, me.now());
+  if (resume > me.now()) {
     ++fault_stats_.hangs;
-    fault_stats_.hang_seconds += resume - me.clock;
+    fault_stats_.hang_seconds += resume - me.now();
     fault_trace_.push_back(
-        {me.clock, fault::ExecutedFault::Action::kHang, r, -1, 0});
-    me.stats.comm_seconds += resume - me.clock;
-    me.clock = resume;
+        {me.now(), fault::ExecutedFault::Action::kHang, r, -1, 0});
+    me.stats.comm_seconds += resume - me.now();
+    me.set_now(resume);
   }
-  if (me.crash_at <= me.clock) die(r, me.crash_at);
+  if (me.crash_at <= me.now()) die(r, me.crash_at);
+}
+
+std::unique_lock<std::mutex> Cluster::enter_op(int r) {
+  ClusterImpl& eng = *impl_;
+  Rank& me = *ranks_[r];
+  // Free the compute slot before parking: a slot holder must never wait on a
+  // scheduler grant, or slot waiters could deadlock behind a parked holder.
+  if (me.holds_slot) {
+    me.holds_slot = false;
+    eng.slots.release();
+  }
+  std::unique_lock<std::mutex> lk(eng.mu);
+  me.state = State::kReady;
+  eng.sched_cv.notify_one();
+  me.cv.wait(lk, [&] { return me.state == State::kRunning || eng.abort; });
+  if (eng.abort) throw AbortSim{};
+  apply_hang_and_crash(r);
+  return lk;
+}
+
+void Cluster::leave_op(int r, std::unique_lock<std::mutex>& lk) {
+  ClusterImpl& eng = *impl_;
+  Rank& me = *ranks_[r];
+  me.state = State::kComputing;
+  eng.sched_cv.notify_one();
+  lk.unlock();
+  eng.slots.acquire();
+  me.holds_slot = true;
 }
 
 Cluster::Wake Cluster::next_wake(int i) const {
@@ -174,7 +223,7 @@ Cluster::Wake Cluster::next_wake(int i) const {
         if (!all_dead) failed_at = -1.0;
       }
       if (failed_at >= 0.0 && !has_match()) {
-        const double t = std::max(me.clock, failed_at + lat);
+        const double t = std::max(me.now(), failed_at + lat);
         if (t < w.t) w = {t, WakeReason::kPeerFailure};
       }
     }
@@ -182,7 +231,7 @@ Cluster::Wake Cluster::next_wake(int i) const {
   if ((me.state == State::kBlockedRecv ||
        me.state == State::kBlockedBarrier) &&
       me.crash_at < kInf && !me.dead) {
-    const double t = std::max(me.clock, me.crash_at);
+    const double t = std::max(me.now(), me.crash_at);
     if (t <= w.t) w = {t, WakeReason::kSelfCrash};
   }
   return w;
@@ -190,22 +239,25 @@ Cluster::Wake Cluster::next_wake(int i) const {
 
 void Cluster::run(const std::function<void(Comm&)>& program) {
   ClusterImpl& eng = *impl_;
+  const int n = ranks();
   // Reset per-run state so a Cluster can be reused.
   {
     std::lock_guard<std::mutex> lk(eng.mu);
-    eng.running = -1;
     eng.abort = false;
     eng.error = nullptr;
     eng.barrier_waiting = 0;
     eng.next_msg_id = 0;
+    eng.sched_threshold.store(kInf, std::memory_order_relaxed);
+    eng.slots.reset(std::min(host_threads_, n));
     links_.reset();
     trace_.clear();
     fault_stats_ = fault::FaultStats{};
     fault_trace_.clear();
-    for (int i = 0; i < ranks(); ++i) {
+    for (int i = 0; i < n; ++i) {
       Rank& r = *ranks_[i];
-      r.state = State::kRunnable;
-      r.clock = 0.0;
+      r.state = State::kComputing;
+      r.set_now(0.0);
+      r.holds_slot = false;
       r.mailbox.clear();
       r.stats = RankStats{};
       r.recv_deadline = kInf;
@@ -218,54 +270,56 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
     }
   }
 
-  const int n = ranks();
   for (int i = 0; i < n; ++i) {
     ranks_[i]->thread = std::thread([this, &eng, &program, i] {
       Rank& me = *ranks_[i];
-      std::unique_lock<std::mutex> lk(eng.mu);
-      me.cv.wait(lk, [&] { return me.state == State::kRunning || eng.abort; });
-      if (!eng.abort) {
-        lk.unlock();
-        try {
-          Comm comm(*this, i);
-          program(comm);
-          lk.lock();
-        } catch (const AbortSim&) {
-          lk.lock();
-        } catch (const NodeCrash&) {
-          lk.lock();
-        } catch (...) {
-          lk.lock();
-          if (!eng.error) eng.error = std::current_exception();
-          eng.abort = true;
-          for (auto& r : ranks_) r->cv.notify_all();
-        }
+      eng.slots.acquire();
+      me.holds_slot = true;
+      try {
+        Comm comm(*this, i);
+        program(comm);
+      } catch (const AbortSim&) {
+      } catch (const NodeCrash&) {
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(eng.mu);
+        if (!eng.error) eng.error = std::current_exception();
+        eng.abort = true;
+        for (auto& r : ranks_) r->cv.notify_all();
       }
-      Rank& self = *ranks_[i];
-      self.state = State::kDone;
-      self.stats.finish_time = self.clock;
-      eng.running = -1;
+      if (me.holds_slot) {
+        me.holds_slot = false;
+        eng.slots.release();
+      }
+      std::lock_guard<std::mutex> lk(eng.mu);
+      me.state = State::kDone;
+      me.stats.finish_time = me.now();
       eng.sched_cv.notify_one();
     });
   }
 
-  // Scheduler: always resume the runnable rank (or fire the pending wake
-  // deadline — recv timeout, failure detection, scheduled crash) with the
-  // smallest virtual time.
+  // Scheduler: grant parked ranks one at a time in (virtual time, rank id)
+  // order — but only once no still-computing rank could arrive at or before
+  // the grant time — or fire the earliest pending wake deadline (recv
+  // timeout, failure detection, scheduled crash) when it is strictly
+  // earlier than every arrival.
   {
     std::unique_lock<std::mutex> lk(eng.mu);
     for (;;) {
-      int next = -1;
+      if (eng.abort) break;
+      int ready = -1;
       bool all_done = true;
+      int computing = 0;
       for (int i = 0; i < n; ++i) {
         const State s = ranks_[i]->state;
         if (s != State::kDone) all_done = false;
-        if (s == State::kRunnable &&
-            (next == -1 || ranks_[i]->clock < ranks_[next]->clock)) {
-          next = i;
+        if (s == State::kComputing) {
+          ++computing;
+        } else if (s == State::kReady &&
+                   (ready == -1 || ranks_[i]->now() < ranks_[ready]->now())) {
+          ready = i;
         }
       }
-      if (eng.abort || all_done) break;
+      if (all_done) break;
 
       int who = -1;
       Wake wake{kInf, WakeReason::kTimeout};
@@ -279,18 +333,46 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
         }
       }
 
-      if (next != -1 && (who == -1 || ranks_[next]->clock <= wake.t)) {
-        ranks_[next]->state = State::kRunning;
-        eng.running = next;
-        ranks_[next]->cv.notify_all();
-        eng.sched_cv.wait(lk, [&] { return eng.running == -1; });
+      const double ready_t = ready != -1 ? ranks_[ready]->now() : kInf;
+      const double horizon = std::min(ready_t, wake.t);
+
+      if (computing > 0) {
+        // Dekker handshake with the lock-free Comm::compute path: publish
+        // the horizon, then re-read the computing clocks; either a computing
+        // rank sees the horizon when it crosses it and wakes us, or we see
+        // its advanced clock here. A rank at or below the horizon could
+        // still arrive at an earlier (time, id) point, so we must wait for
+        // it to arrive or compute past the horizon before committing.
+        eng.sched_threshold.store(horizon, std::memory_order_seq_cst);
+        double min_lb = kInf;
+        for (int i = 0; i < n; ++i) {
+          if (ranks_[i]->state == State::kComputing) {
+            min_lb = std::min(
+                min_lb, ranks_[i]->clock.load(std::memory_order_seq_cst));
+          }
+        }
+        if (min_lb <= horizon) {
+          eng.sched_cv.wait(lk);
+          eng.sched_threshold.store(kInf, std::memory_order_seq_cst);
+          continue;
+        }
+        eng.sched_threshold.store(kInf, std::memory_order_seq_cst);
+      }
+
+      if (ready != -1 && ready_t <= wake.t) {
+        Rank& g = *ranks_[ready];
+        g.state = State::kRunning;
+        g.cv.notify_all();
+        eng.sched_cv.wait(lk, [&] {
+          return ranks_[ready]->state != State::kRunning || eng.abort;
+        });
         continue;
       }
       if (who != -1) {
         Rank& w = *ranks_[who];
-        w.clock = std::max(w.clock, wake.t);
+        w.set_now(std::max(w.now(), wake.t));
         w.wake_reason = wake.reason;
-        w.state = State::kRunnable;
+        w.state = State::kReady;
         continue;
       }
 
@@ -342,8 +424,10 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
         }
       }
       eng.abort = true;
-      for (auto& r : ranks_) r->cv.notify_all();
       break;
+    }
+    if (eng.abort) {
+      for (auto& r : ranks_) r->cv.notify_all();
     }
   }
 
@@ -357,22 +441,40 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
 }
 
 double Cluster::op_now(int r) {
-  std::lock_guard<std::mutex> lk(impl_->mu);
-  return ranks_[r]->clock;
+  // Owner read of the rank's own clock: other threads only write it while
+  // this rank is parked, so no lock is needed.
+  return ranks_[r]->now();
 }
 
 void Cluster::op_compute(int r, double seconds) {
   BLADED_REQUIRE(seconds >= 0.0);
-  std::lock_guard<std::mutex> lk(impl_->mu);
+  ClusterImpl& eng = *impl_;
   Rank& me = *ranks_[r];
-  apply_hang_and_crash(r);
-  if (injector_.enabled() && me.crash_at < me.clock + seconds) {
+  if (!injector_.enabled()) {
+    // Lock-free fast path: advancing our own clock inside a compute region
+    // needs no engine transition — the store keeps the scheduler's lower
+    // bound live, and crossing a published grant horizon wakes it (the
+    // notify is taken under the lock so the wakeup cannot be lost).
+    const double t = me.now() + seconds;
+    me.clock.store(t, std::memory_order_seq_cst);
+    me.stats.compute_seconds += seconds;
+    if (t >= eng.sched_threshold.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lk(eng.mu);
+      eng.sched_cv.notify_one();
+    }
+    return;
+  }
+  // With fault injection on, a hang or crash can fire here and must land in
+  // the executed-fault trace in deterministic order: take the full grant.
+  auto lk = enter_op(r);
+  if (me.crash_at < me.now() + seconds) {
     // Dies mid-computation, at virtual-time precision.
-    me.stats.compute_seconds += std::max(0.0, me.crash_at - me.clock);
+    me.stats.compute_seconds += std::max(0.0, me.crash_at - me.now());
     die(r, me.crash_at);
   }
-  me.clock += seconds;
+  me.set_now(me.now() + seconds);
   me.stats.compute_seconds += seconds;
+  leave_op(r, lk);
 }
 
 void Cluster::deliver(int src, int dst, int tag,
@@ -397,7 +499,7 @@ void Cluster::deliver(int src, int dst, int tag,
   peer.mailbox.push_back(std::move(msg));
   if (matches) {
     peer.wake_reason = WakeReason::kMessage;
-    peer.state = State::kRunnable;
+    peer.state = State::kReady;
   }
 }
 
@@ -462,22 +564,17 @@ void Cluster::op_send(int r, int dst, int tag,
   BLADED_REQUIRE_MSG(dst >= 0 && dst < ranks(),
                      "Comm::send destination rank " + std::to_string(dst) +
                          " out of range [0," + std::to_string(ranks()) + ")");
-  ClusterImpl& eng = *impl_;
-  std::unique_lock<std::mutex> lk(eng.mu);
+  // The arrival *is* the pre-commit yield of the serial engine: any rank
+  // with a smaller (time, id) performs its network actions before we commit
+  // link occupancy, keeping the shared LinkTimeline in deterministic order.
+  auto lk = enter_op(r);
   Rank& me = *ranks_[r];
-  apply_hang_and_crash(r);
-
-  // Yield first so that any runnable rank with a smaller clock performs its
-  // network actions before we commit link occupancy — keeps the shared
-  // LinkTimeline updated in (approximately) nondecreasing time order.
-  me.state = State::kRunnable;
-  block_here(lk, eng, me.cv, [&] { return me.state == State::kRunning; });
 
   const NetworkModel& net = links_.model();
   me.stats.bytes_sent += payload.size();
   ++me.stats.messages_sent;
   const std::size_t send_event =
-      recorder_ ? recorder_->on_send(r, dst, tag, payload.size(), me.clock)
+      recorder_ ? recorder_->on_send(r, dst, tag, payload.size(), me.now())
                 : static_cast<std::size_t>(-1);
 
   if (dst == r) {
@@ -485,23 +582,26 @@ void Cluster::op_send(int r, int dst, int tag,
     Message msg;
     msg.src = r;
     msg.tag = tag;
-    msg.available_at = me.clock;
+    msg.available_at = me.now();
     msg.send_event = send_event;
     msg.payload = std::move(payload);
     me.mailbox.push_back(std::move(msg));
+    leave_op(r, lk);
     return;
   }
 
-  const double depart = me.clock + net.send_overhead;
-  me.clock = depart;
+  const double depart = me.now() + net.send_overhead;
+  me.set_now(depart);
   me.stats.comm_seconds += net.send_overhead;
 
   if (injector_.enabled()) {
     ft_send(r, dst, tag, std::move(payload), depart, send_event);
+    leave_op(r, lk);
     return;
   }
   const double available = links_.schedule(r, dst, payload.size(), depart);
   deliver(r, dst, tag, std::move(payload), depart, available, send_event);
+  leave_op(r, lk);
 }
 
 std::optional<std::vector<std::byte>> Cluster::op_recv(
@@ -511,20 +611,45 @@ std::optional<std::vector<std::byte>> Cluster::op_recv(
       src == kAnySource || (src >= 0 && src < ranks()),
       "Comm::recv source rank " + std::to_string(src) + " out of range");
   ClusterImpl& eng = *impl_;
-  std::unique_lock<std::mutex> lk(eng.mu);
   Rank& me = *ranks_[r];
-  apply_hang_and_crash(r);
+
+  // Fast path (no fault injection): scan the mailbox without a grant.
+  // Committed messages are always a prefix of the deterministic grant
+  // sequence, so if a match is present now it is the same first-in-append-
+  // order match every schedule sees; consuming it touches only this rank's
+  // state. With the injector on, ops take the full grant so hang/crash
+  // effects stay in trace order.
+  const bool fast = !injector_.enabled();
+  std::unique_lock<std::mutex> lk;
+  if (fast) {
+    lk = std::unique_lock<std::mutex>(eng.mu);
+    if (eng.abort) throw AbortSim{};
+  } else {
+    lk = enter_op(r);
+  }
+  bool granted = !fast;  // parked through enter_op / a blocked wake
 
   double effective = timeout;
   if (effective < 0.0) {
     effective = injector_.enabled() ? injector_.policy().recv_timeout : 0.0;
   }
-  const double deadline = effective > 0.0 ? me.clock + effective : kInf;
-  const double block_start = me.clock;
+  const double deadline = effective > 0.0 ? me.now() + effective : kInf;
+  const double block_start = me.now();
   const std::size_t recv_event =
       recorder_
-          ? recorder_->on_recv_post(r, src, tag, elem_bytes, elems, me.clock)
+          ? recorder_->on_recv_post(r, src, tag, elem_bytes, elems, me.now())
           : static_cast<std::size_t>(-1);
+
+  // Leave the op from whichever mode we are in: a granted rank hands back
+  // to the scheduler; a fast-path rank just drops the lock (it still holds
+  // its compute slot and never left kComputing).
+  const auto finish = [&] {
+    if (granted) {
+      leave_op(r, lk);
+    } else {
+      lk.unlock();
+    }
+  };
 
   for (;;) {
     auto it = std::find_if(me.mailbox.begin(), me.mailbox.end(),
@@ -534,49 +659,63 @@ std::optional<std::vector<std::byte>> Cluster::op_recv(
                                     m.available_at <= deadline;
                            });
     if (it != me.mailbox.end()) {
-      if (it->available_at > me.clock) {
-        me.stats.comm_seconds += it->available_at - me.clock;
-        me.clock = it->available_at;
+      if (it->available_at > me.now()) {
+        me.stats.comm_seconds += it->available_at - me.now();
+        me.set_now(it->available_at);
       }
       const double o = links_.model().recv_overhead;
-      if (injector_.enabled() && me.crash_at <= me.clock + o) {
+      if (injector_.enabled() && me.crash_at <= me.now() + o) {
         die(r, me.crash_at);
       }
-      me.clock += o;
+      me.set_now(me.now() + o);
       me.stats.comm_seconds += o;
       std::vector<std::byte> payload = std::move(it->payload);
       if (recorder_) {
         recorder_->on_recv_match(r, recv_event, it->src, it->send_event,
-                                 payload.size(), me.clock);
+                                 payload.size(), me.now());
       }
       me.mailbox.erase(it);
+      finish();
       return payload;
+    }
+    if (!granted) {
+      // About to park: free the compute slot first (see enter_op).
+      me.holds_slot = false;
+      eng.slots.release();
+      granted = true;
     }
     me.want_src = src;
     me.want_tag = tag;
     me.recv_deadline = deadline;
-    me.block_start = me.clock;
+    me.block_start = me.now();
     me.state = State::kBlockedRecv;
-    block_here(lk, eng, me.cv, [&] { return me.state == State::kRunning; });
+    eng.sched_cv.notify_one();
+    me.cv.wait(lk, [&] { return me.state == State::kRunning || eng.abort; });
+    if (eng.abort) throw AbortSim{};
     me.recv_deadline = kInf;
     switch (me.wake_reason) {
       case WakeReason::kMessage:
         break;  // rescan the mailbox
       case WakeReason::kTimeout: {
-        me.stats.comm_seconds += me.clock - block_start;
-        if (recorder_) recorder_->on_recv_timeout(r, recv_event, me.clock);
-        if (!timeout_throws) return std::nullopt;
+        me.stats.comm_seconds += me.now() - block_start;
+        if (recorder_) recorder_->on_recv_timeout(r, recv_event, me.now());
+        if (!timeout_throws) {
+          finish();
+          return std::nullopt;
+        }
         char buf[160];
         std::snprintf(buf, sizeof buf,
                       "Comm::recv timeout: rank %d waited %.6gs for src=%s "
                       "tag=%d",
-                      r, me.clock - block_start,
+                      r, me.now() - block_start,
                       src == kAnySource ? "any" : std::to_string(src).c_str(),
                       tag);
-        throw RecvTimeoutError(buf, r, src, tag, me.clock - block_start);
+        RecvTimeoutError err(buf, r, src, tag, me.now() - block_start);
+        finish();
+        throw err;
       }
       case WakeReason::kPeerFailure: {
-        me.stats.comm_seconds += me.clock - block_start;
+        me.stats.comm_seconds += me.now() - block_start;
         double failed_at = 0.0;
         for (const auto& p : ranks_) {
           if (p->dead) failed_at = std::max(failed_at, p->dead_at);
@@ -587,7 +726,9 @@ std::optional<std::vector<std::byte>> Cluster::op_recv(
                       "tag=%d, peer declared dead (failed at t=%.6g)",
                       r, src == kAnySource ? "any" : std::to_string(src).c_str(),
                       tag, failed_at);
-        throw PeerFailureError(buf, r, src, failed_at);
+        PeerFailureError err(buf, r, src, failed_at);
+        finish();
+        throw err;
       }
       case WakeReason::kSelfCrash:
         die(r, me.crash_at);
@@ -597,30 +738,38 @@ std::optional<std::vector<std::byte>> Cluster::op_recv(
 
 void Cluster::op_barrier(int r) {
   ClusterImpl& eng = *impl_;
-  std::unique_lock<std::mutex> lk(eng.mu);
+  auto lk = enter_op(r);
   Rank& me = *ranks_[r];
-  apply_hang_and_crash(r);
   const int n = ranks();
   if (recorder_) {
     me.barrier_event = recorder_->on_collective_begin(
         r, commcheck::CollectiveKind::kBarrier, /*root=*/-1, /*elems=*/0,
-        me.clock);
+        me.now());
   }
 
   ++eng.barrier_waiting;
   if (eng.barrier_waiting < n) {
     const std::uint64_t epoch = eng.barrier_epoch;
-    me.block_start = me.clock;
+    me.block_start = me.now();
     me.state = State::kBlockedBarrier;
-    block_here(lk, eng, me.cv, [&] {
-      return me.state == State::kRunning &&
-             (eng.barrier_epoch != epoch ||
-              me.wake_reason == WakeReason::kSelfCrash);
+    eng.sched_cv.notify_one();
+    me.cv.wait(lk, [&] {
+      return eng.abort ||
+             (me.state == State::kRunning &&
+              me.wake_reason == WakeReason::kSelfCrash) ||
+             eng.barrier_epoch != epoch;
     });
-    if (me.wake_reason == WakeReason::kSelfCrash) {
+    if (eng.abort) throw AbortSim{};
+    if (me.state == State::kRunning &&
+        me.wake_reason == WakeReason::kSelfCrash) {
       --eng.barrier_waiting;
       die(r, me.crash_at);
     }
+    // Barrier completed: the last arriver advanced our clock and set us back
+    // to kComputing before notifying, so just reclaim a compute slot.
+    lk.unlock();
+    eng.slots.acquire();
+    me.holds_slot = true;
     return;
   }
 
@@ -632,12 +781,12 @@ void Cluster::op_barrier(int r) {
       rounds * (net.latency + net.send_overhead + net.recv_overhead +
                 2.0 * net.wire_time(8));
   double t = 0.0;
-  for (const auto& rank : ranks_) t = std::max(t, rank->clock);
+  for (const auto& rank : ranks_) t = std::max(t, rank->now());
   t += cost;
   for (const auto& rank : ranks_) {
-    if (t > rank->clock) {
-      rank->stats.comm_seconds += t - rank->clock;
-      rank->clock = t;
+    if (t > rank->now()) {
+      rank->stats.comm_seconds += t - rank->now();
+      rank->set_now(t);
     }
   }
   eng.barrier_waiting = 0;
@@ -657,21 +806,23 @@ void Cluster::op_barrier(int r) {
   for (const auto& rank : ranks_) {
     if (rank->state == State::kBlockedBarrier) {
       rank->wake_reason = WakeReason::kMessage;
-      rank->state = State::kRunnable;
+      rank->state = State::kComputing;
       rank->cv.notify_all();
     }
   }
+  leave_op(r, lk);
 }
 
 void Cluster::op_collective_begin(int r, commcheck::CollectiveKind kind,
                                   int root, std::uint64_t elems) {
-  std::lock_guard<std::mutex> lk(impl_->mu);
-  recorder_->on_collective_begin(r, kind, root, elems, ranks_[r]->clock);
+  // Scope markers run inside the compute region: no engine transition, no
+  // engine lock. The recorder's per-rank mutex orders the append against
+  // cross-rank readers (recv-match clock joins, barrier completion).
+  recorder_->on_collective_begin(r, kind, root, elems, ranks_[r]->now());
 }
 
 void Cluster::op_collective_end(int r) {
-  std::lock_guard<std::mutex> lk(impl_->mu);
-  recorder_->on_collective_end(r, ranks_[r]->clock);
+  recorder_->on_collective_end(r, ranks_[r]->now());
 }
 
 }  // namespace bladed::simnet

@@ -1,12 +1,18 @@
 #pragma once
 
 /// Deterministic virtual-time cluster simulator. Each simulated node (rank)
-/// runs a real C++ program on its own thread, but exactly one rank executes
-/// at any instant and the scheduler always resumes the runnable rank with the
-/// smallest virtual clock, so results and timings are reproducible bit-for-
-/// bit. Computation advances a rank's clock explicitly (Comm::compute);
-/// messages carry real payloads between ranks while their delivery times come
-/// from the star-switch LinkTimeline model.
+/// runs a real C++ program on its own thread. Between communication points
+/// ranks execute *concurrently* on a bounded worker pool
+/// (Config::host_threads compute slots); every engine transition — send,
+/// recv, barrier — is an arrive/grant point where the scheduler admits
+/// exactly one rank at a time in (virtual time, rank id) order, and a grant
+/// at time t only fires once no still-computing rank can arrive at or before
+/// t. Host scheduling therefore never decides a Comm match: results, timings
+/// and commcheck traces are reproducible bit-for-bit at any host_threads,
+/// and identical to the historical one-rank-at-a-time engine. Computation
+/// advances a rank's clock explicitly (Comm::compute); messages carry real
+/// payloads between ranks while their delivery times come from the
+/// star-switch LinkTimeline model.
 ///
 /// This is the substitute for the paper's physical 24-node Fast Ethernet
 /// cluster: the communication pattern, payload bytes and overlap structure
@@ -25,6 +31,7 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -79,6 +86,12 @@ class Cluster {
     /// (bladed-commcheck). Must outlive the Cluster and be sized to
     /// `ranks`. Null = no recording, zero overhead.
     commcheck::Recorder* recorder = nullptr;
+    /// Bound on how many rank threads run user code concurrently between
+    /// communication points. 1 (default) serializes compute regions like the
+    /// historical engine; 0 resolves via BLADED_HOST_THREADS / the host's
+    /// hardware concurrency (hostperf::resolve_host_threads). Results are
+    /// bit-identical for every value — only wall-clock changes.
+    int host_threads = 1;
   };
 
   explicit Cluster(Config cfg);
@@ -105,6 +118,8 @@ class Cluster {
     return links_.messages_carried();
   }
   [[nodiscard]] const NetworkModel& network() const { return links_.model(); }
+  /// Effective compute-slot bound (Config::host_threads after resolution).
+  [[nodiscard]] int host_threads() const { return host_threads_; }
   /// Message trace (empty unless Config::record_trace); stable order is the
   /// order sends were committed to the link timeline.
   [[nodiscard]] const std::vector<TraceRecord>& trace() const {
@@ -140,8 +155,9 @@ class Cluster {
 
   enum class State {
     kIdle,
-    kRunnable,
-    kRunning,
+    kComputing,  ///< in user code outside the engine; clock is a lower bound
+    kReady,      ///< parked at an engine transition, awaiting its grant
+    kRunning,    ///< granted: performing an engine op under the lock
     kBlockedRecv,
     kBlockedBarrier,
     kDone,
@@ -182,6 +198,16 @@ class Cluster {
   };
   [[nodiscard]] Wake next_wake(int r) const;
 
+  /// Arrive at an engine transition: free the compute slot, park as kReady
+  /// and sleep until the scheduler grants this rank in (time, id) order.
+  /// Returns holding the engine lock; fault hang/crash effects are applied
+  /// inside the granted section so the executed-fault trace stays in grant
+  /// (= virtual-time) order. Throws AbortSim when the simulation aborts.
+  [[nodiscard]] std::unique_lock<std::mutex> enter_op(int r);
+  /// Finish a granted op: return to kComputing, wake the scheduler, drop
+  /// the engine lock and re-acquire a compute slot before user code resumes.
+  void leave_op(int r, std::unique_lock<std::mutex>& lk);
+
   // Fault machinery (engine lock held).
   void apply_hang_and_crash(int r);
   [[noreturn]] void die(int r, double at);
@@ -192,6 +218,7 @@ class Cluster {
 
   std::unique_ptr<ClusterImpl> impl_;
   LinkTimeline links_;
+  int host_threads_ = 1;
   std::vector<std::unique_ptr<Rank>> ranks_;
   bool record_trace_ = false;
   std::vector<TraceRecord> trace_;

@@ -157,7 +157,8 @@ FtResult run_parallel_nbody_ft(const FtConfig& cfg) {
     plan.time_offset = consumed;
 
     simnet::Cluster cluster(
-        {.ranks = ranks_now, .network = base.network, .fault = plan});
+        {.ranks = ranks_now, .network = base.network, .fault = plan,
+         .host_threads = base.host_threads});
     std::vector<detail::RankWork> work(static_cast<std::size_t>(ranks_now));
     last_commit_time.store(0.0);
 

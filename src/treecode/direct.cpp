@@ -1,36 +1,128 @@
 #include "treecode/direct.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 
 namespace bladed::treecode {
 
+namespace {
+/// Source-loop tile: 4 streams (x,y,z,m) * 8 B * 1024 = 32 KiB, L1-resident
+/// across the whole target sweep of the tile.
+constexpr std::size_t kSourceTile = 1024;
+}  // namespace
+
 OpCounter compute_forces_direct(ParticleSet& p, const GravityParams& params) {
   const std::size_t n = p.size();
   const double eps2 = params.softening * params.softening;
-  for (std::size_t i = 0; i < n; ++i) {
-    double ax = 0.0, ay = 0.0, az = 0.0, pot = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      const double dx = p.x[j] - p.x[i];
-      const double dy = p.y[j] - p.y[i];
-      const double dz = p.z[j] - p.z[i];
-      const double r2 = dx * dx + dy * dy + dz * dz + eps2;
-      const double r = std::sqrt(r2);
-      const double s = params.G * p.m[j] / (r2 * r);
-      ax += s * dx;
-      ay += s * dy;
-      az += s * dz;
-      pot -= s * r2;  // G m / r
+  // Cache-blocked loop interchange: sweep all targets i against one source
+  // tile [j0,j1) at a time, carrying each target's partial sums in a scratch
+  // array between tiles. The partial is reloaded into a register, extended
+  // with the tile's terms in ascending-j order and stored back, so the
+  // floating-point add chain per target is exactly the naive loop's
+  // (ascending tiles × ascending j within = globally ascending j):
+  // bit-identical results, ~n/kSourceTile× fewer source-stream cache misses.
+  std::vector<double> ax(n, 0.0), ay(n, 0.0), az(n, 0.0), pot(n, 0.0);
+  for (std::size_t j0 = 0; j0 < n; j0 += kSourceTile) {
+    const std::size_t j1 = std::min(n, j0 + kSourceTile);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = p.x[i], yi = p.y[i], zi = p.z[i];
+      double axi = ax[i], ayi = ay[i], azi = az[i], poti = pot[i];
+      for (std::size_t j = j0; j < j1; ++j) {
+        if (j == i) continue;
+        const double dx = p.x[j] - xi;
+        const double dy = p.y[j] - yi;
+        const double dz = p.z[j] - zi;
+        const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+        const double r = std::sqrt(r2);
+        const double s = params.G * p.m[j] / (r2 * r);
+        axi += s * dx;
+        ayi += s * dy;
+        azi += s * dz;
+        poti -= s * r2;  // G m / r
+      }
+      ax[i] = axi;
+      ay[i] = ayi;
+      az[i] = azi;
+      pot[i] = poti;
     }
-    p.ax[i] += ax;
-    p.ay[i] += ay;
-    p.az[i] += az;
-    p.pot[i] += pot;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    p.ax[i] += ax[i];
+    p.ay[i] += ay[i];
+    p.az[i] += az[i];
+    p.pot[i] += pot[i];
   }
   const std::uint64_t pairs = static_cast<std::uint64_t>(n) * (n - 1);
   return interaction_ops(RsqrtImpl::kLibm) * pairs;
+}
+
+OpCounter symmetric_interaction_ops() {
+  OpCounter o;
+  // Shared per pair: deltas 3, r2 2+1(softening); per partner: acc 3, pot 1.
+  o.fadd = 14;
+  // Shared: squares 3, r2*r 1; per partner: s = f*m 1, s*d 3, pot = s*r2 1.
+  o.fmul = 14;
+  o.fdiv = 1;   // f = G / (r2*r), shared by both partners
+  o.fsqrt = 1;  // r = sqrt(r2), shared
+  o.load = 8;   // source x,y,z,m + the partner's four partial sums
+  o.store = 4;  // write the partner's partial sums back
+  o.iop = 4;
+  o.branch = 1;
+  return o;
+}
+
+OpCounter compute_forces_direct_symmetric(ParticleSet& p,
+                                          const GravityParams& params) {
+  const std::size_t n = p.size();
+  const double eps2 = params.softening * params.softening;
+  // Upper-triangle (i<j) sweep with the same source tiling as the full
+  // kernel: target i's partial rides in registers across the tile, partner
+  // j's partials accumulate through the scratch arrays.
+  std::vector<double> ax(n, 0.0), ay(n, 0.0), az(n, 0.0), pot(n, 0.0);
+  for (std::size_t j0 = 0; j0 < n; j0 += kSourceTile) {
+    const std::size_t j1 = std::min(n, j0 + kSourceTile);
+    for (std::size_t i = 0; i + 1 < j1; ++i) {
+      const std::size_t js = std::max(j0, i + 1);
+      if (js >= j1) continue;
+      const double xi = p.x[i], yi = p.y[i], zi = p.z[i];
+      const double mi = p.m[i];
+      double axi = ax[i], ayi = ay[i], azi = az[i], poti = pot[i];
+      for (std::size_t j = js; j < j1; ++j) {
+        const double dx = p.x[j] - xi;
+        const double dy = p.y[j] - yi;
+        const double dz = p.z[j] - zi;
+        const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+        const double r = std::sqrt(r2);
+        const double f = params.G / (r2 * r);
+        const double si = f * p.m[j];
+        const double sj = f * mi;
+        axi += si * dx;
+        ayi += si * dy;
+        azi += si * dz;
+        poti -= si * r2;
+        ax[j] -= sj * dx;
+        ay[j] -= sj * dy;
+        az[j] -= sj * dz;
+        pot[j] -= sj * r2;
+      }
+      ax[i] = axi;
+      ay[i] = ayi;
+      az[i] = azi;
+      pot[i] = poti;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    p.ax[i] += ax[i];
+    p.ay[i] += ay[i];
+    p.az[i] += az[i];
+    p.pot[i] += pot[i];
+  }
+  const std::uint64_t pairs =
+      n >= 2 ? static_cast<std::uint64_t>(n) * (n - 1) / 2 : 0;
+  return symmetric_interaction_ops() * pairs;
 }
 
 double max_rel_force_error(const ParticleSet& approx,

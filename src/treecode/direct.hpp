@@ -11,7 +11,22 @@ namespace bladed::treecode {
 
 /// Softened all-pairs forces and potentials (accumulated; zero first).
 /// Returns the operation counts under the same conventions as the treecode.
+/// Cache-blocked over the source loop; per-target summation order (and so
+/// every result bit) is identical to the naive i×j loop.
 OpCounter compute_forces_direct(ParticleSet& p, const GravityParams& params);
+
+/// Symmetric i<j direct summation: evaluates each pair once and applies
+/// Newton's third law, halving the pair evaluations (n(n-1)/2 instead of
+/// n(n-1)). Results agree with compute_forces_direct to rounding (the
+/// accumulation order differs); op accounting stays exact —
+/// symmetric_interaction_ops() per evaluated pair.
+OpCounter compute_forces_direct_symmetric(ParticleSet& p,
+                                          const GravityParams& params);
+
+/// Dynamic operations of one symmetric pair evaluation (serves both
+/// partners): the shared distance/inverse-cube work is counted once, the
+/// per-partner scale/accumulate twice.
+[[nodiscard]] OpCounter symmetric_interaction_ops();
 
 /// Max relative acceleration error of `approx` vs `exact` over all particles
 /// (|Δa| / |a_exact|, guarding tiny denominators). Note this is dominated by

@@ -173,7 +173,8 @@ ParallelResult run_parallel_nbody(const ParallelConfig& cfg) {
   }
 
   simnet::Cluster cluster(
-      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder});
+      {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder,
+       .host_threads = cfg.host_threads});
   std::vector<RankWork> work(cfg.ranks);
 
   cluster.run([&](simnet::Comm& comm) {

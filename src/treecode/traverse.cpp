@@ -222,11 +222,30 @@ TraversalStats compute_forces(ParticleSet& p, const Octree& tree,
 
 namespace {
 
-/// Entry of a group interaction list: a point mass, optionally with the
-/// quadrupole of the originating cell.
-struct ListEntry {
-  double x, y, z, gm;
-  const double* quad = nullptr;  ///< borrowed from the node, or null
+/// List-evaluation tile: 4 SoA streams * 8 B * 1024 = 32 KiB per tile,
+/// resident while it is swept over every particle of the group.
+constexpr std::size_t kListTile = 1024;
+
+/// SoA interaction list built by the per-group walk. Point masses (leaf
+/// particles, and accepted cells when the quadrupole is off) go to the x/y/
+/// z/gm streams in walk order; with the quadrupole on, accepted cells go to
+/// the c* streams instead, their packed tensors appended 6 doubles at a
+/// time to cquad.
+struct InteractionList {
+  std::vector<double> x, y, z, gm;
+  std::vector<double> cx, cy, cz, cgm, cquad;
+
+  void clear() {
+    x.clear();
+    y.clear();
+    z.clear();
+    gm.clear();
+    cx.clear();
+    cy.clear();
+    cz.clear();
+    cgm.clear();
+    cquad.clear();
+  }
 };
 
 template <RsqrtImpl Impl>
@@ -238,9 +257,11 @@ TraversalStats traverse_grouped(ParticleSet& p, const Octree& tree,
   const auto& nodes = tree.nodes();
 
   std::vector<std::uint32_t> stack;
-  std::vector<ListEntry> list;
+  InteractionList list;
   stack.reserve(128);
-  list.reserve(4096);
+  list.x.reserve(4096);
+  // Per-target partial sums, carried across list tiles.
+  std::vector<double> sax, say, saz, spot;
 
   for (const Node& group : nodes) {
     if (!group.leaf || group.count == 0) continue;
@@ -258,12 +279,26 @@ TraversalStats traverse_grouped(ParticleSet& p, const Octree& tree,
       const double size = 2.0 * n.half;
       ++stats.mac_tests;
       if (size * size < theta2 * dmin2) {
-        list.push_back({n.com[0], n.com[1], n.com[2], params.G * n.mass,
-                        params.quadrupole ? n.quad : nullptr});
+        if (params.quadrupole) {
+          list.cx.push_back(n.com[0]);
+          list.cy.push_back(n.com[1]);
+          list.cz.push_back(n.com[2]);
+          list.cgm.push_back(params.G * n.mass);
+          list.cquad.insert(list.cquad.end(), n.quad, n.quad + 6);
+        } else {
+          // Monopole-only cells join the point-mass stream and tally as
+          // pp, exactly like the historical null-quad list entries.
+          list.x.push_back(n.com[0]);
+          list.y.push_back(n.com[1]);
+          list.z.push_back(n.com[2]);
+          list.gm.push_back(params.G * n.mass);
+        }
       } else if (n.leaf) {
         for (std::uint32_t j = n.first; j < n.first + n.count; ++j) {
-          list.push_back({p.x[j], p.y[j], p.z[j], params.G * p.m[j],
-                          nullptr});
+          list.x.push_back(p.x[j]);
+          list.y.push_back(p.y[j]);
+          list.z.push_back(p.z[j]);
+          list.gm.push_back(params.G * p.m[j]);
         }
       } else {
         for (std::uint8_t c = 0; c < n.child_count; ++c)
@@ -271,17 +306,34 @@ TraversalStats traverse_grouped(ParticleSet& p, const Octree& tree,
       }
     }
 
-    // Stream the list over the group's particles.
-    for (std::uint32_t i = group.first; i < group.first + group.count; ++i) {
-      const double px = p.x[i], py = p.y[i], pz = p.z[i];
-      double ax = 0.0, ay = 0.0, az = 0.0, pot = 0.0;
-      for (const ListEntry& e : list) {
-        if (point_interaction<Impl>(px, py, pz, e.x, e.y, e.z, e.gm, eps2,
-                                    ax, ay, az, pot)) {
-          e.quad == nullptr ? ++stats.pp : ++stats.pn;
-        }
-        if (e.quad != nullptr) {
-          const double dx = e.x - px, dy = e.y - py, dz = e.z - pz;
+    const std::uint32_t gfirst = group.first;
+    const std::size_t gcount = group.count;
+    sax.assign(gcount, 0.0);
+    say.assign(gcount, 0.0);
+    saz.assign(gcount, 0.0);
+    spot.assign(gcount, 0.0);
+
+    // Cell entries first (quadrupole runs only). Counts match the
+    // interleaved AoS evaluation exactly — pn on a non-coincident monopole,
+    // pn_quad unconditionally — and results agree to rounding (only the
+    // accumulation order moved).
+    const std::size_t ncells = list.cx.size();
+    for (std::size_t c0 = 0; c0 < ncells; c0 += kListTile) {
+      const std::size_t c1 = std::min(ncells, c0 + kListTile);
+      for (std::size_t k = 0; k < gcount; ++k) {
+        const std::size_t i = gfirst + k;
+        const double px = p.x[i], py = p.y[i], pz = p.z[i];
+        double ax = sax[k], ay = say[k], az = saz[k], pot = spot[k];
+        for (std::size_t c = c0; c < c1; ++c) {
+          if (point_interaction<Impl>(px, py, pz, list.cx[c], list.cy[c],
+                                      list.cz[c], list.cgm[c], eps2, ax, ay,
+                                      az, pot)) {
+            ++stats.pn;
+          }
+          const double* quad = &list.cquad[6 * c];
+          const double dx = list.cx[c] - px;
+          const double dy = list.cy[c] - py;
+          const double dz = list.cz[c] - pz;
           const double r2 = dx * dx + dy * dy + dz * dz + eps2;
           double y;
           if constexpr (Impl == RsqrtImpl::kLibm) {
@@ -292,11 +344,11 @@ TraversalStats traverse_grouped(ParticleSet& p, const Octree& tree,
           const double u2 = y * y;
           const double y5 = u2 * u2 * y;
           const double y7 = y5 * u2;
-          const double qdx = e.quad[0] * dx + e.quad[1] * dy + e.quad[2] * dz;
-          const double qdy = e.quad[1] * dx + e.quad[3] * dy + e.quad[4] * dz;
-          const double qdz = e.quad[2] * dx + e.quad[4] * dy + e.quad[5] * dz;
+          const double qdx = quad[0] * dx + quad[1] * dy + quad[2] * dz;
+          const double qdy = quad[1] * dx + quad[3] * dy + quad[4] * dz;
+          const double qdz = quad[2] * dx + quad[4] * dy + quad[5] * dz;
           const double dqd = dx * qdx + dy * qdy + dz * qdz;
-          // The quadrupole tensor is unscaled (G is folded into e.gm only
+          // The quadrupole tensor is unscaled (G is folded into cgm only
           // for the monopole), so apply G here.
           const double radial = 2.5 * params.G * dqd * y7;
           ax += params.G * -qdx * y5 + radial * dx;
@@ -305,11 +357,46 @@ TraversalStats traverse_grouped(ParticleSet& p, const Octree& tree,
           pot -= 0.5 * params.G * dqd * y5;
           ++stats.pn_quad;
         }
+        sax[k] = ax;
+        say[k] = ay;
+        saz[k] = az;
+        spot[k] = pot;
       }
-      p.ax[i] += ax;
-      p.ay[i] += ay;
-      p.az[i] += az;
-      p.pot[i] += pot;
+    }
+
+    // Point-mass stream, tiled: tiles outer so each 32 KiB slab of the list
+    // is swept over every group particle while cache-hot; targets inner with
+    // their running sums reloaded from/stored to the scratch arrays. Each
+    // target still accumulates in ascending list order (ascending tiles ×
+    // ascending index within a tile), so with the quadrupole off the result
+    // is bit-identical to the historical untiled stream.
+    const std::size_t npts = list.x.size();
+    for (std::size_t t0 = 0; t0 < npts; t0 += kListTile) {
+      const std::size_t t1 = std::min(npts, t0 + kListTile);
+      for (std::size_t k = 0; k < gcount; ++k) {
+        const std::size_t i = gfirst + k;
+        const double px = p.x[i], py = p.y[i], pz = p.z[i];
+        double ax = sax[k], ay = say[k], az = saz[k], pot = spot[k];
+        for (std::size_t t = t0; t < t1; ++t) {
+          if (point_interaction<Impl>(px, py, pz, list.x[t], list.y[t],
+                                      list.z[t], list.gm[t], eps2, ax, ay,
+                                      az, pot)) {
+            ++stats.pp;
+          }
+        }
+        sax[k] = ax;
+        say[k] = ay;
+        saz[k] = az;
+        spot[k] = pot;
+      }
+    }
+
+    for (std::size_t k = 0; k < gcount; ++k) {
+      const std::size_t i = gfirst + k;
+      p.ax[i] += sax[k];
+      p.ay[i] += say[k];
+      p.az[i] += saz[k];
+      p.pot[i] += spot[k];
     }
   }
 

@@ -67,8 +67,10 @@ TraversalStats compute_forces_on(ParticleSet& targets, const ParticleSet& src,
 /// tree walk per *leaf group* builds an interaction list accepted against
 /// the whole group cell (MAC at the closest approach, so it is valid — and
 /// slightly conservative — for every particle in the group), then the list
-/// is streamed over the group's particles. Amortizes MAC tests and node
-/// visits across the group at the cost of a somewhat longer list.
+/// is evaluated over the group's particles in cache-sized SoA tiles (with
+/// the quadrupole off, bit-identical to streaming the whole list per
+/// particle). Amortizes MAC tests and node visits across the group at the
+/// cost of a somewhat longer list.
 /// Monopole-only (the quadrupole flag is honored for accepted cells).
 TraversalStats compute_forces_grouped(ParticleSet& p, const Octree& tree,
                                       const GravityParams& params);

@@ -14,7 +14,7 @@ namespace {
 
 using namespace bladed;
 
-std::string treecode_trace(std::uint64_t seed) {
+std::string treecode_trace(std::uint64_t seed, int host_threads = 1) {
   commcheck::Recorder recorder(4);
   treecode::ParallelConfig cfg;
   cfg.ranks = 4;
@@ -23,6 +23,7 @@ std::string treecode_trace(std::uint64_t seed) {
   cfg.seed = seed;
   cfg.cpu = &arch::tm5600_633();
   cfg.recorder = &recorder;
+  cfg.host_threads = host_threads;
   (void)treecode::run_parallel_nbody(cfg);
   EXPECT_FALSE(recorder.trace().aborted);
   EXPECT_GT(recorder.trace().total_events(), 0U);
@@ -33,6 +34,17 @@ TEST(DeterminismTest, SameSeedTreecodeRunsRecordIdenticalTraces) {
   const std::string first = treecode_trace(7);
   const std::string second = treecode_trace(7);
   EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismTest, TraceIsByteIdenticalAcrossHostThreadCounts) {
+  // The tentpole contract of the parallel engine: the host worker-pool size
+  // is invisible to the simulation — golden traces recorded at any
+  // --host-threads must match the serial engine's byte for byte.
+  const std::string serial = treecode_trace(7, 1);
+  for (int host_threads : {2, 8}) {
+    EXPECT_EQ(serial, treecode_trace(7, host_threads))
+        << "trace diverged at host_threads=" << host_threads;
+  }
 }
 
 TEST(DeterminismTest, TraceCarriesTheRunsStructure) {

@@ -42,6 +42,49 @@ TEST(DirectForces, NewtonsThirdLawMomentumConservation) {
   EXPECT_NEAR(fz, 0.0, 1e-10);
 }
 
+TEST(DirectForces, SymmetricKernelMatchesFullSummation) {
+  // The i<j kernel reassociates each target's sum, so demand agreement to
+  // 1e-12 relative, not bit equality.
+  ParticleSet p = plummer_sphere(700, 63);
+  GravityParams g;
+  compute_forces_direct(p, g);
+  ParticleSet q = plummer_sphere(700, 63);
+  compute_forces_direct_symmetric(q, g);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double scale = std::sqrt(p.ax[i] * p.ax[i] + p.ay[i] * p.ay[i] +
+                                   p.az[i] * p.az[i]);
+    EXPECT_NEAR(p.ax[i], q.ax[i], 1e-12 * scale) << i;
+    EXPECT_NEAR(p.ay[i], q.ay[i], 1e-12 * scale) << i;
+    EXPECT_NEAR(p.az[i], q.az[i], 1e-12 * scale) << i;
+    EXPECT_NEAR(p.pot[i], q.pot[i], 1e-12 * std::abs(p.pot[i])) << i;
+  }
+}
+
+TEST(DirectForces, SymmetricKernelHalvesPairAccounting) {
+  // n(n-1)/2 evaluated pairs, each charged symmetric_interaction_ops()
+  // exactly; the shared sqrt/divide work is counted once per pair, so the
+  // expensive-op totals are exactly half the full kernel's.
+  ParticleSet p = plummer_sphere(257, 5);
+  GravityParams g;
+  const OpCounter full = compute_forces_direct(p, g);
+  const OpCounter half = compute_forces_direct_symmetric(p, g);
+  const std::uint64_t n = 257;
+  EXPECT_EQ(half, symmetric_interaction_ops() * (n * (n - 1) / 2));
+  EXPECT_EQ(full, interaction_ops(RsqrtImpl::kLibm) * (n * (n - 1)));
+  EXPECT_EQ(half.fsqrt * 2, full.fsqrt);
+  EXPECT_EQ(half.fdiv * 2, full.fdiv);
+}
+
+TEST(DirectForces, SymmetricKernelTinySystems) {
+  GravityParams g;
+  ParticleSet empty;
+  EXPECT_EQ(compute_forces_direct_symmetric(empty, g).flops(), 0U);
+  ParticleSet one;
+  one.add(0.0, 0.0, 0.0, 1.0);
+  EXPECT_EQ(compute_forces_direct_symmetric(one, g).flops(), 0U);
+  EXPECT_EQ(one.ax[0], 0.0);
+}
+
 TEST(TreeForces, MatchDirectWithinThetaBound) {
   ParticleSet p = plummer_sphere(3000, 67);
   Octree tree = Octree::build(p);

@@ -52,7 +52,7 @@ double wall_seconds(const std::function<void()>& fn) {
 /// Run one shipped driver, optionally recording. Sized so the whole gate
 /// stays cheap under ctest while still exercising every collective the
 /// driver uses.
-void run_driver(const std::string& name, int ranks,
+void run_driver(const std::string& name, int ranks, int host_threads,
                 commcheck::Recorder* recorder) {
   if (name == "treecode") {
     treecode::ParallelConfig cfg;
@@ -61,6 +61,7 @@ void run_driver(const std::string& name, int ranks,
     cfg.steps = 2;
     cfg.cpu = &arch::tm5600_633();
     cfg.recorder = recorder;
+    cfg.host_threads = host_threads;
     (void)treecode::run_parallel_nbody(cfg);
     return;
   }
@@ -68,6 +69,7 @@ void run_driver(const std::string& name, int ranks,
   cfg.ranks = ranks;
   cfg.cpu = &arch::tm5600_633();
   cfg.recorder = recorder;
+  cfg.host_threads = host_threads;
   if (name == "npb-ep") {
     (void)npb::run_parallel_ep(cfg, /*m=*/18);
   } else if (name == "npb-is") {
@@ -80,9 +82,10 @@ void run_driver(const std::string& name, int ranks,
   }
 }
 
-int verify_driver(const std::string& name, int ranks, bool json) {
+int verify_driver(const std::string& name, int ranks, int host_threads,
+                  bool json) {
   commcheck::Recorder recorder(ranks);
-  run_driver(name, ranks, &recorder);
+  run_driver(name, ranks, host_threads, &recorder);
   const commcheck::Verdict verdict = analyze(recorder.trace());
   if (json) {
     std::cout << verdict.to_json() << "\n";
@@ -98,6 +101,7 @@ int verify_driver(const std::string& name, int ranks, bool json) {
 /// W, IS 2^20 keys, the 64^3 stencil) — overhead must be measured where the
 /// per-op compute is realistic, not on the quick ctest configs.
 void run_driver_bench_scale(const std::string& name, int ranks,
+                            int host_threads,
                             commcheck::Recorder* recorder) {
   if (name == "treecode") {
     treecode::ParallelConfig cfg;
@@ -106,6 +110,7 @@ void run_driver_bench_scale(const std::string& name, int ranks,
     cfg.steps = 2;
     cfg.cpu = &arch::tm5600_633();
     cfg.recorder = recorder;
+    cfg.host_threads = host_threads;
     (void)treecode::run_parallel_nbody(cfg);
     return;
   }
@@ -113,6 +118,7 @@ void run_driver_bench_scale(const std::string& name, int ranks,
   cfg.ranks = ranks;
   cfg.cpu = &arch::tm5600_633();
   cfg.recorder = recorder;
+  cfg.host_threads = host_threads;
   if (name == "npb-ep") {
     (void)npb::run_parallel_ep(cfg, npb::kEpClassW);
   } else if (name == "npb-is") {
@@ -125,17 +131,19 @@ void run_driver_bench_scale(const std::string& name, int ranks,
   }
 }
 
-int measure_overhead(const std::string& name, int ranks) {
+int measure_overhead(const std::string& name, int ranks, int host_threads) {
   // Warm up (page cache, lazy allocations), then interleave measurements.
-  run_driver_bench_scale(name, ranks, nullptr);
+  run_driver_bench_scale(name, ranks, host_threads, nullptr);
   double off = 0.0;
   double on = 0.0;
   std::size_t events = 0;
   constexpr int kReps = 3;
   for (int i = 0; i < kReps; ++i) {
-    off += wall_seconds([&] { run_driver_bench_scale(name, ranks, nullptr); });
+    off += wall_seconds(
+        [&] { run_driver_bench_scale(name, ranks, host_threads, nullptr); });
     commcheck::Recorder recorder(ranks);
-    on += wall_seconds([&] { run_driver_bench_scale(name, ranks, &recorder); });
+    on += wall_seconds(
+        [&] { run_driver_bench_scale(name, ranks, host_threads, &recorder); });
     events = recorder.trace().total_events();
   }
   std::printf(
@@ -275,6 +283,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   std::string driver;
   int ranks = 8;
+  int host_threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--selftest") {
@@ -291,10 +300,13 @@ int main(int argc, char** argv) {
       driver = argv[++i];
     } else if (arg == "--ranks" && i + 1 < argc) {
       ranks = std::atoi(argv[++i]);
+    } else if (arg == "--host-threads" && i + 1 < argc) {
+      host_threads = std::atoi(argv[++i]);
     } else {
       std::cerr << "usage: bladed-commcheck [--selftest] [--static] "
                    "[--driver treecode|npb-ep|npb-is|npb-stencil] "
-                   "[--ranks N] [--overhead] [--json] [--verbose]\n";
+                   "[--ranks N] [--host-threads N] [--overhead] [--json] "
+                   "[--verbose]\n";
       return 2;
     }
   }
@@ -302,8 +314,8 @@ int main(int argc, char** argv) {
     if (selftest) return run_selftest(verbose);
     if (static_mode) return run_static(verbose);
     if (!driver.empty()) {
-      return overhead ? measure_overhead(driver, ranks)
-                      : verify_driver(driver, ranks, json);
+      return overhead ? measure_overhead(driver, ranks, host_threads)
+                      : verify_driver(driver, ranks, host_threads, json);
     }
   } catch (const std::exception& e) {
     std::cerr << "bladed-commcheck: " << e.what() << "\n";

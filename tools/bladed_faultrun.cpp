@@ -26,6 +26,7 @@ struct Options {
   bool degrade = false;
   bool trace = false;
   bool selftest = false;
+  int host_threads = 1;
 };
 
 void usage() {
@@ -40,7 +41,9 @@ void usage() {
       "  --crash-at F    crash one node at fraction F of the run; -1 = off\n"
       "  --degrade       finish on the survivors instead of replacing\n"
       "  --trace         dump the executed-fault trace\n"
-      "  --selftest      replay determinism check (exit 1 on mismatch)");
+      "  --selftest      replay determinism check (exit 1 on mismatch)\n"
+      "  --host-threads N  host worker threads for compute regions\n"
+      "                  (1 = serial, 0 = auto; results are identical)");
 }
 
 bladed::treecode::FtResult run_once(const Options& o, double t_ref) {
@@ -51,6 +54,7 @@ bladed::treecode::FtResult run_once(const Options& o, double t_ref) {
   ft.base.steps = o.steps;
   ft.base.seed = o.seed;
   ft.base.cpu = &arch::tm5600_633();
+  ft.base.host_threads = o.host_threads;
   ft.fault_seed = o.seed;
   ft.checkpoint_every = 2;
   ft.restart_penalty_seconds = 0.25;
@@ -127,6 +131,7 @@ int main(int argc, char** argv) {
     else if (a == "--degrade") o.degrade = true;
     else if (a == "--trace") o.trace = true;
     else if (a == "--selftest") o.selftest = true;
+    else if (a == "--host-threads") o.host_threads = std::atoi(next());
     else {
       usage();
       return a == "--help" || a == "-h" ? 0 : 2;
@@ -141,6 +146,7 @@ int main(int argc, char** argv) {
     base.steps = o.steps;
     base.seed = o.seed;
     base.cpu = &bladed::arch::tm5600_633();
+    base.host_threads = o.host_threads;
     const double t_ref =
         bladed::treecode::run_parallel_nbody(base).elapsed_seconds;
 
