@@ -17,6 +17,12 @@ Modes:
         within the relative tolerance; wall_seconds is reported but never
         gates (host noise). Exit 1 on any violation or on baseline keys
         missing from the candidate.
+
+Additionally, results named "<stem>.l<N>" (the optimizer ablation rows,
+e.g. "opt.naive_daxpy_n256.l2" vs "...l0") are checked pairwise in the
+candidate: cycles at an optimization level > 0 must never exceed the
+level-0 cycles of the same stem. The optimizer's per-pass proofs guarantee
+equivalence; this gate guarantees it also never pessimizes.
 """
 
 import argparse
@@ -60,6 +66,27 @@ def summarize(path):
     return 0
 
 
+def opt_level_regressions(entries):
+    """Optimized rows must not burn more cycles than their level-0 twin.
+
+    Returns failure strings for every (bench, "<stem>.l<N>") entry, N > 0,
+    whose cycles exceed the matching "<stem>.l0" entry.
+    """
+    failures = []
+    for (bench, name), r in sorted(entries.items()):
+        stem, sep, level = name.rpartition(".l")
+        if not sep or not level.isdigit() or int(level) == 0:
+            continue
+        base = entries.get((bench, f"{stem}.l0"))
+        if base is None:
+            continue
+        if r["cycles"] > base["cycles"]:
+            failures.append(
+                f"{bench}/{name}: optimized cycles {r['cycles']:.8g} exceed "
+                f"level-0 cycles {base['cycles']:.8g}")
+    return failures
+
+
 def rel_delta(base, cand):
     if base == cand:
         return 0.0
@@ -91,6 +118,7 @@ def compare(baseline_path, candidate_path, tolerance):
     extra = sorted(set(cand) - set(base))
     for key in extra:
         print(f"info: {key[0]}/{key[1]}: new result (not in baseline)")
+    failures.extend(opt_level_regressions(cand))
     if failures:
         print(f"bench_gate: {len(failures)} regression(s):", file=sys.stderr)
         for f in failures:

@@ -38,9 +38,9 @@ run_tsan() {
     -DBLADED_TSAN=ON
   cmake --build "${dir}" -j "${JOBS}" \
     --target test_simnet test_fault test_commcheck test_treecode test_npb \
-    test_hostperf bladed-commcheck
+    test_hostperf bladed-commcheck bladed-lint
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
-    -L 'test_simnet|test_fault|test_commcheck|test_treecode|test_npb|test_hostperf|commcheck'
+    -L 'test_simnet|test_fault|test_commcheck|test_treecode|test_npb|test_hostperf|commcheck|lint'
   echo "check.sh: threaded suites clean under TSan"
 }
 

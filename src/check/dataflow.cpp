@@ -1,9 +1,9 @@
 #include "check/dataflow.hpp"
 
 #include <algorithm>
-#include <array>
-#include <limits>
 #include <vector>
+
+#include "check/intervals.hpp"
 
 namespace bladed::check {
 
@@ -34,7 +34,7 @@ std::string reg_name(int index) {
 
 namespace {
 
-constexpr RegSet kAllRegs = (RegSet{1} << kNumRegs) - 1;
+constexpr RegSet kAllRegs = kAllRegsSet;
 /// r0 is the conventional zero base register — modeled as initialized.
 constexpr RegSet kEntryAssigned = 1;
 
@@ -93,10 +93,8 @@ Report find_uninit_reads(const cms::Program& prog, const Cfg& cfg) {
   return report;
 }
 
-Report find_dead_stores(const cms::Program& prog, const Cfg& cfg) {
-  Report report;
+std::vector<RegSet> live_in_blocks(const cms::Program& prog, const Cfg& cfg) {
   const auto& blocks = cfg.blocks();
-  // Backward may-analysis: live-in per block; all registers live at exit.
   std::vector<RegSet> live_in(blocks.size(), 0);
   const auto transfer = [&](std::size_t b, RegSet live) {
     for (std::size_t i = blocks[b].end; i-- > blocks[b].begin;) {
@@ -108,25 +106,33 @@ Report find_dead_stores(const cms::Program& prog, const Cfg& cfg) {
   while (changed) {
     changed = false;
     for (std::size_t b = blocks.size(); b-- > 0;) {
-      RegSet out = 0;
-      for (const std::size_t succ : blocks[b].succs) {
-        out |= succ >= cfg.exit_pc() ? kAllRegs : live_in[cfg.block_of(succ)];
-      }
-      const RegSet next = transfer(b, out);
+      const RegSet next = transfer(b, live_out_of(cfg, live_in, b));
       if (next != live_in[b]) {
         live_in[b] = next;
         changed = true;
       }
     }
   }
+  return live_in;
+}
+
+RegSet live_out_of(const Cfg& cfg, const std::vector<RegSet>& live_in,
+                   std::size_t b) {
+  RegSet out = 0;
+  for (const std::size_t succ : cfg.blocks()[b].succs) {
+    out |= succ >= cfg.exit_pc() ? kAllRegsSet : live_in[cfg.block_of(succ)];
+  }
+  return out;
+}
+
+Report find_dead_stores(const cms::Program& prog, const Cfg& cfg) {
+  Report report;
+  const auto& blocks = cfg.blocks();
+  const std::vector<RegSet> live_in = live_in_blocks(prog, cfg);
   const std::vector<bool> reach = cfg.reachable();
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     if (!reach[b]) continue;
-    RegSet out = 0;
-    for (const std::size_t succ : blocks[b].succs) {
-      out |= succ >= cfg.exit_pc() ? kAllRegs : live_in[cfg.block_of(succ)];
-    }
-    RegSet live = out;
+    RegSet live = live_out_of(cfg, live_in, b);
     for (std::size_t i = blocks[b].end; i-- > blocks[b].begin;) {
       const RegSet defs = defs_of(prog[i]);
       if (defs != 0 && (defs & live) == 0) {
@@ -144,144 +150,19 @@ Report find_dead_stores(const cms::Program& prog, const Cfg& cfg) {
   return report;
 }
 
-namespace {
-
-constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min();
-constexpr std::int64_t kPosInf = std::numeric_limits<std::int64_t>::max();
-
-std::int64_t saturate(__int128 v) {
-  if (v < static_cast<__int128>(kNegInf)) return kNegInf;
-  if (v > static_cast<__int128>(kPosInf)) return kPosInf;
-  return static_cast<std::int64_t>(v);
-}
-
-/// Closed interval [lo, hi]; infinities are the int64 extremes.
-struct Interval {
-  std::int64_t lo = kNegInf;
-  std::int64_t hi = kPosInf;
-
-  static Interval constant(std::int64_t v) { return {v, v}; }
-  bool operator==(const Interval& o) const = default;
-};
-
-Interval add(Interval a, Interval b) {
-  return {saturate(static_cast<__int128>(a.lo) + b.lo),
-          saturate(static_cast<__int128>(a.hi) + b.hi)};
-}
-
-Interval sub(Interval a, Interval b) {
-  return {saturate(static_cast<__int128>(a.lo) - b.hi),
-          saturate(static_cast<__int128>(a.hi) - b.lo)};
-}
-
-Interval mul_const(Interval a, std::int64_t k) {
-  const std::int64_t p = saturate(static_cast<__int128>(a.lo) * k);
-  const std::int64_t q = saturate(static_cast<__int128>(a.hi) * k);
-  return {std::min(p, q), std::max(p, q)};
-}
-
-Interval hull(Interval a, Interval b) {
-  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
-}
-
-struct AbsState {
-  bool reachable = false;
-  std::array<Interval, kNumIntRegs> r{};
-
-  bool operator==(const AbsState& o) const = default;
-};
-
-AbsState join(const AbsState& a, const AbsState& b) {
-  if (!a.reachable) return b;
-  if (!b.reachable) return a;
-  AbsState s;
-  s.reachable = true;
-  for (int i = 0; i < kNumIntRegs; ++i) s.r[i] = hull(a.r[i], b.r[i]);
-  return s;
-}
-
-/// Widen `next` against `prev`: any bound that moved goes to infinity. Run
-/// after a few precise iterations so counted loops converge immediately.
-AbsState widen(const AbsState& prev, const AbsState& next) {
-  if (!prev.reachable) return next;
-  AbsState s = next;
-  for (int i = 0; i < kNumIntRegs; ++i) {
-    if (next.r[i].lo < prev.r[i].lo) s.r[i].lo = kNegInf;
-    if (next.r[i].hi > prev.r[i].hi) s.r[i].hi = kPosInf;
-  }
-  return s;
-}
-
-void transfer_instr(const Instr& in, AbsState& s) {
-  switch (in.op) {
-    case Op::kMovi:
-      s.r[in.a] = Interval::constant(in.imm_i);
-      break;
-    case Op::kAddi:
-      s.r[in.a] = add(s.r[in.b], Interval::constant(in.imm_i));
-      break;
-    case Op::kAdd:
-      s.r[in.a] = add(s.r[in.b], s.r[in.c]);
-      break;
-    case Op::kSub:
-      s.r[in.a] = sub(s.r[in.b], s.r[in.c]);
-      break;
-    case Op::kMuli:
-      s.r[in.a] = mul_const(s.r[in.b], in.imm_i);
-      break;
-    default:
-      break;  // fp and control ops do not touch the int register file
-  }
-}
-
-}  // namespace
-
 Report find_oob_accesses(const cms::Program& prog, const Cfg& cfg,
                          std::size_t mem_doubles) {
   Report report;
-  const auto& blocks = cfg.blocks();
-  const int widen_after = 3;
-
-  AbsState entry;
-  entry.reachable = true;
-  for (int i = 0; i < kNumIntRegs; ++i) entry.r[i] = Interval::constant(0);
-
-  std::vector<AbsState> in(blocks.size());
-  in[0] = entry;
-  std::vector<int> visits(blocks.size(), 0);
-  const auto preds = cfg.predecessors();
-
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t b = 0; b < blocks.size(); ++b) {
-      AbsState next = b == 0 ? entry : AbsState{};
-      for (const std::size_t p : preds[b]) {
-        AbsState out = in[p];
-        if (!out.reachable) continue;
-        for (std::size_t i = blocks[p].begin; i < blocks[p].end; ++i) {
-          transfer_instr(prog[i], out);
-        }
-        next = join(next, out);
-      }
-      if (!next.reachable) continue;
-      if (++visits[b] > widen_after) next = widen(in[b], next);
-      if (!(next == in[b])) {
-        in[b] = next;
-        changed = true;
-      }
-    }
-  }
-
+  const Intervals intervals = Intervals::build(prog, cfg);
   const auto limit = static_cast<std::int64_t>(mem_doubles);
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    AbsState s = in[b];
+  for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+    IntervalState s = intervals.block_entry(b);
     if (!s.reachable) continue;
-    for (std::size_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+    for (std::size_t i = cfg.blocks()[b].begin; i < cfg.blocks()[b].end; ++i) {
       const Instr& instr = prog[i];
       if (cms::is_mem_op(instr.op)) {
         const Interval addr =
-            add(s.r[instr.b], Interval::constant(instr.imm_i));
+            interval_add(s.r[instr.b], Interval::constant(instr.imm_i));
         if (addr.hi < 0 || addr.lo >= limit) {
           report.add_error(
               instr.op == Op::kFload ? "oob-load" : "oob-store", i,
@@ -290,7 +171,7 @@ Report find_oob_accesses(const cms::Program& prog, const Cfg& cfg,
                   "], outside [0, " + std::to_string(limit) + ")");
         }
       }
-      transfer_instr(instr, s);
+      Intervals::transfer(instr, s);
     }
   }
   return report;

@@ -28,10 +28,28 @@ inline constexpr int kNumRegs = kNumIntRegs + kNumFpRegs;
 /// bit 16+f is fp register f.
 using RegSet = std::uint32_t;
 
+/// Every register in the combined file.
+inline constexpr RegSet kAllRegsSet = (RegSet{1} << kNumRegs) - 1;
+
 [[nodiscard]] RegSet uses_of(const cms::Instr& in);
 [[nodiscard]] RegSet defs_of(const cms::Instr& in);
 /// "r3" or "f2" for a combined-index register.
 [[nodiscard]] std::string reg_name(int index);
+
+/// Backward may-liveness fixpoint: live-in set per block. Every register is
+/// live at program exit — halt, a branch to `prog.size()` and falling off
+/// the end all make the final machine state observable, so a store that
+/// only reaches exit is *not* dead. Shared by the dead-store reporter here
+/// and the optimizer's dead-store elimination (opt/passes.hpp) so the two
+/// agree on what "dead" means.
+[[nodiscard]] std::vector<RegSet> live_in_blocks(const cms::Program& prog,
+                                                 const Cfg& cfg);
+
+/// Live-out set of block `b` under `live_in` (kAllRegsSet across any exit
+/// edge).
+[[nodiscard]] RegSet live_out_of(const Cfg& cfg,
+                                 const std::vector<RegSet>& live_in,
+                                 std::size_t b);
 
 /// Warnings ("uninit-read") for reads of registers that are not definitely
 /// written on every path from entry. r0 is modeled as initialized: it is

@@ -95,4 +95,82 @@ Report differential_check(const cms::Program& prog,
   return report;
 }
 
+Report differential_equivalence(const cms::Program& original,
+                                const cms::Program& optimized,
+                                const DifferentialOptions& opt) {
+  Report report;
+  for (int run = 0; run < opt.runs; ++run) {
+    Rng rng(opt.seed + static_cast<std::uint64_t>(run));
+    MachineState ref(opt.mem_doubles);
+    for (double& cell : ref.mem) cell = rng.uniform(-2.0, 2.0);
+    MachineState subject = ref;
+
+    cms::Interpreter interpreter;
+    cms::InterpretResult ri;
+    try {
+      ri = interpreter.run(original, ref, 0, opt.max_instructions);
+    } catch (const std::exception& e) {
+      report.add_warning("runtime-trap", 0,
+                         std::string("original trapped on run ") +
+                             std::to_string(run) + ": " + e.what());
+      continue;
+    }
+    if (!ri.halted && ri.instructions >= opt.max_instructions) {
+      report.add_warning("equiv-timeout", 0,
+                         "original hit the instruction budget; run " +
+                             std::to_string(run) + " not compared");
+      continue;
+    }
+
+    try {
+      // The optimized program must run at least as far: give it the same
+      // budget the original stayed within.
+      const cms::InterpretResult ro =
+          interpreter.run(optimized, subject, 0, opt.max_instructions);
+      if (!ro.halted && ro.instructions >= opt.max_instructions) {
+        report.add_error("equiv-trap", 0,
+                         "optimized program hit the instruction budget where "
+                             "the original halted (run " +
+                             std::to_string(run) + ")");
+        continue;
+      }
+    } catch (const std::exception& e) {
+      report.add_error("equiv-trap", 0,
+                       std::string("optimized program trapped where the "
+                                   "original halted cleanly (run ") +
+                           std::to_string(run) + "): " + e.what());
+      continue;
+    }
+
+    const std::string where = " (run " + std::to_string(run) + ")";
+    for (int r = 0; r < 16; ++r) {
+      if (ref.r[r] != subject.r[r]) {
+        report.add_error("equiv-reg", 0,
+                         "r" + std::to_string(r) + " diverges: original " +
+                             std::to_string(ref.r[r]) + ", optimized " +
+                             std::to_string(subject.r[r]) + where);
+      }
+    }
+    for (int f = 0; f < 8; ++f) {
+      if (!same_bits(ref.f[f], subject.f[f])) {
+        report.add_error("equiv-reg", 0,
+                         "f" + std::to_string(f) + " diverges: original " +
+                             std::to_string(ref.f[f]) + ", optimized " +
+                             std::to_string(subject.f[f]) + where);
+      }
+    }
+    for (std::size_t i = 0; i < ref.mem.size(); ++i) {
+      if (!same_bits(ref.mem[i], subject.mem[i])) {
+        report.add_error("equiv-mem", 0,
+                         "mem[" + std::to_string(i) +
+                             "] diverges: original " +
+                             std::to_string(ref.mem[i]) + ", optimized " +
+                             std::to_string(subject.mem[i]) + where);
+        break;
+      }
+    }
+  }
+  return report;
+}
+
 }  // namespace bladed::check

@@ -27,4 +27,19 @@ struct DifferentialOptions {
 [[nodiscard]] Report differential_check(const cms::Program& prog,
                                         const DifferentialOptions& opt = {});
 
+/// Program-vs-program equivalence: run the pure interpreter on `original`
+/// and `optimized` over identical generated memory images and require
+/// bit-identical final machine state (integer registers, fp registers
+/// bitwise, every memory cell). This is the optimizer's per-pass proof
+/// obligation (opt/opt.hpp): a transform that cannot show equivalence here
+/// is rolled back.
+///
+/// Errors "equiv-reg" / "equiv-mem" on divergence, "equiv-trap" when only
+/// the optimized program traps or only one side halts; warning
+/// "equiv-timeout" when the original exhausts the instruction budget and
+/// "runtime-trap" when the original itself traps (nothing to compare).
+[[nodiscard]] Report differential_equivalence(const cms::Program& original,
+                                              const cms::Program& optimized,
+                                              const DifferentialOptions& opt = {});
+
 }  // namespace bladed::check

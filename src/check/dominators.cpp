@@ -1,0 +1,133 @@
+#include "check/dominators.hpp"
+
+#include <algorithm>
+
+namespace bladed::check {
+
+DomTree DomTree::build(const Cfg& cfg) {
+  const std::size_t n = cfg.blocks().size();
+  DomTree t;
+  t.idom_.assign(n, kNone);
+  t.reachable_ = cfg.reachable();
+  const auto preds = cfg.predecessors();
+
+  // Reverse-postorder over the reachable subgraph (iterative DFS with an
+  // explicit done-phase so children finish before their parent).
+  std::vector<std::size_t> rpo;
+  rpo.reserve(n);
+  {
+    std::vector<int> state(n, 0);  // 0 = unseen, 1 = open, 2 = done
+    std::vector<std::size_t> stack = {0};
+    while (!stack.empty()) {
+      const std::size_t b = stack.back();
+      if (state[b] == 0) {
+        state[b] = 1;
+        for (const std::size_t succ : cfg.blocks()[b].succs) {
+          if (succ >= cfg.exit_pc()) continue;
+          const std::size_t s = cfg.block_of(succ);
+          if (state[s] == 0) stack.push_back(s);
+        }
+      } else {
+        stack.pop_back();
+        if (state[b] == 1) {
+          state[b] = 2;
+          rpo.push_back(b);
+        }
+      }
+    }
+    std::reverse(rpo.begin(), rpo.end());
+  }
+  std::vector<std::size_t> rpo_index(n, kNone);
+  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  const auto intersect = [&](std::size_t a, std::size_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = t.idom_[a];
+      while (rpo_index[b] > rpo_index[a]) b = t.idom_[b];
+    }
+    return a;
+  };
+
+  t.idom_[0] = 0;  // temporarily self, the algorithm's fixpoint anchor
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::size_t b : rpo) {
+      if (b == 0) continue;
+      std::size_t new_idom = kNone;
+      for (const std::size_t p : preds[b]) {
+        if (t.idom_[p] == kNone) continue;  // unreachable or not yet visited
+        new_idom = new_idom == kNone ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNone && t.idom_[b] != new_idom) {
+        t.idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  t.idom_[0] = kNone;  // entry has no dominator parent
+  return t;
+}
+
+bool DomTree::dominates(std::size_t a, std::size_t b) const {
+  if (!reachable_[b]) return false;
+  while (true) {
+    if (a == b) return true;
+    if (idom_[b] == kNone) return false;
+    b = idom_[b];
+  }
+}
+
+bool NaturalLoop::contains(std::size_t b) const {
+  return std::binary_search(blocks.begin(), blocks.end(), b);
+}
+
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
+                                            const DomTree& dom) {
+  const auto preds = cfg.predecessors();
+  std::vector<NaturalLoop> loops;
+  for (std::size_t u = 0; u < cfg.blocks().size(); ++u) {
+    for (const std::size_t succ : cfg.blocks()[u].succs) {
+      if (succ >= cfg.exit_pc()) continue;
+      const std::size_t h = cfg.block_of(succ);
+      if (!dom.dominates(h, u)) continue;  // not a back edge
+      auto it = std::find_if(loops.begin(), loops.end(),
+                             [&](const NaturalLoop& l) {
+                               return l.header == h;
+                             });
+      if (it == loops.end()) {
+        loops.push_back({h, {h}, {}});
+        it = loops.end() - 1;
+      }
+      it->latches.push_back(u);
+      // Flood backwards from the latch; the header bounds the region. Every
+      // member is dominated by the header, which also keeps unreachable
+      // blocks with stray edges into the loop out of the flood.
+      std::vector<std::size_t> stack = {u};
+      while (!stack.empty()) {
+        const std::size_t b = stack.back();
+        stack.pop_back();
+        if (!dom.dominates(h, b)) continue;
+        if (std::find(it->blocks.begin(), it->blocks.end(), b) !=
+            it->blocks.end()) {
+          continue;
+        }
+        it->blocks.push_back(b);
+        for (const std::size_t p : preds[b]) stack.push_back(p);
+      }
+    }
+  }
+  for (NaturalLoop& l : loops) {
+    std::sort(l.blocks.begin(), l.blocks.end());
+    std::sort(l.latches.begin(), l.latches.end());
+    l.latches.erase(std::unique(l.latches.begin(), l.latches.end()),
+                    l.latches.end());
+  }
+  std::sort(loops.begin(), loops.end(),
+            [](const NaturalLoop& a, const NaturalLoop& b) {
+              return a.header < b.header;
+            });
+  return loops;
+}
+
+}  // namespace bladed::check

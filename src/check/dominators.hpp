@@ -1,0 +1,55 @@
+#pragma once
+
+/// Dominator tree and natural-loop discovery over the CMS CFG — the control
+/// substrate for the optimizer (opt/): loop-invariant code motion needs to
+/// know which blocks form a loop and which block every iteration must pass
+/// through. Computed by the classic iterative dataflow algorithm (Cooper,
+/// Harvey & Kennedy); the CFGs here are tiny, so simplicity beats the
+/// asymptotics of Lengauer–Tarjan.
+
+#include <cstddef>
+#include <vector>
+
+#include "check/cfg.hpp"
+
+namespace bladed::check {
+
+class DomTree {
+ public:
+  /// Sentinel parent for the entry block and for blocks unreachable from
+  /// entry (dominance is defined over reachable paths only).
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] static DomTree build(const Cfg& cfg);
+
+  /// Immediate dominator of block `b` (kNone for entry and unreachable
+  /// blocks).
+  [[nodiscard]] std::size_t idom(std::size_t b) const { return idom_[b]; }
+
+  /// True when every path from entry to `b` passes through `a`. Reflexive.
+  /// False whenever `b` is unreachable.
+  [[nodiscard]] bool dominates(std::size_t a, std::size_t b) const;
+
+  [[nodiscard]] std::size_t size() const { return idom_.size(); }
+
+ private:
+  std::vector<std::size_t> idom_;
+  std::vector<bool> reachable_;
+};
+
+/// One natural loop: the target of a back edge (an edge u -> h where h
+/// dominates u) plus every block that can reach the back edge's source
+/// without passing through the header. Loops sharing a header are merged.
+struct NaturalLoop {
+  std::size_t header = 0;               ///< block index of the loop header
+  std::vector<std::size_t> blocks;      ///< member block indices, sorted
+  std::vector<std::size_t> latches;     ///< back-edge source blocks, sorted
+
+  [[nodiscard]] bool contains(std::size_t b) const;
+};
+
+/// All natural loops of `cfg`, sorted by header block index.
+[[nodiscard]] std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
+                                                          const DomTree& dom);
+
+}  // namespace bladed::check

@@ -1,0 +1,220 @@
+#include "check/intervals.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bladed::check {
+
+using cms::Instr;
+using cms::Op;
+
+namespace {
+
+std::int64_t saturate(__int128 v) {
+  if (v < static_cast<__int128>(kIntervalNegInf)) return kIntervalNegInf;
+  if (v > static_cast<__int128>(kIntervalPosInf)) return kIntervalPosInf;
+  return static_cast<std::int64_t>(v);
+}
+
+/// Decrement/increment that leave the infinities in place, for strict
+/// branch-edge bounds (r1 < r2 caps r1 at r2.hi - 1).
+std::int64_t dec_sat(std::int64_t v) {
+  return v == kIntervalNegInf || v == kIntervalPosInf ? v : v - 1;
+}
+std::int64_t inc_sat(std::int64_t v) {
+  return v == kIntervalNegInf || v == kIntervalPosInf ? v : v + 1;
+}
+
+IntervalState join(const IntervalState& a, const IntervalState& b) {
+  if (!a.reachable) return b;
+  if (!b.reachable) return a;
+  IntervalState s;
+  s.reachable = true;
+  for (int i = 0; i < 16; ++i) s.r[i] = interval_hull(a.r[i], b.r[i]);
+  return s;
+}
+
+/// Widen `next` against `prev`: any bound that moved goes to infinity. Run
+/// after a few precise iterations so counted loops converge immediately.
+/// Branch-edge refinement below re-caps the widened bound on the next
+/// visit, so the common induction-variable case converges to [0, limit).
+IntervalState widen(const IntervalState& prev, const IntervalState& next) {
+  if (!prev.reachable) return next;
+  IntervalState s = next;
+  for (int i = 0; i < 16; ++i) {
+    if (next.r[i].lo < prev.r[i].lo) s.r[i].lo = kIntervalNegInf;
+    if (next.r[i].hi > prev.r[i].hi) s.r[i].hi = kIntervalPosInf;
+  }
+  return s;
+}
+
+/// Constrain `s` along the edge from the block ending in terminator `term`
+/// to the successor with leader `succ`. Returns false when the edge is
+/// infeasible under the constraint (the caller drops the edge).
+bool refine_edge(const Instr& term, std::size_t succ, std::size_t fallthrough,
+                 IntervalState& s) {
+  if (term.op != Op::kBlt && term.op != Op::kBne) return true;
+  const auto target = static_cast<std::size_t>(term.imm_i);
+  if (target == fallthrough) return true;  // both outcomes land here
+  const bool taken = succ == target;
+  Interval& a = s.r[term.a];
+  Interval& b = s.r[term.b];
+  if (term.op == Op::kBlt) {
+    if (term.a == term.b) return !taken;  // r < r is never true
+    if (taken) {  // r[a] < r[b]
+      a.hi = std::min(a.hi, dec_sat(b.hi));
+      b.lo = std::max(b.lo, inc_sat(a.lo));
+    } else {  // r[a] >= r[b]
+      a.lo = std::max(a.lo, b.lo);
+      b.hi = std::min(b.hi, a.hi);
+    }
+    return !a.empty() && !b.empty();
+  }
+  // kBne.
+  if (term.a == term.b) return !taken;  // r != r is never true
+  if (taken) {  // r[a] != r[b]: only constants shave a bound off
+    if (b.is_constant()) {
+      if (a.lo == b.lo) a.lo = inc_sat(a.lo);
+      if (a.hi == b.hi) a.hi = dec_sat(a.hi);
+    }
+    if (a.is_constant()) {
+      if (b.lo == a.lo) b.lo = inc_sat(b.lo);
+      if (b.hi == a.hi) b.hi = dec_sat(b.hi);
+    }
+  } else {  // r[a] == r[b]: both collapse to the intersection
+    const Interval m{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+    a = m;
+    b = m;
+  }
+  return !a.empty() && !b.empty();
+}
+
+}  // namespace
+
+Interval interval_add(Interval a, Interval b) {
+  return {saturate(static_cast<__int128>(a.lo) + b.lo),
+          saturate(static_cast<__int128>(a.hi) + b.hi)};
+}
+
+Interval interval_sub(Interval a, Interval b) {
+  return {saturate(static_cast<__int128>(a.lo) - b.hi),
+          saturate(static_cast<__int128>(a.hi) - b.lo)};
+}
+
+Interval interval_mul_const(Interval a, std::int64_t k) {
+  const std::int64_t p = saturate(static_cast<__int128>(a.lo) * k);
+  const std::int64_t q = saturate(static_cast<__int128>(a.hi) * k);
+  return {std::min(p, q), std::max(p, q)};
+}
+
+Interval interval_hull(Interval a, Interval b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+void Intervals::transfer(const Instr& in, IntervalState& s) {
+  switch (in.op) {
+    case Op::kMovi:
+      s.r[in.a] = Interval::constant(in.imm_i);
+      break;
+    case Op::kAddi:
+      s.r[in.a] = interval_add(s.r[in.b], Interval::constant(in.imm_i));
+      break;
+    case Op::kAdd:
+      s.r[in.a] = interval_add(s.r[in.b], s.r[in.c]);
+      break;
+    case Op::kSub:
+      s.r[in.a] = interval_sub(s.r[in.b], s.r[in.c]);
+      break;
+    case Op::kMuli:
+      s.r[in.a] = interval_mul_const(s.r[in.b], in.imm_i);
+      break;
+    default:
+      break;  // fp and control ops do not touch the int register file
+  }
+}
+
+Intervals Intervals::build(const cms::Program& prog, const Cfg& cfg) {
+  Intervals iv;
+  iv.prog_ = &prog;
+  iv.cfg_ = &cfg;
+  const auto& blocks = cfg.blocks();
+  const int widen_after = 3;
+
+  IntervalState entry;
+  entry.reachable = true;
+  for (int i = 0; i < 16; ++i) entry.r[i] = Interval::constant(0);
+
+  const auto preds = cfg.predecessors();
+
+  // Edge refinement lets states shrink as well as grow, so the widened
+  // fixpoint is no longer guaranteed to terminate on adversarial constraint
+  // cycles. Run with refinement under an iteration budget; on exhaustion
+  // fall back to the pure join-over-preds analysis, whose states only grow
+  // (widening then terminates it) — sound, just less precise.
+  for (const bool refine : {true, false}) {
+    iv.in_.assign(blocks.size(), IntervalState{});
+    iv.in_[0] = entry;
+    std::vector<int> visits(blocks.size(), 0);
+    std::size_t budget = refine ? 64 + 16 * blocks.size() : 0;
+
+    bool changed = true;
+    bool exhausted = false;
+    while (changed && !exhausted) {
+      changed = false;
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        IntervalState next = b == 0 ? entry : IntervalState{};
+        for (const std::size_t p : preds[b]) {
+          IntervalState out = iv.in_[p];
+          if (!out.reachable) continue;
+          for (std::size_t i = blocks[p].begin; i < blocks[p].end; ++i) {
+            transfer(prog[i], out);
+          }
+          if (refine && !refine_edge(prog[blocks[p].end - 1], blocks[b].begin,
+                                     blocks[p].end, out)) {
+            continue;  // edge infeasible under the branch constraint
+          }
+          next = join(next, out);
+        }
+        if (!next.reachable) continue;
+        // The fallback phase must be monotone for widening to terminate:
+        // join with the previous state so bounds never retreat (a cyclic
+        // transfer like r5 = r4 - r5 otherwise oscillates between
+        // [-inf, k] and [-k, +inf] forever). The refined phase skips this
+        // on purpose — refinement is exactly the ability to shrink — and
+        // relies on its iteration budget instead.
+        if (!refine) next = join(iv.in_[b], next);
+        if (++visits[b] > widen_after) next = widen(iv.in_[b], next);
+        if (!(next == iv.in_[b])) {
+          iv.in_[b] = next;
+          changed = true;
+        }
+      }
+      if (refine && budget-- == 0) exhausted = true;
+    }
+    if (!exhausted) break;
+  }
+  return iv;
+}
+
+IntervalState Intervals::at(std::size_t pc) const {
+  BLADED_REQUIRE(prog_ != nullptr && pc < prog_->size());
+  const std::size_t b = cfg_->block_of(pc);
+  IntervalState s = in_[b];
+  if (!s.reachable) return s;
+  for (std::size_t i = cfg_->blocks()[b].begin; i < pc; ++i) {
+    transfer((*prog_)[i], s);
+  }
+  return s;
+}
+
+Interval Intervals::address_at(std::size_t pc) const {
+  const Instr& in = (*prog_)[pc];
+  BLADED_REQUIRE_MSG(cms::is_mem_op(in.op),
+                     "address_at requires a memory instruction");
+  const IntervalState s = at(pc);
+  if (!s.reachable) return Interval{};  // unbounded: caller proves nothing
+  return interval_add(s.r[in.b], Interval::constant(in.imm_i));
+}
+
+}  // namespace bladed::check

@@ -1,0 +1,86 @@
+#pragma once
+
+/// Interval abstract interpretation of the integer register file, factored
+/// out of the original oob checker so the optimizer can consume the same
+/// facts (LICM's in-bounds and alias proofs; see opt/passes.hpp). The
+/// analysis is a forward join-over-preds fixpoint with widening after a few
+/// precise iterations, *refined along conditional-branch edges*: on the
+/// taken edge of `blt r1, r2 -> L` the analysis knows r1 < r2 (and r1 >= r2
+/// on the fall-through edge), which keeps counted-loop induction variables
+/// bounded by their limit even after widening — the precision LICM's
+/// disjointness proofs need.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "check/cfg.hpp"
+#include "cms/isa.hpp"
+
+namespace bladed::check {
+
+inline constexpr std::int64_t kIntervalNegInf =
+    std::numeric_limits<std::int64_t>::min();
+inline constexpr std::int64_t kIntervalPosInf =
+    std::numeric_limits<std::int64_t>::max();
+
+/// Closed interval [lo, hi]; the int64 extremes stand in for infinities.
+struct Interval {
+  std::int64_t lo = kIntervalNegInf;
+  std::int64_t hi = kIntervalPosInf;
+
+  static Interval constant(std::int64_t v) { return {v, v}; }
+  [[nodiscard]] bool is_constant() const { return lo == hi; }
+  /// Empty after an infeasible branch-edge refinement (lo > hi).
+  [[nodiscard]] bool empty() const { return lo > hi; }
+  [[nodiscard]] bool disjoint(const Interval& o) const {
+    return hi < o.lo || o.hi < lo;
+  }
+  bool operator==(const Interval& o) const = default;
+};
+
+[[nodiscard]] Interval interval_add(Interval a, Interval b);
+[[nodiscard]] Interval interval_sub(Interval a, Interval b);
+[[nodiscard]] Interval interval_mul_const(Interval a, std::int64_t k);
+[[nodiscard]] Interval interval_hull(Interval a, Interval b);
+
+/// Abstract machine state at a program point: one interval per integer
+/// register (fp values are not tracked). `reachable` distinguishes bottom.
+struct IntervalState {
+  bool reachable = false;
+  std::array<Interval, 16> r{};
+
+  bool operator==(const IntervalState& o) const = default;
+};
+
+class Intervals {
+ public:
+  /// Run the fixpoint for `prog` over `cfg`. Entry state: every register
+  /// constant 0 (the machine zero-initializes its register file).
+  [[nodiscard]] static Intervals build(const cms::Program& prog,
+                                       const Cfg& cfg);
+
+  /// Abstract state on entry to block `b` (unreachable blocks stay bottom).
+  [[nodiscard]] const IntervalState& block_entry(std::size_t b) const {
+    return in_[b];
+  }
+
+  /// Abstract state just before instruction `pc` executes (block entry
+  /// transferred through the preceding instructions of pc's block).
+  [[nodiscard]] IntervalState at(std::size_t pc) const;
+
+  /// Interval of the effective address `r[in.b] + in.imm_i` of a memory op
+  /// at `pc` (empty/unbounded when the block is unreachable).
+  [[nodiscard]] Interval address_at(std::size_t pc) const;
+
+  /// Apply one instruction's effect on the integer register file.
+  static void transfer(const cms::Instr& in, IntervalState& s);
+
+ private:
+  const cms::Program* prog_ = nullptr;
+  const Cfg* cfg_ = nullptr;
+  std::vector<IntervalState> in_;
+};
+
+}  // namespace bladed::check

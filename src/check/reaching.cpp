@@ -1,0 +1,93 @@
+#include "check/reaching.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bladed::check {
+
+namespace {
+
+/// Combined register index written by `in`, or -1 for non-writing ops.
+int def_reg(const cms::Instr& in) {
+  if (cms::writes_int_reg(in.op)) return in.a;
+  if (cms::writes_fp_reg(in.op)) return kNumIntRegs + in.a;
+  return -1;
+}
+
+}  // namespace
+
+ReachingDefs ReachingDefs::build(const cms::Program& prog, const Cfg& cfg) {
+  ReachingDefs rd;
+  rd.prog_ = &prog;
+  rd.cfg_ = &cfg;
+  rd.n_ = prog.size();
+  const std::size_t bits = rd.n_ + kNumRegs;
+
+  rd.sites_.assign(kNumRegs, {});
+  for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+    const int r = def_reg(prog[pc]);
+    if (r >= 0) rd.sites_[static_cast<std::size_t>(r)].push_back(pc);
+  }
+
+  const auto transfer_block = [&](std::size_t b, DefSet s) {
+    for (std::size_t i = cfg.blocks()[b].begin; i < cfg.blocks()[b].end; ++i) {
+      const int r = def_reg(prog[i]);
+      if (r < 0) continue;
+      for (const std::size_t site : rd.sites_[static_cast<std::size_t>(r)]) {
+        s.reset(site);
+      }
+      s.reset(rd.entry_def(r));
+      s.set(i);
+    }
+    return s;
+  };
+
+  DefSet entry(bits);
+  for (int r = 0; r < kNumRegs; ++r) entry.set(rd.entry_def(r));
+
+  rd.in_.assign(cfg.blocks().size(), DefSet(bits));
+  rd.in_[0] = entry;
+  const auto preds = cfg.predecessors();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+      DefSet next = b == 0 ? entry : DefSet(bits);
+      for (const std::size_t p : preds[b]) next |= transfer_block(p, rd.in_[p]);
+      if (!(next == rd.in_[b])) {
+        rd.in_[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  return rd;
+}
+
+DefSet ReachingDefs::at(std::size_t pc) const {
+  const std::size_t b = cfg_->block_of(pc);
+  DefSet s = in_[b];
+  for (std::size_t i = cfg_->blocks()[b].begin; i < pc; ++i) {
+    const int r = def_reg((*prog_)[i]);
+    if (r < 0) continue;
+    for (const std::size_t site : sites_[static_cast<std::size_t>(r)]) {
+      s.reset(site);
+    }
+    s.reset(entry_def(r));
+    s.set(i);
+  }
+  return s;
+}
+
+std::vector<std::size_t> ReachingDefs::defs_of(std::size_t pc, int reg) const {
+  BLADED_REQUIRE(pc < n_ && reg >= 0 && reg < kNumRegs);
+  const DefSet s = at(pc);
+  std::vector<std::size_t> out;
+  for (const std::size_t site : sites_[static_cast<std::size_t>(reg)]) {
+    if (s.test(site)) out.push_back(site);
+  }
+  if (s.test(entry_def(reg))) out.push_back(entry_def(reg));
+  return out;
+}
+
+}  // namespace bladed::check

@@ -1,0 +1,69 @@
+#pragma once
+
+/// Reaching definitions over the CMS CFG: for every program point, the set
+/// of instruction indices whose register write may still be the live value
+/// there. A forward may-analysis; the optimizer's copy propagation uses it
+/// to prove that a use of `x` sees exactly one definition and that this
+/// definition is a copy whose source is unchanged in between. The entry
+/// point carries a synthetic definition per register (the machine
+/// zero-initializes every register), represented by index `prog.size() +
+/// reg` so it never collides with a real instruction.
+
+#include <cstddef>
+#include <vector>
+
+#include "check/cfg.hpp"
+#include "check/dataflow.hpp"
+#include "cms/isa.hpp"
+
+namespace bladed::check {
+
+/// Dense bit set over definition sites (instruction indices plus the
+/// synthetic entry definitions).
+class DefSet {
+ public:
+  explicit DefSet(std::size_t bits = 0) : words_((bits + 63) / 64, 0) {}
+
+  void set(std::size_t i) { words_[i / 64] |= std::uint64_t{1} << (i % 64); }
+  void reset(std::size_t i) {
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+  DefSet& operator|=(const DefSet& o) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+    return *this;
+  }
+  bool operator==(const DefSet& o) const = default;
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+class ReachingDefs {
+ public:
+  [[nodiscard]] static ReachingDefs build(const cms::Program& prog,
+                                          const Cfg& cfg);
+
+  /// Definition sites of combined-index register `reg` (see dataflow.hpp)
+  /// that reach the point just before `pc` executes. Sorted ascending; the
+  /// synthetic entry definition appears as `prog.size() + reg`.
+  [[nodiscard]] std::vector<std::size_t> defs_of(std::size_t pc,
+                                                 int reg) const;
+
+  /// Index of the synthetic entry definition of `reg`.
+  [[nodiscard]] std::size_t entry_def(int reg) const { return n_ + static_cast<std::size_t>(reg); }
+  [[nodiscard]] bool is_entry_def(std::size_t def) const { return def >= n_; }
+
+ private:
+  [[nodiscard]] DefSet at(std::size_t pc) const;
+
+  const cms::Program* prog_ = nullptr;
+  const Cfg* cfg_ = nullptr;
+  std::size_t n_ = 0;                ///< program size
+  std::vector<DefSet> in_;           ///< per block
+  std::vector<std::vector<std::size_t>> sites_;  ///< per reg, def pcs
+};
+
+}  // namespace bladed::check

@@ -1,0 +1,175 @@
+#include "check/sccp.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace bladed::check {
+
+using cms::Instr;
+using cms::Op;
+
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Equality with bitwise fp compare — a NaN constant must compare equal to
+/// itself or the fixpoint never converges.
+bool equal(const ConstVal& a, const ConstVal& b) {
+  return a.kind == b.kind && a.i == b.i && same_bits(a.f, b.f);
+}
+
+ConstVal join_val(const ConstVal& a, const ConstVal& b) {
+  if (a.kind == ConstVal::Kind::kUnknown) return b;
+  if (b.kind == ConstVal::Kind::kUnknown) return a;
+  if (a.kind == ConstVal::Kind::kConst && b.kind == ConstVal::Kind::kConst &&
+      a.i == b.i && same_bits(a.f, b.f)) {
+    return a;
+  }
+  return {ConstVal::Kind::kVarying, 0, 0.0};
+}
+
+bool equal_state(const SccpState& a, const SccpState& b) {
+  if (a.reachable != b.reachable) return false;
+  for (int i = 0; i < 16; ++i) {
+    if (!equal(a.r[i], b.r[i])) return false;
+  }
+  for (int i = 0; i < 8; ++i) {
+    if (!equal(a.f[i], b.f[i])) return false;
+  }
+  return true;
+}
+
+SccpState join_state(const SccpState& a, const SccpState& b) {
+  if (!a.reachable) return b;
+  if (!b.reachable) return a;
+  SccpState s;
+  s.reachable = true;
+  for (int i = 0; i < 16; ++i) s.r[i] = join_val(a.r[i], b.r[i]);
+  for (int i = 0; i < 8; ++i) s.f[i] = join_val(a.f[i], b.f[i]);
+  return s;
+}
+
+/// Worst lattice kind among the registers `in` reads (kConst when it reads
+/// nothing).
+ConstVal::Kind input_kind(const Instr& in, const SccpState& s) {
+  ConstVal::Kind worst = ConstVal::Kind::kConst;
+  const auto fold = [&](ConstVal::Kind k) {
+    if (k == ConstVal::Kind::kVarying) worst = k;
+    if (k == ConstVal::Kind::kUnknown && worst == ConstVal::Kind::kConst) {
+      worst = k;
+    }
+  };
+  for (int r = 0; r < 16; ++r) {
+    if (cms::reads_int_reg(in, r)) fold(s.r[r].kind);
+  }
+  for (int f = 0; f < 8; ++f) {
+    if (cms::reads_fp_reg(in, f)) fold(s.f[f].kind);
+  }
+  return worst;
+}
+
+}  // namespace
+
+void Sccp::transfer(const Instr& in, SccpState& s) {
+  const bool int_dest = cms::writes_int_reg(in.op);
+  const bool fp_dest = cms::writes_fp_reg(in.op);
+  if (!int_dest && !fp_dest) return;  // stores, branches, halt
+
+  ConstVal::Kind kind = input_kind(in, s);
+  if (in.op == Op::kFload) kind = ConstVal::Kind::kVarying;  // memory unknown
+  ConstVal dest{kind, 0, 0.0};
+  if (kind == ConstVal::Kind::kConst) {
+    // Evaluate on a scratch machine so folding semantics are exec_instr's
+    // by construction (kFload is excluded above, so mem[] is never read).
+    cms::MachineState ms(1);
+    for (int r = 0; r < 16; ++r) {
+      if (s.r[r].is_const()) ms.r[r] = s.r[r].i;
+    }
+    for (int f = 0; f < 8; ++f) {
+      if (s.f[f].is_const()) ms.f[f] = s.f[f].f;
+    }
+    (void)cms::exec_instr(in, 0, ms);
+    dest.i = ms.r[in.a & 15];
+    dest.f = ms.f[in.a & 7];
+  }
+  if (int_dest) s.r[in.a] = dest;
+  if (fp_dest) s.f[in.a] = dest;
+}
+
+Sccp Sccp::build(const cms::Program& prog, const Cfg& cfg) {
+  Sccp sc;
+  sc.prog_ = &prog;
+  sc.cfg_ = &cfg;
+  sc.in_.assign(cfg.blocks().size(), SccpState{});
+
+  SccpState entry;
+  entry.reachable = true;
+  for (int i = 0; i < 16; ++i) entry.r[i] = {ConstVal::Kind::kConst, 0, 0.0};
+  for (int i = 0; i < 8; ++i) entry.f[i] = {ConstVal::Kind::kConst, 0, 0.0};
+  sc.in_[0] = entry;
+
+  std::vector<std::size_t> worklist = {0};
+  std::vector<bool> queued(cfg.blocks().size(), false);
+  queued[0] = true;
+  while (!worklist.empty()) {
+    const std::size_t b = worklist.back();
+    worklist.pop_back();
+    queued[b] = false;
+
+    SccpState out = sc.in_[b];
+    for (std::size_t i = cfg.blocks()[b].begin; i < cfg.blocks()[b].end; ++i) {
+      transfer(prog[i], out);
+    }
+
+    // Feasible successor leaders under the terminator's lattice values.
+    const Instr& term = prog[cfg.blocks()[b].end - 1];
+    std::vector<std::size_t> feasible;
+    if (term.op == Op::kBlt || term.op == Op::kBne) {
+      const ConstVal& a = out.r[term.a];
+      const ConstVal& c = out.r[term.b];
+      if (a.kind == ConstVal::Kind::kUnknown ||
+          c.kind == ConstVal::Kind::kUnknown) {
+        // Undecided inputs: propagate nothing yet (optimistic).
+      } else if (a.is_const() && c.is_const()) {
+        const bool taken =
+            term.op == Op::kBlt ? a.i < c.i : a.i != c.i;
+        feasible.push_back(taken ? static_cast<std::size_t>(term.imm_i)
+                                 : cfg.blocks()[b].end);
+      } else {
+        feasible = cfg.blocks()[b].succs;
+      }
+    } else {
+      feasible = cfg.blocks()[b].succs;
+    }
+
+    for (const std::size_t succ : feasible) {
+      if (succ >= cfg.exit_pc()) continue;
+      const std::size_t s = cfg.block_of(succ);
+      const SccpState merged = join_state(sc.in_[s], out);
+      if (!equal_state(merged, sc.in_[s])) {
+        sc.in_[s] = merged;
+        if (!queued[s]) {
+          queued[s] = true;
+          worklist.push_back(s);
+        }
+      }
+    }
+  }
+  return sc;
+}
+
+SccpState Sccp::at(std::size_t pc) const {
+  BLADED_REQUIRE(prog_ != nullptr && pc < prog_->size());
+  const std::size_t b = cfg_->block_of(pc);
+  SccpState s = in_[b];
+  if (!s.reachable) return s;
+  for (std::size_t i = cfg_->blocks()[b].begin; i < pc; ++i) {
+    transfer((*prog_)[i], s);
+  }
+  return s;
+}
+
+}  // namespace bladed::check

@@ -1,0 +1,68 @@
+#pragma once
+
+/// Sparse conditional constant propagation over the CMS CFG. The machine
+/// zero-initializes its register file, so the entry state is fully known
+/// and constants flow until memory (kFload) or a join of disagreeing
+/// values intervenes. Branches with constant operands propagate along the
+/// single feasible edge only — constants discovered inside one arm of a
+/// decided branch survive, and the undecided arm stays non-executable for
+/// the optimizer's cleanup pass to drop.
+///
+/// Constant evaluation reuses cms::exec_instr on a scratch machine state,
+/// so a folded result is bit-identical to what the interpreter would have
+/// produced by construction (the property the differential proof obligation
+/// in opt/ then re-checks dynamically).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "check/cfg.hpp"
+#include "cms/isa.hpp"
+
+namespace bladed::check {
+
+/// Three-level lattice cell: unknown (not yet propagated), a known
+/// constant, or varying. Fp constants compare bitwise.
+struct ConstVal {
+  enum class Kind : std::uint8_t { kUnknown, kConst, kVarying };
+  Kind kind = Kind::kUnknown;
+  std::int64_t i = 0;  ///< value for integer registers
+  double f = 0.0;      ///< value for fp registers
+
+  [[nodiscard]] bool is_const() const { return kind == Kind::kConst; }
+};
+
+struct SccpState {
+  bool reachable = false;
+  std::array<ConstVal, 16> r{};
+  std::array<ConstVal, 8> f{};
+};
+
+class Sccp {
+ public:
+  [[nodiscard]] static Sccp build(const cms::Program& prog, const Cfg& cfg);
+
+  /// True when some feasible path from entry reaches block `b` under
+  /// constant-decided branches (a refinement of Cfg::reachable()).
+  [[nodiscard]] bool executable(std::size_t b) const { return in_[b].reachable; }
+
+  [[nodiscard]] const SccpState& block_entry(std::size_t b) const {
+    return in_[b];
+  }
+
+  /// Lattice state just before instruction `pc` executes.
+  [[nodiscard]] SccpState at(std::size_t pc) const;
+
+  /// Apply one instruction's effect. kFload makes the destination varying
+  /// (memory is not tracked); arithmetic with fully-constant inputs is
+  /// evaluated with cms::exec_instr.
+  static void transfer(const cms::Instr& in, SccpState& s);
+
+ private:
+  const cms::Program* prog_ = nullptr;
+  const Cfg* cfg_ = nullptr;
+  std::vector<SccpState> in_;
+};
+
+}  // namespace bladed::check

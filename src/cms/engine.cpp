@@ -55,9 +55,18 @@ std::size_t exec_block(const Program& prog, MachineState& st, std::size_t pc,
 }
 }  // namespace
 
-MorphingStats MorphingEngine::run(const Program& prog, MachineState& st,
+MorphingStats MorphingEngine::run(const Program& source, MachineState& st,
                                   std::uint64_t max_block_executions) {
-  validate(prog, st.mem.size());
+  validate(source, st.mem.size());
+  // Rewrite through the optimizer hook first, so the profile counts, the
+  // translator and the verify_translations gate below all see the program
+  // that actually executes.
+  Program optimized;
+  if (cfg_.opt_level > 0 && cfg_.optimizer) {
+    optimized = cfg_.optimizer(source, cfg_.opt_level, st.mem.size());
+    validate(optimized, st.mem.size());
+  }
+  const Program& prog = optimized.empty() ? source : optimized;
   MorphingStats s;
   const std::uint64_t hits0 = cache_.hits();
   const std::uint64_t misses0 = cache_.misses();

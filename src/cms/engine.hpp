@@ -8,11 +8,19 @@
 /// engine executes the same architectural semantics), and the cycle
 /// accounting exposes the amortization the paper describes.
 
+#include <functional>
+
 #include "cms/interpreter.hpp"
 #include "cms/tcache.hpp"
 #include "cms/translator.hpp"
 
 namespace bladed::cms {
+
+/// Hook rewriting a program before execution: (program, opt_level,
+/// mem_doubles) -> optimized program. The engine stays independent of the
+/// optimizer library; callers inject bladed::opt::engine_optimizer().
+using ProgramOptimizer =
+    std::function<Program(const Program&, int, std::size_t)>;
 
 /// Default for MorphingConfig::verify_translations: on in debug builds,
 /// off when NDEBUG is defined (release).
@@ -33,6 +41,13 @@ struct MorphingConfig {
   /// before it is cached; a finding raises SimulationError. Defaults on in
   /// debug builds (the gate costs one pairwise pass per translated block).
   bool verify_translations = kVerifyTranslationsDefault;
+  /// Optimization level handed to `optimizer` before execution; 0 (the
+  /// default) runs the program exactly as written. When > 0 and `optimizer`
+  /// is set, the engine interprets, translates and verifies the *optimized*
+  /// program — translations of optimized regions pass through the same
+  /// verify_translations gate as everything else.
+  int opt_level = 0;
+  ProgramOptimizer optimizer;
 };
 
 struct MorphingStats {

@@ -63,6 +63,28 @@ Program unrolled_daxpy_program(std::int64_t n, int unroll) {
   return p;
 }
 
+Program naive_daxpy_program(std::int64_t n) {
+  BLADED_REQUIRE(n >= 1);
+  Program p;
+  p.push_back(fi(Op::kFmovi, 0, 2.5));            // 0: a
+  p.push_back(ii(Op::kFstore, 0, 0, 0, 2 * n));   // 1: mem[2n] = a
+  p.push_back(ii(Op::kAddi, 1, 0, 0, 0));         // 2: i = 0 (folds: r0 == 0)
+  p.push_back(ii(Op::kAddi, 2, 0, 0, n));         // 3: limit (folds likewise)
+  const std::int64_t loop = 4;
+  p.push_back(ii(Op::kFload, 1, 0, 0, 2 * n));    // 4: f1 = a  (LICM hoists)
+  p.push_back(fi(Op::kFmovi, 4, 0.0));            // 5: dead store (see 7)
+  p.push_back(ii(Op::kFload, 2, 1, 0, 0));        // 6: f2 = x[i]
+  p.push_back(ii(Op::kFmul, 4, 1, 2));            // 7: f4 = a * x[i]
+  p.push_back(ii(Op::kAddi, 3, 1, 0, 0));         // 8: copy r3 = i
+  p.push_back(ii(Op::kFload, 3, 3, 0, n));        // 9: f3 = y[r3]
+  p.push_back(ii(Op::kFadd, 3, 3, 4));            // 10: f3 += f4
+  p.push_back(ii(Op::kFstore, 3, 3, 0, n));       // 11: y[r3] = f3
+  p.push_back(ii(Op::kAddi, 1, 1, 0, 1));         // 12: ++i
+  p.push_back(ii(Op::kBlt, 1, 2, 0, loop));       // 13: loop
+  p.push_back(ii(Op::kHalt, 0, 0));               // 14
+  return p;
+}
+
 Program nr_rsqrt_program(std::int64_t iters) {
   BLADED_REQUIRE(iters >= 1);
   Program p;
@@ -141,6 +163,13 @@ std::vector<NamedProgram> lint_corpus() {
   corpus.push_back({"nr_rsqrt_i8", nr_rsqrt_program(8), 4096});
   corpus.push_back({"branchy_n16", branchy_program(16), 4096});
   corpus.push_back({"many_blocks_b8_r5", many_blocks_program(8, 5), 4096});
+  return corpus;
+}
+
+std::vector<NamedProgram> opt_corpus() {
+  std::vector<NamedProgram> corpus = lint_corpus();
+  corpus.push_back({"naive_daxpy_n32", naive_daxpy_program(32), 4096});
+  corpus.push_back({"naive_daxpy_n256", naive_daxpy_program(256), 4096});
   return corpus;
 }
 

@@ -25,6 +25,14 @@ namespace bladed::cms {
 /// 64-bit ones).
 [[nodiscard]] Program unrolled_daxpy_program(std::int64_t n, int unroll);
 
+/// daxpy as a naive front end would emit it: the scalar `a` parked in
+/// memory (mem[2n]) and re-loaded every iteration, a pointlessly zeroed
+/// accumulator, the index copied into a second register before addressing.
+/// Semantically identical to daxpy_program; every redundancy is one the
+/// optimizer pipeline (opt/opt.hpp) can remove — the headline workload for
+/// `bladed-lint --opt` and ablation section (f).
+[[nodiscard]] Program naive_daxpy_program(std::int64_t n);
+
 /// A branchy workload: `n` iterations alternating between two paths on the
 /// parity of the loop counter; sums into mem[0] and mem[1].
 [[nodiscard]] Program branchy_program(std::int64_t n);
@@ -45,5 +53,11 @@ struct NamedProgram {
 /// Every built-in program at representative sizes — the corpus `bladed-lint`
 /// and the check-layer tests run all diagnostics over.
 [[nodiscard]] std::vector<NamedProgram> lint_corpus();
+
+/// The optimizer's validation corpus: lint_corpus plus the deliberately
+/// naive variants (which carry intentional redundancies and therefore
+/// cannot live in the warning-free lint corpus). `bladed-lint --opt`, the
+/// pipeline tests and ablation (f) run over this list.
+[[nodiscard]] std::vector<NamedProgram> opt_corpus();
 
 }  // namespace bladed::cms

@@ -1,0 +1,116 @@
+#include "opt/opt.hpp"
+
+#include "check/check.hpp"
+#include "check/differential.hpp"
+#include "opt/passes.hpp"
+
+namespace bladed::opt {
+
+namespace {
+
+/// First error of `report`, rendered for a PassDelta note.
+std::string first_error(const check::Report& report) {
+  for (const check::Diagnostic& d : report.diagnostics()) {
+    if (d.severity == check::Severity::kError) {
+      return d.code + " @" + std::to_string(d.instr) + ": " + d.message;
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+OptResult optimize(const cms::Program& prog, const OptOptions& opts) {
+  OptResult res;
+  res.program = prog;
+  if (opts.level <= 0 || prog.empty()) return res;
+
+  // The obligation is "no *new* errors": a program that already fails
+  // check_program (the fuzzer feeds some) must not get worse, but its
+  // existing findings are not the optimizer's to fix.
+  const std::size_t baseline_errors =
+      opts.verify ? check::check_program(prog, opts.mem_doubles).error_count()
+                  : 0;
+
+  struct Pass {
+    const char* name;
+    cms::Program (*run)(const cms::Program&, std::size_t, bool*);
+  };
+  // Uniform signature: wrap the passes that don't need the memory size.
+  static constexpr Pass kPasses[] = {
+      {"constant-fold",
+       [](const cms::Program& p, std::size_t, bool* c) {
+         return pass_constant_fold(p, c);
+       }},
+      {"unreachable",
+       [](const cms::Program& p, std::size_t, bool* c) {
+         return pass_unreachable(p, c);
+       }},
+      {"copy-prop",
+       [](const cms::Program& p, std::size_t, bool* c) {
+         return pass_copy_prop(p, c);
+       }},
+      {"dead-store", &pass_dead_store},
+      {"licm", &pass_licm},
+  };
+
+  const std::size_t max_sweeps = opts.level >= 2 ? 8 : 1;
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    ++res.sweeps;
+    bool sweep_changed = false;
+    for (const Pass& pass : kPasses) {
+      bool changed = false;
+      cms::Program candidate = pass.run(res.program, opts.mem_doubles,
+                                        &changed);
+      PassDelta delta;
+      delta.pass = pass.name;
+      delta.instrs_before = res.program.size();
+      delta.instrs_after = candidate.size();
+      if (!changed) {
+        res.deltas.push_back(std::move(delta));
+        continue;
+      }
+      if (opts.verify) {
+        const check::Report structural =
+            check::check_program(candidate, opts.mem_doubles);
+        if (structural.error_count() > baseline_errors) {
+          delta.rejected = true;
+          delta.instrs_after = delta.instrs_before;
+          delta.note = "check_program: " + first_error(structural);
+          res.deltas.push_back(std::move(delta));
+          continue;
+        }
+        check::DifferentialOptions dopt;
+        dopt.runs = opts.diff_runs;
+        dopt.mem_doubles = opts.mem_doubles;
+        dopt.seed = opts.seed;
+        const check::Report equivalence =
+            check::differential_equivalence(res.program, candidate, dopt);
+        if (!equivalence.ok()) {
+          delta.rejected = true;
+          delta.instrs_after = delta.instrs_before;
+          delta.note = "differential: " + first_error(equivalence);
+          res.deltas.push_back(std::move(delta));
+          continue;
+        }
+      }
+      res.program = std::move(candidate);
+      delta.applied = true;
+      sweep_changed = true;
+      res.deltas.push_back(std::move(delta));
+    }
+    if (!sweep_changed) break;
+  }
+  return res;
+}
+
+cms::ProgramOptimizer engine_optimizer() {
+  return [](const cms::Program& prog, int level, std::size_t mem_doubles) {
+    OptOptions opts;
+    opts.level = level;
+    opts.mem_doubles = mem_doubles;
+    return optimize(prog, opts).program;
+  };
+}
+
+}  // namespace bladed::opt

@@ -1,0 +1,76 @@
+#pragma once
+
+/// The verified optimizing pipeline over CMS programs (DESIGN.md §10).
+/// Passes (opt/passes.hpp) are applied in a fixed order — constant fold,
+/// unreachable elimination, copy propagation, dead-store elimination, LICM
+/// — and *every* application carries a proof obligation before it is
+/// accepted:
+///
+///   1. `check_program` on the transformed program must not report more
+///      errors than the original did (the optimizer may not manufacture an
+///      invalid program), and
+///   2. `differential_equivalence` must show bit-identical final machine
+///      state against the pre-pass program over generated inputs.
+///
+/// A pass failing either proof is rolled back and recorded as rejected —
+/// the pipeline never trades correctness for cycles (the translation-
+/// validation discipline: don't verify the optimizer, verify each output).
+///
+/// opt_level semantics: 0 = identity, 1 = one sweep of every pass, >= 2 =
+/// sweep to a fixpoint. `engine_optimizer()` packages the pipeline as the
+/// `cms::MorphingConfig::optimizer` hook so optimized programs flow through
+/// the engine's existing `verify_translations` gate.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/diagnostics.hpp"
+#include "cms/engine.hpp"
+#include "cms/isa.hpp"
+
+namespace bladed::opt {
+
+struct OptOptions {
+  int level = 1;                   ///< 0 identity, 1 one sweep, >=2 fixpoint
+  std::size_t mem_doubles = 4096;  ///< machine size assumed by the proofs
+  bool verify = true;              ///< run the per-pass proof obligations
+  std::uint64_t seed = 0x5eed;     ///< differential input seed
+  int diff_runs = 3;               ///< differential inputs per proof
+};
+
+/// Outcome of one pass application within the pipeline.
+struct PassDelta {
+  std::string pass;
+  std::size_t instrs_before = 0;
+  std::size_t instrs_after = 0;
+  bool applied = false;   ///< changed the program and both proofs held
+  bool rejected = false;  ///< changed the program but a proof failed
+  std::string note;       ///< rejection reason (empty otherwise)
+};
+
+struct OptResult {
+  cms::Program program;
+  std::vector<PassDelta> deltas;
+  std::size_t sweeps = 0;
+
+  [[nodiscard]] bool changed() const {
+    for (const PassDelta& d : deltas) {
+      if (d.applied) return true;
+    }
+    return false;
+  }
+};
+
+/// Run the pipeline at `opts.level` over `prog`. Never throws on a bad
+/// program: a program `check_program` rejects simply flows through passes
+/// that find nothing (and the proofs keep whatever happens equivalent).
+[[nodiscard]] OptResult optimize(const cms::Program& prog,
+                                 const OptOptions& opts = {});
+
+/// The pipeline packaged for `cms::MorphingConfig::optimizer`: called by
+/// the engine with the program, configured opt_level and the machine's
+/// memory size (so in-bounds proofs match the machine the program runs on).
+[[nodiscard]] cms::ProgramOptimizer engine_optimizer();
+
+}  // namespace bladed::opt

@@ -1,0 +1,342 @@
+#include "opt/passes.hpp"
+
+#include <cstring>
+
+#include "check/cfg.hpp"
+#include "check/dataflow.hpp"
+#include "check/dominators.hpp"
+#include "check/intervals.hpp"
+#include "check/sccp.hpp"
+#include "opt/rewrite.hpp"
+
+namespace bladed::opt {
+
+using check::Cfg;
+using cms::Instr;
+using cms::Op;
+
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+Instr make_movi(int reg, std::int64_t value) {
+  Instr in;
+  in.op = Op::kMovi;
+  in.a = reg;
+  in.imm_i = value;
+  return in;
+}
+
+Instr make_fmovi(int reg, double value) {
+  Instr in;
+  in.op = Op::kFmovi;
+  in.a = reg;
+  in.imm_f = value;
+  return in;
+}
+
+Instr make_jmp(std::size_t target) {
+  Instr in;
+  in.op = Op::kJmp;
+  in.imm_i = static_cast<std::int64_t>(target);
+  return in;
+}
+
+}  // namespace
+
+cms::Program pass_constant_fold(const cms::Program& prog, bool* changed) {
+  *changed = false;
+  cms::Program out = prog;
+  const Cfg cfg = Cfg::build(prog);
+  const check::Sccp sccp = check::Sccp::build(prog, cfg);
+
+  for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+    if (!sccp.executable(b)) continue;
+    check::SccpState s = sccp.block_entry(b);
+    for (std::size_t i = cfg.blocks()[b].begin; i < cfg.blocks()[b].end; ++i) {
+      const Instr& in = prog[i];
+      if (in.op == Op::kBlt || in.op == Op::kBne) {
+        const check::ConstVal& lhs = s.r[in.a];
+        const check::ConstVal& rhs = s.r[in.b];
+        if (lhs.is_const() && rhs.is_const()) {
+          const bool taken =
+              in.op == Op::kBlt ? lhs.i < rhs.i : lhs.i != rhs.i;
+          out[i] = make_jmp(taken ? static_cast<std::size_t>(in.imm_i)
+                                  : i + 1);
+          *changed = true;
+        }
+        continue;  // terminator: block done
+      }
+      check::Sccp::transfer(in, s);
+      if (cms::writes_int_reg(in.op) && s.r[in.a].is_const() &&
+          !(in.op == Op::kMovi && in.imm_i == s.r[in.a].i)) {
+        out[i] = make_movi(in.a, s.r[in.a].i);
+        *changed = true;
+      } else if (cms::writes_fp_reg(in.op) && s.f[in.a].is_const() &&
+                 !(in.op == Op::kFmovi && same_bits(in.imm_f, s.f[in.a].f))) {
+        out[i] = make_fmovi(in.a, s.f[in.a].f);
+        *changed = true;
+      }
+    }
+  }
+  return out;
+}
+
+cms::Program pass_unreachable(const cms::Program& prog, bool* changed) {
+  *changed = false;
+  const Cfg cfg = Cfg::build(prog);
+  const std::vector<bool> reach = cfg.reachable();
+  std::vector<bool> keep(prog.size(), true);
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    if (!reach[cfg.block_of(i)]) {
+      keep[i] = false;
+      *changed = true;
+    }
+  }
+  cms::Program out = *changed ? erase_unkept(prog, keep) : prog;
+
+  // Jump-to-next cleanup: a kJmp whose target is the instruction after it
+  // (including one past the end: falling off the end exits like a halt) is
+  // a no-op. Erasing one can expose another, so repeat.
+  bool again = true;
+  while (again) {
+    again = false;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].op != Op::kJmp ||
+          out[i].imm_i != static_cast<std::int64_t>(i) + 1) {
+        continue;
+      }
+      if (out.size() == 1) break;  // keep at least one instruction
+      std::vector<bool> k(out.size(), true);
+      k[i] = false;
+      out = erase_unkept(out, k);
+      *changed = true;
+      again = true;
+      break;
+    }
+  }
+  return out;
+}
+
+cms::Program pass_copy_prop(const cms::Program& prog, bool* changed) {
+  *changed = false;
+  const Cfg cfg = Cfg::build(prog);
+
+  // Copy sites: the `kAddi x, y, 0` idiom with x != y (the ISA's only
+  // register-to-register move; fp has no copy op).
+  std::vector<std::size_t> copy_pcs;
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    if (prog[i].op == Op::kAddi && prog[i].imm_i == 0 &&
+        prog[i].a != prog[i].b) {
+      copy_pcs.push_back(i);
+    }
+  }
+  if (copy_pcs.empty()) return prog;
+  const std::size_t nc = copy_pcs.size();
+
+  // Forward must-analysis over bitvectors of copy sites: a copy is killed
+  // by any redefinition of its destination or source register.
+  using CopySet = std::vector<bool>;
+  const auto kill_reg = [&](CopySet& s, int reg) {
+    for (std::size_t c = 0; c < nc; ++c) {
+      const Instr& cp = prog[copy_pcs[c]];
+      if (cp.a == reg || cp.b == reg) s[c] = false;
+    }
+  };
+  const auto transfer = [&](std::size_t i, CopySet& s) {
+    const Instr& in = prog[i];
+    if (cms::writes_int_reg(in.op)) kill_reg(s, in.a);
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (copy_pcs[c] == i) s[c] = true;
+    }
+  };
+
+  const CopySet universal(nc, true);
+  std::vector<CopySet> in(cfg.blocks().size(), universal);
+  in[0] = CopySet(nc, false);
+  const auto preds = cfg.predecessors();
+  bool iterate = true;
+  while (iterate) {
+    iterate = false;
+    for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+      CopySet next = b == 0 ? CopySet(nc, false) : universal;
+      for (const std::size_t p : preds[b]) {
+        CopySet out = in[p];
+        for (std::size_t i = cfg.blocks()[p].begin; i < cfg.blocks()[p].end;
+             ++i) {
+          transfer(i, out);
+        }
+        for (std::size_t c = 0; c < nc; ++c) {
+          next[c] = next[c] && out[c];
+        }
+      }
+      if (next != in[b]) {
+        in[b] = std::move(next);
+        iterate = true;
+      }
+    }
+  }
+
+  cms::Program out = prog;
+  const std::vector<bool> reach = cfg.reachable();
+  const auto propagate = [&](CopySet& s, int& field) {
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (s[c] && prog[copy_pcs[c]].a == field) {
+        field = prog[copy_pcs[c]].b;
+        *changed = true;
+        return;
+      }
+    }
+  };
+  for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+    if (!reach[b]) continue;  // available-copy sets are vacuous there
+    CopySet s = in[b];
+    for (std::size_t i = cfg.blocks()[b].begin; i < cfg.blocks()[b].end; ++i) {
+      Instr& rw = out[i];
+      switch (rw.op) {
+        case Op::kAddi:
+        case Op::kMuli:
+        case Op::kFload:
+        case Op::kFstore:
+          propagate(s, rw.b);
+          break;
+        case Op::kAdd:
+        case Op::kSub:
+          propagate(s, rw.b);
+          propagate(s, rw.c);
+          break;
+        case Op::kBlt:
+        case Op::kBne:
+          propagate(s, rw.a);
+          propagate(s, rw.b);
+          break;
+        default:
+          break;
+      }
+      transfer(i, s);
+    }
+  }
+  return out;
+}
+
+cms::Program pass_dead_store(const cms::Program& prog, std::size_t mem_doubles,
+                             bool* changed) {
+  *changed = false;
+  const Cfg cfg = Cfg::build(prog);
+  const std::vector<check::RegSet> live_in = check::live_in_blocks(prog, cfg);
+  const std::vector<bool> reach = cfg.reachable();
+  const check::Intervals intervals = check::Intervals::build(prog, cfg);
+  const auto limit = static_cast<std::int64_t>(mem_doubles);
+
+  std::vector<bool> keep(prog.size(), true);
+  for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+    if (!reach[b]) continue;
+    check::RegSet live = check::live_out_of(cfg, live_in, b);
+    for (std::size_t i = cfg.blocks()[b].end; i-- > cfg.blocks()[b].begin;) {
+      const check::RegSet defs = check::defs_of(prog[i]);
+      bool removable = defs != 0 && (defs & live) == 0;
+      if (removable && prog[i].op == Op::kFload) {
+        // A dead load still traps when out of bounds — removable only when
+        // the interval analysis proves the address in range.
+        const check::Interval addr = intervals.address_at(i);
+        removable = !addr.empty() && addr.lo >= 0 && addr.hi < limit;
+      }
+      if (removable) {
+        // Skip the liveness update: the instruction is gone, so its uses do
+        // not keep their producers alive (cascading deadness falls out).
+        keep[i] = false;
+        *changed = true;
+        continue;
+      }
+      live = (live & ~defs) | check::uses_of(prog[i]);
+    }
+  }
+  return *changed ? erase_unkept(prog, keep) : prog;
+}
+
+namespace {
+
+/// One LICM step: find a hoistable header load, rotate it to the header
+/// front and retarget the back edges past it. Returns false when no
+/// candidate passes every safety condition.
+bool hoist_one(cms::Program& prog, std::int64_t limit) {
+  const Cfg cfg = Cfg::build(prog);
+  const check::DomTree dom = check::DomTree::build(cfg);
+  const std::vector<check::NaturalLoop> loops =
+      check::find_natural_loops(cfg, dom);
+  if (loops.empty()) return false;
+  const check::Intervals intervals = check::Intervals::build(prog, cfg);
+
+  for (const check::NaturalLoop& loop : loops) {
+    const std::size_t h = cfg.blocks()[loop.header].begin;
+    const std::size_t hend = cfg.blocks()[loop.header].end;
+    std::vector<bool> in_loop(prog.size(), false);
+    for (const std::size_t blk : loop.blocks) {
+      for (std::size_t i = cfg.blocks()[blk].begin; i < cfg.blocks()[blk].end;
+           ++i) {
+        in_loop[i] = true;
+      }
+    }
+
+    for (std::size_t pc = h; pc < hend; ++pc) {
+      const Instr& load = prog[pc];
+      if (load.op != Op::kFload) continue;
+
+      // The address must be proven in bounds: hoisting reorders the load
+      // past the rest of the header, and a trap is observable.
+      const check::Interval addr = intervals.address_at(pc);
+      if (addr.empty() || addr.lo < 0 || addr.hi >= limit) continue;
+
+      bool safe = true;
+      for (const std::size_t blk : loop.blocks) {
+        for (std::size_t i = cfg.blocks()[blk].begin;
+             safe && i < cfg.blocks()[blk].end; ++i) {
+          const Instr& in = prog[i];
+          // Base register must be loop-invariant and the destination must
+          // have no other writer in the loop (its per-iteration value is
+          // exactly the hoisted one).
+          if (cms::writes_int_reg(in.op) && in.a == load.b) safe = false;
+          if (cms::writes_fp_reg(in.op) && in.a == load.a && i != pc) {
+            safe = false;
+          }
+          // Any store in the loop must be provably disjoint from the load
+          // address, or iteration k's store changes iteration k+1's load.
+          if (in.op == Op::kFstore) {
+            const check::Interval st = intervals.address_at(i);
+            if (st.empty() || !addr.disjoint(st)) safe = false;
+          }
+        }
+      }
+      // Header instructions before the load run *after* it once hoisted;
+      // they must not observe the destination's previous-iteration value.
+      for (std::size_t i = h; safe && i < pc; ++i) {
+        if (cms::reads_fp_reg(prog[i], load.a)) safe = false;
+      }
+      if (!safe) continue;
+
+      prog = hoist_to_header(prog, h, pc, in_loop);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+cms::Program pass_licm(const cms::Program& prog, std::size_t mem_doubles,
+                       bool* changed) {
+  *changed = false;
+  cms::Program out = prog;
+  // Each hoist restructures the loop (the old header pc becomes a
+  // preheader), so re-derive the analyses from scratch per step. The guard
+  // bounds pathological inputs; real programs hoist a handful of loads.
+  for (int guard = 0; guard < 64; ++guard) {
+    if (!hoist_one(out, static_cast<std::int64_t>(mem_doubles))) break;
+    *changed = true;
+  }
+  return out;
+}
+
+}  // namespace bladed::opt

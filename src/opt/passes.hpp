@@ -1,0 +1,56 @@
+#pragma once
+
+/// The optimizer's individual passes over `cms::Program`, each driven by a
+/// `bladed::check` analysis:
+///
+///   - constant folding      — sparse conditional constant propagation
+///                             (check/sccp.hpp); folded values are computed
+///                             with cms::exec_instr so they are bit-identical
+///                             to execution by construction. Also folds
+///                             constant-decided conditional branches into
+///                             jumps.
+///   - unreachable-block elimination — CFG reachability (check/cfg.hpp),
+///                             plus jump-to-next cleanup.
+///   - copy propagation      — forward available-copies analysis over the
+///                             `kAddi x, y, 0` copy idiom.
+///   - dead-store elimination — backward liveness (check/dataflow.hpp), the
+///                             same live_in_blocks the dead-store reporter
+///                             uses: registers are live at exit, so only
+///                             writes overwritten before any read on every
+///                             path are removed. A dead kFload is removed
+///                             only when the interval analysis proves its
+///                             address in bounds (an out-of-bounds load
+///                             traps, which is observable).
+///   - loop-invariant code motion — natural loops (check/dominators.hpp)
+///                             and intervals (check/intervals.hpp): hoists a
+///                             header kFload whose base register is loop-
+///                             invariant, whose address is proven in bounds
+///                             (no trap to reorder) and provably disjoint
+///                             from every kFstore in the loop.
+///
+/// Every pass returns a rewritten program and sets `*changed`; the pipeline
+/// in opt/opt.hpp wraps each application in its proof obligations.
+
+#include <cstddef>
+
+#include "cms/isa.hpp"
+
+namespace bladed::opt {
+
+[[nodiscard]] cms::Program pass_constant_fold(const cms::Program& prog,
+                                              bool* changed);
+
+[[nodiscard]] cms::Program pass_unreachable(const cms::Program& prog,
+                                            bool* changed);
+
+[[nodiscard]] cms::Program pass_copy_prop(const cms::Program& prog,
+                                          bool* changed);
+
+[[nodiscard]] cms::Program pass_dead_store(const cms::Program& prog,
+                                           std::size_t mem_doubles,
+                                           bool* changed);
+
+[[nodiscard]] cms::Program pass_licm(const cms::Program& prog,
+                                     std::size_t mem_doubles, bool* changed);
+
+}  // namespace bladed::opt

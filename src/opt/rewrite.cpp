@@ -1,0 +1,61 @@
+#include "opt/rewrite.hpp"
+
+#include "common/error.hpp"
+
+namespace bladed::opt {
+
+cms::Program erase_unkept(const cms::Program& prog,
+                          const std::vector<bool>& keep) {
+  BLADED_REQUIRE(keep.size() == prog.size());
+  // new_index[t] = number of kept instructions before t, for t in [0, n]:
+  // both the new position of a kept instruction and the retarget map.
+  std::vector<std::size_t> new_index(prog.size() + 1, 0);
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    new_index[i + 1] = new_index[i] + (keep[i] ? 1 : 0);
+  }
+
+  cms::Program out;
+  out.reserve(new_index[prog.size()]);
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    if (!keep[i]) continue;
+    cms::Instr in = prog[i];
+    if (cms::is_branch(in.op)) {
+      in.imm_i = static_cast<std::int64_t>(
+          new_index[static_cast<std::size_t>(in.imm_i)]);
+    }
+    out.push_back(in);
+  }
+  return out;
+}
+
+cms::Program hoist_to_header(const cms::Program& prog, std::size_t h,
+                             std::size_t pc,
+                             const std::vector<bool>& in_loop) {
+  BLADED_REQUIRE(h <= pc && pc < prog.size() &&
+                 in_loop.size() == prog.size());
+  cms::Program out = prog;
+  const cms::Instr hoisted = out[pc];
+  for (std::size_t i = pc; i > h; --i) out[i] = out[i - 1];
+  out[h] = hoisted;
+
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    cms::Instr& in = out[i];
+    if (!cms::is_branch(in.op)) continue;
+    const auto t = static_cast<std::size_t>(in.imm_i);
+    // The branch itself may have moved, but only within [h, pc] where no
+    // branch lives (the hoist stays inside one basic block whose only
+    // possible branch is the terminator after pc) — so in_loop[i] is the
+    // branch's original classification.
+    if (t == h && in_loop[i]) {
+      in.imm_i = static_cast<std::int64_t>(h + 1);
+    } else if (t > h && t <= pc) {
+      // Interior of the rotated range holds no block leaders; targets here
+      // only occur as t == pc when pc itself led a block, which the caller
+      // precludes by hoisting only within a single block.
+      in.imm_i = static_cast<std::int64_t>(t + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace bladed::opt

@@ -1,0 +1,35 @@
+#pragma once
+
+/// Program rewriting utilities for the optimizer: instruction erasure with
+/// branch retargeting, and the rotation LICM uses to hoist an instruction
+/// to the front of a loop header. Both preserve the absolute-target branch
+/// encoding (cms::Op::kBlt/kBne/kJmp carry instruction indices in imm_i),
+/// so every rewrite must remap targets consistently — the retarget rule for
+/// erasure is "first kept instruction at or after the old target", which is
+/// semantics-preserving exactly because the passes only erase instructions
+/// they have proven to be no-ops on every execution.
+
+#include <cstddef>
+#include <vector>
+
+#include "cms/isa.hpp"
+
+namespace bladed::opt {
+
+/// Remove every instruction `i` with `keep[i] == false` and retarget all
+/// branches: a target `t` becomes the new index of the first kept
+/// instruction at or after `t` (the program size when none remains, i.e. a
+/// fallthrough-halt). Requires `keep.size() == prog.size()`.
+[[nodiscard]] cms::Program erase_unkept(const cms::Program& prog,
+                                        const std::vector<bool>& keep);
+
+/// Move `prog[pc]` up to position `h` (`h <= pc`, both inside the same
+/// basic block), shifting `[h, pc)` down by one. Branches *inside the loop*
+/// (`in_loop[branch_pc]`) that target `h` are retargeted to `h + 1`, so a
+/// back edge re-enters the loop just past the hoisted instruction; entry
+/// edges keep targeting `h` and execute it once per loop entry.
+[[nodiscard]] cms::Program hoist_to_header(const cms::Program& prog,
+                                           std::size_t h, std::size_t pc,
+                                           const std::vector<bool>& in_loop);
+
+}  // namespace bladed::opt

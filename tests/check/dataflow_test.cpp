@@ -84,6 +84,50 @@ TEST(Dataflow, FinalWritesAreLiveAtExit) {
   EXPECT_TRUE(find_dead_stores(p, Cfg::build(p)).clean());
 }
 
+TEST(Dataflow, EveryExitShapeKeepsFinalWritesAlive) {
+  // Regression for the dead-store reporter's exit semantics: a program can
+  // leave through an explicit kHalt, a branch to prog.size(), or by falling
+  // off the end — all three are the same exit edge and all registers are
+  // live across it, so a final write must never be flagged on any of them.
+  {
+    // Conditional branch to prog.size() (fallthrough-halt idiom): the write
+    // at 0 is live out of both the branch exit and the halt exit.
+    cms::Program p = {make(Op::kMovi, 3, 0, 0, 7),   // 0
+                      make(Op::kMovi, 1, 0, 0, 1),   // 1
+                      make(Op::kBne, 1, 0, 0, 4),    // 2: exits via pc == 4
+                      make(Op::kHalt)};              // 3
+    EXPECT_TRUE(find_dead_stores(p, Cfg::build(p)).clean());
+  }
+  {
+    // Falling off the end without a kHalt.
+    cms::Program p = {make(Op::kMovi, 3, 0, 0, 7),
+                      make(Op::kFmovi, 2, 0, 0, 0)};
+    EXPECT_TRUE(find_dead_stores(p, Cfg::build(p)).clean());
+  }
+  {
+    // The same shapes still flag a genuine overwrite before the exit.
+    cms::Program p = {make(Op::kMovi, 3, 0, 0, 7),   // 0: dead
+                      make(Op::kMovi, 1, 0, 0, 1),   // 1
+                      make(Op::kMovi, 3, 0, 0, 9),   // 2: overwrites
+                      make(Op::kBne, 1, 0, 0, 5),    // 3: exits via pc == 5
+                      make(Op::kHalt)};              // 4
+    const Report r = find_dead_stores(p, Cfg::build(p));
+    ASSERT_EQ(r.diagnostics().size(), 1u);
+    EXPECT_EQ(r.diagnostics()[0].instr, 0u);
+  }
+}
+
+TEST(Dataflow, LivenessHelpersAgreeWithReporter) {
+  // live_in_blocks / live_out_of are the shared substrate between the
+  // reporter and the optimizer's dead-store pass: the exit edge must carry
+  // the all-registers set so both sides agree on observability.
+  cms::Program p = {make(Op::kMovi, 3, 0, 0, 7), make(Op::kHalt)};
+  const Cfg cfg = Cfg::build(p);
+  const std::vector<RegSet> live_in = live_in_blocks(p, cfg);
+  ASSERT_EQ(live_in.size(), cfg.blocks().size());
+  EXPECT_EQ(live_out_of(cfg, live_in, 0), kAllRegsSet);
+}
+
 TEST(Dataflow, ReadOnOneSuccessorKeepsStoreAlive) {
   cms::Program p = {make(Op::kMovi, 1, 0, 0, 5),   // 0: read only on path B
                     make(Op::kMovi, 2, 0, 0, 1),   // 1

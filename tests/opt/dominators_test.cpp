@@ -1,0 +1,169 @@
+/// Golden tests for the dominator tree and natural-loop discovery over the
+/// built-in corpus programs (cms/programs.hpp) plus crafted shapes: the
+/// structures LICM trusts. Block indices in the assertions follow from the
+/// leader analysis in check/cfg.hpp; each test spells out the expected
+/// block layout first so the goldens stay readable.
+
+#include "check/dominators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cms/programs.hpp"
+
+namespace bladed::check {
+namespace {
+
+using cms::Instr;
+using cms::Op;
+
+Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+
+TEST(Dominators, DaxpyIsOneSelfLoop) {
+  // daxpy: B0 = [0,3) prologue, B1 = [3,10) loop body (blt 9 -> 3),
+  // B2 = [10,11) halt.
+  const cms::Program p = cms::daxpy_program(32);
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  const DomTree dom = DomTree::build(cfg);
+  EXPECT_EQ(dom.idom(0), DomTree::kNone);
+  EXPECT_EQ(dom.idom(1), 0u);
+  EXPECT_EQ(dom.idom(2), 1u);
+  EXPECT_TRUE(dom.dominates(0, 2));
+  EXPECT_TRUE(dom.dominates(1, 1));
+  EXPECT_FALSE(dom.dominates(2, 1));
+
+  const std::vector<NaturalLoop> loops = find_natural_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].header, 1u);
+  EXPECT_EQ(loops[0].blocks, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(loops[0].latches, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(cfg.blocks()[loops[0].header].begin, 3u);
+}
+
+TEST(Dominators, BranchyLoopSpansBothArms) {
+  // branchy: B0 = [0,5), B1 = [5,6) header (bne), B2 = [6,10) even arm,
+  // B3 = [10,13) odd arm, B4 = [13,16) join + latch (blt 15 -> 5),
+  // B5 = [16,17) halt.
+  const cms::Program p = cms::branchy_program(16);
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.blocks().size(), 6u);
+  const DomTree dom = DomTree::build(cfg);
+  EXPECT_EQ(dom.idom(1), 0u);
+  EXPECT_EQ(dom.idom(2), 1u);
+  EXPECT_EQ(dom.idom(3), 1u);
+  // The join is dominated by the header, not by either arm.
+  EXPECT_EQ(dom.idom(4), 1u);
+  EXPECT_TRUE(dom.dominates(1, 4));
+  EXPECT_FALSE(dom.dominates(2, 4));
+  EXPECT_FALSE(dom.dominates(3, 4));
+
+  const std::vector<NaturalLoop> loops = find_natural_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].header, 1u);
+  EXPECT_EQ(loops[0].blocks, (std::vector<std::size_t>{1, 2, 3, 4}));
+  EXPECT_EQ(loops[0].latches, (std::vector<std::size_t>{4}));
+  EXPECT_TRUE(loops[0].contains(2));
+  EXPECT_FALSE(loops[0].contains(5));
+}
+
+TEST(Dominators, NrRsqrtAndManyBlocksLoopHeaders) {
+  {
+    const cms::Program p = cms::nr_rsqrt_program(8);
+    const Cfg cfg = Cfg::build(p);
+    const std::vector<NaturalLoop> loops =
+        find_natural_loops(cfg, DomTree::build(cfg));
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(cfg.blocks()[loops[0].header].begin, 6u);
+  }
+  {
+    const cms::Program p = cms::many_blocks_program(8, 5);
+    const Cfg cfg = Cfg::build(p);
+    const std::vector<NaturalLoop> loops =
+        find_natural_loops(cfg, DomTree::build(cfg));
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(cfg.blocks()[loops[0].header].begin, 4u);
+    // The round-robin loop contains every chunk block plus the tail latch.
+    EXPECT_EQ(loops[0].blocks.size(), 9u);
+    ASSERT_EQ(loops[0].latches.size(), 1u);
+    EXPECT_TRUE(loops[0].contains(loops[0].latches[0]));
+  }
+}
+
+TEST(Dominators, DiamondJoinDominatedByFork) {
+  // 0-1 fork, 2-3 left arm, 4 right arm, 5 join/halt.
+  const cms::Program p = {make(Op::kMovi, 1, 0, 0, 1),
+                          make(Op::kBne, 1, 0, 0, 4),
+                          make(Op::kAddi, 2, 0, 0, 1),
+                          make(Op::kJmp, 0, 0, 0, 5),
+                          make(Op::kAddi, 2, 0, 0, 2),
+                          make(Op::kHalt)};
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.blocks().size(), 4u);
+  const DomTree dom = DomTree::build(cfg);
+  EXPECT_EQ(dom.idom(1), 0u);
+  EXPECT_EQ(dom.idom(2), 0u);
+  EXPECT_EQ(dom.idom(3), 0u);
+  EXPECT_TRUE(find_natural_loops(cfg, dom).empty());
+}
+
+TEST(Dominators, NestedLoopsShareInnerBlock) {
+  // B1 = [2,3) outer header, B2 = [3,5) inner self-loop, B3 = [5,7) outer
+  // latch, so the outer loop is {1,2,3} and the inner {2}.
+  const cms::Program p = {make(Op::kMovi, 1, 0, 0, 0),   // 0
+                          make(Op::kMovi, 5, 0, 0, 2),   // 1: limits
+                          make(Op::kMovi, 2, 0, 0, 0),   // 2: outer header
+                          make(Op::kAddi, 2, 2, 0, 1),   // 3: inner header
+                          make(Op::kBlt, 2, 5, 0, 3),    // 4: inner latch
+                          make(Op::kAddi, 1, 1, 0, 1),   // 5
+                          make(Op::kBlt, 1, 5, 0, 2),    // 6: outer latch
+                          make(Op::kHalt)};              // 7
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.blocks().size(), 5u);
+  const DomTree dom = DomTree::build(cfg);
+  const std::vector<NaturalLoop> loops = find_natural_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_EQ(loops[0].header, 1u);  // sorted by header: outer first
+  EXPECT_EQ(loops[0].blocks, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(loops[1].header, 2u);
+  EXPECT_EQ(loops[1].blocks, (std::vector<std::size_t>{2}));
+}
+
+TEST(Dominators, UnreachableBlockIsDominatedByNothing) {
+  const cms::Program p = {make(Op::kJmp, 0, 0, 0, 2),
+                          make(Op::kMovi, 1, 0, 0, 7),  // jumped over
+                          make(Op::kHalt)};
+  const Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  const DomTree dom = DomTree::build(cfg);
+  EXPECT_EQ(dom.idom(1), DomTree::kNone);
+  EXPECT_FALSE(dom.dominates(0, 1));
+  EXPECT_FALSE(dom.dominates(1, 1));  // unreachable: not even reflexive
+  EXPECT_TRUE(find_natural_loops(cfg, dom).empty());
+}
+
+TEST(Dominators, WholeCorpusHeadersDominateTheirLatches) {
+  for (const cms::NamedProgram& entry : cms::opt_corpus()) {
+    const Cfg cfg = Cfg::build(entry.program);
+    const DomTree dom = DomTree::build(cfg);
+    for (const NaturalLoop& loop : find_natural_loops(cfg, dom)) {
+      for (const std::size_t latch : loop.latches) {
+        EXPECT_TRUE(dom.dominates(loop.header, latch)) << entry.name;
+        EXPECT_TRUE(loop.contains(latch)) << entry.name;
+      }
+      for (const std::size_t b : loop.blocks) {
+        EXPECT_TRUE(dom.dominates(loop.header, b)) << entry.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bladed::check

@@ -1,0 +1,165 @@
+/// Equivalence fuzzing for the optimizer: 1000 seeded random programs are
+/// pushed through the full pipeline at level 2 with the pipeline's own
+/// proof obligations DISABLED (verify = false), then equivalence and
+/// static cleanliness are asserted externally. This tests that the passes
+/// themselves are sound, not that the rollback safety net catches them; a
+/// separate test runs with verify = true and requires zero rejections.
+///
+/// The generator emits terminating-by-construction programs: a counted
+/// outer loop (r1/r2 are reserved for the counter and limit), chunks of
+/// random integer/fp arithmetic, r0-based in-bounds memory traffic (r0 is
+/// never a destination, so it stays 0), the `kAddi x, y, 0` copy idiom,
+/// deliberately dead stores, and forward conditional branches — the
+/// control shapes every pass has to reason about.
+
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "check/differential.hpp"
+#include "cms/isa.hpp"
+#include "opt/opt.hpp"
+#include "common/rng.hpp"
+
+namespace bladed::opt {
+namespace {
+
+using cms::Instr;
+using cms::Op;
+using cms::Program;
+
+constexpr std::size_t kMemDoubles = 256;
+
+std::uint64_t pick(Rng& rng, std::uint64_t n) { return rng.next_u64() % n; }
+
+Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+
+/// Integer destinations avoid r0 (zero base for addressing) and r1/r2
+/// (loop counter and limit).
+int int_dest(Rng& rng) { return 3 + static_cast<int>(pick(rng, 5)); }
+int int_src(Rng& rng) { return static_cast<int>(pick(rng, 8)); }
+int fp_reg(Rng& rng) { return static_cast<int>(pick(rng, 8)); }
+
+/// One random non-branch instruction.
+Instr random_op(Rng& rng) {
+  switch (pick(rng, 10)) {
+    case 0:
+      return make(Op::kMovi, int_dest(rng), 0, 0,
+                  static_cast<std::int64_t>(pick(rng, 64)));
+    case 1:
+      return make(Op::kAddi, int_dest(rng), int_src(rng), 0,
+                  static_cast<std::int64_t>(pick(rng, 8)));
+    case 2:  // the copy idiom copy-propagation looks for
+      return make(Op::kAddi, int_dest(rng), int_src(rng), 0, 0);
+    case 3:
+      return make(Op::kAdd, int_dest(rng), int_src(rng), int_src(rng));
+    case 4:
+      return make(Op::kSub, int_dest(rng), int_src(rng), int_src(rng));
+    case 5:
+      return make(Op::kMuli, int_dest(rng), int_src(rng), 0,
+                  static_cast<std::int64_t>(pick(rng, 4)));
+    case 6: {
+      Instr in = make(Op::kFmovi, fp_reg(rng));
+      in.imm_f = rng.uniform(-2.0, 2.0);
+      return in;
+    }
+    case 7:
+      return make(Op::kFadd, fp_reg(rng), fp_reg(rng), fp_reg(rng));
+    case 8:
+      return make(Op::kFload, fp_reg(rng), 0, 0,
+                  static_cast<std::int64_t>(pick(rng, kMemDoubles)));
+    default:
+      return make(Op::kFstore, fp_reg(rng), 0, 0,
+                  static_cast<std::int64_t>(pick(rng, kMemDoubles)));
+  }
+}
+
+Program random_program(Rng& rng) {
+  Program p;
+  const std::int64_t rounds = 1 + static_cast<std::int64_t>(pick(rng, 6));
+  p.push_back(make(Op::kMovi, 1, 0, 0, 0));
+  p.push_back(make(Op::kMovi, 2, 0, 0, rounds));
+  const std::int64_t loop = static_cast<std::int64_t>(p.size());
+
+  const std::size_t chunks = 1 + pick(rng, 4);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (pick(rng, 2) == 0) {
+      // A forward conditional branch skipping a small region: emit the
+      // branch, then exactly `skip` instructions it may jump over.
+      const std::size_t skip = 1 + pick(rng, 3);
+      const Op op = pick(rng, 2) == 0 ? Op::kBlt : Op::kBne;
+      p.push_back(make(op, int_src(rng), int_src(rng), 0,
+                       static_cast<std::int64_t>(p.size() + 1 + skip)));
+      for (std::size_t i = 0; i < skip; ++i) p.push_back(random_op(rng));
+    }
+    const std::size_t len = 2 + pick(rng, 6);
+    for (std::size_t i = 0; i < len; ++i) p.push_back(random_op(rng));
+    if (pick(rng, 3) == 0) {
+      // A deliberately dead fp write: same register immediately rewritten.
+      const int f = fp_reg(rng);
+      Instr dead = make(Op::kFmovi, f);
+      dead.imm_f = 42.0;
+      p.push_back(dead);
+      p.push_back(make(Op::kFload, f, 0, 0,
+                       static_cast<std::int64_t>(pick(rng, kMemDoubles))));
+    }
+  }
+
+  p.push_back(make(Op::kAddi, 1, 1, 0, 1));
+  p.push_back(make(Op::kBlt, 1, 2, 0, loop));
+  p.push_back(make(Op::kHalt));
+  return p;
+}
+
+class OptFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptFuzz, OptimizedProgramsStayEquivalent) {
+  Rng rng(0xf0053 + static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Program p = random_program(rng);
+    const std::size_t errors_before =
+        check::check_program(p, kMemDoubles).error_count();
+
+    OptOptions opts;
+    opts.level = 2;
+    opts.mem_doubles = kMemDoubles;
+    opts.verify = false;  // test the passes, not the safety net
+    const OptResult res = optimize(p, opts);
+
+    // Soundness asserted externally: no new static errors, and the
+    // interpreter cannot tell the two programs apart.
+    EXPECT_LE(check::check_program(res.program, kMemDoubles).error_count(),
+              errors_before)
+        << "seed " << GetParam() << " trial " << trial;
+    check::DifferentialOptions dopt;
+    dopt.mem_doubles = kMemDoubles;
+    const check::Report rep =
+        check::differential_equivalence(p, res.program, dopt);
+    EXPECT_TRUE(rep.ok()) << "seed " << GetParam() << " trial " << trial
+                          << "\n" << rep.to_string();
+
+    // With the proofs enabled every pass application must also be accepted
+    // (a rejection would mean pass and proof disagree). Sampled to keep
+    // the suite fast.
+    if (trial == 0) {
+      opts.verify = true;
+      const OptResult verified = optimize(p, opts);
+      for (const PassDelta& d : verified.deltas) {
+        EXPECT_FALSE(d.rejected)
+            << "seed " << GetParam() << ": " << d.pass << ": " << d.note;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptFuzz, ::testing::Range(0, 100));
+
+}  // namespace
+}  // namespace bladed::opt

@@ -1,0 +1,363 @@
+/// Unit tests for the individual optimizer passes (opt/passes.hpp) and the
+/// analyses that drive them: SCCP constant lattices, reaching definitions,
+/// branch-refined intervals, then one test block per pass pinning both the
+/// positive rewrite and the soundness refusals (the diamond that broke the
+/// reaching-set formulation of copy propagation, the unproven kFload the
+/// dead-store pass must keep, the aliasing store LICM must respect).
+
+#include "opt/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/differential.hpp"
+#include "check/intervals.hpp"
+#include "check/reaching.hpp"
+#include "check/sccp.hpp"
+#include "cms/programs.hpp"
+
+namespace bladed::opt {
+namespace {
+
+using cms::Instr;
+using cms::Op;
+using cms::Program;
+
+Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+
+Instr makef(Op op, int a, double imm) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.imm_f = imm;
+  return in;
+}
+
+/// Every pass test's safety net: the rewritten program must be
+/// input-equivalent to the original.
+void expect_equivalent(const Program& original, const Program& optimized) {
+  const check::Report rep =
+      check::differential_equivalence(original, optimized);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+bool same_program(const Program& a, const Program& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].op != b[i].op || a[i].a != b[i].a || a[i].b != b[i].b ||
+        a[i].c != b[i].c || a[i].imm_i != b[i].imm_i ||
+        a[i].imm_f != b[i].imm_f) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- analyses
+
+TEST(Sccp, StraightLineConstantsFold) {
+  const Program p = {make(Op::kMovi, 1, 0, 0, 5),
+                     make(Op::kAddi, 2, 1, 0, 3),
+                     make(Op::kHalt)};
+  const check::Cfg cfg = check::Cfg::build(p);
+  const check::Sccp sccp = check::Sccp::build(p, cfg);
+  // Entry: the machine zero-initializes, so everything starts constant 0.
+  EXPECT_TRUE(sccp.at(0).r[7].is_const());
+  EXPECT_EQ(sccp.at(0).r[7].i, 0);
+  const check::SccpState at_halt = sccp.at(2);
+  ASSERT_TRUE(at_halt.r[2].is_const());
+  EXPECT_EQ(at_halt.r[2].i, 8);
+}
+
+TEST(Sccp, ConstantBranchKeepsDeadArmNonExecutable) {
+  const Program p = {make(Op::kMovi, 1, 0, 0, 1),
+                     make(Op::kBne, 1, 0, 0, 4),  // always taken
+                     make(Op::kMovi, 2, 0, 0, 9),  // dead arm
+                     make(Op::kJmp, 0, 0, 0, 5),
+                     make(Op::kMovi, 2, 0, 0, 7),
+                     make(Op::kHalt)};
+  const check::Cfg cfg = check::Cfg::build(p);
+  const check::Sccp sccp = check::Sccp::build(p, cfg);
+  EXPECT_FALSE(sccp.executable(cfg.block_of(2)));
+  EXPECT_TRUE(sccp.executable(cfg.block_of(4)));
+  // Only the feasible edge joins at the halt: r2 is a crisp constant 7,
+  // which plain reachability-based propagation could not conclude.
+  const check::SccpState at_halt = sccp.at(5);
+  ASSERT_TRUE(at_halt.r[2].is_const());
+  EXPECT_EQ(at_halt.r[2].i, 7);
+}
+
+TEST(Sccp, LoadsAndJoinsGoVarying) {
+  const Program p = {make(Op::kFload, 1, 0, 0, 0),
+                     make(Op::kHalt)};
+  const check::Cfg cfg = check::Cfg::build(p);
+  const check::Sccp sccp = check::Sccp::build(p, cfg);
+  EXPECT_EQ(sccp.at(1).f[1].kind, check::ConstVal::Kind::kVarying);
+}
+
+TEST(ReachingDefs, JoinMergesArmAndEntryDefinitions) {
+  const Program p = {make(Op::kMovi, 1, 0, 0, 1),
+                     make(Op::kBne, 1, 0, 0, 3),   // may skip pc 2
+                     make(Op::kMovi, 2, 0, 0, 5),
+                     make(Op::kAdd, 3, 2, 2),
+                     make(Op::kHalt)};
+  const check::Cfg cfg = check::Cfg::build(p);
+  const check::ReachingDefs rd = check::ReachingDefs::build(p, cfg);
+  // Before pc 0 the only definition of r1 is the synthetic entry def.
+  EXPECT_EQ(rd.defs_of(0, 1), (std::vector<std::size_t>{rd.entry_def(1)}));
+  // At the join both the real def at pc 2 and the entry def of r2 reach.
+  EXPECT_EQ(rd.defs_of(3, 2),
+            (std::vector<std::size_t>{2, rd.entry_def(2)}));
+}
+
+TEST(Intervals, BranchRefinementBoundsInductionVariable) {
+  // daxpy's store `y[i] = f3` at pc 7 has address r1 + 32 with r1 the loop
+  // counter: without the blt-edge refinement r1 would widen to +inf, with
+  // it the address interval is exactly the y half of the working set.
+  const Program p = cms::daxpy_program(32);
+  const check::Cfg cfg = check::Cfg::build(p);
+  const check::Intervals iv = check::Intervals::build(p, cfg);
+  const check::Interval addr = iv.address_at(7);
+  EXPECT_EQ(addr.lo, 32);
+  EXPECT_EQ(addr.hi, 63);
+}
+
+// ------------------------------------------------------------------ passes
+
+TEST(ConstantFold, FoldsZeroBaseAddiToMovi) {
+  // naive_daxpy sets up i and the limit with kAddi off r0 — SCCP proves
+  // both constant and the pass rewrites them to kMovi.
+  const Program p = cms::naive_daxpy_program(32);
+  bool changed = false;
+  const Program q = pass_constant_fold(p, &changed);
+  EXPECT_TRUE(changed);
+  ASSERT_EQ(q.size(), p.size());
+  EXPECT_EQ(q[2].op, Op::kMovi);
+  EXPECT_EQ(q[2].imm_i, 0);
+  EXPECT_EQ(q[3].op, Op::kMovi);
+  EXPECT_EQ(q[3].imm_i, 32);
+  expect_equivalent(p, q);
+}
+
+TEST(ConstantFold, RewritesConstantBranchToJump) {
+  const Program p = {make(Op::kMovi, 1, 0, 0, 1),
+                     make(Op::kBne, 1, 0, 0, 4),
+                     make(Op::kMovi, 2, 0, 0, 9),
+                     make(Op::kJmp, 0, 0, 0, 5),
+                     make(Op::kMovi, 2, 0, 0, 7),
+                     make(Op::kHalt)};
+  bool changed = false;
+  const Program q = pass_constant_fold(p, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(q[1].op, Op::kJmp);
+  EXPECT_EQ(q[1].imm_i, 4);
+  expect_equivalent(p, q);
+}
+
+TEST(ConstantFold, LeavesVaryingValuesAlone) {
+  const Program p = cms::daxpy_program(32);
+  bool changed = false;
+  const Program q = pass_constant_fold(p, &changed);
+  // daxpy already uses kMovi/kFmovi for its constants and everything else
+  // depends on memory: nothing to fold.
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(q.size(), p.size());
+}
+
+TEST(Unreachable, DropsJumpedOverCodeAndJumpChains) {
+  const Program p = {make(Op::kJmp, 0, 0, 0, 2),
+                     make(Op::kMovi, 1, 0, 0, 7),  // unreachable
+                     make(Op::kHalt)};
+  bool changed = false;
+  const Program q = pass_unreachable(p, &changed);
+  EXPECT_TRUE(changed);
+  // The dead kMovi goes first; the jump then targets the next instruction
+  // and is dropped too.
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0].op, Op::kHalt);
+  expect_equivalent(p, q);
+}
+
+TEST(Unreachable, RetargetsBranchesPastErasedCode) {
+  const Program p = {make(Op::kMovi, 1, 0, 0, 1),
+                     make(Op::kJmp, 0, 0, 0, 4),
+                     make(Op::kMovi, 2, 0, 0, 9),  // unreachable
+                     make(Op::kMovi, 2, 0, 0, 8),  // unreachable
+                     make(Op::kBlt, 0, 1, 0, 6),   // taken: r0 < r1
+                     make(Op::kMovi, 3, 0, 0, 5),
+                     make(Op::kHalt)};
+  bool changed = false;
+  const Program q = pass_unreachable(p, &changed);
+  EXPECT_TRUE(changed);
+  // Erasing pcs 2-3 turns the kJmp into a jump-to-next, which the cleanup
+  // then drops too; the surviving blt is retargeted across both erasures.
+  ASSERT_EQ(q.size(), 4u);
+  EXPECT_EQ(q[1].op, Op::kBlt);
+  EXPECT_EQ(q[1].imm_i, 3);
+  EXPECT_EQ(q[2].op, Op::kMovi);
+  EXPECT_EQ(q[2].a, 3);
+  expect_equivalent(p, q);
+}
+
+TEST(CopyProp, RewritesReadsThroughAvailableCopy) {
+  const Program p = {make(Op::kMovi, 1, 0, 0, 5),
+                     make(Op::kAddi, 2, 1, 0, 0),  // r2 = r1
+                     make(Op::kAdd, 3, 2, 2),
+                     make(Op::kHalt)};
+  bool changed = false;
+  const Program q = pass_copy_prop(p, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(q[2].b, 1);
+  EXPECT_EQ(q[2].c, 1);
+  expect_equivalent(p, q);
+}
+
+TEST(CopyProp, DiamondKillingSourceBlocksPropagation) {
+  // Regression for the unsound reaching-def-set formulation: the copy
+  // r2 = r1 reaches the join on both arms, but one arm redefines r1, so a
+  // read of r2 at the join must NOT be rewritten to r1. Available-copies
+  // is a must-analysis and kills the pair on that arm.
+  const Program p = {make(Op::kMovi, 1, 0, 0, 5),
+                     make(Op::kAddi, 2, 1, 0, 0),  // r2 = r1
+                     make(Op::kMovi, 4, 0, 0, 1),
+                     make(Op::kBne, 4, 0, 0, 6),   // skip the redefinition
+                     make(Op::kMovi, 1, 0, 0, 9),  // kills the copy
+                     make(Op::kJmp, 0, 0, 0, 6),
+                     make(Op::kAdd, 3, 2, 2),      // join: keep reading r2
+                     make(Op::kHalt)};
+  bool changed = false;
+  const Program q = pass_copy_prop(p, &changed);
+  ASSERT_EQ(q.size(), p.size());
+  EXPECT_EQ(q[6].b, 2);
+  EXPECT_EQ(q[6].c, 2);
+  expect_equivalent(p, q);
+}
+
+TEST(CopyProp, RedefinedDestKillsCopy) {
+  const Program p = {make(Op::kMovi, 1, 0, 0, 5),
+                     make(Op::kAddi, 2, 1, 0, 0),  // r2 = r1
+                     make(Op::kAddi, 2, 2, 0, 1),  // r2 = r2 + 1: not a copy
+                     make(Op::kAdd, 3, 2, 2),      // must keep reading r2
+                     make(Op::kHalt)};
+  bool changed = false;
+  const Program q = pass_copy_prop(p, &changed);
+  // The read at pc 2 still sees the copy and is rewritten to r1, but the
+  // write there kills the pair: pc 3 must keep reading r2.
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(q[2].b, 1);
+  EXPECT_EQ(q[3].b, 2);
+  EXPECT_EQ(q[3].c, 2);
+  expect_equivalent(p, q);
+}
+
+TEST(DeadStore, RemovesOverwrittenWrite) {
+  const Program p = {makef(Op::kFmovi, 1, 1.0),  // dead: overwritten below
+                     makef(Op::kFmovi, 1, 2.0),
+                     make(Op::kFstore, 1, 0, 0, 0),
+                     make(Op::kHalt)};
+  bool changed = false;
+  const Program q = pass_dead_store(p, 4096, &changed);
+  EXPECT_TRUE(changed);
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0].op, Op::kFmovi);
+  EXPECT_EQ(q[0].imm_f, 2.0);
+  expect_equivalent(p, q);
+}
+
+TEST(DeadStore, KeepsWritesLiveAtExit) {
+  // The final machine state is observable: a write never overwritten is
+  // live-out of the exit and must survive even though nothing reads it.
+  const Program p = {makef(Op::kFmovi, 1, 1.0), make(Op::kHalt)};
+  bool changed = false;
+  const Program q = pass_dead_store(p, 4096, &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(DeadStore, KeepsDeadLoadWithUnprovenAddress) {
+  // f1 is overwritten before any read, but the load's address (5000 with
+  // 4096 doubles of memory) traps — removing it would change behaviour.
+  const Program trapping = {make(Op::kFload, 1, 0, 0, 5000),
+                            makef(Op::kFmovi, 1, 0.0),
+                            make(Op::kFstore, 1, 0, 0, 0),
+                            make(Op::kHalt)};
+  bool changed = false;
+  Program q = pass_dead_store(trapping, 4096, &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(q.size(), trapping.size());
+
+  // Same shape with a proven in-bounds address: now removable.
+  Program fine = trapping;
+  fine[0].imm_i = 5;
+  changed = false;
+  q = pass_dead_store(fine, 4096, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(q.size(), fine.size() - 1);
+  expect_equivalent(fine, q);
+}
+
+TEST(Licm, HoistsInvariantLoadOutOfNaiveDaxpy) {
+  // naive_daxpy re-loads the scalar `a` from mem[2n] on every iteration;
+  // LICM moves the load ahead of the loop by retargeting the back edge.
+  const Program p = cms::naive_daxpy_program(32);
+  bool changed = false;
+  const Program q = pass_licm(p, 4096, &changed);
+  EXPECT_TRUE(changed);
+  ASSERT_EQ(q.size(), p.size());
+  EXPECT_EQ(q[4].op, Op::kFload);  // the load stays at pc 4...
+  EXPECT_EQ(q[13].op, Op::kBlt);
+  EXPECT_EQ(q[13].imm_i, 5);       // ...but the loop now re-enters past it
+  expect_equivalent(p, q);
+}
+
+TEST(Licm, PossibleAliasBlocksHoist) {
+  // The loop stores through r1 in [0, 8) and the candidate loads mem[0]:
+  // the intervals overlap, so the load must stay inside the loop.
+  const Program aliasing = {make(Op::kMovi, 1, 0, 0, 0),
+                            make(Op::kMovi, 2, 0, 0, 8),
+                            make(Op::kFload, 1, 0, 0, 0),   // candidate
+                            make(Op::kFstore, 1, 1, 0, 0),  // may hit mem[0]
+                            make(Op::kAddi, 1, 1, 0, 1),
+                            make(Op::kBlt, 1, 2, 0, 2),
+                            make(Op::kHalt)};
+  bool changed = false;
+  Program q = pass_licm(aliasing, 4096, &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_TRUE(same_program(q, aliasing));
+
+  // Shifting the stores to [16, 24) makes them provably disjoint from the
+  // load; the hoist goes through.
+  Program disjoint = aliasing;
+  disjoint[3].imm_i = 16;
+  changed = false;
+  q = pass_licm(disjoint, 4096, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(q[5].imm_i, 3);
+  expect_equivalent(disjoint, q);
+}
+
+TEST(Licm, LoopVariantBaseBlocksHoist) {
+  // The candidate's base register is the induction variable itself:
+  // hoisting would freeze the address at its entry value.
+  const Program p = {make(Op::kMovi, 1, 0, 0, 0),
+                     make(Op::kMovi, 2, 0, 0, 8),
+                     make(Op::kFload, 1, 1, 0, 0),    // f1 = mem[r1]
+                     make(Op::kFstore, 1, 1, 0, 16),
+                     make(Op::kAddi, 1, 1, 0, 1),
+                     make(Op::kBlt, 1, 2, 0, 2),
+                     make(Op::kHalt)};
+  bool changed = false;
+  const Program q = pass_licm(p, 4096, &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_TRUE(same_program(q, p));
+}
+
+}  // namespace
+}  // namespace bladed::opt

@@ -9,7 +9,19 @@
 /// `--selftest` runs the checker against crafted *bad* programs and
 /// translations and verifies each one is rejected with the expected
 /// diagnostic code at the expected instruction index — the checker checking
-/// itself. Both modes are wired into ctest.
+/// itself.
+///
+/// `--opt` runs the verified optimizer pipeline (opt/opt.hpp) over the
+/// optimizer corpus (cms::opt_corpus) and reports per-pass instruction
+/// deltas plus engine cycle counts at opt_level 0 vs 2 — final machine
+/// states must be bit-identical. A rejected pass (a transform whose proof
+/// obligation failed) fails the run.
+///
+/// `--mem-doubles N` overrides each corpus entry's machine memory size.
+///
+/// Exit codes (stable; CI gates on them): 0 clean, 1 at least one
+/// error-severity finding (or a failed optimizer proof), 3 warning-severity
+/// findings only, 64 usage error. All three modes are wired into ctest.
 
 #include <cstring>
 #include <iostream>
@@ -18,12 +30,19 @@
 #include "check/check.hpp"
 #include "check/differential.hpp"
 #include "cms/programs.hpp"
+#include "common/rng.hpp"
+#include "opt/opt.hpp"
 
 namespace {
 
 using namespace bladed;
 using cms::Instr;
 using cms::Op;
+
+constexpr int kExitClean = 0;
+constexpr int kExitErrors = 1;
+constexpr int kExitWarnings = 3;
+constexpr int kExitUsage = 64;
 
 Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
   Instr in;
@@ -35,19 +54,22 @@ Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
   return in;
 }
 
-int run_corpus(bool verbose) {
+int run_corpus(bool verbose, std::size_t mem_override) {
   std::size_t findings = 0;
+  std::size_t errors = 0;
   for (const cms::NamedProgram& entry : cms::lint_corpus()) {
-    check::Report report = check::check_program(entry.program,
-                                                entry.mem_doubles);
+    const std::size_t mem =
+        mem_override != 0 ? mem_override : entry.mem_doubles;
+    check::Report report = check::check_program(entry.program, mem);
     if (report.ok()) {
       report.merge(check::check_translations(entry.program));
       check::DifferentialOptions opt;
-      opt.mem_doubles = entry.mem_doubles;
+      opt.mem_doubles = mem;
       report.merge(check::differential_check(entry.program, opt));
     }
     if (!report.clean()) {
       findings += report.diagnostics().size();
+      errors += report.error_count();
       std::cout << entry.name << ": " << report.error_count() << " error(s), "
                 << report.warning_count() << " warning(s)\n"
                 << report.to_string();
@@ -57,11 +79,81 @@ int run_corpus(bool verbose) {
     }
   }
   if (findings != 0) {
-    std::cout << "bladed-lint: " << findings << " finding(s)\n";
-    return 1;
+    std::cout << "bladed-lint: " << findings << " finding(s), " << errors
+              << " error-severity\n";
+    return errors != 0 ? kExitErrors : kExitWarnings;
   }
   std::cout << "bladed-lint: corpus clean\n";
-  return 0;
+  return kExitClean;
+}
+
+bool same_bits_d(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// `--opt`: optimize the corpus, print per-pass deltas and the engine cycle
+/// counts at opt_level 0 vs 2; final machine states must match bitwise.
+int run_opt(bool verbose, std::size_t mem_override) {
+  bool failed = false;
+  for (const cms::NamedProgram& entry : cms::opt_corpus()) {
+    const std::size_t mem =
+        mem_override != 0 ? mem_override : entry.mem_doubles;
+    opt::OptOptions opts;
+    opts.level = 2;
+    opts.mem_doubles = mem;
+    const opt::OptResult res = opt::optimize(entry.program, opts);
+
+    // Identical memory images; the level-2 engine consumes the optimizer
+    // through the MorphingConfig hook, so the run exercises the same path
+    // the ablation bench and users take.
+    cms::MachineState s0(mem);
+    Rng rng(0xb1ade);
+    for (double& cell : s0.mem) cell = rng.uniform(-2.0, 2.0);
+    cms::MachineState s1 = s0;
+    cms::MorphingEngine e0((cms::MorphingConfig()));
+    cms::MorphingConfig cfg1;
+    cfg1.opt_level = 2;
+    cfg1.optimizer = opt::engine_optimizer();
+    cms::MorphingEngine e1(cfg1);
+    const cms::MorphingStats st0 = e0.run(entry.program, s0);
+    const cms::MorphingStats st1 = e1.run(entry.program, s1);
+
+    bool identical = true;
+    for (int r = 0; r < 16; ++r) identical &= s0.r[r] == s1.r[r];
+    for (int f = 0; f < 8; ++f) identical &= same_bits_d(s0.f[f], s1.f[f]);
+    for (std::size_t i = 0; identical && i < s0.mem.size(); ++i) {
+      identical = same_bits_d(s0.mem[i], s1.mem[i]);
+    }
+
+    const double pct =
+        st0.total_cycles == 0
+            ? 0.0
+            : 100.0 *
+                  (static_cast<double>(st1.total_cycles) -
+                   static_cast<double>(st0.total_cycles)) /
+                  static_cast<double>(st0.total_cycles);
+    std::cout << entry.name << ": instrs " << entry.program.size() << " -> "
+              << res.program.size() << ", cycles " << st0.total_cycles
+              << " -> " << st1.total_cycles << " ("
+              << (pct >= 0 ? "+" : "") << pct << "%), "
+              << (identical ? "results identical" : "RESULTS DIVERGE")
+              << "\n";
+    for (const opt::PassDelta& d : res.deltas) {
+      if (d.rejected) {
+        std::cout << "  " << d.pass << ": REJECTED — " << d.note << "\n";
+        failed = true;
+      } else if (d.applied) {
+        std::cout << "  " << d.pass << ": applied, " << d.instrs_before
+                  << " -> " << d.instrs_after << "\n";
+      } else if (verbose) {
+        std::cout << "  " << d.pass << ": no change\n";
+      }
+    }
+    if (!identical) failed = true;
+  }
+  std::cout << (failed ? "bladed-lint --opt: FAILED\n"
+                       : "bladed-lint --opt: all proofs held\n");
+  return failed ? kExitErrors : kExitClean;
 }
 
 /// One selftest case: the checker must emit `code` anchored at `instr`.
@@ -222,23 +314,44 @@ int run_selftest() {
   }
   std::cout << "bladed-lint selftest: " << (cases.size() - failures) << "/"
             << cases.size() << " rejections behaved as expected\n";
-  return failures == 0 ? 0 : 1;
+  return failures == 0 ? kExitClean : kExitErrors;
+}
+
+int usage() {
+  std::cerr << "usage: bladed-lint [--selftest | --opt] [--verbose]"
+               " [--mem-doubles N]\n"
+               "exit codes: 0 clean, 1 error findings / failed optimizer"
+               " proof, 3 warning findings only, 64 usage\n";
+  return kExitUsage;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool selftest = false;
+  bool opt_mode = false;
   bool verbose = false;
+  std::size_t mem_override = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--selftest") == 0) {
       selftest = true;
+    } else if (std::strcmp(argv[i], "--opt") == 0) {
+      opt_mode = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--mem-doubles") == 0 && i + 1 < argc) {
+      try {
+        mem_override = std::stoull(argv[++i]);
+      } catch (const std::exception&) {
+        return usage();
+      }
+      if (mem_override == 0) return usage();
     } else {
-      std::cerr << "usage: bladed-lint [--selftest] [--verbose]\n";
-      return 2;
+      return usage();
     }
   }
-  return selftest ? run_selftest() : run_corpus(verbose);
+  if (selftest && opt_mode) return usage();
+  if (selftest) return run_selftest();
+  if (opt_mode) return run_opt(verbose, mem_override);
+  return run_corpus(verbose, mem_override);
 }
