@@ -35,7 +35,12 @@ DETERMINISTIC = ("virtual_seconds", "ops", "cycles")
 def load(path):
     """Return {(bench, result_name): result_dict} from a JSONL collection."""
     entries = {}
-    with open(path, encoding="utf-8") as f:
+    try:
+        f = open(path, encoding="utf-8")
+    except OSError as e:
+        sys.exit(f"bench_gate: cannot read {path}: {e.strerror}. "
+                 f"Generate a collection with scripts/bench.sh --out FILE.")
+    with f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
             if not line:
@@ -47,10 +52,18 @@ def load(path):
             if doc.get("schema") != "bladed-bench-v1":
                 sys.exit(f"{path}:{lineno}: unexpected schema "
                          f"{doc.get('schema')!r}")
+            if "bench" not in doc:
+                sys.exit(f"{path}:{lineno}: document has no 'bench' key")
             for r in doc.get("results", []):
+                if "name" not in r:
+                    sys.exit(f"{path}:{lineno}: result row in bench "
+                             f"{doc['bench']!r} has no 'name' key")
                 entries[(doc["bench"], r["name"])] = r
     if not entries:
-        sys.exit(f"{path}: no bladed-bench-v1 results found")
+        sys.exit(f"bench_gate: {path} holds no bladed-bench-v1 rows (empty "
+                 f"or baseline-less collection). Regenerate it with "
+                 f"scripts/bench.sh --out {path}, or check in a baseline "
+                 f"before enabling the gate.")
     return entries
 
 
@@ -78,7 +91,7 @@ def opt_level_regressions(entries):
         if not sep or not level.isdigit() or int(level) == 0:
             continue
         base = entries.get((bench, f"{stem}.l0"))
-        if base is None:
+        if base is None or "cycles" not in r or "cycles" not in base:
             continue
         if r["cycles"] > base["cycles"]:
             failures.append(
@@ -105,13 +118,23 @@ def compare(baseline_path, candidate_path, tolerance):
             failures.append(f"{bench_name}: missing from candidate")
             continue
         for metric in DETERMINISTIC:
+            if metric not in b:
+                failures.append(f"{bench_name}: no baseline row for "
+                                f"{metric} (stale baseline? regenerate "
+                                f"bench/baseline.json with scripts/bench.sh)")
+                continue
+            if metric not in c:
+                failures.append(
+                    f"{bench_name}: candidate row lacks {metric}")
+                continue
             d = rel_delta(b[metric], c[metric])
             if d > tolerance:
                 failures.append(
                     f"{bench_name}: {metric} moved {d * 100:.2f}% "
                     f"({b[metric]:.8g} -> {c[metric]:.8g}, "
                     f"tolerance {tolerance * 100:.0f}%)")
-        wall_b, wall_c = b["wall_seconds"], c["wall_seconds"]
+        wall_b = b.get("wall_seconds", 0.0)
+        wall_c = c.get("wall_seconds", 0.0)
         if wall_b > 0:
             print(f"info: {bench_name}: wall {wall_b:.3f}s -> {wall_c:.3f}s "
                   f"({(wall_c / wall_b - 1) * 100:+.1f}%)")

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Sanitizer gates. CI entry point; also runnable locally.
+# Sanitizer and model-checker gates. CI entry point; also runnable locally.
 #
-#   check.sh [asan|tsan|all]   (default: asan)
+#   check.sh [asan|tsan|mc|all]   (default: asan)
 #
 # asan: build the whole tree with ASan + UBSan and run the full tier-1 test
 # suite (plus the bladed-lint / bladed-commcheck ctest entries) under both.
@@ -11,6 +11,13 @@
 # exercise real rank threads, so TSan is the gate that proves the engine
 # lock discipline (every op_* and recorder hook under ClusterImpl::mu).
 # Selected via the ctest labels bladed_add_test attaches per binary.
+#
+# mc: build with -DBLADED_MC=ON (the mc:: shims resolve to the checker-
+# routed classes instead of the std types) and run the bladed-mc gates —
+# selftest (every seeded bug refuted, every shipped protocol verified
+# clean by exhaustive DPOR exploration) plus the per-protocol proofs —
+# and the engine suites (test_mc/test_simnet/test_hostperf), proving the
+# checked build still runs the real engine via the shims' std fallback.
 #
 # Separate build dirs keep the sanitized objects from polluting the normal
 # build (and TSan's runtime cannot coexist with ASan's).
@@ -44,9 +51,23 @@ run_tsan() {
   echo "check.sh: threaded suites clean under TSan"
 }
 
+run_mc() {
+  local dir=${MC_BUILD_DIR:-build-mc}
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBLADED_MC=ON
+  cmake --build "${dir}" -j "${JOBS}" \
+    --target bladed-mc test_mc test_simnet test_hostperf
+  # Anchored: a bare 'mc' would also select the commcheck-labeled tests.
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    -L '^(mc|test_mc|test_simnet|test_hostperf)$'
+  echo "check.sh: mc protocol proofs + engine suites clean under BLADED_MC"
+}
+
 case "${STAGE}" in
   asan) run_asan ;;
   tsan) run_tsan ;;
-  all) run_asan; run_tsan ;;
-  *) echo "usage: check.sh [asan|tsan|all]" >&2; exit 2 ;;
+  mc) run_mc ;;
+  all) run_asan; run_tsan; run_mc ;;
+  *) echo "usage: check.sh [asan|tsan|mc|all]" >&2; exit 2 ;;
 esac

@@ -11,8 +11,9 @@
 /// instead of 24 oversubscribed threads — or 1-wide for bit-for-bit
 /// comparison runs.
 
-#include <condition_variable>
 #include <mutex>
+
+#include "mc/shim.hpp"
 
 namespace bladed::hostperf {
 
@@ -21,6 +22,15 @@ namespace bladed::hostperf {
 /// communication point) and re-acquired before returning to user code, so a
 /// slot holder never waits on a scheduler grant while holding its slot —
 /// waiters always make progress.
+///
+/// Verified by the bladed-mc `slot-pool` protocol model [mc:slot-pool]:
+/// acquire is modeled as wait-on-free/decrement under mu_, release as
+/// increment-then-notify, and the model checker proves (exhaustively over
+/// the reduced interleaving space) that at most `count` ranks compute at
+/// once, that releasing *before* parking for a grant keeps the pool live,
+/// and that dropping the notify or holding the slot across the park is a
+/// reachable deadlock. The mc:: aliases below are the plain std types in
+/// production builds; -DBLADED_MC=ON swaps in the checker-routed shims.
 class ComputeSlots {
  public:
   explicit ComputeSlots(int count = 1) : free_(count) {}
@@ -28,27 +38,33 @@ class ComputeSlots {
   /// Reset the pool to `count` free slots. Callers must be quiescent (no
   /// concurrent acquire/release) — the engine resets between runs.
   void reset(int count) {
-    std::lock_guard<std::mutex> lk(mu_);
+    mc::lock_guard lk(mu_);
     free_ = count;
   }
 
+  // [mc:slot-pool] ComputeSlots::acquire: scan-and-park under one hold of
+  // mu_, so a release's increment+notify cannot fall between the free_ scan
+  // and the wait (the lost-release seeded bug).
   void acquire() {
-    std::unique_lock<std::mutex> lk(mu_);
+    mc::unique_lock lk(mu_);
     cv_.wait(lk, [&] { return free_ > 0; });
     --free_;
   }
 
+  // [mc:slot-pool] ComputeSlots::release: increment under mu_, then notify.
+  // Skipping the notify strands a parked acquirer (seeded bug
+  // slot-pool/lost-release).
   void release() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      mc::lock_guard lk(mu_);
       ++free_;
     }
     cv_.notify_one();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  mc::mutex mu_;
+  mc::condvar cv_;
   int free_ = 1;
 };
 

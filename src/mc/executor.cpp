@@ -1,0 +1,823 @@
+#include "mc/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace bladed::mc {
+
+namespace {
+
+thread_local Executor* tls_executor = nullptr;
+thread_local int tls_actor = -1;
+
+/// Thrown into an actor thread to unwind it when the execution ends.
+struct AbortExecution {};
+
+std::string format_value(std::uint64_t bits) {
+  double d;
+  static_assert(sizeof d == sizeof bits);
+  std::memcpy(&d, &bits, sizeof d);
+  char buf[48];
+  const bool plausible_double =
+      std::isinf(d) || d == 0.0 ||
+      (std::isfinite(d) && std::fabs(d) >= 1e-3 && std::fabs(d) < 1e9);
+  if (plausible_double) {
+    std::snprintf(buf, sizeof buf, "%g", d);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(bits));
+  }
+  return buf;
+}
+
+void join_clock(std::vector<std::uint32_t>& into,
+                const std::vector<std::uint32_t>& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+bool clock_leq(const std::vector<std::uint32_t>& a,
+               const std::vector<std::uint32_t>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > (i < b.size() ? b[i] : 0)) return false;
+  }
+  return true;
+}
+
+const char* order_name(std::memory_order mo) {
+  switch (mo) {
+    case std::memory_order_relaxed: return "relaxed";
+    case std::memory_order_acquire: return "acquire";
+    case std::memory_order_release: return "release";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "seq_cst";
+    default: return "consume";
+  }
+}
+
+}  // namespace
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+    case OpKind::kVarRead: return "read";
+    case OpKind::kVarWrite: return "write";
+    case OpKind::kLockAcquire: return "lock";
+    case OpKind::kLockRelease: return "unlock";
+    case OpKind::kCvWait: return "cv-wait";
+    case OpKind::kCvWake: return "cv-wake";
+    case OpKind::kCvNotify: return "cv-notify";
+    case OpKind::kFlush: return "flush";
+  }
+  return "?";
+}
+
+Executor* current_executor() { return tls_executor; }
+
+void model_check(bool ok, const char* message) {
+  if (Executor* ex = current_executor()) ex->check(ok, message);
+}
+
+// --- shim trampolines ------------------------------------------------------
+
+namespace detail {
+std::uint64_t executor_atomic_load(Executor* ex, int obj,
+                                   std::memory_order mo) {
+  return ex->atomic_load(obj, mo);
+}
+void executor_atomic_store(Executor* ex, int obj, std::uint64_t bits,
+                           std::memory_order mo) {
+  ex->atomic_store(obj, bits, mo);
+}
+void executor_lock(Executor* ex, int obj) { ex->mutex_lock(obj); }
+void executor_unlock(Executor* ex, int obj) { ex->mutex_unlock(obj); }
+void executor_cv_wait(Executor* ex, int obj, int mutex_obj) {
+  ex->cv_wait(obj, mutex_obj);
+}
+void executor_cv_notify(Executor* ex, int obj, bool all) {
+  ex->cv_notify(obj, all);
+}
+std::uint64_t executor_var_read(Executor* ex, int obj) {
+  return ex->var_read(obj);
+}
+void executor_var_write(Executor* ex, int obj, std::uint64_t bits) {
+  ex->var_write(obj, bits);
+}
+int executor_register_object(Executor* ex, int kind, const char* label) {
+  return ex->register_object(kind, label);
+}
+}  // namespace detail
+
+// --- internal state --------------------------------------------------------
+
+struct Executor::Actor {
+  std::thread th;
+  std::condition_variable cv;
+  std::string name;
+  PendingOp pending;
+  bool has_pending = false;
+  bool resume = false;
+  bool finished = false;
+  std::uint64_t result = 0;
+};
+
+struct Executor::Object {
+  int kind = 0;
+  std::string label;
+  // Atomic / var cell.
+  std::uint64_t value = 0;
+  std::vector<std::uint32_t> write_sync;  ///< sync clock of last commit
+  bool writer_release = false;
+  std::vector<std::uint32_t> var_write_sync;
+  std::vector<std::uint32_t> var_read_sync;  ///< join of reader clocks
+  bool var_written = false;
+  // Mutex.
+  int owner = -1;
+  std::vector<std::uint32_t> mutex_sync;
+  // Condvar: parked waiters and outstanding wake tokens. A token is
+  // eligible only to the waiters present when its notify fired, so a wake
+  // can never be claimed by a thread that started waiting later.
+  std::vector<int> waiters;
+  struct Token {
+    std::vector<int> eligible;
+    std::vector<std::uint32_t> sync;
+  };
+  std::vector<Token> tokens;
+  // DPOR object clocks.
+  std::vector<std::uint32_t> d_write;
+  std::vector<std::uint32_t> d_reads;
+  std::vector<std::uint32_t> d_all;
+};
+
+struct Executor::Mu {
+  std::mutex m;
+  std::condition_variable sched_cv;
+  bool initializing = true;
+};
+
+Executor::Executor(int max_steps) : max_steps_(max_steps) {}
+Executor::~Executor() = default;
+
+// --- registration & model assertions ---------------------------------------
+
+int Executor::register_object(int kind, const char* label) {
+  Object o;
+  o.kind = kind;
+  o.label = std::string(label) + "#" + std::to_string(objects_.size());
+  objects_.push_back(std::move(o));
+  return static_cast<int>(objects_.size()) - 1;
+}
+
+const std::string& Executor::object_label(int obj) const {
+  return objects_[static_cast<std::size_t>(obj)].label;
+}
+
+void Executor::check(bool ok, const char* message) {
+  if (ok) return;
+  std::unique_lock<std::mutex> lk(mu_->m);
+  record_violation("assertion", message);
+  throw AbortExecution{};
+}
+
+void Executor::record_violation(std::string kind, std::string message) {
+  if (!violation_) violation_ = Violation{std::move(kind), std::move(message)};
+  aborting_ = true;
+  mu_->sched_cv.notify_all();
+  for (auto& a : actors_) a->cv.notify_all();
+}
+
+// --- visible-operation announcement (actor threads) ------------------------
+
+std::uint64_t Executor::visible(PendingOp op) {
+  Actor& me = *actors_[static_cast<std::size_t>(tls_actor)];
+  // A mutex release is announced from noexcept contexts (unique_lock /
+  // lock_guard destructors), so on abort it must return without effect
+  // instead of throwing; the thread then unwinds at its next visible op
+  // (or simply finishes).
+  const bool may_throw = op.kind != OpKind::kLockRelease;
+  std::unique_lock<std::mutex> lk(mu_->m);
+  if (aborting_) {
+    if (may_throw) throw AbortExecution{};
+    return 0;
+  }
+  me.pending = op;
+  me.has_pending = true;
+  me.resume = false;
+  mu_->sched_cv.notify_one();
+  me.cv.wait(lk, [&] { return me.resume || aborting_; });
+  if (aborting_) {
+    if (may_throw) throw AbortExecution{};
+    me.has_pending = false;
+    return 0;
+  }
+  me.resume = false;
+  return me.result;
+}
+
+std::uint64_t Executor::atomic_load(int obj, std::memory_order mo) {
+  if (mu_->initializing) return objects_[obj].value;
+  return visible({OpKind::kLoad, obj, -1, mo, 0, false});
+}
+
+void Executor::atomic_store(int obj, std::uint64_t bits,
+                            std::memory_order mo) {
+  if (mu_->initializing) {
+    objects_[obj].value = bits;
+    return;
+  }
+  visible({OpKind::kStore, obj, -1, mo, bits, false});
+}
+
+void Executor::mutex_lock(int obj) {
+  visible({OpKind::kLockAcquire, obj, -1, std::memory_order_seq_cst, 0,
+           false});
+}
+
+void Executor::mutex_unlock(int obj) {
+  if (aborting_) return;  // RAII unlock while the execution unwinds
+  visible({OpKind::kLockRelease, obj, -1, std::memory_order_seq_cst, 0,
+           false});
+}
+
+void Executor::cv_wait(int obj, int mutex_obj) {
+  // One visible transition atomically releases the mutex and enlists; the
+  // pending op then advances through kCvWake (token) and kLockAcquire
+  // (re-entry) before the thread resumes — the thread parks exactly once.
+  visible({OpKind::kCvWait, obj, mutex_obj, std::memory_order_seq_cst, 0,
+           false});
+}
+
+void Executor::cv_notify(int obj, bool all) {
+  visible({OpKind::kCvNotify, obj, -1, std::memory_order_seq_cst, 0, all});
+}
+
+std::uint64_t Executor::var_read(int obj) {
+  return visible({OpKind::kVarRead, obj, -1, std::memory_order_relaxed, 0,
+                  false});
+}
+
+void Executor::var_write(int obj, std::uint64_t bits) {
+  if (mu_->initializing) {
+    objects_[obj].value = bits;
+    return;
+  }
+  visible({OpKind::kVarWrite, obj, -1, std::memory_order_relaxed, bits,
+           false});
+}
+
+// --- enabledness ------------------------------------------------------------
+
+std::vector<int> Executor::enabled_actions() const {
+  std::vector<int> out;
+  const int n = num_actors();
+  for (int i = 0; i < n; ++i) {
+    const Actor& a = *actors_[static_cast<std::size_t>(i)];
+    if (!a.has_pending || a.finished) continue;
+    const PendingOp& op = a.pending;
+    bool enabled = false;
+    switch (op.kind) {
+      case OpKind::kLoad:
+      case OpKind::kVarRead:
+      case OpKind::kVarWrite:
+      case OpKind::kCvNotify:
+        enabled = true;
+        break;
+      case OpKind::kStore:
+        // A seq_cst store is a barrier: its TSO drain happens first, as
+        // explicitly scheduled flush actions, so the store itself only
+        // fires on an empty buffer.
+        enabled = op.order != std::memory_order_seq_cst ||
+                  buffers_[static_cast<std::size_t>(i)].empty();
+        break;
+      case OpKind::kLockAcquire:
+        enabled = buffers_[static_cast<std::size_t>(i)].empty() &&
+                  objects_[static_cast<std::size_t>(op.object)].owner == -1;
+        break;
+      case OpKind::kLockRelease:
+      case OpKind::kCvWait:
+        enabled = buffers_[static_cast<std::size_t>(i)].empty();
+        break;
+      case OpKind::kCvWake: {
+        const Object& cv = objects_[static_cast<std::size_t>(op.object)];
+        for (const Object::Token& t : cv.tokens) {
+          if (std::find(t.eligible.begin(), t.eligible.end(), i) !=
+              t.eligible.end()) {
+            enabled = true;
+            break;
+          }
+        }
+        break;
+      }
+      case OpKind::kFlush:
+        break;
+    }
+    if (enabled) out.push_back(i);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!buffers_[static_cast<std::size_t>(i)].empty()) out.push_back(n + i);
+  }
+  return out;
+}
+
+bool Executor::has_pending(int action) const {
+  const int n = num_actors();
+  if (action >= n) {
+    return !buffers_[static_cast<std::size_t>(action - n)].empty();
+  }
+  const Actor& a = *actors_[static_cast<std::size_t>(action)];
+  return a.has_pending && !a.finished;
+}
+
+PendingOp Executor::pending_of(int action) const {
+  const int n = num_actors();
+  if (action >= n) {
+    const auto& buf = buffers_[static_cast<std::size_t>(action - n)];
+    PendingOp op;
+    op.kind = OpKind::kFlush;
+    op.object = buf.front().object;
+    op.value = buf.front().value;
+    return op;
+  }
+  return actors_[static_cast<std::size_t>(action)]->pending;
+}
+
+bool Executor::dependent(const PendingOp& a, const PendingOp& b) {
+  const auto touches = [](const PendingOp& op, int obj) {
+    return op.object == obj || op.object2 == obj;
+  };
+  // A non-seq_cst store only mutates the owner's private buffer; its shared
+  // effect is the later kFlush, which carries the dependence instead.
+  const auto is_private = [](const PendingOp& op) {
+    return op.kind == OpKind::kStore &&
+           op.order != std::memory_order_seq_cst;
+  };
+  if (is_private(a) || is_private(b)) return false;
+  const auto is_read = [](const PendingOp& op) {
+    return op.kind == OpKind::kLoad || op.kind == OpKind::kVarRead;
+  };
+  for (const int obj : {a.object, a.object2}) {
+    if (obj < 0 || !touches(b, obj)) continue;
+    if (is_read(a) && is_read(b)) continue;
+    return true;
+  }
+  return false;
+}
+
+bool Executor::may_be_coenabled(const PendingOp& a, const PendingOp& b) {
+  // The mutex an op can only execute while holding (so its being enabled
+  // proves the mutex is held by its actor).
+  const auto held_mutex = [](const PendingOp& op) {
+    if (op.kind == OpKind::kLockRelease) return op.object;
+    if (op.kind == OpKind::kCvWait) return op.object2;
+    return -1;
+  };
+  const int ha = held_mutex(a);
+  const int hb = held_mutex(b);
+  // Two ops that both require holding the same mutex exclude each other,
+  // and either excludes an acquire of that mutex (acquire enabled => free).
+  if (ha >= 0 && ha == hb) return false;
+  if (ha >= 0 && b.kind == OpKind::kLockAcquire && b.object == ha)
+    return false;
+  if (hb >= 0 && a.kind == OpKind::kLockAcquire && a.object == hb)
+    return false;
+  return true;
+}
+
+bool Executor::happened_before(std::size_t idx, int action) const {
+  const Transition& t = trace_[idx];
+  const std::size_t slot = static_cast<std::size_t>(t.action);
+  const auto& cur = dclk_[static_cast<std::size_t>(action)];
+  return t.clock[slot] <= (slot < cur.size() ? cur[slot] : 0);
+}
+
+// --- applying transitions (scheduler thread, lock held) ---------------------
+
+void Executor::dpor_advance(int action, const PendingOp& op) {
+  auto& clk = dclk_[static_cast<std::size_t>(action)];
+  // Join with the clocks of past dependent transitions on the touched
+  // objects, then tick this slot's own component.
+  const auto join_obj = [&](int obj_id, bool write) {
+    if (obj_id < 0) return;
+    Object& o = objects_[static_cast<std::size_t>(obj_id)];
+    if (o.kind == detail::kObjMutex || o.kind == detail::kObjCondvar) {
+      join_clock(clk, o.d_all);
+    } else {
+      join_clock(clk, o.d_write);
+      if (write) join_clock(clk, o.d_reads);
+    }
+  };
+  const bool writes = op.kind == OpKind::kStore ||
+                      op.kind == OpKind::kVarWrite ||
+                      op.kind == OpKind::kFlush;
+  // A buffered store is private: it neither observes nor publishes object
+  // clocks (the flush that commits it carries the cross-thread dependence).
+  // Joining here would smuggle other threads' histories into the storing
+  // thread's clock and hide real races from the DPOR backtrack test.
+  const bool is_private =
+      op.kind == OpKind::kStore && op.order != std::memory_order_seq_cst;
+  if (!is_private) {
+    join_obj(op.object, writes);
+    join_obj(op.object2, writes);
+  }
+  clk[static_cast<std::size_t>(action)] += 1;
+  const auto publish = [&](int obj_id) {
+    if (obj_id < 0) return;
+    Object& o = objects_[static_cast<std::size_t>(obj_id)];
+    if (o.kind == detail::kObjMutex || o.kind == detail::kObjCondvar) {
+      o.d_all = clk;
+    } else if (writes) {
+      o.d_write = clk;
+    } else {
+      join_clock(o.d_reads, clk);
+    }
+  };
+  if (!is_private) {
+    publish(op.object);
+    publish(op.object2);
+  }
+}
+
+void Executor::commit_store(int actor, int obj, std::uint64_t bits,
+                            bool release,
+                            const std::vector<std::uint32_t>& sync_clock) {
+  (void)actor;
+  Object& o = objects_[static_cast<std::size_t>(obj)];
+  o.value = bits;
+  o.writer_release = release;
+  if (release) o.write_sync = sync_clock;
+}
+
+void Executor::apply(int action) {
+  const int n = num_actors();
+  Transition t;
+  t.action = action;
+  t.op = pending_of(action);
+  dpor_advance(action, t.op);
+
+  if (action >= n) {
+    // Flush: commit the oldest buffered store of thread (action - n).
+    const int owner = action - n;
+    t.actor = owner;
+    auto& buf = buffers_[static_cast<std::size_t>(owner)];
+    BufEntry e = std::move(buf.front());
+    buf.pop_front();
+    // The flush is program-ordered after the store that buffered the entry.
+    join_clock(dclk_[static_cast<std::size_t>(action)], e.dpor_clock);
+    commit_store(owner, e.object, e.value, e.release, e.sync_clock);
+    t.observed = e.value;
+    t.clock = dclk_[static_cast<std::size_t>(action)];
+    trace_.push_back(std::move(t));
+    return;
+  }
+
+  Actor& me = *actors_[static_cast<std::size_t>(action)];
+  t.actor = action;
+  const PendingOp op = me.pending;
+  auto& sclk = sclk_[static_cast<std::size_t>(action)];
+  sclk[static_cast<std::size_t>(action)] += 1;
+  bool resume = true;
+
+  switch (op.kind) {
+    case OpKind::kLoad: {
+      Object& o = objects_[static_cast<std::size_t>(op.object)];
+      bool forwarded = false;
+      std::uint64_t v = 0;
+      const auto& buf = buffers_[static_cast<std::size_t>(action)];
+      for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+        if (it->object == op.object) {
+          v = it->value;
+          forwarded = true;
+          break;
+        }
+      }
+      if (!forwarded) {
+        v = o.value;
+        const bool acquire = op.order == std::memory_order_acquire ||
+                             op.order == std::memory_order_seq_cst ||
+                             op.order == std::memory_order_acq_rel;
+        if (acquire && o.writer_release) join_clock(sclk, o.write_sync);
+      }
+      me.result = v;
+      t.observed = v;
+      break;
+    }
+    case OpKind::kStore: {
+      const bool seq = op.order == std::memory_order_seq_cst;
+      const bool release = seq || op.order == std::memory_order_release ||
+                           op.order == std::memory_order_acq_rel;
+      if (seq) {
+        commit_store(action, op.object, op.value, true, sclk);
+      } else {
+        BufEntry e;
+        e.object = op.object;
+        e.value = op.value;
+        e.release = release;
+        if (release) e.sync_clock = sclk;
+        e.dpor_clock = dclk_[static_cast<std::size_t>(action)];
+        buffers_[static_cast<std::size_t>(action)].push_back(std::move(e));
+        t.buffered = true;
+      }
+      t.observed = op.value;
+      break;
+    }
+    case OpKind::kVarRead: {
+      Object& o = objects_[static_cast<std::size_t>(op.object)];
+      race_check(action, o, /*write=*/false);
+      join_clock(o.var_read_sync, sclk);
+      me.result = o.value;
+      t.observed = o.value;
+      break;
+    }
+    case OpKind::kVarWrite: {
+      Object& o = objects_[static_cast<std::size_t>(op.object)];
+      race_check(action, o, /*write=*/true);
+      o.value = op.value;
+      o.var_write_sync = sclk;
+      o.var_written = true;
+      t.observed = op.value;
+      break;
+    }
+    case OpKind::kLockAcquire: {
+      Object& o = objects_[static_cast<std::size_t>(op.object)];
+      o.owner = action;
+      join_clock(sclk, o.mutex_sync);
+      break;
+    }
+    case OpKind::kLockRelease: {
+      Object& o = objects_[static_cast<std::size_t>(op.object)];
+      if (o.owner != action) {
+        record_violation("mutex-misuse",
+                         me.name + " unlocked " + o.label +
+                             " without owning it");
+        return;
+      }
+      o.owner = -1;
+      o.mutex_sync = sclk;
+      break;
+    }
+    case OpKind::kCvWait: {
+      Object& cv = objects_[static_cast<std::size_t>(op.object)];
+      Object& m = objects_[static_cast<std::size_t>(op.object2)];
+      if (m.owner != action) {
+        record_violation("mutex-misuse",
+                         me.name + " waited on " + cv.label +
+                             " without holding " + m.label);
+        return;
+      }
+      m.owner = -1;
+      m.mutex_sync = sclk;
+      cv.waiters.push_back(action);
+      // Advance the pending op: blocked until a wake token is eligible,
+      // then re-acquire the mutex. The thread stays parked throughout.
+      me.pending = PendingOp{OpKind::kCvWake, op.object, op.object2,
+                             std::memory_order_seq_cst, 0, false};
+      resume = false;
+      break;
+    }
+    case OpKind::kCvWake: {
+      Object& cv = objects_[static_cast<std::size_t>(op.object)];
+      for (std::size_t i = 0; i < cv.tokens.size(); ++i) {
+        auto& el = cv.tokens[i].eligible;
+        if (std::find(el.begin(), el.end(), action) != el.end()) {
+          join_clock(sclk, cv.tokens[i].sync);
+          cv.tokens.erase(cv.tokens.begin() + static_cast<long>(i));
+          break;
+        }
+      }
+      cv.waiters.erase(
+          std::remove(cv.waiters.begin(), cv.waiters.end(), action),
+          cv.waiters.end());
+      me.pending = PendingOp{OpKind::kLockAcquire, op.object2, -1,
+                             std::memory_order_seq_cst, 0, false};
+      resume = false;
+      break;
+    }
+    case OpKind::kCvNotify: {
+      Object& cv = objects_[static_cast<std::size_t>(op.object)];
+      if (!cv.waiters.empty()) {
+        if (op.notify_all) {
+          for (const int w : cv.waiters) {
+            cv.tokens.push_back({{w}, sclk});
+          }
+        } else {
+          cv.tokens.push_back({cv.waiters, sclk});
+        }
+      }
+      break;
+    }
+    case OpKind::kFlush:
+      break;  // handled above
+  }
+
+  t.clock = dclk_[static_cast<std::size_t>(action)];
+  trace_.push_back(std::move(t));
+  if (resume) {
+    me.has_pending = false;
+    me.resume = true;
+    me.cv.notify_one();
+  }
+}
+
+void Executor::race_check(int actor, Object& o, bool write) {
+  const auto& sclk = sclk_[static_cast<std::size_t>(actor)];
+  const bool write_races =
+      o.var_written && !clock_leq(o.var_write_sync, sclk);
+  const bool read_races = write && !clock_leq(o.var_read_sync, sclk);
+  if (write_races || read_races) {
+    record_violation(
+        "data-race",
+        actors_[static_cast<std::size_t>(actor)]->name + " " +
+            (write ? "writes" : "reads") + " " + o.label +
+            " concurrently with an unordered prior " +
+            (write_races ? "write" : "read") +
+            " (no synchronization orders the accesses)");
+  }
+}
+
+// --- execution driver -------------------------------------------------------
+
+void Executor::finish_actors() {
+  aborting_ = true;
+  for (auto& a : actors_) a->cv.notify_all();
+}
+
+Executor::Result Executor::run(const ModelFactory& factory,
+                               const std::vector<std::string>& actor_names,
+                               const Picker& pick) {
+  mu_ = std::make_unique<Mu>();
+  Result res;
+  tls_executor = this;
+  tls_actor = -1;
+  std::vector<ThreadFn> fns = factory(*this);
+  mu_->initializing = false;
+
+  const int n = static_cast<int>(fns.size());
+  actors_.clear();
+  for (int i = 0; i < n; ++i) {
+    actors_.push_back(std::make_unique<Actor>());
+    actors_.back()->name = i < static_cast<int>(actor_names.size())
+                               ? actor_names[static_cast<std::size_t>(i)]
+                               : "actor" + std::to_string(i);
+  }
+  buffers_.assign(static_cast<std::size_t>(n), {});
+  dclk_.assign(static_cast<std::size_t>(2 * n),
+               std::vector<std::uint32_t>(static_cast<std::size_t>(2 * n), 0));
+  sclk_.assign(static_cast<std::size_t>(n),
+               std::vector<std::uint32_t>(static_cast<std::size_t>(n), 0));
+  trace_.clear();
+  violation_.reset();
+  aborting_ = false;
+
+  for (int i = 0; i < n; ++i) {
+    Actor* a = actors_[static_cast<std::size_t>(i)].get();
+    ThreadFn fn = std::move(fns[static_cast<std::size_t>(i)]);
+    a->th = std::thread([this, a, i, fn = std::move(fn)] {
+      tls_executor = this;
+      tls_actor = i;
+      try {
+        fn();
+      } catch (const AbortExecution&) {
+      } catch (const std::exception& e) {
+        std::unique_lock<std::mutex> lk(mu_->m);
+        record_violation("model-exception", e.what());
+      }
+      std::unique_lock<std::mutex> lk(mu_->m);
+      a->finished = true;
+      a->has_pending = false;
+      mu_->sched_cv.notify_one();
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(mu_->m);
+    for (;;) {
+      mu_->sched_cv.wait(lk, [&] {
+        return std::all_of(actors_.begin(), actors_.end(), [](const auto& a) {
+          return a->has_pending || a->finished;
+        });
+      });
+      if (violation_) break;
+      const std::vector<int> enabled = enabled_actions();
+      if (enabled.empty()) {
+        if (std::all_of(actors_.begin(), actors_.end(),
+                        [](const auto& a) { return a->finished; })) {
+          break;  // ran to completion
+        }
+        bool lost_wakeup = false;
+        std::string msg = "no action is enabled";
+        for (int i = 0; i < n; ++i) {
+          const Actor& a = *actors_[static_cast<std::size_t>(i)];
+          if (a.finished) continue;
+          const PendingOp& p = a.pending;
+          if (p.kind == OpKind::kCvWake) lost_wakeup = true;
+          msg += "; " + a.name + " blocked in " +
+                 std::string(op_kind_name(p.kind)) + " on " +
+                 object_label(p.object);
+        }
+        record_violation(lost_wakeup ? "lost-wakeup" : "deadlock", msg);
+        break;
+      }
+      if (static_cast<int>(trace_.size()) >= max_steps_) {
+        record_violation("step-budget",
+                         "execution exceeded " +
+                             std::to_string(max_steps_) + " transitions");
+        break;
+      }
+      const int a = pick(*this);
+      if (a == kAbortExecution) {
+        res.sleep_aborted = true;
+        break;
+      }
+      apply(a);
+      if (violation_) break;
+    }
+    finish_actors();
+  }
+  for (auto& a : actors_) {
+    if (a->th.joinable()) a->th.join();
+  }
+
+  res.violation = violation_;
+  res.trace = trace_;
+  res.end_states.reserve(actors_.size());
+  for (const auto& a : actors_) {
+    if (a->finished) {
+      res.end_states.push_back(a->name + ": finished");
+    } else if (a->has_pending) {
+      res.end_states.push_back(a->name + ": blocked in " +
+                               op_kind_name(a->pending.kind) + " on " +
+                               object_label(a->pending.object));
+    } else {
+      res.end_states.push_back(a->name + ": running");
+    }
+  }
+  tls_executor = nullptr;
+  return res;
+}
+
+// --- reporting --------------------------------------------------------------
+
+std::string Executor::describe(const Transition& t) const {
+  const Actor& a = *actors_[static_cast<std::size_t>(t.actor)];
+  std::string s = a.name;
+  if (t.action >= num_actors()) {
+    s += " [buffer]";
+  }
+  s += ": ";
+  s += op_kind_name(t.op.kind);
+  s += " ";
+  s += object_label(t.op.object);
+  switch (t.op.kind) {
+    case OpKind::kLoad:
+    case OpKind::kVarRead:
+      s += " -> " + format_value(t.observed);
+      s += t.op.kind == OpKind::kLoad
+               ? " (" + std::string(order_name(t.op.order)) + ")"
+               : "";
+      break;
+    case OpKind::kStore:
+      s += " = " + format_value(t.observed) + " (" + order_name(t.op.order);
+      if (t.buffered) s += ", buffered";
+      s += ")";
+      break;
+    case OpKind::kVarWrite:
+      s += " = " + format_value(t.observed);
+      break;
+    case OpKind::kFlush:
+      s += " commits " + format_value(t.observed);
+      break;
+    case OpKind::kCvWait:
+      s += " (releases " + object_label(t.op.object2) + ")";
+      break;
+    case OpKind::kCvWake:
+      s += " (reacquiring " + object_label(t.op.object2) + ")";
+      break;
+    case OpKind::kCvNotify:
+      s += t.op.notify_all ? " (all)" : " (one)";
+      break;
+    default:
+      break;
+  }
+  return s;
+}
+
+std::string Executor::format_schedule(
+    const std::vector<Transition>& trace) const {
+  std::string out;
+  std::string actions;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    out += "  step " + std::to_string(i) + ": " + describe(trace[i]) + "\n";
+    actions += (i ? "," : "") + std::to_string(trace[i].action);
+  }
+  out += "  replay with: --replay " + actions + "\n";
+  return out;
+}
+
+}  // namespace bladed::mc

@@ -1,0 +1,200 @@
+#pragma once
+
+/// bladed::mc — controlled-concurrency executor (one execution at a time).
+///
+/// A Model is a set of actor functions over shared state built from the
+/// checked shims (shim.hpp). The Executor runs the actors as real threads
+/// but admits exactly one visible operation at a time: each thread parks at
+/// every shim call, the scheduler (driven by the explorer's `pick` callback)
+/// chooses which pending action fires next, applies its effect to the model
+/// state, and resumes that thread to its next visible op. The resulting
+/// transition sequence is the execution's trace.
+///
+/// Memory model: operations on checked_atomic honor their declared orders
+/// under a TSO-style operational model — a non-seq_cst store is appended to
+/// the owning thread's FIFO store buffer and commits through an explicitly
+/// scheduled *flush* action, while loads forward from the own buffer first;
+/// a seq_cst store (and every mutex op) drains the buffer and commits
+/// immediately. This is exactly the store→load reordering that breaks a
+/// Dekker handshake whose publishes are weakened to relaxed, and for the
+/// shipped protocols — whose cross-thread accesses are all seq_cst atomics
+/// or mutex-protected — the buffers stay empty, so the exploration is a
+/// sound sequentially-consistent enumeration per the C++ memory model
+/// (seq_cst totality + data-race-freedom, which the vector-clock race
+/// detector verifies rather than assumes).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/shim.hpp"
+
+namespace bladed::mc {
+
+enum class OpKind : std::uint8_t {
+  kLoad,
+  kStore,
+  kVarRead,
+  kVarWrite,
+  kLockAcquire,
+  kLockRelease,
+  kCvWait,    ///< atomically release the mutex and enlist as a waiter
+  kCvWake,    ///< consume a wake token (disabled until one is eligible)
+  kCvNotify,  ///< notify_one / notify_all
+  kFlush,     ///< commit the oldest store-buffer entry (pseudo-action)
+};
+
+const char* op_kind_name(OpKind k);
+
+/// A thread's announced next operation (or a buffer's pending flush).
+struct PendingOp {
+  OpKind kind = OpKind::kLoad;
+  int object = -1;   ///< primary object (atomic / var / mutex / condvar)
+  int object2 = -1;  ///< secondary object (the mutex of a kCvWait)
+  std::memory_order order = std::memory_order_seq_cst;
+  std::uint64_t value = 0;  ///< bits to store, for store-class ops
+  bool notify_all = false;  ///< for kCvNotify
+};
+
+/// One executed step of the interleaving.
+struct Transition {
+  int action = -1;  ///< action id: actor id, or num_actors+t for flush(t)
+  int actor = -1;   ///< owning actor (for flush: the buffer's thread)
+  PendingOp op;
+  std::uint64_t observed = 0;  ///< value read / committed
+  bool buffered = false;       ///< store parked in the buffer, not committed
+  std::vector<std::uint32_t> clock;  ///< DPOR clock after this transition
+};
+
+struct Violation {
+  std::string kind;  ///< "deadlock" | "lost-wakeup" | "data-race" |
+                     ///< "assertion" | "mutex-misuse" | "step-budget"
+  std::string message;
+};
+
+class Executor {
+ public:
+  using ThreadFn = std::function<void()>;
+  /// Builds fresh model state (registering its objects against the current
+  /// executor) and returns one closure per actor.
+  using ModelFactory = std::function<std::vector<ThreadFn>(Executor&)>;
+  /// Explorer callback: pick one of enabled_actions(), or kAbortExecution
+  /// to abandon this execution (sleep-set blocked).
+  using Picker = std::function<int(Executor&)>;
+
+  static constexpr int kAbortExecution = -1;
+
+  struct Result {
+    std::optional<Violation> violation;
+    std::vector<Transition> trace;
+    bool sleep_aborted = false;
+    /// End-state description per actor (for deadlock reports).
+    std::vector<std::string> end_states;
+  };
+
+  explicit Executor(int max_steps = 20000);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Run one execution of the model under the given scheduler.
+  Result run(const ModelFactory& factory,
+             const std::vector<std::string>& actor_names, const Picker& pick);
+
+  // --- queries available to the Picker while the execution is paused -----
+
+  [[nodiscard]] int num_actors() const {
+    return static_cast<int>(actors_.size());
+  }
+  [[nodiscard]] int num_actions() const { return 2 * num_actors(); }
+  /// Actions that may fire now: runnable actors whose pending op is enabled,
+  /// plus the flush action of every non-empty store buffer. Ascending.
+  [[nodiscard]] std::vector<int> enabled_actions() const;
+  /// The announced next op of an action (actor's pending op, or the flush
+  /// of the buffer head). Only valid for enabled or announced actions.
+  [[nodiscard]] PendingOp pending_of(int action) const;
+  [[nodiscard]] bool has_pending(int action) const;
+  /// Would the two ops interfere (same object, not both reads)? The DPOR
+  /// dependence relation; same-action pairs are program-ordered, not racy.
+  [[nodiscard]] static bool dependent(const PendingOp& a, const PendingOp& b);
+  /// Could the two ops ever be enabled in the same state? Ops that require
+  /// holding the same mutex exclude each other (and the mutex's acquire);
+  /// DPOR only needs backtrack points for dependent AND co-enabled pairs.
+  [[nodiscard]] static bool may_be_coenabled(const PendingOp& a,
+                                             const PendingOp& b);
+  /// Happens-before test for DPOR: did trace[idx] happen-before the point
+  /// `action` is currently at (via its vector clock)?
+  [[nodiscard]] bool happened_before(std::size_t idx, int action) const;
+  [[nodiscard]] const std::vector<Transition>& trace() const { return trace_; }
+  [[nodiscard]] const std::string& object_label(int obj) const;
+
+  /// Human-readable description of one transition (for schedules/reports).
+  [[nodiscard]] std::string describe(const Transition& t) const;
+  /// Render a full trace as a numbered, replayable schedule.
+  [[nodiscard]] std::string format_schedule(
+      const std::vector<Transition>& trace) const;
+
+  // --- hooks called from the shims (actor threads) -----------------------
+
+  std::uint64_t atomic_load(int obj, std::memory_order mo);
+  void atomic_store(int obj, std::uint64_t bits, std::memory_order mo);
+  void mutex_lock(int obj);
+  void mutex_unlock(int obj);
+  void cv_wait(int obj, int mutex_obj);
+  void cv_notify(int obj, bool all);
+  std::uint64_t var_read(int obj);
+  void var_write(int obj, std::uint64_t bits);
+  int register_object(int kind, const char* label);
+  void check(bool ok, const char* message);
+
+ private:
+  struct Actor;
+  struct Object;
+  struct BufEntry {
+    int object = -1;
+    std::uint64_t value = 0;
+    std::vector<std::uint32_t> dpor_clock;  ///< storing thread's clock
+    std::vector<std::uint32_t> sync_clock;  ///< for release-or-stronger
+    bool release = false;
+  };
+
+  /// Announce `op` from the calling actor thread and park until the
+  /// scheduler has applied it; returns the op's observed value.
+  std::uint64_t visible(PendingOp op);
+  /// Apply the pending op of `action` (scheduler thread, lock held).
+  void apply(int action);
+  void commit_store(int actor, int obj, std::uint64_t bits, bool release,
+                    const std::vector<std::uint32_t>& sync_clock);
+  void dpor_advance(int action, const PendingOp& op);
+  void race_check(int actor, Object& o, bool write);
+  void record_violation(std::string kind, std::string message);
+  void finish_actors();
+
+  int max_steps_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::vector<Object> objects_;
+  std::vector<std::deque<BufEntry>> buffers_;
+  std::vector<Transition> trace_;
+  // DPOR clocks, one per action slot (actor slots then flush slots).
+  std::vector<std::vector<std::uint32_t>> dclk_;
+  // Synchronization-only clocks (race detection), one per actor.
+  std::vector<std::vector<std::uint32_t>> sclk_;
+  std::optional<Violation> violation_;
+  std::atomic<bool> aborting_{false};
+
+  struct Mu;  // threading internals (executor.cpp)
+  std::unique_ptr<Mu> mu_;
+};
+
+/// A checkable protocol model: named actors over shim-built shared state.
+struct Model {
+  std::string name;
+  std::vector<std::string> actor_names;
+  Executor::ModelFactory make;
+};
+
+}  // namespace bladed::mc

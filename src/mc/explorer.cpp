@@ -1,0 +1,170 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace bladed::mc {
+
+namespace {
+
+/// One state on the DFS stack. `enabled` and `sleep` are snapshots taken
+/// when the state was first reached; `done` accumulates the choices already
+/// explored from it and `backtrack` the choices DPOR still demands.
+struct Frame {
+  std::vector<int> enabled;
+  std::set<int> sleep;
+  std::set<int> done;
+  std::set<int> backtrack;
+  int chosen = -1;
+};
+
+}  // namespace
+
+ExploreResult Explorer::explore(const Model& model) {
+  ExploreResult out;
+  std::vector<Frame> frames;
+
+  for (;;) {
+    Executor ex(opt_.max_steps);
+    std::size_t depth = 0;
+    std::set<int> sleep;  // live sleep set along the current execution
+
+    const auto dpor_update = [&](Executor& e) {
+      // For every announced action p, find the most recent transition that
+      // is dependent with p's next op and not already ordered before it;
+      // the state it fired from must also try p.
+      const auto& trace = e.trace();
+      for (int p = 0; p < e.num_actions(); ++p) {
+        if (!e.has_pending(p)) continue;
+        const PendingOp next = e.pending_of(p);
+        for (std::size_t i = trace.size(); i-- > 0;) {
+          if (!Executor::dependent(trace[i].op, next)) continue;
+          if (!Executor::may_be_coenabled(trace[i].op, next)) continue;
+          // Ordered transitions are skipped, not a stopping point: p can
+          // still be reordered before an older dependent transition as long
+          // as that one is unordered with p (the ordered one in between is
+          // independent of it and commutes out of the way).
+          if (e.happened_before(i, p)) continue;
+          Frame& f = frames[i];
+          const bool was_enabled =
+              std::find(f.enabled.begin(), f.enabled.end(), p) !=
+              f.enabled.end();
+          if (was_enabled) {
+            if (f.backtrack.insert(p).second) ++out.stats.backtrack_points;
+          } else {
+            for (const int q : f.enabled) {
+              if (f.backtrack.insert(q).second) ++out.stats.backtrack_points;
+            }
+          }
+          break;
+        }
+      }
+    };
+
+    const auto pick = [&](Executor& e) -> int {
+      dpor_update(e);
+      int chosen;
+      if (depth < frames.size()) {
+        chosen = frames[depth].chosen;  // replaying the DFS prefix
+      } else {
+        Frame f;
+        f.enabled = e.enabled_actions();
+        f.sleep = sleep;
+        chosen = -1;
+        for (const int a : f.enabled) {
+          if (!sleep.count(a)) {
+            chosen = a;
+            break;
+          }
+        }
+        if (chosen < 0) {
+          ++out.stats.sleep_pruned;
+          return Executor::kAbortExecution;
+        }
+        f.chosen = chosen;
+        f.done.insert(chosen);
+        frames.push_back(std::move(f));
+      }
+      // Entering the chosen transition's subtree: already-explored siblings
+      // sleep, and sleepers whose op conflicts with the transition wake.
+      const Frame& f = frames[depth];
+      std::set<int> next_sleep = f.sleep;
+      for (const int d : f.done) {
+        if (d != chosen) next_sleep.insert(d);
+      }
+      const PendingOp op = e.pending_of(chosen);
+      std::set<int> filtered;
+      for (const int p : next_sleep) {
+        if (p == chosen || !e.has_pending(p)) continue;
+        if (!Executor::dependent(e.pending_of(p), op)) filtered.insert(p);
+      }
+      sleep = std::move(filtered);
+      ++depth;
+      return chosen;
+    };
+
+    Executor::Result res = ex.run(model.make, model.actor_names, pick);
+    out.stats.transitions += static_cast<long>(res.trace.size());
+    if (!res.sleep_aborted) ++out.stats.executions;
+
+    if (res.violation) {
+      out.violation = res.violation;
+      out.counterexample = res.trace;
+      out.schedule = ex.format_schedule(res.trace);
+      out.end_states = res.end_states;
+      return out;
+    }
+
+    // Backtrack: pop to the deepest state with an unexplored DPOR choice.
+    // Choices in the frame's sleep set are already covered by an ancestor's
+    // subtree (the arrival sleep is invariant while the frame lives, since
+    // earlier done-sets only grow when this frame is popped), so exploring
+    // them here would duplicate whole subtrees.
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      int next = -1;
+      for (const int b : f.backtrack) {
+        if (!f.done.count(b) && !f.sleep.count(b)) {
+          next = b;
+          break;
+        }
+      }
+      if (next >= 0) {
+        f.chosen = next;
+        f.done.insert(next);
+        break;
+      }
+      frames.pop_back();
+    }
+    if (frames.empty()) {
+      out.stats.complete = true;
+      return out;
+    }
+    if (out.stats.executions + out.stats.sleep_pruned >=
+        opt_.max_executions) {
+      return out;  // budget exhausted; stats.complete stays false
+    }
+  }
+}
+
+Executor::Result Explorer::replay(const Model& model,
+                                  const std::vector<int>& schedule) {
+  Executor ex(opt_.max_steps);
+  std::size_t next = 0;
+  const auto pick = [&](Executor& e) -> int {
+    const std::vector<int> enabled = e.enabled_actions();
+    if (next < schedule.size()) {
+      const int want = schedule[next];
+      ++next;
+      if (std::find(enabled.begin(), enabled.end(), want) != enabled.end()) {
+        return want;
+      }
+      // Diverged (model changed since the schedule was recorded): fall
+      // through to the default scheduler so the run still terminates.
+    }
+    return enabled.front();
+  };
+  return ex.run(model.make, model.actor_names, pick);
+}
+
+}  // namespace bladed::mc

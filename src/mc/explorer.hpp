@@ -1,0 +1,66 @@
+#pragma once
+
+/// bladed::mc — stateless DFS explorer with dynamic partial-order reduction.
+///
+/// The explorer repeatedly executes a Model under the Executor, steering each
+/// execution with a replay prefix taken from its DFS stack. After every step
+/// it updates DPOR backtrack sets (Flanagan–Godefroid): for each pending
+/// action p, the most recent trace transition that is dependent with p's next
+/// op and not ordered before it by happens-before marks a state from which p
+/// (or, if p was disabled there, every enabled action) must also be explored.
+/// Sleep sets prune interleavings that only commute independent transitions.
+/// For acyclic state spaces this visits at least one representative of every
+/// Mazurkiewicz trace — enough to decide the reachability of deadlocks, lost
+/// wakeups, data races, and model assertion failures.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/executor.hpp"
+
+namespace bladed::mc {
+
+struct ExploreStats {
+  long executions = 0;       ///< complete (non-pruned) executions
+  long transitions = 0;      ///< total transitions applied
+  long sleep_pruned = 0;     ///< executions abandoned by the sleep set
+  long backtrack_points = 0; ///< DPOR backtrack insertions
+  bool complete = false;     ///< exploration exhausted the reduced space
+};
+
+struct ExploreResult {
+  std::optional<Violation> violation;
+  /// The violating execution's transitions (empty when clean).
+  std::vector<Transition> counterexample;
+  /// Rendered replayable schedule of the counterexample (empty when clean).
+  std::string schedule;
+  /// Per-actor end states of the violating execution.
+  std::vector<std::string> end_states;
+  ExploreStats stats;
+};
+
+class Explorer {
+ public:
+  struct Options {
+    long max_executions = 200000;
+    int max_steps = 20000;
+  };
+
+  Explorer() : Explorer(Options{}) {}
+  explicit Explorer(Options opt) : opt_(opt) {}
+
+  /// Explore all inequivalent interleavings of the model; stops at the first
+  /// violation (whose trace is returned as a replayable counterexample).
+  ExploreResult explore(const Model& model);
+
+  /// Re-execute one specific interleaving (a `--replay` schedule). Once the
+  /// schedule is exhausted the remainder runs under the default scheduler.
+  Executor::Result replay(const Model& model,
+                          const std::vector<int>& schedule);
+
+ private:
+  Options opt_;
+};
+
+}  // namespace bladed::mc

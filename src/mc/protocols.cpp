@@ -1,0 +1,525 @@
+#include "mc/protocols.hpp"
+
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace bladed::mc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::memory_order publish_order(Bug b) {
+  return b == Bug::kWeakPublish ? std::memory_order_relaxed
+                                : std::memory_order_seq_cst;
+}
+
+std::memory_order clock_order(Bug b) {
+  return b == Bug::kWeakClock ? std::memory_order_relaxed
+                              : std::memory_order_seq_cst;
+}
+
+// --- handshake-order --------------------------------------------------------
+//
+// Mirrors the grant decision in ClusterImpl::run() [mc:handshake]: the
+// scheduler owns a set of pre-arrived ready ranks (rank 1 tied with the
+// computing rank at t=10, the rest behind it) while rank 0 is still
+// computing toward t=10. The Dekker publish/re-check must hold the grant
+// until rank 0 has arrived, or the tie is granted out of (time, id) order.
+
+struct OrderState {
+  checked_atomic<double> threshold{kInf};
+  checked_atomic<double> clock0{0.0};
+  checked_mutex mu;
+  checked_condvar sched_cv;
+  var<int> ready0{0};  // rank 0 arrived? (guarded by mu)
+};
+
+Model make_handshake_order(Bug bug, int ranks) {
+  Model m;
+  m.name = "handshake-order";
+  m.actor_names = {"sched", "rank0"};
+  m.make = [bug, ranks](Executor&) {
+    auto st = std::make_shared<OrderState>();
+
+    Executor::ThreadFn rank0 = [st, bug] {
+      // op_compute fast path [mc:handshake]: advance the virtual clock,
+      // then notify the scheduler if the threshold was crossed.
+      st->clock0.store(10.0, clock_order(bug));
+      const double t = st->threshold.load(std::memory_order_seq_cst);
+      if (bug != Bug::kNoCrossingNotify && 10.0 >= t) {
+        std::unique_lock<checked_mutex> lk(st->mu);
+        st->sched_cv.notify_one();
+      }
+      // leave_op arrival [mc:handshake]: become ready under the lock.
+      std::unique_lock<checked_mutex> lk(st->mu);
+      st->ready0.write(1);
+      st->sched_cv.notify_one();
+    };
+
+    Executor::ThreadFn sched = [st, bug, ranks] {
+      std::unique_lock<checked_mutex> lk(st->mu);
+      // Pre-arrived ready ranks: rank 1 ties rank 0 at t=10.
+      struct Ready {
+        double t;
+        int id;
+      };
+      std::vector<Ready> ready;
+      for (int i = 1; i < ranks; ++i) {
+        ready.push_back({i == 1 ? 10.0 : 10.0 + (i - 1), i});
+      }
+      double prev_t = -kInf;
+      int prev_id = -1;
+      double last_lb = -kInf;
+      int grants = 0;
+      bool rank0_enlisted = false;
+      while (grants < ranks) {
+        if (!rank0_enlisted && st->ready0.read() != 0) {
+          ready.push_back({10.0, 0});
+          rank0_enlisted = true;
+        }
+        const bool computing = st->ready0.read() == 0;
+        double horizon = kInf;
+        int best = -1;
+        for (const Ready& r : ready) {
+          if (r.t < horizon || (r.t == horizon && r.id < best)) {
+            horizon = r.t;
+            best = r.id;
+          }
+        }
+        st->threshold.store(horizon, publish_order(bug));
+        bool must_wait = false;
+        if (computing) {
+          if (bug == Bug::kNoRecheck) {
+            // BUG: grants without re-reading the computing rank's clock.
+            must_wait = false;
+          } else {
+            const double min_lb =
+                st->clock0.load(std::memory_order_seq_cst);
+            model_check(min_lb >= last_lb,
+                        "clock lower bound went backwards");
+            last_lb = min_lb;
+            must_wait = bug == Bug::kStrictCompare ? min_lb < horizon
+                                                   : min_lb <= horizon;
+          }
+        }
+        if (must_wait || best < 0) {
+          st->sched_cv.wait(lk);
+          st->threshold.store(kInf, std::memory_order_seq_cst);
+          continue;
+        }
+        st->threshold.store(kInf, std::memory_order_seq_cst);
+        // Grant: must be monotone in (virtual time, rank id) and must match
+        // the (time, id)-sorted arrival set exactly.
+        model_check(horizon > prev_t || (horizon == prev_t && best > prev_id),
+                    "grant order regressed in (time, id)");
+        // Arrival set sorted by (time, id) is (10,0),(10,1),(11,2),...: the
+        // g-th grant must go to rank g.
+        model_check(best == grants,
+                    "grant does not match (time, id) arrival order");
+        prev_t = horizon;
+        prev_id = best;
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+          if (ready[i].id == best) {
+            ready.erase(ready.begin() + static_cast<long>(i));
+            break;
+          }
+        }
+        ++grants;
+      }
+    };
+
+    return std::vector<Executor::ThreadFn>{std::move(sched),
+                                           std::move(rank0)};
+  };
+  return m;
+}
+
+// --- handshake-progress -----------------------------------------------------
+//
+// The liveness half of the Dekker pair [mc:handshake]: the scheduler
+// publishes a wake deadline D and parks until every computing rank's clock
+// lower bound exceeds it. Rank threads cross D and then *diverge* (exit
+// while logically still computing — standing in for unbounded host work
+// between engine calls), so the crossing notify is the only thing that can
+// ever wake the scheduler: any interleaving that loses it is a deadlock.
+
+struct ProgressState {
+  checked_atomic<double> threshold{kInf};
+  std::vector<std::unique_ptr<checked_atomic<double>>> clock;
+  checked_mutex mu;
+  checked_condvar sched_cv;
+};
+
+Model make_handshake_progress(Bug bug, int ranks) {
+  const int computing = ranks > 1 ? ranks - 1 : 1;
+  Model m;
+  m.name = "handshake-progress";
+  m.actor_names = {"sched"};
+  for (int i = 0; i < computing; ++i) {
+    m.actor_names.push_back("rank" + std::to_string(i));
+  }
+  m.make = [bug, computing](Executor&) {
+    auto st = std::make_shared<ProgressState>();
+    for (int i = 0; i < computing; ++i) {
+      st->clock.push_back(std::make_unique<checked_atomic<double>>(0.0));
+    }
+    constexpr double kDeadline = 10.0;
+
+    std::vector<Executor::ThreadFn> fns;
+    fns.push_back([st, bug, computing] {
+      std::unique_lock<checked_mutex> lk(st->mu);
+      if (bug == Bug::kNoRecheck) {
+        // BUG: publishes the deadline but never re-reads the clocks, so it
+        // proceeds on stale information (the order scenario shows the
+        // matching safety failure; here the variant simply never parks).
+        st->threshold.store(kDeadline, publish_order(bug));
+      } else {
+        for (;;) {
+          st->threshold.store(kDeadline, publish_order(bug));
+          double min_lb = kInf;
+          for (int i = 0; i < computing; ++i) {
+            min_lb = std::min(
+                min_lb, st->clock[static_cast<std::size_t>(i)]->load(
+                            std::memory_order_seq_cst));
+          }
+          if (min_lb > kDeadline) break;
+          st->sched_cv.wait(lk);
+        }
+      }
+      st->threshold.store(kInf, std::memory_order_seq_cst);
+    });
+    for (int i = 0; i < computing; ++i) {
+      fns.push_back([st, bug, i] {
+        // op_compute fast path [mc:handshake], then divergence.
+        st->clock[static_cast<std::size_t>(i)]->store(15.0,
+                                                      clock_order(bug));
+        const double t = st->threshold.load(std::memory_order_seq_cst);
+        if (bug != Bug::kNoCrossingNotify && 15.0 >= t) {
+          std::unique_lock<checked_mutex> lk(st->mu);
+          st->sched_cv.notify_one();
+        }
+      });
+    }
+    return fns;
+  };
+  return m;
+}
+
+// --- recv-fastpath ----------------------------------------------------------
+//
+// Comm::recv's mailbox fast path [mc:recv-fastpath]: the receiver scans the
+// mailbox and, on a miss, parks — both under ONE hold of eng.mu, which is
+// what makes the sender's deliver-then-notify (also under eng.mu) impossible
+// to lose. The mailbox itself is plain data; the lock discipline is proved
+// by the race detector, not assumed.
+
+struct RecvState {
+  checked_mutex mu;
+  checked_condvar cv;
+  var<int> mailbox{0};
+};
+
+Model make_recv_fastpath(Bug bug, int ranks) {
+  const int senders = ranks > 1 ? ranks - 1 : 1;
+  Model m;
+  m.name = "recv-fastpath";
+  m.actor_names = {"recv"};
+  for (int i = 0; i < senders; ++i) {
+    m.actor_names.push_back("send" + std::to_string(i));
+  }
+  m.make = [bug, senders](Executor&) {
+    auto st = std::make_shared<RecvState>();
+
+    std::vector<Executor::ThreadFn> fns;
+    fns.push_back([st, bug, senders] {
+      int consumed = 0;
+      while (consumed < senders) {
+        if (bug == Bug::kPlainMailbox) {
+          // BUG: peeks at the mailbox without eng.mu — races the sender.
+          (void)st->mailbox.read();
+        }
+        std::unique_lock<checked_mutex> lk(st->mu);
+        if (bug == Bug::kRecheckGap) {
+          if (st->mailbox.read() == 0) {
+            // BUG: drops the lock between the scan and the park; a delivery
+            // in the window notifies nobody and the wakeup is lost.
+            lk.unlock();
+            lk.lock();
+            st->cv.wait(lk);
+          }
+        } else {
+          while (st->mailbox.read() == 0) st->cv.wait(lk);
+        }
+        st->mailbox.write(st->mailbox.read() - 1);
+        ++consumed;
+      }
+      model_check(st->mailbox.read() >= 0, "mailbox count went negative");
+    });
+    for (int i = 0; i < senders; ++i) {
+      fns.push_back([st] {
+        std::unique_lock<checked_mutex> lk(st->mu);
+        st->mailbox.write(st->mailbox.read() + 1);
+        st->cv.notify_one();
+      });
+    }
+    return fns;
+  };
+  return m;
+}
+
+// --- slot-pool --------------------------------------------------------------
+//
+// hostperf::ComputeSlots composed with the grant half of the handshake
+// [mc:slot-pool]: rank i acquires a slot, computes to T_i = 5*(i+1),
+// arrives, RELEASES THE SLOT BEFORE PARKING for its grant, and the
+// scheduler grants strictly in (time, id) order, held back by the computing
+// ranks' clock lower bounds (a slot-blocked rank counts as computing with a
+// stale clock, which is exactly why a parked slot-holder deadlocks the
+// pool). An `active` counter proves at most `slots` ranks compute at once.
+// The Dekker publish/crossing-notify half is proved separately and
+// exhaustively by the two handshake models; folding it in here multiplies
+// the interleaving space by orders of magnitude without adding a behavior
+// those models do not already cover, so this model relies on the arrival
+// notify alone (every rank arrives, so the scheduler is always rewoken).
+
+struct SlotState {
+  // hostperf::ComputeSlots
+  checked_mutex smu;
+  checked_condvar scv;
+  var<int> free{0};
+  var<int> active{0};
+  // ClusterImpl handshake (grant half)
+  std::vector<std::unique_ptr<checked_atomic<double>>> clock;
+  checked_mutex mu;
+  checked_condvar sched_cv;
+  std::vector<std::unique_ptr<checked_condvar>> rank_cv;
+  std::vector<std::unique_ptr<var<int>>> state;  // 0 computing, 1 ready, 2 done
+  std::vector<std::unique_ptr<var<double>>> rtime;
+  std::vector<std::unique_ptr<var<int>>> granted;
+};
+
+Model make_slot_pool(Bug bug, int ranks, int slots) {
+  Model m;
+  m.name = "slot-pool";
+  m.actor_names = {"sched"};
+  for (int i = 0; i < ranks; ++i) {
+    m.actor_names.push_back("rank" + std::to_string(i));
+  }
+  m.make = [bug, ranks, slots](Executor&) {
+    auto st = std::make_shared<SlotState>();
+    st->free.write(slots);
+    for (int i = 0; i < ranks; ++i) {
+      st->clock.push_back(std::make_unique<checked_atomic<double>>(0.0));
+      st->rank_cv.push_back(std::make_unique<checked_condvar>());
+      st->state.push_back(std::make_unique<var<int>>(0));
+      st->rtime.push_back(std::make_unique<var<double>>(0.0));
+      st->granted.push_back(std::make_unique<var<int>>(0));
+    }
+
+    const auto release_slot = [st, bug] {
+      std::unique_lock<checked_mutex> slk(st->smu);
+      st->free.write(st->free.read() + 1);
+      if (bug != Bug::kLostRelease) st->scv.notify_one();
+    };
+
+    std::vector<Executor::ThreadFn> fns;
+    fns.push_back([st, ranks, slots] {
+      std::unique_lock<checked_mutex> lk(st->mu);
+      double prev_t = -kInf;
+      int prev_id = -1;
+      for (int g = 0; g < ranks; ++g) {
+        double horizon;
+        int best;
+        for (;;) {
+          // One snapshot pass over the rank states: mu is held, so no rank
+          // can arrive or be granted while we scan (re-reading would only
+          // pad the interleaving space, not the behaviors).
+          horizon = kInf;
+          best = -1;
+          unsigned computing = 0;
+          for (int i = 0; i < ranks; ++i) {
+            const auto idx = static_cast<std::size_t>(i);
+            const int s = st->state[idx]->read();
+            if (s == 1) {
+              const double t = st->rtime[idx]->read();
+              if (t < horizon) {
+                horizon = t;
+                best = i;
+              }
+            } else if (s == 0) {
+              computing |= 1u << i;
+            }
+          }
+          double min_lb = kInf;
+          for (int i = 0; i < ranks; ++i) {
+            if ((computing & (1u << i)) == 0) continue;
+            min_lb = std::min(
+                min_lb, st->clock[static_cast<std::size_t>(i)]->load(
+                            std::memory_order_seq_cst));
+          }
+          if (best >= 0 && min_lb > horizon) break;
+          st->sched_cv.wait(lk);
+        }
+        model_check(horizon > prev_t || (horizon == prev_t && best > prev_id),
+                    "grant order regressed in (time, id)");
+        model_check(best == g, "grant does not match (time, id) order");
+        prev_t = horizon;
+        prev_id = best;
+        const auto idx = static_cast<std::size_t>(best);
+        st->state[idx]->write(2);
+        st->granted[idx]->write(1);
+        st->rank_cv[idx]->notify_one();
+      }
+      (void)slots;
+    });
+    for (int i = 0; i < ranks; ++i) {
+      fns.push_back([st, bug, i, slots, release_slot] {
+        const double t_i = 5.0 * (i + 1);
+        const auto idx = static_cast<std::size_t>(i);
+        // ComputeSlots::acquire [mc:slot-pool].
+        {
+          std::unique_lock<checked_mutex> slk(st->smu);
+          int f;
+          while ((f = st->free.read()) == 0) st->scv.wait(slk);
+          st->free.write(f - 1);
+          const int a = st->active.read() + 1;
+          st->active.write(a);
+          model_check(a <= slots, "more ranks computing than compute slots");
+        }
+        if (bug == Bug::kEarlyRelease) release_slot();  // BUG
+        // Compute segment: publish the clock lower bound the scheduler's
+        // grant re-check reads (the crossing notify itself is covered by the
+        // handshake models; here the arrival notify below rewakes sched).
+        st->clock[idx]->store(t_i, std::memory_order_seq_cst);
+        // enter_op [mc:slot-pool]: leave the compute segment and release the
+        // slot BEFORE parking, so the pool keeps flowing while this rank
+        // waits for its grant (one smu section — it is one in hostperf too).
+        {
+          std::unique_lock<checked_mutex> slk(st->smu);
+          st->active.write(st->active.read() - 1);
+          if (bug != Bug::kEarlyRelease && bug != Bug::kHoldWhileParked) {
+            st->free.write(st->free.read() + 1);
+            if (bug != Bug::kLostRelease) st->scv.notify_one();
+          }
+        }
+        {
+          std::unique_lock<checked_mutex> lk(st->mu);
+          st->state[idx]->write(1);
+          st->rtime[idx]->write(t_i);
+          st->sched_cv.notify_one();
+          while (st->granted[idx]->read() == 0) {
+            st->rank_cv[idx]->wait(lk);
+          }
+        }
+        if (bug == Bug::kHoldWhileParked) release_slot();  // BUG: too late
+      });
+    }
+    return fns;
+  };
+  return m;
+}
+
+}  // namespace
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kHandshake: return "handshake";
+    case Protocol::kRecvFastpath: return "recv-fastpath";
+    case Protocol::kSlotPool: return "slot-pool";
+  }
+  return "?";
+}
+
+const char* bug_name(Bug b) {
+  switch (b) {
+    case Bug::kNone: return "none";
+    case Bug::kWeakPublish: return "weak-publish";
+    case Bug::kWeakClock: return "weak-clock";
+    case Bug::kNoRecheck: return "no-recheck";
+    case Bug::kStrictCompare: return "strict-compare";
+    case Bug::kNoCrossingNotify: return "no-crossing-notify";
+    case Bug::kRecheckGap: return "recheck-gap";
+    case Bug::kPlainMailbox: return "plain-mailbox";
+    case Bug::kEarlyRelease: return "early-release";
+    case Bug::kHoldWhileParked: return "hold-while-parked";
+    case Bug::kLostRelease: return "lost-release";
+  }
+  return "?";
+}
+
+bool parse_protocol(const std::string& s, Protocol* out) {
+  for (const Protocol p : {Protocol::kHandshake, Protocol::kRecvFastpath,
+                           Protocol::kSlotPool}) {
+    if (s == protocol_name(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_bug(const std::string& s, Bug* out) {
+  for (const Bug b :
+       {Bug::kNone, Bug::kWeakPublish, Bug::kWeakClock, Bug::kNoRecheck,
+        Bug::kStrictCompare, Bug::kNoCrossingNotify, Bug::kRecheckGap,
+        Bug::kPlainMailbox, Bug::kEarlyRelease, Bug::kHoldWhileParked,
+        Bug::kLostRelease}) {
+    if (s == bug_name(b)) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Model> build_models(const ModelConfig& cfg) {
+  switch (cfg.protocol) {
+    case Protocol::kHandshake:
+      return {make_handshake_order(cfg.bug, cfg.ranks),
+              make_handshake_progress(cfg.bug, cfg.ranks)};
+    case Protocol::kRecvFastpath:
+      return {make_recv_fastpath(cfg.bug, cfg.ranks)};
+    case Protocol::kSlotPool:
+      return {make_slot_pool(cfg.bug, cfg.ranks, cfg.slots)};
+  }
+  return {};
+}
+
+const std::vector<SeededBug>& seeded_bug_corpus() {
+  static const std::vector<SeededBug> kCorpus = {
+      {Bug::kWeakPublish, Protocol::kHandshake, "handshake/weak-publish",
+       "sched_threshold published relaxed: the store parks in the "
+       "scheduler's buffer and the crossing rank reads a stale threshold"},
+      {Bug::kWeakClock, Protocol::kHandshake, "handshake/weak-clock",
+       "rank clock stored relaxed: the scheduler's re-check reads a stale "
+       "clock and parks with the notify already spent"},
+      {Bug::kNoRecheck, Protocol::kHandshake, "handshake/no-recheck",
+       "no clock re-read after publishing: grants race the computing rank"},
+      {Bug::kStrictCompare, Protocol::kHandshake, "handshake/strict-compare",
+       "min_lb < horizon instead of <=: a tie at the horizon is granted to "
+       "the wrong rank"},
+      {Bug::kNoCrossingNotify, Protocol::kHandshake,
+       "handshake/no-crossing-notify",
+       "compute fast path never notifies: the parked scheduler is never "
+       "woken by a rank crossing the threshold"},
+      {Bug::kRecheckGap, Protocol::kRecvFastpath, "recv-fastpath/recheck-gap",
+       "lock dropped between mailbox scan and park: a delivery in the "
+       "window is lost"},
+      {Bug::kPlainMailbox, Protocol::kRecvFastpath,
+       "recv-fastpath/plain-mailbox",
+       "mailbox scanned without eng.mu: data race with the sender"},
+      {Bug::kEarlyRelease, Protocol::kSlotPool, "slot-pool/early-release",
+       "slot released before the compute segment: more ranks compute than "
+       "slots allow"},
+      {Bug::kHoldWhileParked, Protocol::kSlotPool,
+       "slot-pool/hold-while-parked",
+       "rank parks for its grant still holding the slot: the pool wedges"},
+      {Bug::kLostRelease, Protocol::kSlotPool, "slot-pool/lost-release",
+       "slot release skips the notify: a parked acquirer never rechecks"},
+  };
+  return kCorpus;
+}
+
+}  // namespace bladed::mc

@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "fault/crc32.hpp"
 #include "hostperf/hostperf.hpp"
+#include "mc/shim.hpp"
 #include "simnet/comm.hpp"
 
 // Engine concurrency model (see also DESIGN.md §9). Every rank is a real
@@ -30,6 +31,14 @@
 // function of virtual time: bit-identical at any host_threads, and identical
 // to the historical serial engine, whose scheduler picked the same
 // (time, id) order with the arriving rank winning ties against wakes.
+//
+// The handshake below is written against the mc:: shims (mc/shim.hpp): in
+// production builds they are the plain std types; under -DBLADED_MC=ON they
+// route through the bladed-mc model checker. Accesses carrying proof
+// obligations are tagged with the protocol model that covers them:
+//   [mc:handshake]     src/mc/protocols.cpp handshake-order / -progress
+//   [mc:recv-fastpath] recv-fastpath model (lock-gated mailbox scan)
+//   [mc:slot-pool]     slot-pool model (+ hostperf::ComputeSlots)
 
 namespace bladed::simnet {
 
@@ -44,12 +53,14 @@ struct NodeCrash {};
 
 struct Cluster::Rank {
   std::thread thread;
-  std::condition_variable cv;
+  mc::condvar cv;
   State state = State::kIdle;
   /// Virtual clock. Owner-written; lock-free stores from the Comm::compute
   /// fast path make it a live lower bound the scheduler may read while the
   /// rank computes (seq_cst on that handshake, relaxed elsewhere).
-  std::atomic<double> clock{0.0};
+  /// [mc:handshake] modeled as the per-rank `clock` cell; the progress
+  /// scenario proves the seq_cst store/load pair cannot lose the wakeup.
+  mc::atomic<double> clock{0.0};
   /// Whether this thread holds a compute slot (owner thread only).
   bool holds_slot = false;
   // Pending recv match criteria while kBlockedRecv.
@@ -74,8 +85,11 @@ struct Cluster::Rank {
 };
 
 struct ClusterImpl {
-  std::mutex mu;
-  std::condition_variable sched_cv;
+  /// [mc:handshake][mc:recv-fastpath] the engine lock (`mu` in the models).
+  mc::mutex mu;
+  /// [mc:handshake] `sched_cv` in the models: parked-rank arrivals and
+  /// horizon crossings wake the scheduler through it.
+  mc::condvar sched_cv;
   bool abort = false;
   std::exception_ptr error;
   int barrier_waiting = 0;
@@ -84,7 +98,9 @@ struct ClusterImpl {
   /// Grant horizon the scheduler is currently blocked on: a computing rank
   /// whose clock crosses it must wake the scheduler (Dekker handshake with
   /// the lock-free Comm::compute path). kInf = scheduler not waiting on it.
-  std::atomic<double> sched_threshold{kInf};
+  /// [mc:handshake] `threshold` in the models; the seeded bug weak-publish
+  /// shows any order below seq_cst here is a lost wakeup.
+  mc::atomic<double> sched_threshold{kInf};
   /// Bounded pool of compute-region slots (sized min(host_threads, ranks)).
   hostperf::ComputeSlots slots;
 };
@@ -120,7 +136,7 @@ const RankStats& Cluster::stats(int rank) const {
 }
 
 std::vector<int> Cluster::failed_nodes() const {
-  std::lock_guard<std::mutex> lk(impl_->mu);
+  mc::lock_guard lk(impl_->mu);
   std::vector<int> out;
   for (int i = 0; i < ranks(); ++i) {
     if (ranks_[i]->dead) out.push_back(i);
@@ -130,7 +146,7 @@ std::vector<int> Cluster::failed_nodes() const {
 
 bool Cluster::node_failed(int rank) const {
   BLADED_REQUIRE(rank >= 0 && rank < ranks());
-  std::lock_guard<std::mutex> lk(impl_->mu);
+  mc::lock_guard lk(impl_->mu);
   return ranks_[rank]->dead;
 }
 
@@ -161,16 +177,18 @@ void Cluster::apply_hang_and_crash(int r) {
   if (me.crash_at <= me.now()) die(r, me.crash_at);
 }
 
-std::unique_lock<std::mutex> Cluster::enter_op(int r) {
+mc::unique_lock Cluster::enter_op(int r) {
   ClusterImpl& eng = *impl_;
   Rank& me = *ranks_[r];
-  // Free the compute slot before parking: a slot holder must never wait on a
-  // scheduler grant, or slot waiters could deadlock behind a parked holder.
+  // [mc:slot-pool] Free the compute slot before parking: a slot holder must
+  // never wait on a scheduler grant, or slot waiters could deadlock behind a
+  // parked holder. The seeded bug hold-while-parked removes this release and
+  // the checker wedges the pool.
   if (me.holds_slot) {
     me.holds_slot = false;
     eng.slots.release();
   }
-  std::unique_lock<std::mutex> lk(eng.mu);
+  mc::unique_lock lk(eng.mu);
   me.state = State::kReady;
   eng.sched_cv.notify_one();
   me.cv.wait(lk, [&] { return me.state == State::kRunning || eng.abort; });
@@ -179,12 +197,14 @@ std::unique_lock<std::mutex> Cluster::enter_op(int r) {
   return lk;
 }
 
-void Cluster::leave_op(int r, std::unique_lock<std::mutex>& lk) {
+void Cluster::leave_op(int r, mc::unique_lock& lk) {
   ClusterImpl& eng = *impl_;
   Rank& me = *ranks_[r];
   me.state = State::kComputing;
   eng.sched_cv.notify_one();
   lk.unlock();
+  // [mc:slot-pool] Re-acquire only after dropping the engine lock, so a slot
+  // waiter never blocks the scheduler.
   eng.slots.acquire();
   me.holds_slot = true;
 }
@@ -242,7 +262,7 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
   const int n = ranks();
   // Reset per-run state so a Cluster can be reused.
   {
-    std::lock_guard<std::mutex> lk(eng.mu);
+    mc::lock_guard lk(eng.mu);
     eng.abort = false;
     eng.error = nullptr;
     eng.barrier_waiting = 0;
@@ -281,7 +301,7 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
       } catch (const AbortSim&) {
       } catch (const NodeCrash&) {
       } catch (...) {
-        std::lock_guard<std::mutex> lk(eng.mu);
+        mc::lock_guard lk(eng.mu);
         if (!eng.error) eng.error = std::current_exception();
         eng.abort = true;
         for (auto& r : ranks_) r->cv.notify_all();
@@ -290,7 +310,7 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
         me.holds_slot = false;
         eng.slots.release();
       }
-      std::lock_guard<std::mutex> lk(eng.mu);
+      mc::lock_guard lk(eng.mu);
       me.state = State::kDone;
       me.stats.finish_time = me.now();
       eng.sched_cv.notify_one();
@@ -303,7 +323,7 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
   // timeout, failure detection, scheduled crash) when it is strictly
   // earlier than every arrival.
   {
-    std::unique_lock<std::mutex> lk(eng.mu);
+    mc::unique_lock lk(eng.mu);
     for (;;) {
       if (eng.abort) break;
       int ready = -1;
@@ -337,12 +357,14 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
       const double horizon = std::min(ready_t, wake.t);
 
       if (computing > 0) {
-        // Dekker handshake with the lock-free Comm::compute path: publish
-        // the horizon, then re-read the computing clocks; either a computing
-        // rank sees the horizon when it crosses it and wakes us, or we see
-        // its advanced clock here. A rank at or below the horizon could
-        // still arrive at an earlier (time, id) point, so we must wait for
-        // it to arrive or compute past the horizon before committing.
+        // [mc:handshake] Dekker handshake with the lock-free Comm::compute
+        // path: publish the horizon, then re-read the computing clocks;
+        // either a computing rank sees the horizon when it crosses it and
+        // wakes us, or we see its advanced clock here. A rank at or below
+        // the horizon could still arrive at an earlier (time, id) point, so
+        // we must wait for it to arrive or compute past the horizon before
+        // committing. Both sides must be seq_cst (W_threshold here, R_clock
+        // below): the checker refutes weak-publish and weak-clock variants.
         eng.sched_threshold.store(horizon, std::memory_order_seq_cst);
         double min_lb = kInf;
         for (int i = 0; i < n; ++i) {
@@ -352,6 +374,9 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
           }
         }
         if (min_lb <= horizon) {
+          // [mc:handshake] Park with the horizon still published; the
+          // no-recheck seeded bug (granting without re-reading the clocks
+          // after this wait) breaks (time, id) grant order.
           eng.sched_cv.wait(lk);
           eng.sched_threshold.store(kInf, std::memory_order_seq_cst);
           continue;
@@ -451,15 +476,17 @@ void Cluster::op_compute(int r, double seconds) {
   ClusterImpl& eng = *impl_;
   Rank& me = *ranks_[r];
   if (!injector_.enabled()) {
-    // Lock-free fast path: advancing our own clock inside a compute region
-    // needs no engine transition — the store keeps the scheduler's lower
+    // [mc:handshake] Lock-free fast path (the rank half of the Dekker
+    // handshake): advancing our own clock inside a compute region needs no
+    // engine transition — the seq_cst store keeps the scheduler's lower
     // bound live, and crossing a published grant horizon wakes it (the
-    // notify is taken under the lock so the wakeup cannot be lost).
+    // notify is taken under the lock so the wakeup cannot be lost; the
+    // weak-clock seeded bug relaxes the store and loses it).
     const double t = me.now() + seconds;
     me.clock.store(t, std::memory_order_seq_cst);
     me.stats.compute_seconds += seconds;
     if (t >= eng.sched_threshold.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lk(eng.mu);
+      mc::lock_guard lk(eng.mu);
       eng.sched_cv.notify_one();
     }
     return;
@@ -613,16 +640,18 @@ std::optional<std::vector<std::byte>> Cluster::op_recv(
   ClusterImpl& eng = *impl_;
   Rank& me = *ranks_[r];
 
-  // Fast path (no fault injection): scan the mailbox without a grant.
+  // [mc:recv-fastpath] Fast path (no fault injection): scan the mailbox
+  // without a grant, but under the engine lock — the plain-mailbox seeded
+  // bug drops the lock and the checker flags the scan/deliver data race.
   // Committed messages are always a prefix of the deterministic grant
   // sequence, so if a match is present now it is the same first-in-append-
   // order match every schedule sees; consuming it touches only this rank's
   // state. With the injector on, ops take the full grant so hang/crash
   // effects stay in trace order.
   const bool fast = !injector_.enabled();
-  std::unique_lock<std::mutex> lk;
+  mc::unique_lock lk;
   if (fast) {
-    lk = std::unique_lock<std::mutex>(eng.mu);
+    lk = mc::unique_lock(eng.mu);
     if (eng.abort) throw AbortSim{};
   } else {
     lk = enter_op(r);

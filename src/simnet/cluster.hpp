@@ -37,6 +37,7 @@
 
 #include "fault/fault.hpp"
 #include "fault/injector.hpp"
+#include "mc/shim.hpp"
 #include "simnet/network.hpp"
 
 namespace bladed::commcheck {
@@ -203,10 +204,10 @@ class Cluster {
   /// Returns holding the engine lock; fault hang/crash effects are applied
   /// inside the granted section so the executed-fault trace stays in grant
   /// (= virtual-time) order. Throws AbortSim when the simulation aborts.
-  [[nodiscard]] std::unique_lock<std::mutex> enter_op(int r);
+  [[nodiscard]] mc::unique_lock enter_op(int r);
   /// Finish a granted op: return to kComputing, wake the scheduler, drop
   /// the engine lock and re-acquire a compute slot before user code resumes.
-  void leave_op(int r, std::unique_lock<std::mutex>& lk);
+  void leave_op(int r, mc::unique_lock& lk);
 
   // Fault machinery (engine lock held).
   void apply_hang_and_crash(int r);

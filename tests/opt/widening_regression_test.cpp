@@ -1,0 +1,143 @@
+/// Regression tests pinning the join-before-widen termination fix in the
+/// interval analysis (check/intervals.cpp). The optimizer fuzzer generated
+/// loop bodies with cyclic transfers like `r3 = r7 - r3` where the
+/// subtrahend register is reassigned later in the body, so its interval at
+/// the loop head has non-zero width. Once widening makes the cycled
+/// register half-infinite, each fixpoint iteration flips which side is
+/// unbounded ([-inf, k] -> [c - k, +inf] -> [-inf, k + w] -> ...), growing
+/// k by the subtrahend's width w every period: plain widening — which only
+/// pushes a bound toward the direction it *grew* — never stabilizes. The
+/// fallback (non-refining) phase must join with the previous state before
+/// widening so bounds never retreat. The cases below are the verbatim
+/// fuzzer seeds that oscillated, plus a distilled minimal form; each hangs
+/// the analysis (test timeout) if the join is ever dropped.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "check/cfg.hpp"
+#include "check/check.hpp"
+#include "check/differential.hpp"
+#include "check/intervals.hpp"
+#include "cms/isa.hpp"
+#include "opt/opt.hpp"
+
+namespace bladed::opt {
+namespace {
+
+using cms::Instr;
+using cms::Op;
+using cms::Program;
+
+Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+
+/// The analysis must terminate on `p` and remain sound: the state at the
+/// final halt must contain the loop-exit counter value (r1 == r2 == rounds),
+/// and the full level-2 pipeline must still produce an equivalent program.
+void expect_terminates_soundly(const Program& p, std::int64_t rounds) {
+  const check::Cfg cfg = check::Cfg::build(p);
+  const check::Intervals iv = check::Intervals::build(p, cfg);
+  const check::IntervalState exit = iv.at(p.size() - 1);
+  ASSERT_TRUE(exit.reachable);
+  EXPECT_LE(exit.r[1].lo, rounds);
+  EXPECT_GE(exit.r[1].hi, rounds);
+
+  OptOptions opts;
+  opts.level = 2;
+  const OptResult res = optimize(p, opts);
+  const check::Report rep = check::differential_equivalence(p, res.program);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(WideningRegression, DistilledCyclicSubTransfer) {
+  // Minimal oscillator: `r3 = r5 - r3` reads r5 before the body reassigns
+  // it, so r5's loop-head interval is [0, 44] (entry zero joined with the
+  // back edge) — the non-zero width that makes the flip amplitude grow.
+  const Program p = {
+      make(Op::kMovi, 1, 0, 0, 0),
+      make(Op::kMovi, 2, 0, 0, 6),
+      make(Op::kSub, 3, 5, 3, 0),
+      make(Op::kMovi, 5, 0, 0, 44),
+      make(Op::kAddi, 1, 1, 0, 1),
+      make(Op::kBlt, 1, 2, 0, 2),
+      make(Op::kHalt, 0, 0, 0, 0),
+  };
+  expect_terminates_soundly(p, 6);
+}
+
+TEST(WideningRegression, FuzzerSeed760StraightLineLoopBody) {
+  const Program p = {
+      make(Op::kMovi, 1, 0, 0, 0),
+      make(Op::kMovi, 2, 0, 0, 4),
+      make(Op::kSub, 3, 7, 3, 0),
+      make(Op::kMuli, 7, 5, 0, 1),
+      make(Op::kMovi, 7, 0, 0, 43),
+      make(Op::kSub, 4, 5, 1, 0),
+      make(Op::kAddi, 1, 1, 0, 1),
+      make(Op::kBlt, 1, 2, 0, 2),
+      make(Op::kHalt, 0, 0, 0, 0),
+  };
+  expect_terminates_soundly(p, 4);
+}
+
+TEST(WideningRegression, FuzzerSeed1170CycleThroughRewrittenRegister) {
+  const Program p = {
+      make(Op::kMovi, 1, 0, 0, 0),
+      make(Op::kMovi, 2, 0, 0, 6),
+      make(Op::kAddi, 6, 7, 0, 0),
+      make(Op::kSub, 3, 5, 3, 0),
+      make(Op::kMovi, 5, 0, 0, 44),
+      make(Op::kMovi, 6, 0, 0, 3),
+      make(Op::kMovi, 7, 0, 0, 49),
+      make(Op::kMuli, 7, 6, 0, 0),
+      make(Op::kAddi, 1, 1, 0, 1),
+      make(Op::kBlt, 1, 2, 0, 2),
+      make(Op::kHalt, 0, 0, 0, 0),
+  };
+  expect_terminates_soundly(p, 6);
+}
+
+TEST(WideningRegression, FuzzerSeed973BranchyLoopBody) {
+  // Conditional branches inside the body keep the edge-refinement phase
+  // engaged until its budget exhausts, forcing the monotone fallback — the
+  // exact phase the join-before-widen fix guards.
+  const Program p = {
+      make(Op::kMovi, 1, 0, 0, 0),
+      make(Op::kMovi, 2, 0, 0, 2),
+      make(Op::kBne, 1, 3, 0, 5),
+      make(Op::kAddi, 7, 6, 0, 0),
+      make(Op::kSub, 4, 2, 5, 0),
+      make(Op::kMovi, 7, 0, 0, 1),
+      make(Op::kAdd, 6, 5, 0, 0),
+      make(Op::kAddi, 7, 5, 0, 0),
+      make(Op::kAddi, 3, 3, 0, 0),
+      make(Op::kMovi, 6, 0, 0, 50),
+      make(Op::kBlt, 1, 0, 0, 14),
+      make(Op::kAdd, 7, 1, 6, 0),
+      make(Op::kSub, 7, 0, 5, 0),
+      make(Op::kMovi, 6, 0, 0, 61),
+      make(Op::kMuli, 3, 0, 0, 3),
+      make(Op::kAddi, 5, 4, 0, 0),
+      make(Op::kMovi, 4, 0, 0, 30),
+      make(Op::kSub, 4, 4, 2, 0),
+      make(Op::kAdd, 3, 2, 7, 0),
+      make(Op::kMovi, 6, 0, 0, 54),
+      make(Op::kAddi, 1, 1, 0, 1),
+      make(Op::kBlt, 1, 2, 0, 2),
+      make(Op::kHalt, 0, 0, 0, 0),
+  };
+  expect_terminates_soundly(p, 2);
+}
+
+}  // namespace
+}  // namespace bladed::opt
