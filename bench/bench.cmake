@@ -39,3 +39,12 @@ bladed_add_bench(npb_parallel)
 bladed_add_bench(roofline_report)
 bladed_add_bench(ops_montecarlo)
 bladed_add_bench(ablation_faultrun)
+
+# Serving-layer acceptance bench: saturation backpressure, the seeded chaos
+# wave (deterministic shed/degrade counts + replay), and 2x-overload. Also a
+# ctest entry — the bench exits nonzero when any serving invariant breaks,
+# so the suite gates on it at --quick scale.
+bladed_add_bench(serve_saturation)
+add_test(NAME serve_saturation_quick COMMAND serve_saturation --quick)
+set_tests_properties(serve_saturation_quick PROPERTIES
+  TIMEOUT 300 LABELS "bench_serve" PROCESSORS 4)

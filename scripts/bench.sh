@@ -33,7 +33,7 @@ if [[ -z "${OUT}" ]]; then
 fi
 rm -f "${OUT}"
 
-for bench in npb_parallel table4_treecode ablation_cms; do
+for bench in npb_parallel table4_treecode ablation_cms serve_saturation; do
   bin="${BUILD_DIR}/bench/${bench}"
   if [[ ! -x "${bin}" ]]; then
     echo "bench.sh: ${bin} not built (cmake --build ${BUILD_DIR})" >&2
@@ -43,6 +43,9 @@ for bench in npb_parallel table4_treecode ablation_cms; do
   case "${bench}" in
     npb_parallel|table4_treecode)
       args+=(--host-threads "${HOST_THREADS}")
+      [[ -n "${QUICK}" ]] && args+=("${QUICK}")
+      ;;
+    serve_saturation)
       [[ -n "${QUICK}" ]] && args+=("${QUICK}")
       ;;
   esac

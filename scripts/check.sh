@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Sanitizer and model-checker gates. CI entry point; also runnable locally.
 #
-#   check.sh [asan|tsan|mc|all]   (default: asan)
+#   check.sh [asan|tsan|mc|serve|all]   (default: asan)
 #
 # asan: build the whole tree with ASan + UBSan and run the full tier-1 test
 # suite (plus the bladed-lint / bladed-commcheck ctest entries) under both.
+#
+# serve: the serving-layer gate under ASan + UBSan — test_serve (live-server
+# integration + deterministic chaos replay), the JobPool suite it rides on,
+# and the serve_saturation acceptance bench. The server's event loop, the
+# worker pool handshake and the loadgen all juggle raw fds and threads;
+# this stage is what proves no lifetime bug hides behind a green test.
 #
 # tsan: build with ThreadSanitizer and run the *threaded* suites — the
 # simnet engine, the fault-injection layer and the commcheck recorder all
@@ -38,6 +44,21 @@ run_asan() {
   echo "check.sh: tier-1 tests clean under ASan+UBSan"
 }
 
+run_serve() {
+  # Same flags as run_asan, so the two stages can share one build dir (CI
+  # gives each its own cache; locally the second run is incremental).
+  local dir=${SERVE_BUILD_DIR:-build-sanitize}
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBLADED_ASAN=ON \
+    -DBLADED_UBSAN=ON
+  cmake --build "${dir}" -j "${JOBS}" \
+    --target test_serve test_hostperf serve_saturation bladed-serve bladed-load
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    -L '^(test_serve|test_hostperf|bench_serve)$'
+  echo "check.sh: serving layer clean under ASan+UBSan (tests + saturation bench)"
+}
+
 run_tsan() {
   local dir=${TSAN_BUILD_DIR:-build-tsan}
   cmake -B "${dir}" -S . \
@@ -68,6 +89,7 @@ case "${STAGE}" in
   asan) run_asan ;;
   tsan) run_tsan ;;
   mc) run_mc ;;
-  all) run_asan; run_tsan; run_mc ;;
-  *) echo "usage: check.sh [asan|tsan|mc|all]" >&2; exit 2 ;;
+  serve) run_serve ;;
+  all) run_asan; run_tsan; run_mc; run_serve ;;
+  *) echo "usage: check.sh [asan|tsan|mc|serve|all]" >&2; exit 2 ;;
 esac

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Long-lived serving soak: run a REAL bladed-serve process (not the
+# in-process test harness) under open-loop load with seeded chaos for
+# DURATION seconds, then assert the robustness contract held:
+#
+#   - the server process never crashed and answers /healthz at the end;
+#   - no 5xx and no reset-without-a-response reached any client;
+#   - resident memory stayed under RSS_LIMIT_KB (no connection/session/job
+#     leak across thousands of exchanges);
+#   - SIGTERM drains gracefully (exit 0 within the drain timeout).
+#
+# The load report (bladed-load --json) is written to $OUT so CI can upload
+# it as an artifact. All knobs are env vars:
+#
+#   DURATION=60 RPS=40 SEED=1 RSS_LIMIT_KB=262144 OUT=SOAK_report.json \
+#     scripts/soak.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+DURATION=${DURATION:-60}
+RPS=${RPS:-40}
+SEED=${SEED:-1}
+RSS_LIMIT_KB=${RSS_LIMIT_KB:-262144}
+OUT=${OUT:-SOAK_report.json}
+SERVE="${BUILD_DIR}/tools/bladed-serve"
+LOAD="${BUILD_DIR}/tools/bladed-load"
+
+for bin in "${SERVE}" "${LOAD}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "soak.sh: ${bin} not built (cmake --build ${BUILD_DIR})" >&2
+    exit 1
+  fi
+done
+
+LOG=$(mktemp)
+"${SERVE}" --port 0 --workers 2 --queue 8 --read-timeout 0.5 \
+  --drain-timeout 5 > "${LOG}" 2>&1 &
+SERVER_PID=$!
+trap 'kill -9 ${SERVER_PID} 2>/dev/null || true; rm -f "${LOG}"' EXIT
+
+# Scrape the ephemeral port from the startup line.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${LOG}")
+  [[ -n "${PORT}" ]] && break
+  sleep 0.1
+done
+if [[ -z "${PORT}" ]]; then
+  echo "soak.sh: server never announced a port:" >&2
+  cat "${LOG}" >&2
+  exit 1
+fi
+echo "soak.sh: bladed-serve pid ${SERVER_PID} on port ${PORT}, ${RPS} rps" \
+     "for ${DURATION}s (seed ${SEED})"
+
+# Track peak RSS while the load runs.
+MAX_RSS=0
+( while kill -0 "${SERVER_PID}" 2>/dev/null; do
+    ps -o rss= -p "${SERVER_PID}" 2>/dev/null || true
+    sleep 2
+  done ) > "${LOG}.rss" &
+RSS_PID=$!
+
+"${LOAD}" --port "${PORT}" --rps "${RPS}" --duration "${DURATION}" \
+  --seed "${SEED}" --p-garbage 0.05 --p-stall 0.03 --p-drop 0.03 \
+  --stall 0.7 --timeout 30 --json > "${OUT}"
+
+kill "${RSS_PID}" 2>/dev/null || true
+wait "${RSS_PID}" 2>/dev/null || true
+MAX_RSS=$(sort -n "${LOG}.rss" 2>/dev/null | tail -1)
+MAX_RSS=${MAX_RSS:-0}
+rm -f "${LOG}.rss"
+
+# The server must still be alive and healthy (raw /dev/tcp probe: no curl
+# dependency in the image).
+if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+  echo "soak.sh: FAIL — server process died during the soak" >&2
+  exit 1
+fi
+exec 3<>"/dev/tcp/127.0.0.1/${PORT}"
+printf 'GET /healthz HTTP/1.1\r\nHost: s\r\nConnection: close\r\n\r\n' >&3
+HEALTH=$(head -1 <&3 | tr -d '\r')
+exec 3<&- 3>&-
+if [[ "${HEALTH}" != "HTTP/1.1 200 OK" ]]; then
+  echo "soak.sh: FAIL — /healthz after soak: '${HEALTH}'" >&2
+  exit 1
+fi
+
+# Graceful drain: SIGTERM, exit 0.
+kill -TERM "${SERVER_PID}"
+if ! wait "${SERVER_PID}"; then
+  echo "soak.sh: FAIL — server exited nonzero on SIGTERM drain" >&2
+  exit 1
+fi
+trap 'rm -f "${LOG}"' EXIT
+
+python3 - "${OUT}" "${MAX_RSS}" "${RSS_LIMIT_KB}" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+max_rss, limit = int(sys.argv[2]), int(sys.argv[3])
+fails = []
+if rep["errors_5xx"] != 0:
+    fails.append(f"{rep['errors_5xx']} 5xx responses")
+if rep["resets"] != 0:
+    fails.append(f"{rep['resets']} connections reset without a response")
+if rep["completed"] == 0:
+    fails.append("no request completed at all")
+if max_rss == 0:
+    fails.append("never sampled server RSS")
+elif max_rss > limit:
+    fails.append(f"peak RSS {max_rss} kB exceeds the {limit} kB bound")
+print(f"soak.sh: {rep['completed']} completed ({rep['ok']} ok, "
+      f"{rep['degraded']} degraded, {rep['shed']} shed, "
+      f"{rep['timeouts']} 504), p99 {rep['p99_ms']:.0f} ms, "
+      f"peak RSS {max_rss} kB")
+if fails:
+    print("soak.sh: FAIL — " + "; ".join(fails), file=sys.stderr)
+    sys.exit(1)
+print("soak.sh: PASS — server survived the soak within bounds")
+EOF

@@ -53,6 +53,14 @@ class PeerFailureError : public FaultError {
   double peer_failed_at;
 };
 
+/// The run was cancelled from outside the simulation (deadline expiry,
+/// client disconnect, server drain). Distinct from FaultError: nothing
+/// failed inside the simulated cluster — the host asked it to stop.
+class CancelledError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
 /// The run cannot make progress because one or more nodes failed (e.g. a
 /// barrier can never complete after a crash). Lists the dead nodes.
 class NodeFailureError : public FaultError {

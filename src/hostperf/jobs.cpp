@@ -1,0 +1,150 @@
+#include "hostperf/jobs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "hostperf/hostperf.hpp"
+
+namespace bladed::hostperf {
+
+JobPool::JobPool(Options opt)
+    : threads_(resolve_host_threads(opt.threads)),
+      capacity_(opt.queue_capacity) {
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+  watchdog_ = std::thread([this] { watchdog_main(); });
+}
+
+JobPool::~JobPool() { shutdown(); }
+
+JobPool::Submit JobPool::try_submit(std::function<void()> fn,
+                                    std::shared_ptr<CancelToken> token,
+                                    double deadline_seconds) {
+  BLADED_REQUIRE_MSG(fn != nullptr, "JobPool::try_submit needs a callable");
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  if (token != nullptr && deadline_seconds > 0.0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(deadline_seconds));
+  }
+  bool arm = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return Submit::kShuttingDown;
+    if (queue_.size() >= capacity_) return Submit::kQueueFull;
+    queue_.push_back({std::move(fn), std::move(token), deadline});
+    if (deadline != std::chrono::steady_clock::time_point::max()) {
+      armed_.emplace_back(deadline, queue_.back().token);
+      arm = true;
+    }
+  }
+  work_cv_.notify_one();
+  if (arm) watch_cv_.notify_one();
+  return Submit::kAccepted;
+}
+
+std::size_t JobPool::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+int JobPool::active() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_;
+}
+
+std::size_t JobPool::in_flight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size() + static_cast<std::size_t>(active_);
+}
+
+void JobPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void JobPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      // A second caller (or the destructor after an explicit shutdown) must
+      // not re-join the threads.
+      if (workers_.empty() && !watchdog_.joinable()) return;
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  watch_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void JobPool::worker_main() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      job.fn();
+    } catch (...) {
+      // Jobs own their error reporting (the serve layer catches inside the
+      // closure); an escaped exception must not take the worker down.
+    }
+    bool disarmed = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --active_;
+      if (job.token != nullptr) {
+        // Drop the finished job's deadline so the watchdog never cancels a
+        // token that might be reused for bookkeeping after completion.
+        const auto it = std::remove_if(
+            armed_.begin(), armed_.end(),
+            [&](const auto& a) { return a.second == job.token; });
+        disarmed = it != armed_.end();
+        armed_.erase(it, armed_.end());
+      }
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+    // Wake the watchdog so it can re-plan (and exit once stopping with
+    // nothing armed).
+    if (disarmed) watch_cv_.notify_one();
+  }
+}
+
+void JobPool::watchdog_main() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (stopping_ && armed_.empty()) return;
+    auto next = std::chrono::steady_clock::time_point::max();
+    for (const auto& a : armed_) next = std::min(next, a.first);
+    if (next == std::chrono::steady_clock::time_point::max()) {
+      watch_cv_.wait(lk);
+    } else {
+      watch_cv_.wait_until(lk, next);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = armed_.begin(); it != armed_.end();) {
+      if (it->first <= now) {
+        it->second->cancel();
+        it = armed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // While stopping, keep enforcing deadlines over the draining queue;
+    // the loop head exits once every armed token is resolved.
+  }
+}
+
+}  // namespace bladed::hostperf

@@ -1,0 +1,120 @@
+#pragma once
+
+/// bladed::hostperf job execution: a bounded worker pool with admission
+/// control, cooperative cancellation and deadline enforcement. This is the
+/// compute substrate of the serving layer (src/serve): each admitted HTTP
+/// request becomes one job; the pool bounds concurrent simulations to the
+/// host's capacity, `try_submit` refuses work instead of queueing without
+/// bound (the caller sheds with 429), and every job can carry a CancelToken
+/// plus a wall-clock deadline — the pool's watchdog cancels overdue tokens,
+/// and the token's flag is exactly what simnet::Cluster::Config::cancel
+/// polls, so a cancelled simulation unwinds at its next engine transition
+/// instead of computing to completion (no zombie jobs holding worker slots).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mc/shim.hpp"
+
+namespace bladed::hostperf {
+
+/// Shared cooperative cancellation flag. `flag()` is the engine-facing view:
+/// hand it to simnet::Cluster::Config::cancel and the simulation aborts with
+/// CancelledError at its next engine transition after cancel() fires.
+class CancelToken {
+ public:
+  void cancel() { flag_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return flag_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::atomic<bool>* flag() const { return &flag_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Fixed-size worker pool with a bounded admission queue.
+///
+/// Backpressure contract: at most `threads` jobs run and at most
+/// `queue_capacity` wait; `try_submit` returns kQueueFull instead of
+/// blocking or growing, so overload is visible to the caller at submit time
+/// (the serve layer turns it into load shedding / degraded answers).
+/// Deadline contract: a job submitted with a token and a deadline has its
+/// token cancelled by the watchdog once the deadline passes — whether the
+/// job is still queued or already executing.
+class JobPool {
+ public:
+  struct Options {
+    /// Worker threads; 0 resolves like Cluster::Config::host_threads
+    /// (BLADED_HOST_THREADS env, else hardware concurrency).
+    int threads = 1;
+    /// Jobs allowed to wait beyond the ones executing.
+    std::size_t queue_capacity = 8;
+  };
+
+  enum class Submit { kAccepted, kQueueFull, kShuttingDown };
+
+  explicit JobPool(Options opt);
+  ~JobPool();
+  JobPool(const JobPool&) = delete;
+  JobPool& operator=(const JobPool&) = delete;
+
+  /// Admit `fn` for execution on a worker thread. `token`, when non-null,
+  /// is cancelled by the watchdog `deadline_seconds` from now (<= 0: no
+  /// deadline). The job itself always runs exactly once — a job whose token
+  /// fired before a worker picked it up should check `token->cancelled()`
+  /// first and answer cheaply.
+  Submit try_submit(std::function<void()> fn,
+                    std::shared_ptr<CancelToken> token = nullptr,
+                    double deadline_seconds = 0.0);
+
+  [[nodiscard]] int threads() const { return threads_; }
+  [[nodiscard]] std::size_t queue_capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] int active() const;
+  /// queued() + active() under one lock (the admission measure).
+  [[nodiscard]] std::size_t in_flight() const;
+
+  /// Block until no job is queued or executing (drain aid; the pool still
+  /// accepts new work — stop submitting first for a true drain).
+  void wait_idle();
+
+  /// Stop accepting, run everything already queued, join all threads.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Job {
+    std::function<void()> fn;
+    std::shared_ptr<CancelToken> token;
+    std::chrono::steady_clock::time_point deadline;  // max() = none
+  };
+
+  void worker_main();
+  void watchdog_main();
+
+  const int threads_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers: queue non-empty / stop
+  std::condition_variable idle_cv_;   ///< wait_idle: counters hit zero
+  std::condition_variable watch_cv_;  ///< watchdog: new deadline / stop
+  std::deque<Job> queue_;
+  /// Tokens of executing jobs that still carry a live deadline.
+  std::vector<std::pair<std::chrono::steady_clock::time_point,
+                        std::shared_ptr<CancelToken>>>
+      armed_;
+  int active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace bladed::hostperf

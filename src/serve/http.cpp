@@ -1,0 +1,247 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace bladed::serve {
+
+namespace {
+
+[[nodiscard]] std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[nodiscard]] bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u >= 0x7F) return false;
+    if (std::string_view("()<>@,;:\\\"/[]?={}").find(c) !=
+        std::string_view::npos) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+void HttpParser::fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(reason);
+}
+
+std::size_t HttpParser::feed(std::string_view data) {
+  std::size_t consumed = 0;
+  if (state_ == State::kHeaders) {
+    // Accumulate up to the blank line, bounded by max_header_bytes.
+    const std::size_t want = data.size();
+    for (; consumed < want; ++consumed) {
+      buf_.push_back(data[consumed]);
+      if (buf_.size() > limits_.max_header_bytes) {
+        fail(431, "request headers exceed " +
+                      std::to_string(limits_.max_header_bytes) + " bytes");
+        return consumed + 1;
+      }
+      if (buf_.size() >= 4 &&
+          buf_.compare(buf_.size() - 4, 4, "\r\n\r\n") == 0) {
+        ++consumed;
+        if (!parse_headers()) return consumed;  // fail() already called
+        if (state_ != State::kBody) return consumed;
+        break;
+      }
+    }
+    if (state_ != State::kBody) return consumed;
+  }
+  if (state_ == State::kBody) {
+    const std::size_t take =
+        std::min(body_need_ - req_.body.size(), data.size() - consumed);
+    req_.body.append(data.substr(consumed, take));
+    consumed += take;
+    if (req_.body.size() == body_need_) state_ = State::kComplete;
+  }
+  return consumed;
+}
+
+bool HttpParser::parse_headers() {
+  // buf_ holds request-line + headers + CRLFCRLF.
+  std::string_view rest(buf_);
+  rest.remove_suffix(2);  // final CRLF of the blank line
+
+  const auto line_end = rest.find("\r\n");
+  std::string_view line = rest.substr(0, line_end);
+  rest.remove_prefix(line_end + 2);
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string_view::npos
+                       ? std::string_view::npos
+                       : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!is_token(method)) {
+    fail(400, "malformed method token");
+    return false;
+  }
+  if (target.empty() || target.front() != '/') {
+    fail(400, "request target must be origin-form");
+    return false;
+  }
+  if (version == "HTTP/1.1") {
+    req_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    req_.version_minor = 0;
+  } else {
+    fail(505, "unsupported HTTP version");
+    return false;
+  }
+  req_.method.assign(method);
+  req_.target.assign(target);
+
+  // Header fields.
+  while (!rest.empty()) {
+    const auto he = rest.find("\r\n");
+    std::string_view hl = rest.substr(0, he);
+    rest.remove_prefix(he + 2);
+    if (hl.empty()) continue;
+    if (hl.front() == ' ' || hl.front() == '\t') {
+      fail(400, "obsolete header folding is not accepted");
+      return false;
+    }
+    const auto colon = hl.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      fail(400, "malformed header field");
+      return false;
+    }
+    const std::string_view name = hl.substr(0, colon);
+    if (!is_token(name)) {
+      fail(400, "malformed header field name");
+      return false;
+    }
+    req_.headers.emplace_back(lower(std::string(name)),
+                              std::string(trim(hl.substr(colon + 1))));
+  }
+
+  // Connection semantics: HTTP/1.1 defaults to keep-alive, 1.0 to close.
+  req_.keep_alive = req_.version_minor == 1;
+  if (const std::string* conn = req_.header("connection")) {
+    const std::string c = lower(*conn);
+    if (c.find("close") != std::string::npos) req_.keep_alive = false;
+    else if (c.find("keep-alive") != std::string::npos) req_.keep_alive = true;
+  }
+
+  // Body framing: Content-Length only; refuse Transfer-Encoding outright
+  // (rather than mis-framing a request smuggling attempt).
+  if (req_.header("transfer-encoding") != nullptr) {
+    fail(501, "Transfer-Encoding is not supported");
+    return false;
+  }
+  body_need_ = 0;
+  if (const std::string* cl = req_.header("content-length")) {
+    if (cl->empty() ||
+        cl->find_first_not_of("0123456789") != std::string::npos) {
+      fail(400, "malformed Content-Length");
+      return false;
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+    if (end != cl->c_str() + cl->size()) {
+      fail(400, "malformed Content-Length");
+      return false;
+    }
+    if (v > limits_.max_body_bytes) {
+      fail(413, "request body exceeds " +
+                    std::to_string(limits_.max_body_bytes) + " bytes");
+      return false;
+    }
+    body_need_ = static_cast<std::size_t>(v);
+  }
+  buf_.clear();
+  state_ = State::kBody;
+  if (body_need_ == 0) state_ = State::kComplete;
+  return true;
+}
+
+void HttpParser::reset() {
+  state_ = State::kHeaders;
+  buf_.clear();
+  body_need_ = 0;
+  req_ = HttpRequest{};
+  error_status_ = 400;
+  error_.clear();
+}
+
+std::string_view http_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive,
+                          const std::vector<std::string>& extra_headers,
+                          bool head_only) {
+  std::string out;
+  out.reserve(body.size() + 256);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += http_reason(status);
+  out += "\r\nServer: bladed-serve\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
+  for (const std::string& h : extra_headers) {
+    out += "\r\n";
+    out += h;
+  }
+  out += "\r\n\r\n";
+  if (!head_only) out += body;
+  return out;
+}
+
+}  // namespace bladed::serve

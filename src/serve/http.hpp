@@ -1,0 +1,90 @@
+#pragma once
+
+/// Incremental HTTP/1.1 request parsing and response formatting for
+/// bladed-serve, in the pazpar2 http.c mold: a byte-at-a-time-safe state
+/// machine that can be fed whatever the socket produced (including one byte
+/// per read, or a flood of pipelined requests) and that classifies every
+/// malformed input as a 4xx with a reason — never an exception, never a
+/// crash. Hard caps (header bytes, body bytes) are enforced during parsing
+/// so a hostile client cannot make the server buffer without bound.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bladed::serve {
+
+struct HttpLimits {
+  std::size_t max_header_bytes = 8192;        ///< request line + all headers
+  std::size_t max_body_bytes = 256 * 1024;    ///< Content-Length cap
+};
+
+struct HttpRequest {
+  std::string method;   ///< uppercase as sent ("GET", "POST", ...)
+  std::string target;   ///< origin-form target ("/v1/simulate")
+  int version_minor = 1;  ///< 1 for HTTP/1.1, 0 for HTTP/1.0
+  /// Header fields in arrival order; names lowercased, values trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// First header value by (lowercase) name, or nullptr.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+/// Feed-driven request parser. Typical loop:
+///
+///   parser.feed(bytes_from_socket);
+///   switch (parser.state()) {
+///     case kComplete: handle(parser.request()); parser.reset(); break;
+///     case kError:    respond(parser.error_status()); close; break;
+///     default:        keep reading;
+///   }
+class HttpParser {
+ public:
+  enum class State { kHeaders, kBody, kComplete, kError };
+
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Consume as much of `data` as this request needs; returns the number of
+  /// bytes consumed (the rest belongs to the next pipelined request).
+  std::size_t feed(std::string_view data);
+
+  [[nodiscard]] State state() const { return state_; }
+  /// Valid while state() == kComplete.
+  [[nodiscard]] const HttpRequest& request() const { return req_; }
+  /// Valid while state() == kError: the HTTP status the connection should
+  /// answer with before closing (400, 413, 431, 501, 505).
+  [[nodiscard]] int error_status() const { return error_status_; }
+  [[nodiscard]] const std::string& error_reason() const { return error_; }
+
+  /// Forget the finished (or failed) request and await the next one.
+  void reset();
+
+ private:
+  void fail(int status, std::string reason);
+  bool parse_headers();  ///< on the accumulated buffer; false = need bytes
+
+  HttpLimits limits_;
+  State state_ = State::kHeaders;
+  std::string buf_;       ///< accumulated header bytes (incl. CRLFCRLF)
+  std::size_t body_need_ = 0;
+  HttpRequest req_;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+/// Serialize a response. `body` is sent with Content-Length (and dropped
+/// for HEAD by the caller passing head_only). `extra_headers` are verbatim
+/// "Name: value" lines (e.g. "Retry-After: 2").
+[[nodiscard]] std::string http_response(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive, const std::vector<std::string>& extra_headers = {},
+    bool head_only = false);
+
+/// Canonical reason phrase for the statuses bladed-serve emits.
+[[nodiscard]] std::string_view http_reason(int status);
+
+}  // namespace bladed::serve

@@ -1,0 +1,314 @@
+#include "serve/loadgen.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "serve/eventloop.hpp"
+
+namespace bladed::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] Clock::duration secs(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+[[nodiscard]] std::string default_body(std::uint64_t i) {
+  return "{\"workload\":\"treecode\",\"arch\":\"TM5600\",\"ranks\":4,"
+         "\"particles\":256,\"steps\":1,\"seed\":" +
+         std::to_string(i % 8 + 1) + "}";
+}
+
+[[nodiscard]] std::string http_post(const std::string& body) {
+  return "POST /v1/simulate HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+         "Connection: close\r\nContent-Type: application/json\r\n"
+         "Content-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+struct ClientConn {
+  Fd fd;
+  enum class St { kConnecting, kSending, kStalled, kReading, kDone } st =
+      St::kConnecting;
+  ChaosKind chaos = ChaosKind::kNone;
+  std::string out;        ///< bytes to send (possibly truncated by chaos)
+  std::size_t out_off = 0;
+  bool drop_after_send = false;  ///< kDrop: close as soon as out is flushed
+  std::string in;
+  Clock::time_point start{}, deadline{}, stall_until{};
+  std::uint64_t index = 0;
+};
+
+/// Parse "HTTP/1.1 NNN ..." out of a completed (EOF-terminated) exchange.
+[[nodiscard]] int parse_status(const std::string& in) {
+  if (in.size() < 12 || in.compare(0, 5, "HTTP/") != 0) return 0;
+  const std::size_t sp = in.find(' ');
+  if (sp == std::string::npos || sp + 3 >= in.size()) return 0;
+  int status = 0;
+  for (int i = 1; i <= 3; ++i) {
+    const char ch = in[sp + static_cast<std::size_t>(i)];
+    if (ch < '0' || ch > '9') return 0;
+    status = status * 10 + (ch - '0');
+  }
+  return status;
+}
+
+void classify(const ClientConn& c, int status, LoadReport& rep) {
+  if (status == 0) {
+    ++rep.resets;
+    return;
+  }
+  ++rep.completed;
+  if (status == 200) {
+    ++rep.ok;
+    if (c.in.find("\"degraded\":true") != std::string::npos) ++rep.degraded;
+    if (c.in.find("\"cached\":true") != std::string::npos) ++rep.cached;
+  } else if (status == 429) {
+    ++rep.shed;
+  } else if (status == 504) {
+    ++rep.timeouts;
+  } else if (status >= 500) {
+    ++rep.errors_5xx;
+  } else if (status >= 400) {
+    ++rep.errors_4xx;
+  }
+}
+
+}  // namespace
+
+ChaosKind chaos_for(const LoadOptions& opt, std::uint64_t index) {
+  // One independent stream per arrival: replaying a seed replays the mix.
+  Rng rng(opt.seed ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+  const double u = rng.uniform();
+  if (u < opt.p_garbage) return ChaosKind::kGarbage;
+  if (u < opt.p_garbage + opt.p_stall) return ChaosKind::kStall;
+  if (u < opt.p_garbage + opt.p_stall + opt.p_drop) return ChaosKind::kDrop;
+  return ChaosKind::kNone;
+}
+
+LoadReport run_load(const LoadOptions& opt) {
+  BLADED_REQUIRE_MSG(opt.port != 0, "LoadOptions.port is required");
+  const std::uint64_t total =
+      opt.burst > 0 ? static_cast<std::uint64_t>(opt.burst)
+                    : static_cast<std::uint64_t>(
+                          std::llround(opt.rps * opt.duration_seconds));
+  LoadReport rep;
+  if (total == 0) return rep;
+
+  const Clock::time_point t0 = Clock::now();
+  auto arrival_time = [&](std::uint64_t i) {
+    if (opt.burst > 0) return t0;
+    return t0 + secs(static_cast<double>(i) / std::max(1e-9, opt.rps));
+  };
+
+  std::vector<ClientConn> conns;  // live connections (swap-erase)
+  std::uint64_t next_arrival = 0;
+  bool connect_failed = false;
+
+  auto start_one = [&](std::uint64_t index) {
+    const int fd = connect_loopback(opt.port);
+    if (fd < 0) {
+      ++rep.resets;
+      connect_failed = true;
+      return;
+    }
+    ClientConn c;
+    c.fd = Fd(fd);
+    c.index = index;
+    c.chaos = chaos_for(opt, index);
+    c.start = Clock::now();
+    c.deadline = c.start + secs(opt.client_timeout_seconds);
+    const std::string body =
+        opt.body ? opt.body(index) : default_body(index);
+    const std::string req = http_post(body);
+    switch (c.chaos) {
+      case ChaosKind::kNone:
+        c.out = req;
+        break;
+      case ChaosKind::kGarbage: {
+        ++rep.chaos_garbage;
+        Rng rng(opt.seed ^ (index * 2654435761ULL + 7));
+        c.out.resize(64);
+        for (char& ch : c.out) {
+          // Printable garbage: never a valid request line.
+          ch = static_cast<char>('!' + rng.below(90));
+        }
+        break;
+      }
+      case ChaosKind::kStall:
+        ++rep.chaos_stall;
+        c.out = req.substr(0, req.size() / 2);
+        break;
+      case ChaosKind::kDrop:
+        ++rep.chaos_drop;
+        c.out = req.substr(0, req.size() / 2);
+        c.drop_after_send = true;
+        break;
+    }
+    conns.push_back(std::move(c));
+  };
+
+  std::vector<pollfd> pfds;
+  while (next_arrival < total || !conns.empty()) {
+    const Clock::time_point now = Clock::now();
+    // Launch due arrivals (bounded by the fd budget).
+    while (next_arrival < total &&
+           conns.size() < static_cast<std::size_t>(opt.max_in_flight) &&
+           now >= arrival_time(next_arrival)) {
+      start_one(next_arrival++);
+    }
+    if (conns.empty()) {
+      if (connect_failed && next_arrival >= total) break;
+      if (next_arrival < total) {
+        const auto dt = arrival_time(next_arrival) - Clock::now();
+        if (dt > Clock::duration::zero()) {
+          std::this_thread::sleep_for(
+              std::min(dt, secs(0.05)));
+        }
+      }
+      continue;
+    }
+
+    pfds.clear();
+    Clock::time_point next_tp = Clock::time_point::max();
+    if (next_arrival < total) next_tp = arrival_time(next_arrival);
+    for (ClientConn& c : conns) {
+      short ev = 0;
+      switch (c.st) {
+        case ClientConn::St::kConnecting:
+        case ClientConn::St::kSending:
+          ev = POLLOUT;
+          break;
+        case ClientConn::St::kStalled:
+          ev = POLLIN;  // server may answer (408) during the stall
+          next_tp = std::min(next_tp, c.stall_until);
+          break;
+        case ClientConn::St::kReading:
+          ev = POLLIN;
+          break;
+        case ClientConn::St::kDone:
+          break;
+      }
+      pfds.push_back({c.fd.get(), ev, 0});
+      next_tp = std::min(next_tp, c.deadline);
+    }
+    int timeout_ms = 100;
+    if (next_tp != Clock::time_point::max()) {
+      const auto dt =
+          std::chrono::duration_cast<std::chrono::milliseconds>(next_tp - now)
+              .count();
+      timeout_ms = static_cast<int>(std::clamp<long long>(dt, 0, 100));
+    }
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+
+    const Clock::time_point after = Clock::now();
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      ClientConn& c = conns[i];
+      const short re = pfds[i].revents;
+      if (c.st == ClientConn::St::kConnecting && (re & (POLLOUT | POLLERR))) {
+        if (connect_result(c.fd.get()) != 0) {
+          ++rep.resets;
+          c.st = ClientConn::St::kDone;
+          continue;
+        }
+        c.st = ClientConn::St::kSending;
+      }
+      if (c.st == ClientConn::St::kSending &&
+          (re & (POLLOUT | POLLERR | POLLHUP))) {
+        bool dead = false;
+        while (c.out_off < c.out.size()) {
+          const ssize_t n = ::send(c.fd.get(), c.out.data() + c.out_off,
+                                   c.out.size() - c.out_off, MSG_NOSIGNAL);
+          if (n > 0) {
+            c.out_off += static_cast<std::size_t>(n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          dead = true;
+          break;
+        }
+        if (dead) {
+          ++rep.resets;
+          c.st = ClientConn::St::kDone;
+        } else if (c.out_off == c.out.size()) {
+          if (c.drop_after_send) {
+            c.st = ClientConn::St::kDone;  // chaos drop: vanish mid-request
+          } else if (c.chaos == ChaosKind::kStall) {
+            c.st = ClientConn::St::kStalled;
+            c.stall_until = after + secs(opt.stall_seconds);
+          } else {
+            if (c.chaos == ChaosKind::kNone) ++rep.sent;
+            c.st = ClientConn::St::kReading;
+          }
+        }
+      }
+      if ((c.st == ClientConn::St::kReading ||
+           c.st == ClientConn::St::kStalled) &&
+          (re & (POLLIN | POLLHUP | POLLERR))) {
+        char buf[8192];
+        for (;;) {
+          const ssize_t n = ::recv(c.fd.get(), buf, sizeof buf, 0);
+          if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n == 0) {  // EOF: exchange complete
+            const int status = parse_status(c.in);
+            classify(c, status, rep);
+            if (status != 0 && c.chaos == ChaosKind::kNone) {
+              rep.latencies_ms.push_back(
+                  std::chrono::duration<double, std::milli>(after - c.start)
+                      .count());
+            }
+            c.st = ClientConn::St::kDone;
+            break;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          ++rep.resets;
+          c.st = ClientConn::St::kDone;
+          break;
+        }
+      }
+      if (c.st == ClientConn::St::kStalled && after >= c.stall_until) {
+        c.st = ClientConn::St::kDone;  // give up; server 408s on its own
+      }
+      if (c.st != ClientConn::St::kDone && after >= c.deadline) {
+        ++rep.client_timeouts;
+        c.st = ClientConn::St::kDone;
+      }
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const ClientConn& c) {
+                                 return c.st == ClientConn::St::kDone;
+                               }),
+                conns.end());
+  }
+
+  if (!rep.latencies_ms.empty()) {
+    std::vector<double> lat = rep.latencies_ms;
+    std::sort(lat.begin(), lat.end());
+    auto pick = [&](double q) {
+      const std::size_t idx = static_cast<std::size_t>(
+          q * static_cast<double>(lat.size() - 1) + 0.5);
+      return lat[std::min(idx, lat.size() - 1)];
+    };
+    rep.p50_ms = pick(0.50);
+    rep.p99_ms = pick(0.99);
+    rep.max_ms = lat.back();
+  }
+  return rep;
+}
+
+}  // namespace bladed::serve

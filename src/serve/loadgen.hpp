@@ -1,0 +1,69 @@
+#pragma once
+
+/// Load generator for bladed-serve: an open-loop (fixed arrival rate)
+/// or single-burst HTTP client engine on its own poll() loop, with a
+/// seeded chaos mix — per-arrival decisions to send garbage bytes, stall
+/// half-way through a request, or drop the connection mid-send. Decisions
+/// are a pure function of (seed, arrival index), so a run with the same
+/// seed replays the same chaos sequence; the saturation bench and the CI
+/// soak job rely on that to assert identical shed/degrade counts.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bladed::serve {
+
+enum class ChaosKind { kNone, kGarbage, kStall, kDrop };
+
+struct LoadOptions {
+  std::uint16_t port = 0;  ///< required: bladed-serve port on 127.0.0.1
+
+  /// Arrival pattern: `burst` > 0 opens that many requests at once;
+  /// otherwise open-loop at `rps` arrivals/second for `duration_seconds`
+  /// (arrival times fixed up front — a slow server does not slow arrivals).
+  int burst = 0;
+  double rps = 20.0;
+  double duration_seconds = 5.0;
+
+  std::uint64_t seed = 1;
+  /// Chaos probabilities per arrival (checked in this order).
+  double p_garbage = 0.0;  ///< random bytes instead of HTTP
+  double p_stall = 0.0;    ///< half a request, then silence
+  double p_drop = 0.0;     ///< half a request, then close
+  double stall_seconds = 2.0;
+
+  double client_timeout_seconds = 30.0;
+  int max_in_flight = 512;  ///< fd bound; arrivals past it start late
+
+  /// JSON body for arrival i; empty default = small treecode request.
+  std::function<std::string(std::uint64_t)> body;
+};
+
+struct LoadReport {
+  std::uint64_t sent = 0;       ///< well-formed requests fully sent
+  std::uint64_t completed = 0;  ///< responses with a parsed status line
+  std::uint64_t ok = 0;         ///< 200s
+  std::uint64_t degraded = 0;   ///< 200s with "degraded": true
+  std::uint64_t cached = 0;     ///< 200s with "cached": true
+  std::uint64_t shed = 0;       ///< 429
+  std::uint64_t timeouts = 0;   ///< 504
+  std::uint64_t errors_4xx = 0; ///< other 4xx (400/404/408/413/431...)
+  std::uint64_t errors_5xx = 0; ///< 5xx
+  std::uint64_t resets = 0;     ///< connection died without a status line
+  std::uint64_t client_timeouts = 0;
+  std::uint64_t chaos_garbage = 0, chaos_stall = 0, chaos_drop = 0;
+  std::vector<double> latencies_ms;  ///< completed-request latencies
+  double p50_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+};
+
+/// The seeded per-arrival chaos decision (exposed so tests can predict a
+/// run's chaos sequence without executing it).
+[[nodiscard]] ChaosKind chaos_for(const LoadOptions& opt, std::uint64_t index);
+
+/// Run the load to completion (every arrival resolved or client-timed-out)
+/// and report. Throws SimulationError if the server is unreachable.
+[[nodiscard]] LoadReport run_load(const LoadOptions& opt);
+
+}  // namespace bladed::serve

@@ -111,7 +111,8 @@ Cluster::Cluster(Config cfg)
       host_threads_(hostperf::resolve_host_threads(cfg.host_threads)),
       record_trace_(cfg.record_trace),
       injector_(cfg.fault),
-      recorder_(cfg.recorder) {
+      recorder_(cfg.recorder),
+      cancel_(cfg.cancel) {
   BLADED_REQUIRE_MSG(cfg.ranks > 0, "cluster needs at least one rank");
   BLADED_REQUIRE_MSG(recorder_ == nullptr || recorder_->ranks() == cfg.ranks,
                      "commcheck recorder sized for " +
@@ -177,9 +178,34 @@ void Cluster::apply_hang_and_crash(int r) {
   if (me.crash_at <= me.now()) die(r, me.crash_at);
 }
 
+void Cluster::abort_cancelled(int r) {
+  ClusterImpl& eng = *impl_;
+  Rank& me = *ranks_[r];
+  // The caller may hold a compute slot; free it so draining peers that are
+  // blocked in ComputeSlots::acquire can unwind too.
+  if (me.holds_slot) {
+    me.holds_slot = false;
+    eng.slots.release();
+  }
+  mc::lock_guard lk(eng.mu);
+  if (!eng.abort) {
+    if (!eng.error) {
+      eng.error = std::make_exception_ptr(CancelledError(
+          "simnet: run cancelled (deadline expired or caller abandoned the "
+          "request) at rank " + std::to_string(r) + ", t=" +
+          std::to_string(me.now())));
+    }
+    eng.abort = true;
+    eng.sched_cv.notify_all();
+    for (auto& rk : ranks_) rk->cv.notify_all();
+  }
+  throw AbortSim{};
+}
+
 mc::unique_lock Cluster::enter_op(int r) {
   ClusterImpl& eng = *impl_;
   Rank& me = *ranks_[r];
+  if (cancel_requested()) abort_cancelled(r);
   // [mc:slot-pool] Free the compute slot before parking: a slot holder must
   // never wait on a scheduler grant, or slot waiters could deadlock behind a
   // parked holder. The seeded bug hold-while-parked removes this release and
@@ -326,6 +352,17 @@ void Cluster::run(const std::function<void(Comm&)>& program) {
     mc::unique_lock lk(eng.mu);
     for (;;) {
       if (eng.abort) break;
+      // Scheduler-side cancellation point: covers runs where every rank is
+      // parked (nothing computing on the host) so no rank-side check fires.
+      if (cancel_requested()) {
+        if (!eng.error) {
+          eng.error = std::make_exception_ptr(CancelledError(
+              "simnet: run cancelled (deadline expired or caller abandoned "
+              "the request)"));
+        }
+        eng.abort = true;
+        break;
+      }
       int ready = -1;
       bool all_done = true;
       int computing = 0;
@@ -476,6 +513,10 @@ void Cluster::op_compute(int r, double seconds) {
   ClusterImpl& eng = *impl_;
   Rank& me = *ranks_[r];
   if (!injector_.enabled()) {
+    // Cooperative cancellation point: compute-bound phases call
+    // Comm::compute between kernels, so a cancelled run unwinds within one
+    // kernel even when no communication is pending.
+    if (cancel_requested()) abort_cancelled(r);
     // [mc:handshake] Lock-free fast path (the rank half of the Dekker
     // handshake): advancing our own clock inside a compute region needs no
     // engine transition — the seq_cst store keeps the scheduler's lower

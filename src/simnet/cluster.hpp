@@ -27,6 +27,7 @@
 /// so every blocking operation either completes, times out with a typed
 /// error, or is reported by the stall detector instead of hanging.
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <list>
@@ -93,6 +94,13 @@ class Cluster {
     /// hardware concurrency (hostperf::resolve_host_threads). Results are
     /// bit-identical for every value — only wall-clock changes.
     int host_threads = 1;
+    /// Optional cooperative cancellation flag (non-owning; must outlive the
+    /// run). When it becomes true — a serve-layer deadline expired, the
+    /// client went away, the daemon is draining — every rank aborts at its
+    /// next engine transition (and the Comm::compute fast path), and run()
+    /// throws CancelledError. Null = never cancelled (zero overhead beyond
+    /// one pointer test per op).
+    const std::atomic<bool>* cancel = nullptr;
   };
 
   explicit Cluster(Config cfg);
@@ -209,6 +217,14 @@ class Cluster {
   /// the engine lock and re-acquire a compute slot before user code resumes.
   void leave_op(int r, mc::unique_lock& lk);
 
+  /// True once Config::cancel fired (cheap relaxed test; null-safe).
+  [[nodiscard]] bool cancel_requested() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+  /// Record CancelledError as the run's outcome, wake every thread and
+  /// unwind the calling rank. Takes the engine lock itself.
+  [[noreturn]] void abort_cancelled(int r);
+
   // Fault machinery (engine lock held).
   void apply_hang_and_crash(int r);
   [[noreturn]] void die(int r, double at);
@@ -227,6 +243,7 @@ class Cluster {
   fault::FaultStats fault_stats_;
   std::vector<fault::ExecutedFault> fault_trace_;
   commcheck::Recorder* recorder_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 }  // namespace bladed::simnet

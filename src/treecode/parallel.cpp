@@ -174,7 +174,7 @@ ParallelResult run_parallel_nbody(const ParallelConfig& cfg) {
 
   simnet::Cluster cluster(
       {.ranks = cfg.ranks, .network = cfg.network, .recorder = cfg.recorder,
-       .host_threads = cfg.host_threads});
+       .host_threads = cfg.host_threads, .cancel = cfg.cancel});
   std::vector<RankWork> work(cfg.ranks);
 
   cluster.run([&](simnet::Comm& comm) {

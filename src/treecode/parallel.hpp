@@ -8,6 +8,8 @@
 /// (positions/energies) and the performance numbers of the paper's §3.3
 /// experiments (scalability table, sustained Gflop rating).
 
+#include <atomic>
+
 #include "arch/processor.hpp"
 #include "simnet/network.hpp"
 #include "treecode/integrator.hpp"
@@ -37,6 +39,10 @@ struct ParallelConfig {
   /// (simnet::Cluster::Config::host_threads): 1 serializes, 0 auto-resolves.
   /// Results are bit-identical for every value.
   int host_threads = 1;
+  /// Cooperative cancellation flag (simnet::Cluster::Config::cancel): when
+  /// it fires, the run unwinds with CancelledError at the next engine
+  /// transition. Null = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct ParallelResult {

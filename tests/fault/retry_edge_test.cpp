@@ -1,0 +1,94 @@
+/// Edge cases of TransportPolicy::retry_delay and the recv_timeout = 0
+/// wait-forever contract. retry_delay feeds virtual-time arithmetic inside
+/// the FT transport, so an overflow to inf (or a NaN) at a large attempt
+/// index would poison the engine clock; these tests pin the clamp.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "simnet/cluster.hpp"
+#include "simnet/comm.hpp"
+
+namespace bladed::fault {
+namespace {
+
+TEST(RetryDelay, ExactExponentialLadderBelowTheClamp) {
+  TransportPolicy p;  // rto=2e-3, backoff=2, max_retry_delay=1
+  for (int attempt = 0; attempt < 9; ++attempt) {
+    const double expect =
+        std::min(p.rto * std::pow(p.backoff, attempt), p.max_retry_delay);
+    EXPECT_DOUBLE_EQ(p.retry_delay(attempt), expect) << "attempt " << attempt;
+  }
+  // attempt 8 with the defaults: 2e-3 * 256 = 0.512, still under the clamp;
+  // attempt 9 (1.024) is the first clamped value.
+  EXPECT_DOUBLE_EQ(p.retry_delay(8), 0.512);
+  EXPECT_DOUBLE_EQ(p.retry_delay(9), p.max_retry_delay);
+}
+
+TEST(RetryDelay, MonotoneNonDecreasing) {
+  TransportPolicy p;
+  double prev = 0.0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double d = p.retry_delay(attempt);
+    EXPECT_GE(d, prev) << "attempt " << attempt;
+    prev = d;
+  }
+}
+
+TEST(RetryDelay, HugeAttemptIndexOverflowsToInfButClampsFinite) {
+  TransportPolicy p;
+  // pow(2, 1100) overflows double to inf; the clamp must still win — the
+  // engine would otherwise add inf to virtual time and never wake the rank.
+  EXPECT_TRUE(std::isinf(p.rto * std::pow(p.backoff, 1100)));
+  EXPECT_DOUBLE_EQ(p.retry_delay(1100), p.max_retry_delay);
+  EXPECT_DOUBLE_EQ(p.retry_delay(std::numeric_limits<int>::max()),
+                   p.max_retry_delay);
+  EXPECT_TRUE(std::isfinite(p.retry_delay(std::numeric_limits<int>::max())));
+}
+
+TEST(RetryDelay, AggressivePolicyStillClamps) {
+  TransportPolicy p;
+  p.rto = 0.5;
+  p.backoff = 10.0;
+  p.max_retry_delay = 2.0;
+  EXPECT_DOUBLE_EQ(p.retry_delay(0), 0.5);
+  EXPECT_DOUBLE_EQ(p.retry_delay(1), 2.0);  // 5.0 clamped
+  EXPECT_DOUBLE_EQ(p.retry_delay(1000), 2.0);
+}
+
+TEST(RetryDelay, ZeroBackoffDegeneratesToConstantRto) {
+  TransportPolicy p;
+  p.backoff = 1.0;
+  for (int attempt : {0, 1, 7, 1 << 20}) {
+    EXPECT_DOUBLE_EQ(p.retry_delay(attempt), p.rto) << "attempt " << attempt;
+  }
+}
+
+TEST(RecvTimeout, ZeroMeansWaitForever) {
+  // recv_timeout = 0 is the wait-forever contract: a receiver blocked on a
+  // slow sender must NOT trip RecvTimeoutError no matter how long (in
+  // virtual time) the wait is — here far beyond every transport timescale.
+  simnet::Cluster::Config cfg;
+  cfg.ranks = 2;
+  cfg.fault.enabled = true;
+  ASSERT_EQ(cfg.fault.transport.recv_timeout, 0.0);  // the default
+  simnet::Cluster cluster(cfg);
+  const std::vector<int> payload{42, 43};
+  cluster.run([&](simnet::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(50.0);  // 50 virtual seconds of silence
+      comm.send(1, 3, payload);
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 3), payload);  // no timeout, data intact
+      EXPECT_GE(comm.now(), 50.0);
+    }
+  });
+  EXPECT_EQ(cluster.fault_stats().messages_lost, 0u);
+}
+
+}  // namespace
+}  // namespace bladed::fault

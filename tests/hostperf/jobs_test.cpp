@@ -1,0 +1,184 @@
+/// JobPool contract tests: bounded admission, deadline-driven cancellation
+/// of queued AND running jobs, drain-on-shutdown, and the end-to-end
+/// cancellation path into the simulated cluster (CancelToken::flag ->
+/// Cluster::Config::cancel -> CancelledError, promptly freeing the worker).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "arch/registry.hpp"
+#include "common/error.hpp"
+#include "hostperf/jobs.hpp"
+#include "treecode/parallel.hpp"
+
+namespace bladed::hostperf {
+namespace {
+
+using Submit = JobPool::Submit;
+using Clock = std::chrono::steady_clock;
+
+/// A job the test can hold open and release.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  void release() {
+    {
+      std::lock_guard<std::mutex> l(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> l(mu);
+    cv.wait(l, [&] { return open; });
+  }
+};
+
+TEST(JobPool, RunsEverythingSubmitted) {
+  JobPool pool({.threads = 2, .queue_capacity = 16});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(pool.try_submit([&] { ran.fetch_add(1); }), Submit::kAccepted);
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
+TEST(JobPool, RefusesBeyondWorkersPlusQueue) {
+  JobPool pool({.threads = 1, .queue_capacity = 1});
+  Gate gate;
+  std::atomic<int> ran{0};
+  auto blocked = [&] {
+    gate.wait();
+    ran.fetch_add(1);
+  };
+  ASSERT_EQ(pool.try_submit(blocked), Submit::kAccepted);
+  // Wait for the worker to pick it up so the queue slot is free for sure.
+  while (pool.active() != 1) std::this_thread::yield();
+  ASSERT_EQ(pool.try_submit(blocked), Submit::kAccepted);  // queued
+  EXPECT_EQ(pool.try_submit(blocked), Submit::kQueueFull);
+  EXPECT_EQ(pool.in_flight(), 2u);
+  gate.release();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 2);
+  // Capacity is freed again after the drain.
+  ASSERT_EQ(pool.try_submit(blocked), Submit::kAccepted);
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(JobPool, WatchdogCancelsARunningJobAtItsDeadline) {
+  JobPool pool({.threads = 1, .queue_capacity = 1});
+  auto token = std::make_shared<CancelToken>();
+  const auto t0 = Clock::now();
+  ASSERT_EQ(pool.try_submit(
+                [token] {
+                  while (!token->cancelled()) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                  }
+                },
+                token, /*deadline_seconds=*/0.05),
+            Submit::kAccepted);
+  pool.wait_idle();
+  const double took =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  EXPECT_TRUE(token->cancelled());
+  EXPECT_LT(took, 5.0);  // a missing watchdog would hang until the timeout
+  EXPECT_GE(took, 0.05);
+}
+
+TEST(JobPool, WatchdogCancelsAJobStillInTheQueue) {
+  JobPool pool({.threads = 1, .queue_capacity = 1});
+  Gate gate;
+  ASSERT_EQ(pool.try_submit([&] { gate.wait(); }), Submit::kAccepted);
+  while (pool.active() != 1) std::this_thread::yield();
+  auto token = std::make_shared<CancelToken>();
+  std::atomic<bool> saw_cancelled_at_start{false};
+  ASSERT_EQ(pool.try_submit(
+                [&, token] {
+                  saw_cancelled_at_start.store(token->cancelled());
+                },
+                token, /*deadline_seconds=*/0.02),
+            Submit::kAccepted);
+  // The deadline passes while the job waits behind the gated one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(token->cancelled());
+  gate.release();
+  pool.wait_idle();
+  EXPECT_TRUE(saw_cancelled_at_start.load());
+}
+
+TEST(JobPool, ShutdownDrainsQueuedJobsThenRefuses) {
+  auto pool = std::make_unique<JobPool>(
+      JobPool::Options{.threads = 1, .queue_capacity = 8});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(pool->try_submit([&] {
+                ran.fetch_add(1);
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+              }),
+              Submit::kAccepted);
+  }
+  pool->shutdown();
+  EXPECT_EQ(ran.load(), 5);  // graceful: queued work still ran
+  EXPECT_EQ(pool->try_submit([&] { ran.fetch_add(1); }),
+            Submit::kShuttingDown);
+  pool->shutdown();  // idempotent
+}
+
+TEST(JobPool, NoDeadlineMeansNoCancellation) {
+  JobPool pool({.threads = 1, .queue_capacity = 1});
+  auto token = std::make_shared<CancelToken>();
+  ASSERT_EQ(pool.try_submit(
+                [] {
+                  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+                },
+                token, /*deadline_seconds=*/0.0),
+            Submit::kAccepted);
+  pool.wait_idle();
+  EXPECT_FALSE(token->cancelled());
+}
+
+TEST(JobPool, CancelTokenUnwindsARealSimulationPromptly) {
+  // The acceptance check for "no zombie compute": a cancelled simulation
+  // must abandon the worker slot in wall-clock terms, not finish its hour.
+  JobPool pool({.threads = 1, .queue_capacity = 1});
+  auto token = std::make_shared<CancelToken>();
+  std::atomic<bool> cancelled_error{false};
+  std::atomic<bool> finished{false};
+  ASSERT_EQ(pool.try_submit(
+                [&, token] {
+                  treecode::ParallelConfig cfg;
+                  cfg.ranks = 8;
+                  cfg.particles = 20000;
+                  cfg.steps = 50;  // many seconds of compute if uncancelled
+                  cfg.cpu = &arch::tm5600_633();
+                  cfg.cancel = token->flag();
+                  try {
+                    (void)treecode::run_parallel_nbody(cfg);
+                    finished.store(true);
+                  } catch (const CancelledError&) {
+                    cancelled_error.store(true);
+                  }
+                },
+                token, /*deadline_seconds=*/0.2),
+            Submit::kAccepted);
+  const auto t0 = Clock::now();
+  pool.wait_idle();
+  const double took =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  EXPECT_TRUE(cancelled_error.load());
+  EXPECT_FALSE(finished.load());
+  EXPECT_LT(took, 30.0);  // generous CI margin; uncancelled would take far longer
+  EXPECT_EQ(pool.in_flight(), 0u);  // the slot is free again
+}
+
+}  // namespace
+}  // namespace bladed::hostperf

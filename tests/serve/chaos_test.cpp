@@ -1,0 +1,298 @@
+/// Chaos harness acceptance tests. The core claim: a saturated server under
+/// a seeded chaos mix (garbage bytes, stalled requests, mid-send drops)
+/// sheds and degrades deterministically — the same seed replays to the
+/// identical shed/degrade/parse-error/timeout counts — and never crashes,
+/// deadlocks, or leaks a worker slot.
+///
+/// Determinism is engineered, not hoped for: the pool is saturated FIRST
+/// (two long jobs sequenced via /stats polling, so the worker provably holds
+/// one and the queue the other), and only then does the chaos wave run, so
+/// every well-formed wave request deterministically hits the kQueueFull
+/// path. The wave's composition is a pure function of the seed (chaos_for),
+/// which the test also uses to predict the exact expected counts.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "test_client.hpp"
+
+namespace bladed::serve {
+namespace {
+
+using namespace bladed::serve::testing;
+using Clock = std::chrono::steady_clock;
+
+template <typename Cond>
+[[nodiscard]] bool poll_until(Cond&& cond, double timeout_seconds = 30.0) {
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  while (!cond()) {
+    if (Clock::now() >= give_up) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+/// The chaos mix used by the wave tests (the LoadOptions fields beyond the
+/// probabilities are irrelevant to chaos_for).
+[[nodiscard]] LoadOptions wave_mix(std::uint64_t seed) {
+  LoadOptions lo;
+  lo.seed = seed;
+  lo.p_garbage = 0.25;
+  lo.p_stall = 0.15;
+  lo.p_drop = 0.15;
+  return lo;
+}
+
+constexpr int kWaveArrivals = 24;
+
+struct WaveOutcome {
+  std::uint64_t shed = 0;
+  std::uint64_t degraded_approx = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t read_timeouts = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t internal_errors = 0;
+  bool healthy_after = false;
+
+  bool operator==(const WaveOutcome&) const = default;
+};
+
+/// Predict the outcome of a wave from the seed alone.
+[[nodiscard]] WaveOutcome predict_wave(std::uint64_t seed) {
+  const LoadOptions lo = wave_mix(seed);
+  WaveOutcome w;
+  for (int i = 0; i < kWaveArrivals; ++i) {
+    switch (chaos_for(lo, static_cast<std::uint64_t>(i))) {
+      case ChaosKind::kGarbage:
+        ++w.parse_errors;
+        break;
+      case ChaosKind::kStall:
+        ++w.read_timeouts;
+        break;
+      case ChaosKind::kDrop:
+        ++w.dropped;
+        break;
+      case ChaosKind::kNone:
+        // Alternating client policy: even arrivals accept degradation.
+        ++(i % 2 == 0 ? w.degraded_approx : w.shed);
+        break;
+    }
+  }
+  w.healthy_after = true;
+  return w;
+}
+
+/// Execute one full wave against a fresh saturated server.
+[[nodiscard]] WaveOutcome run_wave(std::uint64_t seed) {
+  ServerOptions so;
+  so.workers = 1;
+  so.queue_capacity = 1;
+  so.read_timeout_seconds = 0.4;
+  so.drain_timeout_seconds = 0.3;
+  Server server(so);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  // Saturate. L1 must be ON the worker (not just admitted) before L2 goes
+  // in, or L2's admission would race with the worker draining the queue.
+  SimBody long_job;
+  long_job.ranks = 8;
+  long_job.particles = 20000;
+  long_job.steps = 50;
+  long_job.deadline_ms = 20000.0;
+  long_job.seed = 9001;
+  const int fd1 = dial(port);
+  EXPECT_TRUE(send_all(fd1, post_simulate(long_job.str())));
+  EXPECT_TRUE(poll_until([&] {
+    const Json s = fetch_stats(port);
+    return counter(s, "admitted") == 1u && gauge(s, "pool_active") == 1u;
+  }));
+  long_job.seed = 9002;
+  const int fd2 = dial(port);
+  EXPECT_TRUE(send_all(fd2, post_simulate(long_job.str())));
+  EXPECT_TRUE(poll_until([&] {
+    return counter(fetch_stats(port), "admitted") == 2u;
+  }));
+
+  // The wave. Every arrival's kind comes from the seeded chaos stream.
+  const LoadOptions lo = wave_mix(seed);
+  const std::string half_request =
+      post_simulate(SimBody{}.str()).substr(0, 40);
+  std::vector<int> stalled;
+  for (int i = 0; i < kWaveArrivals; ++i) {
+    switch (chaos_for(lo, static_cast<std::uint64_t>(i))) {
+      case ChaosKind::kGarbage: {
+        const Reply r = roundtrip(port, "<<chaos garbage>>\r\n\r\n");
+        EXPECT_EQ(r.status, 400) << "arrival " << i;
+        break;
+      }
+      case ChaosKind::kStall: {
+        const int fd = dial(port);
+        EXPECT_GE(fd, 0);
+        EXPECT_TRUE(send_all(fd, half_request));
+        stalled.push_back(fd);  // hold it open; the server must 408
+        break;
+      }
+      case ChaosKind::kDrop: {
+        const int fd = dial(port);
+        EXPECT_GE(fd, 0);
+        EXPECT_TRUE(send_all(fd, half_request));
+        ::close(fd);  // vanish mid-request
+        break;
+      }
+      case ChaosKind::kNone: {
+        SimBody b;
+        b.seed = 1000 + static_cast<std::uint64_t>(i);  // distinct configs
+        b.allow_degraded = (i % 2 == 0);
+        const Reply r = roundtrip(port, post_simulate(b.str()));
+        if (b.allow_degraded) {
+          EXPECT_EQ(r.status, 200) << "arrival " << i;
+          if (r.status == 200) {
+            const Json j = Json::parse(r.body);
+            EXPECT_TRUE(j.get("degraded").as_bool()) << "arrival " << i;
+            EXPECT_EQ(j.get("mode").as_string(), "approximate");
+          }
+        } else {
+          EXPECT_EQ(r.status, 429) << "arrival " << i;
+        }
+        break;
+      }
+    }
+  }
+
+  // Stalled connections resolve as 408s within the read timeout.
+  for (const int fd : stalled) {
+    EXPECT_EQ(parse_reply(read_to_eof(fd)).status, 408);
+    ::close(fd);
+  }
+
+  const WaveOutcome predicted = predict_wave(seed);
+  EXPECT_TRUE(poll_until([&] {
+    const Json s = fetch_stats(port);
+    return counter(s, "read_timeouts") == predicted.read_timeouts &&
+           counter(s, "connections_dropped") == predicted.dropped;
+  }));
+
+  WaveOutcome w;
+  const Json s = fetch_stats(port);
+  w.shed = counter(s, "shed");
+  w.degraded_approx = counter(s, "degraded_approx");
+  w.parse_errors = counter(s, "parse_errors");
+  w.read_timeouts = counter(s, "read_timeouts");
+  w.dropped = counter(s, "connections_dropped");
+  w.internal_errors = counter(s, "internal_errors");
+  w.healthy_after = roundtrip(port, get_request("/healthz")).status == 200;
+
+  ::close(fd1);
+  ::close(fd2);
+  server.stop();
+  return w;
+}
+
+TEST(ChaosFor, IsAPureFunctionOfSeedAndIndex) {
+  const LoadOptions a = wave_mix(7);
+  const LoadOptions b = wave_mix(7);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(chaos_for(a, i), chaos_for(b, i)) << i;
+  }
+  // A different seed produces a different stream (somewhere in 256 draws).
+  const LoadOptions c = wave_mix(8);
+  bool differs = false;
+  for (std::uint64_t i = 0; i < 256 && !differs; ++i) {
+    differs = chaos_for(a, i) != chaos_for(c, i);
+  }
+  EXPECT_TRUE(differs);
+  // Zero probabilities: no chaos, ever.
+  LoadOptions none;
+  none.seed = 7;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(chaos_for(none, i), ChaosKind::kNone);
+  }
+}
+
+TEST(ChaosWave, SaturatedServerDegradesDeterministicallyAndReplays) {
+  const std::uint64_t seed = 77;
+  const WaveOutcome predicted = predict_wave(seed);
+  // The mix must actually exercise every path, or the wave proves nothing.
+  ASSERT_GT(predicted.shed, 0u);
+  ASSERT_GT(predicted.degraded_approx, 0u);
+  ASSERT_GT(predicted.parse_errors, 0u);
+  ASSERT_GT(predicted.read_timeouts, 0u);
+  ASSERT_GT(predicted.dropped, 0u);
+
+  const WaveOutcome first = run_wave(seed);
+  EXPECT_EQ(first, predicted);
+  EXPECT_EQ(first.internal_errors, 0u);
+  EXPECT_TRUE(first.healthy_after);
+
+  // Replay: a fresh server, the same seed, the identical outcome.
+  const WaveOutcome replay = run_wave(seed);
+  EXPECT_EQ(replay, first);
+}
+
+TEST(ChaosLoad, OpenLoopBurstWithChaosSurvivesAndAccountingAddsUp) {
+  ServerOptions so;
+  so.workers = 2;
+  so.queue_capacity = 4;
+  so.read_timeout_seconds = 0.3;
+  so.drain_timeout_seconds = 0.5;
+  Server server(so);
+  server.start();
+
+  LoadOptions lo;
+  lo.port = server.port();
+  lo.burst = 40;
+  lo.seed = 5;
+  lo.p_garbage = 0.2;
+  lo.p_stall = 0.1;
+  lo.p_drop = 0.1;
+  lo.stall_seconds = 0.6;
+  lo.client_timeout_seconds = 60.0;
+  const LoadReport rep = run_load(lo);
+
+  // The chaos composition is exactly what the seed dictates.
+  std::uint64_t garbage = 0, stall = 0, drop = 0;
+  for (int i = 0; i < lo.burst; ++i) {
+    switch (chaos_for(lo, static_cast<std::uint64_t>(i))) {
+      case ChaosKind::kGarbage: ++garbage; break;
+      case ChaosKind::kStall: ++stall; break;
+      case ChaosKind::kDrop: ++drop; break;
+      case ChaosKind::kNone: break;
+    }
+  }
+  EXPECT_EQ(rep.chaos_garbage, garbage);
+  EXPECT_EQ(rep.chaos_stall, stall);
+  EXPECT_EQ(rep.chaos_drop, drop);
+
+  // Every completed exchange is classified exactly once.
+  EXPECT_EQ(rep.completed,
+            rep.ok + rep.shed + rep.timeouts + rep.errors_4xx + rep.errors_5xx);
+  // Every well-formed request got an answer: the server shed or degraded
+  // under the burst, but never reset a client or raised a 5xx.
+  EXPECT_EQ(rep.sent, static_cast<std::uint64_t>(lo.burst) - garbage - stall -
+                          drop);
+  EXPECT_GT(rep.ok, 0u);
+  EXPECT_EQ(rep.errors_5xx, 0u);
+  EXPECT_EQ(rep.resets, 0u);
+  EXPECT_EQ(rep.client_timeouts, 0u);
+
+  // And the server is still fully alive.
+  EXPECT_EQ(roundtrip(server.port(), get_request("/healthz")).status, 200);
+  const Json stats = fetch_stats(server.port());
+  EXPECT_EQ(counter(stats, "internal_errors"), 0u);
+  EXPECT_EQ(gauge(stats, "pool_in_flight"), 0u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace bladed::serve

@@ -1,0 +1,172 @@
+/// HttpParser hardening tests: byte-at-a-time feeding, pipelining, header
+/// and body caps, and the malformed-input -> 4xx classification table.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/http.hpp"
+
+namespace bladed::serve {
+namespace {
+
+using State = HttpParser::State;
+
+[[nodiscard]] HttpParser fed(std::string_view bytes, HttpLimits limits = {}) {
+  HttpParser p(limits);
+  (void)p.feed(bytes);
+  return p;
+}
+
+TEST(HttpParser, ParsesASimpleGet) {
+  HttpParser p = fed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_EQ(p.state(), State::kComplete);
+  EXPECT_EQ(p.request().method, "GET");
+  EXPECT_EQ(p.request().target, "/healthz");
+  EXPECT_EQ(p.request().version_minor, 1);
+  EXPECT_TRUE(p.request().keep_alive);
+  EXPECT_TRUE(p.request().body.empty());
+}
+
+TEST(HttpParser, ByteAtATimeProducesTheSameRequest) {
+  const std::string raw =
+      "POST /v1/simulate HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\n"
+      "{\"\"}";
+  HttpParser p;
+  for (const char ch : raw) {
+    ASSERT_NE(p.state(), State::kError);
+    (void)p.feed(std::string_view(&ch, 1));
+  }
+  ASSERT_EQ(p.state(), State::kComplete);
+  EXPECT_EQ(p.request().method, "POST");
+  EXPECT_EQ(p.request().body, "{\"\"}");
+}
+
+TEST(HttpParser, PipelinedRequestsConsumeExactly) {
+  const std::string two =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+  HttpParser p;
+  const std::size_t used = p.feed(two);
+  ASSERT_EQ(p.state(), State::kComplete);
+  EXPECT_EQ(p.request().target, "/a");
+  EXPECT_LT(used, two.size());  // second request untouched
+  p.reset();
+  (void)p.feed(std::string_view(two).substr(used));
+  ASSERT_EQ(p.state(), State::kComplete);
+  EXPECT_EQ(p.request().target, "/b");
+  EXPECT_FALSE(p.request().keep_alive);
+}
+
+TEST(HttpParser, HeaderNamesLowercasedValuesTrimmed) {
+  HttpParser p =
+      fed("GET / HTTP/1.1\r\nX-ThInG:   padded value  \r\n\r\n");
+  ASSERT_EQ(p.state(), State::kComplete);
+  const std::string* v = p.request().header("x-thing");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, "padded value");
+}
+
+TEST(HttpParser, ConnectionSemantics) {
+  EXPECT_TRUE(fed("GET / HTTP/1.1\r\n\r\n").request().keep_alive);
+  EXPECT_FALSE(fed("GET / HTTP/1.0\r\n\r\n").request().keep_alive);
+  EXPECT_FALSE(
+      fed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").request().keep_alive);
+  EXPECT_TRUE(fed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                  .request()
+                  .keep_alive);
+}
+
+TEST(HttpParser, MalformedRequestLinesAre400) {
+  for (const char* bad :
+       {"GET\r\n\r\n", "GET /\r\n\r\n", "GET  / HTTP/1.1\r\n\r\n",
+        "GET / HTTP/1.1 extra\r\n\r\n", "G@T / HTTP/1.1\r\n\r\n",
+        "GET noslash HTTP/1.1\r\n\r\n", "\r\n\r\n"}) {
+    HttpParser p = fed(bad);
+    EXPECT_EQ(p.state(), State::kError) << bad;
+    EXPECT_EQ(p.error_status(), 400) << bad;
+  }
+}
+
+TEST(HttpParser, UnsupportedVersionIs505) {
+  HttpParser p = fed("GET / HTTP/2.0\r\n\r\n");
+  ASSERT_EQ(p.state(), State::kError);
+  EXPECT_EQ(p.error_status(), 505);
+}
+
+TEST(HttpParser, MalformedHeadersAre400) {
+  for (const char* bad :
+       {"GET / HTTP/1.1\r\nNoColon\r\n\r\n",
+        "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+        "GET / HTTP/1.1\r\nBad Name: v\r\n\r\n",
+        "GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n"}) {
+    HttpParser p = fed(bad);
+    EXPECT_EQ(p.state(), State::kError) << bad;
+    EXPECT_EQ(p.error_status(), 400) << bad;
+  }
+}
+
+TEST(HttpParser, HeaderCapIs431) {
+  HttpLimits tight;
+  tight.max_header_bytes = 64;
+  std::string big = "GET / HTTP/1.1\r\nX-Pad: ";
+  big += std::string(200, 'a');
+  big += "\r\n\r\n";
+  HttpParser p = fed(big, tight);
+  ASSERT_EQ(p.state(), State::kError);
+  EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(HttpParser, BodyCapIs413) {
+  HttpLimits tight;
+  tight.max_body_bytes = 10;
+  HttpParser p =
+      fed("POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\n", tight);
+  ASSERT_EQ(p.state(), State::kError);
+  EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(HttpParser, MalformedContentLengthIs400) {
+  for (const char* bad :
+       {"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+        "POST / HTTP/1.1\r\nContent-Length: 1x\r\n\r\n",
+        "POST / HTTP/1.1\r\nContent-Length:\r\n\r\n"}) {
+    HttpParser p = fed(bad);
+    EXPECT_EQ(p.state(), State::kError) << bad;
+    EXPECT_EQ(p.error_status(), 400) << bad;
+  }
+}
+
+TEST(HttpParser, TransferEncodingIsRefusedNotMisframed) {
+  HttpParser p =
+      fed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_EQ(p.state(), State::kError);
+  EXPECT_EQ(p.error_status(), 501);
+}
+
+TEST(HttpParser, ResetAllowsReuseAfterError) {
+  HttpParser p = fed("garbage\r\n\r\n");
+  ASSERT_EQ(p.state(), State::kError);
+  p.reset();
+  (void)p.feed("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(p.state(), State::kComplete);
+}
+
+TEST(HttpResponse, FormatsStatusLineHeadersAndBody) {
+  const std::string r =
+      http_response(429, "application/json", "{}", false, {"Retry-After: 2"});
+  EXPECT_NE(r.find("HTTP/1.1 429 Too Many Requests\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Connection: close"), std::string::npos);
+  EXPECT_NE(r.find("Retry-After: 2\r\n"), std::string::npos);
+  EXPECT_EQ(r.substr(r.size() - 6), "\r\n\r\n{}");
+}
+
+TEST(HttpResponse, HeadOnlyKeepsContentLengthDropsBody) {
+  const std::string r = http_response(200, "application/json", "{\"a\":1}",
+                                      true, {}, /*head_only=*/true);
+  EXPECT_NE(r.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_EQ(r.substr(r.size() - 4), "\r\n\r\n");  // ends at the blank line
+}
+
+}  // namespace
+}  // namespace bladed::serve

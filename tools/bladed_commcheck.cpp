@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "arch/registry.hpp"
+#include "cli.hpp"
 #include "commcheck/analyze.hpp"
 #include "commcheck/fixtures.hpp"
 #include "commcheck/recorder.hpp"
@@ -284,32 +285,20 @@ int main(int argc, char** argv) {
   std::string driver;
   int ranks = 8;
   int host_threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--selftest") {
-      selftest = true;
-    } else if (arg == "--static") {
-      static_mode = true;
-    } else if (arg == "--overhead") {
-      overhead = true;
-    } else if (arg == "--json") {
-      json = true;
-    } else if (arg == "--verbose") {
-      verbose = true;
-    } else if (arg == "--driver" && i + 1 < argc) {
-      driver = argv[++i];
-    } else if (arg == "--ranks" && i + 1 < argc) {
-      ranks = std::atoi(argv[++i]);
-    } else if (arg == "--host-threads" && i + 1 < argc) {
-      host_threads = std::atoi(argv[++i]);
-    } else {
-      std::cerr << "usage: bladed-commcheck [--selftest] [--static] "
-                   "[--driver treecode|npb-ep|npb-is|npb-stencil] "
-                   "[--ranks N] [--host-threads N] [--overhead] [--json] "
-                   "[--verbose]\n";
-      return 2;
-    }
-  }
+  bladed::cli::Parser p("bladed-commcheck",
+                        "usage: bladed-commcheck [--selftest] [--static] "
+                        "[--driver treecode|npb-ep|npb-is|npb-stencil] "
+                        "[--ranks N] [--host-threads N] [--overhead] "
+                        "[--json] [--verbose]\n");
+  p.flag("--selftest", &selftest)
+      .flag("--static", &static_mode)
+      .flag("--overhead", &overhead)
+      .flag("--json", &json)
+      .flag("--verbose", &verbose)
+      .string_value("--driver", &driver)
+      .int_value("--ranks", &ranks, 1, 64)
+      .int_value("--host-threads", &host_threads, 0, 256);
+  if (const int rc = p.parse(argc, argv); rc >= 0) return rc;
   try {
     if (selftest) return run_selftest(verbose);
     if (static_mode) return run_static(verbose);

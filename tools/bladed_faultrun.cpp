@@ -10,6 +10,7 @@
 #include <string>
 
 #include "arch/registry.hpp"
+#include "cli.hpp"
 #include "fault/injector.hpp"
 #include "treecode/checkpoint.hpp"
 
@@ -29,9 +30,8 @@ struct Options {
   int host_threads = 1;
 };
 
-void usage() {
-  std::puts(
-      "usage: bladed-faultrun [options]\n"
+constexpr const char* kUsage =
+    ("usage: bladed-faultrun [options]\n"
       "  --seed N        fault + schedule seed (default 2002)\n"
       "  --ranks N       simulated nodes (default 8)\n"
       "  --particles N   N-body size (default 400)\n"
@@ -42,9 +42,8 @@ void usage() {
       "  --degrade       finish on the survivors instead of replacing\n"
       "  --trace         dump the executed-fault trace\n"
       "  --selftest      replay determinism check (exit 1 on mismatch)\n"
-      "  --host-threads N  host worker threads for compute regions\n"
-      "                  (1 = serial, 0 = auto; results are identical)");
-}
+     "  --host-threads N  host worker threads for compute regions\n"
+     "                  (1 = serial, 0 = auto; results are identical)\n");
 
 bladed::treecode::FtResult run_once(const Options& o, double t_ref) {
   using namespace bladed;
@@ -111,32 +110,19 @@ bool same_state(const bladed::treecode::FtResult& a,
 
 int main(int argc, char** argv) {
   Options o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (a == "--seed") o.seed = std::strtoull(next(), nullptr, 10);
-    else if (a == "--ranks") o.ranks = std::atoi(next());
-    else if (a == "--particles")
-      o.particles = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
-    else if (a == "--steps") o.steps = std::atoi(next());
-    else if (a == "--ambient") o.ambient_c = std::atof(next());
-    else if (a == "--accel") o.acceleration = std::atof(next());
-    else if (a == "--crash-at") o.crash_at = std::atof(next());
-    else if (a == "--degrade") o.degrade = true;
-    else if (a == "--trace") o.trace = true;
-    else if (a == "--selftest") o.selftest = true;
-    else if (a == "--host-threads") o.host_threads = std::atoi(next());
-    else {
-      usage();
-      return a == "--help" || a == "-h" ? 0 : 2;
-    }
-  }
+  bladed::cli::Parser p("bladed-faultrun", kUsage);
+  p.u64_value("--seed", &o.seed)
+      .int_value("--ranks", &o.ranks, 1, 64)
+      .size_value("--particles", &o.particles)
+      .int_value("--steps", &o.steps, 1, 1000)
+      .double_value("--ambient", &o.ambient_c, -273.0, 1000.0)
+      .double_value("--accel", &o.acceleration, 0.0, 1e12)
+      .double_value("--crash-at", &o.crash_at, -1.0, 1.0)
+      .flag("--degrade", &o.degrade)
+      .flag("--trace", &o.trace)
+      .flag("--selftest", &o.selftest)
+      .int_value("--host-threads", &o.host_threads, 0, 256);
+  if (const int rc = p.parse(argc, argv); rc >= 0) return rc;
 
   try {
     // Fault-free reference run fixes the schedule horizon and crash time.

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "mc/explorer.hpp"
 #include "mc/protocols.hpp"
 
@@ -43,15 +44,14 @@ struct Args {
   long budget = 0;  // 0: Explorer default
 };
 
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: bladed-mc --selftest [--stats]\n"
-      "       bladed-mc --protocol handshake|recv-fastpath|slot-pool\n"
-      "                 [--bug <name>] [--ranks 2-4] [--slots 1-2]\n"
-      "                 [--scenario <model-name>] [--stats]\n"
-      "                 [--budget <max-executions>] [--replay a,b,c,...]\n");
-}
+constexpr const char* kUsage =
+    "usage: bladed-mc --selftest [--stats]\n"
+    "       bladed-mc --protocol handshake|recv-fastpath|slot-pool\n"
+    "                 [--bug <name>] [--ranks 2-4] [--slots 1-2]\n"
+    "                 [--scenario <model-name>] [--stats]\n"
+    "                 [--budget <max-executions>] [--replay a,b,c,...]\n";
+
+void usage() { std::fputs(kUsage, stderr); }
 
 bool parse_schedule(const std::string& s, std::vector<int>* out) {
   std::size_t i = 0;
@@ -228,61 +228,41 @@ int run_replay(const Args& args) {
 
 int main(int argc, char** argv) {
   Args args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (a == "--selftest") {
-      args.selftest = true;
-    } else if (a == "--stats") {
-      args.stats = true;
-    } else if (a == "--protocol") {
-      if (!mc::parse_protocol(next(), &args.cfg.protocol)) {
-        usage();
-        return 2;
-      }
-      args.have_protocol = true;
-    } else if (a == "--bug") {
-      if (!mc::parse_bug(next(), &args.cfg.bug)) {
-        usage();
-        return 2;
-      }
-    } else if (a == "--ranks") {
-      args.cfg.ranks = std::atoi(next());
-      if (args.cfg.ranks < 2 || args.cfg.ranks > 4) {
-        std::fprintf(stderr, "bladed-mc: --ranks must be 2-4\n");
-        return 2;
-      }
-    } else if (a == "--slots") {
-      args.cfg.slots = std::atoi(next());
-      if (args.cfg.slots < 1 || args.cfg.slots > 2) {
-        std::fprintf(stderr, "bladed-mc: --slots must be 1-2\n");
-        return 2;
-      }
-    } else if (a == "--budget") {
-      args.budget = std::atol(next());
-      if (args.budget <= 0) {
-        std::fprintf(stderr, "bladed-mc: --budget must be positive\n");
-        return 2;
-      }
-    } else if (a == "--scenario") {
-      args.scenario = next();
-    } else if (a == "--replay") {
-      if (!parse_schedule(next(), &args.replay)) {
-        usage();
-        return 2;
-      }
-      args.have_replay = true;
-    } else {
-      usage();
-      return 2;
-    }
-  }
+  int budget = 0;
+  bladed::cli::Parser p("bladed-mc", kUsage);
+  p.flag("--selftest", &args.selftest)
+      .flag("--stats", &args.stats)
+      .value("--protocol",
+             [&](const char* v) {
+               if (!mc::parse_protocol(v, &args.cfg.protocol)) {
+                 usage();
+                 return false;
+               }
+               args.have_protocol = true;
+               return true;
+             })
+      .value("--bug",
+             [&](const char* v) {
+               if (!mc::parse_bug(v, &args.cfg.bug)) {
+                 usage();
+                 return false;
+               }
+               return true;
+             })
+      .int_value("--ranks", &args.cfg.ranks, 2, 4)
+      .int_value("--slots", &args.cfg.slots, 1, 2)
+      .int_value("--budget", &budget, 1, 1 << 30)
+      .string_value("--scenario", &args.scenario)
+      .value("--replay", [&](const char* v) {
+        if (!parse_schedule(v, &args.replay)) {
+          usage();
+          return false;
+        }
+        args.have_replay = true;
+        return true;
+      });
+  if (const int rc = p.parse(argc, argv); rc >= 0) return rc;
+  if (budget > 0) args.budget = budget;
 
   if (args.selftest) return run_selftest(args.stats);
   if (!args.have_protocol) {

@@ -1,0 +1,155 @@
+#pragma once
+
+/// Shared argv handling for the bladed-* tools. Every tool had grown the
+/// same hand-rolled loop (string compare, bounds-checked value fetch,
+/// usage-and-exit-2 on anything unknown); this is that loop once, driven by
+/// a declarative option table:
+///
+///   bladed::cli::Parser p("bladed-serve", usage_text);
+///   p.flag("--verbose", &verbose)
+///    .int_value("--ranks", &ranks, 1, 64)
+///    .value("--protocol", [&](const char* v) { return parse(v, &proto); });
+///   if (const int rc = p.parse(argc, argv); rc >= 0) return rc;
+///
+/// parse() returns -1 to proceed, 0 after printing usage for --help/-h, and
+/// 2 for unknown options, missing values, or failed conversions.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bladed::cli {
+
+class Parser {
+ public:
+  Parser(std::string tool, std::string usage)
+      : tool_(std::move(tool)), usage_(std::move(usage)) {}
+
+  /// Presence option: `--name` sets *out = true.
+  Parser& flag(const char* name, bool* out) {
+    opts_.push_back({name, [out](const char*) {
+                       *out = true;
+                       return true;
+                     },
+                     false});
+    return *this;
+  }
+
+  /// Valued option: `--name V` calls fn(V); fn returns false to reject.
+  Parser& value(const char* name, std::function<bool(const char*)> fn) {
+    opts_.push_back({name, std::move(fn), true});
+    return *this;
+  }
+
+  Parser& string_value(const char* name, std::string* out) {
+    return value(name, [out](const char* v) {
+      *out = v;
+      return true;
+    });
+  }
+
+  Parser& int_value(const char* name, int* out, int lo, int hi) {
+    return value(name, [this, name, out, lo, hi](const char* v) {
+      char* end = nullptr;
+      const long x = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || x < lo || x > hi) {
+        std::fprintf(stderr, "%s: %s must be an integer in [%d, %d]\n",
+                     tool_.c_str(), name, lo, hi);
+        return false;
+      }
+      *out = static_cast<int>(x);
+      return true;
+    });
+  }
+
+  Parser& u64_value(const char* name, std::uint64_t* out) {
+    return value(name, [this, name, out](const char* v) {
+      char* end = nullptr;
+      const unsigned long long x = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "%s: %s must be a non-negative integer\n",
+                     tool_.c_str(), name);
+        return false;
+      }
+      *out = x;
+      return true;
+    });
+  }
+
+  Parser& size_value(const char* name, std::size_t* out) {
+    return value(name, [this, name, out](const char* v) {
+      char* end = nullptr;
+      const unsigned long long x = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "%s: %s must be a non-negative integer\n",
+                     tool_.c_str(), name);
+        return false;
+      }
+      *out = static_cast<std::size_t>(x);
+      return true;
+    });
+  }
+
+  Parser& double_value(const char* name, double* out, double lo, double hi) {
+    return value(name, [this, name, out, lo, hi](const char* v) {
+      char* end = nullptr;
+      const double x = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(x >= lo) || !(x <= hi)) {
+        std::fprintf(stderr, "%s: %s must be a number in [%g, %g]\n",
+                     tool_.c_str(), name, lo, hi);
+        return false;
+      }
+      *out = x;
+      return true;
+    });
+  }
+
+  /// -1 = parsed fine, proceed; otherwise the exit code for main to return.
+  [[nodiscard]] int parse(int argc, char** argv) const {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+        std::fputs(usage_.c_str(), stdout);
+        return 0;
+      }
+      const Opt* match = nullptr;
+      for (const Opt& o : opts_) {
+        if (o.name == a) {
+          match = &o;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        std::fprintf(stderr, "%s: unknown option '%s'\n", tool_.c_str(), a);
+        std::fputs(usage_.c_str(), stderr);
+        return 2;
+      }
+      const char* v = nullptr;
+      if (match->takes_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: %s needs a value\n", tool_.c_str(), a);
+          return 2;
+        }
+        v = argv[++i];
+      }
+      if (!match->handle(v)) return 2;
+    }
+    return -1;
+  }
+
+ private:
+  struct Opt {
+    std::string name;
+    std::function<bool(const char*)> handle;
+    bool takes_value;
+  };
+
+  std::string tool_;
+  std::string usage_;
+  std::vector<Opt> opts_;
+};
+
+}  // namespace bladed::cli
