@@ -207,6 +207,8 @@ int main() {
     for (const auto& [name, prog] :
          {std::pair{std::string("naive_daxpy_n256"),
                     naive_daxpy_program(256)},
+          std::pair{std::string("naive_mg_stencil_n256"),
+                    naive_stencil_program(256)},
           std::pair{std::string("daxpy_n256"), daxpy_program(256)},
           std::pair{std::string("unrolled_daxpy_n258_u3"),
                     unrolled_daxpy_program(258, 3)}}) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Sanitizer and model-checker gates. CI entry point; also runnable locally.
 #
-#   check.sh [asan|tsan|mc|serve|all]   (default: asan)
+#   check.sh [asan|tsan|mc|serve|prove|all]   (default: asan)
 #
 # asan: build the whole tree with ASan + UBSan and run the full tier-1 test
 # suite (plus the bladed-lint / bladed-commcheck ctest entries) under both.
@@ -17,6 +17,15 @@
 # exercise real rank threads, so TSan is the gate that proves the engine
 # lock discipline (every op_* and recorder hook under ClusterImpl::mu).
 # Selected via the ctest labels bladed_add_test attaches per binary.
+#
+# prove: the analyzer gate under ASan + UBSan — test_prove (symbolic
+# addressing, alias oracle, trip-count bounds, region licenses, golden
+# reports), the 1000-program soundness fuzzer that cross-checks every
+# proven access against the interpreter's dynamic trace, the optimizer
+# suites that consume the licenses, and both bladed-lint --prove modes
+# (corpus proof + the seeded unsafe-program refutations). The analyzer
+# hands out licenses other layers delete code on the strength of, so its
+# own memory discipline runs with sanitizers watching.
 #
 # mc: build with -DBLADED_MC=ON (the mc:: shims resolve to the checker-
 # routed classes instead of the std types) and run the bladed-mc gates —
@@ -72,6 +81,23 @@ run_tsan() {
   echo "check.sh: threaded suites clean under TSan"
 }
 
+run_prove() {
+  # Same flags as run_asan, so the stages can share one build dir (CI gives
+  # each its own cache; locally the second run is incremental).
+  local dir=${PROVE_BUILD_DIR:-build-sanitize}
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBLADED_ASAN=ON \
+    -DBLADED_UBSAN=ON
+  cmake --build "${dir}" -j "${JOBS}" \
+    --target test_prove test_prove_fuzz test_opt test_opt_fuzz bladed-lint
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    -L '^(test_prove|test_prove_fuzz|test_opt|test_opt_fuzz)$'
+  ctest --test-dir "${dir}" --output-on-failure \
+    -R '^(lint_prove|lint_prove_selftest)$'
+  echo "check.sh: analyzer + licensed passes clean under ASan+UBSan"
+}
+
 run_mc() {
   local dir=${MC_BUILD_DIR:-build-mc}
   cmake -B "${dir}" -S . \
@@ -90,6 +116,7 @@ case "${STAGE}" in
   tsan) run_tsan ;;
   mc) run_mc ;;
   serve) run_serve ;;
-  all) run_asan; run_tsan; run_mc; run_serve ;;
-  *) echo "usage: check.sh [asan|tsan|mc|serve|all]" >&2; exit 2 ;;
+  prove) run_prove ;;
+  all) run_asan; run_tsan; run_mc; run_serve; run_prove ;;
+  *) echo "usage: check.sh [asan|tsan|mc|serve|prove|all]" >&2; exit 2 ;;
 esac

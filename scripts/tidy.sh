@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # clang-tidy gate over the full src/ tree (CI entry point; also runnable
-# locally). Uses the repo root .clang-tidy profile; src/opt/ additionally
-# picks up its stricter directory-local profile via InheritParentConfig, so
-# a single sweep enforces both. Analyzes every translation unit in src/ and
-# tools/ against the compile_commands.json of a plain RelWithDebInfo
-# configure; warnings promoted by WarningsAsErrors fail the run.
+# locally). Uses the repo root .clang-tidy profile; src/opt/ and src/prove/
+# additionally pick up their stricter directory-local profiles via
+# InheritParentConfig (performance-* checks promoted to errors), so a
+# single sweep enforces all of them. Analyzes every translation unit in
+# src/ and tools/ against the compile_commands.json of a plain
+# RelWithDebInfo configure; warnings promoted by WarningsAsErrors fail the
+# run.
 #
 #   tidy.sh [build-dir]   (default: build-tidy)
 set -euo pipefail

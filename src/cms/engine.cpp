@@ -98,6 +98,15 @@ MorphingStats MorphingEngine::run(const Program& source, MachineState& st,
               "CMS translation of block at pc " + std::to_string(pc) +
               " failed static verification:\n" + report.to_string());
         }
+        if (cfg_.prover) {
+          std::string why;
+          if (!cfg_.prover(prog, pc, block_end(prog, pc), st.mem.size(),
+                           &why)) {
+            throw SimulationError("CMS translation of block at pc " +
+                                  std::to_string(pc) +
+                                  " carries no region license: " + why);
+          }
+        }
       }
       s.translate_cycles += translator_.translation_cost(t.instr_count);
       ++s.translations;

@@ -22,6 +22,14 @@ namespace bladed::cms {
 using ProgramOptimizer =
     std::function<Program(const Program&, int, std::size_t)>;
 
+/// Hook licensing a translation region before it is cached: (program,
+/// region begin pc, region end pc, mem_doubles, why) -> true when every
+/// memory access in [begin, end) is proven in-bounds. Same decoupling as
+/// ProgramOptimizer; callers inject bladed::prove::engine_prover().
+using RegionProver = std::function<bool(const Program&, std::size_t,
+                                        std::size_t, std::size_t,
+                                        std::string*)>;
+
 /// Default for MorphingConfig::verify_translations: on in debug builds,
 /// off when NDEBUG is defined (release).
 #ifdef NDEBUG
@@ -48,6 +56,11 @@ struct MorphingConfig {
   /// verify_translations gate as everything else.
   int opt_level = 0;
   ProgramOptimizer optimizer;
+  /// When set (and verify_translations is on), every fresh translation must
+  /// carry a region license: the prover is asked about the translated pc
+  /// range and a refusal raises SimulationError. Unset (the default) the
+  /// gate is inert — the engine runs unproven programs exactly as before.
+  RegionProver prover;
 };
 
 struct MorphingStats {

@@ -85,6 +85,48 @@ Program naive_daxpy_program(std::int64_t n) {
   return p;
 }
 
+Program naive_stencil_program(std::int64_t n) {
+  BLADED_REQUIRE(n >= 1);
+  Program p;
+  p.push_back(ii(Op::kMovi, 1, 0, 0, 1));          // 0: i = 1
+  p.push_back(ii(Op::kMovi, 2, 0, 0, n + 1));      // 1: limit (i <= n)
+  p.push_back(fi(Op::kFmovi, 5, 0.25));            // 2: coefficient
+  p.push_back(fi(Op::kFmovi, 0, 0.0));             // 3: the "zero init"
+  const std::int64_t loop = 4;
+  p.push_back(ii(Op::kFstore, 0, 1, 0, n + 2));    // 4: y[i] = 0 (dead: see 13)
+  p.push_back(ii(Op::kFload, 1, 1, 0, -1));        // 5: f1 = x[i-1]
+  p.push_back(ii(Op::kFload, 2, 1, 0, 0));         // 6: f2 = x[i]
+  p.push_back(ii(Op::kFadd, 1, 1, 2));             // 7: f1 += x[i]
+  p.push_back(ii(Op::kFload, 2, 1, 0, 0));         // 8: f2 = x[i] (redundant)
+  p.push_back(ii(Op::kFadd, 1, 1, 2));             // 9: f1 += x[i]
+  p.push_back(ii(Op::kFload, 2, 1, 0, 1));         // 10: f2 = x[i+1]
+  p.push_back(ii(Op::kFadd, 1, 1, 2));             // 11: f1 += x[i+1]
+  p.push_back(ii(Op::kFmul, 1, 1, 5));             // 12: f1 *= 0.25
+  p.push_back(ii(Op::kFstore, 1, 1, 0, n + 2));    // 13: y[i] = f1
+  p.push_back(ii(Op::kAddi, 1, 1, 0, 1));          // 14: ++i
+  p.push_back(ii(Op::kBlt, 1, 2, 0, loop));        // 15: loop
+  p.push_back(ii(Op::kHalt, 0, 0));                // 16
+  return p;
+}
+
+Program strided_sum_program(std::int64_t n) {
+  BLADED_REQUIRE(n >= 1);
+  Program p;
+  p.push_back(ii(Op::kMovi, 1, 0, 0, 0));          // 0: i = 0 (guard IV)
+  p.push_back(ii(Op::kMovi, 2, 0, 0, n));          // 1: limit
+  p.push_back(ii(Op::kMovi, 3, 0, 0, 0));          // 2: j = 0 (address IV)
+  p.push_back(fi(Op::kFmovi, 2, 0.0));             // 3: sum = 0
+  const std::int64_t loop = 4;
+  p.push_back(ii(Op::kFload, 1, 3, 0, 0));         // 4: f1 = x[j]
+  p.push_back(ii(Op::kFadd, 2, 2, 1));             // 5: sum += f1
+  p.push_back(ii(Op::kAddi, 3, 3, 0, 8));          // 6: j += 8 (untested IV)
+  p.push_back(ii(Op::kAddi, 1, 1, 0, 1));          // 7: ++i
+  p.push_back(ii(Op::kBlt, 1, 2, 0, loop));        // 8: loop
+  p.push_back(ii(Op::kFstore, 2, 0, 0, 8 * n));    // 9: mem[8n] = sum
+  p.push_back(ii(Op::kHalt, 0, 0));                // 10
+  return p;
+}
+
 Program nr_rsqrt_program(std::int64_t iters) {
   BLADED_REQUIRE(iters >= 1);
   Program p;
@@ -170,6 +212,16 @@ std::vector<NamedProgram> opt_corpus() {
   std::vector<NamedProgram> corpus = lint_corpus();
   corpus.push_back({"naive_daxpy_n32", naive_daxpy_program(32), 4096});
   corpus.push_back({"naive_daxpy_n256", naive_daxpy_program(256), 4096});
+  corpus.push_back({"naive_mg_stencil_n32", naive_stencil_program(32), 4096});
+  corpus.push_back({"naive_mg_stencil_n256", naive_stencil_program(256),
+                    4096});
+  return corpus;
+}
+
+std::vector<NamedProgram> prove_corpus() {
+  std::vector<NamedProgram> corpus = opt_corpus();
+  corpus.push_back({"strided_sum_n64", strided_sum_program(64), 4096});
+  corpus.push_back({"strided_sum_n256", strided_sum_program(256), 4096});
   return corpus;
 }
 

@@ -33,6 +33,22 @@ namespace bladed::cms {
 /// `bladed-lint --opt` and ablation section (f).
 [[nodiscard]] Program naive_daxpy_program(std::int64_t n);
 
+/// An NPB MG-style smoothing stencil as a naive front end would emit it:
+/// y[i] = 0.25 * (x[i-1] + 2*x[i] + x[i+1]) for i in [1, n], with x at
+/// mem[0..n+1] and y[i] at mem[n+2+i]. Two deliberate redundancies for the
+/// prove-licensed passes: the loop zeroes y[i] at the top only to overwrite
+/// it at the bottom (a dead memory store — same base register, same
+/// immediate), and reloads x[i] into the same fp register it already
+/// occupies (a redundant load). Needs mem_doubles >= 2n + 3.
+[[nodiscard]] Program naive_stencil_program(std::int64_t n);
+
+/// sum += x[8*i] for i in [0, n): a strided reduction whose address
+/// register `j += 8` is a *derived* induction variable — no branch ever
+/// tests it, so interval widening loses it to +inf and only the loop
+/// trip-count bound (bladed::prove) proves the accesses in bounds. The
+/// result lands in mem[8n]; needs mem_doubles >= 8n + 1.
+[[nodiscard]] Program strided_sum_program(std::int64_t n);
+
 /// A branchy workload: `n` iterations alternating between two paths on the
 /// parity of the loop counter; sums into mem[0] and mem[1].
 [[nodiscard]] Program branchy_program(std::int64_t n);
@@ -59,5 +75,10 @@ struct NamedProgram {
 /// cannot live in the warning-free lint corpus). `bladed-lint --opt`, the
 /// pipeline tests and ablation (f) run over this list.
 [[nodiscard]] std::vector<NamedProgram> opt_corpus();
+
+/// The analyzer's validation corpus: opt_corpus plus the strided reduction
+/// whose safety only the trip-count prover can establish. `bladed-lint
+/// --prove`, the prove tests and the prove fuzzer run over this list.
+[[nodiscard]] std::vector<NamedProgram> prove_corpus();
 
 }  // namespace bladed::cms

@@ -50,6 +50,7 @@ OptResult optimize(const cms::Program& prog, const OptOptions& opts) {
        [](const cms::Program& p, std::size_t, bool* c) {
          return pass_copy_prop(p, c);
        }},
+      {"redundant-load", &pass_redundant_load},
       {"dead-store", &pass_dead_store},
       {"licm", &pass_licm},
   };

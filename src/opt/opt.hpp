@@ -2,9 +2,9 @@
 
 /// The verified optimizing pipeline over CMS programs (DESIGN.md §10).
 /// Passes (opt/passes.hpp) are applied in a fixed order — constant fold,
-/// unreachable elimination, copy propagation, dead-store elimination, LICM
-/// — and *every* application carries a proof obligation before it is
-/// accepted:
+/// unreachable elimination, copy propagation, redundant-load elimination,
+/// dead-store elimination, LICM — and *every* application carries a proof
+/// obligation before it is accepted:
 ///
 ///   1. `check_program` on the transformed program must not report more
 ///      errors than the original did (the optimizer may not manufacture an

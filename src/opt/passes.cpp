@@ -1,6 +1,7 @@
 #include "opt/passes.hpp"
 
 #include <cstring>
+#include <optional>
 
 #include "check/cfg.hpp"
 #include "check/dataflow.hpp"
@@ -8,6 +9,9 @@
 #include "check/intervals.hpp"
 #include "check/sccp.hpp"
 #include "opt/rewrite.hpp"
+#include "prove/alias.hpp"
+#include "prove/bounds.hpp"
+#include "prove/context.hpp"
 
 namespace bladed::opt {
 
@@ -221,6 +225,105 @@ cms::Program pass_copy_prop(const cms::Program& prog, bool* changed) {
   return out;
 }
 
+cms::Program pass_redundant_load(const cms::Program& prog,
+                                 std::size_t mem_doubles, bool* changed) {
+  *changed = false;
+  if (prog.empty()) return prog;
+  try {
+    cms::validate(prog, mem_doubles);
+  } catch (const std::exception&) {
+    return prog;  // the prove analyses require structural validity
+  }
+  const prove::Context ctx(prog, mem_doubles);
+  const Cfg& cfg = ctx.cfg();
+  const std::vector<bool> reach = cfg.reachable();
+
+  // mem[r[base] + imm] currently holds the value of f[freg], established by
+  // the load or store at gen_pc earlier in this block execution.
+  struct MemFact {
+    std::size_t gen_pc;
+    int base;
+    std::int64_t imm;
+    int freg;
+  };
+
+  std::vector<bool> keep(prog.size(), true);
+  for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+    if (!reach[b]) continue;
+    std::vector<MemFact> facts;
+    for (std::size_t pc = cfg.blocks()[b].begin; pc < cfg.blocks()[b].end;
+         ++pc) {
+      const Instr& in = prog[pc];
+      if (in.op == Op::kFload) {
+        // Reload of a cell whose value this fp register already holds: a
+        // no-op, and trap-free to delete — the fact's generator accessed
+        // the same address earlier in this very block execution (the base
+        // register is unwritten since, so the addresses coincide), and it
+        // did not trap or we would not be here.
+        bool redundant = false;
+        for (const MemFact& f : facts) {
+          if (f.base == in.b && f.imm == in.imm_i && f.freg == in.a) {
+            redundant = true;
+            break;
+          }
+        }
+        if (redundant) {
+          keep[pc] = false;
+          *changed = true;
+          continue;  // deleted: no kills, no new fact
+        }
+        std::erase_if(facts,
+                      [&](const MemFact& f) { return f.freg == in.a; });
+        facts.push_back({pc, in.b, in.imm_i, in.a});
+        continue;
+      }
+      if (in.op == Op::kFstore) {
+        std::vector<MemFact> next;
+        bool cell_tracked = false;
+        for (MemFact f : facts) {
+          if (f.base == in.b && f.imm == in.imm_i) {
+            // Must-alias by unchanged base register: the store replaces
+            // the cell's value (store-to-load forwarding).
+            f.freg = in.a;
+            f.gen_pc = pc;
+            cell_tracked = true;
+            next.push_back(f);
+            continue;
+          }
+          if (f.base == in.b) {
+            // Same unchanged base, different immediate: disjoint cells.
+            next.push_back(f);
+            continue;
+          }
+          const prove::AliasResult alias =
+              prove::alias_pair(ctx, f.gen_pc, pc);
+          if (alias.verdict == prove::AliasVerdict::kNoAlias) {
+            next.push_back(f);
+          } else if (alias.verdict == prove::AliasVerdict::kMustAlias) {
+            f.freg = in.a;
+            f.gen_pc = pc;
+            cell_tracked = true;
+            next.push_back(f);
+          }
+          // may-alias: the fact dies.
+        }
+        facts = std::move(next);
+        if (!cell_tracked) facts.push_back({pc, in.b, in.imm_i, in.a});
+        continue;
+      }
+      if (cms::writes_int_reg(in.op)) {
+        std::erase_if(facts,
+                      [&](const MemFact& f) { return f.base == in.a; });
+      }
+      if (cms::writes_fp_reg(in.op)) {
+        std::erase_if(facts,
+                      [&](const MemFact& f) { return f.freg == in.a; });
+      }
+    }
+  }
+  return *changed ? erase_unkept(prog, keep) : prog;
+}
+
 cms::Program pass_dead_store(const cms::Program& prog, std::size_t mem_doubles,
                              bool* changed) {
   *changed = false;
@@ -253,6 +356,51 @@ cms::Program pass_dead_store(const cms::Program& prog, std::size_t mem_doubles,
       live = (live & ~defs) | check::uses_of(prog[i]);
     }
   }
+
+  // Dead *memory* stores, licensed by prove facts: a store certainly
+  // overwritten by a later same-cell store in its own block (same base
+  // register, same immediate, base unwritten in between) is invisible —
+  // provided no possibly-aliasing load observes the cell in between, no
+  // access in between can trap (an altered memory image at a trap is
+  // observable), and the store itself is proven in-bounds (removing a
+  // trapping store is observable too).
+  if (!prog.empty()) {
+    try {
+      cms::validate(prog, mem_doubles);
+      const prove::Context ctx(prog, mem_doubles);
+      const std::vector<prove::LoopBound> bounds =
+          prove::compute_loop_bounds(ctx);
+      std::vector<bool> proven(prog.size(), false);
+      for (const prove::AccessProof& p : prove::prove_accesses(ctx, bounds)) {
+        proven[p.pc] = p.kind != prove::ProofKind::kUnproven;
+      }
+      for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+        if (!reach[b]) continue;
+        for (std::size_t s1 = cfg.blocks()[b].begin; s1 < cfg.blocks()[b].end;
+             ++s1) {
+          if (prog[s1].op != Op::kFstore || !keep[s1] || !proven[s1]) continue;
+          for (std::size_t mid = s1 + 1; mid < cfg.blocks()[b].end; ++mid) {
+            const Instr& in = prog[mid];
+            if (in.op == Op::kFstore && in.b == prog[s1].b &&
+                in.imm_i == prog[s1].imm_i) {
+              keep[s1] = false;
+              *changed = true;
+              break;
+            }
+            if (cms::writes_int_reg(in.op) && in.a == prog[s1].b) break;
+            if (cms::is_mem_op(in.op) && !proven[mid]) break;
+            if (in.op == Op::kFload &&
+                prove::alias_pair(ctx, s1, mid).verdict !=
+                    prove::AliasVerdict::kNoAlias) {
+              break;
+            }
+          }
+        }
+      }
+    } catch (const std::exception&) {
+      // Structurally invalid input: the register sweep above still applies.
+    }
+  }
   return *changed ? erase_unkept(prog, keep) : prog;
 }
 
@@ -261,13 +409,22 @@ namespace {
 /// One LICM step: find a hoistable header load, rotate it to the header
 /// front and retarget the back edges past it. Returns false when no
 /// candidate passes every safety condition.
-bool hoist_one(cms::Program& prog, std::int64_t limit) {
+bool hoist_one(cms::Program& prog, std::size_t mem_doubles) {
+  const auto limit = static_cast<std::int64_t>(mem_doubles);
   const Cfg cfg = Cfg::build(prog);
   const check::DomTree dom = check::DomTree::build(cfg);
   const std::vector<check::NaturalLoop> loops =
       check::find_natural_loops(cfg, dom);
   if (loops.empty()) return false;
   const check::Intervals intervals = check::Intervals::build(prog, cfg);
+  // Alias oracle for the store-disjointness license (absent when the
+  // program is structurally invalid — intervals then decide alone).
+  std::optional<prove::Context> ctx;
+  try {
+    cms::validate(prog, mem_doubles);
+    ctx.emplace(prog, mem_doubles);
+  } catch (const std::exception&) {
+  }
 
   for (const check::NaturalLoop& loop : loops) {
     const std::size_t h = cfg.blocks()[loop.header].begin;
@@ -289,24 +446,45 @@ bool hoist_one(cms::Program& prog, std::int64_t limit) {
       const check::Interval addr = intervals.address_at(pc);
       if (addr.empty() || addr.lo < 0 || addr.hi >= limit) continue;
 
+      // Base register must be loop-invariant and the destination must have
+      // no other writer in the loop (its per-iteration value is exactly
+      // the hoisted one).
       bool safe = true;
       for (const std::size_t blk : loop.blocks) {
         for (std::size_t i = cfg.blocks()[blk].begin;
              safe && i < cfg.blocks()[blk].end; ++i) {
           const Instr& in = prog[i];
-          // Base register must be loop-invariant and the destination must
-          // have no other writer in the loop (its per-iteration value is
-          // exactly the hoisted one).
           if (cms::writes_int_reg(in.op) && in.a == load.b) safe = false;
           if (cms::writes_fp_reg(in.op) && in.a == load.a && i != pc) {
             safe = false;
           }
-          // Any store in the loop must be provably disjoint from the load
-          // address, or iteration k's store changes iteration k+1's load.
-          if (in.op == Op::kFstore) {
-            const check::Interval st = intervals.address_at(i);
-            if (st.empty() || !addr.disjoint(st)) safe = false;
+        }
+      }
+      if (!safe) continue;
+
+      // Every store in the loop must be provably disjoint from the load
+      // address, or iteration k's store changes iteration k+1's load.
+      // Three licenses, in increasing strength: interval separation; the
+      // store sharing the (now proven invariant) base register with a
+      // different immediate; a universal-scope no-alias verdict from the
+      // prove oracle (per-block-instance verdicts do not justify motion
+      // across iterations).
+      for (const std::size_t blk : loop.blocks) {
+        for (std::size_t i = cfg.blocks()[blk].begin;
+             safe && i < cfg.blocks()[blk].end; ++i) {
+          const Instr& in = prog[i];
+          if (in.op != Op::kFstore) continue;
+          const check::Interval st = intervals.address_at(i);
+          if (!st.empty() && addr.disjoint(st)) continue;
+          if (in.b == load.b && in.imm_i != load.imm_i) continue;
+          if (ctx.has_value()) {
+            const prove::AliasResult alias = prove::alias_pair(*ctx, pc, i);
+            if (alias.verdict == prove::AliasVerdict::kNoAlias &&
+                alias.universal) {
+              continue;
+            }
           }
+          safe = false;
         }
       }
       // Header instructions before the load run *after* it once hoisted;
@@ -333,7 +511,7 @@ cms::Program pass_licm(const cms::Program& prog, std::size_t mem_doubles,
   // preheader), so re-derive the analyses from scratch per step. The guard
   // bounds pathological inputs; real programs hoist a handful of loads.
   for (int guard = 0; guard < 64; ++guard) {
-    if (!hoist_one(out, static_cast<std::int64_t>(mem_doubles))) break;
+    if (!hoist_one(out, mem_doubles)) break;
     *changed = true;
   }
   return out;

@@ -13,6 +13,16 @@
 ///                             plus jump-to-next cleanup.
 ///   - copy propagation      — forward available-copies analysis over the
 ///                             `kAddi x, y, 0` copy idiom.
+///   - redundant-load elimination — block-local must-available memory
+///                             facts licensed by `bladed::prove` alias
+///                             verdicts: a reload of a cell whose value the
+///                             same fp register already holds (from an
+///                             earlier load or a forwarded store in the
+///                             block, with no intervening may-aliasing
+///                             store or register clobber) is deleted. Trap-
+///                             safe without an in-bounds proof: the fact's
+///                             generator already accessed the same address
+///                             in the same block execution.
 ///   - dead-store elimination — backward liveness (check/dataflow.hpp), the
 ///                             same live_in_blocks the dead-store reporter
 ///                             uses: registers are live at exit, so only
@@ -20,13 +30,24 @@
 ///                             path are removed. A dead kFload is removed
 ///                             only when the interval analysis proves its
 ///                             address in bounds (an out-of-bounds load
-///                             traps, which is observable).
+///                             traps, which is observable). Additionally, a
+///                             *memory* store overwritten by a must-alias
+///                             store later in its block — with no possibly-
+///                             aliasing load and no possibly-trapping
+///                             access in between, and its own address
+///                             proven in bounds — is dead and removed,
+///                             licensed by the same prove facts.
 ///   - loop-invariant code motion — natural loops (check/dominators.hpp)
 ///                             and intervals (check/intervals.hpp): hoists a
 ///                             header kFload whose base register is loop-
 ///                             invariant, whose address is proven in bounds
 ///                             (no trap to reorder) and provably disjoint
-///                             from every kFstore in the loop.
+///                             from every kFstore in the loop. Disjointness
+///                             is discharged by interval separation, by the
+///                             store sharing the invariant base register
+///                             with a different immediate, or by a
+///                             universal-scope `bladed::prove` no-alias
+///                             verdict.
 ///
 /// Every pass returns a rewritten program and sets `*changed`; the pipeline
 /// in opt/opt.hpp wraps each application in its proof obligations.
@@ -45,6 +66,10 @@ namespace bladed::opt {
 
 [[nodiscard]] cms::Program pass_copy_prop(const cms::Program& prog,
                                           bool* changed);
+
+[[nodiscard]] cms::Program pass_redundant_load(const cms::Program& prog,
+                                               std::size_t mem_doubles,
+                                               bool* changed);
 
 [[nodiscard]] cms::Program pass_dead_store(const cms::Program& prog,
                                            std::size_t mem_doubles,

@@ -1,0 +1,106 @@
+#include "prove/alias.hpp"
+
+#include <algorithm>
+
+namespace bladed::prove {
+namespace {
+
+/// Same-block rule: both accesses in one basic block, same base register,
+/// and no write to that register strictly between them. Within a single
+/// execution of the block the base then holds one value at both pcs, so
+/// the immediates decide the cells. Returns false when the rule does not
+/// apply (verdict must come from elsewhere).
+bool same_block_verdict(const Context& ctx, std::size_t pc_a, std::size_t pc_b,
+                        AliasResult* out) {
+  const cms::Instr& ia = ctx.prog()[pc_a];
+  const cms::Instr& ib = ctx.prog()[pc_b];
+  if (ia.b != ib.b) return false;
+  if (ctx.cfg().block_of(pc_a) != ctx.cfg().block_of(pc_b)) return false;
+  const std::size_t lo = std::min(pc_a, pc_b);
+  const std::size_t hi = std::max(pc_a, pc_b);
+  for (std::size_t pc = lo + 1; pc < hi; ++pc) {
+    const cms::Instr& mid = ctx.prog()[pc];
+    if (cms::writes_int_reg(mid.op) && mid.a == ia.b) return false;
+  }
+  out->verdict = ia.imm_i == ib.imm_i ? AliasVerdict::kMustAlias
+                                      : AliasVerdict::kNoAlias;
+  out->universal = false;
+  out->reason = "same-block-base";
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(AliasVerdict v) {
+  switch (v) {
+    case AliasVerdict::kMayAlias:
+      return "may-alias";
+    case AliasVerdict::kNoAlias:
+      return "no-alias";
+    case AliasVerdict::kMustAlias:
+      return "must-alias";
+  }
+  return "may-alias";
+}
+
+AliasResult alias_pair(const Context& ctx, std::size_t pc_a, std::size_t pc_b) {
+  AliasResult res;
+  res.reason = "unknown";
+  if (pc_a >= ctx.prog().size() || pc_b >= ctx.prog().size()) return res;
+  if (!cms::is_mem_op(ctx.prog()[pc_a].op) ||
+      !cms::is_mem_op(ctx.prog()[pc_b].op)) {
+    return res;
+  }
+  if (pc_a == pc_b) {
+    // The same instance of one access trivially touches its own cell. (Two
+    // *different* instances of one pc may differ — but a pair query about a
+    // single pc is a same-instance question by construction.)
+    return {AliasVerdict::kMustAlias, false, "same-pc"};
+  }
+
+  const SymAddr sa = resolve_address(ctx, pc_a);
+  const SymAddr sb = resolve_address(ctx, pc_b);
+
+  if (sa.is_const() && sb.is_const()) {
+    return {sa.delta == sb.delta ? AliasVerdict::kMustAlias
+                                 : AliasVerdict::kNoAlias,
+            true, "const-addr"};
+  }
+
+  // Same symbolic origin whose defining block lies on no CFG cycle: that
+  // definition executes at most once per run, so `value(def)` is one fixed
+  // number and both addresses are value(def)+delta — comparable exactly.
+  if (sa.is_def() && sb.is_def() && sa.def == sb.def &&
+      !ctx.block_on_cycle(ctx.cfg().block_of(sa.def))) {
+    return {sa.delta == sb.delta ? AliasVerdict::kMustAlias
+                                 : AliasVerdict::kNoAlias,
+            true, "stable-origin"};
+  }
+
+  const check::Interval ia = ctx.intervals().address_at(pc_a);
+  const check::Interval ib = ctx.intervals().address_at(pc_b);
+  if (!ia.empty() && !ib.empty()) {
+    if (ia.is_constant() && ib.is_constant() && ia == ib) {
+      return {AliasVerdict::kMustAlias, true, "interval-const"};
+    }
+    if (ia.disjoint(ib)) {
+      return {AliasVerdict::kNoAlias, true, "interval-disjoint"};
+    }
+  }
+
+  if (same_block_verdict(ctx, pc_a, pc_b, &res)) return res;
+  return res;
+}
+
+std::vector<AliasFact> all_alias_facts(const Context& ctx) {
+  std::vector<AliasFact> facts;
+  const auto& mem = ctx.mem_ops();
+  for (std::size_t i = 0; i < mem.size(); ++i) {
+    for (std::size_t j = i + 1; j < mem.size(); ++j) {
+      facts.push_back({mem[i], mem[j], alias_pair(ctx, mem[i], mem[j])});
+    }
+  }
+  return facts;
+}
+
+}  // namespace bladed::prove

@@ -1,0 +1,59 @@
+#pragma once
+
+/// Alias verdicts between CMS memory operands, layered on the symbolic
+/// addresses of sym.hpp plus the interval analysis. Verdict semantics
+/// (DESIGN.md §13):
+///
+///   kMustAlias — the two accesses touch the same memory cell
+///   kNoAlias   — they touch different cells
+///   kMayAlias  — neither could be proven
+///
+/// Every verdict is tagged with a *scope*. `universal == true` means the
+/// relation holds between EVERY pair of dynamic instances of the two
+/// accesses (constant addresses, stable symbolic origins whose defining
+/// block lies on no CFG cycle, or interval disjointness — all facts about
+/// every execution). `universal == false` restricts the claim to instances
+/// occurring in the same execution of the enclosing basic block: within one
+/// straight-line pass, an unchanged base register plus distinct immediates
+/// separates the cells even when the base varies across iterations.
+///
+/// Downstream passes must match scope to transform: block-local rewrites
+/// (redundant-load elimination, dead-store sweeps) may use per-instance
+/// facts; code motion across iterations (LICM) requires universal ones.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "prove/context.hpp"
+#include "prove/sym.hpp"
+
+namespace bladed::prove {
+
+enum class AliasVerdict : std::uint8_t { kMayAlias, kNoAlias, kMustAlias };
+
+[[nodiscard]] const char* to_string(AliasVerdict v);
+
+struct AliasResult {
+  AliasVerdict verdict = AliasVerdict::kMayAlias;
+  bool universal = false;   ///< all instance pairs vs same block execution
+  const char* reason = "";  ///< stable short tag, e.g. "stable-origin"
+};
+
+/// Verdict for the memory ops at `pc_a` and `pc_b`. Non-memory pcs yield
+/// kMayAlias. Reflexive queries return must-alias (same instance).
+[[nodiscard]] AliasResult alias_pair(const Context& ctx, std::size_t pc_a,
+                                     std::size_t pc_b);
+
+/// One resolved pair for the report: pcs, verdict, scope, reason.
+struct AliasFact {
+  std::size_t pc_a = 0;
+  std::size_t pc_b = 0;
+  AliasResult result;
+};
+
+/// All-pairs facts over the program's memory operands, in (pc_a, pc_b)
+/// lexicographic order with pc_a < pc_b.
+[[nodiscard]] std::vector<AliasFact> all_alias_facts(const Context& ctx);
+
+}  // namespace bladed::prove

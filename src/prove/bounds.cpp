@@ -1,0 +1,288 @@
+#include "prove/bounds.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace bladed::prove {
+namespace {
+
+/// True when `block` lies on a cycle that avoids `avoid`: a DFS from the
+/// block's successors, never entering `avoid`, reaches the block again.
+/// Used to prove "executes at most once per loop iteration": a block that
+/// can only repeat by passing through the loop header cannot repeat within
+/// one header-to-latch traversal.
+bool on_cycle_avoiding(const check::Cfg& cfg, std::size_t block,
+                       std::size_t avoid) {
+  const auto& blocks = cfg.blocks();
+  std::vector<bool> seen(blocks.size(), false);
+  std::vector<std::size_t> stack;
+  for (std::size_t s : blocks[block].succs) {
+    if (s == cfg.exit_pc()) continue;
+    stack.push_back(cfg.block_of(s));
+  }
+  while (!stack.empty()) {
+    const std::size_t b = stack.back();
+    stack.pop_back();
+    if (b == avoid) continue;
+    if (b == block) return true;
+    if (seen[b]) continue;
+    seen[b] = true;
+    for (std::size_t s : blocks[b].succs) {
+      if (s == cfg.exit_pc()) continue;
+      stack.push_back(cfg.block_of(s));
+    }
+  }
+  return false;
+}
+
+/// Interval state flowing into the loop header from outside the loop: the
+/// hull over every non-loop predecessor's end-of-block state. Branch-edge
+/// refinements on those entry edges are ignored (sound: a superset).
+/// Returns false when no outside predecessor is reachable (dead loop).
+bool preheader_state(const Context& ctx,
+                     const std::vector<std::vector<std::size_t>>& preds,
+                     const check::NaturalLoop& loop,
+                     check::IntervalState* out) {
+  out->reachable = false;
+  for (std::size_t p : preds[loop.header]) {
+    if (loop.contains(p)) continue;
+    check::IntervalState st = ctx.intervals().block_entry(p);
+    if (!st.reachable) continue;
+    const check::BasicBlock& bb = ctx.cfg().blocks()[p];
+    for (std::size_t pc = bb.begin; pc < bb.end; ++pc) {
+      check::Intervals::transfer(ctx.prog()[pc], st);
+    }
+    if (!out->reachable) {
+      *out = st;
+    } else {
+      for (std::size_t r = 0; r < 16; ++r) {
+        out->r[r] = check::interval_hull(out->r[r], st.r[r]);
+      }
+    }
+  }
+  return out->reachable;
+}
+
+struct IvCandidate {
+  int reg = 0;
+  std::size_t def_pc = 0;
+  std::int64_t step = 0;
+  bool once_per_trip = false;  ///< def block repeats only via the header
+};
+
+/// Basic induction variables of `loop`: registers with exactly one in-loop
+/// definition, of the shape `addi r, r, c` with c != 0.
+std::vector<IvCandidate> find_ivs(const Context& ctx,
+                                  const check::NaturalLoop& loop) {
+  std::vector<IvCandidate> ivs;
+  for (int reg = 0; reg < 16; ++reg) {
+    std::size_t def_pc = 0;
+    int defs = 0;
+    for (std::size_t b : loop.blocks) {
+      const check::BasicBlock& bb = ctx.cfg().blocks()[b];
+      for (std::size_t pc = bb.begin; pc < bb.end && defs < 2; ++pc) {
+        const cms::Instr& in = ctx.prog()[pc];
+        if (cms::writes_int_reg(in.op) && in.a == reg) {
+          def_pc = pc;
+          ++defs;
+        }
+      }
+    }
+    if (defs != 1) continue;
+    const cms::Instr& in = ctx.prog()[def_pc];
+    if (in.op != cms::Op::kAddi || in.b != reg || in.imm_i == 0) continue;
+    const std::size_t def_block = ctx.cfg().block_of(def_pc);
+    ivs.push_back({reg, def_pc, in.imm_i,
+                   !on_cycle_avoiding(ctx.cfg(), def_block, loop.header)});
+  }
+  return ivs;
+}
+
+bool reg_invariant_in(const Context& ctx, const check::NaturalLoop& loop,
+                      int reg) {
+  for (std::size_t b : loop.blocks) {
+    const check::BasicBlock& bb = ctx.cfg().blocks()[b];
+    for (std::size_t pc = bb.begin; pc < bb.end; ++pc) {
+      const cms::Instr& in = ctx.prog()[pc];
+      if (cms::writes_int_reg(in.op) && in.a == reg) return false;
+    }
+  }
+  return true;
+}
+
+LoopBound bound_one_loop(const Context& ctx,
+                         const std::vector<std::vector<std::size_t>>& preds,
+                         const check::NaturalLoop& loop) {
+  LoopBound out;
+  if (loop.latches.size() != 1) return out;
+  const std::size_t latch = loop.latches.front();
+  const check::BasicBlock& lb = ctx.cfg().blocks()[latch];
+  const std::size_t guard_pc = lb.end - 1;
+  const cms::Instr& guard = ctx.prog()[guard_pc];
+  const std::size_t header_leader = ctx.cfg().blocks()[loop.header].begin;
+  // Canonical counted-loop shape only: the back edge is the *taken* edge of
+  // a `blt a, b -> header` closing the latch. (A loop closed by bne or by
+  // an inverted guard stays unbounded — the interval proof may still fire.)
+  if (guard.op != cms::Op::kBlt ||
+      guard.imm_i != static_cast<std::int64_t>(header_leader)) {
+    return out;
+  }
+  // A failed guard must actually leave: if the fallthrough re-enters the
+  // header too (header placed right after the latch) the loop never exits
+  // through this test.
+  if (lb.end == header_leader) return out;
+
+  const std::vector<IvCandidate> ivs = find_ivs(ctx, loop);
+  const IvCandidate* guard_iv = nullptr;
+  for (const IvCandidate& iv : ivs) {
+    if (iv.reg == guard.a) guard_iv = &iv;
+  }
+  // The guard IV must grow every iteration: positive step, definition
+  // dominating the latch (so every header-to-latch traversal runs it).
+  if (guard_iv == nullptr || guard_iv->step <= 0) return out;
+  if (!ctx.dom().dominates(ctx.cfg().block_of(guard_iv->def_pc), latch)) {
+    return out;
+  }
+  if (!reg_invariant_in(ctx, loop, guard.b)) return out;
+
+  check::IntervalState entry;
+  if (!preheader_state(ctx, preds, loop, &entry)) return out;
+  const check::Interval a0 = entry.r[static_cast<std::size_t>(guard.a)];
+  const check::Interval b0 = entry.r[static_cast<std::size_t>(guard.b)];
+  if (a0.lo == check::kIntervalNegInf || b0.hi == check::kIntervalPosInf) {
+    return out;
+  }
+
+  // k taken back edges need a0.lo + k*step <= b0.hi - 1; one more trip
+  // starts after the last back edge.
+  const __int128 diff = static_cast<__int128>(b0.hi) - 1 - a0.lo;
+  const __int128 k_max = diff < 0 ? 0 : diff / guard_iv->step;
+  if (k_max + 1 > std::numeric_limits<std::int64_t>::max()) return out;
+  out.bounded = true;
+  out.max_trips = static_cast<std::int64_t>(k_max) + 1;
+  out.guard_iv = guard.a;
+  out.guard_limit = guard.b;
+
+  // Whole-loop range for every IV that runs at most once per trip: at any
+  // in-loop point the value is r_entry + (execs so far)*step with execs in
+  // [0, max_trips].
+  for (const IvCandidate& iv : ivs) {
+    if (!iv.once_per_trip) continue;
+    const check::Interval r0 = entry.r[static_cast<std::size_t>(iv.reg)];
+    const check::Interval total =
+        check::interval_mul_const(check::Interval::constant(out.max_trips),
+                                  iv.step);
+    const check::Interval range =
+        check::interval_hull(r0, check::interval_add(r0, total));
+    out.ivs.push_back({iv.reg, iv.def_pc, iv.step, range});
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ProofKind k) {
+  switch (k) {
+    case ProofKind::kUnproven:
+      return "unproven";
+    case ProofKind::kInterval:
+      return "interval";
+    case ProofKind::kTripCount:
+      return "trip-count";
+  }
+  return "unproven";
+}
+
+std::vector<LoopBound> compute_loop_bounds(const Context& ctx) {
+  const auto preds = ctx.cfg().predecessors();
+  std::vector<LoopBound> bounds;
+  bounds.reserve(ctx.loops().size());
+  for (const check::NaturalLoop& loop : ctx.loops()) {
+    bounds.push_back(bound_one_loop(ctx, preds, loop));
+  }
+  return bounds;
+}
+
+std::vector<AccessProof> prove_accesses(const Context& ctx,
+                                        const std::vector<LoopBound>& bounds) {
+  const std::vector<bool> reachable = ctx.cfg().reachable();
+  const auto mem_hi = static_cast<std::int64_t>(ctx.mem_doubles()) - 1;
+  std::vector<AccessProof> proofs;
+  proofs.reserve(ctx.mem_ops().size());
+
+  for (std::size_t pc : ctx.mem_ops()) {
+    const cms::Instr& in = ctx.prog()[pc];
+    AccessProof proof;
+    proof.pc = pc;
+    proof.is_store = in.op == cms::Op::kFstore;
+    const std::size_t block = ctx.cfg().block_of(pc);
+
+    if (!reachable[block]) {
+      // Never executes, so it cannot trap; the empty interval records that
+      // no address is ever formed.
+      proof.kind = ProofKind::kInterval;
+      proof.addr = {0, -1};
+      proof.detail = "statically unreachable";
+      proofs.push_back(std::move(proof));
+      continue;
+    }
+
+    const check::Interval addr = ctx.intervals().address_at(pc);
+    if (!addr.empty() && addr.lo >= 0 && addr.hi <= mem_hi) {
+      proof.kind = ProofKind::kInterval;
+      proof.addr = addr;
+      std::ostringstream os;
+      os << "interval [" << addr.lo << "," << addr.hi << "] within [0,"
+         << ctx.mem_doubles() << ")";
+      proof.detail = os.str();
+      proofs.push_back(std::move(proof));
+      continue;
+    }
+
+    // Trip-count fallback: some containing counted loop bounds the base
+    // register as an induction variable even though widening lost it.
+    for (std::size_t li = 0; li < ctx.loops().size(); ++li) {
+      if (!ctx.loops()[li].contains(block) || !bounds[li].bounded) continue;
+      const IvRange* iv = nullptr;
+      for (const IvRange& cand : bounds[li].ivs) {
+        if (cand.reg == in.b) iv = &cand;
+      }
+      if (iv == nullptr) continue;
+      const check::Interval range =
+          check::interval_add(iv->range, check::Interval::constant(in.imm_i));
+      if (!range.empty() && range.lo >= 0 && range.hi <= mem_hi) {
+        proof.kind = ProofKind::kTripCount;
+        proof.addr = range;
+        std::ostringstream os;
+        os << "r" << in.b << " in [" << iv->range.lo << "," << iv->range.hi
+           << "] via loop@b" << ctx.loops()[li].header << " (trips<="
+           << bounds[li].max_trips << "), address within [0,"
+           << ctx.mem_doubles() << ")";
+        proof.detail = os.str();
+        break;
+      }
+    }
+    if (proof.kind == ProofKind::kUnproven) {
+      std::ostringstream os;
+      os << "address interval [";
+      if (addr.lo == check::kIntervalNegInf) {
+        os << "-inf";
+      } else {
+        os << addr.lo;
+      }
+      os << ",";
+      if (addr.hi == check::kIntervalPosInf) {
+        os << "+inf";
+      } else {
+        os << addr.hi;
+      }
+      os << "] not contained in [0," << ctx.mem_doubles() << ")";
+      proof.detail = os.str();
+    }
+    proofs.push_back(std::move(proof));
+  }
+  return proofs;
+}
+
+}  // namespace bladed::prove

@@ -1,0 +1,74 @@
+#pragma once
+
+/// The in-bounds prover: discharges per-access safety obligations
+/// (`0 <= r[base] + imm < mem_doubles`) by two independent arguments.
+///
+/// 1. kInterval — the interval abstract interpretation already bounds the
+///    address (branch-edge refinement keeps guard induction variables
+///    bounded by their limit).
+///
+/// 2. kTripCount — for counted loops the interval analysis loses: a derived
+///    induction variable (say `j += 8` in a loop guarded on `i < n`) is
+///    widened to +inf because no branch tests it. Here the dominator /
+///    natural-loop analysis recovers the bound. For a loop with a single
+///    latch ending in `blt a, b -> header`, where `a` is a basic induction
+///    variable (unique in-loop def `addi a, a, c`, c > 0, def dominating
+///    the latch) and `b` is loop-invariant, every taken back edge k has
+///    seen a >= a0 + k*c and a < b, so the back-edge count is at most
+///    floor((b0.hi - 1 - a0.lo) / c) and the trip count one more. Any
+///    basic IV `r` (step c_r, unique def on no header-avoiding cycle) then
+///    ranges over hull(r0, r0 + trips*c_r) for the whole loop, which
+///    bounds accesses based on `r` that widening gave up on.
+///
+/// All initial values (a0, b0, r0) are the hull of the interval states
+/// flowing into the header from outside the loop (the "preheader" state).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/intervals.hpp"
+#include "prove/context.hpp"
+
+namespace bladed::prove {
+
+/// One basic induction variable of a loop with a whole-loop value range.
+struct IvRange {
+  int reg = 0;               ///< integer register index
+  std::size_t def_pc = 0;    ///< the unique in-loop `addi reg, reg, step`
+  std::int64_t step = 0;     ///< nonzero increment
+  check::Interval range;     ///< values over the whole loop execution
+};
+
+/// Trip-count facts for one natural loop (parallel to Context::loops()).
+struct LoopBound {
+  bool bounded = false;        ///< counted-loop guard recognized
+  std::int64_t max_trips = 0;  ///< upper bound on header executions
+  int guard_iv = -1;           ///< register of the guard induction variable
+  int guard_limit = -1;        ///< register of the loop-invariant limit
+  std::vector<IvRange> ivs;    ///< IVs with proven whole-loop ranges
+};
+
+/// Compute LoopBound for every natural loop of `ctx`.
+[[nodiscard]] std::vector<LoopBound> compute_loop_bounds(const Context& ctx);
+
+enum class ProofKind : std::uint8_t { kUnproven, kInterval, kTripCount };
+
+[[nodiscard]] const char* to_string(ProofKind k);
+
+/// Outcome for one memory access.
+struct AccessProof {
+  std::size_t pc = 0;
+  bool is_store = false;
+  ProofKind kind = ProofKind::kUnproven;
+  check::Interval addr;  ///< proven address range (valid unless kUnproven)
+  std::string detail;    ///< human-readable justification
+};
+
+/// Prove every memory access of the program, in pc order. `bounds` must be
+/// the result of compute_loop_bounds on the same context.
+[[nodiscard]] std::vector<AccessProof> prove_accesses(
+    const Context& ctx, const std::vector<LoopBound>& bounds);
+
+}  // namespace bladed::prove

@@ -1,0 +1,75 @@
+#include "prove/context.hpp"
+
+#include <algorithm>
+
+namespace bladed::prove {
+namespace {
+
+/// Blocks on some CFG cycle: a block is cyclic iff it can reach itself.
+/// The CFGs here are tiny (a handful of blocks), so one DFS per block is
+/// simpler than Tarjan SCC and still trivially cheap.
+std::vector<bool> blocks_on_cycles(const check::Cfg& cfg) {
+  const auto& blocks = cfg.blocks();
+  const std::size_t n = blocks.size();
+  std::vector<bool> cyclic(n, false);
+  for (std::size_t start = 0; start < n; ++start) {
+    std::vector<bool> seen(n, false);
+    std::vector<std::size_t> stack;
+    // Seed with successors, not `start` itself: we ask "reachable from its
+    // own successors", which is exactly "on a cycle".
+    for (std::size_t s : blocks[start].succs) {
+      if (s == cfg.exit_pc()) continue;
+      stack.push_back(cfg.block_of(s));
+    }
+    while (!stack.empty()) {
+      const std::size_t b = stack.back();
+      stack.pop_back();
+      if (b == start) {
+        cyclic[start] = true;
+        break;
+      }
+      if (seen[b]) continue;
+      seen[b] = true;
+      for (std::size_t s : blocks[b].succs) {
+        if (s == cfg.exit_pc()) continue;
+        stack.push_back(cfg.block_of(s));
+      }
+    }
+  }
+  return cyclic;
+}
+
+}  // namespace
+
+Context::Context(const cms::Program& prog, std::size_t mem_doubles)
+    : prog_(&prog),
+      mem_doubles_(mem_doubles),
+      cfg_(check::Cfg::build(prog)),
+      dom_(check::DomTree::build(cfg_)),
+      loops_(check::find_natural_loops(cfg_, dom_)),
+      rd_(check::ReachingDefs::build(prog, cfg_)),
+      sccp_(check::Sccp::build(prog, cfg_)),
+      intervals_(check::Intervals::build(prog, cfg_)),
+      on_cycle_(blocks_on_cycles(cfg_)) {
+  for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+    if (cms::is_mem_op(prog[pc].op)) mem_ops_.push_back(pc);
+  }
+
+  const std::size_t nblocks = cfg_.blocks().size();
+  loop_of_.assign(nblocks, kNoLoop);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    std::size_t best = kNoLoop;
+    std::size_t best_size = 0;
+    for (std::size_t li = 0; li < loops_.size(); ++li) {
+      const auto& loop = loops_[li];
+      if (!loop.contains(b)) continue;
+      if (best == kNoLoop || loop.blocks.size() < best_size) {
+        best = li;
+        best_size = loop.blocks.size();
+      }
+    }
+    loop_of_[b] = best;
+  }
+}
+
+}  // namespace bladed::prove

@@ -1,0 +1,84 @@
+#pragma once
+
+/// Shared analysis bundle for `bladed::prove` (DESIGN.md §13): every prover
+/// layer (symbolic addressing, alias verdicts, in-bounds obligations,
+/// region formation) consumes the same `bladed::check` analyses — CFG,
+/// dominator tree, natural loops, reaching definitions, SCCP and the
+/// interval abstract interpretation — so the Context builds each of them
+/// exactly once per program and hands out const references. It also adds
+/// the one control fact `check` does not export: whether a block sits on a
+/// CFG cycle at all (natural loops miss irreducible cycles, and the alias
+/// layer's value-identity argument needs "this definition executes at most
+/// once per run", which is a statement about *cycles*, not loops).
+
+#include <cstddef>
+#include <vector>
+
+#include "check/cfg.hpp"
+#include "check/dominators.hpp"
+#include "check/intervals.hpp"
+#include "check/reaching.hpp"
+#include "check/sccp.hpp"
+#include "cms/isa.hpp"
+
+namespace bladed::prove {
+
+class Context {
+ public:
+  /// Build every analysis for `prog` on a machine with `mem_doubles` cells.
+  /// Requires a structurally valid program (cms::validate accepts it) —
+  /// prove_program() guards this and refuses invalid programs upstream.
+  ///
+  /// Non-copyable and non-movable: the check analyses keep pointers into
+  /// the Cfg member, so the object must stay at its construction address.
+  Context(const cms::Program& prog, std::size_t mem_doubles);
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] const cms::Program& prog() const { return *prog_; }
+  [[nodiscard]] std::size_t mem_doubles() const { return mem_doubles_; }
+  [[nodiscard]] const check::Cfg& cfg() const { return cfg_; }
+  [[nodiscard]] const check::DomTree& dom() const { return dom_; }
+  [[nodiscard]] const std::vector<check::NaturalLoop>& loops() const {
+    return loops_;
+  }
+  [[nodiscard]] const check::ReachingDefs& reaching() const { return rd_; }
+  [[nodiscard]] const check::Sccp& sccp() const { return sccp_; }
+  [[nodiscard]] const check::Intervals& intervals() const {
+    return intervals_;
+  }
+
+  /// True when block `b` lies on some CFG cycle (any cycle, natural or
+  /// irreducible). An instruction in an acyclic block executes at most once
+  /// per program run — the fact the alias layer's origin-identity rests on.
+  [[nodiscard]] bool block_on_cycle(std::size_t b) const {
+    return on_cycle_[b];
+  }
+
+  /// Instruction indices of every kFload/kFstore, in program order.
+  [[nodiscard]] const std::vector<std::size_t>& mem_ops() const {
+    return mem_ops_;
+  }
+
+  /// Index of the innermost natural loop containing block `b`, or
+  /// `kNoLoop`. "Innermost" = the containing loop with the fewest blocks.
+  static constexpr std::size_t kNoLoop = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t innermost_loop_of(std::size_t b) const {
+    return loop_of_[b];
+  }
+
+ private:
+  const cms::Program* prog_ = nullptr;
+  std::size_t mem_doubles_ = 0;
+  check::Cfg cfg_;
+  check::DomTree dom_;
+  std::vector<check::NaturalLoop> loops_;
+  check::ReachingDefs rd_;
+  check::Sccp sccp_;
+  check::Intervals intervals_;
+  std::vector<bool> on_cycle_;
+  std::vector<std::size_t> mem_ops_;
+  std::vector<std::size_t> loop_of_;
+};
+
+}  // namespace bladed::prove

@@ -1,0 +1,136 @@
+#include "prove/region.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace bladed::prove {
+namespace {
+
+/// Grow `members` (seeded single-entry) to a fixpoint: absorb any reachable
+/// non-member block whose predecessors all lie inside. Such a block cannot
+/// be entered except through the region, so the entry stays unique.
+void grow_region(const check::Cfg& cfg,
+                 const std::vector<std::vector<std::size_t>>& preds,
+                 const std::vector<bool>& reachable,
+                 std::set<std::size_t>* members) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+      if (members->count(b) != 0 || !reachable[b]) continue;
+      if (preds[b].empty()) continue;  // program entry / unreachable
+      bool all_inside = true;
+      for (std::size_t p : preds[b]) {
+        if (members->count(p) == 0) {
+          all_inside = false;
+          break;
+        }
+      }
+      if (all_inside) {
+        members->insert(b);
+        changed = true;
+      }
+    }
+  }
+}
+
+RegionLicense finish_region(const Context& ctx,
+                            const std::vector<AccessProof>& proofs,
+                            std::size_t entry_block,
+                            const std::set<std::size_t>& members) {
+  RegionLicense region;
+  region.entry_block = entry_block;
+  region.entry_pc = ctx.cfg().blocks()[entry_block].begin;
+  region.blocks.assign(members.begin(), members.end());
+  std::sort(region.blocks.begin(), region.blocks.end());
+
+  std::vector<std::size_t> mem_pcs;
+  for (std::size_t b : region.blocks) {
+    const check::BasicBlock& bb = ctx.cfg().blocks()[b];
+    region.instr_count += bb.end - bb.begin;
+    for (std::size_t pc = bb.begin; pc < bb.end; ++pc) {
+      if (cms::is_mem_op(ctx.prog()[pc].op)) mem_pcs.push_back(pc);
+    }
+  }
+
+  region.access_count = mem_pcs.size();
+  for (std::size_t pc : mem_pcs) {
+    bool proven = false;
+    for (const AccessProof& proof : proofs) {
+      if (proof.pc == pc) {
+        proven = proof.kind != ProofKind::kUnproven;
+        break;
+      }
+    }
+    if (!proven) region.unproven_pcs.push_back(pc);
+  }
+  region.licensed = region.unproven_pcs.empty();
+
+  for (std::size_t i = 0; i < mem_pcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < mem_pcs.size(); ++j) {
+      switch (alias_pair(ctx, mem_pcs[i], mem_pcs[j]).verdict) {
+        case AliasVerdict::kNoAlias:
+          ++region.no_alias_pairs;
+          break;
+        case AliasVerdict::kMustAlias:
+          ++region.must_alias_pairs;
+          break;
+        case AliasVerdict::kMayAlias:
+          ++region.may_alias_pairs;
+          break;
+      }
+    }
+  }
+  return region;
+}
+
+}  // namespace
+
+std::vector<RegionLicense> form_regions(const Context& ctx,
+                                        const std::vector<LoopBound>& bounds,
+                                        const std::vector<AccessProof>& proofs) {
+  const auto preds = ctx.cfg().predecessors();
+  const std::vector<bool> reachable = ctx.cfg().reachable();
+  std::vector<RegionLicense> regions;
+
+  // One region per outermost loop (not nested in any other loop).
+  std::vector<bool> header_seeded(ctx.cfg().blocks().size(), false);
+  for (std::size_t li = 0; li < ctx.loops().size(); ++li) {
+    const check::NaturalLoop& loop = ctx.loops()[li];
+    bool outermost = true;
+    for (std::size_t lj = 0; lj < ctx.loops().size(); ++lj) {
+      if (lj != li && ctx.loops()[lj].contains(loop.header) &&
+          ctx.loops()[lj].blocks.size() > loop.blocks.size()) {
+        outermost = false;
+        break;
+      }
+    }
+    if (!outermost || !reachable[loop.header]) continue;
+    std::set<std::size_t> members(loop.blocks.begin(), loop.blocks.end());
+    grow_region(ctx.cfg(), preds, reachable, &members);
+    RegionLicense region = finish_region(ctx, proofs, loop.header, members);
+    region.is_loop = true;
+    if (bounds[li].bounded) region.max_trips = bounds[li].max_trips;
+    regions.push_back(std::move(region));
+    header_seeded[loop.header] = true;
+  }
+
+  // The entry region: straight-line (or branchy but loop-free) prologue
+  // code. Skipped when the entry block already heads a seeded loop.
+  if (!ctx.cfg().blocks().empty()) {
+    const std::size_t entry = ctx.cfg().block_of(0);
+    if (!header_seeded[entry]) {
+      std::set<std::size_t> members{entry};
+      grow_region(ctx.cfg(), preds, reachable, &members);
+      regions.push_back(finish_region(ctx, proofs, entry, members));
+    }
+  }
+
+  std::sort(regions.begin(), regions.end(),
+            [](const RegionLicense& a, const RegionLicense& b) {
+              return a.entry_pc < b.entry_pc;
+            });
+  return regions;
+}
+
+}  // namespace bladed::prove

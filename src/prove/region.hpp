@@ -1,0 +1,48 @@
+#pragma once
+
+/// Region licenses: maximal single-entry CFG regions in which every memory
+/// access carries an in-bounds proof and the pairwise alias verdicts are
+/// certified. This is the fact the ROADMAP's JIT-tier item waits on — a
+/// region the engine may compile to host code without per-access runtime
+/// checks, because no execution of the region can trap.
+///
+/// Formation: seed one region per *outermost* natural loop (the hot code
+/// by construction — the profiler promotes loop bodies) plus one at the
+/// program entry block, then grow each region by repeatedly absorbing any
+/// reachable block whose predecessors all lie inside. Absorbed blocks are
+/// unreachable from outside the region except through its entry, so growth
+/// preserves the single-entry property (natural-loop headers dominate
+/// their bodies; the program entry dominates everything).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "prove/alias.hpp"
+#include "prove/bounds.hpp"
+#include "prove/context.hpp"
+
+namespace bladed::prove {
+
+struct RegionLicense {
+  std::size_t entry_block = 0;  ///< block index of the single entry
+  std::size_t entry_pc = 0;     ///< leader pc of the entry block
+  std::vector<std::size_t> blocks;  ///< member block indices, sorted
+  std::size_t instr_count = 0;
+  bool is_loop = false;         ///< seeded from a natural loop
+  std::int64_t max_trips = 0;   ///< trip bound when counted (0 = unknown)
+  bool licensed = false;        ///< every access inside carries a proof
+  std::vector<std::size_t> unproven_pcs;  ///< accesses blocking the license
+  std::size_t access_count = 0;
+  std::size_t no_alias_pairs = 0;
+  std::size_t must_alias_pairs = 0;
+  std::size_t may_alias_pairs = 0;
+};
+
+/// Form all regions. `bounds` and `proofs` must come from the same context
+/// (compute_loop_bounds / prove_accesses). Regions are ordered by entry pc.
+[[nodiscard]] std::vector<RegionLicense> form_regions(
+    const Context& ctx, const std::vector<LoopBound>& bounds,
+    const std::vector<AccessProof>& proofs);
+
+}  // namespace bladed::prove

@@ -1,0 +1,113 @@
+#include "prove/sym.hpp"
+
+#include <limits>
+#include <set>
+
+namespace bladed::prove {
+namespace {
+
+constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+
+bool add_overflows(std::int64_t a, std::int64_t b) {
+  return (b > 0 && a > kI64Max - b) || (b < 0 && a < kI64Min - b);
+}
+
+bool mul_overflows(std::int64_t a, std::int64_t b) {
+  const __int128 p = static_cast<__int128>(a) * static_cast<__int128>(b);
+  return p < static_cast<__int128>(kI64Min) ||
+         p > static_cast<__int128>(kI64Max);
+}
+
+/// Displace `s` by the constant `k`, or fall back to `origin` when the
+/// displacement is not representable.
+SymAddr displace(const SymAddr& s, std::int64_t k, const SymAddr& origin) {
+  switch (s.kind) {
+    case SymAddr::Kind::kConst:
+      if (add_overflows(s.delta, k)) return origin;
+      return SymAddr::constant(s.delta + k);
+    case SymAddr::Kind::kDef:
+      if (add_overflows(s.delta, k)) return origin;
+      return SymAddr::at_def(s.def, s.delta + k);
+    case SymAddr::Kind::kUnknown:
+      return origin;
+  }
+  return origin;
+}
+
+SymAddr resolve_inner(const Context& ctx, std::size_t pc, int reg,
+                      std::set<std::size_t>& visited) {
+  if (reg < 0 || reg >= 16) return SymAddr::unknown();
+
+  // SCCP first: a constant-folded value is the strongest symbol we can get,
+  // and it already accounts for every feasible path.
+  const check::SccpState sccp = ctx.sccp().at(pc);
+  if (sccp.reachable && sccp.r[static_cast<std::size_t>(reg)].is_const()) {
+    return SymAddr::constant(sccp.r[static_cast<std::size_t>(reg)].i);
+  }
+
+  const std::vector<std::size_t> defs = ctx.reaching().defs_of(pc, reg);
+  if (defs.size() != 1) return SymAddr::unknown();
+  const std::size_t d = defs.front();
+  // Registers are zero-initialized, so the synthetic entry def is const 0.
+  if (ctx.reaching().is_entry_def(d)) return SymAddr::constant(0);
+
+  const SymAddr origin = SymAddr::at_def(d, 0);
+  // A def feeding itself through a cycle (a loop induction variable): the
+  // chain cannot fold further, the def site itself is the origin symbol.
+  if (!visited.insert(d).second) return origin;
+
+  const cms::Instr& in = ctx.prog()[d];
+  switch (in.op) {
+    case cms::Op::kMovi:
+      return SymAddr::constant(in.imm_i);
+    case cms::Op::kAddi: {
+      const SymAddr b = resolve_inner(ctx, d, in.b, visited);
+      return displace(b, in.imm_i, origin);
+    }
+    case cms::Op::kAdd: {
+      const SymAddr x = resolve_inner(ctx, d, in.b, visited);
+      const SymAddr y = resolve_inner(ctx, d, in.c, visited);
+      if (y.is_const()) return displace(x, y.delta, origin);
+      if (x.is_const()) return displace(y, x.delta, origin);
+      return origin;
+    }
+    case cms::Op::kSub: {
+      const SymAddr x = resolve_inner(ctx, d, in.b, visited);
+      const SymAddr y = resolve_inner(ctx, d, in.c, visited);
+      // Only a constant subtrahend folds: -value(def) is not a SymAddr.
+      if (y.is_const() && y.delta != kI64Min) {
+        return displace(x, -y.delta, origin);
+      }
+      return origin;
+    }
+    case cms::Op::kMuli: {
+      const SymAddr x = resolve_inner(ctx, d, in.b, visited);
+      if (in.imm_i == 0) return SymAddr::constant(0);
+      if (in.imm_i == 1 && x.kind != SymAddr::Kind::kUnknown) return x;
+      if (x.is_const() && !mul_overflows(x.delta, in.imm_i)) {
+        return SymAddr::constant(x.delta * in.imm_i);
+      }
+      return origin;
+    }
+    default:
+      // No other op writes an integer register (isa.hpp).
+      return origin;
+  }
+}
+
+}  // namespace
+
+SymAddr resolve_reg(const Context& ctx, std::size_t pc, int reg) {
+  std::set<std::size_t> visited;
+  return resolve_inner(ctx, pc, reg, visited);
+}
+
+SymAddr resolve_address(const Context& ctx, std::size_t pc) {
+  const cms::Instr& in = ctx.prog()[pc];
+  if (!cms::is_mem_op(in.op)) return SymAddr::unknown();
+  const SymAddr base = resolve_reg(ctx, pc, in.b);
+  return displace(base, in.imm_i, SymAddr::unknown());
+}
+
+}  // namespace bladed::prove

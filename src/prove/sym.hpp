@@ -1,0 +1,57 @@
+#pragma once
+
+/// Symbolic base+offset addressing over the CMS register file. An integer
+/// register value at a program point is resolved to one of three shapes:
+///
+///   kConst   — a compile-time constant (SCCP already proved the value)
+///   kDef     — `value-of(def) + delta`: the value produced by a unique
+///              definition site `def`, displaced by a constant delta
+///              accumulated while chasing kAddi/kAdd/kSub/kMuli chains
+///   kUnknown — anything else (joins of several defs, memory, cycles)
+///
+/// The resolver walks *singleton* reaching definitions only: if more than
+/// one definition of a register reaches the use, the value depends on the
+/// path taken and the symbol stays at the def itself (or unknown). Entry
+/// definitions resolve to the constant 0 — the machine zero-initializes
+/// its register file (isa.hpp).
+///
+/// Soundness of the symbol (DESIGN.md §13): two occurrences of kDef with
+/// the same `def` denote the same dynamic value only when that definition
+/// executes at most once per run, i.e. its block lies on no CFG cycle —
+/// the alias layer (alias.hpp) is what enforces that side condition; this
+/// layer just reports the chain it found.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "prove/context.hpp"
+
+namespace bladed::prove {
+
+struct SymAddr {
+  enum class Kind : std::uint8_t { kUnknown, kConst, kDef };
+  Kind kind = Kind::kUnknown;
+  std::size_t def = 0;      ///< defining pc for kDef (entry defs excluded)
+  std::int64_t delta = 0;   ///< constant displacement (kConst: the value)
+
+  [[nodiscard]] static SymAddr unknown() { return {}; }
+  [[nodiscard]] static SymAddr constant(std::int64_t v) {
+    return {Kind::kConst, 0, v};
+  }
+  [[nodiscard]] static SymAddr at_def(std::size_t d, std::int64_t delta) {
+    return {Kind::kDef, d, delta};
+  }
+
+  [[nodiscard]] bool is_const() const { return kind == Kind::kConst; }
+  [[nodiscard]] bool is_def() const { return kind == Kind::kDef; }
+  bool operator==(const SymAddr& o) const = default;
+};
+
+/// Resolve the value of integer register `reg` just before `pc` executes.
+[[nodiscard]] SymAddr resolve_reg(const Context& ctx, std::size_t pc, int reg);
+
+/// Resolve the effective address `r[in.b] + in.imm_i` of the memory op at
+/// `pc` (kFload/kFstore only; anything else returns unknown).
+[[nodiscard]] SymAddr resolve_address(const Context& ctx, std::size_t pc);
+
+}  // namespace bladed::prove

@@ -1,0 +1,196 @@
+/// Unit tests for the prove-licensed optimizer passes added with
+/// bladed::prove: redundant-load elimination (same-register reloads,
+/// store-to-load forwarding of facts, the alias-oracle kill rules) and the
+/// dead *memory* store extension of pass_dead_store. Each positive rewrite
+/// is pinned alongside the refusal that keeps it sound.
+
+#include "opt/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/differential.hpp"
+#include "cms/programs.hpp"
+
+namespace bladed::opt {
+namespace {
+
+using cms::Instr;
+using cms::Op;
+using cms::Program;
+
+Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+
+Instr makef(Op op, int a, double imm) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.imm_f = imm;
+  return in;
+}
+
+void expect_equivalent(const Program& original, const Program& optimized) {
+  const check::Report rep =
+      check::differential_equivalence(original, optimized);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+std::size_t count_op(const Program& p, Op op) {
+  std::size_t n = 0;
+  for (const Instr& in : p) n += in.op == op ? 1 : 0;
+  return n;
+}
+
+// ------------------------------------------------- redundant-load
+
+TEST(RedundantLoad, DeletesSameRegisterReload) {
+  const Program p = cms::naive_stencil_program(8);
+  bool changed = false;
+  const Program out = pass_redundant_load(p, 4096, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(out.size(), p.size() - 1);
+  EXPECT_EQ(count_op(out, Op::kFload), count_op(p, Op::kFload) - 1);
+  expect_equivalent(p, out);
+}
+
+TEST(RedundantLoad, StoreForwardsToSameRegisterReload) {
+  const Program p = {
+      make(Op::kMovi, 3, 0, 0, 5),     // 0
+      makef(Op::kFmovi, 1, 2.0),       // 1
+      make(Op::kFstore, 1, 3, 0, 0),   // 2: mem[5] = f1
+      make(Op::kFload, 1, 3, 0, 0),    // 3: f1 = mem[5] — redundant
+      make(Op::kFstore, 1, 3, 0, 1),   // 4: keep f1 observable
+      make(Op::kHalt),                 // 5
+  };
+  bool changed = false;
+  const Program out = pass_redundant_load(p, 4096, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(out.size(), p.size() - 1);
+  expect_equivalent(p, out);
+}
+
+TEST(RedundantLoad, DifferentRegisterReloadIsKept) {
+  // The ISA has no fp register-to-register copy, so a reload into a
+  // *different* register cannot be elided.
+  const Program p = {
+      make(Op::kMovi, 3, 0, 0, 5),    make(Op::kFmovi, 1, 0, 0, 0),
+      make(Op::kFstore, 1, 3, 0, 0),  make(Op::kFload, 2, 3, 0, 0),
+      make(Op::kFstore, 2, 3, 0, 1),  make(Op::kHalt),
+  };
+  bool changed = false;
+  (void)pass_redundant_load(p, 4096, &changed);
+  EXPECT_FALSE(changed);
+}
+
+TEST(RedundantLoad, BaseClobberKillsTheFact) {
+  const Program p = {
+      make(Op::kMovi, 3, 0, 0, 5),    // 0
+      make(Op::kFload, 1, 3, 0, 0),   // 1: f1 = mem[5]
+      make(Op::kAddi, 3, 3, 0, 1),    // 2: base moves
+      make(Op::kFload, 1, 3, 0, 0),   // 3: f1 = mem[6] — NOT redundant
+      make(Op::kFstore, 1, 3, 0, 1),  // 4
+      make(Op::kHalt),                // 5
+  };
+  bool changed = false;
+  (void)pass_redundant_load(p, 4096, &changed);
+  EXPECT_FALSE(changed);
+}
+
+/// Two bases that genuinely may collide (i vs 2i inside a loop): the
+/// intervening store must kill the fact and keep the reload.
+Program may_alias_program() {
+  return {
+      make(Op::kMovi, 1, 0, 0, 0),     // 0
+      make(Op::kMovi, 2, 0, 0, 8),     // 1
+      make(Op::kAddi, 3, 1, 0, 0),     // 2: loop: r3 = i
+      make(Op::kAdd, 4, 1, 1),         // 3: r4 = 2i
+      make(Op::kFload, 1, 3, 0, 0),    // 4: f1 = mem[i]
+      make(Op::kFmovi, 2, 0, 0, 0),    // 5
+      make(Op::kFstore, 2, 4, 0, 0),   // 6: mem[2i] = 0 — may hit mem[i]
+      make(Op::kFload, 1, 3, 0, 0),    // 7: must reload
+      make(Op::kFstore, 1, 3, 0, 64),  // 8
+      make(Op::kAddi, 1, 1, 0, 1),     // 9
+      make(Op::kBlt, 1, 2, 0, 2),      // 10
+      make(Op::kHalt),                 // 11
+  };
+}
+
+TEST(RedundantLoad, MayAliasStoreKillsTheFact) {
+  const Program p = may_alias_program();
+  bool changed = false;
+  (void)pass_redundant_load(p, 4096, &changed);
+  EXPECT_FALSE(changed);
+}
+
+TEST(RedundantLoad, ProvenDisjointStoreSurvives) {
+  // Same shape, but the store goes through the same base with a different
+  // immediate: the oracle proves disjointness and the reload dies.
+  Program p = may_alias_program();
+  p[6] = make(Op::kFstore, 2, 3, 0, 32);  // mem[i+32], same base r3
+  bool changed = false;
+  const Program out = pass_redundant_load(p, 4096, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(out.size(), p.size() - 1);
+  expect_equivalent(p, out);
+}
+
+// ------------------------------------------------- dead memory stores
+
+TEST(DeadMemStore, StencilZeroingStoreIsRemoved) {
+  const Program p = cms::naive_stencil_program(8);
+  bool changed = false;
+  const Program out = pass_dead_store(p, 4096, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(count_op(out, Op::kFstore), count_op(p, Op::kFstore) - 1);
+  expect_equivalent(p, out);
+}
+
+TEST(DeadMemStore, MayAliasLoadBetweenBlocksRemoval) {
+  // Overwritten same-cell store, but a load that may read it sits in
+  // between: must stay.
+  Program p = may_alias_program();
+  p[4] = make(Op::kFstore, 1, 3, 0, 0);   // mem[i] = f1 (overwritten at 7?)
+  p[6] = make(Op::kFload, 2, 4, 0, 0);    // f2 = mem[2i] — may read mem[i]
+  p[7] = make(Op::kFstore, 1, 3, 0, 0);   // overwrites mem[i]
+  // The register sweep may fire elsewhere, but both fstores to [r3+0]
+  // must survive.
+  bool changed = false;
+  const Program out = pass_dead_store(p, 4096, &changed);
+  std::size_t same_cell = 0;
+  for (const Instr& in : out) {
+    same_cell +=
+        (in.op == Op::kFstore && in.b == 3 && in.imm_i == 0) ? 1 : 0;
+  }
+  EXPECT_EQ(same_cell, 2u);
+}
+
+TEST(DeadMemStore, UnprovenAccessBetweenBlocksRemoval) {
+  // mem[i] is stored, an *unprovable* load may trap, then mem[i] is
+  // overwritten. Removing the first store would change the trap state.
+  const Program p = {
+      make(Op::kMovi, 3, 0, 0, 5),      // 0
+      make(Op::kMovi, 4, 0, 0, 100000), // 1
+      makef(Op::kFmovi, 1, 2.0),        // 2
+      make(Op::kFstore, 1, 3, 0, 0),    // 3: mem[5] = 2.0
+      make(Op::kFload, 2, 4, 0, 0),     // 4: traps (far out of bounds)
+      make(Op::kFstore, 1, 3, 0, 0),    // 5: overwrites mem[5]
+      make(Op::kHalt),                  // 6
+  };
+  bool changed = false;
+  const Program out = pass_dead_store(p, 4096, &changed);
+  std::size_t stores = 0;
+  for (const Instr& in : out) {
+    stores += (in.op == Op::kFstore && in.b == 3) ? 1 : 0;
+  }
+  EXPECT_EQ(stores, 2u);
+}
+
+}  // namespace
+}  // namespace bladed::opt

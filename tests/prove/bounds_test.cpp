@@ -1,0 +1,169 @@
+/// Unit tests for the in-bounds prover (prove/bounds.hpp): loop trip-count
+/// bounds from the guard induction variable, derived-IV ranges, the
+/// interval/trip-count proof split, and the refusals — kBne latches, a
+/// latch whose fallthrough re-enters the header, unbounded strides.
+
+#include "prove/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cms/programs.hpp"
+#include "prove/context.hpp"
+
+namespace bladed::prove {
+namespace {
+
+using cms::Instr;
+using cms::Op;
+using cms::Program;
+
+Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+
+std::size_t unproven_count(const std::vector<AccessProof>& proofs) {
+  std::size_t n = 0;
+  for (const AccessProof& p : proofs) {
+    if (p.kind == ProofKind::kUnproven) ++n;
+  }
+  return n;
+}
+
+TEST(Bounds, DaxpyLoopIsTripBounded) {
+  const Program p = cms::daxpy_program(32);
+  const Context ctx(p, 4096);
+  ASSERT_EQ(ctx.loops().size(), 1u);
+  const std::vector<LoopBound> bounds = compute_loop_bounds(ctx);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_TRUE(bounds[0].bounded);
+  EXPECT_EQ(bounds[0].max_trips, 32);
+  EXPECT_EQ(bounds[0].guard_iv, 1);  // r1 is the counter
+
+  bool found_counter = false;
+  for (const IvRange& iv : bounds[0].ivs) {
+    if (iv.reg == 1) {
+      found_counter = true;
+      EXPECT_EQ(iv.step, 1);
+      EXPECT_EQ(iv.range.lo, 0);
+      EXPECT_EQ(iv.range.hi, 32);
+    }
+  }
+  EXPECT_TRUE(found_counter);
+
+  const std::vector<AccessProof> proofs = prove_accesses(ctx, bounds);
+  EXPECT_EQ(unproven_count(proofs), 0u);
+}
+
+TEST(Bounds, StridedSumNeedsTheTripCountProof) {
+  const Program p = cms::strided_sum_program(64);
+  const Context ctx(p, 4096);
+  const std::vector<AccessProof> proofs =
+      prove_accesses(ctx, compute_loop_bounds(ctx));
+  ASSERT_EQ(proofs.size(), 2u);
+  // The strided load: interval widening loses r3, the trip count saves it.
+  EXPECT_EQ(proofs[0].pc, 4u);
+  EXPECT_EQ(proofs[0].kind, ProofKind::kTripCount);
+  EXPECT_EQ(proofs[0].addr.lo, 0);
+  EXPECT_EQ(proofs[0].addr.hi, 8 * 64);
+  // The result store has a constant address: plain interval proof.
+  EXPECT_EQ(proofs[1].pc, 9u);
+  EXPECT_EQ(proofs[1].kind, ProofKind::kInterval);
+}
+
+TEST(Bounds, StridedOverrunIsRefused) {
+  // 600 trips of j += 8 reach mem[4792] on a 4096-double machine: the trip
+  // count must compute the range and *refuse* the proof.
+  const Program p = cms::strided_sum_program(600);
+  const Context ctx(p, 4096);
+  const std::vector<AccessProof> proofs =
+      prove_accesses(ctx, compute_loop_bounds(ctx));
+  ASSERT_EQ(proofs.size(), 2u);
+  EXPECT_EQ(proofs[0].pc, 4u);
+  EXPECT_EQ(proofs[0].kind, ProofKind::kUnproven);
+}
+
+TEST(Bounds, BneLatchHasNoTripBound) {
+  const Program p = {
+      make(Op::kMovi, 1, 0, 0, 0),    // 0
+      make(Op::kMovi, 2, 0, 0, 16),   // 1
+      make(Op::kFload, 0, 1, 0, 0),   // 2: loop
+      make(Op::kAddi, 1, 1, 0, 1),    // 3
+      make(Op::kBne, 1, 2, 0, 2),     // 4: guard is != — no bound
+      make(Op::kHalt),                // 5
+  };
+  const Context ctx(p, 4096);
+  const std::vector<LoopBound> bounds = compute_loop_bounds(ctx);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_FALSE(bounds[0].bounded);
+  EXPECT_EQ(unproven_count(prove_accesses(ctx, bounds)), 1u);
+}
+
+TEST(Bounds, LatchFallingThroughToHeaderIsRefused) {
+  // The latch's blt targets the header AND falls through to it: the guard
+  // decides nothing, the loop never exits that way, and a trip bound from
+  // the guard IV would be unsound.
+  const Program p = {
+      make(Op::kMovi, 1, 0, 0, 0),   // 0
+      make(Op::kMovi, 2, 0, 0, 4),   // 1
+      make(Op::kJmp, 0, 0, 0, 6),    // 2: enter at the header
+      make(Op::kFload, 0, 1, 0, 0),  // 3: latch block
+      make(Op::kAddi, 1, 1, 0, 1),   // 4
+      make(Op::kBlt, 1, 2, 0, 6),    // 5: taken -> 6, fallthrough -> 6
+      make(Op::kJmp, 0, 0, 0, 3),    // 6: header
+      make(Op::kHalt),               // 7: unreachable
+  };
+  const Context ctx(p, 4096);
+  const std::vector<LoopBound> bounds = compute_loop_bounds(ctx);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_FALSE(bounds[0].bounded);
+  EXPECT_EQ(unproven_count(prove_accesses(ctx, bounds)), 1u);
+}
+
+TEST(Bounds, UnreachableAccessIsVacuouslyProven) {
+  const Program p = {
+      make(Op::kJmp, 0, 0, 0, 2),        // 0
+      make(Op::kFload, 0, 0, 0, -100),   // 1: never executes
+      make(Op::kHalt),                   // 2
+  };
+  const Context ctx(p, 4096);
+  const std::vector<AccessProof> proofs =
+      prove_accesses(ctx, compute_loop_bounds(ctx));
+  ASSERT_EQ(proofs.size(), 1u);
+  EXPECT_NE(proofs[0].kind, ProofKind::kUnproven);
+  EXPECT_NE(proofs[0].detail.find("unreachable"), std::string::npos);
+}
+
+TEST(Bounds, OffByOneLoopIsRefused) {
+  // i runs to 4096 inclusive on a 4096-double machine.
+  const Program p = {
+      make(Op::kMovi, 1, 0, 0, 0),     // 0
+      make(Op::kMovi, 2, 0, 0, 4097),  // 1
+      make(Op::kFload, 1, 1, 0, 0),    // 2
+      make(Op::kAddi, 1, 1, 0, 1),     // 3
+      make(Op::kBlt, 1, 2, 0, 2),      // 4
+      make(Op::kHalt),                 // 5
+  };
+  const Context ctx(p, 4096);
+  const std::vector<AccessProof> proofs =
+      prove_accesses(ctx, compute_loop_bounds(ctx));
+  ASSERT_EQ(proofs.size(), 1u);
+  EXPECT_EQ(proofs[0].kind, ProofKind::kUnproven);
+  // One fewer trip fits exactly.
+  const Program ok = {
+      make(Op::kMovi, 1, 0, 0, 0),     make(Op::kMovi, 2, 0, 0, 4096),
+      make(Op::kFload, 1, 1, 0, 0),    make(Op::kAddi, 1, 1, 0, 1),
+      make(Op::kBlt, 1, 2, 0, 2),      make(Op::kHalt),
+  };
+  const Context octx(ok, 4096);
+  EXPECT_EQ(unproven_count(prove_accesses(octx, compute_loop_bounds(octx))),
+            0u);
+}
+
+}  // namespace
+}  // namespace bladed::prove

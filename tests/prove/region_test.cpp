@@ -1,0 +1,111 @@
+/// Unit tests for the region former (prove/region.hpp): loop-seeded
+/// regions, absorption of single-entry successors, license revocation on
+/// unproven accesses, and the alias-pair tallies each license carries.
+
+#include "prove/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cms/programs.hpp"
+#include "prove/bounds.hpp"
+#include "prove/context.hpp"
+
+namespace bladed::prove {
+namespace {
+
+using cms::Instr;
+using cms::Op;
+using cms::Program;
+
+Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+
+std::vector<RegionLicense> regions_of(const Context& ctx) {
+  const std::vector<LoopBound> bounds = compute_loop_bounds(ctx);
+  return form_regions(ctx, bounds, prove_accesses(ctx, bounds));
+}
+
+TEST(Region, DaxpyFormsEntryAndLoopRegions) {
+  const Program p = cms::daxpy_program(32);
+  const Context ctx(p, 4096);
+  const std::vector<RegionLicense> regions = regions_of(ctx);
+  ASSERT_EQ(regions.size(), 2u);
+  // Ordered by entry pc; the prologue first, then the loop region.
+  EXPECT_EQ(regions[0].entry_pc, 0u);
+  EXPECT_FALSE(regions[0].is_loop);
+  EXPECT_TRUE(regions[0].licensed);
+  EXPECT_EQ(regions[0].access_count, 0u);
+
+  EXPECT_EQ(regions[1].entry_pc, 3u);
+  EXPECT_TRUE(regions[1].is_loop);
+  EXPECT_TRUE(regions[1].licensed);
+  EXPECT_EQ(regions[1].max_trips, 32);
+  EXPECT_EQ(regions[1].access_count, 3u);
+  EXPECT_TRUE(regions[1].unproven_pcs.empty());
+  // x-load vs y-load and x-load vs y-store are disjoint; the y load/store
+  // pair is a same-cell must-alias.
+  EXPECT_EQ(regions[1].no_alias_pairs, 2u);
+  EXPECT_EQ(regions[1].must_alias_pairs, 1u);
+  EXPECT_EQ(regions[1].may_alias_pairs, 0u);
+}
+
+TEST(Region, UnprovenAccessRevokesTheLicense) {
+  const Program p = {
+      make(Op::kMovi, 1, 0, 0, 0),     // 0
+      make(Op::kMovi, 2, 0, 0, 4097),  // 1: off by one
+      make(Op::kFload, 1, 1, 0, 0),    // 2
+      make(Op::kAddi, 1, 1, 0, 1),     // 3
+      make(Op::kBlt, 1, 2, 0, 2),      // 4
+      make(Op::kHalt),                 // 5
+  };
+  const Context ctx(p, 4096);
+  const std::vector<RegionLicense> regions = regions_of(ctx);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_TRUE(regions[0].licensed);
+  EXPECT_FALSE(regions[1].licensed);
+  ASSERT_EQ(regions[1].unproven_pcs.size(), 1u);
+  EXPECT_EQ(regions[1].unproven_pcs[0], 2u);
+}
+
+TEST(Region, ManyBlocksRoundRobinIsOneLicensedLoop) {
+  const Program p = cms::many_blocks_program(8, 5);
+  const Context ctx(p, 4096);
+  const std::vector<RegionLicense> regions = regions_of(ctx);
+  std::size_t accesses = 0;
+  std::size_t loops = 0;
+  for (const RegionLicense& r : regions) {
+    EXPECT_TRUE(r.licensed);
+    accesses += r.access_count;
+    loops += r.is_loop ? 1 : 0;
+  }
+  EXPECT_EQ(accesses, 16u);  // 8 blocks x (load + store)
+  EXPECT_EQ(loops, 1u);      // the round-robin is one natural loop
+}
+
+TEST(Region, RegionsArePcSortedAndDisjoint) {
+  const Program p = cms::branchy_program(16);
+  const Context ctx(p, 4096);
+  const std::vector<RegionLicense> regions = regions_of(ctx);
+  std::vector<bool> member(ctx.cfg().blocks().size(), false);
+  std::size_t prev_entry = 0;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GT(regions[i].entry_pc, prev_entry);
+    }
+    prev_entry = regions[i].entry_pc;
+    for (std::size_t b : regions[i].blocks) {
+      EXPECT_FALSE(member[b]) << "block " << b << " in two regions";
+      member[b] = true;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bladed::prove

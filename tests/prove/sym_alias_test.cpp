@@ -1,0 +1,200 @@
+/// Unit tests for the symbolic addressing layer (prove/sym.hpp) and the
+/// alias oracle (prove/alias.hpp): base+offset resolution through copy /
+/// addi / sub / muli chains, the stable-origin rule and its universal
+/// verdicts, the per-block-instance same-block rule, and the refusals —
+/// multi-def joins, base clobbers, cyclic origins.
+
+#include "prove/sym.hpp"
+
+#include <gtest/gtest.h>
+
+#include "prove/alias.hpp"
+#include "prove/context.hpp"
+
+namespace bladed::prove {
+namespace {
+
+using cms::Instr;
+using cms::Op;
+using cms::Program;
+
+Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.imm_i = imm;
+  return in;
+}
+
+// ------------------------------------------------------------ resolution
+
+TEST(Sym, ConstantBaseFoldsThroughSccp) {
+  const Program p = {make(Op::kMovi, 1, 0, 0, 5),
+                     make(Op::kFload, 0, 1, 0, 2),
+                     make(Op::kFstore, 0, 1, 0, 3), make(Op::kHalt)};
+  const Context ctx(p, 4096);
+  EXPECT_EQ(resolve_address(ctx, 1), SymAddr::constant(7));
+  EXPECT_EQ(resolve_address(ctx, 2), SymAddr::constant(8));
+}
+
+/// A loop makes r1 genuinely varying; the in-loop increment is the single
+/// def reaching the exit (the init is killed on every path out), so it
+/// becomes the symbolic origin every displacement chain hangs off.
+Program chain_program() {
+  return {
+      make(Op::kMovi, 1, 0, 0, 0),        // 0
+      make(Op::kMovi, 2, 0, 0, 4),        // 1
+      make(Op::kAddi, 1, 1, 0, 1),        // 2: loop body
+      make(Op::kBlt, 1, 2, 0, 2),         // 3
+      make(Op::kAddi, 6, 1, 0, 0),        // 4: origin def (r1 is 2-def)
+      make(Op::kAddi, 7, 6, 0, 5),        // 5: r7 = r6 + 5
+      make(Op::kMovi, 8, 0, 0, 3),        // 6
+      make(Op::kSub, 9, 7, 8),            // 7: r9 = r7 - 3 = r6 + 2
+      make(Op::kMuli, 10, 6, 0, 1),       // 8: r10 = r6
+      make(Op::kFload, 0, 6, 0, 2),       // 9: [r6+2]
+      make(Op::kFload, 1, 9, 0, 0),       // 10: [r9+0] == [r6+2]
+      make(Op::kFstore, 0, 7, 0, 0),      // 11: [r7+0] == [r6+5]
+      make(Op::kFload, 2, 10, 0, 2),      // 12: [r10+2] == [r6+2]
+      make(Op::kHalt),                    // 13
+  };
+}
+
+TEST(Sym, DisplacementChainsShareOneOrigin) {
+  const Program p = chain_program();
+  const Context ctx(p, 4096);
+  // Only the in-loop increment (pc 2) reaches the loop exit; the copy,
+  // addi, sub and muli chains all resolve back to that one origin.
+  EXPECT_EQ(resolve_reg(ctx, 4, 1), SymAddr::at_def(2, 0));
+  EXPECT_EQ(resolve_address(ctx, 9), SymAddr::at_def(2, 2));
+  EXPECT_EQ(resolve_address(ctx, 10), SymAddr::at_def(2, 2));
+  EXPECT_EQ(resolve_address(ctx, 11), SymAddr::at_def(2, 5));
+  EXPECT_EQ(resolve_address(ctx, 12), SymAddr::at_def(2, 2));
+}
+
+// ------------------------------------------------------- alias verdicts
+
+/// A diamond merging two different constants gives an origin whose value
+/// is unknown but whose defining block is acyclic — the stable-origin
+/// rule's home turf (intervals overlap, so nothing else could decide).
+TEST(Alias, StableOriginGivesUniversalVerdicts) {
+  const Program p = {
+      make(Op::kMovi, 1, 0, 0, 0),     // 0
+      make(Op::kMovi, 2, 0, 0, 4),     // 1
+      make(Op::kAddi, 1, 1, 0, 1),     // 2: loop (makes r1 SCCP-varying)
+      make(Op::kBlt, 1, 2, 0, 2),      // 3
+      make(Op::kBne, 1, 2, 0, 7),      // 4: genuinely two-way
+      make(Op::kMovi, 6, 0, 0, 10),    // 5
+      make(Op::kJmp, 0, 0, 0, 8),      // 6
+      make(Op::kMovi, 6, 0, 0, 20),    // 7
+      make(Op::kAddi, 7, 6, 0, 0),     // 8: origin (r6 has two defs)
+      make(Op::kFload, 0, 7, 0, 2),    // 9: [r7+2], interval [12,22]
+      make(Op::kFload, 1, 7, 0, 2),    // 10: same cell
+      make(Op::kFstore, 0, 7, 0, 5),   // 11: [r7+5], interval [15,25]
+      make(Op::kHalt),                 // 12
+  };
+  const Context ctx(p, 4096);
+  EXPECT_EQ(resolve_address(ctx, 9), SymAddr::at_def(8, 2));
+
+  const AliasResult must = alias_pair(ctx, 9, 10);
+  EXPECT_EQ(must.verdict, AliasVerdict::kMustAlias);
+  EXPECT_TRUE(must.universal);
+  EXPECT_STREQ(must.reason, "stable-origin");
+
+  const AliasResult no = alias_pair(ctx, 9, 11);
+  EXPECT_EQ(no.verdict, AliasVerdict::kNoAlias);
+  EXPECT_TRUE(no.universal);
+  EXPECT_STREQ(no.reason, "stable-origin");
+}
+
+/// In chain_program the shared origin sits inside the loop, so the
+/// verdicts may not claim universality via stable-origin — here the
+/// post-loop intervals collapse to constants and decide instead.
+TEST(Alias, CyclicOriginFallsBackToIntervals) {
+  const Program p = chain_program();
+  const Context ctx(p, 4096);
+
+  const AliasResult must = alias_pair(ctx, 9, 10);
+  EXPECT_EQ(must.verdict, AliasVerdict::kMustAlias);
+  EXPECT_TRUE(must.universal);
+  EXPECT_STREQ(must.reason, "interval-const");
+
+  const AliasResult no = alias_pair(ctx, 9, 11);
+  EXPECT_EQ(no.verdict, AliasVerdict::kNoAlias);
+  EXPECT_TRUE(no.universal);
+
+  const AliasResult through_muli = alias_pair(ctx, 10, 12);
+  EXPECT_EQ(through_muli.verdict, AliasVerdict::kMustAlias);
+  EXPECT_TRUE(through_muli.universal);
+}
+
+TEST(Alias, ConstantAddressesCompareUniversally) {
+  const Program p = {make(Op::kMovi, 1, 0, 0, 5),
+                     make(Op::kFload, 0, 1, 0, 2),
+                     make(Op::kFstore, 0, 1, 0, 3),
+                     make(Op::kFload, 1, 1, 0, 2), make(Op::kHalt)};
+  const Context ctx(p, 4096);
+  const AliasResult no = alias_pair(ctx, 1, 2);
+  EXPECT_EQ(no.verdict, AliasVerdict::kNoAlias);
+  EXPECT_TRUE(no.universal);
+  const AliasResult must = alias_pair(ctx, 1, 3);
+  EXPECT_EQ(must.verdict, AliasVerdict::kMustAlias);
+  EXPECT_TRUE(must.universal);
+}
+
+/// Inside a loop the base's def sits on a cycle, so the verdict must come
+/// from the same-block rule — and be flagged per-instance, not universal.
+TEST(Alias, SameBlockRuleIsPerInstance) {
+  const Program p = {
+      make(Op::kMovi, 1, 0, 0, 0),      // 0
+      make(Op::kMovi, 2, 0, 0, 8),      // 1
+      make(Op::kAddi, 3, 1, 0, 0),      // 2: loop: r3 = i (def on cycle)
+      make(Op::kFload, 0, 3, 0, 0),     // 3: [r3+0], interval [0,7]
+      make(Op::kFstore, 0, 3, 0, 4),    // 4: [r3+4], interval [4,11]:
+      make(Op::kFload, 1, 3, 0, 4),     // 5: overlapping, so only the
+                                        //    same-block rule can decide
+      make(Op::kAddi, 1, 1, 0, 1),      // 6
+      make(Op::kBlt, 1, 2, 0, 2),       // 7
+      make(Op::kHalt),                  // 8
+  };
+  const Context ctx(p, 4096);
+
+  const AliasResult no = alias_pair(ctx, 3, 4);
+  EXPECT_EQ(no.verdict, AliasVerdict::kNoAlias);
+  EXPECT_FALSE(no.universal);
+
+  const AliasResult must = alias_pair(ctx, 4, 5);
+  EXPECT_EQ(must.verdict, AliasVerdict::kMustAlias);
+  EXPECT_FALSE(must.universal);
+}
+
+TEST(Alias, BaseClobberBetweenDowngradesToMay) {
+  const Program p = {
+      make(Op::kMovi, 1, 0, 0, 0),    // 0
+      make(Op::kMovi, 2, 0, 0, 8),    // 1
+      make(Op::kFload, 0, 3, 0, 0),   // 2: loop: [r3+0]
+      make(Op::kAdd, 3, 1, 1),        // 3: r3 = 2i (clobbers the base)
+      make(Op::kFload, 1, 3, 0, 0),   // 4: [r3+0] — not the same cell
+      make(Op::kAddi, 1, 1, 0, 1),    // 5
+      make(Op::kBlt, 1, 2, 0, 2),     // 6
+      make(Op::kHalt),                // 7
+  };
+  const Context ctx(p, 4096);
+  const AliasResult r = alias_pair(ctx, 2, 4);
+  EXPECT_EQ(r.verdict, AliasVerdict::kMayAlias);
+}
+
+TEST(Alias, AllFactsEnumeratesEveryPair) {
+  const Program p = chain_program();
+  const Context ctx(p, 4096);
+  const std::vector<AliasFact> facts = all_alias_facts(ctx);
+  // 4 memory ops -> C(4,2) pairs.
+  EXPECT_EQ(facts.size(), 6u);
+  for (const AliasFact& f : facts) {
+    EXPECT_LT(f.pc_a, f.pc_b);
+  }
+}
+
+}  // namespace
+}  // namespace bladed::prove

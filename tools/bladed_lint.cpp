@@ -17,11 +17,21 @@
 /// states must be bit-identical. A rejected pass (a transform whose proof
 /// obligation failed) fails the run.
 ///
+/// `--prove` runs the whole-program alias & safety analysis (prove/prove.hpp)
+/// over the analyzer corpus (cms::prove_corpus): every memory access must
+/// carry an in-bounds proof, every region a license, and the engine's
+/// region-prover gate must accept every hot block. `--prove --selftest`
+/// feeds the analyzer a seeded corpus of known-unsafe programs and verifies
+/// each one is *refuted* (the specific bad access left unproven) — the
+/// prover proving it can say no. `--prove --json` additionally prints the
+/// bladed-prove-v1 report per program.
+///
 /// `--mem-doubles N` overrides each corpus entry's machine memory size.
 ///
 /// Exit codes (stable; CI gates on them): 0 clean, 1 at least one
-/// error-severity finding (or a failed optimizer proof), 3 warning-severity
-/// findings only, 64 usage error. All three modes are wired into ctest.
+/// error-severity finding (or a failed optimizer/analyzer proof), 2 usage
+/// error, 3 warning-severity findings only, 4 unproven memory accesses in
+/// `--prove` mode. All modes are wired into ctest.
 
 #include <cstring>
 #include <iostream>
@@ -32,6 +42,8 @@
 #include "cms/programs.hpp"
 #include "common/rng.hpp"
 #include "opt/opt.hpp"
+#include "cli.hpp"
+#include "prove/prove.hpp"
 
 namespace {
 
@@ -42,7 +54,7 @@ using cms::Op;
 constexpr int kExitClean = 0;
 constexpr int kExitErrors = 1;
 constexpr int kExitWarnings = 3;
-constexpr int kExitUsage = 64;
+constexpr int kExitUnproven = 4;
 
 Instr make(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
   Instr in;
@@ -154,6 +166,201 @@ int run_opt(bool verbose, std::size_t mem_override) {
   std::cout << (failed ? "bladed-lint --opt: FAILED\n"
                        : "bladed-lint --opt: all proofs held\n");
   return failed ? kExitErrors : kExitClean;
+}
+
+/// `--prove`: analyze the corpus; every access must be proven in bounds,
+/// every region licensed, and the engine's region-prover gate must accept
+/// every block it translates.
+int run_prove(bool verbose, std::size_t mem_override, bool json) {
+  bool errors = false;
+  std::size_t unproven = 0;
+  for (const cms::NamedProgram& entry : cms::prove_corpus()) {
+    const std::size_t mem =
+        mem_override != 0 ? mem_override : entry.mem_doubles;
+    const prove::ProveResult res = prove::prove_program(entry.program, mem);
+    if (!res.valid) {
+      std::cout << entry.name << ": INVALID — " << res.error << "\n";
+      errors = true;
+      continue;
+    }
+    std::size_t licensed = res.licensed_region_count;
+    std::cout << entry.name << ": " << res.proven_count << "/"
+              << res.access_count << " accesses proven, " << licensed << "/"
+              << res.regions.size() << " regions licensed, hot coverage "
+              << 100.0 * res.hot_coverage << "%\n";
+    std::size_t entry_unproven = 0;
+    for (const prove::AccessProof& a : res.accesses) {
+      if (a.kind == prove::ProofKind::kUnproven) {
+        ++entry_unproven;
+        std::cout << "  UNPROVEN " << (a.is_store ? "store" : "load")
+                  << " @" << a.pc << ": " << a.detail << "\n";
+      } else if (verbose) {
+        std::cout << "  proven " << (a.is_store ? "store" : "load") << " @"
+                  << a.pc << " [" << to_string(a.kind) << "]: " << a.detail
+                  << "\n";
+      }
+    }
+    if (verbose) {
+      for (const prove::RegionLicense& r : res.regions) {
+        std::cout << "  region @" << r.entry_pc << ": " << r.instr_count
+                  << " instrs, " << r.access_count << " accesses, "
+                  << (r.licensed ? "licensed" : "UNLICENSED")
+                  << (r.is_loop ? ", loop" : "")
+                  << (r.max_trips > 0
+                          ? " (<= " + std::to_string(r.max_trips) + " trips)"
+                          : "")
+                  << ", alias pairs no/must/may " << r.no_alias_pairs << "/"
+                  << r.must_alias_pairs << "/" << r.may_alias_pairs << "\n";
+      }
+    }
+    if (json) std::cout << prove::to_json(res, entry.name) << "\n";
+    unproven += entry_unproven;
+
+    // The engine gate: a debug-mode run with the prover installed must
+    // license every translated block end to end. Only meaningful for fully
+    // proven entries — with unproven accesses the gate refusing (or the
+    // interpreter trapping) is the expected outcome, and flagging it as an
+    // error here would mask the distinct unproven exit code.
+    if (entry_unproven != 0) continue;
+    try {
+      cms::MorphingConfig cfg;
+      cfg.verify_translations = true;
+      cfg.prover = prove::engine_prover();
+      cms::MorphingEngine engine(cfg);
+      cms::MachineState st(mem);
+      Rng rng(0xb1ade);
+      for (double& cell : st.mem) cell = rng.uniform(-2.0, 2.0);
+      (void)engine.run(entry.program, st);
+    } catch (const std::exception& e) {
+      std::cout << "  ENGINE GATE REFUSED: " << e.what() << "\n";
+      errors = true;
+    }
+  }
+  if (errors) {
+    std::cout << "bladed-lint --prove: FAILED\n";
+    return kExitErrors;
+  }
+  if (unproven != 0) {
+    std::cout << "bladed-lint --prove: " << unproven
+              << " unproven access(es)\n";
+    return kExitUnproven;
+  }
+  std::cout << "bladed-lint --prove: corpus fully proven\n";
+  return kExitClean;
+}
+
+/// One prove-selftest case: a known-unsafe program the analyzer must
+/// *refute* by leaving the access at `unsafe_pc` unproven.
+struct UnsafeCase {
+  std::string name;
+  cms::Program program;
+  std::size_t unsafe_pc;
+};
+
+/// `--prove --selftest`: the safe corpus must be fully licensed AND every
+/// seeded unsafe program must be refuted at the expected instruction.
+int run_prove_selftest() {
+  int failures = 0;
+
+  // Side A: everything in the shipped corpus is proven and licensed.
+  for (const cms::NamedProgram& entry : cms::prove_corpus()) {
+    const prove::ProveResult res =
+        prove::prove_program(entry.program, entry.mem_doubles);
+    const bool ok = res.valid && res.proven_count == res.access_count &&
+                    res.licensed_region_count == res.regions.size();
+    if (ok) {
+      std::cout << "PASS safe " << entry.name << " (" << res.proven_count
+                << "/" << res.access_count << " proven)\n";
+    } else {
+      ++failures;
+      std::cout << "FAIL safe " << entry.name << ": " << res.proven_count
+                << "/" << res.access_count << " proven, "
+                << res.licensed_region_count << "/" << res.regions.size()
+                << " regions licensed"
+                << (res.valid ? "" : (", invalid: " + res.error)) << "\n";
+    }
+  }
+
+  // Side B: seeded unsafe programs, each refuted at the bad access.
+  std::vector<UnsafeCase> cases;
+  {  // Store through a constant base provably past the end of memory.
+    cases.push_back({"const-oob-store",
+                     {make(Op::kMovi, 1, 0, 0, 100000),
+                      make(Op::kFmovi, 0, 0, 0, 0),
+                      make(Op::kFstore, 0, 1, 0, 0), make(Op::kHalt)},
+                     2});
+  }
+  {  // Negative immediate offset off the zero base register.
+    cases.push_back({"negative-offset-load",
+                     {make(Op::kFload, 0, 0, 0, -3), make(Op::kHalt)},
+                     0});
+  }
+  {  // Off-by-one loop: i runs to 4096 inclusive on a 4096-double machine.
+    cases.push_back({"off-by-one-loop",
+                     {make(Op::kMovi, 1, 0, 0, 0),
+                      make(Op::kMovi, 2, 0, 0, 4097),
+                      make(Op::kFload, 1, 1, 0, 0),
+                      make(Op::kAddi, 1, 1, 0, 1),
+                      make(Op::kBlt, 1, 2, 0, 2), make(Op::kHalt)},
+                     2});
+  }
+  {  // Strided IV overruns: j += 8 for 600 trips reaches mem[4792].
+    cases.push_back(
+        {"strided-overrun", cms::strided_sum_program(600), 4});
+  }
+  {  // Branch-dependent base straddling the limit: hull is [0, 4096].
+    cases.push_back({"branch-dependent-base",
+                     {make(Op::kMovi, 1, 0, 0, 0),
+                      make(Op::kMovi, 2, 0, 0, 4),
+                      make(Op::kMovi, 3, 0, 0, 0),
+                      make(Op::kMovi, 4, 0, 0, 2),
+                      make(Op::kBlt, 3, 4, 0, 6),
+                      make(Op::kAddi, 1, 0, 0, 4096),
+                      make(Op::kFload, 1, 1, 0, 0),
+                      make(Op::kAddi, 3, 3, 0, 1),
+                      make(Op::kBlt, 3, 2, 0, 4), make(Op::kHalt)},
+                     6});
+  }
+  {  // Guarded by kBne, not kBlt: no trip-count bound, widened to +inf.
+    cases.push_back({"bne-guarded-loop",
+                     {make(Op::kMovi, 1, 0, 0, 0),
+                      make(Op::kMovi, 2, 0, 0, 16),
+                      make(Op::kFload, 1, 1, 0, 0),
+                      make(Op::kAddi, 1, 1, 0, 1),
+                      make(Op::kBne, 1, 2, 0, 2), make(Op::kHalt)},
+                     2});
+  }
+
+  for (const UnsafeCase& c : cases) {
+    const prove::ProveResult res = prove::prove_program(c.program, 4096);
+    bool refuted = false;
+    std::string got;
+    for (const prove::AccessProof& a : res.accesses) {
+      if (a.pc == c.unsafe_pc) {
+        refuted = res.valid && a.kind == prove::ProofKind::kUnproven;
+        got = to_string(a.kind) + std::string(": ") + a.detail;
+      }
+    }
+    // The engine gate must refuse the block holding the unsafe access.
+    std::string why;
+    const bool gate_refused = !prove::license_translation(
+        c.program, 0, c.program.size(), 4096, &why);
+    if (refuted && gate_refused) {
+      std::cout << "PASS unsafe " << c.name << " (@" << c.unsafe_pc
+                << " unproven; gate: " << why << ")\n";
+    } else {
+      ++failures;
+      std::cout << "FAIL unsafe " << c.name << ": expected @" << c.unsafe_pc
+                << " unproven + gate refusal, got "
+                << (got.empty() ? "no access at that pc" : got)
+                << (gate_refused ? "" : " (gate accepted)") << "\n";
+    }
+  }
+
+  std::cout << "bladed-lint --prove --selftest: "
+            << (failures == 0 ? "all programs classified correctly\n"
+                              : std::to_string(failures) + " failure(s)\n");
+  return failures == 0 ? kExitClean : kExitErrors;
 }
 
 /// One selftest case: the checker must emit `code` anchored at `instr`.
@@ -317,40 +524,48 @@ int run_selftest() {
   return failures == 0 ? kExitClean : kExitErrors;
 }
 
-int usage() {
-  std::cerr << "usage: bladed-lint [--selftest | --opt] [--verbose]"
-               " [--mem-doubles N]\n"
-               "exit codes: 0 clean, 1 error findings / failed optimizer"
-               " proof, 3 warning findings only, 64 usage\n";
-  return kExitUsage;
-}
+constexpr const char* kUsage =
+    "usage: bladed-lint [mode] [options]\n"
+    "modes:\n"
+    "  (default)          lint the built-in corpus: program checks,\n"
+    "                     translation verification, differential check\n"
+    "  --selftest         crafted bad programs/translations must be"
+    " rejected\n"
+    "  --opt              verified optimizer pipeline over opt_corpus\n"
+    "  --prove            whole-program safety analysis over prove_corpus\n"
+    "  --prove --selftest seeded unsafe programs must be refuted\n"
+    "options:\n"
+    "  --verbose          per-entry detail\n"
+    "  --json             with --prove: print bladed-prove-v1 reports\n"
+    "  --mem-doubles N    override each corpus entry's machine memory\n"
+    "exit codes: 0 clean, 1 error findings / failed proof, 2 usage,\n"
+    "3 warning findings only, 4 unproven accesses (--prove)\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool selftest = false;
   bool opt_mode = false;
+  bool prove_mode = false;
   bool verbose = false;
+  bool json = false;
   std::size_t mem_override = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--selftest") == 0) {
-      selftest = true;
-    } else if (std::strcmp(argv[i], "--opt") == 0) {
-      opt_mode = true;
-    } else if (std::strcmp(argv[i], "--verbose") == 0) {
-      verbose = true;
-    } else if (std::strcmp(argv[i], "--mem-doubles") == 0 && i + 1 < argc) {
-      try {
-        mem_override = std::stoull(argv[++i]);
-      } catch (const std::exception&) {
-        return usage();
-      }
-      if (mem_override == 0) return usage();
-    } else {
-      return usage();
-    }
+  bladed::cli::Parser parser("bladed-lint", kUsage);
+  parser.flag("--selftest", &selftest)
+      .flag("--opt", &opt_mode)
+      .flag("--prove", &prove_mode)
+      .flag("--verbose", &verbose)
+      .flag("--json", &json)
+      .size_value("--mem-doubles", &mem_override);
+  if (const int rc = parser.parse(argc, argv); rc >= 0) return rc;
+  if (opt_mode && (selftest || prove_mode)) {
+    std::cerr << "bladed-lint: --opt combines with neither --selftest nor"
+                 " --prove\n"
+              << kUsage;
+    return 2;
   }
-  if (selftest && opt_mode) return usage();
+  if (prove_mode && selftest) return run_prove_selftest();
+  if (prove_mode) return run_prove(verbose, mem_override, json);
   if (selftest) return run_selftest();
   if (opt_mode) return run_opt(verbose, mem_override);
   return run_corpus(verbose, mem_override);
