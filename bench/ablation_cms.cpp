@@ -6,15 +6,20 @@
 ///  (e) interpreter dispatch fast path — indexed block dispatch vs the
 ///      historical per-dispatch block_end rescan + hash-map counting;
 ///  (f) the verified optimizer (opt/) — engine cycles at opt_level 0 vs 2,
-///      asserted bit-identical final machine state.
+///      asserted bit-identical final machine state;
+///  (g) the tier-3 JIT (jit/) — host wall time of the license-gated native
+///      tier vs the tier-2 dispatch fast path, asserted bit-identical final
+///      state and engine cycles (rows `jit.*`, gated in CI).
 
 #include <cstring>
 #include <unordered_map>
 
 #include "bench/bench_util.hpp"
+#include "bench/jit_tier.hpp"
 #include "cms/engine.hpp"
 #include "cms/programs.hpp"
 #include "hostperf/benchjson.hpp"
+#include "jit/jit.hpp"
 #include "opt/opt.hpp"
 
 namespace {
@@ -257,6 +262,27 @@ int main() {
     std::printf(
         "(f) analysis-driven optimization (opt_level 2 vs as-written), "
         "final state bit-identical by construction and by assertion\n");
+    bench::print_table(t);
+  }
+
+  if (bladed::jit::env_enabled(true)) {  // (g) tier-3 JIT (BLADED_JIT=0 skips)
+    hostperf::BenchReport report =
+        hostperf::BenchReport::from_env("ablation_cms", 1);
+    TablePrinter t({"Program", "Tier-2 s", "Tier-3 s", "Speedup",
+                    "Cycles equal"});
+    const int reps = 400;
+    for (const auto& [name, prog] :
+         {std::pair{std::string("naive_daxpy_n256"),
+                    naive_daxpy_program(256)},
+          std::pair{std::string("naive_mg_stencil_n256"),
+                    naive_stencil_program(256)}}) {
+      if (!bench::jit_tier_compare(name, prog, 258, reps, t, report)) {
+        return 1;
+      }
+    }
+    std::printf(
+        "(g) tier-3 JIT: hot licensed regions directly threaded with bounds "
+        "checks elided, vs the tier-2 per-instruction fast path\n");
     bench::print_table(t);
   }
 

@@ -1,0 +1,103 @@
+#pragma once
+
+/// Shared tier-2 vs tier-3 comparison harness for the bench drivers.
+///
+/// Every CMS-driven workload inherits the per-node hot-loop speed of the
+/// morphing engine's top tier, so the drivers that model whole-cluster runs
+/// (`npb_parallel`, `table4_treecode`) expose `--jit` to append this
+/// apples-to-apples section: the same program through a tier-2 engine and a
+/// tier-3 (JIT-attached) engine, warmed to steady state, with the tier-3
+/// contract asserted — bit-identical final machine state and engine cycle
+/// counts, only host wall time changes. Rows are emitted as
+/// "jit.<name>.t2" / "jit.<name>.t3" so scripts/bench_gate.py's pairwise
+/// rule gates the speedup and the cycle equality.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cms/engine.hpp"
+#include "common/table.hpp"
+#include "hostperf/benchjson.hpp"
+#include "jit/jit.hpp"
+
+namespace bladed::bench {
+
+/// One machine state per rep: x[0..n) ascending, the shape the daxpy and
+/// stencil program generators in cms/programs.hpp expect.
+inline cms::MachineState jit_tier_state(std::int64_t n) {
+  cms::MachineState st(static_cast<std::size_t>(2 * n + 8));
+  for (std::int64_t i = 0; i < n; ++i) {
+    st.mem[static_cast<std::size_t>(i)] = static_cast<double>(i);
+  }
+  return st;
+}
+
+/// Run `prog` through warmed tier-2 and tier-3 engines for `reps`
+/// repetitions each, assert the tier-3 contract, append a table row and the
+/// paired bench-report rows. Returns false (after printing MISMATCH) if the
+/// tiers diverge — callers should exit nonzero.
+inline bool jit_tier_compare(const std::string& name,
+                             const cms::Program& prog, std::int64_t n,
+                             int reps, TablePrinter& t,
+                             hostperf::BenchReport& report) {
+  using cms::MachineState;
+  using cms::MorphingConfig;
+  using cms::MorphingEngine;
+  using cms::MorphingStats;
+
+  MorphingEngine tier2{cms::cms_43x()};
+  MorphingConfig cfg3 = cms::cms_43x();
+  jit::attach_jit(cfg3);
+  cfg3.optimizer = nullptr;  // isolate the execution-tier effect:
+  cfg3.prover = nullptr;     // same program, same tier-2 gates
+  MorphingEngine tier3{cfg3};
+  // Warm both engines fully (translation cache hot, region compiled and
+  // past its first-entry differential gate) — the tier comparison is about
+  // steady-state execution, as on a long-lived node.
+  for (int i = 0; i < 2; ++i) {
+    MachineState w2 = jit_tier_state(n), w3 = jit_tier_state(n);
+    (void)tier2.run(prog, w2);
+    (void)tier3.run(prog, w3);
+  }
+  MorphingStats s2, s3;
+  MachineState f2 = jit_tier_state(n), f3 = jit_tier_state(n);
+  hostperf::WallTimer w2;
+  for (int i = 0; i < reps; ++i) {
+    MachineState st = jit_tier_state(n);
+    s2 = tier2.run(prog, st);
+    f2 = st;
+  }
+  const double t2_s = w2.seconds();
+  hostperf::WallTimer w3;
+  for (int i = 0; i < reps; ++i) {
+    MachineState st = jit_tier_state(n);
+    s3 = tier3.run(prog, st);
+    f3 = st;
+  }
+  const double t3_s = w3.seconds();
+
+  // The tier-3 contract: architectural state AND engine accounting are
+  // bit-identical to tier-2 — only host wall time changes.
+  if (std::memcmp(f2.r, f3.r, sizeof f2.r) != 0 ||
+      std::memcmp(f2.f, f3.f, sizeof f2.f) != 0 ||
+      std::memcmp(f2.mem.data(), f3.mem.data(),
+                  f2.mem.size() * sizeof(double)) != 0 ||
+      s2.total_cycles != s3.total_cycles ||
+      s2.native_block_executions != s3.native_block_executions) {
+    std::printf("MISMATCH: tier-3 diverges from tier-2 on %s\n", name.c_str());
+    return false;
+  }
+  t.add_row({name, TablePrinter::num(t2_s, 3), TablePrinter::num(t3_s, 3),
+             TablePrinter::num(t2_s / t3_s, 2),
+             s2.total_cycles == s3.total_cycles ? "yes" : "NO"});
+  report.add({"jit." + name + ".t2", t2_s, 0.0,
+              static_cast<double>(s2.native_block_executions),
+              static_cast<double>(s2.total_cycles)});
+  report.add({"jit." + name + ".t3", t3_s, 0.0,
+              static_cast<double>(s3.native_block_executions),
+              static_cast<double>(s3.total_cycles)});
+  return true;
+}
+
+}  // namespace bladed::bench

@@ -23,6 +23,17 @@ e.g. "opt.naive_daxpy_n256.l2" vs "...l0") are checked pairwise in the
 candidate: cycles at an optimization level > 0 must never exceed the
 level-0 cycles of the same stem. The optimizer's per-pass proofs guarantee
 equivalence; this gate guarantees it also never pessimizes.
+
+Results named "<stem>.t3" / "<stem>.t2" (the JIT-tier ablation rows, e.g.
+"jit.naive_daxpy_n256.t3" vs "...t2") are also checked pairwise in the
+candidate: the tier-3 row's engine cycles must equal the tier-2 row's
+exactly (the bit-identical-accounting invariant), and its wall time must
+beat tier-2 by at least --jit-speedup (default 2.0). Both rows come from
+the same process on the same host, so the wall-time ratio is a fair gate
+even though absolute wall times never gate against the baseline.
+
+Malformed collections report every bad row before exiting, so a botched
+regeneration surfaces all at once instead of one row per run.
 """
 
 import argparse
@@ -33,8 +44,13 @@ DETERMINISTIC = ("virtual_seconds", "ops", "cycles")
 
 
 def load(path):
-    """Return {(bench, result_name): result_dict} from a JSONL collection."""
+    """Return {(bench, result_name): result_dict} from a JSONL collection.
+
+    Collects every malformed line / missing key in the file and exits once
+    with the full list, rather than bailing at the first bad row.
+    """
     entries = {}
+    problems = []
     try:
         f = open(path, encoding="utf-8")
     except OSError as e:
@@ -48,17 +64,28 @@ def load(path):
             try:
                 doc = json.loads(line)
             except json.JSONDecodeError as e:
-                sys.exit(f"{path}:{lineno}: not valid JSON: {e}")
+                problems.append(f"{path}:{lineno}: not valid JSON: {e}")
+                continue
             if doc.get("schema") != "bladed-bench-v1":
-                sys.exit(f"{path}:{lineno}: unexpected schema "
-                         f"{doc.get('schema')!r}")
+                problems.append(f"{path}:{lineno}: unexpected schema "
+                                f"{doc.get('schema')!r}")
+                continue
             if "bench" not in doc:
-                sys.exit(f"{path}:{lineno}: document has no 'bench' key")
+                problems.append(f"{path}:{lineno}: document has no "
+                                f"'bench' key")
+                continue
             for r in doc.get("results", []):
                 if "name" not in r:
-                    sys.exit(f"{path}:{lineno}: result row in bench "
-                             f"{doc['bench']!r} has no 'name' key")
+                    problems.append(f"{path}:{lineno}: result row in bench "
+                                    f"{doc['bench']!r} has no 'name' key")
+                    continue
                 entries[(doc["bench"], r["name"])] = r
+    if problems:
+        print(f"bench_gate: {len(problems)} problem(s) in {path}:",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        sys.exit(1)
     if not entries:
         sys.exit(f"bench_gate: {path} holds no bladed-bench-v1 rows (empty "
                  f"or baseline-less collection). Regenerate it with "
@@ -100,6 +127,44 @@ def opt_level_regressions(entries):
     return failures
 
 
+def jit_tier_regressions(entries, jit_speedup):
+    """Tier-3 rows must beat their tier-2 twin and keep cycles bit-identical.
+
+    Returns failure strings for every (bench, "<stem>.t3") entry with a
+    matching "<stem>.t2" entry where the engine cycle counts differ (the
+    JIT's bit-identical-accounting contract) or where the tier-2 / tier-3
+    wall-time ratio falls below jit_speedup. Both rows are produced by the
+    same process in the same run, so the ratio is host-noise-robust in a
+    way absolute wall times are not.
+    """
+    failures = []
+    for (bench, name), r in sorted(entries.items()):
+        stem, sep, tier = name.rpartition(".t")
+        if not sep or tier != "3":
+            continue
+        base = entries.get((bench, f"{stem}.t2"))
+        if base is None:
+            continue
+        if r.get("cycles") != base.get("cycles"):
+            failures.append(
+                f"{bench}/{name}: tier-3 cycles {r.get('cycles')!r} differ "
+                f"from tier-2 cycles {base.get('cycles')!r} "
+                f"(bit-identical accounting violated)")
+        wall_t2 = base.get("wall_seconds", 0.0)
+        wall_t3 = r.get("wall_seconds", 0.0)
+        if wall_t3 <= 0 or wall_t2 <= 0:
+            failures.append(f"{bench}/{name}: non-positive wall time "
+                            f"(t2={wall_t2!r}, t3={wall_t3!r})")
+            continue
+        ratio = wall_t2 / wall_t3
+        if ratio < jit_speedup:
+            failures.append(
+                f"{bench}/{name}: tier-3 speedup {ratio:.2f}x over tier-2 "
+                f"below required {jit_speedup:.2f}x "
+                f"({wall_t2:.4f}s -> {wall_t3:.4f}s)")
+    return failures
+
+
 def rel_delta(base, cand):
     if base == cand:
         return 0.0
@@ -107,7 +172,7 @@ def rel_delta(base, cand):
     return abs(cand - base) / denom
 
 
-def compare(baseline_path, candidate_path, tolerance):
+def compare(baseline_path, candidate_path, tolerance, jit_speedup):
     base = load(baseline_path)
     cand = load(candidate_path)
     failures = []
@@ -142,6 +207,7 @@ def compare(baseline_path, candidate_path, tolerance):
     for key in extra:
         print(f"info: {key[0]}/{key[1]}: new result (not in baseline)")
     failures.extend(opt_level_regressions(cand))
+    failures.extend(jit_tier_regressions(cand, jit_speedup))
     if failures:
         print(f"bench_gate: {len(failures)} regression(s):", file=sys.stderr)
         for f in failures:
@@ -158,11 +224,15 @@ def main():
     ap.add_argument("--baseline", metavar="FILE")
     ap.add_argument("--candidate", metavar="FILE")
     ap.add_argument("--tolerance", type=float, default=0.10)
+    ap.add_argument("--jit-speedup", type=float, default=2.0,
+                    help="minimum tier-2/tier-3 wall-time ratio for "
+                         "paired '<stem>.t3' vs '<stem>.t2' rows")
     args = ap.parse_args()
     if args.summarize:
         return summarize(args.summarize)
     if args.baseline and args.candidate:
-        return compare(args.baseline, args.candidate, args.tolerance)
+        return compare(args.baseline, args.candidate, args.tolerance,
+                       args.jit_speedup)
     ap.error("need --summarize FILE, or --baseline and --candidate")
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Sanitizer and model-checker gates. CI entry point; also runnable locally.
 #
-#   check.sh [asan|tsan|mc|serve|prove|all]   (default: asan)
+#   check.sh [asan|tsan|mc|serve|prove|jit|all]   (default: asan)
 #
 # asan: build the whole tree with ASan + UBSan and run the full tier-1 test
 # suite (plus the bladed-lint / bladed-commcheck ctest entries) under both.
@@ -26,6 +26,15 @@
 # (corpus proof + the seeded unsafe-program refutations). The analyzer
 # hands out licenses other layers delete code on the strength of, so its
 # own memory discipline runs with sanitizers watching.
+#
+# jit: the tier-3 gate under ASan + UBSan — test_jit (promotion, demotion,
+# license refusal, eviction invalidation, budget-exact stops, replayed
+# cache accounting), the 1000-program differential fuzzer that asserts
+# bit-identical state and morphing stats against the two-tier engine, and
+# bladed-lint --jit (every licensed corpus region must lower). The tier
+# executes raw host memory ops with bounds checks elided on the strength
+# of prove licenses, so its buffers and dispatch loop run with sanitizers
+# watching.
 #
 # mc: build with -DBLADED_MC=ON (the mc:: shims resolve to the checker-
 # routed classes instead of the std types) and run the bladed-mc gates —
@@ -98,6 +107,22 @@ run_prove() {
   echo "check.sh: analyzer + licensed passes clean under ASan+UBSan"
 }
 
+run_jit() {
+  # Same flags as run_asan, so the stages can share one build dir (CI gives
+  # each its own cache; locally the second run is incremental).
+  local dir=${JIT_BUILD_DIR:-build-sanitize}
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBLADED_ASAN=ON \
+    -DBLADED_UBSAN=ON
+  cmake --build "${dir}" -j "${JOBS}" \
+    --target test_jit test_jit_fuzz bladed-lint
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    -L '^(test_jit|test_jit_fuzz)$'
+  ctest --test-dir "${dir}" --output-on-failure -R '^lint_jit$'
+  echo "check.sh: tier-3 JIT clean under ASan+UBSan"
+}
+
 run_mc() {
   local dir=${MC_BUILD_DIR:-build-mc}
   cmake -B "${dir}" -S . \
@@ -117,6 +142,7 @@ case "${STAGE}" in
   mc) run_mc ;;
   serve) run_serve ;;
   prove) run_prove ;;
-  all) run_asan; run_tsan; run_mc; run_serve; run_prove ;;
-  *) echo "usage: check.sh [asan|tsan|mc|serve|prove|all]" >&2; exit 2 ;;
+  jit) run_jit ;;
+  all) run_asan; run_tsan; run_mc; run_serve; run_prove; run_jit ;;
+  *) echo "usage: check.sh [asan|tsan|mc|serve|prove|jit|all]" >&2; exit 2 ;;
 esac

@@ -1,5 +1,8 @@
 #include "cms/engine.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "check/verify_translation.hpp"
 
 namespace bladed::cms {
@@ -30,6 +33,11 @@ void MorphingEngine::reset() {
   cache_.clear();
   exec_counts_.clear();
   ever_translated_.clear();
+  native_counts_.clear();
+  jit_entries_.clear();
+  jit_refused_.clear();
+  jit_program_data_ = nullptr;
+  jit_program_size_ = 0;
   interpreter_.reset_counts();
 }
 
@@ -53,6 +61,18 @@ std::size_t exec_block(const Program& prog, MachineState& st, std::size_t pc,
   }
   return pc;
 }
+
+/// Bitwise machine-state comparison for the differential gate. Doubles are
+/// compared as raw bytes on purpose: the native tier must reproduce the
+/// architectural result exactly, not approximately.
+bool states_equal(const MachineState& a, const MachineState& b) {
+  return a.mem.size() == b.mem.size() &&
+         std::memcmp(a.r, b.r, sizeof(a.r)) == 0 &&
+         std::memcmp(a.f, b.f, sizeof(a.f)) == 0 &&
+         (a.mem.empty() ||
+          std::memcmp(a.mem.data(), b.mem.data(),
+                      a.mem.size() * sizeof(double)) == 0);
+}
 }  // namespace
 
 MorphingStats MorphingEngine::run(const Program& source, MachineState& st,
@@ -67,6 +87,17 @@ MorphingStats MorphingEngine::run(const Program& source, MachineState& st,
     validate(optimized, st.mem.size());
   }
   const Program& prog = optimized.empty() ? source : optimized;
+  // Compiled regions are specific to one program; if the engine is re-run on
+  // a different one (or a re-optimized copy), the tier-3 state is stale and
+  // must be rebuilt from fresh profile counts.
+  if (cfg_.jit_compiler && (prog.data() != jit_program_data_ ||
+                            prog.size() != jit_program_size_)) {
+    jit_entries_.clear();
+    jit_refused_.clear();
+    native_counts_.clear();
+    jit_program_data_ = prog.data();
+    jit_program_size_ = prog.size();
+  }
   MorphingStats s;
   const std::uint64_t hits0 = cache_.hits();
   const std::uint64_t misses0 = cache_.misses();
@@ -76,13 +107,47 @@ MorphingStats MorphingEngine::run(const Program& source, MachineState& st,
   bool halted = false;
   std::uint64_t blocks = 0;
   while (!halted && pc < prog.size() && blocks < max_block_executions) {
+    // Tier-3: a compiled region at this pc is the top tier. On rollback or
+    // invalidation the entry disappears and we fall through to tier-2.
+    if (cfg_.jit_compiler && jit_entries_.count(pc) != 0) {
+      std::size_t next = pc;
+      if (run_jit_region(prog, pc, st, max_block_executions - blocks, next,
+                         halted, blocks, s)) {
+        pc = next;
+        continue;
+      }
+    }
     ++blocks;
     if (const Translation* t = cache_.lookup(pc)) {
       // Native execution out of the translation cache.
+      const std::size_t entry = pc;
+      const std::uint64_t native = t->native_cycles();
       std::uint64_t dummy = 0;
       pc = exec_block(prog, st, pc, halted, dummy);
       ++s.native_block_executions;
-      s.native_cycles += t->native_cycles();
+      s.native_cycles += native;
+      // Tier-3 promotion: after jit_threshold native executions, hand the
+      // region to the compiler. nullptr + retry backs off for another round
+      // (e.g. successor blocks not yet translated); nullptr without retry is
+      // a permanent refusal (no license).
+      if (cfg_.jit_compiler && !jit_refused_[entry] &&
+          jit_entries_.count(entry) == 0 &&
+          ++native_counts_[entry] >= cfg_.jit_threshold) {
+        bool retry = false;
+        std::string why;
+        auto region = cfg_.jit_compiler(prog, entry, cache_, st.mem.size(),
+                                        &retry, &why);
+        if (region) {
+          ++s.jit_regions;
+          jit_entries_[entry] =
+              JitEntry{std::move(region), false, cache_.evictions()};
+        } else if (retry) {
+          native_counts_[entry] = 0;
+        } else {
+          jit_refused_[entry] = true;
+          ++s.jit_refusals;
+        }
+      }
       continue;
     }
     std::uint64_t& count = exec_counts_[pc];
@@ -135,6 +200,71 @@ MorphingStats MorphingEngine::run(const Program& source, MachineState& st,
   s.cache_evictions = cache_.evictions() - evict0;
   s.total_cycles = s.interpret_cycles + s.translate_cycles + s.native_cycles;
   return s;
+}
+
+bool MorphingEngine::run_jit_region(const Program& prog, std::size_t pc,
+                                    MachineState& st, std::uint64_t budget,
+                                    std::size_t& next_pc, bool& halted,
+                                    std::uint64_t& blocks,
+                                    MorphingStats& stats) {
+  const auto it = jit_entries_.find(pc);
+  JitEntry& entry = it->second;
+  // Invalidate when the cache evicted anything since compile time and a
+  // member block is gone: tier-2 would miss and retranslate there, which the
+  // frozen region cannot model. The entry pc falls back to tier-2; a later
+  // re-promotion recompiles against the current cache contents.
+  if (cache_.evictions() != entry.evictions_at_compile) {
+    for (const std::size_t member : entry.region->member_blocks()) {
+      if (cache_.peek(member) == nullptr) {
+        jit_entries_.erase(it);
+        native_counts_[pc] = 0;
+        ++stats.jit_invalidations;
+        return false;
+      }
+    }
+    entry.evictions_at_compile = cache_.evictions();
+  }
+  CompiledRegion::RunResult res;
+  if (!entry.verified && cfg_.jit_verify_blocks > 0) {
+    // First-entry differential gate: run the region natively and through the
+    // architectural reference from the same snapshot, then compare bitwise.
+    // The budget is capped so the double execution stays cheap; the region
+    // resumes (now trusted) on the next loop iteration.
+    const std::uint64_t gate =
+        std::min<std::uint64_t>(budget, cfg_.jit_verify_blocks);
+    MachineState reference = st;
+    res = entry.region->run(st, gate);
+    CompiledRegion::RunResult ref =
+        entry.region->run_reference(prog, reference, gate);
+    const bool match =
+        res.next_pc == ref.next_pc && res.halted == ref.halted &&
+        res.blocks == ref.blocks && res.native_cycles == ref.native_cycles &&
+        res.touch_order == ref.touch_order && states_equal(st, reference);
+    if (match) {
+      entry.verified = true;
+    } else {
+      // Rollback: the architectural result stands and the entry is demoted
+      // to tier-2 permanently.
+      st = std::move(reference);
+      res = std::move(ref);
+      jit_entries_.erase(it);
+      jit_refused_[pc] = true;
+      ++stats.jit_rollbacks;
+    }
+  } else {
+    res = entry.region->run(st, budget);
+  }
+  // Replay the accounting the region absorbed, exactly as per-block tier-2
+  // execution would have produced it: every dynamic block was a cache hit on
+  // a resident translation, and the LRU ends up in last-execution order.
+  cache_.replay_hits(res.touch_order, res.blocks);
+  stats.native_block_executions += res.blocks;
+  stats.native_cycles += res.native_cycles;
+  stats.jit_block_executions += res.blocks;
+  next_pc = res.next_pc;
+  halted = res.halted;
+  blocks += res.blocks;
+  return true;
 }
 
 std::uint64_t MorphingEngine::interpret_only_cycles(const Program& prog,

@@ -9,6 +9,7 @@
 /// accounting exposes the amortization the paper describes.
 
 #include <functional>
+#include <memory>
 
 #include "cms/interpreter.hpp"
 #include "cms/tcache.hpp"
@@ -29,6 +30,52 @@ using ProgramOptimizer =
 using RegionProver = std::function<bool(const Program&, std::size_t,
                                         std::size_t, std::size_t,
                                         std::string*)>;
+
+/// A hot region compiled to host-native (directly-threaded) form by the JIT
+/// tier. The engine owns instances through the RegionCompiler hook; the
+/// interface keeps src/cms independent of src/jit (same decoupling as
+/// ProgramOptimizer / RegionProver).
+class CompiledRegion {
+ public:
+  virtual ~CompiledRegion() = default;
+
+  /// Outcome of executing the region: where the architectural pc ended up,
+  /// the arch-model accounting the engine replays into MorphingStats, and
+  /// the cached blocks the run touched (ascending by last execution) so the
+  /// translation-cache LRU can be replayed exactly.
+  struct RunResult {
+    std::size_t next_pc = 0;
+    bool halted = false;
+    std::uint64_t blocks = 0;        ///< dynamic block executions absorbed
+    std::uint64_t native_cycles = 0; ///< arch-model cycles for those blocks
+    std::vector<std::size_t> touch_order;  ///< entry pcs, last-exec ascending
+  };
+
+  /// Execute natively starting at the region entry, for at most `max_blocks`
+  /// dynamic blocks. Leaves `st` exactly as the architectural semantics
+  /// would.
+  virtual RunResult run(MachineState& st, std::uint64_t max_blocks) = 0;
+
+  /// Execute the same region via the architectural reference semantics
+  /// (shared exec_instr), with identical stop conditions. Used by the
+  /// engine's first-entry differential gate.
+  virtual RunResult run_reference(const Program& prog, MachineState& st,
+                                  std::uint64_t max_blocks) = 0;
+
+  /// Entry pcs of the cached blocks this region absorbed at compile time.
+  /// If any of them is evicted or replaced, the region must be invalidated.
+  [[nodiscard]] virtual const std::vector<std::size_t>& member_blocks()
+      const = 0;
+};
+
+/// Hook compiling a hot licensed region to native form: (program, entry pc,
+/// translation cache, mem_doubles, retry, why) -> compiled region or
+/// nullptr. On nullptr, `*retry` tells the engine whether to try again later
+/// (e.g. member blocks not yet translated) or refuse permanently (no
+/// license). `*why` carries a human-readable reason for diagnostics.
+using RegionCompiler = std::function<std::unique_ptr<CompiledRegion>(
+    const Program&, std::size_t, const TranslationCache&, std::size_t, bool*,
+    std::string*)>;
 
 /// Default for MorphingConfig::verify_translations: on in debug builds,
 /// off when NDEBUG is defined (release).
@@ -61,6 +108,18 @@ struct MorphingConfig {
   /// range and a refusal raises SimulationError. Unset (the default) the
   /// gate is inert — the engine runs unproven programs exactly as before.
   RegionProver prover;
+  /// When set, cached blocks whose native execution count crosses
+  /// `jit_threshold` are handed to the compiler; a compiled region becomes
+  /// the top execution tier for that entry pc. Unset (the default) the
+  /// engine behaves exactly as the two-tier configuration.
+  RegionCompiler jit_compiler;
+  /// Tier-2 native executions of a block before JIT compilation is tried.
+  std::uint64_t jit_threshold = 16;
+  /// Dynamic-block budget for the first-entry differential gate: the region
+  /// runs natively and via the architectural reference for at most this many
+  /// blocks and the resulting states are compared bitwise. Mismatch demotes
+  /// the entry to tier-2 permanently. 0 disables the gate.
+  std::uint64_t jit_verify_blocks = 64;
 };
 
 struct MorphingStats {
@@ -76,6 +135,11 @@ struct MorphingStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  std::uint64_t jit_regions = 0;            ///< regions compiled (tier-3)
+  std::uint64_t jit_block_executions = 0;   ///< dynamic blocks run in tier-3
+  std::uint64_t jit_rollbacks = 0;   ///< differential-gate mismatches
+  std::uint64_t jit_refusals = 0;    ///< permanent refusals (no license)
+  std::uint64_t jit_invalidations = 0;  ///< regions dropped (member evicted)
 };
 
 /// Configuration presets for the CMS versions the paper measured. §2.1:
@@ -107,12 +171,35 @@ class MorphingEngine {
   void reset();
 
  private:
+  /// Tier-3 state for one entry pc: the compiled region plus the gate
+  /// bookkeeping (verified once, refused permanently, or invalidated when
+  /// the cache evicts a member block after `evictions_at_compile`).
+  struct JitEntry {
+    std::unique_ptr<CompiledRegion> region;
+    bool verified = false;
+    std::uint64_t evictions_at_compile = 0;
+  };
+
+  /// Runs a compiled region at `pc`, applying the differential first-entry
+  /// gate and replaying the absorbed accounting into `stats` and the
+  /// translation cache. Returns false when the region was rolled back or
+  /// invalidated (caller falls through to tier-2 for this block).
+  bool run_jit_region(const Program& prog, std::size_t pc, MachineState& st,
+                      std::uint64_t budget, std::size_t& next_pc,
+                      bool& halted, std::uint64_t& blocks,
+                      MorphingStats& stats);
+
   MorphingConfig cfg_;
   Interpreter interpreter_;
   Translator translator_;
   TranslationCache cache_;
   std::unordered_map<std::size_t, std::uint64_t> exec_counts_;
   std::unordered_map<std::size_t, bool> ever_translated_;
+  std::unordered_map<std::size_t, std::uint64_t> native_counts_;
+  std::unordered_map<std::size_t, JitEntry> jit_entries_;
+  std::unordered_map<std::size_t, bool> jit_refused_;
+  const Instr* jit_program_data_ = nullptr;  ///< program identity: compiled
+  std::size_t jit_program_size_ = 0;         ///< regions die on a change
 };
 
 }  // namespace bladed::cms

@@ -22,6 +22,24 @@ const Translation* TranslationCache::lookup(std::size_t pc) {
   return &it->second.translation;
 }
 
+const Translation* TranslationCache::peek(std::size_t pc) const {
+  const auto it = map_.find(pc);
+  return it == map_.end() ? nullptr : &it->second.translation;
+}
+
+void TranslationCache::replay_hits(const std::vector<std::size_t>& touch_order,
+                                   std::uint64_t hit_count) {
+  hits_ += hit_count;
+  for (const std::size_t pc : touch_order) {
+    const auto it = map_.find(pc);
+    BLADED_REQUIRE_MSG(it != map_.end(),
+                       "replay_hits: block not resident in translation cache");
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(pc);
+    it->second.lru_it = lru_.begin();
+  }
+}
+
 bool TranslationCache::insert(Translation t) {
   const std::size_t need = t.molecules.size();
   if (need > capacity_) return false;

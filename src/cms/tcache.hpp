@@ -21,6 +21,18 @@ class TranslationCache {
   /// nullptr on miss. Counts hits/misses.
   const Translation* lookup(std::size_t pc);
 
+  /// Side-effect-free lookup: no hit/miss counting, no LRU refresh. The JIT
+  /// tier's region compiler uses this to inspect which blocks are cached
+  /// without perturbing the accounting the compiled region must replay.
+  [[nodiscard]] const Translation* peek(std::size_t pc) const;
+
+  /// Replay the lookups a compiled region absorbed: `hit_count` block
+  /// executions, touching the entries named in `touch_order` (ascending by
+  /// each block's last execution, so the final LRU order is exactly what a
+  /// per-block lookup sequence would have left). Every pc must be resident.
+  void replay_hits(const std::vector<std::size_t>& touch_order,
+                   std::uint64_t hit_count);
+
   /// Insert (evicting LRU entries until it fits). A translation larger than
   /// the whole cache is rejected (returns false) — it will be re-translated
   /// on every encounter, as on real hardware with an oversized region.

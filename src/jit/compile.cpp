@@ -1,0 +1,272 @@
+#include "jit/compile.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "check/cfg.hpp"
+#include "check/check.hpp"
+#include "prove/prove.hpp"
+
+namespace bladed::jit {
+
+ProgramFacts analyze_program(const cms::Program& prog,
+                             std::size_t mem_doubles) {
+  ProgramFacts facts;
+  facts.licensed_pc.assign(prog.size(), 0);
+  facts.proven_pc.assign(prog.size(), 1);
+  // Trust discipline (same as bladed::opt): the program must be clean under
+  // the static checker before any of it is lowered past the checked tiers.
+  const check::Report report = check::check_program(prog, mem_doubles);
+  if (!report.ok()) {
+    facts.error = "check_program found errors:\n" + report.to_string();
+    return facts;
+  }
+  const prove::ProveResult proof = prove::prove_program(prog, mem_doubles);
+  if (!proof.valid) {
+    facts.error = "prove_program refused: " + proof.error;
+    return facts;
+  }
+  for (const prove::AccessProof& access : proof.accesses) {
+    if (access.kind == prove::ProofKind::kUnproven) {
+      facts.proven_pc[access.pc] = 0;
+    }
+  }
+  // Project the licensed RegionLicenses down to a per-pc mask via the same
+  // CFG the prover indexed its member blocks against.
+  const check::Cfg cfg = check::Cfg::build(prog);
+  for (const prove::RegionLicense& region : proof.regions) {
+    if (!region.licensed) continue;
+    for (const std::size_t block : region.blocks) {
+      const check::BasicBlock& bb = cfg.blocks()[block];
+      for (std::size_t pc = bb.begin; pc < bb.end; ++pc) {
+        facts.licensed_pc[pc] = 1;
+      }
+    }
+  }
+  facts.valid = true;
+  return facts;
+}
+
+namespace {
+
+/// Lowers one region: BFS over dynamic blocks from the entry, then a second
+/// pass emitting directly-threaded code with branch targets patched to code
+/// indices (member blocks) or exit stubs (everything else).
+class Builder {
+ public:
+  Builder(const cms::Program& prog, const cms::TranslationCache* cache,
+          const ProgramFacts& facts)
+      : prog_(prog), cache_(cache), facts_(facts) {}
+
+  std::unique_ptr<JitRegion> build(std::size_t entry_pc, bool* retry,
+                                   std::string* why);
+
+ private:
+  [[nodiscard]] bool block_licensed(std::size_t pc, std::size_t end) const {
+    for (std::size_t i = pc; i < end; ++i) {
+      if (facts_.licensed_pc[i] == 0) return false;
+    }
+    return true;
+  }
+
+  /// Arch-model cost of the block's cached translation; in dry-run mode
+  /// (null cache) every licensed block counts as resident and the cost
+  /// comes from a local translator.
+  [[nodiscard]] bool block_cost(std::size_t pc, std::uint64_t* cycles) const {
+    if (cache_ == nullptr) {
+      *cycles = translator_.translate(prog_, pc).native_cycles();
+      return true;
+    }
+    const cms::Translation* t = cache_->peek(pc);
+    if (t == nullptr) return false;
+    *cycles = t->native_cycles();
+    return true;
+  }
+
+  void emit_block(JitRegion& region, std::uint32_t block_idx);
+  void lower_instr(JitRegion& region, const cms::Instr& in);
+  std::uint32_t resolve(JitRegion& region, std::size_t target_pc);
+
+  const cms::Program& prog_;
+  const cms::TranslationCache* cache_;
+  const ProgramFacts& facts_;
+  cms::Translator translator_;  ///< dry-run costs only
+  std::unordered_map<std::size_t, std::uint32_t> exit_stub_at_;
+};
+
+std::unique_ptr<JitRegion> Builder::build(std::size_t entry_pc, bool* retry,
+                                          std::string* why) {
+  *retry = false;
+  const std::size_t entry_end = cms::block_end(prog_, entry_pc);
+  if (!block_licensed(entry_pc, entry_end)) {
+    *why = "entry block at pc " + std::to_string(entry_pc) +
+           " is not inside a licensed region";
+    return nullptr;
+  }
+  auto region = std::make_unique<JitRegion>();
+  // Pass 1: discover member blocks breadth-first. A successor is absorbed
+  // when it is licensed and its translation is resident; otherwise it stays
+  // an exit (the engine handles it on the lower tiers).
+  std::deque<std::size_t> queue{entry_pc};
+  while (!queue.empty()) {
+    const std::size_t pc = queue.front();
+    queue.pop_front();
+    if (pc >= prog_.size()) continue;
+    if (region->member_index_.count(pc) != 0) continue;
+    const std::size_t end = cms::block_end(prog_, pc);
+    std::uint64_t cycles = 0;
+    if (!block_licensed(pc, end) || !block_cost(pc, &cycles)) {
+      if (pc == entry_pc) {
+        // Entry resident-ness is transient (promotion follows tier-2 native
+        // executions, so it should always be cached); back off and retry.
+        *retry = true;
+        *why = "entry block translation not resident";
+        return nullptr;
+      }
+      continue;  // exit stub, resolved in pass 2
+    }
+    const auto idx = static_cast<std::uint32_t>(region->blocks_.size());
+    region->member_index_.emplace(pc, idx);
+    region->blocks_.push_back(JBlock{pc, 0, cycles});
+    region->member_pcs_.push_back(pc);
+    const cms::Instr& last = prog_[end - 1];
+    if (cms::is_branch(last.op)) {
+      queue.push_back(static_cast<std::size_t>(last.imm_i));
+      if (last.op != cms::Op::kJmp) queue.push_back(end);  // fall-through
+    }
+  }
+  // Pass 2: emit code. Entry block first (the engine enters at code index
+  // 0), then the rest in discovery order; branch targets resolve to member
+  // kEnter indices or deduplicated exit stubs.
+  for (std::uint32_t i = 0; i < region->blocks_.size(); ++i) {
+    emit_block(*region, i);
+  }
+  // resolve() may append exit stubs to the code array, so patch by index
+  // (references into the vector would dangle across a reallocation).
+  const std::size_t patch_end = region->code_.size();
+  for (std::size_t i = 0; i < patch_end; ++i) {
+    const JOp op = region->code_[i].op;
+    if (op == JOp::kBlt || op == JOp::kBne) {
+      const std::uint32_t taken = resolve(*region, region->code_[i].target);
+      region->code_[i].target = taken;
+      const std::uint32_t fall = resolve(*region, region->code_[i].target2);
+      region->code_[i].target2 = fall;
+    } else if (op == JOp::kJmp) {
+      const std::uint32_t taken = resolve(*region, region->code_[i].target);
+      region->code_[i].target = taken;
+    }
+  }
+  region->exit_stubs_ = exit_stub_at_.size();
+  return region;
+}
+
+void Builder::emit_block(JitRegion& region, std::uint32_t block_idx) {
+  JBlock& block = region.blocks_[block_idx];
+  block.code_begin = static_cast<std::uint32_t>(region.code_.size());
+  JInstr enter;
+  enter.op = JOp::kEnter;
+  enter.target = block_idx;
+  enter.imm_i = static_cast<std::int64_t>(block.entry_pc);
+  region.code_.push_back(enter);
+  const std::size_t end = cms::block_end(prog_, block.entry_pc);
+  for (std::size_t pc = block.entry_pc; pc < end; ++pc) {
+    lower_instr(region, prog_[pc]);
+  }
+  if (!cms::is_branch(prog_[end - 1].op) &&
+      prog_[end - 1].op != cms::Op::kHalt) {
+    // The block runs off the end of the program: architectural exit at
+    // pc == prog.size() (the engine loop terminates there).
+    JInstr exit;
+    exit.op = JOp::kExit;
+    exit.imm_i = static_cast<std::int64_t>(prog_.size());
+    region.code_.push_back(exit);
+  }
+}
+
+void Builder::lower_instr(JitRegion& region, const cms::Instr& in) {
+  JInstr j;
+  j.a = static_cast<std::uint8_t>(in.a);
+  j.b = static_cast<std::uint8_t>(in.b);
+  j.c = static_cast<std::uint8_t>(in.c);
+  j.imm_i = in.imm_i;
+  j.imm_f = in.imm_f;
+  switch (in.op) {
+    case cms::Op::kAddi: j.op = JOp::kAddi; break;
+    case cms::Op::kAdd: j.op = JOp::kAdd; break;
+    case cms::Op::kSub: j.op = JOp::kSub; break;
+    case cms::Op::kMuli: j.op = JOp::kMuli; break;
+    case cms::Op::kMovi: j.op = JOp::kMovi; break;
+    case cms::Op::kFadd: j.op = JOp::kFadd; break;
+    case cms::Op::kFsub: j.op = JOp::kFsub; break;
+    case cms::Op::kFmul: j.op = JOp::kFmul; break;
+    case cms::Op::kFdiv: j.op = JOp::kFdiv; break;
+    case cms::Op::kFsqrt: j.op = JOp::kFsqrt; break;
+    case cms::Op::kFmovi: j.op = JOp::kFmovi; break;
+    case cms::Op::kFload:
+    case cms::Op::kFstore: {
+      // Member blocks are licensed, so every access here carries a proof —
+      // the bounds check is elided. The assert documents the invariant the
+      // license rests on.
+      const std::size_t pc = static_cast<std::size_t>(&in - prog_.data());
+      BLADED_REQUIRE_MSG(facts_.proven_pc[pc] != 0,
+                         "licensed region contains an unproven access");
+      j.op = in.op == cms::Op::kFload ? JOp::kFloadRaw : JOp::kFstoreRaw;
+      ++region.raw_mem_ops_;
+      break;
+    }
+    case cms::Op::kBlt:
+    case cms::Op::kBne: {
+      j.op = in.op == cms::Op::kBlt ? JOp::kBlt : JOp::kBne;
+      // Targets hold *source pcs* until the patch pass resolves them.
+      const std::size_t pc = static_cast<std::size_t>(&in - prog_.data());
+      j.target = static_cast<std::uint32_t>(in.imm_i);
+      j.target2 = static_cast<std::uint32_t>(pc + 1);
+      break;
+    }
+    case cms::Op::kJmp:
+      j.op = JOp::kJmp;
+      j.target = static_cast<std::uint32_t>(in.imm_i);
+      break;
+    case cms::Op::kHalt: {
+      j.op = JOp::kHalt;
+      const std::size_t pc = static_cast<std::size_t>(&in - prog_.data());
+      j.imm_i = static_cast<std::int64_t>(pc);
+      break;
+    }
+  }
+  region.code_.push_back(j);
+}
+
+std::uint32_t Builder::resolve(JitRegion& region, std::size_t target_pc) {
+  const auto member = region.member_index_.find(target_pc);
+  if (member != region.member_index_.end()) {
+    return region.blocks_[member->second].code_begin;
+  }
+  const auto stub = exit_stub_at_.find(target_pc);
+  if (stub != exit_stub_at_.end()) return stub->second;
+  const auto idx = static_cast<std::uint32_t>(region.code_.size());
+  JInstr exit;
+  exit.op = JOp::kExit;
+  exit.imm_i = static_cast<std::int64_t>(target_pc);
+  region.code_.push_back(exit);
+  exit_stub_at_.emplace(target_pc, idx);
+  return idx;
+}
+
+}  // namespace
+
+std::unique_ptr<JitRegion> compile_region(const cms::Program& prog,
+                                          std::size_t entry_pc,
+                                          const cms::TranslationCache* cache,
+                                          const ProgramFacts& facts,
+                                          bool* retry, std::string* why) {
+  *retry = false;
+  if (!facts.valid) {
+    *why = facts.error;
+    return nullptr;
+  }
+  Builder builder(prog, cache, facts);
+  return builder.build(entry_pc, retry, why);
+}
+
+}  // namespace bladed::jit

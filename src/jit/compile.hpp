@@ -1,0 +1,133 @@
+#pragma once
+
+/// Internal representation of a compiled region (DESIGN.md §14). The region
+/// compiler lowers cached, prove-licensed dynamic blocks into a
+/// directly-threaded code array: pre-decoded instructions with resolved
+/// control flow (branch operands are code indices, not source pcs) and raw
+/// host memory operations for the licensed loads/stores — the bounds check
+/// the interpreter performs on every access is elided because
+/// `bladed::prove` discharged it statically. Execution (exec.cpp) is one
+/// tight dispatch loop with no per-instruction function call, no block_end
+/// re-scan and no branch-target decoding, which is where the tier-3 speedup
+/// over the per-instruction tier-2 path comes from.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cms/engine.hpp"
+#include "cms/isa.hpp"
+
+namespace bladed::jit {
+
+/// Directly-threaded opcode. Arithmetic mirrors cms::Op one-to-one (same
+/// host operations as exec_instr, so results are bit-identical); memory and
+/// control flow are the lowered forms.
+enum class JOp : std::uint8_t {
+  kAddi,
+  kAdd,
+  kSub,
+  kMuli,
+  kMovi,
+  kFadd,
+  kFsub,
+  kFmul,
+  kFdiv,
+  kFsqrt,
+  kFmovi,
+  kFloadRaw,   ///< f[a] = mem[r[b] + imm_i], bounds check elided (licensed)
+  kFstoreRaw,  ///< mem[r[b] + imm_i] = f[a], bounds check elided (licensed)
+  kBlt,        ///< ip = r[a] < r[b] ? target : target2
+  kBne,        ///< ip = r[a] != r[b] ? target : target2
+  kJmp,        ///< ip = target
+  kEnter,      ///< block boundary: budget check + accounting for block
+               ///< `target`; imm_i holds the block's source entry pc
+  kExit,       ///< leave the region; resume architecturally at pc imm_i
+  kHalt,       ///< halt retired at source pc imm_i
+};
+
+struct JInstr {
+  JOp op = JOp::kHalt;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  std::uint8_t c = 0;
+  std::uint32_t target = 0;   ///< code index (branch taken / jump / block id)
+  std::uint32_t target2 = 0;  ///< code index (branch fall-through)
+  std::int64_t imm_i = 0;
+  double imm_f = 0.0;
+};
+
+/// One member dynamic block: the translator-granularity region [entry_pc,
+/// block_end) with the arch-model cost its cached translation reports.
+struct JBlock {
+  std::size_t entry_pc = 0;
+  std::uint32_t code_begin = 0;       ///< index of the block's kEnter
+  std::uint64_t native_cycles = 0;    ///< cost per execution (arch model)
+};
+
+/// A compiled region: the engine-facing cms::CompiledRegion backed by the
+/// directly-threaded code array. Not thread-safe — one instance belongs to
+/// one engine (the per-run accounting scratch is reused across runs).
+class JitRegion final : public cms::CompiledRegion {
+ public:
+  RunResult run(cms::MachineState& st, std::uint64_t max_blocks) override;
+  RunResult run_reference(const cms::Program& prog, cms::MachineState& st,
+                          std::uint64_t max_blocks) override;
+  [[nodiscard]] const std::vector<std::size_t>& member_blocks()
+      const override {
+    return member_pcs_;
+  }
+
+  [[nodiscard]] const std::vector<JBlock>& blocks() const { return blocks_; }
+  [[nodiscard]] const std::vector<JInstr>& code() const { return code_; }
+  [[nodiscard]] std::size_t exit_stub_count() const { return exit_stubs_; }
+  [[nodiscard]] std::size_t raw_mem_ops() const { return raw_mem_ops_; }
+
+  // Internal header: the builder in compile.cpp populates these directly.
+  /// Fold the per-run block counters into a RunResult (blocks, cycles and
+  /// the LRU touch order the engine replays into the translation cache).
+  [[nodiscard]] RunResult finish(std::size_t next_pc, bool halted,
+                                 std::uint64_t executed) const;
+
+  std::vector<JInstr> code_;
+  std::vector<JBlock> blocks_;
+  std::vector<std::size_t> member_pcs_;  ///< blocks_[i].entry_pc, for engine
+  std::unordered_map<std::size_t, std::uint32_t> member_index_;  ///< pc -> i
+  std::size_t exit_stubs_ = 0;
+  std::size_t raw_mem_ops_ = 0;
+  // Per-run accounting scratch, indexed like blocks_.
+  mutable std::vector<std::uint64_t> counts_;
+  mutable std::vector<std::uint64_t> last_seq_;
+};
+
+/// Per-program facts the compiler needs, derived once from check_program +
+/// prove_program and memoized by the RegionCompiler hook across entry pcs.
+struct ProgramFacts {
+  bool valid = false;     ///< check_program clean and prove_program valid
+  std::string error;      ///< refusal reason when !valid
+  /// pc -> inside a *licensed* prove::RegionLicense (every access within is
+  /// proven in-bounds, so its loads/stores may lower to raw host ops).
+  std::vector<std::uint8_t> licensed_pc;
+  /// pc -> the instruction is not a memory op, or its access is proven.
+  /// Belt-and-braces check under licensed_pc (a licensed region can only
+  /// contain proven accesses by construction).
+  std::vector<std::uint8_t> proven_pc;
+};
+
+[[nodiscard]] ProgramFacts analyze_program(const cms::Program& prog,
+                                           std::size_t mem_doubles);
+
+/// Compile the region entered at `entry_pc`. Member blocks must lie inside
+/// a licensed region; blocks that are licensed but not resident in `cache`
+/// become exit stubs (cold paths stay on the lower tiers). Pass a null
+/// cache to plan against a hypothetical fully-warm cache (dry-run mode:
+/// costs come from a local translator). Returns nullptr with `*retry` and
+/// `*why` set on refusal.
+[[nodiscard]] std::unique_ptr<JitRegion> compile_region(
+    const cms::Program& prog, std::size_t entry_pc,
+    const cms::TranslationCache* cache, const ProgramFacts& facts,
+    bool* retry, std::string* why);
+
+}  // namespace bladed::jit

@@ -1,0 +1,162 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "jit/compile.hpp"
+
+namespace bladed::jit {
+
+cms::CompiledRegion::RunResult JitRegion::finish(std::size_t next_pc,
+                                                 bool halted,
+                                                 std::uint64_t executed) const {
+  RunResult res;
+  res.next_pc = next_pc;
+  res.halted = halted;
+  res.blocks = executed;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    res.native_cycles += counts_[i] * blocks_[i].native_cycles;
+  }
+  // Touch order for the translation-cache LRU replay: executed blocks,
+  // ascending by each block's *last* execution, so replaying front-inserts
+  // leaves exactly the LRU state a per-block lookup sequence would have.
+  std::vector<std::uint32_t> touched;
+  for (std::uint32_t i = 0; i < blocks_.size(); ++i) {
+    if (counts_[i] != 0) touched.push_back(i);
+  }
+  std::sort(touched.begin(), touched.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return last_seq_[a] < last_seq_[b];
+            });
+  res.touch_order.reserve(touched.size());
+  for (const std::uint32_t i : touched) {
+    res.touch_order.push_back(blocks_[i].entry_pc);
+  }
+  return res;
+}
+
+cms::CompiledRegion::RunResult JitRegion::run(cms::MachineState& st,
+                                              std::uint64_t max_blocks) {
+  counts_.assign(blocks_.size(), 0);
+  last_seq_.assign(blocks_.size(), 0);
+  std::int64_t* const r = st.r;
+  double* const f = st.f;
+  double* const mem = st.mem.data();
+  const JInstr* const code = code_.data();
+  std::uint64_t executed = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t ip = 0;
+  for (;;) {
+    const JInstr& in = code[ip];
+    switch (in.op) {
+      case JOp::kEnter:
+        if (executed == max_blocks) {
+          return finish(static_cast<std::size_t>(in.imm_i), false, executed);
+        }
+        ++executed;
+        ++counts_[in.target];
+        last_seq_[in.target] = ++seq;
+        ++ip;
+        break;
+      case JOp::kAddi:
+        r[in.a] = r[in.b] + in.imm_i;
+        ++ip;
+        break;
+      case JOp::kAdd:
+        r[in.a] = r[in.b] + r[in.c];
+        ++ip;
+        break;
+      case JOp::kSub:
+        r[in.a] = r[in.b] - r[in.c];
+        ++ip;
+        break;
+      case JOp::kMuli:
+        r[in.a] = r[in.b] * in.imm_i;
+        ++ip;
+        break;
+      case JOp::kMovi:
+        r[in.a] = in.imm_i;
+        ++ip;
+        break;
+      case JOp::kFadd:
+        f[in.a] = f[in.b] + f[in.c];
+        ++ip;
+        break;
+      case JOp::kFsub:
+        f[in.a] = f[in.b] - f[in.c];
+        ++ip;
+        break;
+      case JOp::kFmul:
+        f[in.a] = f[in.b] * f[in.c];
+        ++ip;
+        break;
+      case JOp::kFdiv:
+        f[in.a] = f[in.b] / f[in.c];
+        ++ip;
+        break;
+      case JOp::kFsqrt:
+        f[in.a] = std::sqrt(f[in.b]);
+        ++ip;
+        break;
+      case JOp::kFmovi:
+        f[in.a] = in.imm_f;
+        ++ip;
+        break;
+      case JOp::kFloadRaw:
+        // Bounds check elided: the access carries a prove::AccessProof.
+        f[in.a] = mem[static_cast<std::size_t>(r[in.b] + in.imm_i)];
+        ++ip;
+        break;
+      case JOp::kFstoreRaw:
+        mem[static_cast<std::size_t>(r[in.b] + in.imm_i)] = f[in.a];
+        ++ip;
+        break;
+      case JOp::kBlt:
+        ip = r[in.a] < r[in.b] ? in.target : in.target2;
+        break;
+      case JOp::kBne:
+        ip = r[in.a] != r[in.b] ? in.target : in.target2;
+        break;
+      case JOp::kJmp:
+        ip = in.target;
+        break;
+      case JOp::kExit:
+        return finish(static_cast<std::size_t>(in.imm_i), false, executed);
+      case JOp::kHalt:
+        return finish(static_cast<std::size_t>(in.imm_i), true, executed);
+    }
+  }
+}
+
+cms::CompiledRegion::RunResult JitRegion::run_reference(
+    const cms::Program& prog, cms::MachineState& st,
+    std::uint64_t max_blocks) {
+  counts_.assign(blocks_.size(), 0);
+  last_seq_.assign(blocks_.size(), 0);
+  std::uint64_t executed = 0;
+  std::uint64_t seq = 0;
+  std::size_t pc = blocks_.empty() ? 0 : blocks_.front().entry_pc;
+  for (;;) {
+    const auto member = member_index_.find(pc);
+    if (member == member_index_.end() || executed == max_blocks) {
+      return finish(pc, false, executed);
+    }
+    ++executed;
+    ++counts_[member->second];
+    last_seq_[member->second] = ++seq;
+    const std::size_t end = cms::block_end(prog, pc);
+    while (pc < end) {
+      const cms::Instr& in = prog[pc];
+      if (in.op == cms::Op::kHalt) {
+        return finish(pc, true, executed);
+      }
+      const std::size_t next = cms::exec_instr(in, pc, st);
+      if (cms::is_branch(in.op)) {
+        pc = next;
+        break;
+      }
+      pc = next;
+    }
+  }
+}
+
+}  // namespace bladed::jit

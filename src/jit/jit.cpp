@@ -1,0 +1,129 @@
+#include "jit/jit.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "jit/compile.hpp"
+#include "opt/opt.hpp"
+#include "prove/prove.hpp"
+
+namespace bladed::jit {
+
+namespace {
+
+/// FNV-1a over program content + memory size — same memoization key the
+/// prove-backed engine hook uses, so one analysis serves every entry pc of
+/// a program.
+std::uint64_t hash_program(const cms::Program& prog, std::size_t mem) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(mem));
+  for (const cms::Instr& in : prog) {
+    mix(static_cast<std::uint64_t>(in.op));
+    mix(static_cast<std::uint64_t>(in.a));
+    mix(static_cast<std::uint64_t>(in.b));
+    mix(static_cast<std::uint64_t>(in.c));
+    mix(static_cast<std::uint64_t>(in.imm_i));
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(in.imm_f));
+    std::memcpy(&bits, &in.imm_f, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+cms::RegionCompiler make_region_compiler() {
+  auto cache = std::make_shared<std::unordered_map<std::uint64_t, ProgramFacts>>();
+  return [cache](const cms::Program& prog, std::size_t entry_pc,
+                 const cms::TranslationCache& tcache, std::size_t mem_doubles,
+                 bool* retry, std::string* why)
+             -> std::unique_ptr<cms::CompiledRegion> {
+    const std::uint64_t key = hash_program(prog, mem_doubles);
+    auto it = cache->find(key);
+    if (it == cache->end()) {
+      it = cache->emplace(key, analyze_program(prog, mem_doubles)).first;
+    }
+    return compile_region(prog, entry_pc, &tcache, it->second, retry, why);
+  };
+}
+
+void attach_jit(cms::MorphingConfig& cfg) {
+  cfg.jit_compiler = make_region_compiler();
+  // Tier-3 presumes the verified stack underneath it: the opt pipeline
+  // rewrites the program before lowering, and the prover refuses unlicensed
+  // hot regions at the tier-2 gate. Respect the caller's choices when set.
+  if (!cfg.optimizer) cfg.optimizer = opt::engine_optimizer();
+  if (!cfg.prover) cfg.prover = prove::engine_prover();
+}
+
+bool env_enabled(bool default_on) {
+  const char* value = std::getenv("BLADED_JIT");
+  if (value == nullptr || *value == '\0') return default_on;
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
+         std::strcmp(value, "false") != 0;
+}
+
+LowerReport lower_dry_run(const cms::Program& prog, std::size_t mem_doubles) {
+  LowerReport report;
+  const ProgramFacts facts = analyze_program(prog, mem_doubles);
+  if (!facts.valid) {
+    report.error = facts.error;
+    return report;
+  }
+  report.valid = true;
+  const prove::ProveResult proof = prove::prove_program(prog, mem_doubles);
+  for (const prove::RegionLicense& region : proof.regions) {
+    if (!region.licensed) continue;
+    RegionPlan plan;
+    plan.entry_pc = region.entry_pc;
+    bool retry = false;
+    std::string why;
+    const std::unique_ptr<JitRegion> compiled =
+        compile_region(prog, region.entry_pc, nullptr, facts, &retry, &why);
+    if (compiled) {
+      plan.compiled = true;
+      plan.member_blocks = compiled->blocks().size();
+      plan.code_length = compiled->code().size();
+      plan.raw_mem_ops = compiled->raw_mem_ops();
+      plan.exit_stubs = compiled->exit_stub_count();
+      ++report.compiled_regions;
+      report.total_raw_mem_ops += plan.raw_mem_ops;
+    } else {
+      plan.refusal = why;
+    }
+    report.plans.push_back(std::move(plan));
+  }
+  return report;
+}
+
+std::string to_string(const LowerReport& report) {
+  std::ostringstream out;
+  if (!report.valid) {
+    out << "jit: program not lowerable: " << report.error << "\n";
+    return out.str();
+  }
+  out << "jit: " << report.compiled_regions << "/" << report.plans.size()
+      << " licensed region(s) lower, " << report.total_raw_mem_ops
+      << " raw memory op(s) total\n";
+  for (const RegionPlan& plan : report.plans) {
+    out << "  region @pc " << plan.entry_pc << ": ";
+    if (plan.compiled) {
+      out << plan.member_blocks << " block(s), " << plan.code_length
+          << " jit instr(s), " << plan.raw_mem_ops << " raw mem op(s), "
+          << plan.exit_stubs << " exit stub(s)\n";
+    } else {
+      out << "refused: " << plan.refusal << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace bladed::jit

@@ -26,6 +26,13 @@
 /// prover proving it can say no. `--prove --json` additionally prints the
 /// bladed-prove-v1 report per program.
 ///
+/// `--jit` runs the tier-3 dry-run lowering planner (jit/jit.hpp) over the
+/// analyzer corpus (cms::prove_corpus): every fully-licensed region must
+/// lower to a directly-threaded plan with at least one bounds-check-elided
+/// memory op, without executing anything. A licensed region the lowerer
+/// refuses (other than for a cold cache, which the dry run warms
+/// hypothetically) fails the run.
+///
 /// `--mem-doubles N` overrides each corpus entry's machine memory size.
 ///
 /// Exit codes (stable; CI gates on them): 0 clean, 1 at least one
@@ -41,6 +48,7 @@
 #include "check/differential.hpp"
 #include "cms/programs.hpp"
 #include "common/rng.hpp"
+#include "jit/jit.hpp"
 #include "opt/opt.hpp"
 #include "cli.hpp"
 #include "prove/prove.hpp"
@@ -247,6 +255,39 @@ int run_prove(bool verbose, std::size_t mem_override, bool json) {
   }
   std::cout << "bladed-lint --prove: corpus fully proven\n";
   return kExitClean;
+}
+
+/// `--jit`: dry-run the tier-3 lowering planner over the analyzer corpus.
+/// Every licensed region of a fully-proven program must compile; a refusal
+/// (or a plan with no elided bounds checks on a memory-touching region)
+/// means the tier would silently stay on tier-2 for code the prover
+/// licensed — exactly the regression this mode exists to catch.
+int run_jit(bool verbose, std::size_t mem_override) {
+  bool failed = false;
+  for (const cms::NamedProgram& entry : cms::prove_corpus()) {
+    const std::size_t mem =
+        mem_override != 0 ? mem_override : entry.mem_doubles;
+    const jit::LowerReport report = jit::lower_dry_run(entry.program, mem);
+    if (!report.valid) {
+      std::cout << entry.name << ": NOT LOWERABLE — " << report.error << "\n";
+      failed = true;
+      continue;
+    }
+    std::cout << entry.name << ": " << report.compiled_regions << "/"
+              << report.plans.size() << " licensed regions lowered, "
+              << report.total_raw_mem_ops
+              << " bounds-check-elided memory op(s)\n";
+    for (const jit::RegionPlan& p : report.plans) {
+      if (!p.compiled) {
+        std::cout << "  REFUSED @" << p.entry_pc << ": " << p.refusal << "\n";
+        failed = true;
+      }
+    }
+    if (verbose) std::cout << jit::to_string(report);
+  }
+  std::cout << (failed ? "bladed-lint --jit: FAILED\n"
+                       : "bladed-lint --jit: all licensed regions lower\n");
+  return failed ? kExitErrors : kExitClean;
 }
 
 /// One prove-selftest case: a known-unsafe program the analyzer must
@@ -534,6 +575,7 @@ constexpr const char* kUsage =
     "  --opt              verified optimizer pipeline over opt_corpus\n"
     "  --prove            whole-program safety analysis over prove_corpus\n"
     "  --prove --selftest seeded unsafe programs must be refuted\n"
+    "  --jit              tier-3 dry-run lowering plan over prove_corpus\n"
     "options:\n"
     "  --verbose          per-entry detail\n"
     "  --json             with --prove: print bladed-prove-v1 reports\n"
@@ -547,6 +589,7 @@ int main(int argc, char** argv) {
   bool selftest = false;
   bool opt_mode = false;
   bool prove_mode = false;
+  bool jit_mode = false;
   bool verbose = false;
   bool json = false;
   std::size_t mem_override = 0;
@@ -554,6 +597,7 @@ int main(int argc, char** argv) {
   parser.flag("--selftest", &selftest)
       .flag("--opt", &opt_mode)
       .flag("--prove", &prove_mode)
+      .flag("--jit", &jit_mode)
       .flag("--verbose", &verbose)
       .flag("--json", &json)
       .size_value("--mem-doubles", &mem_override);
@@ -564,6 +608,11 @@ int main(int argc, char** argv) {
               << kUsage;
     return 2;
   }
+  if (jit_mode && (selftest || opt_mode || prove_mode)) {
+    std::cerr << "bladed-lint: --jit is a standalone mode\n" << kUsage;
+    return 2;
+  }
+  if (jit_mode) return run_jit(verbose, mem_override);
   if (prove_mode && selftest) return run_prove_selftest();
   if (prove_mode) return run_prove(verbose, mem_override, json);
   if (selftest) return run_selftest();
