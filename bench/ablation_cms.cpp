@@ -9,7 +9,14 @@
 ///      asserted bit-identical final machine state;
 ///  (g) the tier-3 JIT (jit/) — host wall time of the license-gated native
 ///      tier vs the tier-2 dispatch fast path, asserted bit-identical final
-///      state and engine cycles (rows `jit.*`, gated in CI).
+///      state and engine cycles (rows `jit.*`, gated in CI);
+///  (h) the static cycle certifier (wcet/) — certified tier-2 bounds next
+///      to the measured engine cycles for the golden kernels (rows
+///      `wcet.*`, exact-stability gated: certification is pure static
+///      analysis, any drift is a real change).
+///
+/// Flags (scripts/bench.sh passes none, so defaults reproduce the paper
+/// run): --reps N for the JIT tier comparison, --no-jit to skip (g).
 
 #include <cstring>
 #include <unordered_map>
@@ -21,6 +28,8 @@
 #include "hostperf/benchjson.hpp"
 #include "jit/jit.hpp"
 #include "opt/opt.hpp"
+#include "tools/cli.hpp"
+#include "wcet/wcet.hpp"
 
 namespace {
 
@@ -72,7 +81,18 @@ InterpretResult legacy_interpret(const Program& prog, MachineState& st,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int reps = 400;
+  bool no_jit = false;
+  cli::Parser parser("ablation_cms",
+                     "usage: ablation_cms [--reps N] [--no-jit]\n"
+                     "  --reps N   repeated executions per program in the\n"
+                     "             JIT tier comparison (default 400)\n"
+                     "  --no-jit   skip the tier-3 ablation (same effect as\n"
+                     "             BLADED_JIT=0)\n");
+  parser.flag("--no-jit", &no_jit).int_value("--reps", &reps, 1, 1000000);
+  if (const int rc = parser.parse(argc, argv); rc >= 0) return rc;
+
   bench::print_header("Ablation", "Code Morphing Software (§2.2)");
 
   {  // (a) amortization
@@ -265,12 +285,12 @@ int main() {
     bench::print_table(t);
   }
 
-  if (bladed::jit::env_enabled(true)) {  // (g) tier-3 JIT (BLADED_JIT=0 skips)
+  // (g) tier-3 JIT (--no-jit or BLADED_JIT=0 skips)
+  if (!no_jit && bladed::jit::env_enabled(true)) {
     hostperf::BenchReport report =
         hostperf::BenchReport::from_env("ablation_cms", 1);
     TablePrinter t({"Program", "Tier-2 s", "Tier-3 s", "Speedup",
                     "Cycles equal"});
-    const int reps = 400;
     for (const auto& [name, prog] :
          {std::pair{std::string("naive_daxpy_n256"),
                     naive_daxpy_program(256)},
@@ -283,6 +303,58 @@ int main() {
     std::printf(
         "(g) tier-3 JIT: hot licensed regions directly threaded with bounds "
         "checks elided, vs the tier-2 per-instruction fast path\n");
+    bench::print_table(t);
+  }
+
+  {  // (h) static cycle certification precision on the golden kernels
+    hostperf::BenchReport report =
+        hostperf::BenchReport::from_env("ablation_cms", 1);
+    TablePrinter t({"Program", "Measured cycles", "Certified lo", "Certified hi",
+                    "Upper/actual"});
+    for (const auto& [name, prog] :
+         {std::pair{std::string("naive_daxpy_n256"),
+                    naive_daxpy_program(256)},
+          std::pair{std::string("naive_mg_stencil_n256"),
+                    naive_stencil_program(256)}}) {
+      MachineState st = daxpy_state(258);
+      const MorphingConfig cfg;
+      const wcet::Certificate cert =
+          wcet::certify(prog, st.mem.size(), wcet::CostParams::from(cfg));
+      if (!cert.bounded) {
+        std::printf("UNBOUNDED: certifier refused golden kernel %s\n",
+                    name.c_str());
+        return 1;
+      }
+      MorphingEngine engine(cfg);
+      const MorphingStats s = engine.run(prog, st);
+      if (s.total_cycles < cert.tier2.lower ||
+          s.total_cycles > cert.tier2.upper) {
+        std::printf("UNSOUND: %s ran %llu cycles outside certified "
+                    "[%llu, %llu]\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(s.total_cycles),
+                    static_cast<unsigned long long>(cert.tier2.lower),
+                    static_cast<unsigned long long>(cert.tier2.upper));
+        return 1;
+      }
+      t.add_row({name,
+                 TablePrinter::grouped(static_cast<long long>(s.total_cycles)),
+                 TablePrinter::grouped(
+                     static_cast<long long>(cert.tier2.lower)),
+                 TablePrinter::grouped(
+                     static_cast<long long>(cert.tier2.upper)),
+                 TablePrinter::num(double(cert.tier2.upper) /
+                                       double(s.total_cycles),
+                                   2)});
+      // Both metrics are deterministic: ops carries the measured engine
+      // cycles, cycles the certified upper bound. Gated exactly (wcet.*).
+      report.add({"wcet." + name, 0.0, 0.0,
+                  static_cast<double>(s.total_cycles),
+                  static_cast<double>(cert.tier2.upper)});
+    }
+    std::printf(
+        "(h) static cycle certification (wcet/): sound tier-2 bounds, "
+        "upper within 2x of the measured run on the golden kernels\n");
     bench::print_table(t);
   }
 

@@ -5,12 +5,16 @@
 /// alongside. This is the heavyweight companion to bench/table3_npb (which
 /// uses reduced calibration sizes — the rates are intensive, so the two
 /// agree; this bench demonstrates it at scale).
+///
+/// Flags (scripts/bench.sh passes none, so the default runs all eight):
+/// --only CODE runs a single code (BT, SP, LU, MG, CG, FT, EP, or IS).
 
 #include <chrono>
 
 #include "arch/cost_model.hpp"
 #include "arch/registry.hpp"
 #include "bench/bench_util.hpp"
+#include "tools/cli.hpp"
 #include "npb/bt.hpp"
 #include "npb/cg.hpp"
 #include "npb/ep.hpp"
@@ -51,49 +55,83 @@ Row timed(const char* name, const char* size, double dependency, double miss,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string only;
+  cli::Parser parser("npb_classw",
+                     "usage: npb_classw [--only CODE]\n"
+                     "  --only CODE  run a single code (BT, SP, LU, MG, CG,\n"
+                     "               FT, EP, or IS) instead of all eight\n");
+  parser.string_value("--only", &only);
+  if (const int rc = parser.parse(argc, argv); rc >= 0) return rc;
+  const auto want = [&only](const char* code) {
+    return only.empty() || only == code;
+  };
+
   bench::print_header("Integration", "NPB at class-W scale, verified");
 
   std::vector<Row> rows;
-  rows.push_back(timed("BT", "24^3 x 3 sweeps", 0.30, 0.35, [] {
-    const npb::BtResult r = npb::run_bt(24, 3);
-    return std::pair(r.verified, r.ops);
-  }));
-  rows.push_back(timed("SP", "36^3 x 2 sweeps", 0.55, 0.40, [] {
-    const npb::SpResult r = npb::run_sp(36, 2);
-    return std::pair(r.verified, r.ops);
-  }));
-  rows.push_back(timed("LU", "32^3 x 8 SSOR sweeps", 0.50, 0.45, [] {
-    const npb::LuResult r = npb::run_lu(32, 8);
-    return std::pair(r.verified, r.ops);
-  }));
-  rows.push_back(timed("MG", "64^3 x 4 V-cycles", 0.15, 0.70, [] {
-    const npb::MgResult r = npb::run_mg(64, 4);
-    return std::pair(r.final_residual < 0.2 * r.initial_residual, r.ops);
-  }));
-  rows.push_back(timed("CG", "n=7000, nonzer=8, shift=12", 0.30, 0.85, [] {
-    const npb::CgResult r = npb::run_cg(7000, 8, 4, 12.0);
-    return std::pair(
-        r.residual_history.back() < r.residual_history.front(), r.ops);
-  }));
-  rows.push_back(timed("FT", "128x128x32 x 3 steps", 0.25, 0.75, [] {
-    const npb::FtResult r = npb::run_ft(128, 128, 32, 3);
-    return std::pair(r.verified, r.ops);
-  }));
-  rows.push_back(timed("EP", "2^25 pairs (class W)", 0.30, 0.02, [] {
-    const npb::EpResult r = npb::run_ep(npb::kEpClassW);
-    const double rate = double(r.accepted) / double(r.pairs);
-    return std::pair(r.count_sum() == r.accepted && rate > 0.78 &&
-                         rate < 0.79,
-                     r.ops);
-  }));
-  rows.push_back(timed("IS", "2^20 keys, 2^16 buckets (class W)", 0.25, 0.80,
-                       [] {
-                         const npb::IsResult r = npb::run_is(20, 16, 10);
-                         return std::pair(r.ranks_sort_keys &&
-                                              r.ranks_are_permutation,
-                                          r.ops);
-                       }));
+  if (want("BT")) {
+    rows.push_back(timed("BT", "24^3 x 3 sweeps", 0.30, 0.35, [] {
+      const npb::BtResult r = npb::run_bt(24, 3);
+      return std::pair(r.verified, r.ops);
+    }));
+  }
+  if (want("SP")) {
+    rows.push_back(timed("SP", "36^3 x 2 sweeps", 0.55, 0.40, [] {
+      const npb::SpResult r = npb::run_sp(36, 2);
+      return std::pair(r.verified, r.ops);
+    }));
+  }
+  if (want("LU")) {
+    rows.push_back(timed("LU", "32^3 x 8 SSOR sweeps", 0.50, 0.45, [] {
+      const npb::LuResult r = npb::run_lu(32, 8);
+      return std::pair(r.verified, r.ops);
+    }));
+  }
+  if (want("MG")) {
+    rows.push_back(timed("MG", "64^3 x 4 V-cycles", 0.15, 0.70, [] {
+      const npb::MgResult r = npb::run_mg(64, 4);
+      return std::pair(r.final_residual < 0.2 * r.initial_residual, r.ops);
+    }));
+  }
+  if (want("CG")) {
+    rows.push_back(timed("CG", "n=7000, nonzer=8, shift=12", 0.30, 0.85, [] {
+      const npb::CgResult r = npb::run_cg(7000, 8, 4, 12.0);
+      return std::pair(
+          r.residual_history.back() < r.residual_history.front(), r.ops);
+    }));
+  }
+  if (want("FT")) {
+    rows.push_back(timed("FT", "128x128x32 x 3 steps", 0.25, 0.75, [] {
+      const npb::FtResult r = npb::run_ft(128, 128, 32, 3);
+      return std::pair(r.verified, r.ops);
+    }));
+  }
+  if (want("EP")) {
+    rows.push_back(timed("EP", "2^25 pairs (class W)", 0.30, 0.02, [] {
+      const npb::EpResult r = npb::run_ep(npb::kEpClassW);
+      const double rate = double(r.accepted) / double(r.pairs);
+      return std::pair(r.count_sum() == r.accepted && rate > 0.78 &&
+                           rate < 0.79,
+                       r.ops);
+    }));
+  }
+  if (want("IS")) {
+    rows.push_back(timed("IS", "2^20 keys, 2^16 buckets (class W)", 0.25,
+                         0.80, [] {
+                           const npb::IsResult r = npb::run_is(20, 16, 10);
+                           return std::pair(r.ranks_sort_keys &&
+                                                r.ranks_are_permutation,
+                                            r.ops);
+                         }));
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr,
+                 "npb_classw: --only %s matches no code (expected BT, SP, "
+                 "LU, MG, CG, FT, EP, or IS)\n",
+                 only.c_str());
+    return 2;
+  }
 
   TablePrinter t({"Code", "Problem", "Verified", "Gop counted",
                   "Host s", "TM5600 s", "PIII s", "Power3 s", "Athlon s"});

@@ -1,18 +1,23 @@
 /// serve_saturation: the serving layer's acceptance bench, runnable
 /// standalone and as a ctest entry (registered in bench.cmake).
 ///
-/// Three phases against an in-process Server:
+/// Four phases against an in-process Server:
 ///
 ///  1. single   — one end-to-end request; its virtual seconds and
 ///                interaction count are deterministic and gate via
 ///                bench_gate.py, the request latency is the wall metric.
-///  2. wave     — the deterministic saturated chaos wave: the pool is
+///  2. certify  — the WCET admission path on a CMS workload: a request
+///                whose certified worst case provably exceeds its deadline
+///                is refused 422 *before* any JobPool submission, and the
+///                admitted twin's measured cycles land inside the
+///                certified bounds (both deterministic, gated exactly).
+///  3. wave     — the deterministic saturated chaos wave: the pool is
 ///                provably saturated (sequenced via /stats), then a seeded
 ///                mix of garbage / stalls / drops / well-formed requests
 ///                runs against it. The shed and degraded counts are a pure
 ///                function of the seed; the bench asserts they match the
 ///                prediction AND replay identically on a second run.
-///  3. load2x   — open-loop chaos load at 2x the measured sustainable
+///  4. load2x   — open-loop chaos load at 2x the measured sustainable
 ///                rate: the server must shed or degrade (never 5xx, never
 ///                reset a client) and end healthy with an empty pool.
 ///
@@ -95,6 +100,57 @@ void bench_single(hostperf::BenchReport& report) {
   report.add({"serve.single", wall, virtual_seconds, interactions, 0.0});
   std::printf("single: %.1f ms wall, %.4f virtual s, %.0f interactions\n\n",
               wall * 1e3, virtual_seconds, interactions);
+}
+
+/// Phase 2: WCET admission control on a CMS workload. The certified bound
+/// and the measured cycles are both pure functions of the program, so the
+/// row gates exactly (wcet-style) via bench_gate.py.
+void bench_certify(hostperf::BenchReport& report) {
+  Server server(serve_options());
+  server.start();
+  const std::uint16_t port = server.port();
+
+  const auto cms_body = [](int steps, double deadline_ms) {
+    Json b = Json::object();
+    b.set("workload", "cms")
+        .set("program", "naive_daxpy_n256")
+        .set("opt_level", 2)
+        .set("steps", steps)
+        .set("allow_degraded", false);
+    if (deadline_ms > 0.0) b.set("deadline_ms", deadline_ms);
+    return b.dump();
+  };
+
+  // Provably over deadline: refused before the pool ever sees it.
+  const Reply over = roundtrip(port, post_simulate(cms_body(50, 0.001)));
+  check(over.status == 422, "certify: impossible deadline refused 422");
+  const Json s0 = fetch_stats(port);
+  check(counter(s0, "rejected_over_deadline") == 1,
+        "certify: rejection counted in rejected_over_deadline");
+  check(counter(s0, "admitted") == 0 && gauge(s0, "pool_active") == 0,
+        "certify: zero JobPool submissions for the refused request");
+
+  // The same workload with room to run: admitted, and the measured cycles
+  // must land inside the certified bounds the server priced it with.
+  hostperf::WallTimer timer;
+  const Reply ok = roundtrip(port, post_simulate(cms_body(50, 0.0)));
+  const double wall = timer.seconds();
+  check(ok.status == 200, "certify: same workload with headroom answers 200");
+  double cycles = 0.0, upper = 0.0, virtual_seconds = 0.0;
+  if (ok.status == 200) {
+    const Json r = Json::parse(ok.body).get("result");
+    cycles = r.get("total_cycles").as_number();
+    upper = r.get("certified_upper_cycles").as_number();
+    virtual_seconds = r.get("elapsed_seconds").as_number();
+    check(r.get("certified_lower_cycles").as_number() <= cycles &&
+              cycles <= upper,
+          "certify: measured cycles inside the certified bounds");
+  }
+  server.stop();
+  report.add({"serve.certify", wall, virtual_seconds, cycles, upper});
+  std::printf("certify: 422 before submission, admitted run %.0f cycles "
+              "<= certified %.0f (%.1f ms)\n\n",
+              cycles, upper, wall * 1e3);
 }
 
 constexpr int kWaveArrivals = 32;
@@ -324,6 +380,7 @@ int main(int argc, char** argv) {
   auto report =
       hostperf::BenchReport::from_env("serve_saturation", /*host_threads=*/2);
   bench_single(report);
+  bench_certify(report);
   bench_wave(report);
   bench_load2x(report, quick);
   if (g_failures != 0) {

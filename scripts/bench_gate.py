@@ -32,6 +32,13 @@ beat tier-2 by at least --jit-speedup (default 2.0). Both rows come from
 the same process on the same host, so the wall-time ratio is a fair gate
 even though absolute wall times never gate against the baseline.
 
+Results named "wcet.*" (the static cycle-certification rows from
+bench/ablation_cms) are held to *exact* stability against the baseline:
+both metrics in the row — the measured engine cycles and the certified
+upper bound — are products of pure, deterministic analysis, so any drift
+whatsoever is a real change to the certifier or the engine and must be
+re-baselined deliberately, not absorbed by the tolerance.
+
 Malformed collections report every bad row before exiting, so a botched
 regeneration surfaces all at once instead of one row per run.
 """
@@ -172,6 +179,16 @@ def rel_delta(base, cand):
     return abs(cand - base) / denom
 
 
+def effective_tolerance(name, tolerance):
+    """Per-row tolerance: wcet.* rows are exact-stability gated.
+
+    Certification is pure static analysis over a deterministic cost model;
+    a certified bound that moves at all means the certifier (or the engine
+    it prices) changed, which deserves an explicit re-baseline.
+    """
+    return 0.0 if name.startswith("wcet.") else tolerance
+
+
 def compare(baseline_path, candidate_path, tolerance, jit_speedup):
     base = load(baseline_path)
     cand = load(candidate_path)
@@ -192,12 +209,15 @@ def compare(baseline_path, candidate_path, tolerance, jit_speedup):
                 failures.append(
                     f"{bench_name}: candidate row lacks {metric}")
                 continue
+            tol = effective_tolerance(key[1], tolerance)
             d = rel_delta(b[metric], c[metric])
-            if d > tolerance:
+            if d > tol:
                 failures.append(
                     f"{bench_name}: {metric} moved {d * 100:.2f}% "
                     f"({b[metric]:.8g} -> {c[metric]:.8g}, "
-                    f"tolerance {tolerance * 100:.0f}%)")
+                    + ("exact stability required for wcet.* rows)"
+                       if tol == 0.0 else
+                       f"tolerance {tol * 100:.0f}%)"))
         wall_b = b.get("wall_seconds", 0.0)
         wall_c = c.get("wall_seconds", 0.0)
         if wall_b > 0:

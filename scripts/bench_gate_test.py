@@ -126,6 +126,44 @@ class JitTierRule(unittest.TestCase):
         self.assertIn("non-positive wall time", fails[0])
 
 
+class WcetExactStabilityRule(unittest.TestCase):
+    def compare_files(self, base_rows, cand_rows, tolerance=0.10):
+        paths = []
+        for rows in (base_rows, cand_rows):
+            with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                             delete=False) as f:
+                f.write(collection_line("ablation_cms", rows) + "\n")
+                paths.append(f.name)
+        try:
+            with contextlib.redirect_stdout(io.StringIO()), \
+                    contextlib.redirect_stderr(io.StringIO()):
+                return bench_gate.compare(paths[0], paths[1], tolerance, 2.0)
+        finally:
+            for p in paths:
+                os.unlink(p)
+
+    def test_wcet_rows_get_zero_tolerance(self):
+        self.assertEqual(bench_gate.effective_tolerance("wcet.daxpy", 0.10),
+                         0.0)
+        self.assertEqual(bench_gate.effective_tolerance("opt.daxpy.l2", 0.10),
+                         0.10)
+
+    def test_tiny_drift_within_tolerance_still_fails_a_wcet_row(self):
+        base = [row("wcet.daxpy", ops=12888.0, cycles=14120.0)]
+        cand = [row("wcet.daxpy", ops=12888.0, cycles=14121.0)]
+        self.assertEqual(self.compare_files(base, cand), 1)
+
+    def test_exactly_stable_wcet_row_passes(self):
+        base = [row("wcet.daxpy", ops=12888.0, cycles=14120.0)]
+        cand = [row("wcet.daxpy", wall=9.9, ops=12888.0, cycles=14120.0)]
+        self.assertEqual(self.compare_files(base, cand), 0)
+
+    def test_non_wcet_rows_keep_the_relative_tolerance(self):
+        base = [row("dispatch.daxpy", cycles=10000.0)]
+        cand = [row("dispatch.daxpy", cycles=10500.0)]
+        self.assertEqual(self.compare_files(base, cand), 0)
+
+
 class OptLevelRule(unittest.TestCase):
     def test_optimized_row_must_not_exceed_level_zero(self):
         e = {("opt", "daxpy.l0"): row("daxpy.l0", cycles=1000.0),

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Sanitizer and model-checker gates. CI entry point; also runnable locally.
 #
-#   check.sh [asan|tsan|mc|serve|prove|jit|all]   (default: asan)
+#   check.sh [asan|tsan|mc|serve|prove|jit|wcet|all]   (default: asan)
 #
 # asan: build the whole tree with ASan + UBSan and run the full tier-1 test
 # suite (plus the bladed-lint / bladed-commcheck ctest entries) under both.
@@ -35,6 +35,15 @@
 # executes raw host memory ops with bounds checks elided on the strength
 # of prove licenses, so its buffers and dispatch loop run with sanitizers
 # watching.
+#
+# wcet: the cycle-certifier gate under ASan + UBSan — test_wcet (corpus
+# certification, golden-kernel precision, opt cost-gating, certified JIT
+# budgets), the 1000-program soundness fuzzer that brackets the real
+# engine's total_cycles at every tier and opt level (plus the JobPool
+# pass), and both bladed-lint --wcet modes (corpus certification + the
+# unbounded-shape refutations). Serve admission control refuses requests
+# on the strength of these bounds, so the analyzer's own memory
+# discipline runs with sanitizers watching.
 #
 # mc: build with -DBLADED_MC=ON (the mc:: shims resolve to the checker-
 # routed classes instead of the std types) and run the bladed-mc gates —
@@ -123,6 +132,23 @@ run_jit() {
   echo "check.sh: tier-3 JIT clean under ASan+UBSan"
 }
 
+run_wcet() {
+  # Same flags as run_asan, so the stages can share one build dir (CI gives
+  # each its own cache; locally the second run is incremental).
+  local dir=${WCET_BUILD_DIR:-build-sanitize}
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBLADED_ASAN=ON \
+    -DBLADED_UBSAN=ON
+  cmake --build "${dir}" -j "${JOBS}" \
+    --target test_wcet test_wcet_fuzz bladed-lint
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    -L '^(test_wcet|test_wcet_fuzz)$'
+  ctest --test-dir "${dir}" --output-on-failure \
+    -R '^(lint_wcet|lint_wcet_selftest)$'
+  echo "check.sh: cycle certifier clean under ASan+UBSan"
+}
+
 run_mc() {
   local dir=${MC_BUILD_DIR:-build-mc}
   cmake -B "${dir}" -S . \
@@ -143,6 +169,7 @@ case "${STAGE}" in
   serve) run_serve ;;
   prove) run_prove ;;
   jit) run_jit ;;
-  all) run_asan; run_tsan; run_mc; run_serve; run_prove; run_jit ;;
-  *) echo "usage: check.sh [asan|tsan|mc|serve|prove|jit|all]" >&2; exit 2 ;;
+  wcet) run_wcet ;;
+  all) run_asan; run_tsan; run_mc; run_serve; run_prove; run_jit; run_wcet ;;
+  *) echo "usage: check.sh [asan|tsan|mc|serve|prove|jit|wcet|all]" >&2; exit 2 ;;
 esac

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # clang-tidy gate over the full src/ tree (CI entry point; also runnable
-# locally). Uses the repo root .clang-tidy profile; src/opt/ and src/prove/
-# additionally pick up their stricter directory-local profiles via
-# InheritParentConfig (performance-* checks promoted to errors), so a
-# single sweep enforces all of them. Analyzes every translation unit in
+# locally). Uses the repo root .clang-tidy profile; src/opt/, src/prove/,
+# src/jit/ and src/wcet/ additionally pick up their stricter
+# directory-local profiles via InheritParentConfig (performance-* checks
+# promoted to errors), so a single sweep enforces all of them. Analyzes every translation unit in
 # src/ and tools/ against the compile_commands.json of a plain
 # RelWithDebInfo configure; warnings promoted by WarningsAsErrors fail the
 # run.

@@ -132,7 +132,9 @@ MorphingStats MorphingEngine::run(const Program& source, MachineState& st,
       // a permanent refusal (no license).
       if (cfg_.jit_compiler && !jit_refused_[entry] &&
           jit_entries_.count(entry) == 0 &&
-          ++native_counts_[entry] >= cfg_.jit_threshold) {
+          ++native_counts_[entry] >=
+              (cfg_.jit_budget ? cfg_.jit_budget(prog, st.mem.size(), entry)
+                               : cfg_.jit_threshold)) {
         bool retry = false;
         std::string why;
         auto region = cfg_.jit_compiler(prog, entry, cache_, st.mem.size(),

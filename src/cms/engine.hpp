@@ -77,6 +77,16 @@ using RegionCompiler = std::function<std::unique_ptr<CompiledRegion>(
     const Program&, std::size_t, const TranslationCache&, std::size_t, bool*,
     std::string*)>;
 
+/// Hook choosing the tier-3 promotion budget for one entry pc: (program,
+/// mem_doubles, entry_pc) -> native executions before the compiler is
+/// tried. Lets a static analysis (bladed::wcet's certified dispatch
+/// bounds) replace the raw-count default; the engine falls back to
+/// `jit_threshold` when unset. Promotion timing never changes cycle
+/// accounting (the compiled tier replays tier-2's), only when compilation
+/// work is spent.
+using JitBudget =
+    std::function<std::uint64_t(const Program&, std::size_t, std::size_t)>;
+
 /// Default for MorphingConfig::verify_translations: on in debug builds,
 /// off when NDEBUG is defined (release).
 #ifdef NDEBUG
@@ -115,6 +125,9 @@ struct MorphingConfig {
   RegionCompiler jit_compiler;
   /// Tier-2 native executions of a block before JIT compilation is tried.
   std::uint64_t jit_threshold = 16;
+  /// When set, overrides `jit_threshold` per entry pc (see JitBudget);
+  /// bladed::jit::attach_certified_budgets installs the wcet-derived hook.
+  JitBudget jit_budget;
   /// Dynamic-block budget for the first-entry differential gate: the region
   /// runs natively and via the architectural reference for at most this many
   /// blocks and the resulting states are compared bitwise. Mismatch demotes

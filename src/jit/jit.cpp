@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "jit/compile.hpp"
 #include "opt/opt.hpp"
 #include "prove/prove.hpp"
+#include "wcet/wcet.hpp"
 
 namespace bladed::jit {
 
@@ -62,6 +64,45 @@ void attach_jit(cms::MorphingConfig& cfg) {
   // hot regions at the tier-2 gate. Respect the caller's choices when set.
   if (!cfg.optimizer) cfg.optimizer = opt::engine_optimizer();
   if (!cfg.prover) cfg.prover = prove::engine_prover();
+}
+
+void attach_certified_budgets(cms::MorphingConfig& cfg) {
+  const wcet::CostParams costs = wcet::CostParams::from(cfg);
+  const std::uint64_t fallback = cfg.jit_threshold;
+  // Interpreted warm-up dispatches before the first translation; only
+  // dispatches after it can be cache hits, which is what native_counts_
+  // counts against the budget.
+  const std::uint64_t warmup =
+      costs.hot_threshold == 0 ? 0 : costs.hot_threshold - 1;
+  auto memo = std::make_shared<
+      std::unordered_map<std::uint64_t,
+                         std::unordered_map<std::size_t, std::uint64_t>>>();
+  cfg.jit_budget = [costs, fallback, warmup, memo](
+                       const cms::Program& prog, std::size_t mem_doubles,
+                       std::size_t entry_pc) -> std::uint64_t {
+    const std::uint64_t key = hash_program(prog, mem_doubles);
+    auto it = memo->find(key);
+    if (it == memo->end()) {
+      std::unordered_map<std::size_t, std::uint64_t> budgets;
+      const wcet::Certificate cert = wcet::certify(prog, mem_doubles, costs);
+      if (cert.valid && cert.bounded) {
+        for (const wcet::EntryCost& e : cert.entries) {
+          // Cache hits possible at this entry: dispatches minus the
+          // interpreted warm-up minus the translate-and-run dispatch.
+          const std::uint64_t hits =
+              e.max_dispatches > warmup + 1 ? e.max_dispatches - warmup - 1
+                                            : 0;
+          budgets[e.entry_pc] =
+              hits >= fallback
+                  ? 1  // certified hot: counting would get there anyway
+                  : std::numeric_limits<std::uint64_t>::max();  // never
+        }
+      }
+      it = memo->emplace(key, std::move(budgets)).first;
+    }
+    const auto b = it->second.find(entry_pc);
+    return b == it->second.end() ? fallback : b->second;
+  };
 }
 
 bool env_enabled(bool default_on) {

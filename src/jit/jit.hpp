@@ -51,6 +51,18 @@ void attach_jit(cms::MorphingConfig& cfg);
 /// other non-empty value enables, unset returns `default_on`.
 [[nodiscard]] bool env_enabled(bool default_on);
 
+/// Certified promotion budgets: replaces the raw-execution-count promotion
+/// rule with bladed::wcet's certified per-entry dispatch bounds. An entry
+/// the certificate proves hot enough that counting would promote it anyway
+/// compiles on its *first* native execution (no warm-up laps); an entry
+/// certified too cold to ever reach the counting threshold is never
+/// compiled (the compile work provably cannot amortize). Programs without
+/// a license — unbounded or invalid — fall back to `cfg.jit_threshold`
+/// counting, exactly as before. Cycle accounting is unaffected either way
+/// (tier-3 bit-identity); only where compilation effort is spent moves.
+/// Call after attach_jit; the certificate is memoized per program content.
+void attach_certified_budgets(cms::MorphingConfig& cfg);
+
 /// Dry-run lowering plan for one region entry (bladed-lint --jit).
 struct RegionPlan {
   std::size_t entry_pc = 0;

@@ -3,6 +3,7 @@
 #include "check/check.hpp"
 #include "check/differential.hpp"
 #include "opt/passes.hpp"
+#include "wcet/wcet.hpp"
 
 namespace bladed::opt {
 
@@ -16,6 +17,15 @@ std::string first_error(const check::Report& report) {
     }
   }
   return "unknown";
+}
+
+/// Certified tier-2 cycle upper bound of `prog`, or 0 when the certifier
+/// has no license for it (invalid or unbounded) — 0 disables the cost gate
+/// for that comparison.
+std::uint64_t certified_upper(const cms::Program& prog,
+                              std::size_t mem_doubles) {
+  const wcet::Certificate cert = wcet::certify(prog, mem_doubles);
+  return cert.valid && cert.bounded ? cert.tier2.upper : 0;
 }
 
 }  // namespace
@@ -54,6 +64,11 @@ OptResult optimize(const cms::Program& prog, const OptOptions& opts) {
       {"dead-store", &pass_dead_store},
       {"licm", &pass_licm},
   };
+
+  // Lazily computed certified bound of the *current* program, shared by
+  // every cost-gate comparison in a sweep (only accepted passes move it).
+  std::uint64_t current_bound = 0;
+  bool current_bound_known = false;
 
   const std::size_t max_sweeps = opts.level >= 2 ? 8 : 1;
   for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
@@ -94,6 +109,27 @@ OptResult optimize(const cms::Program& prog, const OptOptions& opts) {
           res.deltas.push_back(std::move(delta));
           continue;
         }
+      }
+      if (opts.cost_gate) {
+        if (!current_bound_known) {
+          current_bound = certified_upper(res.program, opts.mem_doubles);
+          current_bound_known = true;
+        }
+        const std::uint64_t candidate_bound =
+            certified_upper(candidate, opts.mem_doubles);
+        delta.certified_before = current_bound;
+        delta.certified_after = candidate_bound;
+        if (current_bound != 0 && candidate_bound > current_bound) {
+          delta.cost_rolled_back = true;
+          delta.instrs_after = delta.instrs_before;
+          delta.certified_after = current_bound;
+          delta.note = "wcet: certified upper bound +" +
+                       std::to_string(candidate_bound - current_bound) +
+                       " cycles";
+          res.deltas.push_back(std::move(delta));
+          continue;
+        }
+        current_bound = candidate_bound;
       }
       res.program = std::move(candidate);
       delta.applied = true;

@@ -15,6 +15,9 @@
 /// A pass failing either proof is rolled back and recorded as rejected —
 /// the pipeline never trades correctness for cycles (the translation-
 /// validation discipline: don't verify the optimizer, verify each output).
+/// Separately, the wcet cost gate rolls back any pass whose certified
+/// tier-2 upper bound increases; that is a pricing decision, not a proof
+/// failure, and is recorded as `cost_rolled_back` rather than `rejected`.
 ///
 /// opt_level semantics: 0 = identity, 1 = one sweep of every pass, >= 2 =
 /// sweep to a fixpoint. `engine_optimizer()` packages the pipeline as the
@@ -37,6 +40,12 @@ struct OptOptions {
   bool verify = true;              ///< run the per-pass proof obligations
   std::uint64_t seed = 0x5eed;     ///< differential input seed
   int diff_runs = 3;               ///< differential inputs per proof
+  /// Third proof obligation (bladed::wcet): a pass whose output carries a
+  /// *higher* certified tier-2 cycle upper bound than its input is rolled
+  /// back — bit-identical but provably more expensive is still a
+  /// regression. Inert on programs the certifier cannot bound (no
+  /// trip-count license: no cost number to compare, mirroring prove).
+  bool cost_gate = true;
 };
 
 /// Outcome of one pass application within the pipeline.
@@ -46,7 +55,20 @@ struct PassDelta {
   std::size_t instrs_after = 0;
   bool applied = false;   ///< changed the program and both proofs held
   bool rejected = false;  ///< changed the program but a proof failed
-  std::string note;       ///< rejection reason (empty otherwise)
+  /// Changed the program, both proofs held, but the wcet cost gate measured
+  /// a larger certified upper bound and restored the cheaper program. Not a
+  /// correctness failure: the certified bound is conservative and not
+  /// monotone in actual cost (e.g. copy propagation can break a molecule
+  /// fusion pattern), so benign transforms may be priced out.
+  bool cost_rolled_back = false;
+  std::string note;       ///< rejection/rollback reason (empty otherwise)
+  /// Certified tier-2 cycle upper bounds around this pass (the wcet cost
+  /// gate's evidence); 0 when the pass changed nothing, the gate is off,
+  /// or the program is unbounded. A cost-rolled-back pass reports the
+  /// increase it would have caused in `note` and keeps `certified_after ==
+  /// certified_before` (the rollback restored the cheaper program).
+  std::uint64_t certified_before = 0;
+  std::uint64_t certified_after = 0;
 };
 
 struct OptResult {

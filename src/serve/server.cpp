@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -356,6 +357,29 @@ void Server::handle_simulate(std::uint64_t id, Conn& c,
     return;
   }
 
+  const double deadline = sim->deadline_ms > 0.0
+                              ? sim->deadline_ms / 1000.0
+                              : opt_.default_deadline_seconds;
+
+  // bladed::wcet admission gate: a cms request whose certified worst case
+  // already exceeds its own deadline can only ever time out — refuse it up
+  // front (422: the request is unsatisfiable, unlike 429's "busy") before
+  // it costs a pool slot or a coalesce wait.
+  if (sim->workload == "cms") {
+    const CmsCertification& cert = certify_for(hash, *sim);
+    if (cert.bounded && cert.upper_seconds > deadline) {
+      bump(&ServerStats::rejected_over_deadline);
+      char msg[160];
+      std::snprintf(msg, sizeof msg,
+                    "certified worst case %.6fs exceeds deadline %.6fs "
+                    "(upper bound %llu cycles)",
+                    cert.upper_seconds, deadline,
+                    static_cast<unsigned long long>(cert.upper_cycles));
+      respond_error(id, c, 422, msg);
+      return;
+    }
+  }
+
   // Coalesce onto an identical in-flight config: the rider gets the same
   // fresh result without a second job (and shares the job's deadline).
   if (!sim->force) {
@@ -373,9 +397,6 @@ void Server::handle_simulate(std::uint64_t id, Conn& c,
     }
   }
 
-  const double deadline = sim->deadline_ms > 0.0
-                              ? sim->deadline_ms / 1000.0
-                              : opt_.default_deadline_seconds;
   auto token = std::make_shared<hostperf::CancelToken>();
   const std::uint64_t job_id = next_job_id_++;
   const SimRequest jreq = *sim;
@@ -637,6 +658,13 @@ void Server::force_cancel_pending() {
   for (auto& [job_id, pj] : pending_) pj.token->cancel();
 }
 
+const CmsCertification& Server::certify_for(std::uint64_t hash,
+                                            const SimRequest& req) {
+  auto it = certs_.find(hash);
+  if (it == certs_.end()) it = certs_.emplace(hash, certify_cms(req)).first;
+  return it->second;
+}
+
 Server::Session& Server::touch_session(std::uint64_t hash,
                                        const std::string& hex) {
   auto it = sessions_.find(hash);
@@ -672,6 +700,7 @@ Json Server::stats_json() {
       .set("degraded_approx", s.degraded_approx)
       .set("shed", s.shed)
       .set("rejected_draining", s.rejected_draining)
+      .set("rejected_over_deadline", s.rejected_over_deadline)
       .set("deadline_timeouts", s.deadline_timeouts)
       .set("disconnect_cancels", s.disconnect_cancels)
       .set("read_timeouts", s.read_timeouts)

@@ -75,6 +75,7 @@ struct ServerStats {
   std::uint64_t degraded_approx = 0;      ///< analytic estimate, overload
   std::uint64_t shed = 0;                 ///< 429 Too Many Requests
   std::uint64_t rejected_draining = 0;    ///< 503 while draining
+  std::uint64_t rejected_over_deadline = 0;  ///< 422, certified bound > deadline
   std::uint64_t deadline_timeouts = 0;    ///< 504 from cancelled jobs
   std::uint64_t disconnect_cancels = 0;   ///< jobs cancelled, client gone
   std::uint64_t read_timeouts = 0;        ///< 408 slow clients
@@ -188,6 +189,11 @@ class Server {
   void force_cancel_pending();
   [[nodiscard]] Session& touch_session(std::uint64_t hash,
                                        const std::string& hex);
+  /// bladed::wcet certificate for a cms config, computed once per config
+  /// hash at first sight (session creation) and reused for every request
+  /// that maps to the same session.
+  [[nodiscard]] const CmsCertification& certify_for(std::uint64_t hash,
+                                                    const SimRequest& req);
   [[nodiscard]] Json make_body(const SimRequest& req, const Json& result,
                                bool cached, bool degraded,
                                std::string_view mode) const;
@@ -204,6 +210,7 @@ class Server {
   std::unordered_map<std::uint64_t, std::uint64_t> running_by_hash_;
   std::uint64_t next_job_id_ = 1;
   std::unordered_map<std::uint64_t, Session> sessions_;
+  std::unordered_map<std::uint64_t, CmsCertification> certs_;
 
   std::mutex done_mu_;
   std::vector<Completion> done_;

@@ -2,14 +2,19 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "arch/cost_model.hpp"
 #include "arch/registry.hpp"
+#include "cms/engine.hpp"
+#include "cms/programs.hpp"
 #include "common/error.hpp"
 #include "core/presets.hpp"
 #include "core/tco.hpp"
+#include "opt/opt.hpp"
 #include "treecode/parallel.hpp"
 #include "treecode/perf.hpp"
+#include "wcet/wcet.hpp"
 
 namespace bladed::serve {
 
@@ -142,12 +147,49 @@ struct FieldReader {
   return std::nullopt;
 }
 
+/// Corpus program for a validated "cms" request.
+[[nodiscard]] const cms::NamedProgram* corpus_program(
+    const std::string& name) {
+  static const std::vector<cms::NamedProgram> corpus = cms::prove_corpus();
+  for (const cms::NamedProgram& np : corpus) {
+    if (np.name == name) return &np;
+  }
+  return nullptr;
+}
+
+/// The program the engine actually executes for a cms request (the
+/// optimizer rewrite applied), plus the engine config — shared by the
+/// certifier and the runner so the certificate prices exactly what runs.
+[[nodiscard]] cms::MorphingConfig cms_engine_config(const SimRequest& req) {
+  cms::MorphingConfig cfg = cms::cms_42x();
+  cfg.opt_level = req.opt_level;
+  cfg.optimizer = opt::engine_optimizer();
+  return cfg;
+}
+
+[[nodiscard]] cms::Program cms_executed_program(const SimRequest& req,
+                                                const cms::NamedProgram& np) {
+  if (req.opt_level <= 0) return np.program;
+  opt::OptOptions opts;
+  opts.level = req.opt_level;
+  opts.mem_doubles = np.mem_doubles;
+  return opt::optimize(np.program, opts).program;
+}
+
 }  // namespace
 
 std::uint64_t SimRequest::config_hash() const {
   std::uint64_t h = kFnvOffset;
   fnv(h, workload);
   fnv(h, arch);
+  if (workload == "cms") {
+    // Canonical cms key: the program, the pipeline level and the run count
+    // are everything that shapes the (deterministic) result.
+    fnv(h, program);
+    fnv(h, static_cast<std::uint64_t>(opt_level));
+    fnv(h, static_cast<std::uint64_t>(steps));
+    return h;
+  }
   fnv(h, static_cast<std::uint64_t>(ranks));
   fnv(h, static_cast<std::uint64_t>(particles));
   fnv(h, static_cast<std::uint64_t>(steps));
@@ -209,15 +251,41 @@ std::optional<SimRequest> parse_sim_request(const Json& body,
       r.want_bool(v, "force", &req.force);
     } else if (key == "tco") {
       r.want_bool(v, "tco", &req.want_tco);
+    } else if (key == "program") {
+      r.want_string(v, "program", &req.program);
+    } else if (key == "opt_level") {
+      if (r.want_int(v, "opt_level", 0, 2, &i)) {
+        req.opt_level = static_cast<int>(i);
+      }
     } else {
       *error = "unknown field '" + key + "'";
       return std::nullopt;
     }
     if (!r.ok) return std::nullopt;
   }
-  if (req.workload != "treecode" && req.workload != "tco") {
+  if (req.workload != "treecode" && req.workload != "tco" &&
+      req.workload != "cms") {
     *error = "unknown workload '" + req.workload +
-             "' (supported: treecode, tco)";
+             "' (supported: treecode, tco, cms)";
+    return std::nullopt;
+  }
+  if (req.workload == "cms") {
+    if (req.program.empty()) {
+      *error = "cms workload requires field 'program'";
+      return std::nullopt;
+    }
+    if (corpus_program(req.program) == nullptr) {
+      std::string names;
+      for (const cms::NamedProgram& np : cms::prove_corpus()) {
+        if (!names.empty()) names += ", ";
+        names += np.name;
+      }
+      *error = "unknown cms program '" + req.program + "' (known: " + names +
+               ")";
+      return std::nullopt;
+    }
+  } else if (!req.program.empty()) {
+    *error = "field 'program' is only valid for the cms workload";
     return std::nullopt;
   }
   try {
@@ -233,8 +301,92 @@ std::optional<SimRequest> parse_sim_request(const Json& body,
   return req;
 }
 
+namespace {
+
+/// The cms workload: `steps` independent fresh-engine runs of the corpus
+/// program, each exactly the fresh-start contract the wcet certificate is
+/// sound for (the engine is reset between runs — no cross-run cache warmth
+/// the static bound would have to model). Cycles are priced into simulated
+/// seconds at the request arch's clock.
+[[nodiscard]] SimOutcome run_cms(const SimRequest& req,
+                                 const std::atomic<bool>* cancel) {
+  const cms::NamedProgram* np = corpus_program(req.program);
+  BLADED_REQUIRE_MSG(np != nullptr, "cms workload validated without program");
+  const cms::Program prog = cms_executed_program(req, *np);
+  cms::MorphingConfig cfg = cms_engine_config(req);
+  // The rewrite already happened above (the certificate prices its output);
+  // running it again inside the engine would double the pipeline work.
+  cfg.opt_level = 0;
+  cfg.optimizer = nullptr;
+  cms::MorphingEngine engine(cfg);
+  cms::MorphingStats total;
+  for (int step = 0; step < req.steps; ++step) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      throw CancelledError("cms run cancelled");
+    }
+    engine.reset();
+    cms::MachineState st(np->mem_doubles);
+    const cms::MorphingStats s = engine.run(prog, st);
+    total.total_cycles += s.total_cycles;
+    total.interpret_cycles += s.interpret_cycles;
+    total.translate_cycles += s.translate_cycles;
+    total.native_cycles += s.native_cycles;
+    total.translations += s.translations;
+    total.interpreted_instructions += s.interpreted_instructions;
+    total.native_block_executions += s.native_block_executions;
+  }
+  const arch::ProcessorModel& cpu = arch::by_short_name(req.arch);
+  const CmsCertification cert = certify_cms(req);
+
+  SimOutcome out;
+  out.virtual_seconds =
+      static_cast<double>(total.total_cycles) / cpu.clock_hz();
+  out.result = Json::object();
+  out.result.set("program", req.program)
+      .set("opt_level", static_cast<double>(req.opt_level))
+      .set("steps", static_cast<double>(req.steps))
+      .set("total_cycles", static_cast<double>(total.total_cycles))
+      .set("interpret_cycles", static_cast<double>(total.interpret_cycles))
+      .set("translate_cycles", static_cast<double>(total.translate_cycles))
+      .set("native_cycles", static_cast<double>(total.native_cycles))
+      .set("translations", static_cast<double>(total.translations))
+      .set("elapsed_seconds", out.virtual_seconds);
+  if (cert.bounded) {
+    out.result.set("certified_upper_cycles",
+                   static_cast<double>(cert.upper_cycles))
+        .set("certified_lower_cycles",
+             static_cast<double>(cert.lower_cycles));
+  }
+  return out;
+}
+
+}  // namespace
+
+CmsCertification certify_cms(const SimRequest& req) {
+  CmsCertification cert;
+  if (req.workload != "cms") return cert;
+  const cms::NamedProgram* np = corpus_program(req.program);
+  if (np == nullptr) return cert;
+  const cms::Program prog = cms_executed_program(req, *np);
+  const cms::MorphingConfig cfg = cms_engine_config(req);
+  const wcet::Certificate c =
+      wcet::certify(prog, np->mem_doubles, wcet::CostParams::from(cfg));
+  if (!c.valid || !c.bounded) return cert;
+  cert.bounded = true;
+  const auto steps = static_cast<std::uint64_t>(req.steps);
+  const std::uint64_t sat = std::numeric_limits<std::uint64_t>::max();
+  cert.upper_cycles = c.tier2.upper != 0 && steps > sat / c.tier2.upper
+                          ? sat
+                          : steps * c.tier2.upper;
+  cert.lower_cycles = steps * c.tier2.lower;
+  cert.upper_seconds = static_cast<double>(cert.upper_cycles) /
+                       arch::by_short_name(req.arch).clock_hz();
+  return cert;
+}
+
 SimOutcome run_simulation(const SimRequest& req,
                           const std::atomic<bool>* cancel) {
+  if (req.workload == "cms") return run_cms(req, cancel);
   treecode::ParallelConfig cfg;
   cfg.ranks = req.ranks;
   cfg.particles = static_cast<std::size_t>(req.particles);
@@ -286,6 +438,25 @@ SimOutcome run_inline(const SimRequest& req) {
 }
 
 SimOutcome approximate_simulation(const SimRequest& req) {
+  if (req.workload == "cms") {
+    // The degraded cms answer IS the static certificate: no engine run, the
+    // certified bounds bracket what a run would have reported.
+    const CmsCertification cert = certify_cms(req);
+    SimOutcome out;
+    out.result = Json::object();
+    out.result.set("program", req.program)
+        .set("opt_level", static_cast<double>(req.opt_level))
+        .set("steps", static_cast<double>(req.steps))
+        .set("model", "wcet-certificate");
+    if (cert.bounded) {
+      out.result.set("elapsed_seconds", cert.upper_seconds)
+          .set("certified_upper_cycles",
+               static_cast<double>(cert.upper_cycles))
+          .set("certified_lower_cycles",
+               static_cast<double>(cert.lower_cycles));
+    }
+    return out;
+  }
   // Estimated interaction count for a Barnes-Hut pass: ~c * log2(N) cell
   // interactions per particle per step (c from the instrumented reference
   // runs; accuracy is secondary — this is the degraded answer).

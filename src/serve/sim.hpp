@@ -21,6 +21,11 @@ struct SimRequest {
   ///             (executes on a JobPool worker; cancellable).
   /// "tco":      total-cost-of-ownership model for a preset/derived cluster
   ///             (pure arithmetic; answered inline on the event loop).
+  /// "cms":      a corpus CMS program on the morphing engine, `steps`
+  ///             independent certified runs (executes on a JobPool worker;
+  ///             admission is gated by the bladed::wcet certificate — a
+  ///             request whose certified bound already exceeds its deadline
+  ///             is refused with 422 before submission).
   std::string workload = "treecode";
   std::string arch = "TM5600";  ///< arch::by_short_name key
   int ranks = 24;
@@ -31,6 +36,9 @@ struct SimRequest {
   /// Compute width of this job inside the worker (Cluster host_threads).
   int host_threads = 1;
   double years = 4.0;  ///< TCO operating period
+  // cms workload only.
+  std::string program;  ///< cms::prove_corpus program name
+  int opt_level = 2;    ///< verified pipeline level the engine runs at
 
   // Per-request serving policy (not part of the config hash).
   double deadline_ms = 0.0;    ///< 0 = server default
@@ -76,5 +84,20 @@ struct SimOutcome {
 /// TCO table for the preset cluster whose CPU matches `arch` (24-node
 /// MetaBlade-style chassis); null Json when no preset uses that CPU.
 [[nodiscard]] Json tco_for_arch(const std::string& arch, double years);
+
+/// bladed::wcet certificate for a "cms" request, totalled over its `steps`
+/// fresh engine runs and priced in simulated seconds on the request arch's
+/// clock. `bounded == false` (non-cms request, or no trip-count license)
+/// means there is no static cost statement and admission proceeds as usual.
+struct CmsCertification {
+  bool bounded = false;
+  std::uint64_t upper_cycles = 0;  ///< certified tier-2 total, all steps
+  std::uint64_t lower_cycles = 0;
+  double upper_seconds = 0.0;  ///< upper_cycles at the arch clock
+};
+
+/// Certify the cms workload of `req` (validated request). Deterministic and
+/// cheap enough for the event loop; the server memoizes per config hash.
+[[nodiscard]] CmsCertification certify_cms(const SimRequest& req);
 
 }  // namespace bladed::serve

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "cms/programs.hpp"
 #include "prove/context.hpp"
 
@@ -163,6 +165,94 @@ TEST(Bounds, OffByOneLoopIsRefused) {
   const Context octx(ok, 4096);
   EXPECT_EQ(unproven_count(prove_accesses(octx, compute_loop_bounds(octx))),
             0u);
+}
+
+/// Canonical counted loop `for (a = start; a < limit; a += step)` with an
+/// empty body — the minimal shape the trip-count argument licenses.
+[[nodiscard]] Program counted_loop(std::int64_t start, std::int64_t limit,
+                                   std::int64_t step) {
+  return {
+      make(Op::kMovi, 1, 0, 0, start),  // 0
+      make(Op::kMovi, 2, 0, 0, limit),  // 1
+      make(Op::kAddi, 1, 1, 0, step),   // 2: header + latch block
+      make(Op::kBlt, 1, 2, 0, 2),       // 3
+      make(Op::kHalt),                  // 4
+  };
+}
+
+TEST(BoundsOverflow, TripCountAtTheLargestRepresentableLimit) {
+  // limit INT64_MAX - 1 is the largest limit the interval domain can state
+  // as a real constant (INT64_MAX itself is the +inf sentinel). The
+  // __int128 computation must neither wrap nor refuse here.
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  const Program p = counted_loop(0, kMax - 1, 1);
+  const Context ctx(p, 4096);
+  const std::vector<LoopBound> bounds = compute_loop_bounds(ctx);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_TRUE(bounds[0].bounded);
+  EXPECT_EQ(bounds[0].max_trips, kMax - 1);
+}
+
+TEST(BoundsOverflow, LimitOnTheInfinitySentinelIsRefused) {
+  // A literal INT64_MAX limit is indistinguishable from "unknown" in the
+  // interval domain (it IS kIntervalPosInf), so the trip-count argument
+  // must refuse rather than read the sentinel as a real bound.
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  const Program p = counted_loop(0, kMax, 1);
+  const Context ctx(p, 4096);
+  const std::vector<LoopBound> bounds = compute_loop_bounds(ctx);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_FALSE(bounds[0].bounded);
+  EXPECT_EQ(bounds[0].max_trips, 0);
+}
+
+TEST(BoundsOverflow, TripCountPastTheInt64CeilingIsRefused) {
+  // start -2 against the largest representable limit pushes k_max + 1 to
+  // INT64_MAX + 1: it does not fit an int64 trip count and the bound must
+  // be *refused*, not wrapped into a small (unsound) number.
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  const Program p = counted_loop(-2, kMax - 1, 1);
+  const Context ctx(p, 4096);
+  const std::vector<LoopBound> bounds = compute_loop_bounds(ctx);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_FALSE(bounds[0].bounded);
+  EXPECT_EQ(bounds[0].max_trips, 0);
+}
+
+TEST(BoundsOverflow, ExtremeEndpointsWithLargeStride) {
+  // diff spans nearly the whole int64 range; the stride division must
+  // happen in the wide type. trips = floor((kMax - 1 - 1 - 0) / kBig) + 1.
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kBig = std::int64_t{1} << 40;
+  const Program p = counted_loop(0, kMax - 1, kBig);
+  const Context ctx(p, 4096);
+  const std::vector<LoopBound> bounds = compute_loop_bounds(ctx);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_TRUE(bounds[0].bounded);
+  EXPECT_EQ(bounds[0].max_trips, (kMax - 2) / kBig + 1);
+}
+
+TEST(BoundsOverflow, StepLargerThanRangeIsOneTrip) {
+  // step > limit - start: the guard fails at the first latch, exactly one
+  // header execution. diff / step truncates to zero, not negative.
+  const Program p = counted_loop(0, 5, 100);
+  const Context ctx(p, 4096);
+  const std::vector<LoopBound> bounds = compute_loop_bounds(ctx);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_TRUE(bounds[0].bounded);
+  EXPECT_EQ(bounds[0].max_trips, 1);
+}
+
+TEST(BoundsOverflow, StartAtOrPastLimitIsStillOneHeaderExecution) {
+  // diff < 0 (start beyond the limit): the header still runs once before
+  // the guard is consulted, so max_trips is clamped to 1, never 0 or
+  // negative.
+  const Program p = counted_loop(10, 5, 1);
+  const Context ctx(p, 4096);
+  const std::vector<LoopBound> bounds = compute_loop_bounds(ctx);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_TRUE(bounds[0].bounded);
+  EXPECT_EQ(bounds[0].max_trips, 1);
 }
 
 }  // namespace

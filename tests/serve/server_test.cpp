@@ -422,5 +422,82 @@ TEST(ServeDrain, GracefulDrainAnswersInFlightAndRefusesNewConnections) {
   EXPECT_EQ(stats.internal_errors, 0u);
 }
 
+/// cms workload body; `deadline_ms = 0` means the server default.
+[[nodiscard]] std::string cms_body(const std::string& program, int steps,
+                                   double deadline_ms = 0.0) {
+  Json b = Json::object();
+  b.set("workload", "cms").set("program", program).set("steps", steps);
+  if (deadline_ms > 0.0) b.set("deadline_ms", deadline_ms);
+  return b.dump();
+}
+
+TEST(ServeCms, CmsRunReportsCyclesWithinTheCertifiedBounds) {
+  Server server(small_pool());
+  server.start();
+  const std::uint16_t port = server.port();
+
+  const Reply r =
+      roundtrip(port, post_simulate(cms_body("naive_daxpy_n256", 2)));
+  ASSERT_EQ(r.status, 200);
+  const Json body = Json::parse(r.body);
+  EXPECT_EQ(body.get("status").as_string(), "ok");
+  const Json& res = body.get("result");
+  EXPECT_EQ(res.get("program").as_string(), "naive_daxpy_n256");
+  const double cycles = res.get("total_cycles").as_number();
+  EXPECT_GT(cycles, 0.0);
+  EXPECT_GE(cycles, res.get("certified_lower_cycles").as_number());
+  EXPECT_LE(cycles, res.get("certified_upper_cycles").as_number());
+  EXPECT_GT(res.get("elapsed_seconds").as_number(), 0.0);
+
+  server.stop();
+  EXPECT_EQ(server.stats().internal_errors, 0u);
+  EXPECT_EQ(server.stats().rejected_over_deadline, 0u);
+}
+
+TEST(ServeCms, UnknownProgramIsA400) {
+  Server server(small_pool());
+  server.start();
+  const Reply r = roundtrip(server.port(),
+                            post_simulate(cms_body("no_such_kernel", 1)));
+  EXPECT_EQ(r.status, 400);
+  server.stop();
+  EXPECT_EQ(server.stats().bad_requests, 1u);
+}
+
+TEST(ServeCms, ProvablyOverDeadlineIs422BeforeAnyPoolSubmission) {
+  Server server(small_pool());
+  server.start();
+  const std::uint16_t port = server.port();
+
+  // 200 certified runs against a 1 microsecond deadline: the static upper
+  // bound alone proves the request can never finish in time. The refusal
+  // must happen at admission — nothing may reach the JobPool.
+  const Reply r = roundtrip(
+      port, post_simulate(cms_body("naive_daxpy_n256", 200, 0.001)));
+  EXPECT_EQ(r.status, 422);
+  const Json body = Json::parse(r.body);
+  EXPECT_EQ(body.get("status").as_string(), "error");
+  EXPECT_NE(body.get("error").as_string().find("certified"),
+            std::string::npos);
+
+  const Json stats = fetch_stats(port);
+  EXPECT_EQ(counter(stats, "rejected_over_deadline"), 1u);
+  EXPECT_EQ(counter(stats, "admitted"), 0u);
+  EXPECT_EQ(gauge(stats, "pool_active"), 0u);
+  EXPECT_EQ(gauge(stats, "pool_in_flight"), 0u);
+
+  // The same config with a sane deadline is served normally — the gate
+  // keys on the request's own budget, not the config.
+  const Reply ok =
+      roundtrip(port, post_simulate(cms_body("naive_daxpy_n256", 200)));
+  EXPECT_EQ(ok.status, 200);
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.rejected_over_deadline, 1u);
+  EXPECT_EQ(s.admitted, 1u);
+  EXPECT_EQ(s.internal_errors, 0u);
+}
+
 }  // namespace
 }  // namespace bladed::serve

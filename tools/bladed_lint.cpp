@@ -52,6 +52,7 @@
 #include "opt/opt.hpp"
 #include "cli.hpp"
 #include "prove/prove.hpp"
+#include "wcet/wcet.hpp"
 
 namespace {
 
@@ -162,6 +163,11 @@ int run_opt(bool verbose, std::size_t mem_override) {
       if (d.rejected) {
         std::cout << "  " << d.pass << ": REJECTED — " << d.note << "\n";
         failed = true;
+      } else if (d.cost_rolled_back) {
+        // Priced out by the wcet gate, not a proof failure: the certified
+        // bound would have grown, so the cheaper program was kept.
+        std::cout << "  " << d.pass << ": rolled back (cost) — " << d.note
+                  << "\n";
       } else if (d.applied) {
         std::cout << "  " << d.pass << ": applied, " << d.instrs_before
                   << " -> " << d.instrs_after << "\n";
@@ -288,6 +294,160 @@ int run_jit(bool verbose, std::size_t mem_override) {
   std::cout << (failed ? "bladed-lint --jit: FAILED\n"
                        : "bladed-lint --jit: all licensed regions lower\n");
   return failed ? kExitErrors : kExitClean;
+}
+
+/// `--wcet`: certify the analyzer corpus (wcet/wcet.hpp). Every program
+/// must come back bounded — the corpus is the set of programs the whole
+/// verified stack licenses end to end, so a missing cycle bound is a
+/// regression in either the trip-count prover or the certifier. `--json`
+/// prints the bladed-wcet-v1 envelope; unbounded programs reuse exit code 4
+/// (prove's "no license, no number").
+int run_wcet(bool verbose, std::size_t mem_override, bool json) {
+  bool errors = false;
+  std::size_t unbounded = 0;
+  std::string rows;
+  for (const cms::NamedProgram& entry : cms::prove_corpus()) {
+    const std::size_t mem =
+        mem_override != 0 ? mem_override : entry.mem_doubles;
+    const wcet::Certificate cert = wcet::certify(entry.program, mem);
+    if (!cert.valid) {
+      std::cout << entry.name << ": INVALID — " << cert.error << "\n";
+      errors = true;
+      continue;
+    }
+    if (!json) std::cout << entry.name << ": " << cert.to_string() << "\n";
+    if (!cert.bounded) unbounded += cert.unbounded.size();
+    if (verbose && !json) {
+      for (const wcet::EntryCost& e : cert.entries) {
+        std::cout << "  entry @" << e.entry_pc << ": <= " << e.max_dispatches
+                  << " dispatch(es), interp " << e.interp_cycles
+                  << ", translate " << e.translate_cycles << ", native "
+                  << e.native_cycles << ", " << e.molecules
+                  << " molecule(s)\n";
+      }
+    }
+    if (json) {
+      if (!rows.empty()) rows += ",";
+      rows += "{\"name\":\"" + entry.name +
+              "\",\"certificate\":" + cert.to_json() + "}";
+    }
+  }
+  if (json) {
+    // JSON mode keeps stdout a single parseable envelope; the verdict is
+    // the exit code (and the envelope's per-program bounded flags).
+    std::cout << "{\"schema\":\"bladed-wcet-v1\",\"programs\":[" << rows
+              << "]}\n";
+    if (errors) return kExitErrors;
+    return unbounded != 0 ? kExitUnproven : kExitClean;
+  }
+  if (errors) {
+    std::cout << "bladed-lint --wcet: FAILED\n";
+    return kExitErrors;
+  }
+  if (unbounded != 0) {
+    std::cout << "bladed-lint --wcet: " << unbounded
+              << " unbounded site(s)\n";
+    return kExitUnproven;
+  }
+  std::cout << "bladed-lint --wcet: corpus fully bounded\n";
+  return kExitClean;
+}
+
+/// One wcet-selftest case: a program with an unlicensable cycle the
+/// certifier must refuse at the expected header pc.
+struct UnboundedCase {
+  std::string name;
+  cms::Program program;
+  std::size_t header_pc;
+};
+
+/// `--wcet --selftest`: the corpus must be fully bounded with ordered,
+/// internally consistent intervals, AND every seeded unlicensable loop must
+/// get an unbounded verdict anchored at its header — the certifier proving
+/// it can say no.
+int run_wcet_selftest() {
+  int failures = 0;
+
+  // Side A: corpus programs are bounded and the intervals are sane.
+  for (const cms::NamedProgram& entry : cms::prove_corpus()) {
+    const wcet::Certificate cert =
+        wcet::certify(entry.program, entry.mem_doubles);
+    const bool ok = cert.valid && cert.bounded &&
+                    cert.interpret.lower <= cert.interpret.upper &&
+                    cert.tier2.lower <= cert.tier2.upper &&
+                    cert.tier2.lower <= cert.interpret.lower &&
+                    cert.tier3.lower == cert.tier2.lower &&
+                    cert.tier3.upper == cert.tier2.upper &&
+                    !cert.entries.empty();
+    if (ok) {
+      std::cout << "PASS bounded " << entry.name << " (tier2 <= "
+                << cert.tier2.upper << " cycles)\n";
+    } else {
+      ++failures;
+      std::cout << "FAIL bounded " << entry.name << ": " << cert.to_string()
+                << "\n";
+    }
+  }
+
+  // Side B: seeded programs whose cycles carry no trip-count license.
+  std::vector<UnboundedCase> cases;
+  {  // Latch is kBne: prove/bounds only licenses kBlt latches.
+    cases.push_back({"bne-latch",
+                     {make(Op::kMovi, 1, 0, 0, 0),
+                      make(Op::kMovi, 2, 0, 0, 16),
+                      make(Op::kAddi, 1, 1, 0, 1),
+                      make(Op::kBne, 1, 2, 0, 2), make(Op::kHalt)},
+                     2});
+  }
+  {  // Self-loop with no induction variable at all.
+    cases.push_back({"infinite-jmp",
+                     {make(Op::kMovi, 1, 0, 0, 0),
+                      make(Op::kJmp, 0, 0, 0, 1), make(Op::kHalt)},
+                     1});
+  }
+  {  // Guard IV stepped by a register add, not the canonical addi form.
+    cases.push_back({"register-step",
+                     {make(Op::kMovi, 1, 0, 0, 1),
+                      make(Op::kMovi, 2, 0, 0, 64),
+                      make(Op::kMovi, 3, 0, 0, 1),
+                      make(Op::kAdd, 1, 1, 3),
+                      make(Op::kBlt, 1, 2, 0, 3), make(Op::kHalt)},
+                     3});
+  }
+  {  // Licensed outer loop around an unlicensable inner latch: the verdict
+     // must anchor at the *inner* header.
+    cases.push_back({"nested-inner-bne",
+                     {make(Op::kMovi, 1, 0, 0, 0),
+                      make(Op::kMovi, 2, 0, 0, 4),
+                      make(Op::kMovi, 3, 0, 0, 8),
+                      make(Op::kMovi, 4, 0, 0, 0),
+                      make(Op::kAddi, 4, 4, 0, 1),
+                      make(Op::kBne, 4, 3, 0, 4),
+                      make(Op::kAddi, 1, 1, 0, 1),
+                      make(Op::kBlt, 1, 2, 0, 3), make(Op::kHalt)},
+                     4});
+  }
+
+  for (const UnboundedCase& c : cases) {
+    const wcet::Certificate cert = wcet::certify(c.program, 4096);
+    bool hit = false;
+    for (const wcet::UnboundedSite& s : cert.unbounded) {
+      if (s.pc == c.header_pc) hit = true;
+    }
+    if (cert.valid && !cert.bounded && hit) {
+      std::cout << "PASS unbounded " << c.name << " (@" << c.header_pc
+                << ")\n";
+    } else {
+      ++failures;
+      std::cout << "FAIL unbounded " << c.name << ": expected verdict @"
+                << c.header_pc << ", got " << cert.to_string() << "\n";
+    }
+  }
+
+  std::cout << "bladed-lint --wcet --selftest: "
+            << (failures == 0 ? "all programs classified correctly\n"
+                              : std::to_string(failures) + " failure(s)\n");
+  return failures == 0 ? kExitClean : kExitErrors;
 }
 
 /// One prove-selftest case: a known-unsafe program the analyzer must
@@ -576,12 +736,15 @@ constexpr const char* kUsage =
     "  --prove            whole-program safety analysis over prove_corpus\n"
     "  --prove --selftest seeded unsafe programs must be refuted\n"
     "  --jit              tier-3 dry-run lowering plan over prove_corpus\n"
+    "  --wcet             static cycle-bound certificates over prove_corpus\n"
+    "  --wcet --selftest  seeded unlicensable loops must be refused\n"
     "options:\n"
     "  --verbose          per-entry detail\n"
-    "  --json             with --prove: print bladed-prove-v1 reports\n"
+    "  --json             with --prove / --wcet: machine-readable reports\n"
     "  --mem-doubles N    override each corpus entry's machine memory\n"
     "exit codes: 0 clean, 1 error findings / failed proof, 2 usage,\n"
-    "3 warning findings only, 4 unproven accesses (--prove)\n";
+    "3 warning findings only, 4 unproven accesses (--prove) or unbounded\n"
+    "programs (--wcet)\n";
 
 }  // namespace
 
@@ -590,6 +753,7 @@ int main(int argc, char** argv) {
   bool opt_mode = false;
   bool prove_mode = false;
   bool jit_mode = false;
+  bool wcet_mode = false;
   bool verbose = false;
   bool json = false;
   std::size_t mem_override = 0;
@@ -598,6 +762,7 @@ int main(int argc, char** argv) {
       .flag("--opt", &opt_mode)
       .flag("--prove", &prove_mode)
       .flag("--jit", &jit_mode)
+      .flag("--wcet", &wcet_mode)
       .flag("--verbose", &verbose)
       .flag("--json", &json)
       .size_value("--mem-doubles", &mem_override);
@@ -608,10 +773,17 @@ int main(int argc, char** argv) {
               << kUsage;
     return 2;
   }
-  if (jit_mode && (selftest || opt_mode || prove_mode)) {
+  if (jit_mode && (selftest || opt_mode || prove_mode || wcet_mode)) {
     std::cerr << "bladed-lint: --jit is a standalone mode\n" << kUsage;
     return 2;
   }
+  if (wcet_mode && (opt_mode || prove_mode)) {
+    std::cerr << "bladed-lint: --wcet combines only with --selftest\n"
+              << kUsage;
+    return 2;
+  }
+  if (wcet_mode && selftest) return run_wcet_selftest();
+  if (wcet_mode) return run_wcet(verbose, mem_override, json);
   if (jit_mode) return run_jit(verbose, mem_override);
   if (prove_mode && selftest) return run_prove_selftest();
   if (prove_mode) return run_prove(verbose, mem_override, json);
